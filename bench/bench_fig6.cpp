@@ -1,0 +1,42 @@
+// Regenerates Fig. 6: (a) candidate legal IP pairs and (b) candidate root
+// causes eliminated as more traced messages are investigated, for each case
+// study. Every investigated message should contribute to the elimination.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "debug/case_study.hpp"
+
+int main() {
+  using namespace tracesel;
+  bench::banner("Fig. 6", "traced messages investigated vs candidate IP "
+                          "pairs / root causes eliminated");
+
+  soc::T2Design design;
+  for (const auto& cs : soc::standard_case_studies()) {
+    debug::CaseStudyOptions opt;
+    opt.sessions = 6;
+    const auto r = debug::run_case_study(design, cs, opt);
+
+    std::cout << "Case study " << cs.id << " (scenario " << cs.scenario_id
+              << ", " << r.report.legal_pairs << " legal pairs, "
+              << r.report.catalog_size << " potential causes):\n";
+    util::Table table({"Step", "Investigated message", "Status found",
+                       "Records examined", "Candidate IP pairs",
+                       "Plausible causes"});
+    int step = 1;
+    for (const auto& st : r.report.steps) {
+      table.add_row({std::to_string(step++),
+                     design.catalog().get(st.investigated).name,
+                     debug::to_string(st.found),
+                     std::to_string(st.records_examined),
+                     std::to_string(st.candidate_pairs),
+                     std::to_string(st.plausible_causes)});
+    }
+    std::cout << table << "\n";
+  }
+  bench::note("reproduced claim: both candidate series decrease (weakly) "
+              "monotonically - every traced message investigated "
+              "contributes to the debug process");
+  return 0;
+}

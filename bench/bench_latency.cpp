@@ -1,0 +1,50 @@
+// Symptom latency study (Sec. 4's subtlety claim: "it took up to 457
+// observed messages and up to 21,290,999 clock cycles for each bug
+// symptom to manifest"). Sweeps how late each case study's active bug
+// arms and measures the messages and cycles a validator sits through
+// before the symptom shows — the quantity that makes post-silicon bugs
+// expensive and trace-buffer depth precious.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "debug/case_study.hpp"
+
+int main() {
+  using namespace tracesel;
+  bench::banner("Symptom latency",
+                "observed messages / cycles until each bug manifests, vs "
+                "arming session");
+
+  soc::T2Design design;
+  util::Table table({"Case study", "Arming session", "Sessions run",
+                     "Messages to symptom", "Cycles to symptom",
+                     "Symptom"});
+  std::size_t max_messages = 0;
+  std::uint64_t max_cycles = 0;
+  for (const auto& cs : soc::standard_case_studies()) {
+    for (const std::uint32_t arm : {1u, 4u, 16u, 64u}) {
+      debug::CaseStudyOptions opt;
+      opt.active_trigger_session = arm;
+      opt.sessions = arm + 4;
+      const auto r = debug::run_case_study(design, cs, opt);
+      table.add_row({std::to_string(cs.id), std::to_string(arm),
+                     std::to_string(opt.sessions),
+                     std::to_string(r.buggy.messages_to_symptom),
+                     std::to_string(r.buggy.fail_cycle),
+                     r.buggy.failed ? r.buggy.failure : "none"});
+      max_messages = std::max(max_messages, r.buggy.messages_to_symptom);
+      max_cycles = std::max(max_cycles, r.buggy.fail_cycle);
+    }
+  }
+  std::cout << table << '\n';
+  std::cout << "Maximum observed: " << max_messages
+            << " messages (paper: up to 457), " << max_cycles
+            << " cycles (paper: up to 21,290,999 RTL cycles; ours are "
+               "transaction-level beats)\n";
+  bench::note("latency scales linearly with the arming session: a bug "
+              "that arms late forces the validator through thousands of "
+              "healthy messages first - exactly why trace qualification "
+              "(TraceTrigger) and message-level selection matter");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Regenerates Table 3: trace buffer utilization, flow specification
+// coverage, and path localization per case study, with packing (WP) and
+// without packing (WoP). 32-bit trace buffer, as the paper assumes.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "debug/case_study.hpp"
+
+int main() {
+  using namespace tracesel;
+  bench::banner("Table 3",
+                "trace buffer utilization, flow spec coverage, path "
+                "localization (WP = with packing, WoP = without)");
+
+  soc::T2Design design;
+  util::Table table({"Case study", "Scenario", "Util WP", "Util WoP",
+                     "FSP Cov WP", "FSP Cov WoP", "Path Local WP",
+                     "Path Local WoP"});
+
+  double sum_util_wp = 0.0, sum_cov_wp = 0.0;
+  double max_loc_wp = 0.0, max_loc_wop = 0.0;
+  const auto cases = soc::standard_case_studies();
+  for (const auto& cs : cases) {
+    debug::CaseStudyOptions wp, wop;
+    wop.packing = false;
+    const auto with = debug::run_case_study(design, cs, wp);
+    const auto without = debug::run_case_study(design, cs, wop);
+
+    table.add_row({std::to_string(cs.id),
+                   "Scenario " + std::to_string(cs.scenario_id),
+                   util::pct(with.selection.utilization()),
+                   util::pct(without.selection.utilization()),
+                   util::pct(with.selection.coverage),
+                   util::pct(without.selection.coverage),
+                   util::pct(with.localization.fraction, 6),
+                   util::pct(without.localization.fraction, 6)});
+
+    sum_util_wp += with.selection.utilization();
+    sum_cov_wp += with.selection.coverage;
+    max_loc_wp = std::max(max_loc_wp, with.localization.fraction);
+    max_loc_wop = std::max(max_loc_wop, without.localization.fraction);
+  }
+  std::cout << table << "\n";
+
+  const double n = static_cast<double>(cases.size());
+  std::cout << "Headline (Sec. 1): average trace buffer utilization WP = "
+            << util::pct(sum_util_wp / n)
+            << " (paper: 98.96%), average FSP coverage WP = "
+            << util::pct(sum_cov_wp / n) << " (paper: 94.3%)\n"
+            << "Worst-case path localization: WP = "
+            << util::pct(max_loc_wp, 6) << " (paper: <= 0.31%), WoP = "
+            << util::pct(max_loc_wop, 6) << " (paper: <= 6.11%)\n";
+  bench::note("paper WP utilization 96.88-100%, WoP 71.87-93.75%; absolute "
+              "localization fractions differ because the modeled "
+              "interleavings have far more executions than the partial "
+              "products the paper explores - the WP <= WoP ordering and "
+              "'tiny fraction of paths' property are the reproduced claims");
+  return 0;
+}

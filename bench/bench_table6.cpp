@@ -1,0 +1,55 @@
+// Regenerates Table 6: per case study the number of participating flows,
+// legal IP pairs, legal IP pairs investigated, messages investigated, and
+// the root-caused architecture-level function.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "debug/case_study.hpp"
+
+int main() {
+  using namespace tracesel;
+  bench::banner("Table 6",
+                "diagnosed root causes and debugging statistics");
+
+  soc::T2Design design;
+  util::Table table({"Case Study", "No of Flows", "Legal IP Pairs",
+                     "Legal IP pairs investigated", "Messages investigated",
+                     "Root caused architecture level function"});
+
+  double pair_fraction_sum = 0.0;
+  const auto cases = soc::standard_case_studies();
+  for (const auto& cs : cases) {
+    debug::CaseStudyOptions opt;
+    opt.sessions = 6;  // longer runs: more trace records to investigate
+    const auto r = debug::run_case_study(design, cs, opt);
+
+    // The diagnosed function: description(s) of the surviving cause(s).
+    std::string diagnosed;
+    for (const auto& c : r.report.final_causes) {
+      if (!diagnosed.empty()) diagnosed += " / ";
+      diagnosed += c.description;
+    }
+
+    table.add_row({std::to_string(cs.id),
+                   std::to_string(r.scenario.flow_names.size()),
+                   std::to_string(r.report.legal_pairs),
+                   std::to_string(r.report.pairs_investigated),
+                   std::to_string(r.report.messages_investigated),
+                   diagnosed});
+    pair_fraction_sum += static_cast<double>(r.report.pairs_investigated) /
+                         static_cast<double>(r.report.legal_pairs);
+  }
+  std::cout << table << "\n";
+
+  std::cout << "Average fraction of legal IP pairs investigated: "
+            << util::pct(pair_fraction_sum /
+                         static_cast<double>(cases.size()))
+            << " (paper: 54.67%)\n";
+  bench::note("paper investigates 25-199 messages per case over 6-12 legal "
+              "pairs; the modeled design has 5-6 legal pairs per scenario "
+              "and correspondingly scaled investigation counts - the claim "
+              "is that selected messages confine debugging to a fraction "
+              "of the legal pairs");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Regenerates Table 7: representative potential root causes for the Sec. 5.7
+// case study (scenario 1), the selected messages available as evidence, and
+// the debugging narrative that prunes 8 of 9 causes.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "debug/case_study.hpp"
+
+int main() {
+  using namespace tracesel;
+  bench::banner("Table 7",
+                "potential root causes for the debugging case study "
+                "(Sec. 5.7)");
+
+  soc::T2Design design;
+  const auto cs = soc::standard_case_studies()[0];  // the Sec. 5.7 case
+  const auto r = debug::run_case_study(design, cs);
+
+  std::cout << "Selected messages (32-bit buffer, with packing):\n  ";
+  for (flow::MessageId m : r.selection.combination.messages)
+    std::cout << design.catalog().get(m).name << ' ';
+  for (const auto& pg : r.selection.packed)
+    std::cout << design.catalog().get(pg.parent).name << '.'
+              << pg.subgroup_name << ' ';
+  std::cout << "\n\n";
+
+  const auto catalog =
+      debug::RootCauseCatalog::for_scenario(design, cs.scenario_id);
+  util::Table table({"#", "Potential Cause", "Potential implication",
+                     "Suspect IP", "Status after debug"});
+  for (const auto& cause : catalog.causes()) {
+    const bool surviving =
+        std::any_of(r.report.final_causes.begin(),
+                    r.report.final_causes.end(),
+                    [&](const debug::RootCause& c) { return c.id == cause.id; });
+    table.add_row({std::to_string(cause.id), cause.description,
+                   cause.implication, cause.ip,
+                   surviving ? "PLAUSIBLE (root cause)" : "pruned"});
+  }
+  std::cout << table << "\n";
+
+  std::cout << "Symptom: " << r.buggy.failure << " in session "
+            << r.buggy.fail_session << " after "
+            << r.buggy.messages_to_symptom << " observed messages\n";
+  std::cout << "Observed message statuses (traced set):\n";
+  for (const auto& [m, status] : r.observation.status) {
+    if (status != debug::MsgStatus::kPresentCorrect)
+      std::cout << "  " << design.catalog().get(m).name << ": "
+                << debug::to_string(status) << '\n';
+  }
+  std::cout << "Causes pruned: " << util::pct(r.report.pruned_fraction())
+            << " (paper: 88.89% for this case study)\n";
+  bench::note("the narrative matches Sec. 5.7: absence of "
+              "dmusiidata.cputhreadid (packed subgroup) proves DMU never "
+              "generated the Mondo interrupt, isolating cause 3");
+  return 0;
+}

@@ -1,0 +1,29 @@
+#pragma once
+// Shared helpers for the reproduction benches. Every bench binary prints
+// (a) a banner naming the paper table/figure it regenerates, (b) the
+// measured table, and (c) the paper's reported numbers for side-by-side
+// comparison where applicable (see EXPERIMENTS.md for the discussion).
+
+#include <iostream>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace tracesel::bench {
+
+inline void banner(const std::string& experiment,
+                   const std::string& description) {
+  std::cout << "==============================================================="
+               "=\n"
+            << experiment << " - " << description << "\n"
+            << "Pal et al., 'Application Level Hardware Tracing for Scaling "
+               "Post-Silicon Debug', DAC 2018\n"
+            << "==============================================================="
+               "=\n";
+}
+
+inline void note(const std::string& text) {
+  std::cout << "note: " << text << "\n";
+}
+
+}  // namespace tracesel::bench

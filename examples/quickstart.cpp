@@ -1,0 +1,75 @@
+// Quickstart: the paper's running example end to end (Figs. 1-2, Sec. 3).
+//
+// Builds the toy cache-coherence flow, interleaves two indexed instances,
+// enumerates message combinations for a 2-bit trace buffer, scores them by
+// mutual information gain, and reports the selected combination, its flow
+// specification coverage, and a localization query — reproducing every
+// number the paper works out by hand (I = 1.073, coverage = 0.7333).
+
+#include <iostream>
+
+#include "flow/dot.hpp"
+#include "flow/flow_builder.hpp"
+#include "selection/localization.hpp"
+#include "selection/selector.hpp"
+
+int main() {
+  using namespace tracesel;
+
+  // --- 1. Messages and the flow DAG (Fig. 1a) ---
+  flow::MessageCatalog catalog;
+  const auto reqE = catalog.add("ReqE", 1, "IP1", "Dir");
+  const auto gntE = catalog.add("GntE", 1, "Dir", "IP1");
+  const auto ack = catalog.add("Ack", 1, "IP1", "Dir");
+
+  flow::FlowBuilder builder("CacheCoherence");
+  builder.state("Init", flow::FlowBuilder::kInitial)
+      .state("Wait")
+      .state("GntW", flow::FlowBuilder::kAtomic)
+      .state("Done", flow::FlowBuilder::kStop)
+      .transition("Init", reqE, "Wait")
+      .transition("Wait", gntE, "GntW")
+      .transition("GntW", ack, "Done");
+  const flow::Flow coherence = builder.build(catalog);
+  std::cout << "Flow '" << coherence.name() << "': "
+            << coherence.num_states() << " states, "
+            << coherence.messages().size() << " messages\n";
+
+  // --- 2. Interleave two legally indexed instances (Fig. 2) ---
+  const auto u =
+      flow::InterleavedFlow::build(flow::make_instances({&coherence}, 2));
+  std::cout << "Interleaved flow: " << u.num_nodes() << " states, "
+            << u.num_edges() << " indexed-message occurrences (paper: 15 "
+            << "states, 18 occurrences)\n";
+
+  // --- 3. Select messages for a 2-bit trace buffer (Sec. 3.1-3.2) ---
+  const selection::MessageSelector selector(catalog, u);
+  selection::SelectorConfig config;
+  config.buffer_width = 2;
+  const auto result = selector.select(config);
+
+  std::cout << "Selected combination:";
+  for (const auto m : result.combination.messages)
+    std::cout << ' ' << catalog.get(m).name;
+  std::cout << "\n  information gain I(X;Y) = " << result.gain
+            << " (paper: 1.073)\n"
+            << "  flow spec coverage      = " << result.coverage
+            << " (paper: 0.7333)\n"
+            << "  trace buffer utilization = "
+            << result.utilization() * 100 << "%\n";
+
+  // --- 4. Localize an observed trace (Sec. 3.2's example) ---
+  const std::vector<flow::IndexedMessage> observed{
+      {reqE, 1}, {gntE, 1}, {reqE, 2}};
+  const auto loc =
+      selection::localize(u, result.observable(), observed);
+  std::cout << "Observing {1:ReqE, 1:GntE, 2:ReqE} leaves "
+            << loc.consistent_paths << " of " << loc.total_paths
+            << " executions consistent ("
+            << loc.fraction * 100 << "%)\n";
+
+  // --- 5. Export DOT for inspection ---
+  std::cout << "\nGraphviz of the flow (render with `dot -Tpng`):\n"
+            << flow::to_dot(coherence, catalog);
+  return 0;
+}

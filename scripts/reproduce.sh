@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# One-command reproduction: build, run the full test suite, regenerate
+# every paper table/figure plus the ablation and extension benches.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/bench_*; do
+  echo
+  "$b"
+done

@@ -1,0 +1,50 @@
+#include "baseline/flop_graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace tracesel::baseline {
+
+std::vector<std::vector<std::size_t>> flop_dependency_graph(
+    const netlist::Netlist& nl) {
+  using netlist::GateType;
+  using netlist::NetId;
+
+  const auto& flops = nl.flops();
+  std::vector<std::size_t> flop_index(nl.num_nets(), ~std::size_t{0});
+  for (std::size_t i = 0; i < flops.size(); ++i) flop_index[flops[i]] = i;
+
+  std::vector<std::vector<std::size_t>> adjacency(flops.size());
+
+  // For each flop v: walk the combinational cone of its D input backwards;
+  // every flop found is a predecessor u with edge u -> v.
+  for (std::size_t v = 0; v < flops.size(); ++v) {
+    const NetId d = nl.gate(flops[v]).fanin[0];
+    std::vector<bool> seen(nl.num_nets(), false);
+    std::queue<NetId> work;
+    work.push(d);
+    seen[d] = true;
+    while (!work.empty()) {
+      const NetId n = work.front();
+      work.pop();
+      const auto& g = nl.gate(n);
+      if (g.type == GateType::kFlop) {
+        adjacency[flop_index[n]].push_back(v);
+        continue;  // stop at sequential boundary
+      }
+      for (NetId f : g.fanin) {
+        if (!seen[f]) {
+          seen[f] = true;
+          work.push(f);
+        }
+      }
+    }
+  }
+  for (auto& list : adjacency) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  return adjacency;
+}
+
+}  // namespace tracesel::baseline

@@ -1,0 +1,17 @@
+#pragma once
+// Flop-level dependency graph: edge u -> v iff flop u's output reaches
+// flop v's D input through combinational logic. Both baselines analyze
+// this graph (PRNet directly, SigSeT through restorability over it).
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace tracesel::baseline {
+
+/// adjacency[i] lists the *flop indices* (positions in netlist.flops())
+/// whose D cones read flop i. Primary inputs are not represented.
+std::vector<std::vector<std::size_t>> flop_dependency_graph(
+    const netlist::Netlist& netlist);
+
+}  // namespace tracesel::baseline

@@ -1,0 +1,69 @@
+#include "baseline/prnet.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "baseline/flop_graph.hpp"
+
+namespace tracesel::baseline {
+
+std::vector<double> pagerank(
+    const std::vector<std::vector<std::size_t>>& adjacency, double damping,
+    int iterations) {
+  const std::size_t n = adjacency.size();
+  if (n == 0) return {};
+  if (damping < 0.0 || damping >= 1.0)
+    throw std::invalid_argument("pagerank: damping must be in [0,1)");
+
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (int it = 0; it < iterations; ++it) {
+    double dangling = 0.0;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t u = 0; u < n; ++u) {
+      if (adjacency[u].empty()) {
+        dangling += rank[u];
+        continue;
+      }
+      const double share = rank[u] / static_cast<double>(adjacency[u].size());
+      for (std::size_t v : adjacency[u]) next[v] += share;
+    }
+    // Dangling mass is redistributed uniformly along with the teleport.
+    const double base = (1.0 - damping) / static_cast<double>(n) +
+                        damping * dangling / static_cast<double>(n);
+    for (std::size_t v = 0; v < n; ++v) next[v] = base + damping * next[v];
+    rank.swap(next);
+  }
+  return rank;
+}
+
+PrNetResult select_prnet(const netlist::Netlist& netlist,
+                         const PrNetOptions& options) {
+  // Rank on the *reversed* dependency graph: a flop is central when many
+  // downstream state elements depend on it (influence centrality), which is
+  // how PRNet scores reconstruction value. Forward PageRank would instead
+  // reward flops with many drivers (CRC/accumulator sinks).
+  const auto forward = flop_dependency_graph(netlist);
+  std::vector<std::vector<std::size_t>> reversed(forward.size());
+  for (std::size_t u = 0; u < forward.size(); ++u) {
+    for (std::size_t v : forward[u]) reversed[v].push_back(u);
+  }
+  PrNetResult result;
+  result.ranks = pagerank(reversed, options.damping, options.iterations);
+
+  const auto& flops = netlist.flops();
+  std::vector<std::size_t> order(flops.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (result.ranks[a] != result.ranks[b])
+      return result.ranks[a] > result.ranks[b];
+    return a < b;  // deterministic tie-break
+  });
+  const std::size_t take = std::min(options.budget_bits, flops.size());
+  for (std::size_t i = 0; i < take; ++i)
+    result.selected.push_back(flops[order[i]]);
+  return result;
+}
+
+}  // namespace tracesel::baseline

@@ -1,0 +1,34 @@
+#pragma once
+// PRNet-style PageRank trace signal selection (re-implementation of the
+// approach of Ma et al. [7] for the Sec. 5.4 comparison): rank flip-flops
+// by PageRank over the flop dependency graph (structurally central state
+// elements score high) and trace the top-ranked ones.
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace tracesel::baseline {
+
+struct PrNetOptions {
+  std::size_t budget_bits = 32;
+  double damping = 0.85;
+  int iterations = 100;
+};
+
+struct PrNetResult {
+  std::vector<netlist::NetId> selected;  ///< flop nets, by descending rank
+  std::vector<double> ranks;             ///< rank per flop index
+};
+
+PrNetResult select_prnet(const netlist::Netlist& netlist,
+                         const PrNetOptions& options = {});
+
+/// Plain PageRank with uniform teleport over a directed adjacency list;
+/// exposed for unit tests. Dangling nodes distribute uniformly.
+std::vector<double> pagerank(
+    const std::vector<std::vector<std::size_t>>& adjacency, double damping,
+    int iterations);
+
+}  // namespace tracesel::baseline

@@ -1,0 +1,62 @@
+#include "baseline/sigset.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace tracesel::baseline {
+
+std::vector<std::vector<bool>> golden_flop_trace(
+    const netlist::Netlist& netlist, std::size_t cycles, std::uint64_t seed) {
+  netlist::Simulator sim(netlist);
+  util::Rng rng(seed);
+  std::vector<std::vector<bool>> trace;
+  trace.reserve(cycles);
+  std::vector<bool> inputs(netlist.inputs().size());
+  for (std::size_t c = 0; c < cycles; ++c) {
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+      inputs[i] = rng.chance(0.5);
+    trace.push_back(sim.step(inputs));
+  }
+  return trace;
+}
+
+SigSeTResult select_sigset(const netlist::Netlist& netlist,
+                           const SigSeTOptions& options) {
+  const auto trace =
+      golden_flop_trace(netlist, options.sim_cycles, options.seed);
+  const netlist::RestorationEngine engine(netlist);
+  const auto& flops = netlist.flops();
+
+  SigSeTResult result;
+  double current_known = 0.0;  // traced + restored of current selection
+
+  while (result.selected.size() < options.budget_bits &&
+         result.selected.size() < flops.size()) {
+    netlist::NetId best = netlist::kInvalidNet;
+    double best_known = current_known;
+    double best_srr = 0.0;
+    for (netlist::NetId f : flops) {
+      if (std::find(result.selected.begin(), result.selected.end(), f) !=
+          result.selected.end())
+        continue;
+      std::vector<netlist::NetId> trial = result.selected;
+      trial.push_back(f);
+      const auto r = engine.restore(trial, trace);
+      const double known = static_cast<double>(r.traced_flop_cycles +
+                                               r.restored_flop_cycles);
+      if (best == netlist::kInvalidNet || known > best_known) {
+        best = f;
+        best_known = known;
+        best_srr = r.srr();
+      }
+    }
+    if (best == netlist::kInvalidNet) break;
+    result.selected.push_back(best);
+    current_known = best_known;
+    result.srr = best_srr;
+  }
+  return result;
+}
+
+}  // namespace tracesel::baseline

@@ -1,0 +1,36 @@
+#pragma once
+// SigSeT-style SRR-based trace signal selection (re-implementation of the
+// approach class of Basu & Mishra [2] for the Sec. 5.4 comparison):
+// greedily grow the traced flop set, each round adding the flip-flop whose
+// addition maximizes the state-restoration ratio measured on a golden
+// simulation window. This is the "signal reconstruction ability" objective
+// the paper argues is the wrong optimization target for use-case debug.
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/restoration.hpp"
+
+namespace tracesel::baseline {
+
+struct SigSeTOptions {
+  std::size_t budget_bits = 32;  ///< flops to select (1 bit each)
+  std::size_t sim_cycles = 24;   ///< golden window used to evaluate SRR
+  std::uint64_t seed = 7;        ///< stimulus seed
+};
+
+struct SigSeTResult {
+  std::vector<netlist::NetId> selected;  ///< flop nets, selection order
+  double srr = 0.0;                      ///< final SRR of the selection
+};
+
+SigSeTResult select_sigset(const netlist::Netlist& netlist,
+                           const SigSeTOptions& options = {});
+
+/// The golden flop-value matrix [cycle][flop index] both baselines and
+/// tests reuse: random primary inputs from `seed`.
+std::vector<std::vector<bool>> golden_flop_trace(
+    const netlist::Netlist& netlist, std::size_t cycles, std::uint64_t seed);
+
+}  // namespace tracesel::baseline

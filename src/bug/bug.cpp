@@ -1,0 +1,23 @@
+#include "bug/bug.hpp"
+
+namespace tracesel::bug {
+
+std::string to_string(BugCategory category) {
+  switch (category) {
+    case BugCategory::kControl: return "Control";
+    case BugCategory::kData: return "Data";
+  }
+  return "?";
+}
+
+std::string to_string(BugEffect effect) {
+  switch (effect) {
+    case BugEffect::kCorruptValue: return "corrupt-value";
+    case BugEffect::kDropMessage: return "drop-message";
+    case BugEffect::kMisroute: return "misroute";
+    case BugEffect::kWrongDecode: return "wrong-decode";
+  }
+  return "?";
+}
+
+}  // namespace tracesel::bug

@@ -1,0 +1,60 @@
+#pragma once
+// Bug descriptors for the injection framework (Sec. 4, Table 2).
+//
+// The paper injected 14 communication bugs (industrial examples plus the
+// Stanford QED bug model) into 5 IPs of OpenSPARC T2. At the transaction
+// level those bugs manifest as four observable effect classes on messages:
+// corrupted content, dropped messages (e.g. "an interrupt was never
+// generated", case study 1), misrouted messages, and wrong decoding of a
+// received message that poisons everything the receiver produces afterwards.
+
+#include <cstdint>
+#include <string>
+
+#include "flow/types.hpp"
+
+namespace tracesel::bug {
+
+/// Table 2's bug category column.
+enum class BugCategory { kControl, kData };
+
+/// How the bug perturbs message traffic at the transaction level.
+enum class BugEffect {
+  kCorruptValue,  ///< message emitted with wrong content
+  kDropMessage,   ///< message never emitted; its flow instance stalls
+  kMisroute,      ///< message delivered to the wrong destination IP
+  kWrongDecode,   ///< receiver misinterprets: all later messages of the
+                  ///< same flow instance carry corrupted content
+};
+
+std::string to_string(BugCategory category);
+std::string to_string(BugEffect effect);
+
+/// One injected bug. `id` follows the tech-report numbering the paper's
+/// Table 5 references (bug ids 1..36 across all buggy design versions).
+struct Bug {
+  int id = 0;
+  std::string name;
+  BugCategory category = BugCategory::kControl;
+  BugEffect effect = BugEffect::kCorruptValue;
+  std::string ip;      ///< buggy IP block (Table 2 "Buggy IP")
+  int depth = 0;       ///< hierarchical depth of the IP (Table 2)
+  std::string type;    ///< functional implication text (Table 2 "Bug type")
+  std::string symptom; ///< failure message when the symptom manifests
+
+  /// The message whose production/consumption is buggy.
+  flow::MessageId target = flow::kInvalidMessage;
+  /// XOR mask applied to corrupted content (corrupt/wrong-decode effects).
+  std::uint64_t corrupt_mask = 0x1;
+  /// The session index (0-based) at which the bug arms; before that the
+  /// design behaves golden. Models "up to 21290999 clock cycles to
+  /// manifest": late-arming bugs need long runs to show a symptom.
+  std::uint32_t trigger_session = 0;
+  /// Once armed, probability that a given occurrence of `target` is
+  /// perturbed. < 1.0 models intermittent manifestation.
+  double trigger_probability = 1.0;
+  /// For kMisroute: the wrong destination IP name.
+  std::string misroute_dest;
+};
+
+}  // namespace tracesel::bug

@@ -1,0 +1,62 @@
+#include "debug/case_study.hpp"
+
+#include "debug/workbench.hpp"
+
+namespace tracesel::debug {
+
+CaseStudyResult run_case_study(const soc::T2Design& design,
+                               const soc::CaseStudy& case_study,
+                               const CaseStudyOptions& options) {
+  CaseStudyResult result;
+  result.case_study = case_study;
+  result.scenario = soc::scenario_by_id(case_study.scenario_id);
+
+  // Assemble the injected-bug set: the active bug armed at the configured
+  // session, dormant bugs armed beyond the run horizon.
+  std::vector<bug::Bug> bugs;
+  {
+    // Bug ids resolve against the paper's 14-bug set first, then the DMA
+    // extension bugs (ids 41+).
+    const auto resolve = [&](int id) {
+      try {
+        return soc::bug_by_id(design, id);
+      } catch (const std::out_of_range&) {
+        return soc::extension_bug_by_id(design, id);
+      }
+    };
+    bug::Bug active = resolve(case_study.active_bug_id);
+    active.trigger_session = options.active_trigger_session;
+    bugs.push_back(std::move(active));
+    for (int id : case_study.dormant_bug_ids) {
+      bug::Bug dormant = resolve(id);
+      dormant.trigger_session = options.sessions + 1000;  // never fires
+      bugs.push_back(std::move(dormant));
+    }
+  }
+
+  const RootCauseCatalog catalog =
+      RootCauseCatalog::for_scenario(design, case_study.scenario_id);
+  const Workbench workbench(design.catalog(),
+                            soc::scenario_flows(design, result.scenario),
+                            catalog);
+  WorkbenchConfig config;
+  config.buffer_width = options.buffer_width;
+  config.packing = options.packing;
+  config.instances_per_flow = result.scenario.instances_per_flow;
+  config.sessions = options.sessions;
+  config.seed = options.seed;
+  config.buffer_depth = options.buffer_depth;
+  WorkbenchResult r = workbench.run(bugs, config);
+
+  result.selection = std::move(r.selection);
+  result.golden = std::move(r.golden);
+  result.buggy = std::move(r.buggy);
+  result.golden_records = std::move(r.golden_records);
+  result.buggy_records = std::move(r.buggy_records);
+  result.observation = std::move(r.observation);
+  result.report = std::move(r.report);
+  result.localization = r.localization;
+  return result;
+}
+
+}  // namespace tracesel::debug

@@ -1,0 +1,48 @@
+#pragma once
+// End-to-end case-study driver: selection -> simulation (golden + buggy)
+// -> trace capture -> observation -> localization -> root-cause pruning.
+// Benches for Tables 3, 6, 7 and Figs. 6, 7 run through this driver.
+
+#include <cstdint>
+
+#include "debug/debugger.hpp"
+#include "debug/observation.hpp"
+#include "debug/root_cause.hpp"
+#include "selection/localization.hpp"
+#include "selection/selector.hpp"
+#include "soc/simulator.hpp"
+#include "soc/t2_bugs.hpp"
+#include "soc/trace_buffer.hpp"
+
+namespace tracesel::debug {
+
+struct CaseStudyOptions {
+  std::uint32_t buffer_width = 32;  ///< Table 3 assumes 32 bits
+  bool packing = true;
+  std::uint32_t sessions = 4;   ///< test repetitions per run
+  std::uint64_t seed = 2018;
+  std::size_t buffer_depth = 1u << 16;
+  /// Session at which the active bug arms; > 0 models the long symptom
+  /// latencies of Table 2 (golden-looking behaviour first).
+  std::uint32_t active_trigger_session = 1;
+};
+
+struct CaseStudyResult {
+  soc::CaseStudy case_study;
+  soc::Scenario scenario;
+  selection::SelectionResult selection;
+  soc::SimResult golden;
+  soc::SimResult buggy;
+  std::vector<soc::TraceRecord> golden_records;
+  std::vector<soc::TraceRecord> buggy_records;
+  Observation observation;
+  DebugReport report;
+  selection::LocalizationResult localization;
+};
+
+/// Runs one full case study. Deterministic given the options.
+CaseStudyResult run_case_study(const soc::T2Design& design,
+                               const soc::CaseStudy& case_study,
+                               const CaseStudyOptions& options = {});
+
+}  // namespace tracesel::debug

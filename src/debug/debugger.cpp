@@ -1,0 +1,177 @@
+#include "debug/debugger.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace tracesel::debug {
+
+Debugger::Debugger(const soc::T2Design& design, const soc::Scenario& scenario,
+                   const RootCauseCatalog& catalog)
+    : messages_(&design.catalog()),
+      flows_(scenario_flows(design, scenario)),
+      catalog_(&catalog) {}
+
+Debugger::Debugger(const flow::MessageCatalog& messages,
+                   std::vector<const flow::Flow*> flows,
+                   const RootCauseCatalog& catalog)
+    : messages_(&messages), flows_(std::move(flows)), catalog_(&catalog) {
+  if (flows_.empty()) throw std::invalid_argument("Debugger: no flows");
+}
+
+std::vector<flow::MessageId> Debugger::investigation_order(
+    const Observation& observation, std::uint64_t seed) const {
+  util::Rng rng(seed);
+
+  // The symptom: the anomalous traced message belonging to the flow whose
+  // failure the validator sees. Prefer absent > misrouted > corrupt (a
+  // missing interrupt is noticed before a wrong payload is decoded).
+  auto severity = [](MsgStatus s) {
+    switch (s) {
+      case MsgStatus::kAbsent: return 3;
+      case MsgStatus::kMisrouted: return 2;
+      case MsgStatus::kPresentCorrupt: return 1;
+      case MsgStatus::kPresentCorrect: return 0;
+    }
+    return 0;
+  };
+  flow::MessageId symptom = flow::kInvalidMessage;
+  int best = 0;
+  for (flow::MessageId m : observation.traced) {
+    const auto it = observation.status.find(m);
+    if (it == observation.status.end()) continue;
+    if (severity(it->second) > best) {
+      best = severity(it->second);
+      symptom = m;
+    }
+  }
+  if (symptom == flow::kInvalidMessage && !observation.traced.empty())
+    symptom = observation.traced.front();
+
+  std::vector<flow::MessageId> order;
+  auto push = [&](flow::MessageId m) {
+    if (std::find(observation.traced.begin(), observation.traced.end(), m) ==
+        observation.traced.end())
+      return;  // untraced messages cannot be investigated
+    if (std::find(order.begin(), order.end(), m) == order.end())
+      order.push_back(m);
+  };
+
+  push(symptom);
+
+  // Backtrack through the symptom's flow: its messages in reverse
+  // flow-topological order (our flows list transitions source-to-sink).
+  const flow::Flow* symptom_flow = nullptr;
+  for (const flow::Flow* f : flows_) {
+    if (symptom != flow::kInvalidMessage && f->uses_message(symptom)) {
+      symptom_flow = f;
+      break;
+    }
+  }
+  if (symptom_flow != nullptr) {
+    const auto& ts = symptom_flow->transitions();
+    for (auto it = ts.rbegin(); it != ts.rend(); ++it) push(it->message);
+  }
+
+  // Remaining traced messages, flow by flow in shuffled order ("the choice
+  // is pseudo-random and guided by the participating flows").
+  std::vector<const flow::Flow*> rest(flows_.begin(), flows_.end());
+  rng.shuffle(rest);
+  for (const flow::Flow* f : rest) {
+    std::vector<flow::MessageId> ms = f->messages();
+    rng.shuffle(ms);
+    for (flow::MessageId m : ms) push(m);
+  }
+  return order;
+}
+
+DebugReport Debugger::debug(const Observation& observation,
+                            const std::vector<soc::TraceRecord>& buggy_records,
+                            std::uint64_t seed) const {
+  DebugReport report;
+  report.catalog_size = catalog_->size();
+  const std::vector<IpPair> legal =
+      legal_ip_pairs((*messages_), flows_);
+  report.legal_pairs = legal.size();
+
+  const auto order = investigation_order(observation, seed);
+
+  // Incrementally revealed observation: the debugger only "knows" the
+  // status of messages it has already investigated.
+  Observation revealed;
+  std::vector<IpPair> investigated_pairs;
+  std::size_t records = 0;
+
+  auto plausible_now = [&] { return prune(*catalog_, revealed); };
+
+  for (flow::MessageId m : order) {
+    // Reveal this message.
+    revealed.traced.push_back(m);
+    std::sort(revealed.traced.begin(), revealed.traced.end());
+    const auto it = observation.status.find(m);
+    const MsgStatus found =
+        it == observation.status.end() ? MsgStatus::kPresentCorrect
+                                       : it->second;
+    revealed.status[m] = found;
+
+    records += static_cast<std::size_t>(
+        std::count_if(buggy_records.begin(), buggy_records.end(),
+                      [&](const soc::TraceRecord& r) {
+                        return r.msg.message == m;
+                      }));
+    const IpPair pair = pair_of((*messages_), m);
+    if (std::find(investigated_pairs.begin(), investigated_pairs.end(),
+                  pair) == investigated_pairs.end())
+      investigated_pairs.push_back(pair);
+
+    const auto plausible = plausible_now();
+
+    // Candidate pairs: still suspected by a plausible cause, or carrying
+    // traced messages not yet investigated.
+    std::vector<IpPair> candidates;
+    for (const RootCause* c : plausible) {
+      for (const IpPair& p : c->suspect_pairs((*messages_))) {
+        if (std::find(candidates.begin(), candidates.end(), p) ==
+            candidates.end())
+          candidates.push_back(p);
+      }
+    }
+    for (const IpPair& p : legal) {
+      const auto over =
+          messages_over_pair((*messages_), flows_, p);
+      const bool fully_examined = std::all_of(
+          over.begin(), over.end(), [&](flow::MessageId mm) {
+            const bool traced =
+                std::find(observation.traced.begin(),
+                          observation.traced.end(),
+                          mm) != observation.traced.end();
+            if (!traced) return true;  // untraced: no evidence will come
+            return std::find(revealed.traced.begin(), revealed.traced.end(),
+                             mm) != revealed.traced.end();
+          });
+      if (!fully_examined &&
+          std::find(candidates.begin(), candidates.end(), p) ==
+              candidates.end())
+        candidates.push_back(p);
+    }
+
+    DebugStep step;
+    step.investigated = m;
+    step.pair = pair;
+    step.found = found;
+    step.records_examined = records;
+    step.plausible_causes = plausible.size();
+    step.candidate_pairs = candidates.size();
+    report.steps.push_back(step);
+
+    if (plausible.size() <= 1) break;  // localized
+  }
+
+  for (const RootCause* c : plausible_now()) report.final_causes.push_back(*c);
+  report.pairs_investigated = investigated_pairs.size();
+  report.messages_investigated = records;
+  return report;
+}
+
+}  // namespace tracesel::debug

@@ -1,0 +1,80 @@
+#pragma once
+// The backtracking debug procedure of Sec. 5.6: starting from the traced
+// message where the bug symptom is observed, investigate traced messages
+// one at a time (pseudo-randomly, guided by the participating flows),
+// pruning candidate root causes and candidate legal IP pairs after every
+// step. Produces the elimination curves of Fig. 6 and the effort metrics
+// of Table 6.
+
+#include <cstdint>
+#include <vector>
+
+#include "debug/ip_pairs.hpp"
+#include "debug/observation.hpp"
+#include "debug/root_cause.hpp"
+#include "soc/scenario.hpp"
+#include "soc/trace_buffer.hpp"
+
+namespace tracesel::debug {
+
+/// One investigation step and the state of the search after it.
+struct DebugStep {
+  flow::MessageId investigated = flow::kInvalidMessage;
+  IpPair pair;
+  MsgStatus found = MsgStatus::kPresentCorrect;
+  std::size_t records_examined = 0;  ///< cumulative trace records read
+  std::size_t plausible_causes = 0;  ///< remaining after this step
+  std::size_t candidate_pairs = 0;   ///< remaining suspect/unexplored pairs
+};
+
+struct DebugReport {
+  std::vector<DebugStep> steps;
+  /// Surviving causes, by value: the report outlives the catalog it was
+  /// computed from.
+  std::vector<RootCause> final_causes;
+  std::size_t legal_pairs = 0;
+  std::size_t pairs_investigated = 0;     ///< distinct pairs examined
+  std::size_t messages_investigated = 0;  ///< total trace records examined
+  std::size_t catalog_size = 0;
+
+  /// Fraction of potential root causes eliminated (Fig. 7).
+  double pruned_fraction() const {
+    return catalog_size == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(final_causes.size()) /
+                           static_cast<double>(catalog_size);
+  }
+};
+
+class Debugger {
+ public:
+  /// T2 convenience: debug a Table 1 usage scenario.
+  Debugger(const soc::T2Design& design, const soc::Scenario& scenario,
+           const RootCauseCatalog& catalog);
+
+  /// General form: any message catalog and flow set.
+  Debugger(const flow::MessageCatalog& messages,
+           std::vector<const flow::Flow*> flows,
+           const RootCauseCatalog& catalog);
+
+  /// Runs the investigation. `observation` carries the per-message diff of
+  /// the failing trace; `buggy_records` is the captured buffer content
+  /// (used to count records examined per investigated message). The seed
+  /// drives the pseudo-random part of the investigation order.
+  DebugReport debug(const Observation& observation,
+                    const std::vector<soc::TraceRecord>& buggy_records,
+                    std::uint64_t seed) const;
+
+ private:
+  /// Investigation order: the symptom message first, then the rest of its
+  /// flow backwards (backtracking), then remaining traced messages of other
+  /// flows, shuffled with `seed`.
+  std::vector<flow::MessageId> investigation_order(
+      const Observation& observation, std::uint64_t seed) const;
+
+  const flow::MessageCatalog* messages_;
+  std::vector<const flow::Flow*> flows_;
+  const RootCauseCatalog* catalog_;
+};
+
+}  // namespace tracesel::debug

@@ -1,0 +1,49 @@
+#include "debug/extended_causes.hpp"
+
+namespace tracesel::debug {
+
+RootCauseCatalog extended_root_causes(const soc::T2ExtendedDesign& d) {
+  using S = MsgStatus;
+  auto make = [](int id, std::string desc, std::string implication,
+                 std::string ip,
+                 std::map<flow::MessageId, MsgStatus> predictions) {
+    RootCause c;
+    c.id = id;
+    c.description = std::move(desc);
+    c.implication = std::move(implication);
+    c.ip = std::move(ip);
+    c.predictions = std::move(predictions);
+    return c;
+  };
+
+  return RootCauseCatalog({
+      make(1, "Retry request lost in DMU after interrupt NACK",
+           "NACKed Mondo interrupt never requeued; interrupt dropped",
+           "DMU", {{d.reqretry, S::kAbsent}}),
+      make(2, "Wrong NACK decision in NCU interrupt handling table",
+           "Valid interrupts bounced back to DMU",
+           "NCU", {{d.mondonack, S::kPresentCorrupt}}),
+      make(3, "Non-generation of Mondo interrupt by DMU",
+           "Interrupt path silent end to end", "DMU",
+           {{d.dmusiidata, S::kAbsent},
+            {d.siincu, S::kAbsent},
+            {d.mondoacknack, S::kAbsent},
+            {d.mondonack, S::kAbsent},
+            {d.reqretry, S::kAbsent}}),
+      make(4, "Invalid Mondo payload forwarded to NCU from DMU via SIU",
+           "Interrupt assigned to wrong CPU/thread", "DMU",
+           {{d.dmusiidata, S::kPresentCorrupt},
+            {d.siincu, S::kPresentCorrupt}}),
+      make(5, "PIO credit-miss mishandled: retry never issued by NCU",
+           "Missed PIO read silently abandoned", "NCU",
+           {{d.pioretry, S::kAbsent}}),
+      make(6, "PIO read return payload corrupted inside DMU",
+           "Computing thread loads a wrong operand value", "DMU",
+           {{d.dmuncud, S::kPresentCorrupt}}),
+      make(7, "PIO request mis-addressed by NCU address generation",
+           "Read hits the wrong device register", "NCU",
+           {{d.ncupior, S::kPresentCorrupt}}),
+  });
+}
+
+}  // namespace tracesel::debug

@@ -1,0 +1,15 @@
+#pragma once
+// Root-cause catalog for the extended (branching) scenario: the MonNack
+// and PiorRetry flows of T2ExtendedDesign. Exercises pruning over branch
+// evidence — e.g. "the NACK was observed but the retry never followed"
+// is only expressible when flows have alternative outcomes.
+
+#include "debug/root_cause.hpp"
+#include "soc/t2_extended.hpp"
+
+namespace tracesel::debug {
+
+/// Seven potential causes for failures of MonNack ||| PiorRetry.
+RootCauseCatalog extended_root_causes(const soc::T2ExtendedDesign& design);
+
+}  // namespace tracesel::debug

@@ -1,0 +1,42 @@
+#include "debug/ip_pairs.hpp"
+
+#include <algorithm>
+
+namespace tracesel::debug {
+
+IpPair pair_of(const flow::MessageCatalog& catalog, flow::MessageId m) {
+  const flow::Message& msg = catalog.get(m);
+  return IpPair{msg.source_ip, msg.dest_ip};
+}
+
+std::vector<IpPair> legal_ip_pairs(
+    const flow::MessageCatalog& catalog,
+    const std::vector<const flow::Flow*>& flows) {
+  std::vector<IpPair> pairs;
+  for (const flow::Flow* f : flows) {
+    for (flow::MessageId m : f->messages()) {
+      const IpPair p = pair_of(catalog, m);
+      if (std::find(pairs.begin(), pairs.end(), p) == pairs.end())
+        pairs.push_back(p);
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+std::vector<flow::MessageId> messages_over_pair(
+    const flow::MessageCatalog& catalog,
+    const std::vector<const flow::Flow*>& flows, const IpPair& pair) {
+  std::vector<flow::MessageId> out;
+  for (const flow::Flow* f : flows) {
+    for (flow::MessageId m : f->messages()) {
+      if (pair_of(catalog, m) == pair &&
+          std::find(out.begin(), out.end(), m) == out.end())
+        out.push_back(m);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace tracesel::debug

@@ -1,0 +1,35 @@
+#pragma once
+// Legal IP pairs (Sec. 5.6): an IP pair <source, destination> is legal if a
+// message passes between them in some participating flow. The number of
+// legal pairs a debugger must investigate is Table 6's debugging-effort
+// metric.
+
+#include <compare>
+#include <string>
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "flow/message.hpp"
+
+namespace tracesel::debug {
+
+struct IpPair {
+  std::string src;
+  std::string dst;
+
+  friend auto operator<=>(const IpPair&, const IpPair&) = default;
+};
+
+/// The routed pair of one message.
+IpPair pair_of(const flow::MessageCatalog& catalog, flow::MessageId m);
+
+/// Distinct legal pairs across the given flows, sorted.
+std::vector<IpPair> legal_ip_pairs(const flow::MessageCatalog& catalog,
+                                   const std::vector<const flow::Flow*>& flows);
+
+/// Messages of `flows` routed over `pair`.
+std::vector<flow::MessageId> messages_over_pair(
+    const flow::MessageCatalog& catalog,
+    const std::vector<const flow::Flow*>& flows, const IpPair& pair);
+
+}  // namespace tracesel::debug

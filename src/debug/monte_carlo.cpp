@@ -1,0 +1,52 @@
+#include "debug/monte_carlo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace tracesel::debug {
+
+namespace {
+
+MetricStats stats_of(const std::vector<double>& xs) {
+  MetricStats s;
+  if (xs.empty()) return s;
+  s.mean = util::mean(xs);
+  s.stddev = util::stddev(xs);
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  return s;
+}
+
+}  // namespace
+
+MonteCarloResult evaluate_case_study(const soc::T2Design& design,
+                                     const soc::CaseStudy& case_study,
+                                     const CaseStudyOptions& base,
+                                     std::size_t runs) {
+  if (runs == 0)
+    throw std::invalid_argument("evaluate_case_study: zero runs");
+
+  MonteCarloResult result;
+  result.runs = runs;
+  std::vector<double> pruned, localization, messages, pairs;
+  for (std::size_t i = 0; i < runs; ++i) {
+    CaseStudyOptions opt = base;
+    opt.seed = base.seed + i;
+    const auto r = run_case_study(design, case_study, opt);
+    if (r.buggy.failed) ++result.failures_detected;
+    pruned.push_back(r.report.pruned_fraction());
+    localization.push_back(r.localization.fraction);
+    messages.push_back(
+        static_cast<double>(r.report.messages_investigated));
+    pairs.push_back(static_cast<double>(r.report.pairs_investigated));
+  }
+  result.pruned_fraction = stats_of(pruned);
+  result.localization_fraction = stats_of(localization);
+  result.messages_investigated = stats_of(messages);
+  result.pairs_investigated = stats_of(pairs);
+  return result;
+}
+
+}  // namespace tracesel::debug

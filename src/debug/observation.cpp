@@ -1,0 +1,75 @@
+#include "debug/observation.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace tracesel::debug {
+
+std::string to_string(MsgStatus status) {
+  switch (status) {
+    case MsgStatus::kPresentCorrect: return "present-correct";
+    case MsgStatus::kPresentCorrupt: return "present-corrupt";
+    case MsgStatus::kAbsent: return "absent";
+    case MsgStatus::kMisrouted: return "misrouted";
+  }
+  return "?";
+}
+
+namespace {
+
+using StreamKey = std::tuple<flow::MessageId, std::uint32_t, std::uint32_t>;
+
+/// Groups records into per-(message, index, session) capture-order streams.
+std::map<StreamKey, std::vector<const soc::TraceRecord*>> streams(
+    const std::vector<soc::TraceRecord>& records) {
+  std::map<StreamKey, std::vector<const soc::TraceRecord*>> out;
+  for (const soc::TraceRecord& r : records)
+    out[{r.msg.message, r.msg.index, r.session}].push_back(&r);
+  return out;
+}
+
+}  // namespace
+
+Observation observe(const flow::MessageCatalog& catalog,
+                    const std::vector<flow::MessageId>& traced,
+                    const std::vector<soc::TraceRecord>& golden,
+                    const std::vector<soc::TraceRecord>& buggy) {
+  Observation obs;
+  obs.traced = traced;
+  std::sort(obs.traced.begin(), obs.traced.end());
+
+  const auto gold = streams(golden);
+  const auto bug = streams(buggy);
+
+  for (flow::MessageId m : obs.traced) {
+    MsgStatus status = MsgStatus::kPresentCorrect;
+    auto worsen = [&](MsgStatus s) {
+      // Severity order: misrouted/absent dominate corrupt dominates correct.
+      if (status == MsgStatus::kPresentCorrect) status = s;
+      else if (status == MsgStatus::kPresentCorrupt &&
+               s != MsgStatus::kPresentCorrect)
+        status = s;
+    };
+
+    for (const auto& [key, gseq] : gold) {
+      if (std::get<0>(key) != m) continue;
+      const auto it = bug.find(key);
+      const std::size_t blen = it == bug.end() ? 0 : it->second.size();
+      if (blen < gseq.size()) worsen(MsgStatus::kAbsent);
+      const std::size_t n = std::min(blen, gseq.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        const soc::TraceRecord& g = *gseq[i];
+        const soc::TraceRecord& b = *it->second[i];
+        if (b.dst != g.dst || b.dst != catalog.get(m).dest_ip)
+          worsen(MsgStatus::kMisrouted);
+        else if (b.value != g.value)
+          worsen(MsgStatus::kPresentCorrupt);
+      }
+    }
+    obs.status[m] = status;
+  }
+  return obs;
+}
+
+}  // namespace tracesel::debug

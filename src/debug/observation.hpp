@@ -1,0 +1,47 @@
+#pragma once
+// Deriving message-level observations from trace-buffer contents.
+//
+// During post-silicon debug the validator has two artifacts: the trace
+// captured from the failing (buggy) silicon, and the expected behaviour
+// (here: a golden run of the same test with the same seed). Diffing them
+// per traced message yields a status that the root-cause pruning engine
+// consumes (Sec. 5.6-5.7: "absence of trace messages mondoacknack and
+// reqtot implies ...").
+
+#include <map>
+#include <vector>
+
+#include "flow/message.hpp"
+#include "soc/trace_buffer.hpp"
+
+namespace tracesel::debug {
+
+enum class MsgStatus {
+  kPresentCorrect,  ///< observed with expected content and routing
+  kPresentCorrupt,  ///< observed, but content differs from golden
+  kAbsent,          ///< expected occurrences missing from the trace
+  kMisrouted,       ///< observed at the wrong destination IP
+};
+
+std::string to_string(MsgStatus status);
+
+/// Message-level view of a buggy trace relative to a golden trace.
+struct Observation {
+  /// Status per traced message id. Messages outside the traced set carry
+  /// no information and are not listed.
+  std::map<flow::MessageId, MsgStatus> status;
+  /// The traced (observable) message ids, sorted.
+  std::vector<flow::MessageId> traced;
+};
+
+/// Diffs buggy against golden trace records over the traced set.
+/// Records are aligned per (message, instance index, session) in capture
+/// order. A count shortfall is kAbsent; a value mismatch is
+/// kPresentCorrupt; a destination mismatch is kMisrouted (checked first —
+/// misrouted beats of correct content are still anomalies).
+Observation observe(const flow::MessageCatalog& catalog,
+                    const std::vector<flow::MessageId>& traced,
+                    const std::vector<soc::TraceRecord>& golden,
+                    const std::vector<soc::TraceRecord>& buggy);
+
+}  // namespace tracesel::debug

@@ -1,0 +1,101 @@
+#include "debug/report.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace tracesel::debug {
+
+namespace {
+
+std::string pct(double fraction) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << fraction * 100.0 << '%';
+  return os.str();
+}
+
+}  // namespace
+
+std::string markdown_report(const soc::T2Design& design,
+                            const CaseStudyResult& result) {
+  const auto& catalog = design.catalog();
+  std::ostringstream md;
+
+  md << "# Post-silicon debug report — case study "
+     << result.case_study.id << "\n\n";
+  md << "**Usage scenario:** " << result.scenario.name << " (flows:";
+  for (const auto& f : result.scenario.flow_names) md << ' ' << f;
+  md << ")\n\n";
+  md << "**Symptom:** "
+     << (result.buggy.failed ? result.buggy.failure
+                             : std::string("none observed"))
+     << " in session " << result.buggy.fail_session << " after "
+     << result.buggy.messages_to_symptom << " observed messages ("
+     << result.buggy.fail_cycle << " cycles)\n\n";
+
+  md << "## Trace buffer configuration\n\n"
+     << "| Field | Width (bits) | Kind |\n|---|---|---|\n";
+  for (const auto m : result.selection.combination.messages) {
+    md << "| `" << catalog.get(m).name << "` | "
+       << catalog.get(m).trace_width() << " | message |\n";
+  }
+  for (const auto& pg : result.selection.packed) {
+    md << "| `" << catalog.get(pg.parent).name << '.' << pg.subgroup_name
+       << "` | " << pg.width << " | packed subgroup |\n";
+  }
+  md << "\nUtilization: " << pct(result.selection.utilization()) << " ("
+     << result.selection.used_width << '/' << result.selection.buffer_width
+     << " bits), flow-spec coverage " << pct(result.selection.coverage)
+     << ", information gain " << std::fixed << std::setprecision(3)
+     << result.selection.gain << "\n\n";
+
+  md << "## Observation (buggy trace vs golden)\n\n"
+     << "| Message | Status |\n|---|---|\n";
+  for (const auto& [m, status] : result.observation.status) {
+    md << "| `" << catalog.get(m).name << "` | " << to_string(status)
+       << " |\n";
+  }
+
+  md << "\n## Investigation log\n\n"
+     << "| Step | Message | IP pair | Found | Plausible causes | Candidate "
+        "pairs |\n|---|---|---|---|---|---|\n";
+  int step = 1;
+  for (const auto& st : result.report.steps) {
+    md << "| " << step++ << " | `" << catalog.get(st.investigated).name
+       << "` | " << st.pair.src << "→" << st.pair.dst << " | "
+       << to_string(st.found) << " | " << st.plausible_causes << " | "
+       << st.candidate_pairs << " |\n";
+  }
+
+  md << "\n## Root cause analysis\n\n"
+     << "Pruned " << result.report.catalog_size -
+                         result.report.final_causes.size()
+     << " of " << result.report.catalog_size << " potential causes ("
+     << pct(result.report.pruned_fraction()) << ").\n\n";
+  for (const auto& c : result.report.final_causes) {
+    md << "- **[" << c.ip << "]** " << c.description << "\n  - implication: "
+       << c.implication << '\n';
+  }
+
+  md << "\n## Path localization\n\n"
+     << "The failing session's trace is consistent with "
+     << result.localization.consistent_paths << " of "
+     << result.localization.total_paths << " interleaved executions ("
+     << std::scientific << std::setprecision(2)
+     << result.localization.fraction * 100.0 << "%).\n";
+
+  return md.str();
+}
+
+void write_report(const soc::T2Design& design, const CaseStudyResult& result,
+                  const std::string& path) {
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error("write_report: cannot open '" + path + "'");
+  out << markdown_report(design, result);
+  if (!out)
+    throw std::runtime_error("write_report: write failed for '" + path +
+                             "'");
+}
+
+}  // namespace tracesel::debug

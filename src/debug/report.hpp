@@ -1,0 +1,21 @@
+#pragma once
+// Human-readable debug session reports. A post-silicon lab hands findings
+// to the design team as a written report; this renders a CaseStudyResult
+// as Markdown (symptom, trace configuration, observation diff,
+// investigation log, surviving root causes, localization statistics).
+
+#include <string>
+
+#include "debug/case_study.hpp"
+
+namespace tracesel::debug {
+
+/// Renders the full session as Markdown. Deterministic for a given result.
+std::string markdown_report(const soc::T2Design& design,
+                            const CaseStudyResult& result);
+
+/// Writes the report to a file; throws std::runtime_error on I/O failure.
+void write_report(const soc::T2Design& design, const CaseStudyResult& result,
+                  const std::string& path);
+
+}  // namespace tracesel::debug

@@ -1,0 +1,237 @@
+#include "debug/root_cause.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tracesel::debug {
+
+MsgStatus RootCause::predicted(flow::MessageId m) const {
+  const auto it = predictions.find(m);
+  return it == predictions.end() ? MsgStatus::kPresentCorrect : it->second;
+}
+
+std::vector<IpPair> RootCause::suspect_pairs(
+    const flow::MessageCatalog& catalog) const {
+  std::vector<IpPair> pairs;
+  for (const auto& [m, status] : predictions) {
+    if (status == MsgStatus::kPresentCorrect) continue;
+    const IpPair p = pair_of(catalog, m);
+    if (std::find(pairs.begin(), pairs.end(), p) == pairs.end())
+      pairs.push_back(p);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+RootCauseCatalog::RootCauseCatalog(std::vector<RootCause> causes)
+    : causes_(std::move(causes)) {
+  if (causes_.empty())
+    throw std::invalid_argument("RootCauseCatalog: empty catalog");
+}
+
+const RootCause& RootCauseCatalog::by_id(int id) const {
+  for (const RootCause& c : causes_) {
+    if (c.id == id) return c;
+  }
+  throw std::out_of_range("RootCauseCatalog: unknown cause id " +
+                          std::to_string(id));
+}
+
+bool consistent(const RootCause& cause, const Observation& obs) {
+  for (flow::MessageId m : obs.traced) {
+    const auto it = obs.status.find(m);
+    if (it == obs.status.end()) continue;
+    if (cause.predicted(m) != it->second) return false;
+  }
+  return true;
+}
+
+std::vector<const RootCause*> prune(const RootCauseCatalog& catalog,
+                                    const Observation& obs) {
+  std::vector<const RootCause*> plausible;
+  for (const RootCause& c : catalog.causes()) {
+    if (consistent(c, obs)) plausible.push_back(&c);
+  }
+  return plausible;
+}
+
+namespace {
+
+RootCause make(int id, std::string desc, std::string implication,
+               std::string ip,
+               std::map<flow::MessageId, MsgStatus> predictions) {
+  RootCause c;
+  c.id = id;
+  c.description = std::move(desc);
+  c.implication = std::move(implication);
+  c.ip = std::move(ip);
+  c.predictions = std::move(predictions);
+  return c;
+}
+
+std::vector<RootCause> scenario1_causes(const soc::T2Design& d) {
+  using S = MsgStatus;
+  return {
+      make(1,
+           "Mondo request forwarded from DMU to SIU's bypass queue instead "
+           "of ordered queue",
+           "Mondo interrupt not serviced", "SIU",
+           {{d.siincu, S::kAbsent}, {d.mondoacknack, S::kAbsent}}),
+      make(2, "Invalid Mondo payload forwarded to NCU from DMU via SIU",
+           "Interrupt assigned to wrong CPU ID and Thread ID", "DMU",
+           {{d.dmusiidata, S::kPresentCorrupt},
+            {d.siincu, S::kPresentCorrupt}}),
+      make(3, "Non-generation of Mondo interrupt by DMU",
+           "Computing thread fetches operand from wrong memory location",
+           "DMU",
+           {{d.dmusiidata, S::kAbsent},
+            {d.siincu, S::kAbsent},
+            {d.mondoacknack, S::kAbsent}}),
+      make(4, "Wrong credit ID returned to NCU at end of PIO read",
+           "NCU credit bookkeeping diverges; later PIO reads stall", "DMU",
+           {{d.piordcrd, S::kPresentCorrupt}}),
+      make(5, "Wrong credit ID returned to NCU at end of PIO write",
+           "NCU credit bookkeeping diverges; later PIO writes stall", "DMU",
+           {{d.piowcrd, S::kPresentCorrupt}}),
+      make(6, "PIO read return payload corrupted inside DMU",
+           "Computing thread loads a wrong operand value", "DMU",
+           {{d.dmuncud, S::kPresentCorrupt}}),
+      make(7, "PIO write payload corrupted by NCU address generation",
+           "Device register written with garbage", "NCU",
+           {{d.ncupiow, S::kPresentCorrupt}}),
+      make(8, "PIO read request dropped inside DMU",
+           "PIO read never completes; requester thread hangs", "DMU",
+           {{d.dmurd, S::kAbsent},
+            {d.siurtn, S::kAbsent},
+            {d.dmuncud, S::kAbsent},
+            {d.piordcrd, S::kAbsent}}),
+      make(9, "Wrong interrupt decoding logic / corrupted interrupt handling "
+           "table in NCU",
+           "Interrupt acknowledged to the wrong source", "NCU",
+           {{d.mondoacknack, S::kPresentCorrupt}}),
+  };
+}
+
+std::vector<RootCause> scenario2_causes(const soc::T2Design& d) {
+  using S = MsgStatus;
+  return {
+      make(1, "Malformed CPU request from Cache Crossbar to NCU",
+           "NCU decodes a garbage downstream request", "CCX",
+           {{d.ccxdreq, S::kPresentCorrupt}}),
+      make(2, "NCU downstream acknowledge dropped",
+           "CCX retries the downstream request forever", "NCU",
+           {{d.ncudack, S::kAbsent}}),
+      make(3, "Erroneous interrupt dequeue logic after interrupt is serviced",
+           "Interrupt never retired; interrupt queue fills", "NCU",
+           {{d.mondoacknack, S::kAbsent}}),
+      make(4, "Invalid Mondo payload forwarded to NCU from DMU via SIU",
+           "Interrupt assigned to wrong CPU ID and Thread ID", "DMU",
+           {{d.dmusiidata, S::kPresentCorrupt},
+            {d.siincu, S::kPresentCorrupt}}),
+      make(5, "Non-generation of Mondo interrupt by DMU",
+           "Computing thread fetches operand from wrong memory location",
+           "DMU",
+           {{d.dmusiidata, S::kAbsent},
+            {d.siincu, S::kAbsent},
+            {d.mondoacknack, S::kAbsent}}),
+      make(6, "Grant encoding error in Cache Crossbar arbitration",
+           "NCU upstream transfer granted to the wrong requester", "CCX",
+           {{d.ccxgnt, S::kPresentCorrupt}}),
+      make(7, "NCU upstream data corrupted by wrong address generation",
+           "Core receives a wrong non-cacheable load value", "NCU",
+           {{d.ncuupd, S::kPresentCorrupt}}),
+      make(8, "Incorrect decoding of request packet from CPU buffer in NCU",
+           "Wrong upstream request issued; grant and data follow garbage",
+           "NCU",
+           {{d.ncuupreq, S::kPresentCorrupt},
+            {d.ccxgnt, S::kPresentCorrupt},
+            {d.ncuupd, S::kPresentCorrupt}}),
+  };
+}
+
+std::vector<RootCause> scenario3_causes(const soc::T2Design& d) {
+  using S = MsgStatus;
+  return {
+      make(1, "Erroneous decoding logic of CPU requests in memory controller",
+           "Grant and upstream data follow a misdecoded request", "MCU",
+           {{d.ccxgnt, S::kPresentCorrupt}, {d.ncuupd, S::kPresentCorrupt}}),
+      make(2, "Grant encoding error in Cache Crossbar arbitration",
+           "NCU upstream transfer granted to the wrong requester", "CCX",
+           {{d.ccxgnt, S::kPresentCorrupt}}),
+      make(3, "Incorrect decoding of request packet from CPU buffer in NCU",
+           "Wrong upstream request issued; grant and data follow garbage",
+           "NCU",
+           {{d.ncuupreq, S::kPresentCorrupt},
+            {d.ccxgnt, S::kPresentCorrupt},
+            {d.ncuupd, S::kPresentCorrupt}}),
+      make(4, "Malformed CPU request from Cache Crossbar to NCU",
+           "NCU decodes a garbage downstream request", "CCX",
+           {{d.ccxdreq, S::kPresentCorrupt}}),
+      make(5, "NCU downstream acknowledge dropped",
+           "CCX retries the downstream request forever", "NCU",
+           {{d.ncudack, S::kAbsent}}),
+      make(6, "PIO read request dropped inside DMU",
+           "PIO read never completes; requester thread hangs", "DMU",
+           {{d.dmurd, S::kAbsent},
+            {d.siurtn, S::kAbsent},
+            {d.dmuncud, S::kAbsent},
+            {d.piordcrd, S::kAbsent}}),
+      make(7, "PIO read return payload corrupted inside DMU",
+           "Computing thread loads a wrong operand value", "DMU",
+           {{d.dmuncud, S::kPresentCorrupt}}),
+      make(8, "PIO write payload corrupted by NCU address generation",
+           "Device register written with garbage", "NCU",
+           {{d.ncupiow, S::kPresentCorrupt}}),
+      make(9, "Wrong credit ID returned to NCU after programmed IO",
+           "NCU credit bookkeeping diverges; later PIO traffic stalls", "DMU",
+           {{d.piordcrd, S::kPresentCorrupt}}),
+  };
+}
+
+std::vector<RootCause> scenario4_causes(const soc::T2Design& d) {
+  using S = MsgStatus;
+  return {
+      make(1, "DMA read completion lost in SIU ordering queue",
+           "DMA read never retires; interrupt generation gated forever",
+           "SIU", {{d.dmardone, S::kAbsent}}),
+      make(2, "MCU returns corrupt DMA read data",
+           "Device receives garbage DMA payload", "MCU",
+           {{d.mcurdata, S::kPresentCorrupt}}),
+      make(3, "DMA read request forwarded to the wrong MCU bank",
+           "Read serviced from the wrong address range", "SIU",
+           {{d.siumcurd, S::kPresentCorrupt}}),
+      make(4, "DMA write acknowledge dropped by MCU",
+           "DMU write credits leak; DMA writes stall", "MCU",
+           {{d.dmawrack, S::kAbsent}}),
+      make(5, "SIU corrupts the DMA write command toward MCU",
+           "Memory written at the wrong address", "SIU",
+           {{d.siumcuwr, S::kPresentCorrupt}}),
+      make(6, "Non-generation of Mondo interrupt by DMU",
+           "Interrupt path silent end to end", "DMU",
+           {{d.dmusiidata, S::kAbsent},
+            {d.siincu, S::kAbsent},
+            {d.mondoacknack, S::kAbsent}}),
+      make(7, "Invalid Mondo payload forwarded to NCU from DMU via SIU",
+           "Interrupt assigned to wrong CPU ID and Thread ID", "DMU",
+           {{d.dmusiidata, S::kPresentCorrupt},
+            {d.siincu, S::kPresentCorrupt}}),
+      make(8, "Wrong interrupt decoding logic in NCU",
+           "Interrupt acknowledged to the wrong source", "NCU",
+           {{d.mondoacknack, S::kPresentCorrupt}}),
+  };
+}
+
+}  // namespace
+
+RootCauseCatalog RootCauseCatalog::for_scenario(const soc::T2Design& design,
+                                                int scenario_id) {
+  switch (scenario_id) {
+    case 1: return RootCauseCatalog(scenario1_causes(design));
+    case 2: return RootCauseCatalog(scenario2_causes(design));
+    case 3: return RootCauseCatalog(scenario3_causes(design));
+    case 4: return RootCauseCatalog(scenario4_causes(design));
+  }
+  throw std::out_of_range("RootCauseCatalog: scenario id must be 1..4");
+}
+
+}  // namespace tracesel::debug

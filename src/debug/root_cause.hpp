@@ -1,0 +1,65 @@
+#pragma once
+// Potential architectural root causes and the pruning engine (Sec. 5.6-5.7,
+// Tables 1, 6, 7, Fig. 7).
+//
+// Each usage scenario carries a catalog of potential root causes (Table 1
+// col. 8: 9 / 8 / 9). A cause predicts, for every message it would disturb,
+// the status a trace would show if that cause were the real culprit
+// (corrupt / absent / misrouted); messages it does not list are predicted
+// healthy. Pruning keeps exactly the causes whose predictions agree with
+// the observation over the *traced* messages — untraced messages carry no
+// evidence, which is why message selection quality governs pruning power.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "debug/ip_pairs.hpp"
+#include "debug/observation.hpp"
+#include "soc/t2_design.hpp"
+
+namespace tracesel::debug {
+
+struct RootCause {
+  int id = 0;
+  std::string description;  ///< Table 7 "Potential Causes"
+  std::string implication;  ///< Table 7 "Potential implication"
+  std::string ip;           ///< suspect IP block
+  /// Predicted message statuses if this cause were real; unlisted messages
+  /// are predicted kPresentCorrect.
+  std::map<flow::MessageId, MsgStatus> predictions;
+
+  /// Predicted status of one message under this cause.
+  MsgStatus predicted(flow::MessageId m) const;
+
+  /// The IP pairs this cause would disturb (pairs of predicted-unhealthy
+  /// messages).
+  std::vector<IpPair> suspect_pairs(const flow::MessageCatalog& catalog) const;
+};
+
+/// The root-cause catalog of one scenario.
+class RootCauseCatalog {
+ public:
+  explicit RootCauseCatalog(std::vector<RootCause> causes);
+
+  /// Catalog for the given usage scenario (Table 1 sizes: 9/8/9).
+  static RootCauseCatalog for_scenario(const soc::T2Design& design,
+                                       int scenario_id);
+
+  const std::vector<RootCause>& causes() const { return causes_; }
+  std::size_t size() const { return causes_.size(); }
+  const RootCause& by_id(int id) const;
+
+ private:
+  std::vector<RootCause> causes_;
+};
+
+/// A cause is consistent with the observation iff its prediction matches
+/// the observed status of every *traced* message.
+bool consistent(const RootCause& cause, const Observation& obs);
+
+/// The causes of `catalog` that survive the observation.
+std::vector<const RootCause*> prune(const RootCauseCatalog& catalog,
+                                    const Observation& obs);
+
+}  // namespace tracesel::debug

@@ -1,0 +1,60 @@
+#pragma once
+// The debug workbench: the full selection -> simulation -> capture ->
+// observation -> localization -> root-cause-pruning pipeline for *any*
+// design expressed as a message catalog, a flow set, and a root-cause
+// catalog. The T2 case studies (case_study.hpp) are thin wrappers over
+// this; downstream users run their own SoCs (e.g. flows parsed from a
+// .flow spec) through the same machinery.
+
+#include <cstdint>
+#include <vector>
+
+#include "debug/debugger.hpp"
+#include "debug/observation.hpp"
+#include "debug/root_cause.hpp"
+#include "selection/localization.hpp"
+#include "selection/selector.hpp"
+#include "soc/simulator.hpp"
+#include "soc/trace_buffer.hpp"
+
+namespace tracesel::debug {
+
+struct WorkbenchConfig {
+  std::uint32_t buffer_width = 32;
+  bool packing = true;
+  std::uint32_t instances_per_flow = 2;
+  std::uint32_t sessions = 4;
+  std::uint64_t seed = 2018;
+  std::size_t buffer_depth = 1u << 16;
+};
+
+struct WorkbenchResult {
+  selection::SelectionResult selection;
+  soc::SimResult golden;
+  soc::SimResult buggy;
+  std::vector<soc::TraceRecord> golden_records;
+  std::vector<soc::TraceRecord> buggy_records;
+  Observation observation;
+  DebugReport report;
+  selection::LocalizationResult localization;
+};
+
+class Workbench {
+ public:
+  /// The catalog, flows and cause catalog must outlive the workbench.
+  Workbench(const flow::MessageCatalog& catalog,
+            std::vector<const flow::Flow*> flows,
+            const RootCauseCatalog& causes);
+
+  /// Runs the full pipeline with the given bugs injected into the buggy
+  /// simulation (the golden run is bug-free, same seed). Deterministic.
+  WorkbenchResult run(const std::vector<bug::Bug>& bugs,
+                      const WorkbenchConfig& config = {}) const;
+
+ private:
+  const flow::MessageCatalog* catalog_;
+  std::vector<const flow::Flow*> flows_;
+  const RootCauseCatalog* causes_;
+};
+
+}  // namespace tracesel::debug

@@ -1,0 +1,54 @@
+#include "flow/dot.hpp"
+
+#include <sstream>
+
+namespace tracesel::flow {
+
+namespace {
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+std::string to_dot(const Flow& flow, const MessageCatalog& catalog) {
+  std::ostringstream os;
+  os << "digraph \"" << escape(flow.name()) << "\" {\n"
+     << "  rankdir=LR;\n  node [shape=circle];\n";
+  for (StateId s = 0; s < flow.num_states(); ++s) {
+    os << "  s" << s << " [label=\"" << escape(flow.state_name(s)) << '"';
+    if (flow.is_stop(s)) os << ", shape=doublecircle";
+    if (flow.is_atomic(s)) os << ", style=filled, fillcolor=lightgray";
+    if (flow.is_initial(s)) os << ", penwidth=2";
+    os << "];\n";
+  }
+  for (const Transition& t : flow.transitions()) {
+    os << "  s" << t.from << " -> s" << t.to << " [label=\""
+       << escape(catalog.get(t.message).name) << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const InterleavedFlow& u, const MessageCatalog& catalog) {
+  std::ostringstream os;
+  os << "digraph interleaving {\n  rankdir=LR;\n  node [shape=circle];\n";
+  for (NodeId n = 0; n < u.num_nodes(); ++n) {
+    os << "  n" << n << " [label=\"" << escape(u.node_name(n)) << '"';
+    if (u.is_stop(n)) os << ", shape=doublecircle";
+    os << "];\n";
+  }
+  for (const auto& e : u.edges()) {
+    os << "  n" << e.from << " -> n" << e.to << " [label=\"" << e.label.index
+       << ':' << escape(catalog.get(e.label.message).name) << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace tracesel::flow

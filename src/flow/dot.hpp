@@ -1,0 +1,19 @@
+#pragma once
+// Graphviz DOT export for flows and interleaved flows — handy when debugging
+// scenario definitions and for documentation figures.
+
+#include <string>
+
+#include "flow/flow.hpp"
+#include "flow/interleaved_flow.hpp"
+
+namespace tracesel::flow {
+
+/// DOT rendering of a single flow; stop states are double circles, atomic
+/// states are shaded, edges are labeled with message names.
+std::string to_dot(const Flow& flow, const MessageCatalog& catalog);
+
+/// DOT rendering of an interleaved flow; edges labeled "index:message".
+std::string to_dot(const InterleavedFlow& u, const MessageCatalog& catalog);
+
+}  // namespace tracesel::flow

@@ -1,0 +1,56 @@
+#pragma once
+// Executions and traces (Def. 2).
+//
+// An execution rho = s0 a1 s1 a2 ... an sn of an interleaved flow is an
+// alternating sequence of product states and indexed messages ending at a
+// stop tuple; trace(rho) is the message sequence a1..an. The SoC simulator
+// (src/soc) produces timed executions; this header holds the plain
+// combinatorial form plus helpers shared by selection and debug.
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/interleaved_flow.hpp"
+#include "util/rng.hpp"
+
+namespace tracesel::flow {
+
+/// One step of an execution: the edge taken and the cycle it occurred on.
+struct Step {
+  NodeId from = kInvalidNode;
+  IndexedMessage label;
+  NodeId to = kInvalidNode;
+  std::uint64_t cycle = 0;
+};
+
+/// A (possibly incomplete) execution of an interleaved flow.
+struct Execution {
+  std::vector<Step> steps;
+  bool completed = false;  ///< true iff the walk ended at a stop tuple
+
+  /// trace(rho): the indexed-message sequence of the execution.
+  std::vector<IndexedMessage> trace() const {
+    std::vector<IndexedMessage> t;
+    t.reserve(steps.size());
+    for (const Step& s : steps) t.push_back(s.label);
+    return t;
+  }
+};
+
+/// Projects a trace onto a selected message combination: keeps exactly the
+/// indexed messages whose (unindexed) message id is selected. This models
+/// what the trace buffer records when `selected` is traced.
+std::vector<IndexedMessage> project(
+    const std::vector<IndexedMessage>& trace,
+    const std::vector<MessageId>& selected);
+
+/// Uniform random walk from the initial tuple, choosing uniformly among
+/// enabled edges, until a stop tuple (completed) or a node with no outgoing
+/// edges is reached. Useful for tests and workload generation.
+Execution random_execution(const InterleavedFlow& u, util::Rng& rng);
+
+/// Checks that an execution is well-formed over u: consecutive, starts at an
+/// initial tuple, each step is an edge of u.
+bool is_valid_execution(const InterleavedFlow& u, const Execution& e);
+
+}  // namespace tracesel::flow

@@ -1,0 +1,49 @@
+#include "flow/flow.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tracesel::flow {
+
+const std::string& Flow::state_name(StateId s) const {
+  if (s >= state_names_.size())
+    throw std::out_of_range("Flow '" + name_ + "': bad state id");
+  return state_names_[s];
+}
+
+std::optional<StateId> Flow::find_state(std::string_view name) const {
+  for (std::size_t i = 0; i < state_names_.size(); ++i) {
+    if (state_names_[i] == name) return static_cast<StateId>(i);
+  }
+  return std::nullopt;
+}
+
+StateId Flow::require_state(std::string_view name) const {
+  if (auto s = find_state(name)) return *s;
+  throw std::out_of_range("Flow '" + name_ + "': unknown state '" +
+                          std::string(name) + "'");
+}
+
+bool Flow::is_initial(StateId s) const {
+  return s < initial_mask_.size() && initial_mask_[s];
+}
+
+bool Flow::is_stop(StateId s) const {
+  return s < stop_mask_.size() && stop_mask_[s];
+}
+
+bool Flow::is_atomic(StateId s) const {
+  return s < atomic_mask_.size() && atomic_mask_[s];
+}
+
+const std::vector<std::uint32_t>& Flow::outgoing(StateId s) const {
+  if (s >= outgoing_.size())
+    throw std::out_of_range("Flow '" + name_ + "': bad state id");
+  return outgoing_[s];
+}
+
+bool Flow::uses_message(MessageId m) const {
+  return std::find(messages_.begin(), messages_.end(), m) != messages_.end();
+}
+
+}  // namespace tracesel::flow

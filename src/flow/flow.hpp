@@ -1,0 +1,77 @@
+#pragma once
+// The flow DAG (Def. 1 of the paper):
+//   F = <S, S0, Sp, E, delta, Atom>
+// S     : flow states
+// S0    : initial states
+// Sp    : stop states (final states of a successful completion), disjoint
+//         from Atom
+// E     : messages labeling transitions
+// delta : S x E x S transition relation
+// Atom  : atomic (indivisible) states; while any concurrent flow instance is
+//         in an atomic state, no other instance may take a step (Def. 5).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "flow/message.hpp"
+#include "flow/types.hpp"
+
+namespace tracesel::flow {
+
+/// One labeled transition s --m--> t.
+struct Transition {
+  StateId from = kInvalidState;
+  MessageId message = kInvalidMessage;
+  StateId to = kInvalidState;
+
+  friend bool operator==(const Transition&, const Transition&) = default;
+};
+
+/// An immutable, validated flow DAG. Construct through FlowBuilder.
+class Flow {
+ public:
+  const std::string& name() const { return name_; }
+
+  std::size_t num_states() const { return state_names_.size(); }
+  const std::string& state_name(StateId s) const;
+  std::optional<StateId> find_state(std::string_view name) const;
+  StateId require_state(std::string_view name) const;
+
+  const std::vector<StateId>& initial_states() const { return initial_; }
+  const std::vector<StateId>& stop_states() const { return stop_; }
+  const std::vector<StateId>& atomic_states() const { return atomic_; }
+
+  bool is_initial(StateId s) const;
+  bool is_stop(StateId s) const;
+  bool is_atomic(StateId s) const;
+
+  const std::vector<Transition>& transitions() const { return transitions_; }
+
+  /// Outgoing transitions of a state (indices into transitions()).
+  const std::vector<std::uint32_t>& outgoing(StateId s) const;
+
+  /// The distinct messages used on this flow's transitions (the set E).
+  const std::vector<MessageId>& messages() const { return messages_; }
+
+  /// True if `m` labels at least one transition.
+  bool uses_message(MessageId m) const;
+
+ private:
+  friend class FlowBuilder;
+  Flow() = default;
+
+  std::string name_;
+  std::vector<std::string> state_names_;
+  std::vector<StateId> initial_;
+  std::vector<StateId> stop_;
+  std::vector<StateId> atomic_;
+  std::vector<Transition> transitions_;
+  std::vector<std::vector<std::uint32_t>> outgoing_;
+  std::vector<MessageId> messages_;
+  std::vector<bool> initial_mask_, stop_mask_, atomic_mask_;
+};
+
+}  // namespace tracesel::flow

@@ -1,0 +1,188 @@
+#include "flow/flow_builder.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace tracesel::flow {
+
+namespace {
+
+/// Kahn's algorithm; returns false if the graph has a cycle.
+bool is_dag(std::size_t num_states, const std::vector<Transition>& ts) {
+  std::vector<std::uint32_t> indegree(num_states, 0);
+  for (const Transition& t : ts) ++indegree[t.to];
+  std::queue<StateId> ready;
+  for (StateId s = 0; s < num_states; ++s)
+    if (indegree[s] == 0) ready.push(s);
+  std::size_t visited = 0;
+  std::vector<std::vector<StateId>> succ(num_states);
+  for (const Transition& t : ts) succ[t.from].push_back(t.to);
+  while (!ready.empty()) {
+    const StateId s = ready.front();
+    ready.pop();
+    ++visited;
+    for (StateId n : succ[s])
+      if (--indegree[n] == 0) ready.push(n);
+  }
+  return visited == num_states;
+}
+
+/// Forward reachability over the transition relation (or backward if the
+/// caller passes reversed transitions).
+std::vector<bool> reachable_from(std::size_t num_states,
+                                 const std::vector<StateId>& sources,
+                                 const std::vector<std::vector<StateId>>& succ) {
+  std::vector<bool> seen(num_states, false);
+  std::queue<StateId> work;
+  for (StateId s : sources) {
+    if (!seen[s]) {
+      seen[s] = true;
+      work.push(s);
+    }
+  }
+  while (!work.empty()) {
+    const StateId s = work.front();
+    work.pop();
+    for (StateId n : succ[s]) {
+      if (!seen[n]) {
+        seen[n] = true;
+        work.push(n);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+FlowBuilder::FlowBuilder(std::string name) : name_(std::move(name)) {
+  if (name_.empty()) throw std::invalid_argument("FlowBuilder: empty name");
+}
+
+FlowBuilder& FlowBuilder::state(std::string name, std::uint8_t flags) {
+  if (name.empty())
+    throw std::invalid_argument("FlowBuilder: empty state name");
+  if (std::find(state_names_.begin(), state_names_.end(), name) !=
+      state_names_.end())
+    throw std::invalid_argument("FlowBuilder: duplicate state '" + name +
+                                "' in flow '" + name_ + "'");
+  state_names_.push_back(std::move(name));
+  flags_.push_back(flags);
+  return *this;
+}
+
+StateId FlowBuilder::require(std::string_view state_name) const {
+  const auto it =
+      std::find(state_names_.begin(), state_names_.end(), state_name);
+  if (it == state_names_.end())
+    throw std::invalid_argument("FlowBuilder: unknown state '" +
+                                std::string(state_name) + "' in flow '" +
+                                name_ + "'");
+  return static_cast<StateId>(it - state_names_.begin());
+}
+
+FlowBuilder& FlowBuilder::initial(std::string_view state_name) {
+  flags_[require(state_name)] |= kInitial;
+  return *this;
+}
+
+FlowBuilder& FlowBuilder::stop(std::string_view state_name) {
+  flags_[require(state_name)] |= kStop;
+  return *this;
+}
+
+FlowBuilder& FlowBuilder::atomic(std::string_view state_name) {
+  flags_[require(state_name)] |= kAtomic;
+  return *this;
+}
+
+FlowBuilder& FlowBuilder::transition(std::string_view from, MessageId message,
+                                     std::string_view to) {
+  transitions_.push_back(Transition{require(from), message, require(to)});
+  return *this;
+}
+
+Flow FlowBuilder::build(const MessageCatalog& catalog) const {
+  const std::size_t n = state_names_.size();
+  if (n == 0)
+    throw std::invalid_argument("Flow '" + name_ + "': no states");
+
+  Flow f;
+  f.name_ = name_;
+  f.state_names_ = state_names_;
+  f.initial_mask_.assign(n, false);
+  f.stop_mask_.assign(n, false);
+  f.atomic_mask_.assign(n, false);
+
+  for (StateId s = 0; s < n; ++s) {
+    if (flags_[s] & kInitial) {
+      f.initial_.push_back(s);
+      f.initial_mask_[s] = true;
+    }
+    if (flags_[s] & kStop) {
+      f.stop_.push_back(s);
+      f.stop_mask_[s] = true;
+    }
+    if (flags_[s] & kAtomic) {
+      f.atomic_.push_back(s);
+      f.atomic_mask_[s] = true;
+    }
+    // Def. 1 requires Sp and Atom disjoint.
+    if ((flags_[s] & kStop) && (flags_[s] & kAtomic))
+      throw std::invalid_argument("Flow '" + name_ + "': state '" +
+                                  state_names_[s] +
+                                  "' cannot be both stop and atomic");
+  }
+  if (f.initial_.empty())
+    throw std::invalid_argument("Flow '" + name_ + "': no initial state");
+  if (f.stop_.empty())
+    throw std::invalid_argument("Flow '" + name_ + "': no stop state");
+
+  // Messages must exist in the catalog (get() throws otherwise) and every
+  // transition must reference declared states (guaranteed by require()).
+  for (const Transition& t : transitions_) {
+    (void)catalog.get(t.message);
+    if (t.from == t.to)
+      throw std::invalid_argument("Flow '" + name_ +
+                                  "': self-loop on state '" +
+                                  state_names_[t.from] + "' (flows are DAGs)");
+  }
+
+  if (!is_dag(n, transitions_))
+    throw std::invalid_argument("Flow '" + name_ + "': transition graph has "
+                                "a cycle; flows must be DAGs (Def. 1)");
+
+  // Reachability sanity: every state reachable from S0, and every state can
+  // reach Sp, so all maximal paths are executions (Def. 2).
+  std::vector<std::vector<StateId>> succ(n), pred(n);
+  for (const Transition& t : transitions_) {
+    succ[t.from].push_back(t.to);
+    pred[t.to].push_back(t.from);
+  }
+  const auto fwd = reachable_from(n, f.initial_, succ);
+  const auto bwd = reachable_from(n, f.stop_, pred);
+  for (StateId s = 0; s < n; ++s) {
+    if (!fwd[s])
+      throw std::invalid_argument("Flow '" + name_ + "': state '" +
+                                  state_names_[s] +
+                                  "' unreachable from initial states");
+    if (!bwd[s])
+      throw std::invalid_argument("Flow '" + name_ + "': state '" +
+                                  state_names_[s] +
+                                  "' cannot reach a stop state");
+  }
+
+  f.transitions_ = transitions_;
+  f.outgoing_.assign(n, {});
+  for (std::uint32_t i = 0; i < f.transitions_.size(); ++i)
+    f.outgoing_[f.transitions_[i].from].push_back(i);
+
+  for (const Transition& t : transitions_) {
+    if (!f.uses_message(t.message)) f.messages_.push_back(t.message);
+  }
+  std::sort(f.messages_.begin(), f.messages_.end());
+  return f;
+}
+
+}  // namespace tracesel::flow

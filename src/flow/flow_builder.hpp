@@ -1,0 +1,67 @@
+#pragma once
+// Fluent construction and validation of Flow DAGs.
+//
+// Usage:
+//   FlowBuilder b("CacheCoherence");
+//   b.state("Init").state("Wait").state("GntW", FlowBuilder::kAtomic)
+//    .state("Done", FlowBuilder::kStop)
+//    .initial("Init")
+//    .transition("Init", reqE, "Wait")
+//    .transition("Wait", gntE, "GntW")
+//    .transition("GntW", ack, "Done");
+//   Flow f = b.build(catalog);
+//
+// build() validates Def. 1: the graph is a DAG, S0 nonempty, Sp nonempty and
+// disjoint from Atom, every state reachable from an initial state, and every
+// state can reach a stop state (so every maximal path is an execution,
+// Def. 2).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "flow/flow.hpp"
+
+namespace tracesel::flow {
+
+class FlowBuilder {
+ public:
+  /// Per-state attribute flags, combinable with |.
+  enum StateFlags : std::uint8_t {
+    kNone = 0,
+    kInitial = 1,
+    kStop = 2,
+    kAtomic = 4,
+  };
+
+  explicit FlowBuilder(std::string name);
+
+  /// Declares a state; names must be unique within the flow.
+  FlowBuilder& state(std::string name, std::uint8_t flags = kNone);
+
+  /// Marks an already-declared state initial.
+  FlowBuilder& initial(std::string_view state_name);
+  /// Marks an already-declared state a stop state.
+  FlowBuilder& stop(std::string_view state_name);
+  /// Marks an already-declared state atomic.
+  FlowBuilder& atomic(std::string_view state_name);
+
+  /// Adds a transition `from --message--> to` between declared states.
+  FlowBuilder& transition(std::string_view from, MessageId message,
+                          std::string_view to);
+
+  /// Validates and produces the immutable Flow. The catalog is consulted to
+  /// verify every transition's message id exists.
+  /// Throws std::invalid_argument describing the first violation found.
+  Flow build(const MessageCatalog& catalog) const;
+
+ private:
+  StateId require(std::string_view state_name) const;
+
+  std::string name_;
+  std::vector<std::string> state_names_;
+  std::vector<std::uint8_t> flags_;
+  std::vector<Transition> transitions_;
+};
+
+}  // namespace tracesel::flow

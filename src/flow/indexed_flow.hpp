@@ -1,0 +1,37 @@
+#pragma once
+// Indexed flows (Def. 3-4): a flow paired with an instance tag. Concurrent
+// executions of the same flow are distinguished by their index, mirroring the
+// architectural "tagging" support of real SoCs the paper references.
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "flow/flow.hpp"
+
+namespace tracesel::flow {
+
+/// A non-owning reference to one concurrently-executing flow instance.
+struct IndexedFlow {
+  const Flow* flow = nullptr;
+  std::uint32_t index = 0;
+};
+
+/// Def. 4: a set of indexed flows is legally indexed iff no two instances of
+/// the same flow share an index.
+inline bool legally_indexed(const std::vector<IndexedFlow>& instances) {
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    for (std::size_t j = i + 1; j < instances.size(); ++j) {
+      if (instances[i].flow == instances[j].flow &&
+          instances[i].index == instances[j].index)
+        return false;
+    }
+  }
+  return true;
+}
+
+/// Convenience: n instances of each listed flow, indexed 1..n per flow.
+std::vector<IndexedFlow> make_instances(
+    const std::vector<const Flow*>& flows, std::uint32_t instances_per_flow);
+
+}  // namespace tracesel::flow

@@ -1,0 +1,395 @@
+#include "flow/interleaved_flow.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+
+namespace tracesel::flow {
+
+namespace {
+
+/// FNV-1a over the component-state tuple.
+struct KeyHash {
+  std::size_t operator()(const std::vector<StateId>& key) const noexcept {
+    std::size_t h = 1469598103934665603ull;
+    for (StateId s : key) {
+      h ^= s;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+std::vector<IndexedFlow> make_instances(const std::vector<const Flow*>& flows,
+                                        std::uint32_t instances_per_flow) {
+  if (instances_per_flow == 0)
+    throw std::invalid_argument("make_instances: zero instances per flow");
+  std::vector<IndexedFlow> out;
+  out.reserve(flows.size() * instances_per_flow);
+  for (const Flow* f : flows) {
+    if (f == nullptr)
+      throw std::invalid_argument("make_instances: null flow");
+    for (std::uint32_t i = 1; i <= instances_per_flow; ++i)
+      out.push_back(IndexedFlow{f, i});
+  }
+  return out;
+}
+
+InterleavedFlow InterleavedFlow::build(std::vector<IndexedFlow> instances,
+                                       std::size_t max_nodes) {
+  if (instances.empty())
+    throw std::invalid_argument("InterleavedFlow: no instances");
+  for (const IndexedFlow& inst : instances) {
+    if (inst.flow == nullptr)
+      throw std::invalid_argument("InterleavedFlow: null flow instance");
+    // The product construction assumes a unique initial state per component;
+    // multi-initial flows can be modeled with a shared pre-initial state.
+    if (inst.flow->initial_states().size() != 1)
+      throw std::invalid_argument("InterleavedFlow: flow '" +
+                                  inst.flow->name() +
+                                  "' must have exactly one initial state");
+  }
+  if (!legally_indexed(instances))
+    throw std::invalid_argument(
+        "InterleavedFlow: instances are not legally indexed (duplicate "
+        "<flow, index> pair, Def. 4)");
+
+  InterleavedFlow u;
+  u.instances_ = std::move(instances);
+  const std::size_t k = u.instances_.size();
+
+  std::unordered_map<std::vector<StateId>, NodeId, KeyHash> ids;
+  auto intern = [&](const std::vector<StateId>& key) -> NodeId {
+    const auto it = ids.find(key);
+    if (it != ids.end()) return it->second;
+    if (u.node_keys_.size() >= max_nodes)
+      throw std::length_error(
+          "InterleavedFlow: reachable product exceeds max_nodes");
+    const NodeId id = static_cast<NodeId>(u.node_keys_.size());
+    u.node_keys_.push_back(key);
+    ids.emplace(key, id);
+    return id;
+  };
+
+  std::vector<StateId> root(k);
+  for (std::size_t i = 0; i < k; ++i)
+    root[i] = u.instances_[i].flow->initial_states().front();
+  const NodeId root_id = intern(root);
+  u.initial_.push_back(root_id);
+
+  std::queue<NodeId> work;
+  work.push(root_id);
+  std::vector<bool> expanded;
+  expanded.resize(1, false);
+
+  while (!work.empty()) {
+    const NodeId n = work.front();
+    work.pop();
+    if (expanded[n]) continue;
+    expanded[n] = true;
+    const std::vector<StateId> key = u.node_keys_[n];  // copy: vector grows
+
+    // Which components sit in atomic states? If any does, only it may move
+    // (generalized Def. 5 rules i/ii).
+    std::size_t atomic_holder = k;  // k == none
+    for (std::size_t i = 0; i < k; ++i) {
+      if (u.instances_[i].flow->is_atomic(key[i])) {
+        atomic_holder = i;
+        break;  // by construction at most one component is atomic
+      }
+    }
+
+    for (std::size_t i = 0; i < k; ++i) {
+      if (atomic_holder != k && atomic_holder != i) continue;
+      const Flow& f = *u.instances_[i].flow;
+      for (std::uint32_t ti : f.outgoing(key[i])) {
+        const Transition& t = f.transitions()[ti];
+        std::vector<StateId> next = key;
+        next[i] = t.to;
+        const NodeId m = intern(next);
+        if (m >= expanded.size()) expanded.resize(m + 1, false);
+        u.edges_.push_back(
+            Edge{n,
+                 IndexedMessage{t.message, u.instances_[i].index},
+                 m, static_cast<std::uint32_t>(i)});
+        if (!expanded[m]) work.push(m);
+      }
+    }
+  }
+
+  const std::size_t num_nodes = u.node_keys_.size();
+  u.outgoing_.assign(num_nodes, {});
+  for (std::uint32_t e = 0; e < u.edges_.size(); ++e)
+    u.outgoing_[u.edges_[e].from].push_back(e);
+
+  u.stop_mask_.assign(num_nodes, false);
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    bool all_stop = true;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (!u.instances_[i].flow->is_stop(u.node_keys_[n][i])) {
+        all_stop = false;
+        break;
+      }
+    }
+    if (all_stop) {
+      u.stop_mask_[n] = true;
+      u.stop_.push_back(n);
+    }
+  }
+
+  for (const Edge& e : u.edges_) {
+    auto [it, fresh] = u.occurrence_counts_.try_emplace(e.label, 0u);
+    if (fresh) u.indexed_messages_.push_back(e.label);
+    ++it->second;
+  }
+  std::sort(u.indexed_messages_.begin(), u.indexed_messages_.end());
+  return u;
+}
+
+const std::vector<std::uint32_t>& InterleavedFlow::outgoing(NodeId n) const {
+  if (n >= outgoing_.size())
+    throw std::out_of_range("InterleavedFlow: bad node id");
+  return outgoing_[n];
+}
+
+const std::vector<StateId>& InterleavedFlow::node_key(NodeId n) const {
+  if (n >= node_keys_.size())
+    throw std::out_of_range("InterleavedFlow: bad node id");
+  return node_keys_[n];
+}
+
+std::string InterleavedFlow::node_name(NodeId n) const {
+  const auto& key = node_key(n);
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    if (i) os << ',';
+    os << instances_[i].flow->state_name(key[i]) << ':'
+       << instances_[i].index;
+  }
+  os << ')';
+  return os.str();
+}
+
+std::size_t InterleavedFlow::occurrences(const IndexedMessage& im) const {
+  const auto it = occurrence_counts_.find(im);
+  return it == occurrence_counts_.end() ? 0 : it->second;
+}
+
+double InterleavedFlow::count_paths() const {
+  // Executions end at a stop tuple (Def. 2). In all flows in this repo stop
+  // states are sinks, so "reaches a stop node" and "ends at a stop node"
+  // coincide; we count the latter by backward DP over the DAG.
+  std::vector<double> memo(num_nodes(), -1.0);
+  // Iterative post-order to avoid recursion depth issues on deep products.
+  std::vector<std::pair<NodeId, bool>> stack;
+  double total = 0.0;
+  for (NodeId r : initial_) {
+    stack.emplace_back(r, false);
+    while (!stack.empty()) {
+      auto [n, processed] = stack.back();
+      stack.pop_back();
+      if (memo[n] >= 0.0) continue;
+      if (!processed) {
+        stack.emplace_back(n, true);
+        for (std::uint32_t e : outgoing_[n]) {
+          const NodeId m = edges_[e].to;
+          if (memo[m] < 0.0) stack.emplace_back(m, false);
+        }
+      } else {
+        double paths = stop_mask_[n] ? 1.0 : 0.0;
+        for (std::uint32_t e : outgoing_[n]) paths += memo[edges_[e].to];
+        memo[n] = paths;
+      }
+    }
+    total += memo[r];
+  }
+  return total;
+}
+
+double InterleavedFlow::count_consistent_paths(
+    const std::vector<MessageId>& selected,
+    const std::vector<IndexedMessage>& observed) const {
+  // f(n, j) = number of stop-terminated paths from n whose projection onto
+  // `selected` extends observed[j..] as a prefix. Memoized on (node, j).
+  std::vector<bool> is_selected;
+  {
+    MessageId max_id = 0;
+    for (MessageId m : selected) max_id = std::max(max_id, m);
+    for (const Edge& e : edges_) max_id = std::max(max_id, e.label.message);
+    is_selected.assign(static_cast<std::size_t>(max_id) + 1, false);
+    for (MessageId m : selected) is_selected[m] = true;
+  }
+  const std::size_t olen = observed.size();
+  for (const IndexedMessage& im : observed) {
+    if (im.message >= is_selected.size() || !is_selected[im.message])
+      throw std::invalid_argument(
+          "count_consistent_paths: observed trace contains a message outside "
+          "the selected combination");
+  }
+
+  const std::size_t width = olen + 1;
+  std::vector<double> memo(num_nodes() * width, -1.0);
+  auto slot = [&](NodeId n, std::size_t j) -> double& {
+    return memo[static_cast<std::size_t>(n) * width + j];
+  };
+
+  struct Item {
+    NodeId n;
+    std::uint32_t j;
+    bool processed;
+  };
+  std::vector<Item> stack;
+  double total = 0.0;
+  for (NodeId r : initial_) {
+    stack.push_back(Item{r, 0, false});
+    while (!stack.empty()) {
+      const Item it = stack.back();
+      stack.pop_back();
+      if (slot(it.n, it.j) >= 0.0) continue;
+      // Successor (node, j') for an edge given matching rules.
+      auto next_j = [&](const Edge& e) -> std::optional<std::uint32_t> {
+        if (!is_selected[e.label.message]) return it.j;  // invisible step
+        if (it.j < olen) {
+          if (e.label == observed[it.j]) return it.j + 1;
+          return std::nullopt;  // visible mismatch kills the path
+        }
+        return it.j;  // prefix fully matched; extra visible messages fine
+      };
+      if (!it.processed) {
+        stack.push_back(Item{it.n, it.j, true});
+        for (std::uint32_t e : outgoing_[it.n]) {
+          if (auto j2 = next_j(edges_[e])) {
+            if (slot(edges_[e].to, *j2) < 0.0)
+              stack.push_back(Item{edges_[e].to, *j2, false});
+          }
+        }
+      } else {
+        double paths = 0.0;
+        if (stop_mask_[it.n] && it.j == olen) paths += 1.0;
+        for (std::uint32_t e : outgoing_[it.n]) {
+          if (auto j2 = next_j(edges_[e])) paths += slot(edges_[e].to, *j2);
+        }
+        slot(it.n, it.j) = paths;
+      }
+    }
+    total += slot(r, 0);
+  }
+  return total;
+}
+
+double InterleavedFlow::count_consistent_paths_multiset(
+    const std::vector<MessageId>& selected,
+    const std::vector<IndexedMessage>& observed) const {
+  std::vector<bool> is_selected;
+  {
+    MessageId max_id = 0;
+    for (MessageId m : selected) max_id = std::max(max_id, m);
+    for (const Edge& e : edges_) max_id = std::max(max_id, e.label.message);
+    is_selected.assign(static_cast<std::size_t>(max_id) + 1, false);
+    for (MessageId m : selected) is_selected[m] = true;
+  }
+
+  // Distinct observed indexed messages with multiplicities; a consumption
+  // state is a vector of per-kind counts, encoded in mixed radix.
+  std::vector<IndexedMessage> kinds;
+  std::vector<std::uint32_t> need;
+  for (const IndexedMessage& im : observed) {
+    if (im.message >= is_selected.size() || !is_selected[im.message])
+      throw std::invalid_argument(
+          "count_consistent_paths_multiset: observed trace contains a "
+          "message outside the selected combination");
+    const auto it = std::find(kinds.begin(), kinds.end(), im);
+    if (it == kinds.end()) {
+      kinds.push_back(im);
+      need.push_back(1);
+    } else {
+      ++need[static_cast<std::size_t>(it - kinds.begin())];
+    }
+  }
+  std::size_t num_cstates = 1;
+  for (std::uint32_t c : need) {
+    num_cstates *= c + 1;
+    // The consumption lattice is exponential in distinct observed kinds;
+    // refuse queries whose memo would not fit in memory rather than
+    // crash allocating it. Ordered-semantics counting stays linear.
+    if (num_cstates > (std::size_t{1} << 22) ||
+        num_cstates * num_nodes() > (std::size_t{1} << 26))
+      throw std::length_error(
+          "count_consistent_paths_multiset: observation has too many "
+          "distinct indexed messages for multiset counting; use the "
+          "ordered variant");
+  }
+  const std::size_t full = num_cstates - 1;  // all radixes at max
+
+  // radix stride per kind.
+  std::vector<std::size_t> stride(kinds.size());
+  {
+    std::size_t s = 1;
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+      stride[i] = s;
+      s *= need[i] + 1;
+    }
+  }
+  auto digit = [&](std::size_t cstate, std::size_t i) {
+    return (cstate / stride[i]) % (need[i] + 1);
+  };
+
+  std::vector<double> memo(num_nodes() * num_cstates, -1.0);
+  auto slot = [&](NodeId n, std::size_t c) -> double& {
+    return memo[static_cast<std::size_t>(n) * num_cstates + c];
+  };
+
+  // Successor consumption state for taking edge e in state c, or nullopt if
+  // the edge is inconsistent with the observation.
+  auto next_c = [&](const Edge& e, std::size_t c) -> std::optional<std::size_t> {
+    if (!is_selected[e.label.message]) return c;
+    if (c == full) return c;  // prefix complete; visible suffix unrestricted
+    const auto it = std::find(kinds.begin(), kinds.end(), e.label);
+    if (it == kinds.end()) return std::nullopt;  // visible non-observed kind
+    const std::size_t i = static_cast<std::size_t>(it - kinds.begin());
+    if (digit(c, i) >= need[i]) return std::nullopt;  // kind already consumed
+    return c + stride[i];
+  };
+
+  struct Item {
+    NodeId n;
+    std::size_t c;
+    bool processed;
+  };
+  std::vector<Item> stack;
+  double total = 0.0;
+  for (NodeId r : initial_) {
+    stack.push_back(Item{r, 0, false});
+    while (!stack.empty()) {
+      const Item it = stack.back();
+      stack.pop_back();
+      if (slot(it.n, it.c) >= 0.0) continue;
+      if (!it.processed) {
+        stack.push_back(Item{it.n, it.c, true});
+        for (std::uint32_t e : outgoing_[it.n]) {
+          if (auto c2 = next_c(edges_[e], it.c)) {
+            if (slot(edges_[e].to, *c2) < 0.0)
+              stack.push_back(Item{edges_[e].to, *c2, false});
+          }
+        }
+      } else {
+        double paths = 0.0;
+        if (stop_mask_[it.n] && it.c == full) paths += 1.0;
+        for (std::uint32_t e : outgoing_[it.n]) {
+          if (auto c2 = next_c(edges_[e], it.c))
+            paths += slot(edges_[e].to, *c2);
+        }
+        slot(it.n, it.c) = paths;
+      }
+    }
+    total += slot(r, 0);
+  }
+  return total;
+}
+
+}  // namespace tracesel::flow

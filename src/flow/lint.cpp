@@ -1,0 +1,71 @@
+#include "flow/lint.hpp"
+
+#include <algorithm>
+
+namespace tracesel::flow {
+
+std::string to_string(LintSeverity severity) {
+  return severity == LintSeverity::kInfo ? "info" : "warning";
+}
+
+std::vector<LintDiagnostic> lint(const MessageCatalog& catalog,
+                                 const std::vector<const Flow*>& flows,
+                                 const LintOptions& options) {
+  std::vector<LintDiagnostic> out;
+  auto add = [&](LintSeverity sev, std::string rule, std::string subject,
+                 std::string text) {
+    out.push_back(LintDiagnostic{sev, std::move(rule), std::move(subject),
+                                 std::move(text)});
+  };
+
+  // --- unused-message ---
+  for (MessageId m = 0; m < catalog.size(); ++m) {
+    const bool used = std::any_of(
+        flows.begin(), flows.end(),
+        [&](const Flow* f) { return f->uses_message(m); });
+    if (!used) {
+      add(LintSeverity::kWarning, "unused-message", catalog.get(m).name,
+          "declared but labels no transition of any flow");
+    }
+  }
+
+  // --- wide-unpackable / self-routed ---
+  for (MessageId m = 0; m < catalog.size(); ++m) {
+    const Message& msg = catalog.get(m);
+    if (msg.trace_width() > options.buffer_width && msg.subgroups.empty()) {
+      add(LintSeverity::kWarning, "wide-unpackable", msg.name,
+          "wider than the " + std::to_string(options.buffer_width) +
+              "-bit buffer and has no subgroups; no part of it can ever "
+              "be traced");
+    }
+    if (msg.source_ip == msg.dest_ip) {
+      add(LintSeverity::kWarning, "self-routed", msg.name,
+          "source and destination IP are both '" + msg.source_ip +
+              "'; interface monitors cannot observe IP-internal traffic");
+    }
+  }
+
+  // --- trivial-flow / missing-atomic ---
+  for (const Flow* f : flows) {
+    if (f->transitions().size() <= 1) {
+      add(LintSeverity::kInfo, "trivial-flow", f->name(),
+          "a single-transition flow carries no ordering information");
+    }
+    // Heuristic: >= 4 states in a chain without any atomic state usually
+    // means a grant/transfer critical section went unannotated.
+    if (f->num_states() >= 4 && f->atomic_states().empty()) {
+      add(LintSeverity::kInfo, "missing-atomic", f->name(),
+          "no atomic state; if the protocol has an indivisible "
+          "grant/transfer step, interleavings will overcount executions");
+    }
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const LintDiagnostic& a, const LintDiagnostic& b) {
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.subject < b.subject;
+            });
+  return out;
+}
+
+}  // namespace tracesel::flow

@@ -1,0 +1,47 @@
+#pragma once
+// Flow collateral linting. Architectural flow specs are hand-written (or
+// generated from informal docs); these checks catch the mistakes that
+// silently degrade trace quality before anyone runs a selection:
+//
+//   unused-message       declared but labels no transition — dead collateral
+//   wide-unpackable      wider than the buffer with no subgroups: the
+//                        selector can never trace any part of it
+//   self-routed          source IP == destination IP: not an interface
+//                        message, invisible to interface monitors
+//   trivial-flow         a single-transition flow adds states but no
+//                        ordering information
+//   missing-atomic       a flow with a grant/transfer-style middle state
+//                        chain but no atomic annotation interleaves in ways
+//                        real hardware would serialize (heuristic, info
+//                        level)
+
+#include <string>
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "flow/message.hpp"
+
+namespace tracesel::flow {
+
+enum class LintSeverity { kInfo, kWarning };
+
+struct LintDiagnostic {
+  LintSeverity severity = LintSeverity::kWarning;
+  std::string rule;     ///< kebab-case rule name
+  std::string subject;  ///< message or flow name
+  std::string text;
+};
+
+struct LintOptions {
+  std::uint32_t buffer_width = 32;  ///< for the wide-unpackable rule
+};
+
+/// Lints a catalog + flow set; diagnostics are ordered by rule then
+/// subject, deterministically.
+std::vector<LintDiagnostic> lint(const MessageCatalog& catalog,
+                                 const std::vector<const Flow*>& flows,
+                                 const LintOptions& options = {});
+
+std::string to_string(LintSeverity severity);
+
+}  // namespace tracesel::flow

@@ -1,0 +1,208 @@
+#include "flow/parser.hpp"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "flow/flow_builder.hpp"
+
+namespace tracesel::flow {
+
+const Flow& ParsedSpec::flow(std::string_view name) const {
+  for (const Flow& f : flows) {
+    if (f.name() == name) return f;
+  }
+  throw std::out_of_range("ParsedSpec: unknown flow '" + std::string(name) +
+                          "'");
+}
+
+namespace {
+
+/// Whitespace tokenizer that strips '#' comments.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line.substr(0, line.find('#')));
+  std::string tok;
+  while (is >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+std::uint32_t parse_u32(const std::string& tok, std::size_t line,
+                        const char* what) {
+  try {
+    std::size_t consumed = 0;
+    const unsigned long v = std::stoul(tok, &consumed);
+    if (consumed != tok.size() || v == 0 || v > 0xFFFFFFFFull)
+      throw std::invalid_argument(tok);
+    return static_cast<std::uint32_t>(v);
+  } catch (const std::exception&) {
+    throw ParseError(line, std::string("expected positive integer for ") +
+                               what + ", got '" + tok + "'");
+  }
+}
+
+struct PendingSubgroup {
+  std::string parent, name;
+  std::uint32_t width;
+  std::size_t line;
+};
+
+}  // namespace
+
+ParsedSpec parse_flow_spec(std::string_view text) {
+  ParsedSpec spec;
+  std::vector<PendingSubgroup> pending_subgroups;
+  // Message definitions are collected first (subgroups may reference
+  // messages declared later), then flows are built in a second pass over
+  // recorded flow bodies.
+  struct FlowBody {
+    std::string name;
+    std::size_t line;
+    std::vector<std::pair<std::size_t, std::vector<std::string>>> lines;
+  };
+  std::vector<FlowBody> bodies;
+  std::vector<Message> messages;
+
+  std::istringstream stream{std::string(text)};
+  std::string raw;
+  std::size_t lineno = 0;
+  FlowBody* open = nullptr;
+
+  auto handle_message = [&](const std::vector<std::string>& t,
+                            std::size_t line) {
+    // message NAME WIDTH SRC -> DST [beats N]
+    if (t.size() != 6 && t.size() != 8)
+      throw ParseError(line,
+                       "message syntax: message NAME WIDTH SRC -> DST "
+                       "[beats N]");
+    if (t[4] != "->")
+      throw ParseError(line, "expected '->' between source and destination");
+    Message m;
+    m.name = t[1];
+    m.width = parse_u32(t[2], line, "width");
+    m.source_ip = t[3];
+    m.dest_ip = t[5];
+    if (t.size() == 8) {
+      if (t[6] != "beats")
+        throw ParseError(line, "expected 'beats', got '" + t[6] + "'");
+      m.beats = parse_u32(t[7], line, "beats");
+    }
+    messages.push_back(std::move(m));
+  };
+
+  auto handle_subgroup = [&](const std::vector<std::string>& t,
+                             std::size_t line) {
+    // subgroup PARENT NAME WIDTH
+    if (t.size() != 4)
+      throw ParseError(line, "subgroup syntax: subgroup PARENT NAME WIDTH");
+    pending_subgroups.push_back(
+        PendingSubgroup{t[1], t[2], parse_u32(t[3], line, "width"), line});
+  };
+
+  while (std::getline(stream, raw)) {
+    ++lineno;
+    const auto tokens = tokenize(raw);
+    if (tokens.empty()) continue;
+
+    if (open == nullptr) {
+      if (tokens[0] == "message") {
+        handle_message(tokens, lineno);
+      } else if (tokens[0] == "subgroup") {
+        handle_subgroup(tokens, lineno);
+      } else if (tokens[0] == "flow") {
+        if (tokens.size() != 3 || tokens[2] != "{")
+          throw ParseError(lineno, "flow syntax: flow NAME {");
+        bodies.push_back(FlowBody{tokens[1], lineno, {}});
+        open = &bodies.back();
+      } else {
+        throw ParseError(lineno, "expected 'message', 'subgroup' or "
+                                 "'flow', got '" + tokens[0] + "'");
+      }
+    } else {
+      if (tokens[0] == "}") {
+        if (tokens.size() != 1)
+          throw ParseError(lineno, "unexpected tokens after '}'");
+        open = nullptr;
+      } else if (tokens[0] == "message") {
+        handle_message(tokens, lineno);
+      } else if (tokens[0] == "subgroup") {
+        handle_subgroup(tokens, lineno);
+      } else {
+        open->lines.emplace_back(lineno, tokens);
+      }
+    }
+  }
+  if (open != nullptr)
+    throw ParseError(lineno, "unterminated flow block '" + open->name + "'");
+
+  // Attach subgroups, then register messages.
+  for (const PendingSubgroup& sg : pending_subgroups) {
+    bool found = false;
+    for (Message& m : messages) {
+      if (m.name == sg.parent) {
+        m.subgroups.push_back(Subgroup{sg.name, sg.width});
+        found = true;
+        break;
+      }
+    }
+    if (!found)
+      throw ParseError(sg.line,
+                       "subgroup references unknown message '" + sg.parent +
+                           "'");
+  }
+  for (Message& m : messages) spec.catalog.add(std::move(m));
+
+  // Build the flows.
+  for (const FlowBody& body : bodies) {
+    FlowBuilder builder(body.name);
+    for (const auto& [line, t] : body.lines) {
+      if (t[0] == "state") {
+        // state NAME [initial] [stop] [atomic]...
+        if (t.size() < 2)
+          throw ParseError(line, "state syntax: state NAME [initial] "
+                                 "[stop] [atomic]");
+        std::uint8_t flags = FlowBuilder::kNone;
+        for (std::size_t i = 2; i < t.size(); ++i) {
+          if (t[i] == "initial") flags |= FlowBuilder::kInitial;
+          else if (t[i] == "stop") flags |= FlowBuilder::kStop;
+          else if (t[i] == "atomic") flags |= FlowBuilder::kAtomic;
+          else
+            throw ParseError(line, "unknown state flag '" + t[i] + "'");
+        }
+        builder.state(t[1], flags);
+      } else if (t.size() == 5 && t[1] == "->" && t[3] == "on") {
+        // FROM -> TO on MESSAGE
+        const auto id = spec.catalog.find(t[4]);
+        if (!id)
+          throw ParseError(line, "transition references unknown message '" +
+                                     t[4] + "'");
+        try {
+          builder.transition(t[0], *id, t[2]);
+        } catch (const std::invalid_argument& e) {
+          throw ParseError(line, e.what());
+        }
+      } else {
+        throw ParseError(line, "expected 'state NAME ...' or "
+                               "'FROM -> TO on MESSAGE'");
+      }
+    }
+    try {
+      spec.flows.push_back(builder.build(spec.catalog));
+    } catch (const std::invalid_argument& e) {
+      throw ParseError(body.line, e.what());
+    }
+  }
+  return spec;
+}
+
+ParsedSpec parse_flow_spec_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("parse_flow_spec_file: cannot open '" + path +
+                             "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_flow_spec(buffer.str());
+}
+
+}  // namespace tracesel::flow

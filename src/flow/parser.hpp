@@ -1,0 +1,67 @@
+#pragma once
+// Text format for flow specifications.
+//
+// The paper assumes flows arrive as architectural collateral ("there is an
+// increasing trend to generate transaction-level models ... to enable
+// early validation"; Sec. 1). This parser gives that collateral a concrete
+// form: a line-oriented spec listing messages (with widths, endpoints,
+// optional subgroups and multi-cycle beats) and flow DAGs.
+//
+//   # toy cache coherence (Fig. 1a)
+//   message ReqE 1 IP1 -> Dir
+//   message GntE 1 Dir -> IP1
+//   message Ack  1 IP1 -> Dir
+//   message dmusiidata 20 DMU -> SIU beats 2
+//   subgroup dmusiidata cputhreadid 6
+//
+//   flow CacheCoherence {
+//     state Init initial
+//     state Wait
+//     state GntW atomic
+//     state Done stop
+//     Init -> Wait on ReqE
+//     Wait -> GntW on GntE
+//     GntW -> Done on Ack
+//   }
+//
+// Messages and subgroups may be declared at top level or inside a flow
+// block; either way they land in one shared catalog. '#' starts a comment.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "flow/message.hpp"
+
+namespace tracesel::flow {
+
+/// Parse failure with 1-based line number.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// A parsed specification: one catalog shared by all flows.
+struct ParsedSpec {
+  MessageCatalog catalog;
+  std::vector<Flow> flows;
+
+  const Flow& flow(std::string_view name) const;
+};
+
+/// Parses a complete spec; throws ParseError on malformed input and the
+/// usual std::invalid_argument on semantic violations (via FlowBuilder).
+ParsedSpec parse_flow_spec(std::string_view text);
+
+/// Reads and parses a spec file; throws std::runtime_error if unreadable.
+ParsedSpec parse_flow_spec_file(const std::string& path);
+
+}  // namespace tracesel::flow

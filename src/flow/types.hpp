@@ -1,0 +1,56 @@
+#pragma once
+// Fundamental identifier types of the flow model.
+//
+// The formal model follows Sec. 2 of Pal et al., DAC'18:
+//  - a *message* is an assignment to interface signals, abstracted as
+//    <content, width> (Def. "Conventions");
+//  - a *flow* is a DAG over flow states with message-labeled transitions
+//    (Def. 1);
+//  - concurrent instances of flows are distinguished by *indices* (Def. 3).
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace tracesel::flow {
+
+/// Dense id of a message inside a MessageCatalog.
+using MessageId = std::uint32_t;
+
+/// Dense id of a flow state inside one Flow.
+using StateId = std::uint32_t;
+
+/// Dense id of a product state inside one InterleavedFlow.
+using NodeId = std::uint32_t;
+
+inline constexpr MessageId kInvalidMessage = ~MessageId{0};
+inline constexpr StateId kInvalidState = ~StateId{0};
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+
+/// An indexed message <m, i> (Def. 3): message m sent by the i-th concurrent
+/// instance of its flow. Two instances of the same flow never share an index
+/// (legal indexing, Def. 4); the catalog/interleaver enforce that by
+/// construction.
+struct IndexedMessage {
+  MessageId message = kInvalidMessage;
+  std::uint32_t index = 0;
+
+  friend auto operator<=>(const IndexedMessage&,
+                          const IndexedMessage&) = default;
+};
+
+}  // namespace tracesel::flow
+
+template <>
+struct std::hash<tracesel::flow::IndexedMessage> {
+  std::size_t operator()(
+      const tracesel::flow::IndexedMessage& im) const noexcept {
+    const std::uint64_t k =
+        (static_cast<std::uint64_t>(im.message) << 32) | im.index;
+    // splitmix64 finalizer.
+    std::uint64_t z = k + 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};

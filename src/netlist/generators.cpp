@@ -1,0 +1,201 @@
+#include "netlist/generators.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tracesel::netlist {
+
+namespace {
+
+std::vector<NetId> make_flops(Netlist& nl, const std::string& prefix,
+                              std::uint32_t width) {
+  std::vector<NetId> flops;
+  flops.reserve(width);
+  for (std::uint32_t i = 0; i < width; ++i)
+    flops.push_back(nl.add_flop(prefix + std::to_string(i)));
+  return flops;
+}
+
+NetId reduce_or(Netlist& nl, const std::vector<NetId>& nets) {
+  if (nets.empty()) throw std::invalid_argument("reduce_or: empty");
+  if (nets.size() == 1) return nets[0];
+  return nl.add_gate(GateType::kOr, nets);
+}
+
+NetId reduce_and(Netlist& nl, const std::vector<NetId>& nets) {
+  if (nets.empty()) throw std::invalid_argument("reduce_and: empty");
+  if (nets.size() == 1) return nets[0];
+  return nl.add_gate(GateType::kAnd, nets);
+}
+
+}  // namespace
+
+Block make_counter(Netlist& nl, const std::string& prefix,
+                   std::uint32_t width, NetId enable) {
+  if (width == 0) throw std::invalid_argument("make_counter: zero width");
+  Block block;
+  block.flops = make_flops(nl, prefix, width);
+  NetId carry = enable;
+  for (NetId b : block.flops) {
+    nl.set_flop_input(b, nl.add_xor(b, carry));
+    carry = nl.add_and(carry, b);
+  }
+  block.outputs = {carry};
+  return block;
+}
+
+Block make_shift_register(Netlist& nl, const std::string& prefix,
+                          std::uint32_t width, NetId in, NetId enable) {
+  if (width == 0)
+    throw std::invalid_argument("make_shift_register: zero width");
+  Block block;
+  block.flops = make_flops(nl, prefix, width);
+  NetId prev = in;
+  for (NetId b : block.flops) {
+    nl.set_flop_input(b, nl.add_mux(enable, b, prev));
+    prev = b;
+  }
+  block.outputs = {block.flops.back()};
+  return block;
+}
+
+Block make_crc(Netlist& nl, const std::string& prefix, std::uint32_t width,
+               NetId in, NetId enable,
+               const std::vector<std::uint32_t>& taps) {
+  if (width == 0) throw std::invalid_argument("make_crc: zero width");
+  for (std::uint32_t t : taps) {
+    if (t == 0 || t >= width)
+      throw std::invalid_argument(
+          "make_crc: taps must lie in [1, width)");
+  }
+  Block block;
+  block.flops = make_flops(nl, prefix, width);
+  const NetId feedback = nl.add_xor(block.flops.back(), in);
+  for (std::uint32_t i = 0; i < width; ++i) {
+    NetId next = i == 0 ? feedback : block.flops[i - 1];
+    if (i != 0 &&
+        std::find(taps.begin(), taps.end(), i) != taps.end())
+      next = nl.add_xor(next, feedback);
+    nl.set_flop_input(block.flops[i], nl.add_mux(enable, block.flops[i],
+                                                 next));
+  }
+  block.outputs = {feedback};
+  return block;
+}
+
+Block make_onehot_fsm(Netlist& nl, const std::string& prefix,
+                      std::uint32_t states, NetId advance) {
+  if (states < 2)
+    throw std::invalid_argument("make_onehot_fsm: need >= 2 states");
+  Block block;
+  block.flops = make_flops(nl, prefix, states);
+  // Self-initialization: flops reset to all-zero, which is not a legal
+  // one-hot code; "none" forces stage 0 high on the first cycle.
+  const NetId none = nl.add_not(reduce_or(nl, block.flops));
+  for (std::uint32_t i = 0; i < states; ++i) {
+    const NetId prev = block.flops[(i + states - 1) % states];
+    NetId next = nl.add_mux(advance, block.flops[i], prev);
+    if (i == 0) next = nl.add_or(next, none);
+    nl.set_flop_input(block.flops[i], next);
+  }
+  block.outputs = block.flops;
+  return block;
+}
+
+Block make_arbiter(Netlist& nl, const std::string& prefix,
+                   const std::vector<NetId>& requests) {
+  if (requests.empty())
+    throw std::invalid_argument("make_arbiter: no requesters");
+  Block block;
+  // Priority chain: grant[i] = req[i] & none of req[0..i-1].
+  std::vector<NetId> grants;
+  NetId any_before = kInvalidNet;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    NetId g = requests[i];
+    if (i > 0) g = nl.add_and(g, nl.add_not(any_before));
+    grants.push_back(nl.add_gate(GateType::kBuf, {g},
+                                 prefix + "_gnt" + std::to_string(i)));
+    any_before = i == 0 ? requests[0] : nl.add_or(any_before, requests[i]);
+  }
+  const NetId any_grant = reduce_or(nl, grants);
+  // Rotation pointer bookkeeping (advances whenever something is granted).
+  if (requests.size() >= 2) {
+    const Block ptr = make_onehot_fsm(nl, prefix + "_ptr",
+                                      static_cast<std::uint32_t>(
+                                          requests.size()),
+                                      any_grant);
+    block.flops = ptr.flops;
+  }
+  block.outputs = grants;
+  return block;
+}
+
+Block make_fifo_ctrl(Netlist& nl, const std::string& prefix,
+                     std::uint32_t depth_bits, NetId push, NetId pop) {
+  if (depth_bits == 0)
+    throw std::invalid_argument("make_fifo_ctrl: zero depth bits");
+  Block block;
+  block.flops = make_flops(nl, prefix + "_cnt", depth_bits);
+
+  const NetId empty = nl.add_not(reduce_or(nl, block.flops));
+  const NetId full = reduce_and(nl, block.flops);
+
+  const NetId inc = nl.add_and(nl.add_and(push, nl.add_not(pop)),
+                               nl.add_not(full));
+  const NetId dec = nl.add_and(nl.add_and(pop, nl.add_not(push)),
+                               nl.add_not(empty));
+
+  NetId carry = inc;
+  NetId borrow = dec;
+  for (NetId b : block.flops) {
+    // inc and dec are mutually exclusive, so a shared XOR toggles with
+    // whichever chain is active.
+    nl.set_flop_input(b, nl.add_xor(b, nl.add_or(carry, borrow)));
+    carry = nl.add_and(carry, b);
+    borrow = nl.add_and(borrow, nl.add_not(b));
+  }
+  block.outputs = {empty, full};
+  return block;
+}
+
+Block make_credit_stage(Netlist& nl, const std::string& prefix,
+                        std::uint32_t width,
+                        const std::vector<NetId>& data_in, NetId valid_in,
+                        NetId credit_return, std::uint32_t credit_bits) {
+  if (data_in.size() != width)
+    throw std::invalid_argument("make_credit_stage: data width mismatch");
+  if (credit_bits == 0)
+    throw std::invalid_argument("make_credit_stage: zero credit bits");
+  Block block;
+
+  // Credits-used counter: load consumes one, credit_return releases one.
+  const auto used = make_flops(nl, prefix + "_used", credit_bits);
+  const NetId used_full = reduce_and(nl, used);
+  const NetId used_empty = nl.add_not(reduce_or(nl, used));
+  const NetId load = nl.add_and(valid_in, nl.add_not(used_full));
+  const NetId release = nl.add_and(credit_return, nl.add_not(used_empty));
+  const NetId inc = nl.add_and(load, nl.add_not(release));
+  const NetId dec = nl.add_and(release, nl.add_not(load));
+  NetId carry = inc;
+  NetId borrow = dec;
+  for (NetId b : used) {
+    nl.set_flop_input(b, nl.add_xor(b, nl.add_or(carry, borrow)));
+    carry = nl.add_and(carry, b);
+    borrow = nl.add_and(borrow, nl.add_not(b));
+  }
+
+  // Data register and valid flop.
+  const auto data = make_flops(nl, prefix + "_data", width);
+  for (std::uint32_t i = 0; i < width; ++i)
+    nl.set_flop_input(data[i], nl.add_mux(load, data[i], data_in[i]));
+  const NetId valid_out = nl.add_flop(prefix + "_valid");
+  nl.set_flop_input(valid_out, load);
+
+  block.flops = used;
+  block.flops.insert(block.flops.end(), data.begin(), data.end());
+  block.flops.push_back(valid_out);
+  block.outputs = {valid_out};
+  return block;
+}
+
+}  // namespace tracesel::netlist

@@ -1,0 +1,67 @@
+#pragma once
+// Parameterizable RTL-idiom generators over the netlist IR: counters,
+// shift registers, LFSR/CRC chains, one-hot FSMs, round-robin arbiters,
+// FIFO controllers and valid/credit handshakes — the building blocks both
+// the synthetic USB controller and the T2-uncore netlist are assembled
+// from. Each generator is functionally verified by unit tests through the
+// two-valued simulator.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace tracesel::netlist {
+
+/// A generated block: its flops (dense, LSB first where meaningful) and
+/// the nets a parent block wires further.
+struct Block {
+  std::vector<NetId> flops;
+  std::vector<NetId> outputs;
+};
+
+/// Binary up-counter: `width` flops, +1 per cycle while `enable` is high.
+/// outputs[0] is the carry-out (all bits wrapping this cycle).
+Block make_counter(Netlist& nl, const std::string& prefix,
+                   std::uint32_t width, NetId enable);
+
+/// Shift register: shifts `in` towards flops.back() when `enable`.
+/// outputs[0] is the serial tail.
+Block make_shift_register(Netlist& nl, const std::string& prefix,
+                          std::uint32_t width, NetId in, NetId enable);
+
+/// Galois LFSR / CRC chain over `taps` (bit positions with XOR feedback).
+/// outputs[0] is the feedback net.
+Block make_crc(Netlist& nl, const std::string& prefix, std::uint32_t width,
+               NetId in, NetId enable, const std::vector<std::uint32_t>& taps);
+
+/// One-hot FSM with `states` stages: exactly one flop high, advancing on
+/// `advance`, reset-looping from the last stage. Flop 0 starts... note the
+/// IR resets flops to 0, so the generator ORs stage 0 with "all stages
+/// low" to self-initialize. outputs[i] = stage i indicator.
+Block make_onehot_fsm(Netlist& nl, const std::string& prefix,
+                      std::uint32_t states, NetId advance);
+
+/// Arbiter over `requests`: priority-chain grants (index 0 wins ties) plus
+/// a one-hot rotation pointer advanced on every grant — the bookkeeping
+/// state a rotating-priority arbiter carries, in a form simple enough to
+/// verify exactly. outputs = grant nets (one per requester).
+Block make_arbiter(Netlist& nl, const std::string& prefix,
+                   const std::vector<NetId>& requests);
+
+/// FIFO occupancy controller: `depth_bits`-wide counter incremented on
+/// push, decremented on pop; outputs[0] = empty, outputs[1] = full
+/// (saturation flags). Models queue credit tracking.
+Block make_fifo_ctrl(Netlist& nl, const std::string& prefix,
+                     std::uint32_t depth_bits, NetId push, NetId pop);
+
+/// Valid/credit handshake register stage: a data register of `width` bits
+/// loading `data_in` when `valid_in` and credit available; a credit
+/// counter of `credit_bits`. outputs[0] = valid_out.
+Block make_credit_stage(Netlist& nl, const std::string& prefix,
+                        std::uint32_t width,
+                        const std::vector<NetId>& data_in, NetId valid_in,
+                        NetId credit_return, std::uint32_t credit_bits);
+
+}  // namespace tracesel::netlist

@@ -1,0 +1,228 @@
+#include "netlist/netlist.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace tracesel::netlist {
+
+std::string to_string(GateType type) {
+  switch (type) {
+    case GateType::kInput: return "input";
+    case GateType::kConst0: return "const0";
+    case GateType::kConst1: return "const1";
+    case GateType::kFlop: return "flop";
+    case GateType::kBuf: return "buf";
+    case GateType::kNot: return "not";
+    case GateType::kAnd: return "and";
+    case GateType::kOr: return "or";
+    case GateType::kXor: return "xor";
+    case GateType::kMux: return "mux";
+  }
+  return "?";
+}
+
+NetId Netlist::add_input(std::string name) {
+  gates_.push_back(Gate{GateType::kInput, {}, std::move(name)});
+  const NetId id = static_cast<NetId>(gates_.size() - 1);
+  inputs_.push_back(id);
+  fanout_valid_ = false;
+  return id;
+}
+
+NetId Netlist::add_const(bool value) {
+  gates_.push_back(
+      Gate{value ? GateType::kConst1 : GateType::kConst0, {}, {}});
+  fanout_valid_ = false;
+  return static_cast<NetId>(gates_.size() - 1);
+}
+
+NetId Netlist::add_flop(std::string name) {
+  gates_.push_back(Gate{GateType::kFlop, {kInvalidNet}, std::move(name)});
+  const NetId id = static_cast<NetId>(gates_.size() - 1);
+  flops_.push_back(id);
+  fanout_valid_ = false;
+  return id;
+}
+
+void Netlist::set_flop_input(NetId flop, NetId d) {
+  if (flop >= gates_.size() || gates_[flop].type != GateType::kFlop)
+    throw std::invalid_argument("Netlist: set_flop_input on non-flop");
+  if (d >= gates_.size())
+    throw std::invalid_argument("Netlist: bad D net");
+  gates_[flop].fanin[0] = d;
+  fanout_valid_ = false;
+}
+
+NetId Netlist::add_gate(GateType type, std::vector<NetId> fanin,
+                        std::string name) {
+  switch (type) {
+    case GateType::kBuf:
+    case GateType::kNot:
+      if (fanin.size() != 1)
+        throw std::invalid_argument("Netlist: unary gate needs 1 fanin");
+      break;
+    case GateType::kAnd:
+    case GateType::kOr:
+    case GateType::kXor:
+      if (fanin.size() < 2)
+        throw std::invalid_argument("Netlist: n-ary gate needs >= 2 fanins");
+      break;
+    case GateType::kMux:
+      if (fanin.size() != 3)
+        throw std::invalid_argument("Netlist: mux needs 3 fanins");
+      break;
+    default:
+      throw std::invalid_argument(
+          "Netlist: add_gate cannot create inputs/consts/flops");
+  }
+  for (NetId f : fanin) {
+    if (f >= gates_.size())
+      throw std::invalid_argument("Netlist: bad fanin net");
+  }
+  gates_.push_back(Gate{type, std::move(fanin), std::move(name)});
+  fanout_valid_ = false;
+  return static_cast<NetId>(gates_.size() - 1);
+}
+
+const Gate& Netlist::gate(NetId id) const {
+  if (id >= gates_.size()) throw std::out_of_range("Netlist: bad net id");
+  return gates_[id];
+}
+
+std::optional<NetId> Netlist::find(std::string_view name) const {
+  for (NetId i = 0; i < gates_.size(); ++i) {
+    if (gates_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+const std::vector<NetId>& Netlist::fanout(NetId id) const {
+  if (!fanout_valid_) {
+    fanout_.assign(gates_.size(), {});
+    for (NetId g = 0; g < gates_.size(); ++g) {
+      for (NetId f : gates_[g].fanin) {
+        if (f != kInvalidNet) fanout_[f].push_back(g);
+      }
+    }
+    fanout_valid_ = true;
+  }
+  if (id >= gates_.size()) throw std::out_of_range("Netlist: bad net id");
+  return fanout_[id];
+}
+
+std::vector<NetId> Netlist::validate_and_topo_order() const {
+  // Flops, inputs and constants are sources for combinational evaluation;
+  // combinational gates order by Kahn's algorithm over comb edges only.
+  std::vector<std::uint32_t> indegree(gates_.size(), 0);
+  for (NetId g = 0; g < gates_.size(); ++g) {
+    const Gate& gate = gates_[g];
+    if (gate.type == GateType::kFlop) {
+      if (gate.fanin[0] == kInvalidNet)
+        throw std::logic_error("Netlist: flop '" + gate.name +
+                               "' has no D input");
+      continue;  // flop D edges are sequential, not combinational
+    }
+    for (NetId f : gate.fanin) {
+      (void)f;
+      ++indegree[g];
+    }
+  }
+
+  std::vector<NetId> order;
+  order.reserve(gates_.size());
+  std::queue<NetId> ready;
+  for (NetId g = 0; g < gates_.size(); ++g) {
+    if (indegree[g] == 0) ready.push(g);
+  }
+  // Combinational fanout: gate -> readers, excluding flop D edges.
+  while (!ready.empty()) {
+    const NetId g = ready.front();
+    ready.pop();
+    order.push_back(g);
+    for (NetId reader : fanout(g)) {
+      if (gates_[reader].type == GateType::kFlop) continue;
+      if (--indegree[reader] == 0) ready.push(reader);
+    }
+  }
+  if (order.size() != gates_.size())
+    throw std::logic_error("Netlist: combinational cycle detected");
+  return order;
+}
+
+Simulator::Simulator(const Netlist& netlist)
+    : netlist_(&netlist), order_(netlist.validate_and_topo_order()) {
+  values_.assign(netlist.num_nets(), false);
+  flop_state_.assign(netlist.flops().size(), false);
+  flop_out_ = flop_state_;
+}
+
+void Simulator::reset() {
+  std::fill(values_.begin(), values_.end(), false);
+  std::fill(flop_state_.begin(), flop_state_.end(), false);
+  cycle_ = 0;
+}
+
+void Simulator::eval_comb() {
+  const auto& gates = *netlist_;
+  for (NetId id : order_) {
+    const Gate& g = gates.gate(id);
+    switch (g.type) {
+      case GateType::kInput:
+      case GateType::kFlop:
+        break;  // set externally / from state
+      case GateType::kConst0: values_[id] = false; break;
+      case GateType::kConst1: values_[id] = true; break;
+      case GateType::kBuf: values_[id] = values_[g.fanin[0]]; break;
+      case GateType::kNot: values_[id] = !values_[g.fanin[0]]; break;
+      case GateType::kAnd: {
+        bool v = true;
+        for (NetId f : g.fanin) v = v && values_[f];
+        values_[id] = v;
+        break;
+      }
+      case GateType::kOr: {
+        bool v = false;
+        for (NetId f : g.fanin) v = v || values_[f];
+        values_[id] = v;
+        break;
+      }
+      case GateType::kXor: {
+        bool v = false;
+        for (NetId f : g.fanin) v = v != values_[f];
+        values_[id] = v;
+        break;
+      }
+      case GateType::kMux:
+        values_[id] =
+            values_[g.fanin[0]] ? values_[g.fanin[2]] : values_[g.fanin[1]];
+        break;
+    }
+  }
+}
+
+const std::vector<bool>& Simulator::step(
+    const std::vector<bool>& input_values) {
+  const auto& inputs = netlist_->inputs();
+  if (input_values.size() != inputs.size())
+    throw std::invalid_argument("Simulator: wrong number of input values");
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    values_[inputs[i]] = input_values[i];
+  const auto& flops = netlist_->flops();
+  for (std::size_t i = 0; i < flops.size(); ++i)
+    values_[flops[i]] = flop_state_[i];
+
+  eval_comb();
+
+  for (std::size_t i = 0; i < flops.size(); ++i)
+    flop_state_[i] = values_[netlist_->gate(flops[i]).fanin[0]];
+  ++cycle_;
+  flop_out_ = flop_state_;
+  return flop_out_;
+}
+
+bool Simulator::value(NetId id) const {
+  if (id >= values_.size()) throw std::out_of_range("Simulator: bad net");
+  return values_[id];
+}
+
+}  // namespace tracesel::netlist

@@ -1,0 +1,125 @@
+#pragma once
+// Gate-level netlist IR — the substrate the SRR-based and PageRank-based
+// baseline signal-selection methods (Sec. 5.4) operate on. The paper could
+// not run those baselines on OpenSPARC T2 (they do not scale); they were
+// compared on a USB 2.0 controller. src/netlist/usb_design.* builds a
+// synthetic USB controller over this IR.
+//
+// The IR is a flat and-inverter-style graph with flip-flops:
+//  - nets are dense ids; each net is driven by one gate;
+//  - combinational gates: AND/OR/XOR/NOT/BUF/MUX and constants;
+//  - primary inputs get fresh values every cycle;
+//  - flip-flops sample their D input at the cycle boundary.
+// Two evaluation modes: two-valued simulation (workload generation) and
+// three-valued X-simulation with forward propagation + backward
+// justification (the state-restoration engine of srr.*).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tracesel::netlist {
+
+using NetId = std::uint32_t;
+inline constexpr NetId kInvalidNet = ~NetId{0};
+
+enum class GateType : std::uint8_t {
+  kInput,   ///< primary input (no fanin)
+  kConst0,  ///< constant 0
+  kConst1,  ///< constant 1
+  kFlop,    ///< D flip-flop; fanin[0] = D (set after creation)
+  kBuf,     ///< fanin[0]
+  kNot,     ///< !fanin[0]
+  kAnd,     ///< &-reduction of fanins (>= 2)
+  kOr,      ///< |-reduction of fanins (>= 2)
+  kXor,     ///< ^-reduction of fanins (>= 2)
+  kMux,     ///< fanin[0] ? fanin[2] : fanin[1]  (sel, a, b)
+};
+
+std::string to_string(GateType type);
+
+struct Gate {
+  GateType type = GateType::kBuf;
+  std::vector<NetId> fanin;
+  std::string name;  ///< optional; flops and IOs are usually named
+};
+
+/// Three-valued logic for restoration.
+enum class Tri : std::uint8_t { kZero, kOne, kX };
+
+class Netlist {
+ public:
+  NetId add_input(std::string name);
+  NetId add_const(bool value);
+  /// Creates a flop with undriven D; connect later with set_flop_input
+  /// (two-phase construction allows feedback loops through flops).
+  NetId add_flop(std::string name);
+  void set_flop_input(NetId flop, NetId d);
+  NetId add_gate(GateType type, std::vector<NetId> fanin,
+                 std::string name = {});
+
+  // Conveniences.
+  NetId add_and(NetId a, NetId b) { return add_gate(GateType::kAnd, {a, b}); }
+  NetId add_or(NetId a, NetId b) { return add_gate(GateType::kOr, {a, b}); }
+  NetId add_xor(NetId a, NetId b) { return add_gate(GateType::kXor, {a, b}); }
+  NetId add_not(NetId a) { return add_gate(GateType::kNot, {a}); }
+  NetId add_mux(NetId sel, NetId if0, NetId if1) {
+    return add_gate(GateType::kMux, {sel, if0, if1});
+  }
+
+  std::size_t num_nets() const { return gates_.size(); }
+  const Gate& gate(NetId id) const;
+
+  const std::vector<NetId>& inputs() const { return inputs_; }
+  const std::vector<NetId>& flops() const { return flops_; }
+
+  std::optional<NetId> find(std::string_view name) const;
+
+  /// Nets that read `id` (combinational fanout plus flops whose D is id).
+  const std::vector<NetId>& fanout(NetId id) const;
+
+  /// Validates: every flop has a driven D input, no combinational cycles.
+  /// Returns the topological order of combinational evaluation (flops and
+  /// inputs first). Throws std::logic_error on violations.
+  std::vector<NetId> validate_and_topo_order() const;
+
+ private:
+  std::vector<Gate> gates_;
+  std::vector<NetId> inputs_;
+  std::vector<NetId> flops_;
+  mutable std::vector<std::vector<NetId>> fanout_;  // built lazily
+  mutable bool fanout_valid_ = false;
+};
+
+/// Cycle-accurate two-valued simulation.
+class Simulator {
+ public:
+  explicit Simulator(const Netlist& netlist);
+
+  /// Sets all flops to 0 and clears the cycle counter.
+  void reset();
+
+  /// Applies one clock: evaluates combinational logic from the given
+  /// primary-input values (indexed like netlist.inputs()), then clocks
+  /// the flops. Returns the post-clock flop values (indexed like flops()).
+  const std::vector<bool>& step(const std::vector<bool>& input_values);
+
+  /// Current value of any net (valid after at least one step()).
+  bool value(NetId id) const;
+
+  std::uint64_t cycle() const { return cycle_; }
+
+ private:
+  void eval_comb();
+
+  const Netlist* netlist_;
+  std::vector<NetId> order_;
+  std::vector<bool> values_;       // per net, after eval
+  std::vector<bool> flop_state_;   // per flop index
+  std::vector<bool> flop_out_;     // step() return storage
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace tracesel::netlist

@@ -1,0 +1,263 @@
+#include "netlist/restoration.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tracesel::netlist {
+
+namespace {
+
+Tri tri_not(Tri a) {
+  if (a == Tri::kX) return Tri::kX;
+  return a == Tri::kOne ? Tri::kZero : Tri::kOne;
+}
+
+}  // namespace
+
+RestorationEngine::RestorationEngine(const Netlist& netlist)
+    : netlist_(&netlist), order_(netlist.validate_and_topo_order()) {}
+
+RestorationResult RestorationEngine::restore(
+    const std::vector<NetId>& traced_flops,
+    const std::vector<std::vector<bool>>& flop_values,
+    const RestorationOptions& options) const {
+  const Netlist& nl = *netlist_;
+  const std::size_t cycles = flop_values.size();
+  const auto& flops = nl.flops();
+  for (const auto& row : flop_values) {
+    if (row.size() != flops.size())
+      throw std::invalid_argument(
+          "RestorationEngine: flop_values row size mismatch");
+  }
+  // flop id -> dense index
+  std::vector<std::size_t> flop_index(nl.num_nets(), ~std::size_t{0});
+  for (std::size_t i = 0; i < flops.size(); ++i) flop_index[flops[i]] = i;
+  for (NetId t : traced_flops) {
+    if (t >= nl.num_nets() || flop_index[t] == ~std::size_t{0})
+      throw std::invalid_argument(
+          "RestorationEngine: traced net is not a flop");
+  }
+
+  // Value grid: grid[c * num_nets + n]. Flop nets hold the flop's *output*
+  // (state) during cycle c.
+  const std::size_t n_nets = nl.num_nets();
+  std::vector<Tri> grid(cycles * n_nets, Tri::kX);
+  auto at = [&](std::size_t c, NetId n) -> Tri& {
+    return grid[c * n_nets + n];
+  };
+
+  // Seed: traced flop states every cycle; constants everywhere.
+  for (std::size_t c = 0; c < cycles; ++c) {
+    for (NetId t : traced_flops)
+      at(c, t) = flop_values[c][flop_index[t]] ? Tri::kOne : Tri::kZero;
+    for (NetId n = 0; n < n_nets; ++n) {
+      if (nl.gate(n).type == GateType::kConst0) at(c, n) = Tri::kZero;
+      if (nl.gate(n).type == GateType::kConst1) at(c, n) = Tri::kOne;
+    }
+  }
+
+  bool changed = true;
+  auto set = [&](std::size_t c, NetId n, Tri v) {
+    if (v == Tri::kX) return;
+    Tri& slot = at(c, n);
+    if (slot == Tri::kX) {
+      slot = v;
+      changed = true;
+    }
+    // Conflicting assignments cannot arise from consistent golden traces;
+    // keep the first value if they somehow do.
+  };
+
+  int sweeps = 0;
+  while (changed && sweeps < 64) {
+    changed = false;
+    ++sweeps;
+
+    for (std::size_t c = 0; c < cycles; ++c) {
+      // ---- forward propagation in topo order ----
+      if (options.forward)
+      for (NetId id : order_) {
+        const Gate& g = nl.gate(id);
+        switch (g.type) {
+          case GateType::kInput:
+          case GateType::kFlop:
+          case GateType::kConst0:
+          case GateType::kConst1:
+            break;
+          case GateType::kBuf:
+            set(c, id, at(c, g.fanin[0]));
+            break;
+          case GateType::kNot:
+            set(c, id, tri_not(at(c, g.fanin[0])));
+            break;
+          case GateType::kAnd: {
+            bool any_x = false, any_zero = false;
+            for (NetId f : g.fanin) {
+              const Tri v = at(c, f);
+              if (v == Tri::kZero) any_zero = true;
+              if (v == Tri::kX) any_x = true;
+            }
+            if (any_zero) set(c, id, Tri::kZero);
+            else if (!any_x) set(c, id, Tri::kOne);
+            break;
+          }
+          case GateType::kOr: {
+            bool any_x = false, any_one = false;
+            for (NetId f : g.fanin) {
+              const Tri v = at(c, f);
+              if (v == Tri::kOne) any_one = true;
+              if (v == Tri::kX) any_x = true;
+            }
+            if (any_one) set(c, id, Tri::kOne);
+            else if (!any_x) set(c, id, Tri::kZero);
+            break;
+          }
+          case GateType::kXor: {
+            bool any_x = false, acc = false;
+            for (NetId f : g.fanin) {
+              const Tri v = at(c, f);
+              if (v == Tri::kX) {
+                any_x = true;
+                break;
+              }
+              acc = acc != (v == Tri::kOne);
+            }
+            if (!any_x) set(c, id, acc ? Tri::kOne : Tri::kZero);
+            break;
+          }
+          case GateType::kMux: {
+            const Tri sel = at(c, g.fanin[0]);
+            const Tri a = at(c, g.fanin[1]);  // sel == 0
+            const Tri b = at(c, g.fanin[2]);  // sel == 1
+            if (sel == Tri::kZero) set(c, id, a);
+            else if (sel == Tri::kOne) set(c, id, b);
+            else if (a != Tri::kX && a == b) set(c, id, a);
+            break;
+          }
+        }
+      }
+
+      // ---- backward justification in reverse topo order ----
+      if (options.backward)
+      for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+        const NetId id = *it;
+        const Gate& g = nl.gate(id);
+        const Tri out = at(c, id);
+        if (out == Tri::kX) continue;
+        switch (g.type) {
+          case GateType::kBuf:
+            set(c, g.fanin[0], out);
+            break;
+          case GateType::kNot:
+            set(c, g.fanin[0], tri_not(out));
+            break;
+          case GateType::kAnd:
+            if (out == Tri::kOne) {
+              for (NetId f : g.fanin) set(c, f, Tri::kOne);
+            } else {
+              // out == 0: if exactly one input is X and all others are 1,
+              // the X input must be 0.
+              NetId unknown = kInvalidNet;
+              bool all_others_one = true;
+              for (NetId f : g.fanin) {
+                const Tri v = at(c, f);
+                if (v == Tri::kX) {
+                  if (unknown != kInvalidNet) {
+                    all_others_one = false;
+                    break;
+                  }
+                  unknown = f;
+                } else if (v == Tri::kZero) {
+                  all_others_one = false;  // already justified
+                  break;
+                }
+              }
+              if (all_others_one && unknown != kInvalidNet)
+                set(c, unknown, Tri::kZero);
+            }
+            break;
+          case GateType::kOr:
+            if (out == Tri::kZero) {
+              for (NetId f : g.fanin) set(c, f, Tri::kZero);
+            } else {
+              NetId unknown = kInvalidNet;
+              bool all_others_zero = true;
+              for (NetId f : g.fanin) {
+                const Tri v = at(c, f);
+                if (v == Tri::kX) {
+                  if (unknown != kInvalidNet) {
+                    all_others_zero = false;
+                    break;
+                  }
+                  unknown = f;
+                } else if (v == Tri::kOne) {
+                  all_others_zero = false;
+                  break;
+                }
+              }
+              if (all_others_zero && unknown != kInvalidNet)
+                set(c, unknown, Tri::kOne);
+            }
+            break;
+          case GateType::kXor: {
+            NetId unknown = kInvalidNet;
+            bool acc = (out == Tri::kOne);
+            bool ok = true;
+            for (NetId f : g.fanin) {
+              const Tri v = at(c, f);
+              if (v == Tri::kX) {
+                if (unknown != kInvalidNet) {
+                  ok = false;
+                  break;
+                }
+                unknown = f;
+              } else {
+                acc = acc != (v == Tri::kOne);
+              }
+            }
+            if (ok && unknown != kInvalidNet)
+              set(c, unknown, acc ? Tri::kOne : Tri::kZero);
+            break;
+          }
+          case GateType::kMux: {
+            const Tri sel = at(c, g.fanin[0]);
+            if (sel == Tri::kZero) set(c, g.fanin[1], out);
+            else if (sel == Tri::kOne) set(c, g.fanin[2], out);
+            break;
+          }
+          default:
+            break;
+        }
+      }
+    }
+
+    // ---- sequential transfer across cycle boundaries ----
+    if (options.sequential)
+    for (std::size_t c = 0; c + 1 < cycles; ++c) {
+      for (NetId f : flops) {
+        const NetId d = nl.gate(f).fanin[0];
+        // forward: known D at c determines state at c+1
+        set(c + 1, f, at(c, d));
+        // backward: known state at c+1 justifies D at c
+        set(c, d, at(c + 1, f));
+      }
+    }
+  }
+
+  RestorationResult result;
+  result.total_flop_cycles = cycles * flops.size();
+  std::vector<bool> traced_mask(n_nets, false);
+  for (NetId t : traced_flops) traced_mask[t] = true;
+  for (std::size_t c = 0; c < cycles; ++c) {
+    for (NetId f : flops) {
+      if (traced_mask[f]) {
+        ++result.traced_flop_cycles;
+      } else if (at(c, f) != Tri::kX) {
+        ++result.restored_flop_cycles;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace tracesel::netlist

@@ -1,0 +1,75 @@
+#pragma once
+// Simulation-based state restoration — the engine behind SRR (State
+// Restoration Ratio), the metric the gate-level baselines optimize
+// (Basu & Mishra [2]; Ko & Nicolici).
+//
+// Given the values of a *traced* flip-flop subset over C cycles, restoration
+// infers as many untraced flop values as 3-valued reasoning allows:
+//  - forward propagation: evaluate combinational logic under X-semantics
+//    (controlling values decide even with X inputs);
+//  - backward justification: a known gate output constrains its inputs
+//    (AND=1 forces all inputs 1; AND=0 with all-but-one inputs at 1 forces
+//    the last to 0; XOR/NOT/BUF invert exactly; MUX propagates through the
+//    selected leg);
+//  - sequential transfer: flop(c+1) = D(c) in both directions.
+// The passes iterate to a fixpoint. SRR = (traced + restored) / traced
+// flop-cycle values, the standard definition.
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace tracesel::netlist {
+
+struct RestorationResult {
+  std::size_t traced_flop_cycles = 0;
+  std::size_t restored_flop_cycles = 0;  ///< untraced flop-cycles recovered
+  std::size_t total_flop_cycles = 0;
+
+  /// State Restoration Ratio (>= 1.0 whenever anything is traced).
+  double srr() const {
+    return traced_flop_cycles == 0
+               ? 0.0
+               : static_cast<double>(traced_flop_cycles +
+                                     restored_flop_cycles) /
+                     static_cast<double>(traced_flop_cycles);
+  }
+  /// Fraction of all flop state known after restoration.
+  double state_coverage() const {
+    return total_flop_cycles == 0
+               ? 0.0
+               : static_cast<double>(traced_flop_cycles +
+                                     restored_flop_cycles) /
+                     static_cast<double>(total_flop_cycles);
+  }
+};
+
+/// Which implication rules the engine may use — an ablation axis for the
+/// SRR methodology (forward-only restoration corresponds to the earliest
+/// signal-selection heuristics; backward justification is what made
+/// restoration-based selection competitive).
+struct RestorationOptions {
+  bool forward = true;    ///< combinational forward propagation
+  bool backward = true;   ///< combinational backward justification
+  bool sequential = true; ///< flop(c+1) <-> D(c) transfer, both directions
+};
+
+class RestorationEngine {
+ public:
+  explicit RestorationEngine(const Netlist& netlist);
+
+  /// `flop_values[c][i]` is the golden value of netlist.flops()[i] at cycle
+  /// c (produced by Simulator::step); the engine reads only the rows of
+  /// `traced_flops` and restores the rest. Primary inputs are unknown.
+  RestorationResult restore(
+      const std::vector<NetId>& traced_flops,
+      const std::vector<std::vector<bool>>& flop_values,
+      const RestorationOptions& options = {}) const;
+
+ private:
+  const Netlist* netlist_;
+  std::vector<NetId> order_;  ///< combinational topo order
+};
+
+}  // namespace tracesel::netlist

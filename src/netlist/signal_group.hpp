@@ -1,0 +1,37 @@
+#pragma once
+// Interface signal groups: named bundles of flip-flops on module
+// boundaries. Gate-level selection methods pick individual flops; mapping
+// selections back to signal groups is how Table 4 judges whether a method
+// captured an application-level message.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace tracesel::netlist {
+
+/// A named group of flops forming one interface signal.
+struct SignalGroup {
+  std::string name;    ///< e.g. "rx_data"
+  std::string module;  ///< e.g. "Packet decoder"
+  std::vector<NetId> flops;
+};
+
+/// How much of a signal group a flop selection captures.
+enum class SignalCoverage { kNone, kPartial, kFull };
+
+inline SignalCoverage coverage_of(const SignalGroup& group,
+                                  const std::vector<NetId>& selected) {
+  std::size_t hit = 0;
+  for (NetId f : group.flops) {
+    if (std::find(selected.begin(), selected.end(), f) != selected.end())
+      ++hit;
+  }
+  if (hit == 0) return SignalCoverage::kNone;
+  if (hit == group.flops.size()) return SignalCoverage::kFull;
+  return SignalCoverage::kPartial;
+}
+
+}  // namespace tracesel::netlist

@@ -1,0 +1,150 @@
+#include "netlist/t2_uncore.hpp"
+
+#include <stdexcept>
+
+#include "netlist/generators.hpp"
+
+namespace tracesel::netlist {
+
+T2Uncore::T2Uncore(const T2UncoreConfig& config) : config_(config) {
+  if (config_.cores < 2)
+    throw std::invalid_argument("T2Uncore: need >= 2 cores");
+  if (config_.data_width < 4)
+    throw std::invalid_argument("T2Uncore: data_width >= 4");
+  Netlist& nl = netlist_;
+  const std::uint32_t w = config_.data_width;
+
+  // ---- primary inputs ----
+  const NetId cpu_req = nl.add_input("cpu_req");
+  const NetId cpu_data = nl.add_input("cpu_data");
+  const NetId io_data = nl.add_input("io_data");
+  const NetId io_ready = nl.add_input("io_ready");
+  std::vector<NetId> core_req;
+  for (std::uint32_t c = 0; c < config_.cores; ++c)
+    core_req.push_back(nl.add_input("core_req" + std::to_string(c)));
+
+  // =================== CCX: cache crossbar ===================
+  const Block ccx_arb = make_arbiter(nl, "ccx_arb", core_req);
+  const NetId any_core_grant = nl.add_gate(
+      GateType::kOr, {ccx_arb.outputs[0], ccx_arb.outputs[1]});
+  // Downstream request register toward NCU (message ccxdreq).
+  const Block ccx_dshift =
+      make_shift_register(nl, "ccx_dsh", w, cpu_data, any_core_grant);
+  std::vector<NetId> ccxdreq_reg;
+  for (std::uint32_t i = 0; i < w; ++i) {
+    const NetId f = nl.add_flop("ccxdreq" + std::to_string(i));
+    nl.set_flop_input(
+        f, nl.add_mux(any_core_grant, f, ccx_dshift.flops[i]));
+    ccxdreq_reg.push_back(f);
+  }
+  // Grant indicator back to NCU (message ccxgnt).
+  const NetId ccxgnt = nl.add_flop("ccxgnt");
+  nl.set_flop_input(ccxgnt, any_core_grant);
+
+  // =================== NCU: non-cacheable unit ===================
+  // CPU buffer occupancy + request decode FSM.
+  const Block ncu_fifo =
+      make_fifo_ctrl(nl, "ncu_cpubuf", config_.queue_bits, cpu_req, ccxgnt);
+  const Block ncu_fsm = make_onehot_fsm(nl, "ncu_fsm", 5, cpu_req);
+  // PIO write request register (message ncupiow) with credit stage.
+  std::vector<NetId> piow_data;
+  for (std::uint32_t i = 0; i < w; ++i)
+    piow_data.push_back(i % 2 ? cpu_data : nl.add_xor(cpu_data, io_data));
+  const Block ncu_credit = make_credit_stage(
+      nl, "ncupiow", w, piow_data, ncu_fsm.outputs[1], io_ready,
+      config_.queue_bits);
+  // Upstream data register toward CCX (message ncuupd).
+  const Block ncu_upshift = make_shift_register(
+      nl, "ncuupd", w, nl.add_xor(cpu_data, ccxgnt), ncu_fsm.outputs[2]);
+  // Downstream acknowledge (message ncudack).
+  const NetId ncudack = nl.add_flop("ncudack");
+  nl.set_flop_input(ncudack, nl.add_and(ccxgnt, ncu_fsm.outputs[3]));
+
+  // =================== DMU: data management unit ===================
+  const Block dmu_fsm =
+      make_onehot_fsm(nl, "dmu_fsm", 4, ncu_credit.outputs[0]);
+  const Block dmu_pioq = make_fifo_ctrl(nl, "dmu_pioq", config_.queue_bits,
+                                        ncu_credit.outputs[0], io_ready);
+  const Block dmu_rdcrd = make_counter(nl, "dmu_rdcrd", config_.queue_bits,
+                                       dmu_fsm.outputs[1]);
+  const Block dmu_wrcrd = make_counter(nl, "dmu_wrcrd", config_.queue_bits,
+                                       dmu_fsm.outputs[2]);
+  const Block dmu_crc = make_crc(nl, "dmu_crc", w, io_data,
+                                 dmu_fsm.outputs[1], {2, 5});
+  // Mondo interrupt generation: counter ticks on io events; when it wraps
+  // the dmusiidata register latches the CRC residue (payload + thread id).
+  const Block mondo_cnt =
+      make_counter(nl, "dmu_mondocnt", 4, io_ready);
+  std::vector<NetId> dmusiidata_reg;
+  for (std::uint32_t i = 0; i < std::min<std::uint32_t>(w, 20); ++i) {
+    const NetId f = nl.add_flop("dmusiidata" + std::to_string(i));
+    nl.set_flop_input(
+        f, nl.add_mux(mondo_cnt.outputs[0], f,
+                      dmu_crc.flops[i % dmu_crc.flops.size()]));
+    dmusiidata_reg.push_back(f);
+  }
+  const NetId reqtot = nl.add_flop("reqtot");
+  nl.set_flop_input(reqtot, mondo_cnt.outputs[0]);
+
+  // =================== SIU: system interface unit ===================
+  const Block siu_arb = make_arbiter(
+      nl, "siu_arb", {reqtot, ncu_credit.outputs[0], dmu_fsm.outputs[3]});
+  const Block siu_bypassq = make_fifo_ctrl(
+      nl, "siu_bypq", config_.queue_bits, siu_arb.outputs[0], io_ready);
+  const Block siu_orderedq = make_fifo_ctrl(
+      nl, "siu_ordq", config_.queue_bits, siu_arb.outputs[1], io_ready);
+  const Block siu_fwd = make_shift_register(
+      nl, "siu_fwd", w, dmusiidata_reg[0], siu_arb.outputs[0]);
+  // siincu register: interrupt forwarded to NCU.
+  std::vector<NetId> siincu_reg;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    const NetId f = nl.add_flop("siincu" + std::to_string(i));
+    nl.set_flop_input(f, nl.add_mux(siu_arb.outputs[0], f,
+                                    siu_fwd.flops[i]));
+    siincu_reg.push_back(f);
+  }
+  const NetId grant = nl.add_flop("grant");
+  nl.set_flop_input(grant, siu_arb.outputs[0]);
+
+  // =================== MCU: memory controller ===================
+  const Block mcu_fsm = make_onehot_fsm(nl, "mcu_fsm", 6, ccxgnt);
+  const Block mcu_refresh = make_counter(nl, "mcu_refresh", 8,
+                                         nl.add_const(true));
+  const Block mcu_crc = make_crc(nl, "mcu_crc", w, ccx_dshift.outputs[0],
+                                 mcu_fsm.outputs[2], {1, 3});
+  // mondoacknack: NCU retires the interrupt after MCU/CPU service.
+  const NetId mondoacknack = nl.add_flop("mondoacknack");
+  nl.set_flop_input(mondoacknack,
+                    nl.add_and(siincu_reg[0], mcu_fsm.outputs[4]));
+
+  (void)ncu_fifo;
+  (void)dmu_pioq;
+  (void)dmu_rdcrd;
+  (void)dmu_wrcrd;
+  (void)siu_bypassq;
+  (void)siu_orderedq;
+  (void)mcu_refresh;
+  (void)mcu_crc;
+  (void)ncu_upshift;
+
+  // ---- interface signal groups (T2 message names) ----
+  signals_ = {
+      SignalGroup{"ccxdreq", "CCX", ccxdreq_reg},
+      SignalGroup{"ccxgnt", "CCX", {ccxgnt}},
+      SignalGroup{"ncupiow", "NCU",
+                  std::vector<NetId>(ncu_credit.flops.begin() +
+                                         config_.queue_bits,
+                                     ncu_credit.flops.end() - 1)},
+      SignalGroup{"ncudack", "NCU", {ncudack}},
+      SignalGroup{"dmusiidata", "DMU", dmusiidata_reg},
+      SignalGroup{"reqtot", "DMU", {reqtot}},
+      SignalGroup{"siincu", "SIU", siincu_reg},
+      SignalGroup{"grant", "SIU", {grant}},
+      SignalGroup{"mondoacknack", "NCU", {mondoacknack}},
+  };
+
+  // Construction sanity.
+  (void)netlist_.validate_and_topo_order();
+}
+
+}  // namespace tracesel::netlist

@@ -1,0 +1,258 @@
+#include "netlist/usb_design.hpp"
+
+#include <stdexcept>
+
+#include "flow/flow_builder.hpp"
+
+namespace tracesel::netlist {
+
+namespace {
+
+/// A named bank of flops with muxed load/shift/hold behaviour; returns ids.
+std::vector<NetId> make_register(Netlist& nl, const std::string& name,
+                                 std::size_t width) {
+  std::vector<NetId> regs;
+  regs.reserve(width);
+  for (std::size_t i = 0; i < width; ++i)
+    regs.push_back(nl.add_flop(name + std::to_string(i)));
+  return regs;
+}
+
+/// Ripple counter: bit i toggles when all lower bits are 1.
+void wire_counter(Netlist& nl, const std::vector<NetId>& bits, NetId enable) {
+  NetId carry = enable;
+  for (NetId b : bits) {
+    nl.set_flop_input(b, nl.add_xor(b, carry));
+    carry = nl.add_and(carry, b);
+  }
+}
+
+/// Shift register shifting `in` through `bits` when `enable`, else holding.
+void wire_shift(Netlist& nl, const std::vector<NetId>& bits, NetId in,
+                NetId enable) {
+  NetId prev = in;
+  for (NetId b : bits) {
+    nl.set_flop_input(b, nl.add_mux(enable, b, prev));
+    prev = b;
+  }
+}
+
+/// Parallel load when `load`, else hold.
+void wire_load(Netlist& nl, const std::vector<NetId>& bits,
+               const std::vector<NetId>& from, NetId load) {
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    nl.set_flop_input(bits[i], nl.add_mux(load, bits[i], from[i]));
+}
+
+/// LFSR-style CRC: shift with XOR feedback taps, enabled.
+void wire_crc(Netlist& nl, const std::vector<NetId>& bits, NetId in,
+              NetId enable) {
+  const NetId feedback = nl.add_xor(bits.back(), in);
+  NetId prev = feedback;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    NetId next = prev;
+    if (i % 2 == 1) next = nl.add_xor(prev, feedback);  // polynomial taps
+    nl.set_flop_input(bits[i], nl.add_mux(enable, bits[i], next));
+    prev = bits[i];
+  }
+}
+
+}  // namespace
+
+UsbDesign::UsbDesign() {
+  build_netlist();
+  build_flows();
+}
+
+void UsbDesign::build_netlist() {
+  Netlist& nl = netlist_;
+
+  // Primary inputs: differential line pair plus host-side controls.
+  const NetId dp = nl.add_input("usb_dp");
+  const NetId dn = nl.add_input("usb_dn");
+  const NetId host_req = nl.add_input("host_req");
+  const NetId host_mode0 = nl.add_input("host_mode0");
+  const NetId host_mode1 = nl.add_input("host_mode1");
+
+  // ---------------- UTMI / line speed ----------------
+  // Line state FSM (3 flops): tracks J/K/SE0 symbols.
+  const auto ls = make_register(nl, "utmi_ls", 3);
+  nl.set_flop_input(ls[0], nl.add_xor(dp, dn));
+  nl.set_flop_input(ls[1], nl.add_and(dp, nl.add_not(dn)));
+  nl.set_flop_input(ls[2], nl.add_or(ls[0], nl.add_and(dn, ls[1])));
+
+  // Bit counter (3 flops) counts symbol beats while the line is active.
+  const auto bitcnt = make_register(nl, "utmi_cnt", 3);
+  const NetId line_active = nl.add_or(ls[0], ls[1]);
+  wire_counter(nl, bitcnt, line_active);
+
+  // RX shift register (8 flops): shifts dp while active.
+  const auto rx_sh = make_register(nl, "utmi_rxsh", 8);
+  wire_shift(nl, rx_sh, dp, line_active);
+
+  // rx_valid: byte boundary (counter wrap while active).
+  const NetId byte_tick =
+      nl.add_and(nl.add_and(bitcnt[0], bitcnt[1]), bitcnt[2]);
+  const NetId rx_valid = nl.add_flop("rx_valid");
+  nl.set_flop_input(rx_valid, nl.add_and(byte_tick, line_active));
+
+  // rx_data register (8 flops): latches the shifter on rx_valid.
+  const auto rx_data = make_register(nl, "rx_data", 8);
+  wire_load(nl, rx_data, rx_sh, rx_valid);
+
+  // ---------------- Packet decoder ----------------
+  // PID register (4 flops) latches the low nibble on the first byte.
+  const auto dec_fsm = make_register(nl, "dec_fsm", 3);
+  const NetId first_byte = nl.add_and(
+      rx_valid, nl.add_not(nl.add_or(dec_fsm[0], dec_fsm[1])));
+  const auto pid = make_register(nl, "dec_pid", 4);
+  wire_load(nl, pid, {rx_data[0], rx_data[1], rx_data[2], rx_data[3]},
+            first_byte);
+  nl.set_flop_input(dec_fsm[0], nl.add_or(first_byte, dec_fsm[1]));
+  nl.set_flop_input(dec_fsm[1],
+                    nl.add_and(dec_fsm[0], nl.add_not(dec_fsm[2])));
+  nl.set_flop_input(dec_fsm[2], nl.add_and(dec_fsm[1], rx_valid));
+
+  // Token buffer (11 flops) shifting rx_data bit 0 during token bytes.
+  const auto tokbuf = make_register(nl, "dec_tok", 11);
+  wire_shift(nl, tokbuf, rx_data[0], nl.add_and(rx_valid, dec_fsm[0]));
+
+  // CRC5 (5 flops) over the token stream.
+  const auto crc5 = make_register(nl, "dec_crc5", 5);
+  wire_crc(nl, crc5, rx_data[0], nl.add_and(rx_valid, dec_fsm[0]));
+
+  // Decoder interface strobes.
+  const NetId token_ok = nl.add_and(nl.add_not(crc5[4]),
+                                    nl.add_and(pid[0], nl.add_not(pid[1])));
+  const NetId rx_data_valid = nl.add_flop("rx_data_valid");
+  nl.set_flop_input(rx_data_valid, nl.add_and(rx_valid, dec_fsm[1]));
+  const NetId token_valid = nl.add_flop("token_valid");
+  nl.set_flop_input(token_valid, nl.add_and(token_ok, dec_fsm[2]));
+  const NetId rx_data_done = nl.add_flop("rx_data_done");
+  nl.set_flop_input(rx_data_done,
+                    nl.add_and(dec_fsm[2], nl.add_not(line_active)));
+
+  // ---------------- Protocol engine ----------------
+  const auto pe_fsm = make_register(nl, "pe_fsm", 4);
+  nl.set_flop_input(pe_fsm[0], nl.add_or(token_valid, pe_fsm[1]));
+  nl.set_flop_input(pe_fsm[1], nl.add_and(pe_fsm[0], host_req));
+  nl.set_flop_input(pe_fsm[2], nl.add_or(pe_fsm[1], rx_data_done));
+  nl.set_flop_input(pe_fsm[3],
+                    nl.add_and(pe_fsm[2], nl.add_not(pe_fsm[0])));
+
+  const NetId send_token = nl.add_flop("send_token");
+  nl.set_flop_input(send_token, nl.add_and(pe_fsm[1], host_req));
+
+  const auto token_pid_sel = make_register(nl, "token_pid_sel", 2);
+  wire_load(nl, token_pid_sel, {host_mode0, host_mode1}, send_token);
+  const auto data_pid_sel = make_register(nl, "data_pid_sel", 2);
+  wire_load(nl, data_pid_sel, {nl.add_xor(host_mode0, pe_fsm[3]),
+                               nl.add_xor(host_mode1, pe_fsm[2])},
+            send_token);
+
+  // Timeout counter (8 flops), free-running while a transaction is open.
+  const auto timeout = make_register(nl, "pe_timeout", 8);
+  wire_counter(nl, timeout, pe_fsm[0]);
+
+  // ---------------- Packet assembler ----------------
+  const auto tx_fsm = make_register(nl, "asm_fsm", 3);
+  nl.set_flop_input(tx_fsm[0], nl.add_or(send_token, tx_fsm[1]));
+  nl.set_flop_input(tx_fsm[1],
+                    nl.add_and(tx_fsm[0], nl.add_not(tx_fsm[2])));
+  nl.set_flop_input(tx_fsm[2], nl.add_and(tx_fsm[1], tx_fsm[0]));
+
+  // TX shift register (tx_data, 8 flops) serializes PID + payload.
+  const auto tx_data = make_register(nl, "tx_data", 8);
+  wire_shift(nl, tx_data, nl.add_xor(token_pid_sel[0], data_pid_sel[1]),
+             tx_fsm[0]);
+
+  // CRC16 (16 flops) over the outgoing stream.
+  const auto crc16 = make_register(nl, "asm_crc16", 16);
+  wire_crc(nl, crc16, tx_data[7], tx_fsm[0]);
+
+  const NetId tx_valid = nl.add_flop("tx_valid");
+  nl.set_flop_input(tx_valid, nl.add_and(tx_fsm[2], tx_fsm[0]));
+
+  // ---------------- Table 4 interface signal groups ----------------
+  signals_ = {
+      SignalGroup{"rx_data", "UTMI / line speed", rx_data},
+      SignalGroup{"rx_valid", "UTMI / line speed", {rx_valid}},
+      SignalGroup{"rx_data_valid", "Packet decoder", {rx_data_valid}},
+      SignalGroup{"token_valid", "Packet decoder", {token_valid}},
+      SignalGroup{"rx_data_done", "Packet decoder", {rx_data_done}},
+      SignalGroup{"tx_data", "Packet assembler", tx_data},
+      SignalGroup{"tx_valid", "Packet assembler", {tx_valid}},
+      SignalGroup{"send_token", "Protocol engine", {send_token}},
+      SignalGroup{"token_pid_sel", "Protocol engine", token_pid_sel},
+      SignalGroup{"data_pid_sel", "Protocol engine", data_pid_sel},
+  };
+
+  // Construction sanity: the netlist must be combinationally acyclic and
+  // fully wired.
+  (void)netlist_.validate_and_topo_order();
+}
+
+void UsbDesign::build_flows() {
+  // Application-level messages: the interface signals with their widths,
+  // between the modules they connect.
+  rx_data_ = catalog_.add("rx_data", 8, "UTMI", "PktDec");
+  rx_valid_ = catalog_.add("rx_valid", 1, "UTMI", "PktDec");
+  rx_data_valid_ = catalog_.add("rx_data_valid", 1, "PktDec", "ProtEng");
+  token_valid_ = catalog_.add("token_valid", 1, "PktDec", "ProtEng");
+  rx_data_done_ = catalog_.add("rx_data_done", 1, "PktDec", "ProtEng");
+  tx_data_ = catalog_.add("tx_data", 8, "PktAsm", "UTMI");
+  tx_valid_ = catalog_.add("tx_valid", 1, "PktAsm", "UTMI");
+  send_token_ = catalog_.add("send_token", 1, "ProtEng", "PktAsm");
+  token_pid_sel_ = catalog_.add("token_pid_sel", 2, "ProtEng", "PktAsm");
+  data_pid_sel_ = catalog_.add("data_pid_sel", 2, "ProtEng", "PktAsm");
+
+  {
+    flow::FlowBuilder b("UsbRx");
+    b.state("Idle", flow::FlowBuilder::kInitial)
+        .state("Sync")
+        .state("Shift")
+        .state("Data", flow::FlowBuilder::kAtomic)
+        .state("Eop")
+        .state("Done", flow::FlowBuilder::kStop)
+        .transition("Idle", rx_valid_, "Sync")
+        .transition("Sync", rx_data_, "Shift")
+        .transition("Shift", rx_data_valid_, "Data")
+        .transition("Data", rx_data_done_, "Eop")
+        .transition("Eop", token_valid_, "Done");
+    rx_flow_ = b.build(catalog_);
+  }
+  {
+    flow::FlowBuilder b("UsbTx");
+    b.state("Idle", flow::FlowBuilder::kInitial)
+        .state("TokSel")
+        .state("PidSel")
+        .state("DataSel", flow::FlowBuilder::kAtomic)
+        .state("Shift")
+        .state("Done", flow::FlowBuilder::kStop)
+        .transition("Idle", send_token_, "TokSel")
+        .transition("TokSel", token_pid_sel_, "PidSel")
+        .transition("PidSel", data_pid_sel_, "DataSel")
+        .transition("DataSel", tx_data_, "Shift")
+        .transition("Shift", tx_valid_, "Done");
+    tx_flow_ = b.build(catalog_);
+  }
+}
+
+const SignalGroup& UsbDesign::signal(std::string_view name) const {
+  for (const SignalGroup& s : signals_) {
+    if (s.name == name) return s;
+  }
+  throw std::out_of_range("UsbDesign: unknown signal '" + std::string(name) +
+                          "'");
+}
+
+flow::InterleavedFlow UsbDesign::interleaving(std::uint32_t instances) const {
+  return flow::InterleavedFlow::build(
+      flow::make_instances({&*rx_flow_, &*tx_flow_}, instances));
+}
+
+flow::MessageId UsbDesign::message_of(std::string_view signal_name) const {
+  return catalog_.require(signal_name);
+}
+
+}  // namespace tracesel::netlist

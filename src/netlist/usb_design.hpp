@@ -1,0 +1,65 @@
+#pragma once
+// Synthetic USB 2.0 function controller (modeled on the OpenCores usb core
+// the paper compares against, Sec. 5.4 / Table 4). Four modules:
+//
+//   UTMI / line speed  — line-state FSM, RX shift register, bit counter
+//   Packet decoder     — PID/token registers, CRC5, decoder FSM
+//   Packet assembler   — TX shift register, CRC16, TX FSM
+//   Protocol engine    — main FSM, PID selectors, timeout counter
+//
+// The gate-level netlist is what the SRR/PageRank baselines analyze; the
+// ten *interface signals* of Table 4 are groups of flops on module
+// boundaries. The same interfaces, viewed at application level, form two
+// flows (token/packet receive and packet transmit) whose messages carry
+// the signal widths — that is what our information-gain method selects on.
+
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "flow/indexed_flow.hpp"
+#include "flow/interleaved_flow.hpp"
+#include "flow/message.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/signal_group.hpp"
+
+namespace tracesel::netlist {
+
+class UsbDesign {
+ public:
+  UsbDesign();
+
+  const Netlist& netlist() const { return netlist_; }
+
+  /// The ten Table 4 interface signals, in the paper's row order.
+  const std::vector<SignalGroup>& interface_signals() const {
+    return signals_;
+  }
+  const SignalGroup& signal(std::string_view name) const;
+
+  // --- application-level view ---
+  const flow::MessageCatalog& catalog() const { return catalog_; }
+  const flow::Flow& rx_flow() const { return *rx_flow_; }
+  const flow::Flow& tx_flow() const { return *tx_flow_; }
+
+  /// rx ||| tx with `instances` legally indexed copies of each.
+  flow::InterleavedFlow interleaving(std::uint32_t instances = 1) const;
+
+  /// Message id of an interface signal (same names).
+  flow::MessageId message_of(std::string_view signal_name) const;
+
+ private:
+  void build_netlist();
+  void build_flows();
+
+  Netlist netlist_;
+  std::vector<SignalGroup> signals_;
+  flow::MessageCatalog catalog_;
+  // message ids
+  flow::MessageId rx_data_, rx_valid_, rx_data_valid_, token_valid_,
+      rx_data_done_, tx_data_, tx_valid_, send_token_, token_pid_sel_,
+      data_pid_sel_;
+  std::optional<flow::Flow> rx_flow_;
+  std::optional<flow::Flow> tx_flow_;
+};
+
+}  // namespace tracesel::netlist

@@ -1,0 +1,22 @@
+#pragma once
+// Structural Verilog export of the netlist IR. The synthetic designs
+// (USB controller, T2-uncore) become portable: dump them and run any
+// external simulator/synthesizer on the same structure the baselines
+// analyzed. Output is plain Verilog-2001 — wires, gate primitives and
+// always @(posedge clk) flops — with stable, readable names.
+
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+
+namespace tracesel::netlist {
+
+/// Renders the netlist as one Verilog module. Primary inputs become input
+/// ports, every named flop an output port (so the module is observable);
+/// unnamed nets get generated `n<id>` names. The module has `clk` and an
+/// active-high synchronous `rst` that clears all flops (the IR's reset
+/// semantics).
+std::string to_verilog(const Netlist& netlist, std::string_view module_name);
+
+}  // namespace tracesel::netlist

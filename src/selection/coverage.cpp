@@ -1,0 +1,29 @@
+#include "selection/coverage.hpp"
+
+#include <algorithm>
+
+namespace tracesel::selection {
+
+std::vector<flow::NodeId> visible_states(
+    const flow::InterleavedFlow& u,
+    std::span<const flow::MessageId> selected) {
+  std::vector<bool> visible(u.num_nodes(), false);
+  for (const auto& e : u.edges()) {
+    if (std::find(selected.begin(), selected.end(), e.label.message) !=
+        selected.end())
+      visible[e.to] = true;
+  }
+  std::vector<flow::NodeId> out;
+  for (flow::NodeId n = 0; n < u.num_nodes(); ++n)
+    if (visible[n]) out.push_back(n);
+  return out;
+}
+
+double flow_spec_coverage(const flow::InterleavedFlow& u,
+                          std::span<const flow::MessageId> selected) {
+  if (u.num_nodes() == 0) return 0.0;
+  return static_cast<double>(visible_states(u, selected).size()) /
+         static_cast<double>(u.num_nodes());
+}
+
+}  // namespace tracesel::selection

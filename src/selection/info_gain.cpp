@@ -1,0 +1,55 @@
+#include "selection/info_gain.hpp"
+
+#include <cmath>
+#include <map>
+
+namespace tracesel::selection {
+
+InfoGainEngine::InfoGainEngine(const flow::InterleavedFlow& u) : u_(&u) {
+  const double num_states = static_cast<double>(u.num_nodes());
+  const double total_edges = static_cast<double>(u.num_edges());
+  if (total_edges == 0) return;
+
+  // cnt[(y, x)] = number of edges labeled y that lead to product state x.
+  std::map<std::pair<flow::IndexedMessage, flow::NodeId>, std::size_t> cnt;
+  for (const auto& e : u.edges()) ++cnt[{e.label, e.to}];
+
+  for (const auto& [key, c] : cnt) {
+    const auto& [y, x] = key;
+    (void)x;
+    const double occ_y = static_cast<double>(u.occurrences(y));
+    // p(x,y) = c / total_edges;  p(x) = 1/|S|;  p(y) = occ_y / total_edges.
+    // Term: p(x,y) * ln( p(x,y) / (p(x) p(y)) )
+    //     = (c/E) * ln( c * |S| / occ_y ).
+    const double pxy = static_cast<double>(c) / total_edges;
+    const double ratio = static_cast<double>(c) * num_states / occ_y;
+    contrib_[y] += pxy * std::log(ratio);
+  }
+
+  for (const auto& [y, g] : contrib_) {
+    contrib_by_message_[y.message] += g;
+    total_gain_ += g;
+  }
+}
+
+double InfoGainEngine::info_gain(
+    std::span<const flow::MessageId> combination) const {
+  double gain = 0.0;
+  for (flow::MessageId m : combination) {
+    const auto it = contrib_by_message_.find(m);
+    if (it != contrib_by_message_.end()) gain += it->second;
+  }
+  return gain;
+}
+
+double InfoGainEngine::contribution(const flow::IndexedMessage& im) const {
+  const auto it = contrib_.find(im);
+  return it == contrib_.end() ? 0.0 : it->second;
+}
+
+double InfoGainEngine::message_contribution(flow::MessageId m) const {
+  const auto it = contrib_by_message_.find(m);
+  return it == contrib_by_message_.end() ? 0.0 : it->second;
+}
+
+}  // namespace tracesel::selection

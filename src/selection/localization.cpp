@@ -1,0 +1,17 @@
+#include "selection/localization.hpp"
+
+namespace tracesel::selection {
+
+LocalizationResult localize(
+    const flow::InterleavedFlow& u,
+    std::span<const flow::MessageId> selected,
+    const std::vector<flow::IndexedMessage>& observed) {
+  LocalizationResult r;
+  r.total_paths = u.count_paths();
+  const std::vector<flow::MessageId> sel(selected.begin(), selected.end());
+  r.consistent_paths = u.count_consistent_paths(sel, observed);
+  r.fraction = r.total_paths > 0.0 ? r.consistent_paths / r.total_paths : 0.0;
+  return r;
+}
+
+}  // namespace tracesel::selection

@@ -1,0 +1,28 @@
+#pragma once
+// Path localization (Sec. 5.2): given an observed trace-buffer content (the
+// projection of a buggy execution onto the traced messages), how small a
+// fraction of the interleaved flow's executions remains consistent with it?
+// Fewer consistent paths = tighter localization = less debug work.
+
+#include <span>
+#include <vector>
+
+#include "flow/interleaved_flow.hpp"
+
+namespace tracesel::selection {
+
+struct LocalizationResult {
+  double total_paths = 0.0;
+  double consistent_paths = 0.0;
+  /// consistent/total, in [0,1]; the paper reports this as a percentage
+  /// ("we needed to explore no more than 6.11% of interleaved flow paths").
+  double fraction = 0.0;
+};
+
+/// Counts executions of `u` whose projection onto `selected` starts with
+/// `observed`. `observed` must only mention selected messages.
+LocalizationResult localize(const flow::InterleavedFlow& u,
+                            std::span<const flow::MessageId> selected,
+                            const std::vector<flow::IndexedMessage>& observed);
+
+}  // namespace tracesel::selection

@@ -1,0 +1,274 @@
+#include "selection/selector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tracesel::selection {
+
+MessageSelector::MessageSelector(const flow::MessageCatalog& catalog,
+                                 const flow::InterleavedFlow& u)
+    : catalog_(&catalog), u_(&u), engine_(u) {
+  for (const auto& e : u.edges()) {
+    if (std::find(candidates_.begin(), candidates_.end(), e.label.message) ==
+        candidates_.end())
+      candidates_.push_back(e.label.message);
+  }
+  std::sort(candidates_.begin(), candidates_.end());
+}
+
+Combination MessageSelector::search_exhaustive(const SelectorConfig& config,
+                                               bool maximal_only) const {
+  const auto combos =
+      maximal_only
+          ? enumerate_maximal_combinations(*catalog_, candidates_,
+                                           config.buffer_width,
+                                           config.max_combinations)
+          : enumerate_combinations(*catalog_, candidates_,
+                                   config.buffer_width,
+                                   config.max_combinations);
+  if (combos.empty())
+    throw std::runtime_error(
+        "MessageSelector: no message fits the trace buffer");
+
+  const Combination* best = nullptr;
+  double best_gain = -1.0;
+  for (const Combination& c : combos) {
+    const double g = engine_.info_gain(c.messages);
+    // Highest gain wins; ties prefer the narrower combination (more room
+    // for Step 3 packing), then lexicographic for determinism.
+    const bool better =
+        g > best_gain ||
+        (g == best_gain && best != nullptr &&
+         (c.width < best->width ||
+          (c.width == best->width && c.messages < best->messages)));
+    if (best == nullptr || better) {
+      best = &c;
+      best_gain = g;
+    }
+  }
+  return *best;
+}
+
+Combination MessageSelector::search_greedy(const SelectorConfig& config) const {
+  Combination current;
+  for (;;) {
+    const flow::MessageId* best = nullptr;
+    double best_gain = -1.0;
+    std::uint32_t best_width = 0;
+    for (const flow::MessageId& m : candidates_) {
+      if (std::find(current.messages.begin(), current.messages.end(), m) !=
+          current.messages.end())
+        continue;
+      const std::uint32_t w = catalog_->get(m).trace_width();
+      if (current.width + w > config.buffer_width) continue;
+      std::vector<flow::MessageId> trial = current.messages;
+      trial.push_back(m);
+      const double g = engine_.info_gain(trial);
+      if (best == nullptr || g > best_gain ||
+          (g == best_gain && w < best_width)) {
+        best = &m;
+        best_gain = g;
+        best_width = w;
+      }
+    }
+    if (best == nullptr) break;
+    current.messages.push_back(*best);
+    current.width += catalog_->get(*best).trace_width();
+  }
+  if (current.messages.empty())
+    throw std::runtime_error(
+        "MessageSelector: no message fits the trace buffer");
+  std::sort(current.messages.begin(), current.messages.end());
+  return current;
+}
+
+Combination MessageSelector::search_knapsack(
+    const SelectorConfig& config) const {
+  // Full-table 0/1 knapsack: dp[i][w] = (best gain, width actually used)
+  // over the first i candidates within capacity w. Ties in gain prefer the
+  // narrower fill (leaves room for Step 3 packing), matching the
+  // exhaustive tie-break.
+  const std::size_t n = candidates_.size();
+  const std::size_t wmax = config.buffer_width;
+  struct Cell {
+    double gain = 0.0;
+    std::uint32_t used = 0;
+  };
+  std::vector<std::vector<Cell>> dp(n + 1,
+                                    std::vector<Cell>(wmax + 1, Cell{}));
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    const std::uint32_t w = catalog_->get(candidates_[i - 1]).trace_width();
+    const double v = engine_.message_contribution(candidates_[i - 1]);
+    for (std::size_t cap = 0; cap <= wmax; ++cap) {
+      dp[i][cap] = dp[i - 1][cap];
+      if (w <= cap) {
+        const Cell with{dp[i - 1][cap - w].gain + v,
+                        dp[i - 1][cap - w].used + w};
+        if (with.gain > dp[i][cap].gain ||
+            (with.gain == dp[i][cap].gain && with.used < dp[i][cap].used)) {
+          dp[i][cap] = with;
+        }
+      }
+    }
+  }
+
+  Combination best;
+  std::size_t cap = wmax;
+  for (std::size_t i = n; i > 0; --i) {
+    // Item i-1 taken iff removing it explains the cell.
+    const std::uint32_t w = catalog_->get(candidates_[i - 1]).trace_width();
+    const Cell& cur = dp[i][cap];
+    const Cell& without = dp[i - 1][cap];
+    if (cur.gain == without.gain && cur.used == without.used) continue;
+    best.messages.push_back(candidates_[i - 1]);
+    best.width += w;
+    cap -= w;
+  }
+  if (best.messages.empty())
+    throw std::runtime_error(
+        "MessageSelector: no message fits the trace buffer");
+  std::sort(best.messages.begin(), best.messages.end());
+  return best;
+}
+
+SelectionResult MessageSelector::select(const SelectorConfig& config) const {
+  SelectionResult result;
+  result.buffer_width = config.buffer_width;
+
+  switch (config.mode) {
+    case SearchMode::kExhaustive:
+      result.combination = search_exhaustive(config, /*maximal_only=*/false);
+      break;
+    case SearchMode::kMaximal:
+      result.combination = search_exhaustive(config, /*maximal_only=*/true);
+      break;
+    case SearchMode::kGreedy:
+      result.combination = search_greedy(config);
+      break;
+    case SearchMode::kKnapsack:
+      result.combination = search_knapsack(config);
+      break;
+  }
+
+  result.gain_unpacked = engine_.info_gain(result.combination.messages);
+  result.coverage_unpacked =
+      flow_spec_coverage(*u_, result.combination.messages);
+  result.used_width = result.combination.width;
+
+  if (config.packing) {
+    PackingResult packing =
+        pack_leftover(*catalog_, engine_, result.combination,
+                      config.buffer_width, candidates_);
+    result.packed = std::move(packing.packed);
+    result.used_width += packing.width_added;
+    result.gain = packing.gain_after;
+  } else {
+    result.gain = result.gain_unpacked;
+  }
+  result.coverage = flow_spec_coverage(*u_, result.observable());
+  return result;
+}
+
+SelectionResult MessageSelector::select_with_flow_constraint(
+    const SelectorConfig& config) const {
+  SelectionResult result = select(config);
+
+  // Distinct participating flows of the interleaving.
+  std::vector<const flow::Flow*> flows;
+  for (const auto& inst : u_->instances()) {
+    if (std::find(flows.begin(), flows.end(), inst.flow) == flows.end())
+      flows.push_back(inst.flow);
+  }
+
+  auto represented = [&](const flow::Flow* f) {
+    for (const flow::MessageId m : result.observable()) {
+      if (f->uses_message(m)) return true;
+    }
+    return false;
+  };
+
+  for (const flow::Flow* f : flows) {
+    if (represented(f)) continue;
+
+    // Best message of the dark flow: highest contribution, then narrowest.
+    const flow::MessageId* best = nullptr;
+    for (const flow::MessageId& m : f->messages()) {
+      if (catalog_->get(m).trace_width() > config.buffer_width) continue;
+      if (best == nullptr ||
+          engine_.message_contribution(m) >
+              engine_.message_contribution(*best) ||
+          (engine_.message_contribution(m) ==
+               engine_.message_contribution(*best) &&
+           catalog_->get(m).trace_width() <
+               catalog_->get(*best).trace_width()))
+        best = &m;
+    }
+    if (best == nullptr)
+      throw std::runtime_error(
+          "select_with_flow_constraint: flow '" + f->name() +
+          "' has no message narrow enough for the buffer");
+    const std::uint32_t need = catalog_->get(*best).trace_width();
+
+    // Evict lowest-contribution messages whose flow keeps another
+    // observable message, until the newcomer fits.
+    // (Packed subgroups are dropped first: they are the cheapest evidence.)
+    result.packed.clear();
+    result.used_width = result.combination.width;
+    while (config.buffer_width - result.combination.width < need) {
+      const auto obs = result.observable();
+      flow::MessageId victim = flow::kInvalidMessage;
+      double victim_gain = 0.0;
+      for (const flow::MessageId m : result.combination.messages) {
+        // Does m's flow keep representation without m?
+        bool keeps = false;
+        for (const flow::Flow* g : flows) {
+          if (!g->uses_message(m)) continue;
+          for (const flow::MessageId other : obs) {
+            if (other != m && g->uses_message(other)) keeps = true;
+          }
+        }
+        if (!keeps) continue;
+        const double g = engine_.message_contribution(m);
+        if (victim == flow::kInvalidMessage || g < victim_gain) {
+          victim = m;
+          victim_gain = g;
+        }
+      }
+      if (victim == flow::kInvalidMessage)
+        throw std::runtime_error(
+            "select_with_flow_constraint: cannot make room for flow '" +
+            f->name() + "' without darkening another flow");
+      result.combination.messages.erase(
+          std::find(result.combination.messages.begin(),
+                    result.combination.messages.end(), victim));
+      result.combination.width -= catalog_->get(victim).trace_width();
+      result.used_width = result.combination.width;
+    }
+    result.combination.messages.push_back(*best);
+    result.combination.width += need;
+    result.used_width = result.combination.width;
+    std::sort(result.combination.messages.begin(),
+              result.combination.messages.end());
+  }
+
+  // Re-run Step 3 over the repaired combination and refresh the metrics.
+  result.gain_unpacked = engine_.info_gain(result.combination.messages);
+  result.coverage_unpacked =
+      flow_spec_coverage(*u_, result.combination.messages);
+  if (config.packing) {
+    PackingResult packing =
+        pack_leftover(*catalog_, engine_, result.combination,
+                      config.buffer_width, candidates_);
+    result.packed = std::move(packing.packed);
+    result.used_width = result.combination.width + packing.width_added;
+    result.gain = packing.gain_after;
+  } else {
+    result.packed.clear();
+    result.gain = result.gain_unpacked;
+  }
+  result.coverage = flow_spec_coverage(*u_, result.observable());
+  return result;
+}
+
+}  // namespace tracesel::selection

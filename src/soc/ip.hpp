@@ -1,0 +1,34 @@
+#pragma once
+// IP blocks of the OpenSPARC T2 I/O and interrupt subsystem that
+// participate in the paper's usage scenarios (Fig. 3 / Table 1).
+
+#include <string>
+#include <string_view>
+
+namespace tracesel::soc {
+
+/// The hardware IPs our transaction-level T2 model distinguishes.
+enum class Ip {
+  kNcu,  ///< Non-cacheable unit
+  kDmu,  ///< Data management unit (PCIe side)
+  kSiu,  ///< System interface unit
+  kMcu,  ///< Memory controller unit
+  kCcx,  ///< Cache crossbar
+  kCpu,  ///< SPARC core complex (request source/sink)
+};
+
+inline constexpr std::string_view to_string(Ip ip) {
+  switch (ip) {
+    case Ip::kNcu: return "NCU";
+    case Ip::kDmu: return "DMU";
+    case Ip::kSiu: return "SIU";
+    case Ip::kMcu: return "MCU";
+    case Ip::kCcx: return "CCX";
+    case Ip::kCpu: return "CPU";
+  }
+  return "?";
+}
+
+inline std::string ip_name(Ip ip) { return std::string(to_string(ip)); }
+
+}  // namespace tracesel::soc

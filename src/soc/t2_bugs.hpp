@@ -1,0 +1,48 @@
+#pragma once
+// The standard injected-bug library for the T2 case studies (Sec. 4).
+//
+// 14 bugs across 5 IPs, following the two bug sources the paper cites:
+// sanitized industrial communication bugs and the Stanford QED bug model
+// (wrong command generation, data corruption, malformed requests, wrong
+// decode, dropped interrupts, misroutes). Bug ids keep the tech-report
+// numbering that the paper's Table 5 references (1..36, sparse).
+//
+// Five case studies bind a usage scenario to an *active* bug (whose
+// symptom the debug sweep chases; Table 6's root-caused functions) plus
+// dormant background bugs that arm too late to fire within the run.
+
+#include <string>
+#include <vector>
+
+#include "bug/bug.hpp"
+#include "soc/t2_design.hpp"
+
+namespace tracesel::soc {
+
+/// The 14-bug standard set, targets resolved against `design`.
+std::vector<bug::Bug> standard_bugs(const T2Design& design);
+
+/// Lookup by tech-report id; throws std::out_of_range for unknown ids.
+bug::Bug bug_by_id(const T2Design& design, int id);
+
+/// One debugging case study (Tables 3 and 6 rows).
+struct CaseStudy {
+  int id = 0;           ///< 1..5
+  int scenario_id = 0;  ///< Table 3 mapping: cases 1,2 -> scenario 1, etc.
+  int active_bug_id = 0;
+  std::vector<int> dormant_bug_ids;  ///< armed beyond the run horizon
+  std::string root_cause;            ///< Table 6 "Root caused ... function"
+};
+
+/// The five case studies of the paper's evaluation.
+std::vector<CaseStudy> standard_case_studies();
+
+/// Extension bugs for the DMA scenario (ids 41..43, beyond the paper's 14).
+std::vector<bug::Bug> extension_bugs(const T2Design& design);
+
+/// Extension case studies 6-7 on the DMA scenario. Their active bugs come
+/// from extension_bugs(); resolve with extension_bug_by_id().
+std::vector<CaseStudy> extension_case_studies();
+bug::Bug extension_bug_by_id(const T2Design& design, int id);
+
+}  // namespace tracesel::soc

@@ -1,0 +1,73 @@
+#include "soc/t2_extended.hpp"
+
+#include "flow/flow_builder.hpp"
+
+namespace tracesel::soc {
+
+using flow::FlowBuilder;
+using flow::Message;
+using flow::Subgroup;
+
+T2ExtendedDesign::T2ExtendedDesign() {
+  // Base messages (same names and widths as T2Design).
+  ncupior = catalog_.add("ncupior", 10, "NCU", "DMU");
+  dmurd = catalog_.add("dmurd", 6, "DMU", "SIU");
+  siurtn = catalog_.add("siurtn", 9, "SIU", "DMU");
+  dmuncud = catalog_.add(Message{"dmuncud", 16, "DMU", "NCU",
+                                 {Subgroup{"piorstat", 7}}});
+  piordcrd = catalog_.add("piordcrd", 4, "DMU", "NCU");
+  reqtot = catalog_.add("reqtot", 3, "DMU", "SIU");
+  grant = catalog_.add("grant", 3, "SIU", "DMU");
+  dmusiidata = catalog_.add(Message{"dmusiidata", 20, "DMU", "SIU",
+                                    {Subgroup{"cputhreadid", 6},
+                                     Subgroup{"mondopayld", 8}}});
+  siincu = catalog_.add("siincu", 4, "SIU", "NCU");
+  mondoacknack = catalog_.add("mondoacknack", 2, "NCU", "DMU");
+
+  // Branch messages.
+  mondonack = catalog_.add("mondonack", 2, "NCU", "DMU");
+  reqretry = catalog_.add("reqretry", 3, "DMU", "SIU");
+  piomiss = catalog_.add("piomiss", 4, "DMU", "NCU");
+  pioretry = catalog_.add("pioretry", 4, "NCU", "DMU");
+
+  {
+    FlowBuilder b("MonNack");
+    b.state("Idle", FlowBuilder::kInitial)
+        .state("Req")
+        .state("Granted")
+        .state("Xfer", FlowBuilder::kAtomic)
+        .state("Delivered")
+        .state("Done", FlowBuilder::kStop)
+        .state("Nacked")
+        .state("Requeued", FlowBuilder::kStop)
+        .transition("Idle", reqtot, "Req")
+        .transition("Req", grant, "Granted")
+        .transition("Granted", dmusiidata, "Xfer")
+        .transition("Xfer", siincu, "Delivered")
+        .transition("Delivered", mondoacknack, "Done")
+        .transition("Delivered", mondonack, "Nacked")
+        .transition("Nacked", reqretry, "Requeued");
+    mondo_nack_ = b.build(catalog_);
+  }
+  {
+    FlowBuilder b("PiorRetry");
+    b.state("Idle", FlowBuilder::kInitial)
+        .state("Issued")
+        .state("Fetch")
+        .state("Return", FlowBuilder::kAtomic)
+        .state("DataRdy")
+        .state("Done", FlowBuilder::kStop)
+        .state("Miss")
+        .state("Retried", FlowBuilder::kStop)
+        .transition("Idle", ncupior, "Issued")
+        .transition("Issued", dmurd, "Fetch")
+        .transition("Fetch", siurtn, "Return")
+        .transition("Return", dmuncud, "DataRdy")
+        .transition("DataRdy", piordcrd, "Done")
+        .transition("Issued", piomiss, "Miss")
+        .transition("Miss", pioretry, "Retried");
+    pior_retry_ = b.build(catalog_);
+  }
+}
+
+}  // namespace tracesel::soc

@@ -1,0 +1,48 @@
+#pragma once
+// Extended T2 flow variants with protocol branch points.
+//
+// The base T2Design models the happy paths of Table 1. Real T2 protocols
+// branch: a Mondo interrupt can be NACKed and retried, and a PIO read can
+// be retried after a credit miss. These variants exercise the flow model
+// on genuinely branching DAGs (multiple outgoing transitions per state,
+// multiple stop states) and give the benches an ablation axis: how does
+// selection behave when flows have alternative executions?
+
+#include "flow/flow.hpp"
+#include "flow/message.hpp"
+#include "soc/ip.hpp"
+
+namespace tracesel::soc {
+
+/// Catalog + branching flows. Message names/widths are a superset of
+/// T2Design's (same 17 base messages plus the branch messages), so results
+/// are directly comparable.
+class T2ExtendedDesign {
+ public:
+  T2ExtendedDesign();
+
+  const flow::MessageCatalog& catalog() const { return catalog_; }
+
+  /// Mondo with a NACK/retry branch:
+  ///   Delivered --mondoacknack--> Done           (accepted)
+  ///   Delivered --mondonack-----> Nacked --reqretry--> Requeued (dropped)
+  const flow::Flow& mondo_nack() const { return *mondo_nack_; }
+
+  /// PIO read with a credit-miss retry branch:
+  ///   Issued --dmurd-->  Fetch ... Done          (hit)
+  ///   Issued --piomiss--> Miss --pioretry--> Retried (gave up)
+  const flow::Flow& pior_retry() const { return *pior_retry_; }
+
+  // Base message ids shared with T2Design naming.
+  flow::MessageId ncupior, dmurd, siurtn, dmuncud, piordcrd;
+  flow::MessageId reqtot, grant, dmusiidata, siincu, mondoacknack;
+  // Branch messages.
+  flow::MessageId mondonack, reqretry, piomiss, pioretry;
+
+ private:
+  flow::MessageCatalog catalog_;
+  std::optional<flow::Flow> mondo_nack_;
+  std::optional<flow::Flow> pior_retry_;
+};
+
+}  // namespace tracesel::soc

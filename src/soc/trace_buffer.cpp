@@ -1,0 +1,106 @@
+#include "soc/trace_buffer.hpp"
+
+#include <stdexcept>
+
+#include "util/bits.hpp"
+
+namespace tracesel::soc {
+
+TraceBuffer::TraceBuffer(TraceBufferConfig config) : config_(config) {
+  if (config_.width == 0)
+    throw std::invalid_argument("TraceBuffer: zero width");
+  if (config_.depth == 0)
+    throw std::invalid_argument("TraceBuffer: zero depth");
+}
+
+void TraceBuffer::configure(const flow::MessageCatalog& catalog,
+                            const selection::SelectionResult& selection) {
+  std::unordered_map<flow::MessageId, Field> fields;
+  std::uint32_t used = 0;
+  for (flow::MessageId m : selection.combination.messages) {
+    const std::uint32_t w = catalog.get(m).trace_width();
+    fields[m] = Field{w, false};
+    used += w;
+  }
+  for (const selection::PackedGroup& pg : selection.packed) {
+    if (fields.contains(pg.parent))
+      throw std::invalid_argument(
+          "TraceBuffer: packed parent already traced at full width");
+    fields[pg.parent] = Field{pg.width, true};
+    used += pg.width;
+  }
+  if (used > config_.width)
+    throw std::invalid_argument(
+        "TraceBuffer: selection wider than the buffer");
+  fields_ = std::move(fields);
+  used_bits_ = used;
+  ring_.clear();
+  next_ = 0;
+  overwritten_ = 0;
+  wrapped_ = false;
+  trigger_ = TraceTrigger{};
+  state_ = TriggerState::kCapturing;
+}
+
+void TraceBuffer::set_trigger(const TraceTrigger& trigger) {
+  trigger_ = trigger;
+  state_ = trigger.start == flow::kInvalidMessage ? TriggerState::kCapturing
+                                                  : TriggerState::kWaiting;
+}
+
+bool TraceBuffer::observes(flow::MessageId m) const {
+  return fields_.contains(m);
+}
+
+void TraceBuffer::record(const TimedMessage& tm) {
+  // Trigger state machine sees every message, observable or not.
+  bool record_this = state_ == TriggerState::kCapturing;
+  if (state_ == TriggerState::kWaiting &&
+      tm.msg.message == trigger_.start) {
+    state_ = TriggerState::kCapturing;
+    record_this = trigger_.include_trigger;
+  } else if (state_ == TriggerState::kCapturing &&
+             trigger_.stop != flow::kInvalidMessage &&
+             tm.msg.message == trigger_.stop) {
+    state_ = TriggerState::kStopped;
+    record_this = trigger_.include_trigger;
+  }
+  if (!record_this) return;
+
+  const auto it = fields_.find(tm.msg.message);
+  if (it == fields_.end()) return;
+
+  TraceRecord rec;
+  rec.msg = tm.msg;
+  rec.cycle = tm.cycle;
+  rec.value = tm.value & util::max_value_for_width(it->second.width);
+  rec.partial = it->second.partial;
+  rec.session = tm.session;
+  rec.dst = tm.dst;
+
+  if (ring_.size() < config_.depth) {
+    ring_.push_back(rec);
+  } else {
+    ring_[next_] = rec;
+    next_ = (next_ + 1) % config_.depth;
+    ++overwritten_;
+    wrapped_ = true;
+  }
+}
+
+std::vector<TraceRecord> TraceBuffer::records() const {
+  if (!wrapped_) return ring_;
+  std::vector<TraceRecord> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  return out;
+}
+
+std::size_t TraceBuffer::size() const { return ring_.size(); }
+
+double TraceBuffer::utilization() const {
+  return static_cast<double>(used_bits_) / config_.width;
+}
+
+}  // namespace tracesel::soc

@@ -1,0 +1,103 @@
+#pragma once
+// The on-chip trace buffer model. Width is the number of bits recordable
+// per entry (the paper's Table 3 assumes 32); depth is the number of
+// entries before wrap-around. configure() lays out the fields of a
+// selection result (Step 2 messages at full width, Step 3 subgroups at
+// subgroup width); record() then captures exactly the observable messages,
+// truncating values of packed parents to the subgroup's width.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "flow/message.hpp"
+#include "selection/selector.hpp"
+#include "soc/monitor.hpp"
+
+namespace tracesel::soc {
+
+struct TraceBufferConfig {
+  std::uint32_t width = 32;  ///< bits per entry
+  std::size_t depth = 4096;  ///< entries before wrap
+};
+
+/// Trace qualification: an optional capture window. Real debug buses gate
+/// recording on trigger events so the shallow buffer spends its depth on
+/// the interesting region. The trigger comparators watch the *message
+/// stream* (any message, traced or not); only observable messages are
+/// recorded inside the window.
+struct TraceTrigger {
+  /// Start capturing when this message is seen (kInvalidMessage = armed
+  /// from reset).
+  flow::MessageId start = flow::kInvalidMessage;
+  /// Stop capturing when this message is seen (kInvalidMessage = never).
+  flow::MessageId stop = flow::kInvalidMessage;
+  /// Record the start/stop messages themselves (if observable).
+  bool include_trigger = true;
+};
+
+/// One captured trace entry.
+struct TraceRecord {
+  flow::IndexedMessage msg;
+  std::uint64_t cycle = 0;
+  std::uint64_t value = 0;  ///< truncated to the recorded field width
+  bool partial = false;     ///< captured through a packed subgroup
+  std::uint32_t session = 0;
+  std::string dst;          ///< routed destination IP (misroute evidence)
+};
+
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(TraceBufferConfig config = {});
+
+  /// Installs the field layout of a selection. Throws std::invalid_argument
+  /// if the selection needs more bits than the buffer width.
+  void configure(const flow::MessageCatalog& catalog,
+                 const selection::SelectionResult& selection);
+
+  /// True if the message is observable under the configured layout.
+  bool observes(flow::MessageId m) const;
+
+  /// Installs a capture window; resets the trigger state machine.
+  /// configure() clears any installed trigger.
+  void set_trigger(const TraceTrigger& trigger);
+
+  /// True while the capture window is open.
+  bool capturing() const { return state_ == TriggerState::kCapturing; }
+
+  /// Captures a message if observable; silently ignores others (they do
+  /// not reach the buffer). Oldest entries are overwritten after `depth`.
+  void record(const TimedMessage& tm);
+
+  /// Records in capture order, oldest first (post-wrap view).
+  std::vector<TraceRecord> records() const;
+
+  std::size_t size() const;
+  std::size_t overwritten() const { return overwritten_; }
+
+  /// Bits of the entry consumed by the configured fields / total width.
+  double utilization() const;
+
+  const TraceBufferConfig& config() const { return config_; }
+
+ private:
+  struct Field {
+    std::uint32_t width = 0;
+    bool partial = false;
+  };
+
+  enum class TriggerState { kCapturing, kWaiting, kStopped };
+
+  TraceBufferConfig config_;
+  TraceTrigger trigger_;
+  TriggerState state_ = TriggerState::kCapturing;
+  std::unordered_map<flow::MessageId, Field> fields_;
+  std::uint32_t used_bits_ = 0;
+  std::vector<TraceRecord> ring_;
+  std::size_t next_ = 0;
+  std::size_t overwritten_ = 0;
+  bool wrapped_ = false;
+};
+
+}  // namespace tracesel::soc

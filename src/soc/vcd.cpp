@@ -1,0 +1,153 @@
+#include "soc/vcd.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace tracesel::soc {
+
+namespace {
+
+/// Compact VCD identifier for index n: base-94 over printable ASCII.
+std::string vcd_id(std::size_t n) {
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + n % 94));
+    n /= 94;
+  } while (n != 0);
+  return id;
+}
+
+std::string binary(std::uint64_t value, std::uint32_t width) {
+  std::string bits;
+  bits.reserve(width);
+  for (std::uint32_t i = width; i-- > 0;)
+    bits.push_back((value >> i) & 1 ? '1' : '0');
+  return bits;
+}
+
+struct Var {
+  std::string name;
+  std::uint32_t width = 1;
+  std::string id;
+};
+
+void emit_header(std::ostringstream& os, std::string_view module,
+                 const std::vector<Var>& vars) {
+  os << "$date reproduction run $end\n"
+     << "$version tracesel $end\n"
+     << "$timescale 1ns $end\n"
+     << "$scope module " << module << " $end\n";
+  for (const Var& v : vars) {
+    os << "$var wire " << v.width << ' ' << v.id << ' ' << v.name
+       << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+}
+
+void emit_change(std::ostringstream& os, const Var& v, std::uint64_t value) {
+  if (v.width == 1) {
+    os << (value & 1 ? '1' : '0') << v.id << '\n';
+  } else {
+    os << 'b' << binary(value, v.width) << ' ' << v.id << '\n';
+  }
+}
+
+}  // namespace
+
+std::string to_vcd(const flow::MessageCatalog& catalog,
+                   const std::vector<SignalEvent>& events,
+                   std::string_view module) {
+  // Collect distinct signals and give them widths: "<msg>_data" uses the
+  // catalog width; valids are single-bit; other aux fields 8 bits.
+  std::map<std::string, Var> vars;
+  for (const SignalEvent& ev : events) {
+    if (vars.contains(ev.signal)) continue;
+    Var v;
+    v.name = ev.signal;
+    const auto underscore = ev.signal.rfind('_');
+    const std::string base =
+        underscore == std::string::npos ? ev.signal
+                                        : ev.signal.substr(0, underscore);
+    const std::string kind =
+        underscore == std::string::npos ? ""
+                                        : ev.signal.substr(underscore + 1);
+    if (kind == "valid") {
+      v.width = 1;
+    } else if (kind == "data") {
+      const auto id = catalog.find(base);
+      v.width = id ? catalog.get(*id).width : 64;
+    } else {
+      v.width = 8;
+    }
+    v.id = vcd_id(vars.size());
+    vars.emplace(ev.signal, std::move(v));
+  }
+
+  std::ostringstream os;
+  std::vector<Var> ordered;
+  for (const auto& [name, v] : vars) ordered.push_back(v);
+  emit_header(os, module, ordered);
+
+  // Group events by cycle; de-assert valid strobes one time unit later.
+  std::map<std::uint64_t, std::vector<std::pair<const Var*, std::uint64_t>>>
+      timeline;
+  for (const SignalEvent& ev : events) {
+    const Var& v = vars.at(ev.signal);
+    timeline[ev.cycle].emplace_back(&v, ev.value);
+    if (v.width == 1 && ev.value != 0)
+      timeline[ev.cycle + 1].emplace_back(&v, 0);
+  }
+  for (const auto& [cycle, changes] : timeline) {
+    os << '#' << cycle << '\n';
+    for (const auto& [v, value] : changes) emit_change(os, *v, value);
+  }
+  return os.str();
+}
+
+std::string trace_to_vcd(const flow::MessageCatalog& catalog,
+                         const std::vector<TraceRecord>& records,
+                         std::string_view module) {
+  std::map<flow::MessageId, Var> value_vars;
+  std::map<flow::MessageId, Var> strobe_vars;
+  std::size_t next = 0;
+  for (const TraceRecord& r : records) {
+    if (value_vars.contains(r.msg.message)) continue;
+    const flow::Message& m = catalog.get(r.msg.message);
+    // The recorded field width: full message width, or the widest partial
+    // capture observed (partial records were truncated already).
+    Var v;
+    v.name = m.name;
+    v.width = m.width;
+    v.id = vcd_id(next++);
+    value_vars.emplace(r.msg.message, std::move(v));
+    Var s;
+    s.name = m.name + "_capture";
+    s.width = 1;
+    s.id = vcd_id(next++);
+    strobe_vars.emplace(r.msg.message, std::move(s));
+  }
+
+  std::vector<Var> ordered;
+  for (const auto& [id, v] : value_vars) {
+    ordered.push_back(v);
+    ordered.push_back(strobe_vars.at(id));
+  }
+  std::ostringstream os;
+  emit_header(os, module, ordered);
+
+  std::map<std::uint64_t, std::vector<std::pair<const Var*, std::uint64_t>>>
+      timeline;
+  for (const TraceRecord& r : records) {
+    timeline[r.cycle].emplace_back(&value_vars.at(r.msg.message), r.value);
+    timeline[r.cycle].emplace_back(&strobe_vars.at(r.msg.message), 1);
+    timeline[r.cycle + 1].emplace_back(&strobe_vars.at(r.msg.message), 0);
+  }
+  for (const auto& [cycle, changes] : timeline) {
+    os << '#' << cycle << '\n';
+    for (const auto& [v, value] : changes) emit_change(os, *v, value);
+  }
+  return os.str();
+}
+
+}  // namespace tracesel::soc

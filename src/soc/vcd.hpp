@@ -1,0 +1,32 @@
+#pragma once
+// Value Change Dump (IEEE 1364) export of simulation activity and trace
+// buffer contents. Post-silicon labs live in waveform viewers; dumping the
+// monitor's signal events or the captured trace as VCD lets standard tools
+// (gtkwave etc.) display what the trace buffer actually saw.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "flow/message.hpp"
+#include "soc/monitor.hpp"
+#include "soc/trace_buffer.hpp"
+
+namespace tracesel::soc {
+
+/// Renders raw interface signal events as VCD. Each distinct signal name
+/// becomes a wire; data wires use the width of their catalog message,
+/// auxiliary wires (tag/sess/dst) 8 bits, valid strobes 1 bit (pulsed for
+/// one time unit).
+std::string to_vcd(const flow::MessageCatalog& catalog,
+                   const std::vector<SignalEvent>& events,
+                   std::string_view module = "soc");
+
+/// Renders captured trace-buffer records as VCD: one wire per traced
+/// message (field width = recorded width), value changes at capture
+/// cycles, plus a 1-bit capture strobe per message.
+std::string trace_to_vcd(const flow::MessageCatalog& catalog,
+                         const std::vector<TraceRecord>& records,
+                         std::string_view module = "trace_buffer");
+
+}  // namespace tracesel::soc

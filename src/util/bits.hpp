@@ -1,0 +1,27 @@
+#pragma once
+// Bit-width helpers shared by the flow model and the trace buffer.
+
+#include <cstdint>
+
+namespace tracesel::util {
+
+/// Number of bits needed to represent `values` distinct values
+/// (ceil(log2(values)), minimum 1). A message content space of N values
+/// needs this many trace-buffer bits.
+constexpr std::uint32_t bits_for_values(std::uint64_t values) {
+  if (values <= 2) return 1;
+  std::uint32_t bits = 0;
+  std::uint64_t capacity = 1;
+  while (capacity < values) {
+    capacity <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+/// Largest value representable in `width` bits.
+constexpr std::uint64_t max_value_for_width(std::uint32_t width) {
+  return width >= 64 ? ~0ull : ((1ull << width) - 1);
+}
+
+}  // namespace tracesel::util

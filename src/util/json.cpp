@@ -1,0 +1,164 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace tracesel::util {
+
+Json Json::null() { return Json(); }
+
+Json Json::boolean(bool value) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = value;
+  return j;
+}
+
+Json Json::number(double value) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.num_ = value;
+  j.integral_ = false;
+  return j;
+}
+
+Json Json::number(std::int64_t value) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.int_ = value;
+  j.integral_ = true;
+  return j;
+}
+
+Json Json::number(std::uint64_t value) {
+  if (value > static_cast<std::uint64_t>(
+                  std::numeric_limits<std::int64_t>::max()))
+    return number(static_cast<double>(value));
+  return number(static_cast<std::int64_t>(value));
+}
+
+Json Json::string(std::string_view value) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.str_ = std::string(value);
+  return j;
+}
+
+Json Json::array(std::vector<Json> items) {
+  Json j;
+  j.kind_ = Kind::kArray;
+  j.items_ = std::move(items);
+  return j;
+}
+
+Json Json::object(std::vector<std::pair<std::string, Json>> members) {
+  Json j;
+  j.kind_ = Kind::kObject;
+  j.members_ = std::move(members);
+  return j;
+}
+
+void Json::push_back(Json item) {
+  if (kind_ != Kind::kArray)
+    throw std::logic_error("Json::push_back on non-array");
+  items_.push_back(std::move(item));
+}
+
+void Json::set(std::string key, Json value) {
+  if (kind_ != Kind::kObject)
+    throw std::logic_error("Json::set on non-object");
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+}
+
+namespace {
+
+void escape_into(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void pad(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out.push_back('\n');
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::render(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kNumber: {
+      if (integral_) {
+        out += std::to_string(int_);
+      } else if (std::isfinite(num_)) {
+        std::ostringstream os;
+        os.precision(15);
+        os << num_;
+        out += os.str();
+      } else {
+        out += "null";  // JSON has no Inf/NaN
+      }
+      break;
+    }
+    case Kind::kString: escape_into(out, str_); break;
+    case Kind::kArray: {
+      out.push_back('[');
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i) out.push_back(',');
+        pad(out, indent, depth + 1);
+        items_[i].render(out, indent, depth + 1);
+      }
+      if (!items_.empty()) pad(out, indent, depth);
+      out.push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      out.push_back('{');
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i) out.push_back(',');
+        pad(out, indent, depth + 1);
+        escape_into(out, members_[i].first);
+        out.push_back(':');
+        if (indent > 0) out.push_back(' ');
+        members_[i].second.render(out, indent, depth + 1);
+      }
+      if (!members_.empty()) pad(out, indent, depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  render(out, indent, 0);
+  return out;
+}
+
+}  // namespace tracesel::util

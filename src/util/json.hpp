@@ -1,0 +1,52 @@
+#pragma once
+// Minimal JSON writer (no parsing): enough to serialize results for CI
+// pipelines and notebooks. Values are built bottom-up; rendering is
+// deterministic (object keys keep insertion order).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tracesel::util {
+
+/// An immutable JSON value. Construct with the static factories; render
+/// with dump().
+class Json {
+ public:
+  static Json null();
+  static Json boolean(bool value);
+  static Json number(double value);
+  static Json number(std::int64_t value);
+  static Json number(std::uint64_t value);
+  static Json string(std::string_view value);
+  static Json array(std::vector<Json> items = {});
+  static Json object(
+      std::vector<std::pair<std::string, Json>> members = {});
+
+  /// Array/object builders (no-ops with a diagnostic throw on other kinds).
+  void push_back(Json item);
+  void set(std::string key, Json value);
+
+  /// Renders compact JSON; `indent` > 0 pretty-prints.
+  std::string dump(int indent = 0) const;
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+  void render(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  bool integral_ = false;
+  std::int64_t int_ = 0;
+  std::string str_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace tracesel::util

@@ -1,0 +1,33 @@
+#include "util/log.hpp"
+
+#include <atomic>
+
+namespace tracesel::util {
+
+namespace {
+std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "[debug] ";
+    case LogLevel::kInfo: return "[info ] ";
+    case LogLevel::kWarn: return "[warn ] ";
+    case LogLevel::kError: return "[error] ";
+  }
+  return "[?    ] ";
+}
+}  // namespace
+
+LogLevel log_threshold() { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_log_threshold(LogLevel level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+void emit(LogLevel level, const std::string& text) {
+  std::clog << prefix(level) << text << '\n';
+}
+}  // namespace detail
+
+}  // namespace tracesel::util

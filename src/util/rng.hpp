@@ -1,0 +1,110 @@
+#pragma once
+// Deterministic pseudo-random number generation for simulation and benches.
+//
+// All randomized components of the library (transaction scheduling, bug
+// manifestation latency, debug investigation order) draw from an explicitly
+// seeded Rng so that every experiment in bench/ is bit-reproducible.
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace tracesel::util {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+/// implementation), wrapped as a value type satisfying
+/// std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit lanes from a single seed via splitmix64, the
+  /// initialization recommended by the xoshiro authors.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    std::uint64_t x = seed;
+    for (auto& lane : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      lane = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
+  /// method; unbiased. bound must be nonzero.
+  std::uint64_t below(std::uint64_t bound) {
+    if (bound == 0) throw std::invalid_argument("Rng::below: bound == 0");
+    // Rejection threshold for unbiased mapping.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    if (lo > hi) throw std::invalid_argument("Rng::between: lo > hi");
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() {
+    // 53 high bits -> double mantissa.
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool chance(double p) { return unit() < p; }
+
+  /// Picks a uniformly random index of a nonempty container-sized range.
+  std::size_t index(std::size_t size) {
+    return static_cast<std::size_t>(below(static_cast<std::uint64_t>(size)));
+  }
+
+  /// Fisher-Yates shuffle of a span, using this generator.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    shuffle(std::span<T>(items));
+  }
+
+  /// Derives an independent child generator; convenient for giving each
+  /// subsystem its own stream without correlated draws.
+  Rng fork() { return Rng((*this)() ^ 0xD1B54A32D192ED03ull); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace tracesel::util

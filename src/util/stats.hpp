@@ -1,0 +1,34 @@
+#pragma once
+// Small statistics helpers used by the evaluation harness (correlation for
+// Fig. 5, averages for the headline numbers, etc.).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tracesel::util {
+
+/// Arithmetic mean; 0 for an empty range.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for ranges shorter than 2.
+double stddev(std::span<const double> xs);
+
+/// Pearson product-moment correlation of two equal-length ranges.
+/// Returns 0 when either range has zero variance or fewer than 2 points.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Spearman rank correlation (Pearson on fractional ranks, with ties
+/// averaged). Used to check the "coverage increases monotonically with
+/// information gain" claim of Sec. 5.3 without assuming linearity.
+double spearman(std::span<const double> xs, std::span<const double> ys);
+
+/// Fraction of adjacent pairs (after sorting by x) for which y does not
+/// decrease — a direct monotonicity score in [0,1].
+double monotone_fraction(std::span<const double> xs,
+                         std::span<const double> ys);
+
+/// Fractional ranks of a sample (average ranks for ties), 1-based.
+std::vector<double> ranks(std::span<const double> xs);
+
+}  // namespace tracesel::util

@@ -1,0 +1,79 @@
+#include "util/table.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tracesel::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: no headers");
+  aligns_.assign(headers_.size(), Align::kRight);
+  aligns_[0] = Align::kLeft;
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() > headers_.size())
+    throw std::invalid_argument("Table: row wider than header");
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::set_align(std::size_t col, Align align) {
+  if (col >= aligns_.size()) throw std::out_of_range("Table: bad column");
+  aligns_[col] = align;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t pad = widths[c] - row[c].size();
+      os << ' ';
+      if (aligns_[c] == Align::kRight) os << std::string(pad, ' ');
+      os << row[c];
+      if (aligns_[c] == Align::kLeft) os << std::string(pad, ' ');
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  rule();
+  emit(headers_);
+  rule();
+  for (const auto& row : rows_) emit(row);
+  rule();
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& table) {
+  return os << table.to_string();
+}
+
+std::string pct(double fraction, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << fraction * 100.0 << '%';
+  return os.str();
+}
+
+std::string fixed(double value, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << value;
+  return os.str();
+}
+
+}  // namespace tracesel::util

@@ -1,0 +1,49 @@
+#pragma once
+// ASCII table rendering for the bench harness. Every bench binary prints the
+// same rows/columns the paper's tables report, through this formatter.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tracesel::util {
+
+/// Column alignment inside a rendered table.
+enum class Align { kLeft, kRight };
+
+/// A minimal monospace table: header row, body rows, per-column alignment.
+/// Cells are strings; use format helpers (pct, fixed) for numbers.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row. Rows shorter than the header are right-padded with
+  /// empty cells; longer rows are an error.
+  void add_row(std::vector<std::string> cells);
+
+  /// Overrides alignment of one column (default: left for col 0, right
+  /// otherwise).
+  void set_align(std::size_t col, Align align);
+
+  /// Renders with unicode-free box drawing, suitable for terminals and logs.
+  std::string to_string() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> aligns_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& table);
+
+/// Formats a fraction in [0,1] as a percentage with two decimals ("98.96%").
+std::string pct(double fraction, int decimals = 2);
+
+/// Formats a double with fixed decimals.
+std::string fixed(double value, int decimals = 2);
+
+}  // namespace tracesel::util

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "baseline/flop_graph.hpp"
+#include "baseline/prnet.hpp"
+#include "baseline/sigset.hpp"
+#include "netlist/usb_design.hpp"
+
+namespace tracesel::baseline {
+namespace {
+
+TEST(FlopGraph, EdgesFollowCombinationalCones) {
+  netlist::Netlist nl;
+  const auto in = nl.add_input("in");
+  const auto f0 = nl.add_flop("f0");
+  const auto f1 = nl.add_flop("f1");
+  const auto f2 = nl.add_flop("f2");
+  nl.set_flop_input(f0, in);
+  nl.set_flop_input(f1, nl.add_not(f0));
+  nl.set_flop_input(f2, nl.add_and(f0, f1));
+  const auto g = flop_dependency_graph(nl);
+  ASSERT_EQ(g.size(), 3u);
+  // f0 feeds f1 and f2; f1 feeds f2; f2 feeds nothing.
+  EXPECT_EQ(g[0], (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(g[1], (std::vector<std::size_t>{2}));
+  EXPECT_TRUE(g[2].empty());
+}
+
+TEST(FlopGraph, StopsAtSequentialBoundary) {
+  // f2's cone reaches f1 but must not look *through* f1 to f0.
+  netlist::Netlist nl;
+  const auto in = nl.add_input("in");
+  const auto f0 = nl.add_flop("f0");
+  const auto f1 = nl.add_flop("f1");
+  const auto f2 = nl.add_flop("f2");
+  nl.set_flop_input(f0, in);
+  nl.set_flop_input(f1, nl.add_not(f0));
+  nl.set_flop_input(f2, nl.add_gate(netlist::GateType::kBuf, {f1}));
+  const auto g = flop_dependency_graph(nl);
+  EXPECT_EQ(g[0], (std::vector<std::size_t>{1}));  // f0 -> f1 only
+}
+
+TEST(PageRank, UniformOnSymmetricCycle) {
+  // 3-cycle: all ranks equal 1/3.
+  const std::vector<std::vector<std::size_t>> g{{1}, {2}, {0}};
+  const auto r = pagerank(g, 0.85, 100);
+  ASSERT_EQ(r.size(), 3u);
+  for (double x : r) EXPECT_NEAR(x, 1.0 / 3.0, 1e-9);
+}
+
+TEST(PageRank, SinkReceivesMoreThanSources) {
+  // Two sources pointing at one sink.
+  const std::vector<std::vector<std::size_t>> g{{2}, {2}, {}};
+  const auto r = pagerank(g, 0.85, 100);
+  EXPECT_GT(r[2], r[0]);
+  EXPECT_NEAR(r[0], r[1], 1e-12);
+}
+
+TEST(PageRank, MassIsConserved) {
+  const std::vector<std::vector<std::size_t>> g{{1, 2}, {2}, {}, {0}};
+  const auto r = pagerank(g, 0.85, 200);
+  EXPECT_NEAR(std::accumulate(r.begin(), r.end(), 0.0), 1.0, 1e-9);
+}
+
+TEST(PageRank, RejectsBadDamping) {
+  EXPECT_THROW(pagerank({{0}}, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(pagerank({{0}}, -0.1, 10), std::invalid_argument);
+}
+
+TEST(PageRank, EmptyGraphYieldsEmpty) {
+  EXPECT_TRUE(pagerank({}, 0.85, 10).empty());
+}
+
+class UsbBaselineTest : public ::testing::Test {
+ protected:
+  netlist::UsbDesign usb_;
+};
+
+TEST_F(UsbBaselineTest, SigsetRespectsBudget) {
+  SigSeTOptions opt;
+  opt.budget_bits = 16;
+  opt.sim_cycles = 12;
+  const auto r = select_sigset(usb_.netlist(), opt);
+  EXPECT_EQ(r.selected.size(), 16u);
+  EXPECT_GT(r.srr, 1.0);
+  // Selected nets are flops and unique.
+  for (auto f : r.selected)
+    EXPECT_EQ(usb_.netlist().gate(f).type, netlist::GateType::kFlop);
+  auto sorted = r.selected;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST_F(UsbBaselineTest, SigsetGreedyGainIsMonotone) {
+  // Each added flop can only grow the known state; SRR of a longer prefix
+  // evaluated on the same trace never loses known bits.
+  SigSeTOptions opt;
+  opt.budget_bits = 8;
+  opt.sim_cycles = 12;
+  const auto r = select_sigset(usb_.netlist(), opt);
+  const auto trace = golden_flop_trace(usb_.netlist(), 12, opt.seed);
+  const netlist::RestorationEngine engine(usb_.netlist());
+  std::size_t last_known = 0;
+  for (std::size_t k = 1; k <= r.selected.size(); ++k) {
+    std::vector<netlist::NetId> prefix(r.selected.begin(),
+                                       r.selected.begin() + k);
+    const auto res = engine.restore(prefix, trace);
+    const std::size_t known =
+        res.traced_flop_cycles + res.restored_flop_cycles;
+    EXPECT_GE(known, last_known);
+    last_known = known;
+  }
+}
+
+TEST_F(UsbBaselineTest, PrnetRespectsBudgetAndRanksAllFlops) {
+  PrNetOptions opt;
+  opt.budget_bits = 32;
+  const auto r = select_prnet(usb_.netlist(), opt);
+  EXPECT_EQ(r.selected.size(), 32u);
+  EXPECT_EQ(r.ranks.size(), usb_.netlist().flops().size());
+}
+
+TEST_F(UsbBaselineTest, PrnetSelectionIsRankOrdered) {
+  const auto r = select_prnet(usb_.netlist());
+  // map net -> flop index
+  const auto& flops = usb_.netlist().flops();
+  auto rank_of = [&](netlist::NetId f) {
+    const auto it = std::find(flops.begin(), flops.end(), f);
+    return r.ranks[static_cast<std::size_t>(it - flops.begin())];
+  };
+  for (std::size_t i = 1; i < r.selected.size(); ++i)
+    EXPECT_GE(rank_of(r.selected[i - 1]), rank_of(r.selected[i]));
+}
+
+TEST_F(UsbBaselineTest, BaselinesMissMostInterfaceSignals) {
+  // The Sec. 5.4 claim: gate-level selection overlooks the application
+  // interface. Under a 32-bit budget both baselines must fail to fully
+  // capture at least half of the ten Table 4 signals.
+  const auto ss = select_sigset(usb_.netlist());
+  const auto pr = select_prnet(usb_.netlist());
+  for (const auto* sel : {&ss.selected, &pr.selected}) {
+    std::size_t full = 0;
+    for (const auto& sg : usb_.interface_signals()) {
+      if (coverage_of(sg, *sel) == netlist::SignalCoverage::kFull) ++full;
+    }
+    EXPECT_LT(full, 5u);
+  }
+}
+
+TEST_F(UsbBaselineTest, SigsetDeterministicForSeed) {
+  SigSeTOptions opt;
+  opt.budget_bits = 8;
+  opt.sim_cycles = 12;
+  const auto a = select_sigset(usb_.netlist(), opt);
+  const auto b = select_sigset(usb_.netlist(), opt);
+  EXPECT_EQ(a.selected, b.selected);
+}
+
+}  // namespace
+}  // namespace tracesel::baseline

@@ -1,0 +1,58 @@
+#include "debug/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tracesel::debug {
+namespace {
+
+class MonteCarloTest : public ::testing::Test {
+ protected:
+  soc::T2Design design_;
+};
+
+TEST_F(MonteCarloTest, AggregatesAcrossSeeds) {
+  const auto cs = soc::standard_case_studies()[0];
+  const auto mc = evaluate_case_study(design_, cs, {}, 5);
+  EXPECT_EQ(mc.runs, 5u);
+  EXPECT_EQ(mc.failures_detected, 5u);  // deterministic active bug
+  EXPECT_GT(mc.pruned_fraction.mean, 0.5);
+  EXPECT_LE(mc.pruned_fraction.max, 1.0);
+  EXPECT_GE(mc.pruned_fraction.min, 0.0);
+  EXPECT_LE(mc.pruned_fraction.min, mc.pruned_fraction.mean + 1e-12);
+  EXPECT_GE(mc.pruned_fraction.max, mc.pruned_fraction.mean - 1e-12);
+  EXPECT_GT(mc.messages_investigated.mean, 0.0);
+}
+
+TEST_F(MonteCarloTest, DeterministicGivenInputs) {
+  const auto cs = soc::standard_case_studies()[2];
+  const auto a = evaluate_case_study(design_, cs, {}, 4);
+  const auto b = evaluate_case_study(design_, cs, {}, 4);
+  EXPECT_DOUBLE_EQ(a.pruned_fraction.mean, b.pruned_fraction.mean);
+  EXPECT_DOUBLE_EQ(a.localization_fraction.max,
+                   b.localization_fraction.max);
+}
+
+TEST_F(MonteCarloTest, SelectionIndependentOfSeed) {
+  // The selection is a property of the flows, not the run: pruning varies
+  // only through investigation order/scheduling, so the stddev should stay
+  // modest.
+  const auto cs = soc::standard_case_studies()[1];
+  const auto mc = evaluate_case_study(design_, cs, {}, 8);
+  EXPECT_LT(mc.pruned_fraction.stddev, 0.25);
+}
+
+TEST_F(MonteCarloTest, ZeroRunsRejected) {
+  const auto cs = soc::standard_case_studies()[0];
+  EXPECT_THROW(evaluate_case_study(design_, cs, {}, 0),
+               std::invalid_argument);
+}
+
+TEST_F(MonteCarloTest, LocalizationAlwaysSound) {
+  const auto cs = soc::standard_case_studies()[3];
+  const auto mc = evaluate_case_study(design_, cs, {}, 5);
+  EXPECT_GT(mc.localization_fraction.min, 0.0);
+  EXPECT_LT(mc.localization_fraction.max, 0.0611);  // Table 3 bound
+}
+
+}  // namespace
+}  // namespace tracesel::debug

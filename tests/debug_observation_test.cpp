@@ -1,0 +1,105 @@
+#include "debug/observation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "soc/t2_design.hpp"
+
+namespace tracesel::debug {
+namespace {
+
+class ObservationTest : public ::testing::Test {
+ protected:
+  soc::TraceRecord rec(flow::MessageId m, std::uint32_t index,
+                       std::uint32_t session, std::uint64_t value,
+                       std::string dst = {}) {
+    soc::TraceRecord r;
+    r.msg = {m, index};
+    r.session = session;
+    r.value = value;
+    r.dst = dst.empty() ? design_.catalog().get(m).dest_ip : dst;
+    return r;
+  }
+
+  soc::T2Design design_;
+};
+
+TEST_F(ObservationTest, IdenticalTracesAreCorrect) {
+  const std::vector<soc::TraceRecord> golden{rec(design_.siincu, 1, 0, 5)};
+  const auto obs = observe(design_.catalog(), {design_.siincu}, golden,
+                           golden);
+  EXPECT_EQ(obs.status.at(design_.siincu), MsgStatus::kPresentCorrect);
+}
+
+TEST_F(ObservationTest, ValueMismatchIsCorrupt) {
+  const std::vector<soc::TraceRecord> golden{rec(design_.siincu, 1, 0, 5)};
+  const std::vector<soc::TraceRecord> buggy{rec(design_.siincu, 1, 0, 6)};
+  const auto obs =
+      observe(design_.catalog(), {design_.siincu}, golden, buggy);
+  EXPECT_EQ(obs.status.at(design_.siincu), MsgStatus::kPresentCorrupt);
+}
+
+TEST_F(ObservationTest, MissingOccurrenceIsAbsent) {
+  const std::vector<soc::TraceRecord> golden{rec(design_.siincu, 1, 0, 5),
+                                             rec(design_.siincu, 2, 0, 7)};
+  const std::vector<soc::TraceRecord> buggy{rec(design_.siincu, 1, 0, 5)};
+  const auto obs =
+      observe(design_.catalog(), {design_.siincu}, golden, buggy);
+  EXPECT_EQ(obs.status.at(design_.siincu), MsgStatus::kAbsent);
+}
+
+TEST_F(ObservationTest, WrongDestinationIsMisrouted) {
+  const std::vector<soc::TraceRecord> golden{rec(design_.piowcrd, 1, 0, 5)};
+  const std::vector<soc::TraceRecord> buggy{
+      rec(design_.piowcrd, 1, 0, 5, "SIU")};
+  const auto obs =
+      observe(design_.catalog(), {design_.piowcrd}, golden, buggy);
+  EXPECT_EQ(obs.status.at(design_.piowcrd), MsgStatus::kMisrouted);
+}
+
+TEST_F(ObservationTest, AbsenceDominatesCorruption) {
+  // One instance corrupted, another missing: report the graver status.
+  const std::vector<soc::TraceRecord> golden{rec(design_.siincu, 1, 0, 5),
+                                             rec(design_.siincu, 2, 0, 7)};
+  const std::vector<soc::TraceRecord> buggy{rec(design_.siincu, 1, 0, 6)};
+  const auto obs =
+      observe(design_.catalog(), {design_.siincu}, golden, buggy);
+  EXPECT_EQ(obs.status.at(design_.siincu), MsgStatus::kAbsent);
+}
+
+TEST_F(ObservationTest, UntracedMessagesNotReported) {
+  const std::vector<soc::TraceRecord> golden{rec(design_.siincu, 1, 0, 5)};
+  const auto obs = observe(design_.catalog(), {design_.grant}, golden,
+                           golden);
+  EXPECT_FALSE(obs.status.contains(design_.siincu));
+  EXPECT_TRUE(obs.status.contains(design_.grant));
+  // grant never occurred in either trace: trivially correct.
+  EXPECT_EQ(obs.status.at(design_.grant), MsgStatus::kPresentCorrect);
+}
+
+TEST_F(ObservationTest, SessionsAreComparedIndependently) {
+  // A corruption in session 1 must not be masked by session 0 matching.
+  const std::vector<soc::TraceRecord> golden{rec(design_.siincu, 1, 0, 5),
+                                             rec(design_.siincu, 1, 1, 9)};
+  const std::vector<soc::TraceRecord> buggy{rec(design_.siincu, 1, 0, 5),
+                                            rec(design_.siincu, 1, 1, 8)};
+  const auto obs =
+      observe(design_.catalog(), {design_.siincu}, golden, buggy);
+  EXPECT_EQ(obs.status.at(design_.siincu), MsgStatus::kPresentCorrupt);
+}
+
+TEST_F(ObservationTest, TracedListIsSorted) {
+  const auto obs = observe(design_.catalog(),
+                           {design_.siincu, design_.grant, design_.reqtot},
+                           {}, {});
+  EXPECT_TRUE(std::is_sorted(obs.traced.begin(), obs.traced.end()));
+}
+
+TEST(MsgStatusToString, Formats) {
+  EXPECT_EQ(to_string(MsgStatus::kPresentCorrect), "present-correct");
+  EXPECT_EQ(to_string(MsgStatus::kPresentCorrupt), "present-corrupt");
+  EXPECT_EQ(to_string(MsgStatus::kAbsent), "absent");
+  EXPECT_EQ(to_string(MsgStatus::kMisrouted), "misrouted");
+}
+
+}  // namespace
+}  // namespace tracesel::debug

@@ -1,0 +1,77 @@
+#include "debug/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace tracesel::debug {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  static const CaseStudyResult& result() {
+    static const soc::T2Design design;
+    static const CaseStudyResult r =
+        run_case_study(design, soc::standard_case_studies()[0]);
+    return r;
+  }
+  static const soc::T2Design& design() {
+    static const soc::T2Design d;
+    return d;
+  }
+};
+
+TEST_F(ReportTest, ContainsAllSections) {
+  const std::string md = markdown_report(design(), result());
+  EXPECT_NE(md.find("# Post-silicon debug report"), std::string::npos);
+  EXPECT_NE(md.find("## Trace buffer configuration"), std::string::npos);
+  EXPECT_NE(md.find("## Observation"), std::string::npos);
+  EXPECT_NE(md.find("## Investigation log"), std::string::npos);
+  EXPECT_NE(md.find("## Root cause analysis"), std::string::npos);
+  EXPECT_NE(md.find("## Path localization"), std::string::npos);
+}
+
+TEST_F(ReportTest, NamesSymptomAndRootCause) {
+  const std::string md = markdown_report(design(), result());
+  EXPECT_NE(md.find("FAIL: Bad Trap"), std::string::npos);
+  EXPECT_NE(md.find("Non-generation of Mondo interrupt by DMU"),
+            std::string::npos);
+  EXPECT_NE(md.find("88.89%"), std::string::npos);
+}
+
+TEST_F(ReportTest, ListsPackedSubgroup) {
+  const std::string md = markdown_report(design(), result());
+  EXPECT_NE(md.find("dmusiidata.cputhreadid"), std::string::npos);
+  EXPECT_NE(md.find("packed subgroup"), std::string::npos);
+}
+
+TEST_F(ReportTest, ListsAnomalousObservations) {
+  const std::string md = markdown_report(design(), result());
+  EXPECT_NE(md.find("| `siincu` | absent |"), std::string::npos);
+  EXPECT_NE(md.find("| `mondoacknack` | absent |"), std::string::npos);
+}
+
+TEST_F(ReportTest, IsDeterministic) {
+  EXPECT_EQ(markdown_report(design(), result()),
+            markdown_report(design(), result()));
+}
+
+TEST_F(ReportTest, WriteReportRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/tracesel_report.md";
+  write_report(design(), result(), path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), markdown_report(design(), result()));
+  std::remove(path.c_str());
+}
+
+TEST_F(ReportTest, WriteReportFailsOnBadPath) {
+  EXPECT_THROW(write_report(design(), result(), "/nonexistent/dir/x.md"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tracesel::debug

@@ -1,0 +1,160 @@
+#include "debug/root_cause.hpp"
+
+#include <gtest/gtest.h>
+
+#include "soc/scenario.hpp"
+
+namespace tracesel::debug {
+namespace {
+
+class RootCauseTest : public ::testing::Test {
+ protected:
+  soc::T2Design design_;
+};
+
+TEST_F(RootCauseTest, CatalogSizesMatchTable1) {
+  EXPECT_EQ(RootCauseCatalog::for_scenario(design_, 1).size(), 9u);
+  EXPECT_EQ(RootCauseCatalog::for_scenario(design_, 2).size(), 8u);
+  EXPECT_EQ(RootCauseCatalog::for_scenario(design_, 3).size(), 9u);
+  // Scenario 4 is the DMA extension (8 causes, not part of Table 1).
+  EXPECT_EQ(RootCauseCatalog::for_scenario(design_, 4).size(), 8u);
+  EXPECT_THROW(RootCauseCatalog::for_scenario(design_, 5), std::out_of_range);
+}
+
+TEST_F(RootCauseTest, CauseIdsUniqueWithinCatalog) {
+  for (int sc = 1; sc <= 4; ++sc) {
+    const auto catalog = RootCauseCatalog::for_scenario(design_, sc);
+    std::vector<int> ids;
+    for (const auto& c : catalog.causes()) ids.push_back(c.id);
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end()) << sc;
+  }
+}
+
+TEST_F(RootCauseTest, ByIdFindsAndThrows) {
+  const auto catalog = RootCauseCatalog::for_scenario(design_, 1);
+  EXPECT_EQ(catalog.by_id(3).description,
+            "Non-generation of Mondo interrupt by DMU");
+  EXPECT_THROW(catalog.by_id(99), std::out_of_range);
+}
+
+TEST_F(RootCauseTest, PredictedDefaultsToCorrect) {
+  const auto catalog = RootCauseCatalog::for_scenario(design_, 1);
+  const RootCause& c3 = catalog.by_id(3);
+  EXPECT_EQ(c3.predicted(design_.dmusiidata), MsgStatus::kAbsent);
+  EXPECT_EQ(c3.predicted(design_.ncupior), MsgStatus::kPresentCorrect);
+}
+
+TEST_F(RootCauseTest, SuspectPairsDeriveFromPredictions) {
+  const auto catalog = RootCauseCatalog::for_scenario(design_, 1);
+  const RootCause& c3 = catalog.by_id(3);
+  const auto pairs = c3.suspect_pairs(design_.catalog());
+  // dmusiidata: DMU->SIU, siincu: SIU->NCU, mondoacknack: NCU->DMU.
+  EXPECT_EQ(pairs.size(), 3u);
+}
+
+TEST_F(RootCauseTest, ConsistencyChecksOnlyTracedMessages) {
+  const auto catalog = RootCauseCatalog::for_scenario(design_, 1);
+  const RootCause& c3 = catalog.by_id(3);  // predicts dmusiidata absent
+
+  Observation obs;
+  obs.traced = {design_.siincu};
+  obs.status[design_.siincu] = MsgStatus::kAbsent;
+  // dmusiidata untraced: prediction unchecked; siincu matches.
+  EXPECT_TRUE(consistent(c3, obs));
+
+  obs.traced.push_back(design_.dmusiidata);
+  std::sort(obs.traced.begin(), obs.traced.end());
+  obs.status[design_.dmusiidata] = MsgStatus::kPresentCorrect;
+  // Now dmusiidata was observed healthy but c3 predicts absent.
+  EXPECT_FALSE(consistent(c3, obs));
+}
+
+TEST_F(RootCauseTest, PaperCaseStudyPruning) {
+  // Sec. 5.7: the observed signature of the dropped Mondo interrupt
+  // (dmusiidata, siincu, mondoacknack all absent; everything else clean)
+  // leaves exactly cause 3 of 9 -> 88.89% pruned.
+  const auto catalog = RootCauseCatalog::for_scenario(design_, 1);
+  Observation obs;
+  for (flow::MessageId m :
+       {design_.reqtot, design_.grant, design_.dmusiidata, design_.siincu,
+        design_.mondoacknack, design_.piowcrd, design_.piordcrd,
+        design_.dmurd}) {
+    obs.traced.push_back(m);
+    obs.status[m] = MsgStatus::kPresentCorrect;
+  }
+  std::sort(obs.traced.begin(), obs.traced.end());
+  obs.status[design_.dmusiidata] = MsgStatus::kAbsent;
+  obs.status[design_.siincu] = MsgStatus::kAbsent;
+  obs.status[design_.mondoacknack] = MsgStatus::kAbsent;
+
+  const auto plausible = prune(catalog, obs);
+  ASSERT_EQ(plausible.size(), 1u);
+  EXPECT_EQ(plausible[0]->id, 3);
+}
+
+TEST_F(RootCauseTest, WithoutDmusiidataEvidenceTwoCausesRemain) {
+  // The same failure seen through a selection that does NOT trace
+  // dmusiidata cannot split "bypass queue" from "non-generation" —
+  // the packing story of Sec. 5.7.
+  const auto catalog = RootCauseCatalog::for_scenario(design_, 1);
+  Observation obs;
+  for (flow::MessageId m :
+       {design_.reqtot, design_.grant, design_.siincu, design_.mondoacknack,
+        design_.piowcrd, design_.piordcrd, design_.dmurd}) {
+    obs.traced.push_back(m);
+    obs.status[m] = MsgStatus::kPresentCorrect;
+  }
+  std::sort(obs.traced.begin(), obs.traced.end());
+  obs.status[design_.siincu] = MsgStatus::kAbsent;
+  obs.status[design_.mondoacknack] = MsgStatus::kAbsent;
+
+  const auto plausible = prune(catalog, obs);
+  ASSERT_EQ(plausible.size(), 2u);
+  std::vector<int> ids{plausible[0]->id, plausible[1]->id};
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<int>{1, 3}));
+}
+
+TEST_F(RootCauseTest, EmptyObservationKeepsAllCauses) {
+  const auto catalog = RootCauseCatalog::for_scenario(design_, 2);
+  EXPECT_EQ(prune(catalog, Observation{}).size(), catalog.size());
+}
+
+TEST_F(RootCauseTest, EmptyCatalogRejected) {
+  EXPECT_THROW(RootCauseCatalog({}), std::invalid_argument);
+}
+
+TEST_F(RootCauseTest, EveryCauseHasDescriptionAndIp) {
+  for (int sc = 1; sc <= 3; ++sc) {
+    const auto catalog = RootCauseCatalog::for_scenario(design_, sc);
+    for (const auto& c : catalog.causes()) {
+      EXPECT_FALSE(c.description.empty());
+      EXPECT_FALSE(c.implication.empty());
+      EXPECT_FALSE(c.ip.empty());
+      EXPECT_FALSE(c.predictions.empty());
+    }
+  }
+}
+
+TEST_F(RootCauseTest, CausePredictionsReferenceScenarioMessages) {
+  for (int sc = 1; sc <= 3; ++sc) {
+    const auto scenario = soc::scenario_by_id(sc);
+    const auto flows = soc::scenario_flows(design_, scenario);
+    const auto catalog = RootCauseCatalog::for_scenario(design_, sc);
+    for (const auto& c : catalog.causes()) {
+      for (const auto& [m, status] : c.predictions) {
+        bool in_scenario = false;
+        for (const auto* f : flows) {
+          if (f->uses_message(m)) in_scenario = true;
+        }
+        EXPECT_TRUE(in_scenario)
+            << "scenario " << sc << " cause " << c.id << " predicts a "
+            << "message outside its flows";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tracesel::debug

@@ -1,0 +1,179 @@
+#include "flow/flow_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace tracesel::flow {
+namespace {
+
+class FlowBuilderTest : public ::testing::Test {
+ protected:
+  MessageCatalog catalog_;
+  MessageId a_ = catalog_.add("a", 1, "X", "Y");
+  MessageId b_ = catalog_.add("b", 1, "Y", "X");
+};
+
+TEST_F(FlowBuilderTest, BuildsLinearFlow) {
+  FlowBuilder fb("lin");
+  fb.state("s0", FlowBuilder::kInitial)
+      .state("s1")
+      .state("s2", FlowBuilder::kStop)
+      .transition("s0", a_, "s1")
+      .transition("s1", b_, "s2");
+  const Flow f = fb.build(catalog_);
+  EXPECT_EQ(f.name(), "lin");
+  EXPECT_EQ(f.num_states(), 3u);
+  EXPECT_EQ(f.initial_states().size(), 1u);
+  EXPECT_EQ(f.stop_states().size(), 1u);
+  EXPECT_TRUE(f.atomic_states().empty());
+  EXPECT_EQ(f.transitions().size(), 2u);
+  EXPECT_EQ(f.messages().size(), 2u);
+}
+
+TEST_F(FlowBuilderTest, PaperCoherenceFlowShape) {
+  const test::CoherenceFixture fx;
+  const Flow& f = fx.flow_;
+  // Fig. 1a: S={n,w,c,d}, S0={n}, Sp={d}, Atom={c}, |E|=3.
+  EXPECT_EQ(f.num_states(), 4u);
+  EXPECT_EQ(f.initial_states(), std::vector<StateId>{f.require_state("n")});
+  EXPECT_EQ(f.stop_states(), std::vector<StateId>{f.require_state("d")});
+  EXPECT_EQ(f.atomic_states(), std::vector<StateId>{f.require_state("c")});
+  EXPECT_EQ(f.messages().size(), 3u);
+}
+
+TEST_F(FlowBuilderTest, StateFlagQueriesMatchDeclaration) {
+  FlowBuilder fb("q");
+  fb.state("i", FlowBuilder::kInitial)
+      .state("m", FlowBuilder::kAtomic)
+      .state("t", FlowBuilder::kStop)
+      .transition("i", a_, "m")
+      .transition("m", b_, "t");
+  const Flow f = fb.build(catalog_);
+  EXPECT_TRUE(f.is_initial(f.require_state("i")));
+  EXPECT_FALSE(f.is_initial(f.require_state("m")));
+  EXPECT_TRUE(f.is_atomic(f.require_state("m")));
+  EXPECT_TRUE(f.is_stop(f.require_state("t")));
+  EXPECT_FALSE(f.is_stop(f.require_state("i")));
+}
+
+TEST_F(FlowBuilderTest, LateMarkersEquivalentToFlags) {
+  FlowBuilder fb("late");
+  fb.state("i").state("t");
+  fb.initial("i").stop("t");
+  fb.transition("i", a_, "t");
+  const Flow f = fb.build(catalog_);
+  EXPECT_TRUE(f.is_initial(f.require_state("i")));
+  EXPECT_TRUE(f.is_stop(f.require_state("t")));
+}
+
+TEST_F(FlowBuilderTest, RejectsDuplicateStateName) {
+  FlowBuilder fb("dup");
+  fb.state("s");
+  EXPECT_THROW(fb.state("s"), std::invalid_argument);
+}
+
+TEST_F(FlowBuilderTest, RejectsUnknownStateInTransition) {
+  FlowBuilder fb("unknown");
+  fb.state("s", FlowBuilder::kInitial);
+  EXPECT_THROW(fb.transition("s", a_, "nope"), std::invalid_argument);
+}
+
+TEST_F(FlowBuilderTest, RejectsCycle) {
+  FlowBuilder fb("cyc");
+  fb.state("s0", FlowBuilder::kInitial)
+      .state("s1")
+      .state("s2", FlowBuilder::kStop)
+      .transition("s0", a_, "s1")
+      .transition("s1", b_, "s0")   // back edge -> cycle
+      .transition("s1", a_, "s2");
+  EXPECT_THROW(fb.build(catalog_), std::invalid_argument);
+}
+
+TEST_F(FlowBuilderTest, RejectsSelfLoop) {
+  FlowBuilder fb("self");
+  fb.state("s0", FlowBuilder::kInitial)
+      .state("s1", FlowBuilder::kStop)
+      .transition("s0", a_, "s0")
+      .transition("s0", b_, "s1");
+  EXPECT_THROW(fb.build(catalog_), std::invalid_argument);
+}
+
+TEST_F(FlowBuilderTest, RejectsMissingInitial) {
+  FlowBuilder fb("noinit");
+  fb.state("s0").state("s1", FlowBuilder::kStop).transition("s0", a_, "s1");
+  EXPECT_THROW(fb.build(catalog_), std::invalid_argument);
+}
+
+TEST_F(FlowBuilderTest, RejectsMissingStop) {
+  FlowBuilder fb("nostop");
+  fb.state("s0", FlowBuilder::kInitial).state("s1").transition("s0", a_, "s1");
+  EXPECT_THROW(fb.build(catalog_), std::invalid_argument);
+}
+
+TEST_F(FlowBuilderTest, RejectsStopAtomicOverlap) {
+  FlowBuilder fb("overlap");
+  fb.state("s0", FlowBuilder::kInitial)
+      .state("s1", FlowBuilder::kStop | FlowBuilder::kAtomic)
+      .transition("s0", a_, "s1");
+  EXPECT_THROW(fb.build(catalog_), std::invalid_argument);
+}
+
+TEST_F(FlowBuilderTest, RejectsUnreachableState) {
+  FlowBuilder fb("unreach");
+  fb.state("s0", FlowBuilder::kInitial)
+      .state("island", FlowBuilder::kStop)
+      .state("t", FlowBuilder::kStop);
+  fb.transition("s0", a_, "t");
+  EXPECT_THROW(fb.build(catalog_), std::invalid_argument);
+}
+
+TEST_F(FlowBuilderTest, RejectsStateThatCannotReachStop) {
+  FlowBuilder fb("trap");
+  fb.state("s0", FlowBuilder::kInitial)
+      .state("trap")
+      .state("t", FlowBuilder::kStop)
+      .transition("s0", a_, "trap")
+      .transition("s0", b_, "t");
+  EXPECT_THROW(fb.build(catalog_), std::invalid_argument);
+}
+
+TEST_F(FlowBuilderTest, RejectsUnknownMessageId) {
+  FlowBuilder fb("badmsg");
+  fb.state("s0", FlowBuilder::kInitial)
+      .state("t", FlowBuilder::kStop)
+      .transition("s0", 999, "t");
+  EXPECT_THROW(fb.build(catalog_), std::out_of_range);
+}
+
+TEST_F(FlowBuilderTest, OutgoingListsTransitionIndices) {
+  FlowBuilder fb("branch");
+  fb.state("s0", FlowBuilder::kInitial)
+      .state("l", FlowBuilder::kStop)
+      .state("r", FlowBuilder::kStop)
+      .transition("s0", a_, "l")
+      .transition("s0", b_, "r");
+  const Flow f = fb.build(catalog_);
+  EXPECT_EQ(f.outgoing(f.require_state("s0")).size(), 2u);
+  EXPECT_TRUE(f.outgoing(f.require_state("l")).empty());
+}
+
+TEST_F(FlowBuilderTest, UsesMessageReflectsTransitionLabels) {
+  const test::CoherenceFixture fx;
+  EXPECT_TRUE(fx.flow_.uses_message(fx.reqE));
+  EXPECT_TRUE(fx.flow_.uses_message(fx.ack));
+  // A message registered in the catalog but unused by this flow.
+  MessageCatalog c2;
+  const MessageId other = c2.add("other", 1, "X", "Y");
+  EXPECT_FALSE(fx.flow_.uses_message(other + 10));
+}
+
+TEST_F(FlowBuilderTest, FindStateReturnsNulloptForUnknown) {
+  const test::CoherenceFixture fx;
+  EXPECT_FALSE(fx.flow_.find_state("zzz").has_value());
+  EXPECT_TRUE(fx.flow_.find_state("n").has_value());
+  EXPECT_THROW(fx.flow_.require_state("zzz"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace tracesel::flow

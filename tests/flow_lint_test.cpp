@@ -1,0 +1,143 @@
+#include "flow/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "flow/flow_builder.hpp"
+#include "soc/t2_design.hpp"
+#include "testutil.hpp"
+
+namespace tracesel::flow {
+namespace {
+
+std::size_t count_rule(const std::vector<LintDiagnostic>& ds,
+                       std::string_view rule) {
+  return static_cast<std::size_t>(
+      std::count_if(ds.begin(), ds.end(), [&](const LintDiagnostic& d) {
+        return d.rule == rule;
+      }));
+}
+
+TEST(Lint, CleanCoherenceFlowOnlyInfoDiagnostics) {
+  const test::CoherenceFixture fx;
+  const auto ds = lint(fx.catalog, {&fx.flow_});
+  for (const auto& d : ds)
+    EXPECT_EQ(d.severity, LintSeverity::kInfo) << d.rule;
+}
+
+TEST(Lint, DetectsUnusedMessage) {
+  test::CoherenceFixture fx;
+  fx.catalog.add("ghost", 4, "A", "B");
+  const auto ds = lint(fx.catalog, {&fx.flow_});
+  EXPECT_EQ(count_rule(ds, "unused-message"), 1u);
+  const auto it = std::find_if(ds.begin(), ds.end(), [](const auto& d) {
+    return d.rule == "unused-message";
+  });
+  EXPECT_EQ(it->subject, "ghost");
+  EXPECT_EQ(it->severity, LintSeverity::kWarning);
+}
+
+TEST(Lint, DetectsWideUnpackableMessage) {
+  MessageCatalog cat;
+  const MessageId wide = cat.add("huge", 40, "A", "B");
+  const MessageId ok = cat.add(
+      Message{"hugewithsub", 40, "A", "B", {Subgroup{"part", 6}}});
+  FlowBuilder fb("f");
+  fb.state("s", FlowBuilder::kInitial)
+      .state("m")
+      .state("t", FlowBuilder::kStop)
+      .transition("s", wide, "m")
+      .transition("m", ok, "t");
+  const Flow f = fb.build(cat);
+  const auto ds = lint(cat, {&f});
+  EXPECT_EQ(count_rule(ds, "wide-unpackable"), 1u);
+}
+
+TEST(Lint, MultiCycleWideMessageNotFlagged) {
+  // A 40-bit 4-beat message traces at 10 bits/cycle: selectable.
+  MessageCatalog cat;
+  const MessageId wide =
+      cat.add(Message{"burst", 40, "A", "B", {}, /*beats=*/4});
+  FlowBuilder fb("f");
+  fb.state("s", FlowBuilder::kInitial)
+      .state("t", FlowBuilder::kStop)
+      .transition("s", wide, "t");
+  const Flow f = fb.build(cat);
+  EXPECT_EQ(count_rule(lint(cat, {&f}), "wide-unpackable"), 0u);
+}
+
+TEST(Lint, DetectsSelfRoutedMessage) {
+  MessageCatalog cat;
+  const MessageId internal = cat.add("loop", 4, "NCU", "NCU");
+  FlowBuilder fb("f");
+  fb.state("s", FlowBuilder::kInitial)
+      .state("t", FlowBuilder::kStop)
+      .transition("s", internal, "t");
+  const Flow f = fb.build(cat);
+  EXPECT_EQ(count_rule(lint(cat, {&f}), "self-routed"), 1u);
+}
+
+TEST(Lint, DetectsTrivialFlow) {
+  MessageCatalog cat;
+  const MessageId m = cat.add("only", 1, "A", "B");
+  FlowBuilder fb("tiny");
+  fb.state("s", FlowBuilder::kInitial)
+      .state("t", FlowBuilder::kStop)
+      .transition("s", m, "t");
+  const Flow f = fb.build(cat);
+  const auto ds = lint(cat, {&f});
+  EXPECT_EQ(count_rule(ds, "trivial-flow"), 1u);
+}
+
+TEST(Lint, DetectsMissingAtomicOnLongChains) {
+  MessageCatalog cat;
+  std::vector<MessageId> ms;
+  for (int i = 0; i < 4; ++i)
+    ms.push_back(cat.add("m" + std::to_string(i), 1, "A", "B"));
+  FlowBuilder fb("chain");
+  fb.state("s0", FlowBuilder::kInitial);
+  for (int i = 1; i < 4; ++i) fb.state("s" + std::to_string(i));
+  fb.state("s4", FlowBuilder::kStop);
+  for (int i = 0; i < 4; ++i)
+    fb.transition("s" + std::to_string(i), ms[i],
+                  "s" + std::to_string(i + 1));
+  const Flow f = fb.build(cat);
+  EXPECT_EQ(count_rule(lint(cat, {&f}), "missing-atomic"), 1u);
+}
+
+TEST(Lint, T2DesignIsClean) {
+  const soc::T2Design design;
+  std::vector<const Flow*> flows;
+  for (const char* name :
+       {"PIOR", "PIOW", "NCUU", "NCUD", "Mon", "DMAR", "DMAW"})
+    flows.push_back(&design.flow_by_name(name));
+  const auto ds = lint(design.catalog(), flows);
+  // Only info-level findings (PIOW/NCUD are short two-message flows).
+  for (const auto& d : ds)
+    EXPECT_EQ(d.severity, LintSeverity::kInfo) << d.rule << " " << d.subject;
+}
+
+TEST(Lint, DiagnosticsSortedDeterministically) {
+  test::CoherenceFixture fx;
+  fx.catalog.add("zebra", 4, "A", "A");
+  fx.catalog.add("alpha", 4, "B", "B");
+  const auto a = lint(fx.catalog, {&fx.flow_});
+  const auto b = lint(fx.catalog, {&fx.flow_});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].rule, b[i].rule);
+    EXPECT_EQ(a[i].subject, b[i].subject);
+  }
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end(), [](const auto& x,
+                                                    const auto& y) {
+    if (x.rule != y.rule) return x.rule < y.rule;
+    return x.subject < y.subject;
+  }));
+}
+
+TEST(Lint, SeverityToString) {
+  EXPECT_EQ(to_string(LintSeverity::kInfo), "info");
+  EXPECT_EQ(to_string(LintSeverity::kWarning), "warning");
+}
+
+}  // namespace
+}  // namespace tracesel::flow

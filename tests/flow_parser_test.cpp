@@ -1,0 +1,274 @@
+#include "flow/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "flow/indexed_flow.hpp"
+#include "flow/interleaved_flow.hpp"
+#include "selection/selector.hpp"
+#include "soc/t2_design.hpp"
+#include "util/rng.hpp"
+
+namespace tracesel::flow {
+namespace {
+
+constexpr const char* kCoherence = R"(
+# toy cache coherence (Fig. 1a)
+message ReqE 1 IP1 -> Dir
+message GntE 1 Dir -> IP1
+message Ack  1 IP1 -> Dir
+
+flow CacheCoherence {
+  state Init initial
+  state Wait
+  state GntW atomic
+  state Done stop
+  Init -> Wait on ReqE
+  Wait -> GntW on GntE
+  GntW -> Done on Ack
+}
+)";
+
+TEST(FlowParser, ParsesCoherenceExample) {
+  const ParsedSpec spec = parse_flow_spec(kCoherence);
+  EXPECT_EQ(spec.catalog.size(), 3u);
+  ASSERT_EQ(spec.flows.size(), 1u);
+  const Flow& f = spec.flow("CacheCoherence");
+  EXPECT_EQ(f.num_states(), 4u);
+  EXPECT_EQ(f.transitions().size(), 3u);
+  EXPECT_TRUE(f.is_atomic(f.require_state("GntW")));
+  EXPECT_TRUE(f.is_stop(f.require_state("Done")));
+}
+
+TEST(FlowParser, ParsedFlowReproducesPaperNumbers) {
+  const ParsedSpec spec = parse_flow_spec(kCoherence);
+  const Flow& f = spec.flow("CacheCoherence");
+  const auto u = InterleavedFlow::build(make_instances({&f}, 2));
+  EXPECT_EQ(u.num_nodes(), 15u);
+  EXPECT_EQ(u.num_edges(), 18u);
+  const selection::MessageSelector sel(spec.catalog, u);
+  selection::SelectorConfig cfg;
+  cfg.buffer_width = 2;
+  EXPECT_NEAR(sel.select(cfg).gain, 1.073, 5e-4);
+}
+
+TEST(FlowParser, CommentsAndBlankLinesIgnored) {
+  const ParsedSpec spec = parse_flow_spec(R"(
+# leading comment
+
+message a 1 X -> Y   # trailing comment
+
+flow f {
+  state s initial    # inline
+  state t stop
+  s -> t on a
+}
+)");
+  EXPECT_EQ(spec.flows.size(), 1u);
+}
+
+TEST(FlowParser, MessageWithBeatsAndSubgroups) {
+  const ParsedSpec spec = parse_flow_spec(R"(
+message wide 20 A -> B beats 4
+subgroup wide tid 6
+message narrow 1 B -> A
+flow f {
+  state s initial
+  state t stop
+  s -> t on wide
+}
+)");
+  const Message& m = spec.catalog.get(spec.catalog.require("wide"));
+  EXPECT_EQ(m.width, 20u);
+  EXPECT_EQ(m.beats, 4u);
+  EXPECT_EQ(m.trace_width(), 5u);
+  ASSERT_EQ(m.subgroups.size(), 1u);
+  EXPECT_EQ(m.subgroups[0].name, "tid");
+}
+
+TEST(FlowParser, MessagesInsideFlowBlocksAllowed) {
+  const ParsedSpec spec = parse_flow_spec(R"(
+flow f {
+  message a 1 X -> Y
+  state s initial
+  state t stop
+  s -> t on a
+}
+)");
+  EXPECT_EQ(spec.catalog.size(), 1u);
+}
+
+TEST(FlowParser, SubgroupBeforeMessageDeclaration) {
+  // Two-pass message collection: order independent.
+  const ParsedSpec spec = parse_flow_spec(R"(
+subgroup wide tid 6
+message wide 20 A -> B
+message go 1 B -> A
+flow f {
+  state s initial
+  state t stop
+  s -> t on go
+  s -> t on wide
+}
+)");
+  EXPECT_EQ(spec.catalog.get(spec.catalog.require("wide")).subgroups.size(),
+            1u);
+}
+
+TEST(FlowParser, MultipleFlowsShareCatalog) {
+  const ParsedSpec spec = parse_flow_spec(R"(
+message a 1 X -> Y
+message b 2 Y -> X
+flow f1 {
+  state s initial
+  state t stop
+  s -> t on a
+}
+flow f2 {
+  state s initial
+  state t stop
+  s -> t on b
+}
+)");
+  EXPECT_EQ(spec.flows.size(), 2u);
+  EXPECT_EQ(spec.catalog.size(), 2u);
+}
+
+TEST(FlowParser, ErrorsCarryLineNumbers) {
+  try {
+    parse_flow_spec("message a 1 X -> Y\nbogus line here\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(FlowParser, RejectsMalformedMessage) {
+  EXPECT_THROW(parse_flow_spec("message a X -> Y\n"), ParseError);
+  EXPECT_THROW(parse_flow_spec("message a 0 X -> Y\n"), ParseError);
+  EXPECT_THROW(parse_flow_spec("message a 1 X >> Y\n"), ParseError);
+  EXPECT_THROW(parse_flow_spec("message a 1 X -> Y beats zero\n"),
+               ParseError);
+}
+
+TEST(FlowParser, RejectsUnknownMessageInTransition) {
+  EXPECT_THROW(parse_flow_spec(R"(
+flow f {
+  state s initial
+  state t stop
+  s -> t on ghost
+}
+)"),
+               ParseError);
+}
+
+TEST(FlowParser, RejectsUnknownSubgroupParent) {
+  EXPECT_THROW(parse_flow_spec("subgroup ghost tid 3\n"), ParseError);
+}
+
+TEST(FlowParser, RejectsUnterminatedFlow) {
+  EXPECT_THROW(parse_flow_spec("flow f {\n  state s initial\n"), ParseError);
+}
+
+TEST(FlowParser, RejectsUnknownStateFlag) {
+  EXPECT_THROW(parse_flow_spec(R"(
+message a 1 X -> Y
+flow f {
+  state s initial sticky
+  state t stop
+  s -> t on a
+}
+)"),
+               ParseError);
+}
+
+TEST(FlowParser, SemanticViolationsSurfaceAsParseErrors) {
+  // A flow without a stop state fails FlowBuilder validation; the parser
+  // wraps it with the flow's line number.
+  EXPECT_THROW(parse_flow_spec(R"(
+message a 1 X -> Y
+flow f {
+  state s initial
+  state t
+  s -> t on a
+}
+)"),
+               ParseError);
+}
+
+TEST(FlowParser, UnknownFlowLookupThrows) {
+  const ParsedSpec spec = parse_flow_spec(kCoherence);
+  EXPECT_THROW(spec.flow("nope"), std::out_of_range);
+}
+
+TEST(FlowParser, FileLoaderErrorsOnMissingFile) {
+  EXPECT_THROW(parse_flow_spec_file("/nonexistent/x.flow"),
+               std::runtime_error);
+}
+
+TEST(FlowParser, T2CollateralFileMatchesBuiltInDesign) {
+  // data/t2.flow mirrors soc::T2Design; parsing it must yield the same
+  // catalog widths and flow shapes.
+  const ParsedSpec spec = parse_flow_spec_file(TRACESEL_DATA_DIR "/t2.flow");
+  const soc::T2Design design;
+  EXPECT_EQ(spec.catalog.size(), design.catalog().size());
+  for (const Message& m : design.catalog()) {
+    const auto id = spec.catalog.find(m.name);
+    ASSERT_TRUE(id.has_value()) << m.name;
+    const Message& parsed = spec.catalog.get(*id);
+    EXPECT_EQ(parsed.width, m.width) << m.name;
+    EXPECT_EQ(parsed.source_ip, m.source_ip) << m.name;
+    EXPECT_EQ(parsed.dest_ip, m.dest_ip) << m.name;
+    EXPECT_EQ(parsed.subgroups.size(), m.subgroups.size()) << m.name;
+  }
+  ASSERT_EQ(spec.flows.size(), 7u);
+  for (const char* name :
+       {"PIOR", "PIOW", "NCUU", "NCUD", "Mon", "DMAR", "DMAW"}) {
+    const Flow& parsed = spec.flow(name);
+    const Flow& built = design.flow_by_name(name);
+    EXPECT_EQ(parsed.num_states(), built.num_states()) << name;
+    EXPECT_EQ(parsed.transitions().size(), built.transitions().size())
+        << name;
+    EXPECT_EQ(parsed.atomic_states().size(), built.atomic_states().size())
+        << name;
+  }
+}
+
+class ParserFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzzTest, GarbageNeverCrashesOnlyThrows) {
+  // Random token soup from the parser's own vocabulary plus junk: the
+  // parser must either produce a spec or throw ParseError/-invalid_argument
+  // — never crash, hang, or accept structurally invalid input silently.
+  util::Rng rng(GetParam());
+  static const char* kTokens[] = {
+      "message", "subgroup", "flow",  "state",   "initial", "stop",
+      "atomic",  "->",       "on",    "{",       "}",       "beats",
+      "a",       "b",        "s0",    "s1",      "12",      "0",
+      "#junk",   "xyzzy",    "-3",    "4096",    "A",       "B"};
+  std::string text;
+  const std::size_t lines = 5 + rng.index(20);
+  for (std::size_t l = 0; l < lines; ++l) {
+    const std::size_t toks = 1 + rng.index(7);
+    for (std::size_t t = 0; t < toks; ++t) {
+      text += kTokens[rng.index(std::size(kTokens))];
+      text += ' ';
+    }
+    text += '\n';
+  }
+  try {
+    const ParsedSpec spec = parse_flow_spec(text);
+    // If it parsed, the artifacts must be internally consistent.
+    for (const Flow& f : spec.flows) {
+      EXPECT_FALSE(f.initial_states().empty());
+      EXPECT_FALSE(f.stop_states().empty());
+    }
+  } catch (const ParseError&) {
+  } catch (const std::invalid_argument&) {
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTokenSoup, ParserFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace tracesel::flow

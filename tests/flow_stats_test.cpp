@@ -1,0 +1,93 @@
+#include "flow/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "soc/t2_design.hpp"
+#include "soc/t2_extended.hpp"
+#include "testutil.hpp"
+
+namespace tracesel::flow {
+namespace {
+
+using test::CoherenceFixture;
+
+TEST(FlowStats, CoherenceChain) {
+  const CoherenceFixture fx;
+  const FlowStats s = flow_stats(fx.flow_);
+  EXPECT_EQ(s.name, "CacheCoherence");
+  EXPECT_EQ(s.states, 4u);
+  EXPECT_EQ(s.transitions, 3u);
+  EXPECT_EQ(s.messages, 3u);
+  EXPECT_EQ(s.atomic_states, 1u);
+  EXPECT_EQ(s.stop_states, 1u);
+  EXPECT_DOUBLE_EQ(s.executions, 1.0);
+  EXPECT_EQ(s.max_branching, 1u);
+  EXPECT_EQ(s.depth, 3u);
+}
+
+TEST(FlowStats, BranchingFlowCountsBothExecutions) {
+  const soc::T2ExtendedDesign ext;
+  const FlowStats s = flow_stats(ext.mondo_nack());
+  EXPECT_EQ(s.stop_states, 2u);
+  EXPECT_DOUBLE_EQ(s.executions, 2.0);  // ack path and nack path
+  EXPECT_EQ(s.max_branching, 2u);       // Delivered branches
+  EXPECT_EQ(s.depth, 6u);               // the nack path is longer
+}
+
+TEST(FlowStats, T2FlowDepthsMatchChainLengths) {
+  const soc::T2Design design;
+  EXPECT_EQ(flow_stats(design.pior()).depth, 5u);
+  EXPECT_EQ(flow_stats(design.piow()).depth, 2u);
+  EXPECT_EQ(flow_stats(design.mondo()).depth, 5u);
+}
+
+TEST(InterleavingStats, Figure2Numbers) {
+  const CoherenceFixture fx;
+  const auto u = fx.two_instance_interleaving();
+  const InterleavingStats s = interleaving_stats(u);
+  EXPECT_EQ(s.nodes, 15u);
+  EXPECT_EQ(s.edges, 18u);
+  EXPECT_EQ(s.stop_nodes, 1u);
+  EXPECT_EQ(s.indexed_messages, 6u);
+  EXPECT_DOUBLE_EQ(s.paths, 6.0);
+  EXPECT_NEAR(s.density, 15.0 / 16.0, 1e-12);  // one pruned product state
+  EXPECT_GT(s.mean_branching, 1.0);
+}
+
+TEST(InterleavingStats, DensityIsOneWithoutAtomicStates) {
+  MessageCatalog cat;
+  const MessageId a = cat.add("a", 1, "X", "Y");
+  FlowBuilder fb("lin");
+  fb.state("s", FlowBuilder::kInitial)
+      .state("t", FlowBuilder::kStop)
+      .transition("s", a, "t");
+  const Flow f = fb.build(cat);
+  const auto u = InterleavedFlow::build(make_instances({&f}, 2));
+  EXPECT_DOUBLE_EQ(interleaving_stats(u).density, 1.0);
+}
+
+TEST(MessageHistogram, SymmetricInstancesEqualCounts) {
+  const CoherenceFixture fx;
+  const auto u = fx.two_instance_interleaving();
+  const auto hist = message_histogram(u);
+  ASSERT_EQ(hist.size(), 3u);
+  // Each message labels 6 edges (3 per instance); ties sorted by id.
+  for (const auto& [m, count] : hist) EXPECT_EQ(count, 6u);
+  EXPECT_EQ(hist[0].first, fx.reqE);
+}
+
+TEST(MessageHistogram, SortedDescending) {
+  const soc::T2Design design;
+  const auto u = flow::InterleavedFlow::build(
+      make_instances({&design.pior(), &design.piow()}, 2));
+  const auto hist = message_histogram(u);
+  for (std::size_t i = 1; i < hist.size(); ++i)
+    EXPECT_GE(hist[i - 1].second, hist[i].second);
+  // Total equals edge count.
+  std::size_t total = 0;
+  for (const auto& [m, c] : hist) total += c;
+  EXPECT_EQ(total, u.num_edges());
+}
+
+}  // namespace
+}  // namespace tracesel::flow

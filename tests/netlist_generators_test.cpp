@@ -1,0 +1,289 @@
+#include "netlist/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/t2_uncore.hpp"
+#include "util/rng.hpp"
+
+namespace tracesel::netlist {
+namespace {
+
+/// Decodes a flop bank (LSB first) from the simulator's post-clock state.
+std::uint64_t decode(const Netlist& nl, const Simulator& sim,
+                     const std::vector<NetId>& flops,
+                     const std::vector<bool>& state) {
+  std::uint64_t v = 0;
+  const auto& all = nl.flops();
+  for (std::size_t i = 0; i < flops.size(); ++i) {
+    const auto it = std::find(all.begin(), all.end(), flops[i]);
+    const std::size_t idx = static_cast<std::size_t>(it - all.begin());
+    if (state[idx]) v |= 1ull << i;
+  }
+  (void)sim;
+  return v;
+}
+
+TEST(Generators, CounterCountsModulo2PowW) {
+  Netlist nl;
+  const NetId en = nl.add_input("en");
+  const Block cnt = make_counter(nl, "c", 4, en);
+  Simulator sim(nl);
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    const auto& state = sim.step({true});
+    EXPECT_EQ(decode(nl, sim, cnt.flops, state), i % 16) << i;
+  }
+}
+
+TEST(Generators, CounterHoldsWhenDisabled) {
+  Netlist nl;
+  const NetId en = nl.add_input("en");
+  const Block cnt = make_counter(nl, "c", 4, en);
+  Simulator sim(nl);
+  sim.step({true});
+  sim.step({true});
+  for (int i = 0; i < 5; ++i) {
+    const auto& state = sim.step({false});
+    EXPECT_EQ(decode(nl, sim, cnt.flops, state), 2u);
+  }
+}
+
+TEST(Generators, ShiftRegisterDelaysInput) {
+  Netlist nl;
+  const NetId in = nl.add_input("in");
+  const NetId en = nl.add_input("en");
+  const Block sh = make_shift_register(nl, "s", 3, in, en);
+  Simulator sim(nl);
+  const std::vector<bool> pattern{true, false, true, true, false, false,
+                                  true};
+  std::vector<bool> tail_seen;
+  for (const bool bit : pattern) {
+    const auto& state = sim.step({bit, true});
+    const auto& all = nl.flops();
+    const auto it = std::find(all.begin(), all.end(), sh.flops.back());
+    tail_seen.push_back(state[static_cast<std::size_t>(it - all.begin())]);
+  }
+  // Post-clock, the tail of a width-3 shifter reproduces the input
+  // delayed by width-1 = 2 cycles (zero-filled).
+  for (std::size_t i = 2; i < pattern.size(); ++i)
+    EXPECT_EQ(tail_seen[i], pattern[i - 2]) << i;
+}
+
+TEST(Generators, CrcIsDeterministicAndInputSensitive) {
+  auto run = [](const std::vector<bool>& stream) {
+    Netlist nl;
+    const NetId in = nl.add_input("in");
+    const Block crc = make_crc(nl, "crc", 5, in, nl.add_const(true),
+                               {2, 3});
+    Simulator sim(nl);
+    std::uint64_t final_value = 0;
+    for (const bool bit : stream) {
+      const auto& state = sim.step({bit});
+      final_value = 0;
+      const auto& all = nl.flops();
+      for (std::size_t i = 0; i < crc.flops.size(); ++i) {
+        const auto it = std::find(all.begin(), all.end(), crc.flops[i]);
+        if (state[static_cast<std::size_t>(it - all.begin())])
+          final_value |= 1ull << i;
+      }
+    }
+    return final_value;
+  };
+  const std::vector<bool> a{1, 0, 1, 1, 0, 1, 0, 0};
+  std::vector<bool> b = a;
+  b[3] = !b[3];
+  EXPECT_EQ(run(a), run(a));
+  EXPECT_NE(run(a), run(b));  // single-bit sensitivity
+}
+
+TEST(Generators, CrcRejectsBadTaps) {
+  Netlist nl;
+  const NetId in = nl.add_input("in");
+  EXPECT_THROW(make_crc(nl, "c", 4, in, in, {0}), std::invalid_argument);
+  EXPECT_THROW(make_crc(nl, "c2", 4, in, in, {4}), std::invalid_argument);
+}
+
+TEST(Generators, OnehotFsmSelfInitializesAndRotates) {
+  Netlist nl;
+  const NetId adv = nl.add_input("adv");
+  const Block fsm = make_onehot_fsm(nl, "f", 4, adv);
+  Simulator sim(nl);
+  // First cycle: self-init to stage 0 (value 0b0001).
+  auto state = sim.step({false});
+  EXPECT_EQ(decode(nl, sim, fsm.flops, state), 1u);
+  // Hold without advance.
+  state = sim.step({false});
+  EXPECT_EQ(decode(nl, sim, fsm.flops, state), 1u);
+  // Rotate through all stages and wrap.
+  for (const std::uint64_t expect : {2u, 4u, 8u, 1u, 2u}) {
+    state = sim.step({true});
+    EXPECT_EQ(decode(nl, sim, fsm.flops, state), expect);
+  }
+}
+
+TEST(Generators, OnehotFsmAlwaysExactlyOneHot) {
+  Netlist nl;
+  const NetId adv = nl.add_input("adv");
+  const Block fsm = make_onehot_fsm(nl, "f", 5, adv);
+  Simulator sim(nl);
+  util::Rng rng{5};
+  for (int i = 0; i < 50; ++i) {
+    const auto& state = sim.step({rng.chance(0.5)});
+    const std::uint64_t v = decode(nl, sim, fsm.flops, state);
+    EXPECT_NE(v, 0u);
+    EXPECT_EQ(v & (v - 1), 0u) << "not one-hot: " << v;
+  }
+}
+
+TEST(Generators, ArbiterGrantsHighestPriorityRequester) {
+  Netlist nl;
+  std::vector<NetId> reqs{nl.add_input("r0"), nl.add_input("r1"),
+                          nl.add_input("r2")};
+  const Block arb = make_arbiter(nl, "a", reqs);
+  Simulator sim(nl);
+  auto grant_bits = [&](bool r0, bool r1, bool r2) {
+    sim.step({r0, r1, r2});
+    std::uint64_t g = 0;
+    for (std::size_t i = 0; i < arb.outputs.size(); ++i)
+      if (sim.value(arb.outputs[i])) g |= 1ull << i;
+    return g;
+  };
+  EXPECT_EQ(grant_bits(false, false, false), 0u);
+  EXPECT_EQ(grant_bits(true, false, false), 1u);
+  EXPECT_EQ(grant_bits(false, true, true), 2u);   // r1 beats r2
+  EXPECT_EQ(grant_bits(true, true, true), 1u);    // r0 beats all
+  EXPECT_EQ(grant_bits(false, false, true), 4u);
+}
+
+TEST(Generators, ArbiterGrantsAreMutuallyExclusive) {
+  Netlist nl;
+  std::vector<NetId> reqs;
+  for (int i = 0; i < 5; ++i)
+    reqs.push_back(nl.add_input("r" + std::to_string(i)));
+  const Block arb = make_arbiter(nl, "a", reqs);
+  Simulator sim(nl);
+  util::Rng rng{9};
+  for (int t = 0; t < 40; ++t) {
+    std::vector<bool> in;
+    for (int i = 0; i < 5; ++i) in.push_back(rng.chance(0.5));
+    sim.step(in);
+    int grants = 0;
+    for (const NetId g : arb.outputs)
+      if (sim.value(g)) ++grants;
+    EXPECT_LE(grants, 1);
+  }
+}
+
+TEST(Generators, FifoCtrlTracksOccupancy) {
+  Netlist nl;
+  const NetId push = nl.add_input("push");
+  const NetId pop = nl.add_input("pop");
+  const Block fifo = make_fifo_ctrl(nl, "q", 3, push, pop);
+  Simulator sim(nl);
+  // 3 pushes -> occupancy 3.
+  for (int i = 0; i < 3; ++i) sim.step({true, false});
+  EXPECT_EQ(decode(nl, sim, fifo.flops, sim.step({false, false})), 3u);
+  // 2 pops -> occupancy 1.
+  sim.step({false, true});
+  const auto state = sim.step({false, true});
+  EXPECT_EQ(decode(nl, sim, fifo.flops, state), 1u);
+}
+
+TEST(Generators, FifoCtrlSaturatesAtEmptyAndFull) {
+  Netlist nl;
+  const NetId push = nl.add_input("push");
+  const NetId pop = nl.add_input("pop");
+  const Block fifo = make_fifo_ctrl(nl, "q", 2, push, pop);
+  Simulator sim(nl);
+  // Pop while empty: stays 0.
+  auto state = sim.step({false, true});
+  EXPECT_EQ(decode(nl, sim, fifo.flops, state), 0u);
+  // Push past full (capacity 3 with 2 bits): saturates at 3.
+  for (int i = 0; i < 6; ++i) state = sim.step({true, false});
+  EXPECT_EQ(decode(nl, sim, fifo.flops, state), 3u);
+  EXPECT_TRUE(sim.value(fifo.outputs[1]));  // full flag
+}
+
+TEST(Generators, CreditStageConsumesAndReleasesCredits) {
+  Netlist nl;
+  const NetId v_in = nl.add_input("v");
+  const NetId data = nl.add_input("d");
+  const NetId crd = nl.add_input("crd");
+  const Block stage = make_credit_stage(nl, "st", 4,
+                                        {data, data, data, data}, v_in, crd,
+                                        /*credit_bits=*/2);
+  Simulator sim(nl);
+  // The valid flop is read post-clock from the returned state vector.
+  auto valid_after = [&](bool v, bool d, bool crd) {
+    const auto& state = sim.step({v, d, crd});
+    return decode(nl, sim, {stage.flops.back()}, state) != 0;
+  };
+  // Three loads fit (2-bit used counter saturating at 3).
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(valid_after(true, true, false)) << i;
+  }
+  // Fourth load blocked: no credit left.
+  EXPECT_FALSE(valid_after(true, true, false));
+  // Return one credit, then a load succeeds again.
+  EXPECT_FALSE(valid_after(false, false, true));
+  EXPECT_TRUE(valid_after(true, true, false));
+}
+
+TEST(Generators, InvalidParametersRejected) {
+  Netlist nl;
+  const NetId x = nl.add_input("x");
+  EXPECT_THROW(make_counter(nl, "c", 0, x), std::invalid_argument);
+  EXPECT_THROW(make_shift_register(nl, "s", 0, x, x),
+               std::invalid_argument);
+  EXPECT_THROW(make_onehot_fsm(nl, "f", 1, x), std::invalid_argument);
+  EXPECT_THROW(make_arbiter(nl, "a", {}), std::invalid_argument);
+  EXPECT_THROW(make_fifo_ctrl(nl, "q", 0, x, x), std::invalid_argument);
+  EXPECT_THROW(make_credit_stage(nl, "st", 2, {x}, x, x, 1),
+               std::invalid_argument);
+}
+
+TEST(T2Uncore, BuildsAndValidates) {
+  const T2Uncore uncore;
+  EXPECT_GT(uncore.netlist().flops().size(), 150u);
+  EXPECT_EQ(uncore.interface_signals().size(), 9u);
+  // dmusiidata interface register is 16 wide at the default data width.
+  for (const auto& sg : uncore.interface_signals()) {
+    EXPECT_FALSE(sg.flops.empty()) << sg.name;
+    for (const NetId f : sg.flops)
+      EXPECT_EQ(uncore.netlist().gate(f).type, GateType::kFlop) << sg.name;
+  }
+}
+
+TEST(T2Uncore, SizeScalesWithConfig) {
+  T2UncoreConfig small;
+  small.cores = 4;
+  small.data_width = 8;
+  T2UncoreConfig big;
+  big.cores = 16;
+  big.data_width = 32;
+  const T2Uncore a(small), b(big);
+  EXPECT_GT(b.netlist().flops().size(), a.netlist().flops().size());
+  EXPECT_GT(b.netlist().num_nets(), a.netlist().num_nets());
+}
+
+TEST(T2Uncore, SimulatesWithoutX) {
+  const T2Uncore uncore;
+  Simulator sim(uncore.netlist());
+  util::Rng rng{2};
+  std::vector<bool> in(uncore.netlist().inputs().size());
+  for (int c = 0; c < 64; ++c) {
+    for (std::size_t i = 0; i < in.size(); ++i) in[i] = rng.chance(0.5);
+    EXPECT_NO_THROW(sim.step(in));
+  }
+}
+
+TEST(T2Uncore, RejectsDegenerateConfig) {
+  T2UncoreConfig bad;
+  bad.cores = 1;
+  EXPECT_THROW(T2Uncore{bad}, std::invalid_argument);
+  T2UncoreConfig narrow;
+  narrow.data_width = 2;
+  EXPECT_THROW(T2Uncore{narrow}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tracesel::netlist

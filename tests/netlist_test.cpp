@@ -1,0 +1,151 @@
+#include "netlist/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tracesel::netlist {
+namespace {
+
+TEST(Netlist, BuildsAndValidatesSmallCircuit) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId f = nl.add_flop("f");
+  nl.set_flop_input(f, nl.add_and(a, b));
+  EXPECT_EQ(nl.num_nets(), 4u);
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.flops().size(), 1u);
+  EXPECT_NO_THROW(nl.validate_and_topo_order());
+}
+
+TEST(Netlist, FindByName) {
+  Netlist nl;
+  nl.add_input("a");
+  const NetId f = nl.add_flop("state0");
+  nl.set_flop_input(f, nl.add_const(false));
+  EXPECT_EQ(nl.find("state0"), std::optional<NetId>(f));
+  EXPECT_FALSE(nl.find("nope").has_value());
+}
+
+TEST(Netlist, UnwiredFlopFailsValidation) {
+  Netlist nl;
+  nl.add_flop("dangling");
+  EXPECT_THROW(nl.validate_and_topo_order(), std::logic_error);
+}
+
+TEST(Netlist, GateArityChecked) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  EXPECT_THROW(nl.add_gate(GateType::kNot, {a, a}), std::invalid_argument);
+  EXPECT_THROW(nl.add_gate(GateType::kAnd, {a}), std::invalid_argument);
+  EXPECT_THROW(nl.add_gate(GateType::kMux, {a, a}), std::invalid_argument);
+  EXPECT_THROW(nl.add_gate(GateType::kFlop, {a}), std::invalid_argument);
+  EXPECT_THROW(nl.add_gate(GateType::kBuf, {99}), std::invalid_argument);
+}
+
+TEST(Netlist, FanoutListsReaders) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId g1 = nl.add_not(a);
+  const NetId g2 = nl.add_and(a, g1);
+  const auto& fo = nl.fanout(a);
+  EXPECT_EQ(fo.size(), 2u);
+  EXPECT_NE(std::find(fo.begin(), fo.end(), g1), fo.end());
+  EXPECT_NE(std::find(fo.begin(), fo.end(), g2), fo.end());
+}
+
+class SimTest : public ::testing::Test {
+ protected:
+  /// 2-bit counter with enable: classic ripple.
+  void build_counter() {
+    en_ = nl_.add_input("en");
+    b0_ = nl_.add_flop("b0");
+    b1_ = nl_.add_flop("b1");
+    nl_.set_flop_input(b0_, nl_.add_xor(b0_, en_));
+    nl_.set_flop_input(b1_, nl_.add_xor(b1_, nl_.add_and(b0_, en_)));
+  }
+
+  Netlist nl_;
+  NetId en_ = kInvalidNet, b0_ = kInvalidNet, b1_ = kInvalidNet;
+};
+
+TEST_F(SimTest, CounterCountsWhenEnabled) {
+  build_counter();
+  Simulator sim(nl_);
+  // 5 enabled cycles: counter should read 5 mod 4 = 1 -> b0=1, b1=0.
+  std::vector<bool> expected_b0{true, false, true, false, true};
+  std::vector<bool> expected_b1{false, true, true, false, false};
+  for (int c = 0; c < 5; ++c) {
+    const auto& state = sim.step({true});
+    EXPECT_EQ(state[0], expected_b0[c]) << c;
+    EXPECT_EQ(state[1], expected_b1[c]) << c;
+  }
+}
+
+TEST_F(SimTest, CounterHoldsWhenDisabled) {
+  build_counter();
+  Simulator sim(nl_);
+  sim.step({true});  // -> 1
+  for (int c = 0; c < 3; ++c) {
+    const auto& state = sim.step({false});
+    EXPECT_TRUE(state[0]);
+    EXPECT_FALSE(state[1]);
+  }
+}
+
+TEST_F(SimTest, ResetClearsState) {
+  build_counter();
+  Simulator sim(nl_);
+  sim.step({true});
+  sim.reset();
+  EXPECT_EQ(sim.cycle(), 0u);
+  const auto& state = sim.step({false});
+  EXPECT_FALSE(state[0]);
+  EXPECT_FALSE(state[1]);
+}
+
+TEST_F(SimTest, WrongInputCountThrows) {
+  build_counter();
+  Simulator sim(nl_);
+  EXPECT_THROW(sim.step({}), std::invalid_argument);
+  EXPECT_THROW(sim.step({true, false}), std::invalid_argument);
+}
+
+TEST_F(SimTest, GateSemantics) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId s = nl.add_input("s");
+  const NetId f_and = nl.add_flop("f_and");
+  const NetId f_or = nl.add_flop("f_or");
+  const NetId f_xor = nl.add_flop("f_xor");
+  const NetId f_not = nl.add_flop("f_not");
+  const NetId f_mux = nl.add_flop("f_mux");
+  nl.set_flop_input(f_and, nl.add_and(a, b));
+  nl.set_flop_input(f_or, nl.add_or(a, b));
+  nl.set_flop_input(f_xor, nl.add_xor(a, b));
+  nl.set_flop_input(f_not, nl.add_not(a));
+  nl.set_flop_input(f_mux, nl.add_mux(s, a, b));
+
+  Simulator sim(nl);
+  struct Case {
+    bool a, b, s;
+  };
+  for (const Case c : {Case{false, false, false}, Case{false, true, true},
+                       Case{true, false, true}, Case{true, true, false}}) {
+    const auto& state = sim.step({c.a, c.b, c.s});
+    EXPECT_EQ(state[0], c.a && c.b);
+    EXPECT_EQ(state[1], c.a || c.b);
+    EXPECT_EQ(state[2], c.a != c.b);
+    EXPECT_EQ(state[3], !c.a);
+    EXPECT_EQ(state[4], c.s ? c.b : c.a);
+  }
+}
+
+TEST(NetlistToString, GateTypes) {
+  EXPECT_EQ(to_string(GateType::kAnd), "and");
+  EXPECT_EQ(to_string(GateType::kFlop), "flop");
+  EXPECT_EQ(to_string(GateType::kMux), "mux");
+}
+
+}  // namespace
+}  // namespace tracesel::netlist

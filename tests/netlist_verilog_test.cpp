@@ -1,0 +1,109 @@
+#include "netlist/verilog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/t2_uncore.hpp"
+#include "netlist/usb_design.hpp"
+
+namespace tracesel::netlist {
+namespace {
+
+TEST(Verilog, SmallCircuitStructure) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId f = nl.add_flop("state");
+  nl.set_flop_input(f, nl.add_and(a, b));
+  const std::string v = to_verilog(nl, "tiny");
+
+  EXPECT_NE(v.find("module tiny ("), std::string::npos);
+  EXPECT_NE(v.find("input wire clk"), std::string::npos);
+  EXPECT_NE(v.find("input wire rst"), std::string::npos);
+  EXPECT_NE(v.find("input wire a"), std::string::npos);
+  EXPECT_NE(v.find("output wire state"), std::string::npos);
+  EXPECT_NE(v.find("reg state_q;"), std::string::npos);
+  EXPECT_NE(v.find("assign state = state_q;"), std::string::npos);
+  EXPECT_NE(v.find(" = a & b;"), std::string::npos);
+  EXPECT_NE(v.find("state_q <= 1'b0;"), std::string::npos);
+  EXPECT_NE(v.find("always @(posedge clk)"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+TEST(Verilog, GateOperators) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId s = nl.add_input("s");
+  const NetId f = nl.add_flop("q");
+  const NetId mux = nl.add_mux(s, nl.add_or(a, b),
+                               nl.add_xor(nl.add_not(a), b));
+  nl.set_flop_input(f, mux);
+  const std::string v = to_verilog(nl, "ops");
+  EXPECT_NE(v.find(" = a | b;"), std::string::npos);
+  EXPECT_NE(v.find(" = ~a;"), std::string::npos);
+  EXPECT_NE(v.find(" ^ b;"), std::string::npos);
+  EXPECT_NE(v.find(" ? "), std::string::npos);
+}
+
+TEST(Verilog, ConstantsRendered) {
+  Netlist nl;
+  const NetId f = nl.add_flop("q");
+  nl.set_flop_input(f, nl.add_const(true));
+  const std::string v = to_verilog(nl, "c");
+  EXPECT_NE(v.find(" = 1'b1;"), std::string::npos);
+}
+
+TEST(Verilog, SanitizesHostileNames) {
+  Netlist nl;
+  const NetId in = nl.add_input("weird.name[0]");
+  const NetId f = nl.add_flop("3starts_with_digit");
+  nl.set_flop_input(f, in);
+  const std::string v = to_verilog(nl, "bad-chars");
+  EXPECT_EQ(v.find("weird.name"), std::string::npos);
+  EXPECT_NE(v.find("weird_name_0_"), std::string::npos);
+  EXPECT_NE(v.find("s_3starts_with_digit"), std::string::npos);
+  EXPECT_NE(v.find("module bad_chars"), std::string::npos);
+}
+
+TEST(Verilog, UsbDesignExportsCompletely) {
+  const UsbDesign usb;
+  const std::string v = to_verilog(usb.netlist(), "usb_funnel");
+  // Every interface signal flop appears as an output.
+  for (const auto& sg : usb.interface_signals()) {
+    for (const NetId f : sg.flops) {
+      const std::string& name = usb.netlist().gate(f).name;
+      EXPECT_NE(v.find("output wire " + name), std::string::npos) << name;
+    }
+  }
+  // One register declaration per flop.
+  const std::size_t regs =
+      static_cast<std::size_t>(std::count(v.begin(), v.end(), '\n'));
+  EXPECT_GT(regs, usb.netlist().flops().size());
+  // Balanced module.
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+TEST(Verilog, T2UncoreExportIsLarge) {
+  const T2Uncore uncore;
+  const std::string v = to_verilog(uncore.netlist(), "t2_uncore");
+  EXPECT_GT(v.size(), 10000u);
+  // Every flop reset and clocked exactly once.
+  std::size_t resets = 0;
+  std::size_t clocked = 0;
+  std::istringstream is(v);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.find("<= 1'b0;") != std::string::npos) ++resets;
+    else if (line.find("<= ") != std::string::npos) ++clocked;
+  }
+  EXPECT_EQ(resets, uncore.netlist().flops().size());
+  EXPECT_EQ(clocked, uncore.netlist().flops().size());
+}
+
+TEST(Verilog, DeterministicOutput) {
+  const UsbDesign a, b;
+  EXPECT_EQ(to_verilog(a.netlist(), "m"), to_verilog(b.netlist(), "m"));
+}
+
+}  // namespace
+}  // namespace tracesel::netlist

@@ -1,0 +1,112 @@
+#include "selection/combination.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace tracesel::selection {
+namespace {
+
+using flow::MessageCatalog;
+using flow::MessageId;
+using test::CoherenceFixture;
+
+TEST(Combination, PaperExampleSixOfSevenFit) {
+  // Sec. 3.1: 3 one-bit messages, buffer width 2 -> of the 7 nonempty
+  // subsets only the full set exceeds the budget; 6 remain.
+  const CoherenceFixture fx;
+  const std::vector<MessageId> cands{fx.reqE, fx.gntE, fx.ack};
+  const auto combos = enumerate_combinations(fx.catalog, cands, 2);
+  EXPECT_EQ(combos.size(), 6u);
+  for (const auto& c : combos) EXPECT_LE(c.width, 2u);
+}
+
+TEST(Combination, WidthIsSumOfMemberWidths) {
+  MessageCatalog cat;
+  const MessageId a = cat.add("a", 3, "X", "Y");
+  const MessageId b = cat.add("b", 5, "X", "Y");
+  const auto combos = enumerate_combinations(cat, std::vector<MessageId>{a, b}, 8);
+  ASSERT_EQ(combos.size(), 3u);
+  for (const auto& c : combos) {
+    EXPECT_EQ(c.width, combination_width(cat, c.messages));
+  }
+}
+
+TEST(Combination, BudgetExcludesWideMessages) {
+  MessageCatalog cat;
+  const MessageId a = cat.add("a", 3, "X", "Y");
+  const MessageId wide = cat.add("wide", 40, "X", "Y");
+  const auto combos =
+      enumerate_combinations(cat, std::vector<MessageId>{a, wide}, 32);
+  ASSERT_EQ(combos.size(), 1u);
+  EXPECT_EQ(combos[0].messages, std::vector<MessageId>{a});
+}
+
+TEST(Combination, EmptyWhenNothingFits) {
+  MessageCatalog cat;
+  const MessageId wide = cat.add("wide", 40, "X", "Y");
+  EXPECT_TRUE(
+      enumerate_combinations(cat, std::vector<MessageId>{wide}, 32).empty());
+}
+
+TEST(Combination, RejectsDuplicateCandidates) {
+  const CoherenceFixture fx;
+  const std::vector<MessageId> dup{fx.reqE, fx.reqE};
+  EXPECT_THROW(enumerate_combinations(fx.catalog, dup, 4),
+               std::invalid_argument);
+}
+
+TEST(Combination, ResultCapThrows) {
+  const CoherenceFixture fx;
+  const std::vector<MessageId> cands{fx.reqE, fx.gntE, fx.ack};
+  EXPECT_THROW(enumerate_combinations(fx.catalog, cands, 2, /*max_results=*/3),
+               std::length_error);
+}
+
+TEST(Combination, MessagesAreSortedAndUnique) {
+  const CoherenceFixture fx;
+  const std::vector<MessageId> cands{fx.ack, fx.reqE, fx.gntE};
+  for (const auto& c : enumerate_combinations(fx.catalog, cands, 3)) {
+    EXPECT_TRUE(std::is_sorted(c.messages.begin(), c.messages.end()));
+    EXPECT_EQ(std::adjacent_find(c.messages.begin(), c.messages.end()),
+              c.messages.end());
+  }
+}
+
+TEST(Combination, MaximalEnumerationKeepsOnlyUnextendable) {
+  // Buffer 2, three 1-bit messages: maximal fitting combinations are the
+  // three pairs.
+  const CoherenceFixture fx;
+  const std::vector<MessageId> cands{fx.reqE, fx.gntE, fx.ack};
+  const auto maximal = enumerate_maximal_combinations(fx.catalog, cands, 2);
+  EXPECT_EQ(maximal.size(), 3u);
+  for (const auto& c : maximal) EXPECT_EQ(c.messages.size(), 2u);
+}
+
+TEST(Combination, MaximalIsSubsetOfAll) {
+  MessageCatalog cat;
+  std::vector<MessageId> cands;
+  for (int i = 0; i < 6; ++i)
+    cands.push_back(cat.add("m" + std::to_string(i),
+                            static_cast<std::uint32_t>(1 + i % 3), "X", "Y"));
+  const auto all = enumerate_combinations(cat, cands, 6);
+  const auto maximal = enumerate_maximal_combinations(cat, cands, 6);
+  EXPECT_LT(maximal.size(), all.size());
+  for (const auto& m : maximal) {
+    EXPECT_NE(std::find(all.begin(), all.end(), m), all.end());
+  }
+}
+
+TEST(Combination, ExhaustiveCountMatchesSubsetFormula) {
+  // With a budget large enough for everything, count == 2^n - 1.
+  MessageCatalog cat;
+  std::vector<MessageId> cands;
+  for (int i = 0; i < 8; ++i)
+    cands.push_back(cat.add("m" + std::to_string(i), 1, "X", "Y"));
+  EXPECT_EQ(enumerate_combinations(cat, cands, 100).size(), 255u);
+  // And the only maximal one is the full set.
+  EXPECT_EQ(enumerate_maximal_combinations(cat, cands, 100).size(), 1u);
+}
+
+}  // namespace
+}  // namespace tracesel::selection

@@ -1,0 +1,68 @@
+#include "selection/coverage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace tracesel::selection {
+namespace {
+
+using flow::MessageId;
+using test::CoherenceFixture;
+
+class CoverageTest : public ::testing::Test {
+ protected:
+  CoherenceFixture fx_;
+  flow::InterleavedFlow u_ = fx_.two_instance_interleaving();
+};
+
+TEST_F(CoverageTest, ReproducesPaperRunningExample) {
+  // Sec. 3.3: the flow specification coverage achieved with
+  // Y'1 = {ReqE, GntE} is 0.7333 (11 of 15 product states visible).
+  const std::vector<MessageId> y1{fx_.reqE, fx_.gntE};
+  EXPECT_NEAR(flow_spec_coverage(u_, y1), 11.0 / 15.0, 1e-12);
+  EXPECT_NEAR(flow_spec_coverage(u_, y1), 0.7333, 5e-5);
+}
+
+TEST_F(CoverageTest, EmptySelectionCoversNothing) {
+  EXPECT_DOUBLE_EQ(flow_spec_coverage(u_, std::vector<MessageId>{}), 0.0);
+}
+
+TEST_F(CoverageTest, FullAlphabetCoversAllButUnenteredStates) {
+  // Every non-initial product state is entered by some edge; the initial
+  // tuple has no incoming edge, so full coverage is 14/15.
+  const std::vector<MessageId> all{fx_.reqE, fx_.gntE, fx_.ack};
+  EXPECT_NEAR(flow_spec_coverage(u_, all), 14.0 / 15.0, 1e-12);
+}
+
+TEST_F(CoverageTest, CoverageIsMonotoneUnderAddingMessages) {
+  const std::vector<MessageId> s1{fx_.reqE};
+  const std::vector<MessageId> s2{fx_.reqE, fx_.gntE};
+  const std::vector<MessageId> s3{fx_.reqE, fx_.gntE, fx_.ack};
+  EXPECT_LE(flow_spec_coverage(u_, s1), flow_spec_coverage(u_, s2));
+  EXPECT_LE(flow_spec_coverage(u_, s2), flow_spec_coverage(u_, s3));
+}
+
+TEST_F(CoverageTest, VisibleStatesAreTargetsOfSelectedEdges) {
+  const std::vector<MessageId> sel{fx_.ack};
+  const auto vis = visible_states(u_, sel);
+  // Every visible state must be the target of at least one Ack edge.
+  for (flow::NodeId n : vis) {
+    bool entered_by_ack = false;
+    for (const auto& e : u_.edges()) {
+      if (e.to == n && e.label.message == fx_.ack) entered_by_ack = true;
+    }
+    EXPECT_TRUE(entered_by_ack) << u_.node_name(n);
+  }
+  EXPECT_FALSE(vis.empty());
+}
+
+TEST_F(CoverageTest, VisibleStatesSortedUnique) {
+  const std::vector<MessageId> sel{fx_.reqE, fx_.gntE};
+  const auto vis = visible_states(u_, sel);
+  EXPECT_TRUE(std::is_sorted(vis.begin(), vis.end()));
+  EXPECT_EQ(std::adjacent_find(vis.begin(), vis.end()), vis.end());
+}
+
+}  // namespace
+}  // namespace tracesel::selection

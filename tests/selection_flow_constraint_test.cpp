@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "selection/selector.hpp"
+#include "soc/scenario.hpp"
+
+namespace tracesel::selection {
+namespace {
+
+class FlowConstraintTest : public ::testing::Test {
+ protected:
+  FlowConstraintTest()
+      : u_(soc::build_interleaving(design_, soc::scenario1())),
+        selector_(design_.catalog(), u_) {}
+
+  bool flow_represented(const char* flow_name,
+                        const SelectionResult& r) const {
+    const flow::Flow& f = design_.flow_by_name(flow_name);
+    for (const flow::MessageId m : r.observable()) {
+      if (f.uses_message(m)) return true;
+    }
+    return false;
+  }
+
+  soc::T2Design design_;
+  flow::InterleavedFlow u_;
+  MessageSelector selector_;
+};
+
+TEST_F(FlowConstraintTest, TightBudgetLeavesFlowsDarkWithoutConstraint) {
+  // At 8 bits the pure-gain optimum watches only the narrow Mon messages.
+  SelectorConfig cfg;
+  cfg.buffer_width = 8;
+  const auto r = selector_.select(cfg);
+  EXPECT_FALSE(flow_represented("PIOR", r) && flow_represented("PIOW", r) &&
+               flow_represented("Mon", r))
+      << "expected at least one dark flow at 8 bits";
+}
+
+TEST_F(FlowConstraintTest, ConstraintRepairsDarkFlows) {
+  SelectorConfig cfg;
+  cfg.buffer_width = 12;
+  const auto r = selector_.select_with_flow_constraint(cfg);
+  EXPECT_TRUE(flow_represented("PIOR", r));
+  EXPECT_TRUE(flow_represented("PIOW", r));
+  EXPECT_TRUE(flow_represented("Mon", r));
+  EXPECT_LE(r.used_width, cfg.buffer_width);
+}
+
+TEST_F(FlowConstraintTest, NoRepairWhenAlreadyRepresented) {
+  // At 32 bits the unconstrained optimum already touches every flow; the
+  // constrained selection must be identical.
+  SelectorConfig cfg;
+  const auto plain = selector_.select(cfg);
+  const auto constrained = selector_.select_with_flow_constraint(cfg);
+  EXPECT_EQ(plain.combination.messages, constrained.combination.messages);
+  EXPECT_DOUBLE_EQ(plain.gain, constrained.gain);
+}
+
+TEST_F(FlowConstraintTest, RepairCostsGainButBuysRepresentation) {
+  SelectorConfig cfg;
+  cfg.buffer_width = 12;
+  cfg.packing = false;
+  const auto plain = selector_.select(cfg);
+  const auto constrained = selector_.select_with_flow_constraint(cfg);
+  // The constraint can only lose gain relative to the optimum.
+  EXPECT_LE(constrained.gain, plain.gain + 1e-12);
+}
+
+TEST_F(FlowConstraintTest, ThrowsWhenFlowCannotFit) {
+  // Buffer of 3 bits: PIOW's narrowest message (piowcrd, 4b) cannot fit.
+  SelectorConfig cfg;
+  cfg.buffer_width = 3;
+  EXPECT_THROW(selector_.select_with_flow_constraint(cfg),
+               std::runtime_error);
+}
+
+TEST_F(FlowConstraintTest, WidthStaysWithinBudgetAcrossSweep) {
+  for (std::uint32_t width : {12u, 16u, 20u, 24u, 32u, 48u}) {
+    SelectorConfig cfg;
+    cfg.buffer_width = width;
+    const auto r = selector_.select_with_flow_constraint(cfg);
+    EXPECT_LE(r.used_width, width) << width;
+    for (const char* name : {"PIOR", "PIOW", "Mon"})
+      EXPECT_TRUE(flow_represented(name, r)) << name << " @" << width;
+  }
+}
+
+}  // namespace
+}  // namespace tracesel::selection

@@ -1,0 +1,127 @@
+#include "soc/t2_bugs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "soc/scenario.hpp"
+
+namespace tracesel::soc {
+namespace {
+
+class BugsTest : public ::testing::Test {
+ protected:
+  T2Design design_;
+};
+
+TEST_F(BugsTest, FourteenBugsWithUniqueIds) {
+  const auto bugs = standard_bugs(design_);
+  EXPECT_EQ(bugs.size(), 14u);
+  std::set<int> ids;
+  for (const auto& b : bugs) ids.insert(b.id);
+  EXPECT_EQ(ids.size(), 14u);
+}
+
+TEST_F(BugsTest, BugsSpanFiveIps) {
+  // Sec. 4: 14 bugs across 5 IPs.
+  std::set<std::string> ips;
+  for (const auto& b : standard_bugs(design_)) ips.insert(b.ip);
+  EXPECT_EQ(ips.size(), 5u);
+  EXPECT_TRUE(ips.contains("DMU"));
+  EXPECT_TRUE(ips.contains("NCU"));
+  EXPECT_TRUE(ips.contains("SIU"));
+  EXPECT_TRUE(ips.contains("CCX"));
+  EXPECT_TRUE(ips.contains("MCU"));
+}
+
+TEST_F(BugsTest, TargetsAreValidMessages) {
+  for (const auto& b : standard_bugs(design_)) {
+    EXPECT_NO_THROW(design_.catalog().get(b.target)) << b.name;
+  }
+}
+
+TEST_F(BugsTest, Table2RepresentativeBugsPresent) {
+  // Table 2 row 1: control bug at depth 4 in DMU, wrong command generation.
+  const bug::Bug b1 = bug_by_id(design_, 1);
+  EXPECT_EQ(b1.ip, "DMU");
+  EXPECT_EQ(b1.depth, 4);
+  EXPECT_EQ(b1.category, bug::BugCategory::kControl);
+  // Table 2 row 3: depth 3, malformed request from UCB construction.
+  const bug::Bug b3 = bug_by_id(design_, 3);
+  EXPECT_EQ(b3.ip, "DMU");
+  EXPECT_EQ(b3.depth, 3);
+  // Table 2 row 4: NCU wrong request from CPU buffer decode.
+  const bug::Bug b27 = bug_by_id(design_, 27);
+  EXPECT_EQ(b27.ip, "NCU");
+  EXPECT_EQ(b27.effect, bug::BugEffect::kWrongDecode);
+}
+
+TEST_F(BugsTest, BugByIdThrowsOnUnknown) {
+  EXPECT_THROW(bug_by_id(design_, 999), std::out_of_range);
+}
+
+TEST_F(BugsTest, EveryBugHasSymptomText) {
+  for (const auto& b : standard_bugs(design_)) {
+    EXPECT_FALSE(b.symptom.empty()) << b.name;
+    EXPECT_FALSE(b.type.empty()) << b.name;
+  }
+}
+
+TEST_F(BugsTest, BothCategoriesRepresented) {
+  bool control = false, data = false;
+  for (const auto& b : standard_bugs(design_)) {
+    if (b.category == bug::BugCategory::kControl) control = true;
+    if (b.category == bug::BugCategory::kData) data = true;
+  }
+  EXPECT_TRUE(control);
+  EXPECT_TRUE(data);
+}
+
+TEST_F(BugsTest, AllEffectClassesRepresented) {
+  std::set<bug::BugEffect> effects;
+  for (const auto& b : standard_bugs(design_)) effects.insert(b.effect);
+  EXPECT_EQ(effects.size(), 4u);
+}
+
+TEST_F(BugsTest, FiveCaseStudiesMatchTable3ScenarioMapping) {
+  const auto cases = standard_case_studies();
+  ASSERT_EQ(cases.size(), 5u);
+  EXPECT_EQ(cases[0].scenario_id, 1);
+  EXPECT_EQ(cases[1].scenario_id, 1);
+  EXPECT_EQ(cases[2].scenario_id, 2);
+  EXPECT_EQ(cases[3].scenario_id, 2);
+  EXPECT_EQ(cases[4].scenario_id, 3);
+}
+
+TEST_F(BugsTest, CaseStudyBugsResolve) {
+  for (const auto& cs : standard_case_studies()) {
+    EXPECT_NO_THROW(bug_by_id(design_, cs.active_bug_id)) << cs.id;
+    for (int id : cs.dormant_bug_ids)
+      EXPECT_NO_THROW(bug_by_id(design_, id)) << cs.id;
+    EXPECT_FALSE(cs.root_cause.empty());
+  }
+}
+
+TEST_F(BugsTest, ActiveBugTargetsMessageOfItsScenario) {
+  // The active bug must perturb a message belonging to a flow the case
+  // study's scenario actually exercises.
+  for (const auto& cs : standard_case_studies()) {
+    const bug::Bug active = bug_by_id(design_, cs.active_bug_id);
+    const Scenario scenario = scenario_by_id(cs.scenario_id);
+    bool found = false;
+    for (const auto* f : scenario_flows(design_, scenario)) {
+      if (f->uses_message(active.target)) found = true;
+    }
+    EXPECT_TRUE(found) << "case study " << cs.id;
+  }
+}
+
+TEST(BugToString, Formats) {
+  EXPECT_EQ(bug::to_string(bug::BugCategory::kControl), "Control");
+  EXPECT_EQ(bug::to_string(bug::BugCategory::kData), "Data");
+  EXPECT_EQ(bug::to_string(bug::BugEffect::kDropMessage), "drop-message");
+  EXPECT_EQ(bug::to_string(bug::BugEffect::kWrongDecode), "wrong-decode");
+}
+
+}  // namespace
+}  // namespace tracesel::soc

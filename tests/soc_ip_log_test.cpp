@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "soc/ip.hpp"
+#include "util/log.hpp"
+
+namespace tracesel {
+namespace {
+
+TEST(Ip, NamesAllBlocks) {
+  EXPECT_EQ(soc::to_string(soc::Ip::kNcu), "NCU");
+  EXPECT_EQ(soc::to_string(soc::Ip::kDmu), "DMU");
+  EXPECT_EQ(soc::to_string(soc::Ip::kSiu), "SIU");
+  EXPECT_EQ(soc::to_string(soc::Ip::kMcu), "MCU");
+  EXPECT_EQ(soc::to_string(soc::Ip::kCcx), "CCX");
+  EXPECT_EQ(soc::to_string(soc::Ip::kCpu), "CPU");
+  EXPECT_EQ(soc::ip_name(soc::Ip::kNcu), "NCU");
+}
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { old_ = util::log_threshold(); }
+  void TearDown() override { util::set_log_threshold(old_); }
+
+  /// Captures std::clog for the duration of a callback.
+  template <typename F>
+  std::string capture(F&& fn) {
+    std::ostringstream sink;
+    auto* old_buf = std::clog.rdbuf(sink.rdbuf());
+    fn();
+    std::clog.rdbuf(old_buf);
+    return sink.str();
+  }
+
+  util::LogLevel old_ = util::LogLevel::kWarn;
+};
+
+TEST_F(LogTest, EmitsAtOrAboveThreshold) {
+  util::set_log_threshold(util::LogLevel::kInfo);
+  const std::string out = capture([] {
+    util::Log(util::LogLevel::kInfo) << "visible " << 42;
+    util::Log(util::LogLevel::kDebug) << "hidden";
+  });
+  EXPECT_NE(out.find("[info ] visible 42"), std::string::npos);
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+}
+
+TEST_F(LogTest, ErrorAlwaysAboveWarnThreshold) {
+  util::set_log_threshold(util::LogLevel::kWarn);
+  const std::string out = capture([] {
+    util::Log(util::LogLevel::kError) << "boom";
+  });
+  EXPECT_NE(out.find("[error] boom"), std::string::npos);
+}
+
+TEST_F(LogTest, ThresholdRoundTrips) {
+  util::set_log_threshold(util::LogLevel::kDebug);
+  EXPECT_EQ(util::log_threshold(), util::LogLevel::kDebug);
+  util::set_log_threshold(util::LogLevel::kError);
+  EXPECT_EQ(util::log_threshold(), util::LogLevel::kError);
+}
+
+}  // namespace
+}  // namespace tracesel

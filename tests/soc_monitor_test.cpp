@@ -1,0 +1,110 @@
+#include "soc/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "soc/t2_design.hpp"
+
+namespace tracesel::soc {
+namespace {
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  T2Design design_;
+  Monitor monitor_{design_.catalog()};
+};
+
+TEST_F(MonitorTest, ReassemblesOneBeat) {
+  TimedMessage tm;
+  tm.msg = {design_.siincu, 2};
+  tm.cycle = 100;
+  tm.value = 0xA;
+  tm.src = "SIU";
+  tm.dst = "NCU";
+  tm.session = 3;
+  const auto burst =
+      signal_burst(design_.catalog().get(design_.siincu), tm);
+  ASSERT_EQ(burst.size(), 5u);
+
+  std::optional<TimedMessage> out;
+  for (const auto& ev : burst) out = monitor_.on_event(ev);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, tm);
+  EXPECT_EQ(monitor_.messages().size(), 1u);
+}
+
+TEST_F(MonitorTest, ValidStrobeCompletesBeat) {
+  // Only the valid strobe publishes; partial beats stay pending.
+  EXPECT_FALSE(
+      monitor_.on_event(SignalEvent{"siincu_data", 5, 10}).has_value());
+  EXPECT_FALSE(
+      monitor_.on_event(SignalEvent{"siincu_tag", 1, 10}).has_value());
+  EXPECT_TRUE(monitor_.messages().empty());
+  EXPECT_TRUE(
+      monitor_.on_event(SignalEvent{"siincu_valid", 1, 10}).has_value());
+}
+
+TEST_F(MonitorTest, InterleavedBeatsOfDifferentMessagesDoNotMix) {
+  monitor_.on_event(SignalEvent{"siincu_data", 1, 10});
+  monitor_.on_event(SignalEvent{"grant_data", 2, 10});
+  monitor_.on_event(SignalEvent{"siincu_tag", 1, 10});
+  monitor_.on_event(SignalEvent{"grant_tag", 2, 10});
+  const auto g = monitor_.on_event(SignalEvent{"grant_valid", 1, 11});
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->value, 2u);
+  EXPECT_EQ(g->msg.index, 2u);
+  const auto s = monitor_.on_event(SignalEvent{"siincu_valid", 1, 12});
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->value, 1u);
+  EXPECT_EQ(s->msg.index, 1u);
+}
+
+TEST_F(MonitorTest, UnknownSignalsAreIgnored) {
+  EXPECT_FALSE(monitor_.on_event(SignalEvent{"mystery_valid", 1, 1}));
+  EXPECT_FALSE(monitor_.on_event(SignalEvent{"nounderscore", 1, 1}));
+  EXPECT_EQ(monitor_.ignored_events(), 2u);
+  EXPECT_TRUE(monitor_.messages().empty());
+}
+
+TEST_F(MonitorTest, UnknownSuffixCountsIgnored) {
+  EXPECT_FALSE(monitor_.on_event(SignalEvent{"siincu_bogus", 1, 1}));
+  EXPECT_EQ(monitor_.ignored_events(), 1u);
+}
+
+TEST_F(MonitorTest, DefaultDstIsCatalogDestination) {
+  // Without a dst beat the monitor assumes nominal routing.
+  monitor_.on_event(SignalEvent{"grant_data", 7, 5});
+  const auto out = monitor_.on_event(SignalEvent{"grant_valid", 1, 5});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->dst, "DMU");
+}
+
+TEST_F(MonitorTest, MisroutedDstSurvivesRoundTrip) {
+  TimedMessage tm;
+  tm.msg = {design_.piowcrd, 1};
+  tm.dst = "SIU";  // misrouted: nominal destination is NCU
+  tm.src = "DMU";
+  for (const auto& ev :
+       signal_burst(design_.catalog().get(design_.piowcrd), tm))
+    monitor_.on_event(ev);
+  ASSERT_EQ(monitor_.messages().size(), 1u);
+  EXPECT_EQ(monitor_.messages()[0].dst, "SIU");
+}
+
+TEST_F(MonitorTest, ClearResetsState) {
+  monitor_.on_event(SignalEvent{"grant_data", 7, 5});
+  monitor_.on_event(SignalEvent{"grant_valid", 1, 5});
+  monitor_.on_event(SignalEvent{"bogus", 1, 5});
+  monitor_.clear();
+  EXPECT_TRUE(monitor_.messages().empty());
+  EXPECT_EQ(monitor_.ignored_events(), 0u);
+}
+
+TEST_F(MonitorTest, CycleTakenFromValidStrobe) {
+  monitor_.on_event(SignalEvent{"grant_data", 7, 5});
+  const auto out = monitor_.on_event(SignalEvent{"grant_valid", 1, 9});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->cycle, 9u);
+}
+
+}  // namespace
+}  // namespace tracesel::soc

@@ -1,0 +1,203 @@
+#include "soc/trace_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "selection/selector.hpp"
+#include "soc/scenario.hpp"
+#include "soc/t2_design.hpp"
+
+namespace tracesel::soc {
+namespace {
+
+class TraceBufferTest : public ::testing::Test {
+ protected:
+  TraceBufferTest() {
+    // A selection with one full message and one packed subgroup.
+    selection_.combination.messages = {design_.mondoacknack};
+    selection_.combination.width = 2;
+    selection_.packed = {
+        selection::PackedGroup{design_.dmusiidata, "cputhreadid", 6}};
+    selection_.buffer_width = 32;
+    selection_.used_width = 8;
+  }
+
+  TimedMessage make(flow::MessageId m, std::uint64_t value,
+                    std::uint32_t session = 0) {
+    TimedMessage tm;
+    tm.msg = {m, 1};
+    tm.value = value;
+    tm.session = session;
+    tm.src = design_.catalog().get(m).source_ip;
+    tm.dst = design_.catalog().get(m).dest_ip;
+    return tm;
+  }
+
+  T2Design design_;
+  selection::SelectionResult selection_;
+};
+
+TEST_F(TraceBufferTest, ConfigureComputesUtilization) {
+  TraceBuffer tb(TraceBufferConfig{32, 16});
+  tb.configure(design_.catalog(), selection_);
+  EXPECT_DOUBLE_EQ(tb.utilization(), 8.0 / 32.0);
+  EXPECT_TRUE(tb.observes(design_.mondoacknack));
+  EXPECT_TRUE(tb.observes(design_.dmusiidata));
+  EXPECT_FALSE(tb.observes(design_.reqtot));
+}
+
+TEST_F(TraceBufferTest, RecordsOnlyObservableMessages) {
+  TraceBuffer tb(TraceBufferConfig{32, 16});
+  tb.configure(design_.catalog(), selection_);
+  tb.record(make(design_.mondoacknack, 0x3));
+  tb.record(make(design_.reqtot, 0x7));  // unobservable
+  EXPECT_EQ(tb.size(), 1u);
+  EXPECT_EQ(tb.records()[0].msg.message, design_.mondoacknack);
+}
+
+TEST_F(TraceBufferTest, PackedSubgroupTruncatesValue) {
+  TraceBuffer tb(TraceBufferConfig{32, 16});
+  tb.configure(design_.catalog(), selection_);
+  // dmusiidata is 20 bits but captured through the 6-bit subgroup.
+  tb.record(make(design_.dmusiidata, 0xFFFFF));
+  ASSERT_EQ(tb.size(), 1u);
+  EXPECT_EQ(tb.records()[0].value, 0x3Fu);
+  EXPECT_TRUE(tb.records()[0].partial);
+}
+
+TEST_F(TraceBufferTest, FullWidthFieldKeepsValue) {
+  TraceBuffer tb(TraceBufferConfig{32, 16});
+  tb.configure(design_.catalog(), selection_);
+  tb.record(make(design_.mondoacknack, 0x3));
+  EXPECT_EQ(tb.records()[0].value, 0x3u);
+  EXPECT_FALSE(tb.records()[0].partial);
+}
+
+TEST_F(TraceBufferTest, WrapsAfterDepth) {
+  TraceBuffer tb(TraceBufferConfig{32, 4});
+  tb.configure(design_.catalog(), selection_);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    auto tm = make(design_.mondoacknack, i & 3);
+    tm.cycle = i;
+    tb.record(tm);
+  }
+  EXPECT_EQ(tb.size(), 4u);
+  EXPECT_EQ(tb.overwritten(), 2u);
+  const auto records = tb.records();
+  // Oldest-first view after wrap: cycles 2,3,4,5.
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records.front().cycle, 2u);
+  EXPECT_EQ(records.back().cycle, 5u);
+}
+
+TEST_F(TraceBufferTest, ConfigureRejectsOverwideSelection) {
+  TraceBuffer tb(TraceBufferConfig{4, 16});
+  EXPECT_THROW(tb.configure(design_.catalog(), selection_),
+               std::invalid_argument);
+}
+
+TEST_F(TraceBufferTest, ConfigureRejectsDoubleTracedParent) {
+  selection::SelectionResult bad = selection_;
+  bad.combination.messages.push_back(design_.dmusiidata);
+  bad.combination.width += 20;
+  TraceBuffer tb(TraceBufferConfig{32, 16});
+  EXPECT_THROW(tb.configure(design_.catalog(), bad), std::invalid_argument);
+}
+
+TEST_F(TraceBufferTest, InvalidConfigThrows) {
+  EXPECT_THROW(TraceBuffer(TraceBufferConfig{0, 4}), std::invalid_argument);
+  EXPECT_THROW(TraceBuffer(TraceBufferConfig{32, 0}), std::invalid_argument);
+}
+
+TEST_F(TraceBufferTest, ReconfigureClearsContents) {
+  TraceBuffer tb(TraceBufferConfig{32, 8});
+  tb.configure(design_.catalog(), selection_);
+  tb.record(make(design_.mondoacknack, 1));
+  tb.configure(design_.catalog(), selection_);
+  EXPECT_EQ(tb.size(), 0u);
+  EXPECT_EQ(tb.overwritten(), 0u);
+}
+
+TEST_F(TraceBufferTest, DstPreservedForMisrouteEvidence) {
+  TraceBuffer tb(TraceBufferConfig{32, 8});
+  tb.configure(design_.catalog(), selection_);
+  auto tm = make(design_.mondoacknack, 1);
+  tm.dst = "SIU";  // misrouted
+  tb.record(tm);
+  EXPECT_EQ(tb.records()[0].dst, "SIU");
+}
+
+class TriggerTest : public TraceBufferTest {
+ protected:
+  TriggerTest() : tb_(TraceBufferConfig{32, 16}) {
+    // Also trace reqtot so the window contents are visible.
+    selection_.combination.messages.push_back(design_.reqtot);
+    selection_.combination.width += 3;
+    selection_.used_width += 3;
+    tb_.configure(design_.catalog(), selection_);
+  }
+  TraceBuffer tb_;
+};
+
+TEST_F(TriggerTest, StartTriggerDelaysCapture) {
+  TraceTrigger trig;
+  trig.start = design_.grant;  // untraced message arms the window
+  tb_.set_trigger(trig);
+  EXPECT_FALSE(tb_.capturing());
+
+  tb_.record(make(design_.reqtot, 1));  // before window: dropped
+  EXPECT_EQ(tb_.size(), 0u);
+  tb_.record(make(design_.grant, 1));  // trigger fires
+  EXPECT_TRUE(tb_.capturing());
+  tb_.record(make(design_.reqtot, 2));
+  ASSERT_EQ(tb_.size(), 1u);
+  EXPECT_EQ(tb_.records()[0].value, 2u);
+}
+
+TEST_F(TriggerTest, StopTriggerClosesWindow) {
+  TraceTrigger trig;
+  trig.stop = design_.mondoacknack;
+  tb_.set_trigger(trig);
+  EXPECT_TRUE(tb_.capturing());
+  tb_.record(make(design_.reqtot, 1));
+  tb_.record(make(design_.mondoacknack, 3));  // stop (traced: recorded)
+  EXPECT_FALSE(tb_.capturing());
+  tb_.record(make(design_.reqtot, 2));  // after window: dropped
+  EXPECT_EQ(tb_.size(), 2u);
+}
+
+TEST_F(TriggerTest, ExcludeTriggerMessages) {
+  TraceTrigger trig;
+  trig.start = design_.reqtot;
+  trig.include_trigger = false;
+  tb_.set_trigger(trig);
+  tb_.record(make(design_.reqtot, 1));  // fires the trigger, not recorded
+  EXPECT_TRUE(tb_.capturing());
+  EXPECT_EQ(tb_.size(), 0u);
+  tb_.record(make(design_.reqtot, 2));
+  EXPECT_EQ(tb_.size(), 1u);
+}
+
+TEST_F(TriggerTest, StartStopWindowCapturesMiddle) {
+  TraceTrigger trig;
+  trig.start = design_.grant;
+  trig.stop = design_.grant;  // same message: one-shot window? start wins
+  tb_.set_trigger(trig);
+  tb_.record(make(design_.grant, 1));  // opens
+  EXPECT_TRUE(tb_.capturing());
+  tb_.record(make(design_.grant, 2));  // closes
+  EXPECT_FALSE(tb_.capturing());
+}
+
+TEST_F(TriggerTest, ConfigureClearsTrigger) {
+  TraceTrigger trig;
+  trig.start = design_.grant;
+  tb_.set_trigger(trig);
+  EXPECT_FALSE(tb_.capturing());
+  tb_.configure(design_.catalog(), selection_);
+  EXPECT_TRUE(tb_.capturing());
+  tb_.record(make(design_.reqtot, 1));
+  EXPECT_EQ(tb_.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tracesel::soc

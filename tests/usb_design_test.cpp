@@ -1,0 +1,96 @@
+#include "netlist/usb_design.hpp"
+
+#include <gtest/gtest.h>
+
+#include "selection/selector.hpp"
+
+namespace tracesel::netlist {
+namespace {
+
+class UsbDesignTest : public ::testing::Test {
+ protected:
+  UsbDesign usb_;
+};
+
+TEST_F(UsbDesignTest, NetlistValidates) {
+  EXPECT_NO_THROW(usb_.netlist().validate_and_topo_order());
+  EXPECT_GT(usb_.netlist().flops().size(), 80u);
+  EXPECT_EQ(usb_.netlist().inputs().size(), 5u);
+}
+
+TEST_F(UsbDesignTest, TenInterfaceSignalsInTable4Order) {
+  const auto& signals = usb_.interface_signals();
+  ASSERT_EQ(signals.size(), 10u);
+  EXPECT_EQ(signals[0].name, "rx_data");
+  EXPECT_EQ(signals[9].name, "data_pid_sel");
+  // Widths follow the modeled interface.
+  EXPECT_EQ(signals[0].flops.size(), 8u);
+  EXPECT_EQ(usb_.signal("token_pid_sel").flops.size(), 2u);
+  EXPECT_EQ(usb_.signal("rx_valid").flops.size(), 1u);
+}
+
+TEST_F(UsbDesignTest, SignalFlopsExistAndAreFlops) {
+  for (const auto& sg : usb_.interface_signals()) {
+    for (NetId f : sg.flops) {
+      EXPECT_EQ(usb_.netlist().gate(f).type, GateType::kFlop) << sg.name;
+    }
+  }
+}
+
+TEST_F(UsbDesignTest, SignalLookupThrowsOnUnknown) {
+  EXPECT_THROW(usb_.signal("nope"), std::out_of_range);
+}
+
+TEST_F(UsbDesignTest, MessageWidthsMatchSignalGroups) {
+  for (const auto& sg : usb_.interface_signals()) {
+    const auto id = usb_.message_of(sg.name);
+    EXPECT_EQ(usb_.catalog().get(id).width, sg.flops.size()) << sg.name;
+  }
+}
+
+TEST_F(UsbDesignTest, FlowsCoverAllInterfaceMessages) {
+  // Every Table 4 signal appears as a message of exactly one flow.
+  for (const auto& sg : usb_.interface_signals()) {
+    const auto id = usb_.message_of(sg.name);
+    const bool in_rx = usb_.rx_flow().uses_message(id);
+    const bool in_tx = usb_.tx_flow().uses_message(id);
+    EXPECT_TRUE(in_rx != in_tx) << sg.name;
+  }
+}
+
+TEST_F(UsbDesignTest, InterleavingBuilds) {
+  const auto u = usb_.interleaving(2);
+  EXPECT_GT(u.num_nodes(), 0u);
+  EXPECT_FALSE(u.stop_nodes().empty());
+}
+
+TEST_F(UsbDesignTest, InfoGainSelectsAllInterfaceMessages) {
+  // Sec. 1: "our method selects 100% of the messages required for debug"
+  // on the USB design — all ten interface messages fit a 32-bit buffer.
+  const auto u = usb_.interleaving(2);
+  const selection::MessageSelector selector(usb_.catalog(), u);
+  selection::SelectorConfig cfg;
+  cfg.buffer_width = 32;
+  const auto r = selector.select(cfg);
+  EXPECT_EQ(r.combination.messages.size(), 10u);
+  EXPECT_LE(r.combination.width, 32u);
+  EXPECT_GT(r.coverage, 0.9);
+}
+
+TEST_F(UsbDesignTest, SimulatorRunsOnUsbNetlist) {
+  Simulator sim(usb_.netlist());
+  std::vector<bool> inputs(usb_.netlist().inputs().size(), true);
+  for (int c = 0; c < 32; ++c) EXPECT_NO_THROW(sim.step(inputs));
+  EXPECT_EQ(sim.cycle(), 32u);
+}
+
+TEST(SignalCoverageOf, ClassifiesSelections) {
+  SignalGroup sg{"sig", "mod", {3, 4, 5}};
+  EXPECT_EQ(coverage_of(sg, {3, 4, 5}), SignalCoverage::kFull);
+  EXPECT_EQ(coverage_of(sg, {3, 9}), SignalCoverage::kPartial);
+  EXPECT_EQ(coverage_of(sg, {9, 10}), SignalCoverage::kNone);
+  EXPECT_EQ(coverage_of(sg, {}), SignalCoverage::kNone);
+}
+
+}  // namespace
+}  // namespace tracesel::netlist

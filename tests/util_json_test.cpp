@@ -1,0 +1,97 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace tracesel::util {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json::null().dump(), "null");
+  EXPECT_EQ(Json::boolean(true).dump(), "true");
+  EXPECT_EQ(Json::boolean(false).dump(), "false");
+  EXPECT_EQ(Json::number(std::int64_t{42}).dump(), "42");
+  EXPECT_EQ(Json::number(std::int64_t{-7}).dump(), "-7");
+  EXPECT_EQ(Json::number(1.5).dump(), "1.5");
+  EXPECT_EQ(Json::string("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(Json::number(std::numeric_limits<double>::infinity()).dump(),
+            "null");
+  EXPECT_EQ(Json::number(std::nan("")).dump(), "null");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json::string("a\"b").dump(), "\"a\\\"b\"");
+  EXPECT_EQ(Json::string("a\\b").dump(), "\"a\\\\b\"");
+  EXPECT_EQ(Json::string("a\nb\tc").dump(), "\"a\\nb\\tc\"");
+  EXPECT_EQ(Json::string(std::string_view("\x01", 1)).dump(),
+            "\"\\u0001\"");
+}
+
+TEST(Json, ArraysAndObjectsCompact) {
+  Json arr = Json::array();
+  arr.push_back(Json::number(std::int64_t{1}));
+  arr.push_back(Json::string("two"));
+  EXPECT_EQ(arr.dump(), "[1,\"two\"]");
+
+  Json obj = Json::object();
+  obj.set("a", Json::number(std::int64_t{1}));
+  obj.set("b", Json::boolean(false));
+  EXPECT_EQ(obj.dump(), "{\"a\":1,\"b\":false}");
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json::array().dump(), "[]");
+  EXPECT_EQ(Json::object().dump(), "{}");
+}
+
+TEST(Json, SetOverwritesExistingKey) {
+  Json obj = Json::object();
+  obj.set("k", Json::number(std::int64_t{1}));
+  obj.set("k", Json::number(std::int64_t{2}));
+  EXPECT_EQ(obj.dump(), "{\"k\":2}");
+}
+
+TEST(Json, KeysKeepInsertionOrder) {
+  Json obj = Json::object();
+  obj.set("z", Json::null());
+  obj.set("a", Json::null());
+  EXPECT_EQ(obj.dump(), "{\"z\":null,\"a\":null}");
+}
+
+TEST(Json, PrettyPrinting) {
+  Json obj = Json::object();
+  obj.set("xs", Json::array({Json::number(std::int64_t{1})}));
+  const std::string pretty = obj.dump(2);
+  EXPECT_EQ(pretty, "{\n  \"xs\": [\n    1\n  ]\n}");
+}
+
+TEST(Json, BuilderTypeErrors) {
+  Json arr = Json::array();
+  EXPECT_THROW(arr.set("k", Json::null()), std::logic_error);
+  Json obj = Json::object();
+  EXPECT_THROW(obj.push_back(Json::null()), std::logic_error);
+}
+
+TEST(Json, LargeUnsignedFallsBackToDouble) {
+  const std::uint64_t big = ~0ull;
+  // Renders without throwing; exact text is double-formatted.
+  EXPECT_FALSE(Json::number(big).dump().empty());
+}
+
+TEST(Json, NestedStructures) {
+  Json inner = Json::object();
+  inner.set("name", Json::string("dmusiidata"));
+  inner.set("width", Json::number(std::int64_t{20}));
+  Json outer = Json::object();
+  outer.set("messages", Json::array({std::move(inner)}));
+  EXPECT_EQ(outer.dump(),
+            "{\"messages\":[{\"name\":\"dmusiidata\",\"width\":20}]}");
+}
+
+}  // namespace
+}  // namespace tracesel::util

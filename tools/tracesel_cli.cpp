@@ -1,0 +1,257 @@
+// tracesel — command-line front end.
+//
+//   tracesel inspect <spec.flow>                     flows/messages summary
+//   tracesel select  <spec.flow> [options]           run message selection
+//       --buffer N       trace buffer width in bits   (default 32)
+//       --instances K    indexed instances per flow   (default 2)
+//       --mode M         maximal|exhaustive|greedy|knapsack
+//       --no-packing     disable Step 3
+//       --json           machine-readable output
+//   tracesel dot <spec.flow> <flow-name>             Graphviz of one flow
+//   tracesel lint <spec.flow> [--buffer N]           check the collateral
+//   tracesel debug <case 1..5> [--no-packing] [--vcd FILE]
+//                  [--report FILE] [--json]          run a T2 case study
+//
+// Exit codes: 0 ok, 1 usage error, 2 runtime failure.
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "debug/case_study.hpp"
+#include "flow/dot.hpp"
+#include "flow/lint.hpp"
+#include "flow/parser.hpp"
+#include "flow/stats.hpp"
+#include "selection/selector.hpp"
+#include "debug/report.hpp"
+#include "debug/serialize.hpp"
+#include "soc/vcd.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace tracesel;
+
+int usage() {
+  std::cerr << "usage:\n"
+               "  tracesel inspect <spec.flow>\n"
+               "  tracesel select <spec.flow> [--buffer N] [--instances K]"
+               " [--mode maximal|exhaustive|greedy|knapsack] [--no-packing]"
+               " [--json]\n"
+               "  tracesel dot <spec.flow> <flow-name>\n"
+               "  tracesel lint <spec.flow> [--buffer N]\n"
+               "  tracesel debug <case 1..5> [--no-packing] [--vcd FILE]"
+               " [--report FILE]\n";
+  return 1;
+}
+
+flow::InterleavedFlow interleave_all(const flow::ParsedSpec& spec,
+                                     std::uint32_t instances) {
+  std::vector<const flow::Flow*> flows;
+  for (const flow::Flow& f : spec.flows) flows.push_back(&f);
+  return flow::InterleavedFlow::build(
+      flow::make_instances(flows, instances));
+}
+
+int cmd_inspect(const std::string& path) {
+  const auto spec = flow::parse_flow_spec_file(path);
+  std::cout << "Spec '" << path << "': " << spec.flows.size() << " flows, "
+            << spec.catalog.size() << " messages\n\n";
+  util::Table messages({"Message", "Width", "Trace width", "Route",
+                        "Subgroups"});
+  for (const flow::Message& m : spec.catalog) {
+    std::string subgroups;
+    for (const auto& sg : m.subgroups) {
+      if (!subgroups.empty()) subgroups += ' ';
+      subgroups += sg.name + '[' + std::to_string(sg.width) + ']';
+    }
+    messages.add_row({m.name, std::to_string(m.width),
+                      std::to_string(m.trace_width()),
+                      m.source_ip + "->" + m.dest_ip,
+                      subgroups.empty() ? "-" : subgroups});
+  }
+  std::cout << messages << '\n';
+
+  util::Table flows({"Flow", "States", "Messages", "Atomic", "Depth",
+                     "Branching", "Executions"});
+  for (const flow::Flow& f : spec.flows) {
+    const auto st = flow::flow_stats(f);
+    flows.add_row({st.name, std::to_string(st.states),
+                   std::to_string(st.messages),
+                   std::to_string(st.atomic_states),
+                   std::to_string(st.depth),
+                   std::to_string(st.max_branching),
+                   util::fixed(st.executions, 0)});
+  }
+  std::cout << flows;
+  return 0;
+}
+
+int cmd_select(const std::string& path, int argc, char** argv) {
+  selection::SelectorConfig cfg;
+  std::uint32_t instances = 2;
+  bool json = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--buffer") cfg.buffer_width = std::stoul(next());
+    else if (arg == "--instances") instances = std::stoul(next());
+    else if (arg == "--no-packing") cfg.packing = false;
+    else if (arg == "--json") json = true;
+    else if (arg == "--mode") {
+      const std::string m = next();
+      if (m == "maximal") cfg.mode = selection::SearchMode::kMaximal;
+      else if (m == "exhaustive") cfg.mode = selection::SearchMode::kExhaustive;
+      else if (m == "greedy") cfg.mode = selection::SearchMode::kGreedy;
+      else if (m == "knapsack") cfg.mode = selection::SearchMode::kKnapsack;
+      else throw std::runtime_error("unknown mode '" + m + "'");
+    } else {
+      throw std::runtime_error("unknown option '" + arg + "'");
+    }
+  }
+
+  const auto spec = flow::parse_flow_spec_file(path);
+  const auto u = interleave_all(spec, instances);
+  const selection::MessageSelector selector(spec.catalog, u);
+  const auto r = selector.select(cfg);
+  if (json) {
+    std::cout << selection::to_json(spec.catalog, r).dump(2) << '\n';
+    return 0;
+  }
+  std::cout << "Interleaving: " << u.num_nodes() << " states, "
+            << u.num_edges() << " message occurrences\n";
+
+  util::Table table({"Field", "Width", "Kind"});
+  for (const auto m : r.combination.messages)
+    table.add_row({spec.catalog.get(m).name,
+                   std::to_string(spec.catalog.get(m).trace_width()),
+                   "message"});
+  for (const auto& pg : r.packed)
+    table.add_row({spec.catalog.get(pg.parent).name + '.' + pg.subgroup_name,
+                   std::to_string(pg.width), "packed subgroup"});
+  std::cout << table;
+  std::cout << "gain=" << util::fixed(r.gain, 4)
+            << " coverage=" << util::pct(r.coverage)
+            << " utilization=" << util::pct(r.utilization()) << " ("
+            << r.used_width << '/' << r.buffer_width << " bits)\n";
+  return 0;
+}
+
+int cmd_lint(const std::string& path, std::uint32_t buffer) {
+  const auto spec = flow::parse_flow_spec_file(path);
+  std::vector<const flow::Flow*> flows;
+  for (const flow::Flow& f : spec.flows) flows.push_back(&f);
+  flow::LintOptions opt;
+  opt.buffer_width = buffer;
+  const auto diagnostics = flow::lint(spec.catalog, flows, opt);
+  for (const auto& d : diagnostics) {
+    std::cout << flow::to_string(d.severity) << ": [" << d.rule << "] "
+              << d.subject << ": " << d.text << '\n';
+  }
+  std::cout << diagnostics.size() << " diagnostic(s)\n";
+  const bool warnings = std::any_of(
+      diagnostics.begin(), diagnostics.end(), [](const auto& d) {
+        return d.severity == flow::LintSeverity::kWarning;
+      });
+  return warnings ? 2 : 0;
+}
+
+int cmd_dot(const std::string& path, const std::string& flow_name) {
+  const auto spec = flow::parse_flow_spec_file(path);
+  std::cout << flow::to_dot(spec.flow(flow_name), spec.catalog);
+  return 0;
+}
+
+int cmd_debug(int case_id, bool packing, const std::string& vcd_path,
+              const std::string& report_path, bool json) {
+  const auto cases = soc::standard_case_studies();
+  if (case_id < 1 || case_id > static_cast<int>(cases.size())) {
+    std::cerr << "case id must be 1.." << cases.size() << '\n';
+    return 1;
+  }
+  soc::T2Design design;
+  debug::CaseStudyOptions opt;
+  opt.packing = packing;
+  const auto r = debug::run_case_study(design, cases[case_id - 1], opt);
+  if (json) {
+    debug::WorkbenchResult wr;
+    wr.selection = r.selection;
+    wr.golden = r.golden;
+    wr.buggy = r.buggy;
+    wr.observation = r.observation;
+    wr.report = r.report;
+    wr.localization = r.localization;
+    std::cout << debug::to_json(design.catalog(), wr).dump(2) << '\n';
+    return 0;
+  }
+  std::cout << "Case study " << case_id << " (" << r.scenario.name
+            << "): " << (r.buggy.failed ? r.buggy.failure : "no failure")
+            << '\n';
+  for (const auto& [m, status] : r.observation.status)
+    std::cout << "  " << design.catalog().get(m).name << ": "
+              << debug::to_string(status) << '\n';
+  std::cout << "Pruned " << util::pct(r.report.pruned_fraction()) << " ("
+            << r.report.final_causes.size() << " plausible cause(s))\n";
+  for (const auto& c : r.report.final_causes)
+    std::cout << "  [" << c.ip << "] " << c.description << '\n';
+  if (!report_path.empty()) {
+    debug::write_report(design, r, report_path);
+    std::cout << "Debug report written to " << report_path << '\n';
+  }
+  if (!vcd_path.empty()) {
+    std::ofstream out(vcd_path);
+    if (!out) {
+      std::cerr << "cannot write " << vcd_path << '\n';
+      return 2;
+    }
+    out << soc::trace_to_vcd(design.catalog(), r.buggy_records);
+    std::cout << "Trace buffer dump written to " << vcd_path << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "inspect" && argc == 3) return cmd_inspect(argv[2]);
+    if (cmd == "select" && argc >= 3)
+      return cmd_select(argv[2], argc - 3, argv + 3);
+    if (cmd == "dot" && argc == 4) return cmd_dot(argv[2], argv[3]);
+    if (cmd == "lint" && (argc == 3 || argc == 5)) {
+      std::uint32_t buffer = 32;
+      if (argc == 5) {
+        if (std::strcmp(argv[3], "--buffer") != 0) return usage();
+        buffer = static_cast<std::uint32_t>(std::stoul(argv[4]));
+      }
+      return cmd_lint(argv[2], buffer);
+    }
+    if (cmd == "debug" && argc >= 3) {
+      bool packing = true;
+      bool json = false;
+      std::string vcd, report;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--no-packing") == 0) packing = false;
+        else if (std::strcmp(argv[i], "--json") == 0) json = true;
+        else if (std::strcmp(argv[i], "--vcd") == 0 && i + 1 < argc)
+          vcd = argv[++i];
+        else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc)
+          report = argv[++i];
+        else
+          return usage();
+      }
+      return cmd_debug(std::atoi(argv[2]), packing, vcd, report, json);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+  return usage();
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_constraint.dir/bench_ablation_constraint.cpp.o"
+  "CMakeFiles/bench_ablation_constraint.dir/bench_ablation_constraint.cpp.o.d"
+  "bench_ablation_constraint"
+  "bench_ablation_constraint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_constraint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_instances.dir/bench_ablation_instances.cpp.o"
+  "CMakeFiles/bench_ablation_instances.dir/bench_ablation_instances.cpp.o.d"
+  "bench_ablation_instances"
+  "bench_ablation_instances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_instances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

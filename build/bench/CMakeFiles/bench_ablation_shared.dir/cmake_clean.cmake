@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_shared.dir/bench_ablation_shared.cpp.o"
+  "CMakeFiles/bench_ablation_shared.dir/bench_ablation_shared.cpp.o.d"
+  "bench_ablation_shared"
+  "bench_ablation_shared.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

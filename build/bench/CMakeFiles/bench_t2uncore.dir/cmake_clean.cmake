@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2uncore.dir/bench_t2uncore.cpp.o"
+  "CMakeFiles/bench_t2uncore.dir/bench_t2uncore.cpp.o.d"
+  "bench_t2uncore"
+  "bench_t2uncore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2uncore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

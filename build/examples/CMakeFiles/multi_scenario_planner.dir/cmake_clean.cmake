@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_scenario_planner.dir/multi_scenario_planner.cpp.o"
+  "CMakeFiles/multi_scenario_planner.dir/multi_scenario_planner.cpp.o.d"
+  "multi_scenario_planner"
+  "multi_scenario_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_scenario_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t2_debug_session.dir/t2_debug_session.cpp.o"
+  "CMakeFiles/t2_debug_session.dir/t2_debug_session.cpp.o.d"
+  "t2_debug_session"
+  "t2_debug_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t2_debug_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usb_selection.dir/usb_selection.cpp.o"
+  "CMakeFiles/usb_selection.dir/usb_selection.cpp.o.d"
+  "usb_selection"
+  "usb_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usb_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracesel_baseline.dir/flop_graph.cpp.o"
+  "CMakeFiles/tracesel_baseline.dir/flop_graph.cpp.o.d"
+  "CMakeFiles/tracesel_baseline.dir/hybrid.cpp.o"
+  "CMakeFiles/tracesel_baseline.dir/hybrid.cpp.o.d"
+  "CMakeFiles/tracesel_baseline.dir/prnet.cpp.o"
+  "CMakeFiles/tracesel_baseline.dir/prnet.cpp.o.d"
+  "CMakeFiles/tracesel_baseline.dir/sigset.cpp.o"
+  "CMakeFiles/tracesel_baseline.dir/sigset.cpp.o.d"
+  "libtracesel_baseline.a"
+  "libtracesel_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracesel_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracesel_bug.dir/bug.cpp.o"
+  "CMakeFiles/tracesel_bug.dir/bug.cpp.o.d"
+  "libtracesel_bug.a"
+  "libtracesel_bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracesel_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/debug/case_study.cpp" "src/debug/CMakeFiles/tracesel_debug.dir/case_study.cpp.o" "gcc" "src/debug/CMakeFiles/tracesel_debug.dir/case_study.cpp.o.d"
+  "/root/repo/src/debug/debugger.cpp" "src/debug/CMakeFiles/tracesel_debug.dir/debugger.cpp.o" "gcc" "src/debug/CMakeFiles/tracesel_debug.dir/debugger.cpp.o.d"
+  "/root/repo/src/debug/extended_causes.cpp" "src/debug/CMakeFiles/tracesel_debug.dir/extended_causes.cpp.o" "gcc" "src/debug/CMakeFiles/tracesel_debug.dir/extended_causes.cpp.o.d"
+  "/root/repo/src/debug/ip_pairs.cpp" "src/debug/CMakeFiles/tracesel_debug.dir/ip_pairs.cpp.o" "gcc" "src/debug/CMakeFiles/tracesel_debug.dir/ip_pairs.cpp.o.d"
+  "/root/repo/src/debug/monte_carlo.cpp" "src/debug/CMakeFiles/tracesel_debug.dir/monte_carlo.cpp.o" "gcc" "src/debug/CMakeFiles/tracesel_debug.dir/monte_carlo.cpp.o.d"
+  "/root/repo/src/debug/observation.cpp" "src/debug/CMakeFiles/tracesel_debug.dir/observation.cpp.o" "gcc" "src/debug/CMakeFiles/tracesel_debug.dir/observation.cpp.o.d"
+  "/root/repo/src/debug/report.cpp" "src/debug/CMakeFiles/tracesel_debug.dir/report.cpp.o" "gcc" "src/debug/CMakeFiles/tracesel_debug.dir/report.cpp.o.d"
+  "/root/repo/src/debug/root_cause.cpp" "src/debug/CMakeFiles/tracesel_debug.dir/root_cause.cpp.o" "gcc" "src/debug/CMakeFiles/tracesel_debug.dir/root_cause.cpp.o.d"
+  "/root/repo/src/debug/serialize.cpp" "src/debug/CMakeFiles/tracesel_debug.dir/serialize.cpp.o" "gcc" "src/debug/CMakeFiles/tracesel_debug.dir/serialize.cpp.o.d"
+  "/root/repo/src/debug/workbench.cpp" "src/debug/CMakeFiles/tracesel_debug.dir/workbench.cpp.o" "gcc" "src/debug/CMakeFiles/tracesel_debug.dir/workbench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/soc/CMakeFiles/tracesel_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/selection/CMakeFiles/tracesel_selection.dir/DependInfo.cmake"
+  "/root/repo/build/src/bug/CMakeFiles/tracesel_bug.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/tracesel_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tracesel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

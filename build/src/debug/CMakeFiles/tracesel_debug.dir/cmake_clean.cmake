@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracesel_debug.dir/case_study.cpp.o"
+  "CMakeFiles/tracesel_debug.dir/case_study.cpp.o.d"
+  "CMakeFiles/tracesel_debug.dir/debugger.cpp.o"
+  "CMakeFiles/tracesel_debug.dir/debugger.cpp.o.d"
+  "CMakeFiles/tracesel_debug.dir/extended_causes.cpp.o"
+  "CMakeFiles/tracesel_debug.dir/extended_causes.cpp.o.d"
+  "CMakeFiles/tracesel_debug.dir/ip_pairs.cpp.o"
+  "CMakeFiles/tracesel_debug.dir/ip_pairs.cpp.o.d"
+  "CMakeFiles/tracesel_debug.dir/monte_carlo.cpp.o"
+  "CMakeFiles/tracesel_debug.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/tracesel_debug.dir/observation.cpp.o"
+  "CMakeFiles/tracesel_debug.dir/observation.cpp.o.d"
+  "CMakeFiles/tracesel_debug.dir/report.cpp.o"
+  "CMakeFiles/tracesel_debug.dir/report.cpp.o.d"
+  "CMakeFiles/tracesel_debug.dir/root_cause.cpp.o"
+  "CMakeFiles/tracesel_debug.dir/root_cause.cpp.o.d"
+  "CMakeFiles/tracesel_debug.dir/serialize.cpp.o"
+  "CMakeFiles/tracesel_debug.dir/serialize.cpp.o.d"
+  "CMakeFiles/tracesel_debug.dir/workbench.cpp.o"
+  "CMakeFiles/tracesel_debug.dir/workbench.cpp.o.d"
+  "libtracesel_debug.a"
+  "libtracesel_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracesel_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

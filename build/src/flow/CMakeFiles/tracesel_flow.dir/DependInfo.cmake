@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/dot.cpp" "src/flow/CMakeFiles/tracesel_flow.dir/dot.cpp.o" "gcc" "src/flow/CMakeFiles/tracesel_flow.dir/dot.cpp.o.d"
+  "/root/repo/src/flow/execution.cpp" "src/flow/CMakeFiles/tracesel_flow.dir/execution.cpp.o" "gcc" "src/flow/CMakeFiles/tracesel_flow.dir/execution.cpp.o.d"
+  "/root/repo/src/flow/flow.cpp" "src/flow/CMakeFiles/tracesel_flow.dir/flow.cpp.o" "gcc" "src/flow/CMakeFiles/tracesel_flow.dir/flow.cpp.o.d"
+  "/root/repo/src/flow/flow_builder.cpp" "src/flow/CMakeFiles/tracesel_flow.dir/flow_builder.cpp.o" "gcc" "src/flow/CMakeFiles/tracesel_flow.dir/flow_builder.cpp.o.d"
+  "/root/repo/src/flow/interleaved_flow.cpp" "src/flow/CMakeFiles/tracesel_flow.dir/interleaved_flow.cpp.o" "gcc" "src/flow/CMakeFiles/tracesel_flow.dir/interleaved_flow.cpp.o.d"
+  "/root/repo/src/flow/lint.cpp" "src/flow/CMakeFiles/tracesel_flow.dir/lint.cpp.o" "gcc" "src/flow/CMakeFiles/tracesel_flow.dir/lint.cpp.o.d"
+  "/root/repo/src/flow/message.cpp" "src/flow/CMakeFiles/tracesel_flow.dir/message.cpp.o" "gcc" "src/flow/CMakeFiles/tracesel_flow.dir/message.cpp.o.d"
+  "/root/repo/src/flow/parser.cpp" "src/flow/CMakeFiles/tracesel_flow.dir/parser.cpp.o" "gcc" "src/flow/CMakeFiles/tracesel_flow.dir/parser.cpp.o.d"
+  "/root/repo/src/flow/stats.cpp" "src/flow/CMakeFiles/tracesel_flow.dir/stats.cpp.o" "gcc" "src/flow/CMakeFiles/tracesel_flow.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tracesel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

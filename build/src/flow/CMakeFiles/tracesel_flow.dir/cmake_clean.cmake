@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracesel_flow.dir/dot.cpp.o"
+  "CMakeFiles/tracesel_flow.dir/dot.cpp.o.d"
+  "CMakeFiles/tracesel_flow.dir/execution.cpp.o"
+  "CMakeFiles/tracesel_flow.dir/execution.cpp.o.d"
+  "CMakeFiles/tracesel_flow.dir/flow.cpp.o"
+  "CMakeFiles/tracesel_flow.dir/flow.cpp.o.d"
+  "CMakeFiles/tracesel_flow.dir/flow_builder.cpp.o"
+  "CMakeFiles/tracesel_flow.dir/flow_builder.cpp.o.d"
+  "CMakeFiles/tracesel_flow.dir/interleaved_flow.cpp.o"
+  "CMakeFiles/tracesel_flow.dir/interleaved_flow.cpp.o.d"
+  "CMakeFiles/tracesel_flow.dir/lint.cpp.o"
+  "CMakeFiles/tracesel_flow.dir/lint.cpp.o.d"
+  "CMakeFiles/tracesel_flow.dir/message.cpp.o"
+  "CMakeFiles/tracesel_flow.dir/message.cpp.o.d"
+  "CMakeFiles/tracesel_flow.dir/parser.cpp.o"
+  "CMakeFiles/tracesel_flow.dir/parser.cpp.o.d"
+  "CMakeFiles/tracesel_flow.dir/stats.cpp.o"
+  "CMakeFiles/tracesel_flow.dir/stats.cpp.o.d"
+  "libtracesel_flow.a"
+  "libtracesel_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracesel_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/generators.cpp" "src/netlist/CMakeFiles/tracesel_netlist.dir/generators.cpp.o" "gcc" "src/netlist/CMakeFiles/tracesel_netlist.dir/generators.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/tracesel_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/tracesel_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/restoration.cpp" "src/netlist/CMakeFiles/tracesel_netlist.dir/restoration.cpp.o" "gcc" "src/netlist/CMakeFiles/tracesel_netlist.dir/restoration.cpp.o.d"
+  "/root/repo/src/netlist/t2_uncore.cpp" "src/netlist/CMakeFiles/tracesel_netlist.dir/t2_uncore.cpp.o" "gcc" "src/netlist/CMakeFiles/tracesel_netlist.dir/t2_uncore.cpp.o.d"
+  "/root/repo/src/netlist/usb_design.cpp" "src/netlist/CMakeFiles/tracesel_netlist.dir/usb_design.cpp.o" "gcc" "src/netlist/CMakeFiles/tracesel_netlist.dir/usb_design.cpp.o.d"
+  "/root/repo/src/netlist/verilog.cpp" "src/netlist/CMakeFiles/tracesel_netlist.dir/verilog.cpp.o" "gcc" "src/netlist/CMakeFiles/tracesel_netlist.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/tracesel_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tracesel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

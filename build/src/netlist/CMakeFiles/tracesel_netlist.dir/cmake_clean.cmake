@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracesel_netlist.dir/generators.cpp.o"
+  "CMakeFiles/tracesel_netlist.dir/generators.cpp.o.d"
+  "CMakeFiles/tracesel_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/tracesel_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/tracesel_netlist.dir/restoration.cpp.o"
+  "CMakeFiles/tracesel_netlist.dir/restoration.cpp.o.d"
+  "CMakeFiles/tracesel_netlist.dir/t2_uncore.cpp.o"
+  "CMakeFiles/tracesel_netlist.dir/t2_uncore.cpp.o.d"
+  "CMakeFiles/tracesel_netlist.dir/usb_design.cpp.o"
+  "CMakeFiles/tracesel_netlist.dir/usb_design.cpp.o.d"
+  "CMakeFiles/tracesel_netlist.dir/verilog.cpp.o"
+  "CMakeFiles/tracesel_netlist.dir/verilog.cpp.o.d"
+  "libtracesel_netlist.a"
+  "libtracesel_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracesel_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

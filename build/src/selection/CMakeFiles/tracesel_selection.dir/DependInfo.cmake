@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/selection/combination.cpp" "src/selection/CMakeFiles/tracesel_selection.dir/combination.cpp.o" "gcc" "src/selection/CMakeFiles/tracesel_selection.dir/combination.cpp.o.d"
+  "/root/repo/src/selection/coverage.cpp" "src/selection/CMakeFiles/tracesel_selection.dir/coverage.cpp.o" "gcc" "src/selection/CMakeFiles/tracesel_selection.dir/coverage.cpp.o.d"
+  "/root/repo/src/selection/info_gain.cpp" "src/selection/CMakeFiles/tracesel_selection.dir/info_gain.cpp.o" "gcc" "src/selection/CMakeFiles/tracesel_selection.dir/info_gain.cpp.o.d"
+  "/root/repo/src/selection/localization.cpp" "src/selection/CMakeFiles/tracesel_selection.dir/localization.cpp.o" "gcc" "src/selection/CMakeFiles/tracesel_selection.dir/localization.cpp.o.d"
+  "/root/repo/src/selection/multi_scenario.cpp" "src/selection/CMakeFiles/tracesel_selection.dir/multi_scenario.cpp.o" "gcc" "src/selection/CMakeFiles/tracesel_selection.dir/multi_scenario.cpp.o.d"
+  "/root/repo/src/selection/packing.cpp" "src/selection/CMakeFiles/tracesel_selection.dir/packing.cpp.o" "gcc" "src/selection/CMakeFiles/tracesel_selection.dir/packing.cpp.o.d"
+  "/root/repo/src/selection/selector.cpp" "src/selection/CMakeFiles/tracesel_selection.dir/selector.cpp.o" "gcc" "src/selection/CMakeFiles/tracesel_selection.dir/selector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/tracesel_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tracesel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracesel_selection.dir/combination.cpp.o"
+  "CMakeFiles/tracesel_selection.dir/combination.cpp.o.d"
+  "CMakeFiles/tracesel_selection.dir/coverage.cpp.o"
+  "CMakeFiles/tracesel_selection.dir/coverage.cpp.o.d"
+  "CMakeFiles/tracesel_selection.dir/info_gain.cpp.o"
+  "CMakeFiles/tracesel_selection.dir/info_gain.cpp.o.d"
+  "CMakeFiles/tracesel_selection.dir/localization.cpp.o"
+  "CMakeFiles/tracesel_selection.dir/localization.cpp.o.d"
+  "CMakeFiles/tracesel_selection.dir/multi_scenario.cpp.o"
+  "CMakeFiles/tracesel_selection.dir/multi_scenario.cpp.o.d"
+  "CMakeFiles/tracesel_selection.dir/packing.cpp.o"
+  "CMakeFiles/tracesel_selection.dir/packing.cpp.o.d"
+  "CMakeFiles/tracesel_selection.dir/selector.cpp.o"
+  "CMakeFiles/tracesel_selection.dir/selector.cpp.o.d"
+  "libtracesel_selection.a"
+  "libtracesel_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracesel_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

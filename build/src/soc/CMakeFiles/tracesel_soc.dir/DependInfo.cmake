@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/monitor.cpp" "src/soc/CMakeFiles/tracesel_soc.dir/monitor.cpp.o" "gcc" "src/soc/CMakeFiles/tracesel_soc.dir/monitor.cpp.o.d"
+  "/root/repo/src/soc/scenario.cpp" "src/soc/CMakeFiles/tracesel_soc.dir/scenario.cpp.o" "gcc" "src/soc/CMakeFiles/tracesel_soc.dir/scenario.cpp.o.d"
+  "/root/repo/src/soc/simulator.cpp" "src/soc/CMakeFiles/tracesel_soc.dir/simulator.cpp.o" "gcc" "src/soc/CMakeFiles/tracesel_soc.dir/simulator.cpp.o.d"
+  "/root/repo/src/soc/t2_bugs.cpp" "src/soc/CMakeFiles/tracesel_soc.dir/t2_bugs.cpp.o" "gcc" "src/soc/CMakeFiles/tracesel_soc.dir/t2_bugs.cpp.o.d"
+  "/root/repo/src/soc/t2_design.cpp" "src/soc/CMakeFiles/tracesel_soc.dir/t2_design.cpp.o" "gcc" "src/soc/CMakeFiles/tracesel_soc.dir/t2_design.cpp.o.d"
+  "/root/repo/src/soc/t2_extended.cpp" "src/soc/CMakeFiles/tracesel_soc.dir/t2_extended.cpp.o" "gcc" "src/soc/CMakeFiles/tracesel_soc.dir/t2_extended.cpp.o.d"
+  "/root/repo/src/soc/trace_buffer.cpp" "src/soc/CMakeFiles/tracesel_soc.dir/trace_buffer.cpp.o" "gcc" "src/soc/CMakeFiles/tracesel_soc.dir/trace_buffer.cpp.o.d"
+  "/root/repo/src/soc/vcd.cpp" "src/soc/CMakeFiles/tracesel_soc.dir/vcd.cpp.o" "gcc" "src/soc/CMakeFiles/tracesel_soc.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/tracesel_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/selection/CMakeFiles/tracesel_selection.dir/DependInfo.cmake"
+  "/root/repo/build/src/bug/CMakeFiles/tracesel_bug.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tracesel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

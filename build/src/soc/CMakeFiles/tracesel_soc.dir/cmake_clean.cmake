@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracesel_soc.dir/monitor.cpp.o"
+  "CMakeFiles/tracesel_soc.dir/monitor.cpp.o.d"
+  "CMakeFiles/tracesel_soc.dir/scenario.cpp.o"
+  "CMakeFiles/tracesel_soc.dir/scenario.cpp.o.d"
+  "CMakeFiles/tracesel_soc.dir/simulator.cpp.o"
+  "CMakeFiles/tracesel_soc.dir/simulator.cpp.o.d"
+  "CMakeFiles/tracesel_soc.dir/t2_bugs.cpp.o"
+  "CMakeFiles/tracesel_soc.dir/t2_bugs.cpp.o.d"
+  "CMakeFiles/tracesel_soc.dir/t2_design.cpp.o"
+  "CMakeFiles/tracesel_soc.dir/t2_design.cpp.o.d"
+  "CMakeFiles/tracesel_soc.dir/t2_extended.cpp.o"
+  "CMakeFiles/tracesel_soc.dir/t2_extended.cpp.o.d"
+  "CMakeFiles/tracesel_soc.dir/trace_buffer.cpp.o"
+  "CMakeFiles/tracesel_soc.dir/trace_buffer.cpp.o.d"
+  "CMakeFiles/tracesel_soc.dir/vcd.cpp.o"
+  "CMakeFiles/tracesel_soc.dir/vcd.cpp.o.d"
+  "libtracesel_soc.a"
+  "libtracesel_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracesel_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracesel_util.dir/json.cpp.o"
+  "CMakeFiles/tracesel_util.dir/json.cpp.o.d"
+  "CMakeFiles/tracesel_util.dir/log.cpp.o"
+  "CMakeFiles/tracesel_util.dir/log.cpp.o.d"
+  "CMakeFiles/tracesel_util.dir/stats.cpp.o"
+  "CMakeFiles/tracesel_util.dir/stats.cpp.o.d"
+  "CMakeFiles/tracesel_util.dir/table.cpp.o"
+  "CMakeFiles/tracesel_util.dir/table.cpp.o.d"
+  "libtracesel_util.a"
+  "libtracesel_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracesel_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

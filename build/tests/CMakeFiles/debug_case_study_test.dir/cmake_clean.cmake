@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_case_study_test.dir/debug_case_study_test.cpp.o"
+  "CMakeFiles/debug_case_study_test.dir/debug_case_study_test.cpp.o.d"
+  "debug_case_study_test"
+  "debug_case_study_test.pdb"
+  "debug_case_study_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_case_study_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

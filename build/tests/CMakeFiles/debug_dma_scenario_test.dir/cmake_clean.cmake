@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_dma_scenario_test.dir/debug_dma_scenario_test.cpp.o"
+  "CMakeFiles/debug_dma_scenario_test.dir/debug_dma_scenario_test.cpp.o.d"
+  "debug_dma_scenario_test"
+  "debug_dma_scenario_test.pdb"
+  "debug_dma_scenario_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_dma_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_ip_pairs_test.dir/debug_ip_pairs_test.cpp.o"
+  "CMakeFiles/debug_ip_pairs_test.dir/debug_ip_pairs_test.cpp.o.d"
+  "debug_ip_pairs_test"
+  "debug_ip_pairs_test.pdb"
+  "debug_ip_pairs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_ip_pairs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

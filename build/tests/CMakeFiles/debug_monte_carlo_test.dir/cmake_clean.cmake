@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_monte_carlo_test.dir/debug_monte_carlo_test.cpp.o"
+  "CMakeFiles/debug_monte_carlo_test.dir/debug_monte_carlo_test.cpp.o.d"
+  "debug_monte_carlo_test"
+  "debug_monte_carlo_test.pdb"
+  "debug_monte_carlo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_monte_carlo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

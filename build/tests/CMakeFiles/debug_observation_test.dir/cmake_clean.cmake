@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_observation_test.dir/debug_observation_test.cpp.o"
+  "CMakeFiles/debug_observation_test.dir/debug_observation_test.cpp.o.d"
+  "debug_observation_test"
+  "debug_observation_test.pdb"
+  "debug_observation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_observation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

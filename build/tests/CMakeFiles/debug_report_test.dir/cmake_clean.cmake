@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_report_test.dir/debug_report_test.cpp.o"
+  "CMakeFiles/debug_report_test.dir/debug_report_test.cpp.o.d"
+  "debug_report_test"
+  "debug_report_test.pdb"
+  "debug_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

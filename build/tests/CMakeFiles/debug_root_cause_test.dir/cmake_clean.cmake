@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_root_cause_test.dir/debug_root_cause_test.cpp.o"
+  "CMakeFiles/debug_root_cause_test.dir/debug_root_cause_test.cpp.o.d"
+  "debug_root_cause_test"
+  "debug_root_cause_test.pdb"
+  "debug_root_cause_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_root_cause_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

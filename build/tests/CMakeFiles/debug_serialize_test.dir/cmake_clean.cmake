@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_serialize_test.dir/debug_serialize_test.cpp.o"
+  "CMakeFiles/debug_serialize_test.dir/debug_serialize_test.cpp.o.d"
+  "debug_serialize_test"
+  "debug_serialize_test.pdb"
+  "debug_serialize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_workbench_test.dir/debug_workbench_test.cpp.o"
+  "CMakeFiles/debug_workbench_test.dir/debug_workbench_test.cpp.o.d"
+  "debug_workbench_test"
+  "debug_workbench_test.pdb"
+  "debug_workbench_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_workbench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_dot_test.dir/flow_dot_test.cpp.o"
+  "CMakeFiles/flow_dot_test.dir/flow_dot_test.cpp.o.d"
+  "flow_dot_test"
+  "flow_dot_test.pdb"
+  "flow_dot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_dot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

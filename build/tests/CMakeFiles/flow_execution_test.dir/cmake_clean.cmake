@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_execution_test.dir/flow_execution_test.cpp.o"
+  "CMakeFiles/flow_execution_test.dir/flow_execution_test.cpp.o.d"
+  "flow_execution_test"
+  "flow_execution_test.pdb"
+  "flow_execution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_execution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

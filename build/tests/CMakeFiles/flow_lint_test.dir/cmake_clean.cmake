@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_lint_test.dir/flow_lint_test.cpp.o"
+  "CMakeFiles/flow_lint_test.dir/flow_lint_test.cpp.o.d"
+  "flow_lint_test"
+  "flow_lint_test.pdb"
+  "flow_lint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_lint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

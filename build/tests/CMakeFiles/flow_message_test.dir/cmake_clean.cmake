@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_message_test.dir/flow_message_test.cpp.o"
+  "CMakeFiles/flow_message_test.dir/flow_message_test.cpp.o.d"
+  "flow_message_test"
+  "flow_message_test.pdb"
+  "flow_message_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_message_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

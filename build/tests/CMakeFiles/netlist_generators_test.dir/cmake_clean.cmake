@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_generators_test.dir/netlist_generators_test.cpp.o"
+  "CMakeFiles/netlist_generators_test.dir/netlist_generators_test.cpp.o.d"
+  "netlist_generators_test"
+  "netlist_generators_test.pdb"
+  "netlist_generators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_generators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_combination_test.dir/selection_combination_test.cpp.o"
+  "CMakeFiles/selection_combination_test.dir/selection_combination_test.cpp.o.d"
+  "selection_combination_test"
+  "selection_combination_test.pdb"
+  "selection_combination_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_combination_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_flow_constraint_test.dir/selection_flow_constraint_test.cpp.o"
+  "CMakeFiles/selection_flow_constraint_test.dir/selection_flow_constraint_test.cpp.o.d"
+  "selection_flow_constraint_test"
+  "selection_flow_constraint_test.pdb"
+  "selection_flow_constraint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_flow_constraint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_info_gain_test.dir/selection_info_gain_test.cpp.o"
+  "CMakeFiles/selection_info_gain_test.dir/selection_info_gain_test.cpp.o.d"
+  "selection_info_gain_test"
+  "selection_info_gain_test.pdb"
+  "selection_info_gain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_info_gain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

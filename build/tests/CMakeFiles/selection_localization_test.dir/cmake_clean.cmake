@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_localization_test.dir/selection_localization_test.cpp.o"
+  "CMakeFiles/selection_localization_test.dir/selection_localization_test.cpp.o.d"
+  "selection_localization_test"
+  "selection_localization_test.pdb"
+  "selection_localization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_localization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

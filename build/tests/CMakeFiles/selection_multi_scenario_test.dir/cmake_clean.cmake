@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_multi_scenario_test.dir/selection_multi_scenario_test.cpp.o"
+  "CMakeFiles/selection_multi_scenario_test.dir/selection_multi_scenario_test.cpp.o.d"
+  "selection_multi_scenario_test"
+  "selection_multi_scenario_test.pdb"
+  "selection_multi_scenario_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_multi_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_packing_test.dir/selection_packing_test.cpp.o"
+  "CMakeFiles/selection_packing_test.dir/selection_packing_test.cpp.o.d"
+  "selection_packing_test"
+  "selection_packing_test.pdb"
+  "selection_packing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_packing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_selector_test.dir/selection_selector_test.cpp.o"
+  "CMakeFiles/selection_selector_test.dir/selection_selector_test.cpp.o.d"
+  "selection_selector_test"
+  "selection_selector_test.pdb"
+  "selection_selector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_selector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

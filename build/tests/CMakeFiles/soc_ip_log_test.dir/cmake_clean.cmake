@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_ip_log_test.dir/soc_ip_log_test.cpp.o"
+  "CMakeFiles/soc_ip_log_test.dir/soc_ip_log_test.cpp.o.d"
+  "soc_ip_log_test"
+  "soc_ip_log_test.pdb"
+  "soc_ip_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_ip_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_monitor_test.dir/soc_monitor_test.cpp.o"
+  "CMakeFiles/soc_monitor_test.dir/soc_monitor_test.cpp.o.d"
+  "soc_monitor_test"
+  "soc_monitor_test.pdb"
+  "soc_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_trace_buffer_test.dir/soc_trace_buffer_test.cpp.o"
+  "CMakeFiles/soc_trace_buffer_test.dir/soc_trace_buffer_test.cpp.o.d"
+  "soc_trace_buffer_test"
+  "soc_trace_buffer_test.pdb"
+  "soc_trace_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_trace_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

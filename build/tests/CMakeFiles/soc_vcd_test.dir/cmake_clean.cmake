@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_vcd_test.dir/soc_vcd_test.cpp.o"
+  "CMakeFiles/soc_vcd_test.dir/soc_vcd_test.cpp.o.d"
+  "soc_vcd_test"
+  "soc_vcd_test.pdb"
+  "soc_vcd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_vcd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

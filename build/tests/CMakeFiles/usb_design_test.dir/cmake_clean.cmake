@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usb_design_test.dir/usb_design_test.cpp.o"
+  "CMakeFiles/usb_design_test.dir/usb_design_test.cpp.o.d"
+  "usb_design_test"
+  "usb_design_test.pdb"
+  "usb_design_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usb_design_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

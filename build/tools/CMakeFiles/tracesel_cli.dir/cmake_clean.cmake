@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracesel_cli.dir/tracesel_cli.cpp.o"
+  "CMakeFiles/tracesel_cli.dir/tracesel_cli.cpp.o.d"
+  "tracesel"
+  "tracesel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracesel_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

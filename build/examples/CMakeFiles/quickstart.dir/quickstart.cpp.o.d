@@ -179,7 +179,10 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /root/repo/src/flow/indexed_flow.hpp \
  /root/repo/src/flow/flow_builder.hpp \
  /root/repo/src/selection/localization.hpp /usr/include/c++/12/span \
- /usr/include/c++/12/cstddef /root/repo/src/selection/selector.hpp \
+ /usr/include/c++/12/cstddef /root/repo/src/util/result.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/selection/selector.hpp \
  /root/repo/src/selection/combination.hpp \
  /root/repo/src/selection/coverage.hpp \
  /root/repo/src/selection/info_gain.hpp \

@@ -156,14 +156,18 @@ src/debug/CMakeFiles/tracesel_debug.dir/report.cpp.o: \
  /root/repo/src/flow/indexed_flow.hpp /usr/include/c++/12/stdexcept \
  /root/repo/src/selection/info_gain.hpp \
  /root/repo/src/selection/packing.hpp /root/repo/src/soc/monitor.hpp \
- /root/repo/src/soc/ip.hpp /root/repo/src/debug/root_cause.hpp \
- /root/repo/src/soc/t2_design.hpp /root/repo/src/soc/scenario.hpp \
+ /root/repo/src/soc/ip.hpp /root/repo/src/util/result.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/debug/root_cause.hpp /root/repo/src/soc/t2_design.hpp \
+ /root/repo/src/soc/scenario.hpp \
  /root/repo/src/selection/localization.hpp \
- /root/repo/src/soc/simulator.hpp /root/repo/src/bug/bug.hpp \
- /root/repo/src/util/rng.hpp /usr/include/c++/12/limits \
- /root/repo/src/soc/t2_bugs.hpp /usr/include/c++/12/fstream \
- /usr/include/c++/12/istream /usr/include/c++/12/ios \
- /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
+ /root/repo/src/soc/fault_injector.hpp /root/repo/src/soc/simulator.hpp \
+ /root/repo/src/bug/bug.hpp /root/repo/src/util/rng.hpp \
+ /usr/include/c++/12/limits /root/repo/src/soc/t2_bugs.hpp \
+ /usr/include/c++/12/fstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
+ /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr-default.h \
  /usr/include/pthread.h /usr/include/sched.h \

@@ -155,8 +155,12 @@ src/debug/CMakeFiles/tracesel_debug.dir/workbench.cpp.o: \
  /root/repo/src/flow/indexed_flow.hpp /usr/include/c++/12/stdexcept \
  /root/repo/src/selection/info_gain.hpp \
  /root/repo/src/selection/packing.hpp /root/repo/src/soc/monitor.hpp \
- /root/repo/src/soc/ip.hpp /root/repo/src/debug/root_cause.hpp \
- /root/repo/src/soc/t2_design.hpp /root/repo/src/soc/scenario.hpp \
+ /root/repo/src/soc/ip.hpp /root/repo/src/util/result.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/debug/root_cause.hpp /root/repo/src/soc/t2_design.hpp \
+ /root/repo/src/soc/scenario.hpp \
  /root/repo/src/selection/localization.hpp \
- /root/repo/src/soc/simulator.hpp /root/repo/src/bug/bug.hpp \
- /root/repo/src/util/rng.hpp /usr/include/c++/12/limits
+ /root/repo/src/soc/fault_injector.hpp /root/repo/src/soc/simulator.hpp \
+ /root/repo/src/bug/bug.hpp /root/repo/src/util/rng.hpp \
+ /usr/include/c++/12/limits

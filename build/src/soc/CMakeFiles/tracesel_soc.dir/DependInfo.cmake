@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/fault_injector.cpp" "src/soc/CMakeFiles/tracesel_soc.dir/fault_injector.cpp.o" "gcc" "src/soc/CMakeFiles/tracesel_soc.dir/fault_injector.cpp.o.d"
   "/root/repo/src/soc/monitor.cpp" "src/soc/CMakeFiles/tracesel_soc.dir/monitor.cpp.o" "gcc" "src/soc/CMakeFiles/tracesel_soc.dir/monitor.cpp.o.d"
   "/root/repo/src/soc/scenario.cpp" "src/soc/CMakeFiles/tracesel_soc.dir/scenario.cpp.o" "gcc" "src/soc/CMakeFiles/tracesel_soc.dir/scenario.cpp.o.d"
   "/root/repo/src/soc/simulator.cpp" "src/soc/CMakeFiles/tracesel_soc.dir/simulator.cpp.o" "gcc" "src/soc/CMakeFiles/tracesel_soc.dir/simulator.cpp.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/tracesel_soc.dir/fault_injector.cpp.o"
+  "CMakeFiles/tracesel_soc.dir/fault_injector.cpp.o.d"
   "CMakeFiles/tracesel_soc.dir/monitor.cpp.o"
   "CMakeFiles/tracesel_soc.dir/monitor.cpp.o.d"
   "CMakeFiles/tracesel_soc.dir/scenario.cpp.o"

@@ -155,13 +155,16 @@ tests/CMakeFiles/debug_case_study_test.dir/debug_case_study_test.cpp.o: \
  /root/repo/src/flow/indexed_flow.hpp /usr/include/c++/12/stdexcept \
  /root/repo/src/selection/info_gain.hpp \
  /root/repo/src/selection/packing.hpp /root/repo/src/soc/monitor.hpp \
- /root/repo/src/soc/ip.hpp /root/repo/src/debug/root_cause.hpp \
- /root/repo/src/soc/t2_design.hpp /root/repo/src/soc/scenario.hpp \
+ /root/repo/src/soc/ip.hpp /root/repo/src/util/result.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/debug/root_cause.hpp /root/repo/src/soc/t2_design.hpp \
+ /root/repo/src/soc/scenario.hpp \
  /root/repo/src/selection/localization.hpp \
- /root/repo/src/soc/simulator.hpp /root/repo/src/bug/bug.hpp \
- /root/repo/src/util/rng.hpp /usr/include/c++/12/limits \
- /root/repo/src/soc/t2_bugs.hpp /root/miniconda/include/gtest/gtest.h \
- /usr/include/c++/12/memory \
+ /root/repo/src/soc/fault_injector.hpp /root/repo/src/soc/simulator.hpp \
+ /root/repo/src/bug/bug.hpp /root/repo/src/util/rng.hpp \
+ /usr/include/c++/12/limits /root/repo/src/soc/t2_bugs.hpp \
+ /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -258,8 +261,7 @@ tests/CMakeFiles/debug_case_study_test.dir/debug_case_study_test.cpp.o: \
  /usr/include/c++/12/bits/locale_conv.h \
  /root/miniconda/include/gtest/internal/custom/gtest-port.h \
  /root/miniconda/include/gtest/internal/gtest-port-arch.h \
- /usr/include/regex.h /usr/include/c++/12/any /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/regex.h /usr/include/c++/12/any \
  /usr/include/x86_64-linux-gnu/sys/wait.h /usr/include/signal.h \
  /usr/include/x86_64-linux-gnu/bits/signum-generic.h \
  /usr/include/x86_64-linux-gnu/bits/signum-arch.h \
@@ -299,7 +301,6 @@ tests/CMakeFiles/debug_case_study_test.dir/debug_case_study_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-matchers.h \
  /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \
  /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/debug_fault_pipeline_test.cpp" "tests/CMakeFiles/debug_fault_pipeline_test.dir/debug_fault_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/debug_fault_pipeline_test.dir/debug_fault_pipeline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/debug/CMakeFiles/tracesel_debug.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/tracesel_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/selection/CMakeFiles/tracesel_selection.dir/DependInfo.cmake"
+  "/root/repo/build/src/bug/CMakeFiles/tracesel_bug.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/tracesel_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tracesel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_fault_pipeline_test.dir/debug_fault_pipeline_test.cpp.o"
+  "CMakeFiles/debug_fault_pipeline_test.dir/debug_fault_pipeline_test.cpp.o.d"
+  "debug_fault_pipeline_test"
+  "debug_fault_pipeline_test.pdb"
+  "debug_fault_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_fault_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

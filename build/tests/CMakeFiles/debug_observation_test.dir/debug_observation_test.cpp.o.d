@@ -1,8 +1,6 @@
 tests/CMakeFiles/debug_observation_test.dir/debug_observation_test.cpp.o: \
  /root/repo/tests/debug_observation_test.cpp /usr/include/stdc-predef.h \
- /root/repo/src/debug/observation.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_algobase.h \
+ /root/repo/src/debug/observation.hpp /usr/include/c++/12/cstdint \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
  /usr/include/features.h /usr/include/features-time64.h \
@@ -14,6 +12,16 @@ tests/CMakeFiles/debug_observation_test.dir/debug_observation_test.cpp.o: \
  /usr/include/x86_64-linux-gnu/gnu/stubs-64.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/cpu_defines.h \
  /usr/include/c++/12/pstl/pstl_config.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
+ /usr/include/x86_64-linux-gnu/bits/libc-header-start.h \
+ /usr/include/x86_64-linux-gnu/bits/types.h \
+ /usr/include/x86_64-linux-gnu/bits/typesizes.h \
+ /usr/include/x86_64-linux-gnu/bits/time64.h \
+ /usr/include/x86_64-linux-gnu/bits/wchar.h \
+ /usr/include/x86_64-linux-gnu/bits/stdint-intn.h \
+ /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_algobase.h \
  /usr/include/c++/12/bits/functexcept.h \
  /usr/include/c++/12/bits/exception_defines.h \
  /usr/include/c++/12/bits/cpp_type_traits.h \
@@ -56,15 +64,6 @@ tests/CMakeFiles/debug_observation_test.dir/debug_observation_test.cpp.o: \
  /usr/include/c++/12/bits/functional_hash.h \
  /usr/include/c++/12/bits/hash_bytes.h /usr/include/c++/12/bits/refwrap.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/flow/message.hpp \
- /usr/include/c++/12/cstdint \
- /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
- /usr/include/x86_64-linux-gnu/bits/libc-header-start.h \
- /usr/include/x86_64-linux-gnu/bits/types.h \
- /usr/include/x86_64-linux-gnu/bits/typesizes.h \
- /usr/include/x86_64-linux-gnu/bits/time64.h \
- /usr/include/x86_64-linux-gnu/bits/wchar.h \
- /usr/include/x86_64-linux-gnu/bits/stdint-intn.h \
- /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
  /usr/include/c++/12/optional /usr/include/c++/12/exception \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
@@ -151,8 +150,11 @@ tests/CMakeFiles/debug_observation_test.dir/debug_observation_test.cpp.o: \
  /root/repo/src/flow/indexed_flow.hpp /usr/include/c++/12/stdexcept \
  /root/repo/src/flow/flow.hpp /root/repo/src/selection/info_gain.hpp \
  /root/repo/src/selection/packing.hpp /root/repo/src/soc/monitor.hpp \
- /root/repo/src/soc/ip.hpp /root/miniconda/include/gtest/gtest.h \
- /usr/include/c++/12/limits /usr/include/c++/12/memory \
+ /root/repo/src/soc/ip.hpp /root/repo/src/util/result.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/limits \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -249,8 +251,7 @@ tests/CMakeFiles/debug_observation_test.dir/debug_observation_test.cpp.o: \
  /usr/include/c++/12/bits/locale_conv.h \
  /root/miniconda/include/gtest/internal/custom/gtest-port.h \
  /root/miniconda/include/gtest/internal/gtest-port-arch.h \
- /usr/include/regex.h /usr/include/c++/12/any /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/regex.h /usr/include/c++/12/any \
  /usr/include/x86_64-linux-gnu/sys/wait.h /usr/include/signal.h \
  /usr/include/x86_64-linux-gnu/bits/signum-generic.h \
  /usr/include/x86_64-linux-gnu/bits/signum-arch.h \
@@ -290,7 +291,6 @@ tests/CMakeFiles/debug_observation_test.dir/debug_observation_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-matchers.h \
  /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \
  /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \

@@ -156,13 +156,16 @@ tests/CMakeFiles/debug_serialize_test.dir/debug_serialize_test.cpp.o: \
  /root/repo/src/flow/indexed_flow.hpp /usr/include/c++/12/stdexcept \
  /root/repo/src/selection/info_gain.hpp \
  /root/repo/src/selection/packing.hpp /root/repo/src/soc/monitor.hpp \
- /root/repo/src/soc/ip.hpp /root/repo/src/debug/root_cause.hpp \
- /root/repo/src/soc/t2_design.hpp /root/repo/src/soc/scenario.hpp \
+ /root/repo/src/soc/ip.hpp /root/repo/src/util/result.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/debug/root_cause.hpp /root/repo/src/soc/t2_design.hpp \
+ /root/repo/src/soc/scenario.hpp \
  /root/repo/src/selection/localization.hpp \
- /root/repo/src/soc/simulator.hpp /root/repo/src/bug/bug.hpp \
- /root/repo/src/util/rng.hpp /usr/include/c++/12/limits \
- /root/repo/src/selection/multi_scenario.hpp /root/repo/src/util/json.hpp \
- /usr/include/c++/12/memory \
+ /root/repo/src/soc/fault_injector.hpp /root/repo/src/soc/simulator.hpp \
+ /root/repo/src/bug/bug.hpp /root/repo/src/util/rng.hpp \
+ /usr/include/c++/12/limits /root/repo/src/selection/multi_scenario.hpp \
+ /root/repo/src/util/json.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -230,8 +233,7 @@ tests/CMakeFiles/debug_serialize_test.dir/debug_serialize_test.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/pstl/execution_defs.h \
  /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
@@ -261,8 +263,7 @@ tests/CMakeFiles/debug_serialize_test.dir/debug_serialize_test.cpp.o: \
  /usr/include/c++/12/bits/locale_conv.h \
  /root/miniconda/include/gtest/internal/custom/gtest-port.h \
  /root/miniconda/include/gtest/internal/gtest-port-arch.h \
- /usr/include/regex.h /usr/include/c++/12/any /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/regex.h /usr/include/c++/12/any \
  /usr/include/x86_64-linux-gnu/sys/wait.h /usr/include/signal.h \
  /usr/include/x86_64-linux-gnu/bits/signum-generic.h \
  /usr/include/x86_64-linux-gnu/bits/signum-arch.h \

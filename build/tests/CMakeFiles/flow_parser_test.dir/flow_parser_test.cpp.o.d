@@ -298,6 +298,10 @@ tests/CMakeFiles/flow_parser_test.dir/flow_parser_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /usr/include/c++/12/fstream \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc \
  /root/repo/src/flow/indexed_flow.hpp \
  /root/repo/src/flow/interleaved_flow.hpp \
  /root/repo/src/selection/selector.hpp \

@@ -300,7 +300,7 @@ tests/CMakeFiles/property_test.dir/property_test.cpp.o: \
  /root/repo/src/util/rng.hpp /usr/include/c++/12/span \
  /root/repo/src/flow/flow_builder.hpp \
  /root/repo/src/selection/coverage.hpp \
- /root/repo/src/selection/localization.hpp \
+ /root/repo/src/selection/localization.hpp /root/repo/src/util/result.hpp \
  /root/repo/src/selection/selector.hpp \
  /root/repo/src/selection/combination.hpp \
  /root/repo/src/selection/info_gain.hpp \

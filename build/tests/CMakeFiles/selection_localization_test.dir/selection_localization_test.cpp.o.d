@@ -146,6 +146,9 @@ tests/CMakeFiles/selection_localization_test.dir/selection_localization_test.cpp
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/util/result.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/limits \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
@@ -244,8 +247,7 @@ tests/CMakeFiles/selection_localization_test.dir/selection_localization_test.cpp
  /usr/include/c++/12/bits/locale_conv.h \
  /root/miniconda/include/gtest/internal/custom/gtest-port.h \
  /root/miniconda/include/gtest/internal/gtest-port-arch.h \
- /usr/include/regex.h /usr/include/c++/12/any /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/regex.h /usr/include/c++/12/any \
  /usr/include/x86_64-linux-gnu/sys/wait.h /usr/include/signal.h \
  /usr/include/x86_64-linux-gnu/bits/signum-generic.h \
  /usr/include/x86_64-linux-gnu/bits/signum-arch.h \
@@ -288,7 +290,6 @@ tests/CMakeFiles/selection_localization_test.dir/selection_localization_test.cpp
  /root/miniconda/include/gtest/gtest-matchers.h \
  /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \
  /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_fault_injector_test.dir/soc_fault_injector_test.cpp.o"
+  "CMakeFiles/soc_fault_injector_test.dir/soc_fault_injector_test.cpp.o.d"
+  "soc_fault_injector_test"
+  "soc_fault_injector_test.pdb"
+  "soc_fault_injector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_fault_injector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

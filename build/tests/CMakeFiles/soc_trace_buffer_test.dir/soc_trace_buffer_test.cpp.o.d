@@ -301,4 +301,5 @@ tests/CMakeFiles/soc_trace_buffer_test.dir/soc_trace_buffer_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/soc/scenario.hpp /root/repo/src/soc/t2_design.hpp
+ /root/repo/src/soc/scenario.hpp /root/repo/src/soc/t2_design.hpp \
+ /root/repo/src/soc/vcd.hpp

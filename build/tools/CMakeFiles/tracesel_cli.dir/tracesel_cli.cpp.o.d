@@ -196,15 +196,19 @@ tools/CMakeFiles/tracesel_cli.dir/tracesel_cli.cpp.o: \
  /root/repo/src/flow/indexed_flow.hpp \
  /root/repo/src/selection/info_gain.hpp \
  /root/repo/src/selection/packing.hpp /root/repo/src/soc/monitor.hpp \
- /root/repo/src/soc/ip.hpp /root/repo/src/debug/root_cause.hpp \
- /root/repo/src/soc/t2_design.hpp /root/repo/src/soc/scenario.hpp \
+ /root/repo/src/soc/ip.hpp /root/repo/src/util/result.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/debug/root_cause.hpp /root/repo/src/soc/t2_design.hpp \
+ /root/repo/src/soc/scenario.hpp \
  /root/repo/src/selection/localization.hpp \
- /root/repo/src/soc/simulator.hpp /root/repo/src/bug/bug.hpp \
- /root/repo/src/util/rng.hpp /usr/include/c++/12/limits \
- /root/repo/src/soc/t2_bugs.hpp /root/repo/src/flow/dot.hpp \
- /root/repo/src/flow/lint.hpp /root/repo/src/flow/parser.hpp \
- /root/repo/src/flow/stats.hpp /root/repo/src/debug/report.hpp \
- /root/repo/src/debug/serialize.hpp /root/repo/src/debug/workbench.hpp \
+ /root/repo/src/soc/fault_injector.hpp /root/repo/src/soc/simulator.hpp \
+ /root/repo/src/bug/bug.hpp /root/repo/src/util/rng.hpp \
+ /usr/include/c++/12/limits /root/repo/src/soc/t2_bugs.hpp \
+ /root/repo/src/flow/dot.hpp /root/repo/src/flow/lint.hpp \
+ /root/repo/src/flow/parser.hpp /root/repo/src/flow/stats.hpp \
+ /root/repo/src/debug/report.hpp /root/repo/src/debug/serialize.hpp \
+ /root/repo/src/debug/workbench.hpp \
  /root/repo/src/selection/multi_scenario.hpp /root/repo/src/util/json.hpp \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
@@ -241,6 +245,5 @@ tools/CMakeFiles/tracesel_cli.dir/tracesel_cli.cpp.o: \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/soc/vcd.hpp \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/soc/vcd.hpp \
  /root/repo/src/util/table.hpp

@@ -18,5 +18,13 @@ add_test(cli_select_json "tracesel" "select" "/root/repo/data/t2.flow" "--instan
 set_tests_properties(cli_select_json PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(cli_lint "tracesel" "lint" "/root/repo/data/t2.flow")
 set_tests_properties(cli_lint PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_lint_lenient "tracesel" "lint" "/root/repo/data/t2.flow" "--lenient")
+set_tests_properties(cli_lint_lenient PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(cli_debug_json "tracesel" "debug" "1" "--json")
-set_tests_properties(cli_debug_json PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(cli_debug_json PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_debug_faulty "tracesel" "debug" "1" "--fault-rate" "0.1" "--fault-kinds" "drop,corrupt" "--fault-seed" "7" "--retries" "2")
+set_tests_properties(cli_debug_faulty PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_debug_faulty_json "tracesel" "debug" "3" "--fault-rate" "0.2" "--json")
+set_tests_properties(cli_debug_faulty_json PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_debug_bad_fault_kind "tracesel" "debug" "1" "--fault-kinds" "gremlins")
+set_tests_properties(cli_debug_bad_fault_kind PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Hardened tier-1 check: build the library, tests and tools with
+# AddressSanitizer + UndefinedBehaviorSanitizer and run the full ctest
+# suite under them. Memory bugs in the fault-injection / degradation
+# paths (which deliberately feed the pipeline garbled data) show up here
+# long before they would corrupt a real debugging session.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-asan}
+
+cmake -B "$BUILD_DIR" -S . -DTRACESEL_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j
+ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

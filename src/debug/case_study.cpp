@@ -46,6 +46,10 @@ CaseStudyResult run_case_study(const soc::T2Design& design,
   config.sessions = options.sessions;
   config.seed = options.seed;
   config.buffer_depth = options.buffer_depth;
+  config.faults = options.faults;
+  config.capture_retries = options.capture_retries;
+  config.unusable_threshold = options.unusable_threshold;
+  config.cause_score_threshold = options.cause_score_threshold;
   WorkbenchResult r = workbench.run(bugs, config);
 
   result.selection = std::move(r.selection);
@@ -56,6 +60,11 @@ CaseStudyResult run_case_study(const soc::T2Design& design,
   result.observation = std::move(r.observation);
   result.report = std::move(r.report);
   result.localization = r.localization;
+  result.fault_stats = r.fault_stats;
+  result.capture_attempts = r.capture_attempts;
+  result.capture_degraded = r.capture_degraded;
+  result.ranked_causes = std::move(r.ranked_causes);
+  result.robust_localization = r.robust_localization;
   return result;
 }
 

@@ -10,6 +10,7 @@
 #include "debug/root_cause.hpp"
 #include "selection/localization.hpp"
 #include "selection/selector.hpp"
+#include "soc/fault_injector.hpp"
 #include "soc/simulator.hpp"
 #include "soc/t2_bugs.hpp"
 #include "soc/trace_buffer.hpp"
@@ -25,6 +26,15 @@ struct CaseStudyOptions {
   /// Session at which the active bug arms; > 0 models the long symptom
   /// latencies of Table 2 (golden-looking behaviour first).
   std::uint32_t active_trigger_session = 1;
+
+  /// Capture-channel fault model (disabled by default = perfect channel).
+  soc::FaultProfile faults;
+  /// Recapture attempts with fresh fault seeds on an unusable capture.
+  std::uint32_t capture_retries = 2;
+  /// Invalid-record fraction beyond which a capture counts as unusable.
+  double unusable_threshold = 0.5;
+  /// Minimum agreement score for the confidence-weighted cause verdict.
+  double cause_score_threshold = 0.65;
 };
 
 struct CaseStudyResult {
@@ -38,6 +48,14 @@ struct CaseStudyResult {
   Observation observation;
   DebugReport report;
   selection::LocalizationResult localization;
+
+  /// Degradation telemetry, mirrored from WorkbenchResult (defaults =
+  /// clean channel).
+  soc::FaultStats fault_stats;
+  std::size_t capture_attempts = 1;
+  bool capture_degraded = false;
+  std::vector<ScoredCause> ranked_causes;
+  selection::RobustLocalizationResult robust_localization;
 };
 
 /// Runs one full case study. Deterministic given the options.

@@ -33,6 +33,7 @@ std::vector<flow::MessageId> Debugger::investigation_order(
       case MsgStatus::kMisrouted: return 2;
       case MsgStatus::kPresentCorrupt: return 1;
       case MsgStatus::kPresentCorrect: return 0;
+      case MsgStatus::kUnknown: return 0;  // damaged evidence: no signal
     }
     return 0;
   };

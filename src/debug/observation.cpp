@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <tuple>
+#include <unordered_set>
 
 namespace tracesel::debug {
 
@@ -12,6 +13,7 @@ std::string to_string(MsgStatus status) {
     case MsgStatus::kPresentCorrupt: return "present-corrupt";
     case MsgStatus::kAbsent: return "absent";
     case MsgStatus::kMisrouted: return "misrouted";
+    case MsgStatus::kUnknown: return "unknown";
   }
   return "?";
 }
@@ -27,6 +29,108 @@ std::map<StreamKey, std::vector<const soc::TraceRecord*>> streams(
   for (const soc::TraceRecord& r : records)
     out[{r.msg.message, r.msg.index, r.session}].push_back(&r);
   return out;
+}
+
+/// Structural validity screen for one captured record. The reference for
+/// "structurally possible" is the clean golden run: a session ordinal the
+/// golden run never reached, a message id outside the catalog, or a routed
+/// destination that is not an IP of the design can only be channel garbage.
+struct ValidityContext {
+  std::unordered_set<std::string> known_ips;
+  std::uint32_t max_session = 0;
+  std::size_t catalog_size = 0;
+};
+
+ValidityContext validity_context(const flow::MessageCatalog& catalog,
+                                 const std::vector<soc::TraceRecord>& golden) {
+  ValidityContext ctx;
+  ctx.catalog_size = catalog.size();
+  for (const flow::Message& m : catalog) {
+    ctx.known_ips.insert(m.source_ip);
+    ctx.known_ips.insert(m.dest_ip);
+  }
+  for (const soc::TraceRecord& r : golden)
+    ctx.max_session = std::max(ctx.max_session, r.session);
+  return ctx;
+}
+
+bool structurally_valid(const soc::TraceRecord& r, const ValidityContext& ctx) {
+  if (r.msg.message >= ctx.catalog_size) return false;
+  if (r.session > ctx.max_session) return false;
+  if (!r.dst.empty() && !ctx.known_ips.contains(r.dst)) return false;
+  return true;
+}
+
+/// The shared hardened decode behind observe_checked / observe_lenient.
+Observation decode_screened(const flow::MessageCatalog& catalog,
+                            const std::vector<flow::MessageId>& traced,
+                            const std::vector<soc::TraceRecord>& golden,
+                            const std::vector<soc::TraceRecord>& buggy) {
+  const ValidityContext ctx = validity_context(catalog, golden);
+
+  std::vector<soc::TraceRecord> valid;
+  valid.reserve(buggy.size());
+  std::map<flow::MessageId, std::size_t> invalid_per_message;
+  std::size_t invalid_unattributed = 0;
+  for (const soc::TraceRecord& r : buggy) {
+    if (structurally_valid(r, ctx)) {
+      valid.push_back(r);
+    } else if (r.msg.message < ctx.catalog_size) {
+      ++invalid_per_message[r.msg.message];
+    } else {
+      ++invalid_unattributed;
+    }
+  }
+
+  Observation obs = observe(catalog, traced, golden, valid);
+  obs.valid_records = valid.size();
+  obs.invalid_records = buggy.size() - valid.size();
+
+  // Per-message evidence and confidence.
+  std::map<flow::MessageId, std::size_t> golden_count, buggy_count;
+  for (const soc::TraceRecord& r : golden) ++golden_count[r.msg.message];
+  for (const soc::TraceRecord& r : valid) ++buggy_count[r.msg.message];
+
+  for (const flow::MessageId m : obs.traced) {
+    MessageEvidence ev;
+    ev.golden_count = golden_count[m];
+    ev.buggy_count = buggy_count[m];
+    ev.invalid_records = invalid_per_message.contains(m)
+                             ? invalid_per_message[m]
+                             : 0;
+    ev.status = obs.status[m];
+
+    if (ev.golden_count == 0) {
+      // No reference occurrences: the diff can only say "nothing expected,
+      // nothing decisive seen". Thin but not damaged evidence.
+      ev.confidence = ev.invalid_records == 0 ? 0.5 : 0.25;
+    } else if (ev.buggy_count == 0 && ev.invalid_records > 0) {
+      // Every captured record of this message was garbage: we cannot tell
+      // absent from present-but-garbled.
+      ev.status = MsgStatus::kUnknown;
+      ev.confidence = 0.0;
+    } else {
+      // Bilateral evidence. Confidence decays with the fraction of this
+      // message's records lost to garbling and with count disagreement
+      // beyond what the diff already classified.
+      const double g = static_cast<double>(ev.golden_count);
+      const double damage =
+          static_cast<double>(ev.invalid_records) /
+          (g + static_cast<double>(ev.invalid_records));
+      const double surplus =
+          ev.buggy_count > ev.golden_count
+              ? static_cast<double>(ev.buggy_count - ev.golden_count) / g
+              : 0.0;
+      ev.confidence =
+          std::clamp(1.0 - damage - 0.5 * std::min(1.0, surplus), 0.0, 1.0);
+    }
+    obs.status[m] = ev.status;
+    obs.evidence[m] = ev;
+  }
+  // Garbage that could not be attributed to any message still erodes
+  // overall quality via invalid_records (already counted above).
+  (void)invalid_unattributed;
+  return obs;
 }
 
 }  // namespace
@@ -70,6 +174,31 @@ Observation observe(const flow::MessageCatalog& catalog,
     obs.status[m] = status;
   }
   return obs;
+}
+
+util::Result<Observation> observe_checked(
+    const flow::MessageCatalog& catalog,
+    const std::vector<flow::MessageId>& traced,
+    const std::vector<soc::TraceRecord>& golden,
+    const std::vector<soc::TraceRecord>& buggy,
+    const ObserveOptions& options) {
+  Observation obs = decode_screened(catalog, traced, golden, buggy);
+  const double invalid_fraction = 1.0 - obs.quality();
+  if (!buggy.empty() && invalid_fraction > options.unusable_threshold) {
+    return util::Error{
+        util::ErrorCode::kUnusableCapture,
+        "capture unusable: " + std::to_string(obs.invalid_records) + "/" +
+            std::to_string(obs.invalid_records + obs.valid_records) +
+            " records failed structural validity"};
+  }
+  return obs;
+}
+
+Observation observe_lenient(const flow::MessageCatalog& catalog,
+                            const std::vector<flow::MessageId>& traced,
+                            const std::vector<soc::TraceRecord>& golden,
+                            const std::vector<soc::TraceRecord>& buggy) {
+  return decode_screened(catalog, traced, golden, buggy);
 }
 
 }  // namespace tracesel::debug

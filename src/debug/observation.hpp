@@ -7,12 +7,25 @@
 // per traced message yields a status that the root-cause pruning engine
 // consumes (Sec. 5.6-5.7: "absence of trace messages mondoacknack and
 // reqtot implies ...").
+//
+// Two decode entry points:
+//  - observe(): the original perfect-channel diff, kept for clean captures.
+//  - observe_checked(): the hardened decode for real (lossy) captures. It
+//    screens every record for structural validity (garbled session ordinal,
+//    destination label outside the design's IP set), attaches per-message
+//    evidence with a confidence weight, and returns a structured error
+//    instead of lying when the capture is too damaged to support any
+//    conclusion. observe_lenient() is the same decode with the error
+//    downgraded to a low-quality observation (the "we must say something"
+//    path after recapture retries are exhausted).
 
+#include <cstdint>
 #include <map>
 #include <vector>
 
 #include "flow/message.hpp"
 #include "soc/trace_buffer.hpp"
+#include "util/result.hpp"
 
 namespace tracesel::debug {
 
@@ -21,9 +34,21 @@ enum class MsgStatus {
   kPresentCorrupt,  ///< observed, but content differs from golden
   kAbsent,          ///< expected occurrences missing from the trace
   kMisrouted,       ///< observed at the wrong destination IP
+  kUnknown,         ///< evidence too damaged to classify (degraded capture)
 };
 
 std::string to_string(MsgStatus status);
+
+/// Per-message decode evidence under a possibly-degraded capture.
+struct MessageEvidence {
+  MsgStatus status = MsgStatus::kUnknown;
+  /// How much to trust `status`, in [0,1]. 1 = clean bilateral evidence;
+  /// lowered by invalid records, count mismatches and missing references.
+  double confidence = 0.0;
+  std::size_t golden_count = 0;   ///< reference occurrences
+  std::size_t buggy_count = 0;    ///< structurally valid captured records
+  std::size_t invalid_records = 0;  ///< records rejected by validity checks
+};
 
 /// Message-level view of a buggy trace relative to a golden trace.
 struct Observation {
@@ -32,6 +57,28 @@ struct Observation {
   std::map<flow::MessageId, MsgStatus> status;
   /// The traced (observable) message ids, sorted.
   std::vector<flow::MessageId> traced;
+
+  /// Per-message evidence; populated by observe_checked()/observe_lenient()
+  /// (empty after plain observe(), which assumes a perfect channel).
+  std::map<flow::MessageId, MessageEvidence> evidence;
+  std::size_t valid_records = 0;    ///< buggy records that passed validity
+  std::size_t invalid_records = 0;  ///< buggy records rejected as garbled
+
+  /// Structural capture quality: valid / (valid + invalid); 1.0 for a
+  /// clean capture (or when no evidence screening ran).
+  double quality() const {
+    const std::size_t total = valid_records + invalid_records;
+    return total == 0 ? 1.0
+                      : static_cast<double>(valid_records) /
+                            static_cast<double>(total);
+  }
+
+  /// Confidence of one message's evidence; 1.0 when screening did not run
+  /// (perfect-channel decode), so legacy callers see full confidence.
+  double confidence(flow::MessageId m) const {
+    const auto it = evidence.find(m);
+    return it == evidence.end() ? 1.0 : it->second.confidence;
+  }
 };
 
 /// Diffs buggy against golden trace records over the traced set.
@@ -43,5 +90,31 @@ Observation observe(const flow::MessageCatalog& catalog,
                     const std::vector<flow::MessageId>& traced,
                     const std::vector<soc::TraceRecord>& golden,
                     const std::vector<soc::TraceRecord>& buggy);
+
+struct ObserveOptions {
+  /// Error out (kUnusableCapture) when more than this fraction of the
+  /// buggy records fail structural validity.
+  double unusable_threshold = 0.5;
+};
+
+/// Hardened decode: screens buggy records for structural validity, then
+/// diffs the valid subset and attaches per-message evidence/confidence.
+/// Errors with kUnusableCapture when the invalid fraction exceeds
+/// options.unusable_threshold (callers typically retry with a fresh
+/// capture), never throws on damaged data.
+util::Result<Observation> observe_checked(
+    const flow::MessageCatalog& catalog,
+    const std::vector<flow::MessageId>& traced,
+    const std::vector<soc::TraceRecord>& golden,
+    const std::vector<soc::TraceRecord>& buggy,
+    const ObserveOptions& options = {});
+
+/// Same decode, but an unusable capture degrades to a best-effort
+/// observation (statuses kUnknown where evidence is gone) instead of an
+/// error. Used once recapture retries are exhausted.
+Observation observe_lenient(const flow::MessageCatalog& catalog,
+                            const std::vector<flow::MessageId>& traced,
+                            const std::vector<soc::TraceRecord>& golden,
+                            const std::vector<soc::TraceRecord>& buggy);
 
 }  // namespace tracesel::debug

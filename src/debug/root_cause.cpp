@@ -41,9 +41,63 @@ bool consistent(const RootCause& cause, const Observation& obs) {
   for (flow::MessageId m : obs.traced) {
     const auto it = obs.status.find(m);
     if (it == obs.status.end()) continue;
+    // Damaged evidence carries no signal either way: it can neither
+    // confirm nor eliminate a cause.
+    if (it->second == MsgStatus::kUnknown) continue;
     if (cause.predicted(m) != it->second) return false;
   }
   return true;
+}
+
+std::vector<ScoredCause> rank(const RootCauseCatalog& catalog,
+                              const Observation& obs) {
+  std::vector<ScoredCause> scored;
+  scored.reserve(catalog.size());
+  for (const RootCause& c : catalog.causes()) {
+    ScoredCause sc;
+    sc.cause = c;
+    double total_weight = 0.0;
+    double mismatch_weight = 0.0;
+    for (flow::MessageId m : obs.traced) {
+      const auto it = obs.status.find(m);
+      if (it == obs.status.end()) continue;
+      if (it->second == MsgStatus::kUnknown) continue;
+      const double w = obs.confidence(m);
+      total_weight += w;
+      if (c.predicted(m) != it->second) {
+        mismatch_weight += w;
+        ++sc.mismatches;
+      }
+    }
+    // With no trustworthy evidence at all, no cause can be ruled out.
+    sc.score =
+        total_weight <= 0.0 ? 1.0 : 1.0 - mismatch_weight / total_weight;
+    scored.push_back(std::move(sc));
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const ScoredCause& a, const ScoredCause& b) {
+                     return a.score > b.score;
+                   });
+  return scored;
+}
+
+std::vector<ScoredCause> prune_weighted(const RootCauseCatalog& catalog,
+                                        const Observation& obs,
+                                        double min_score) {
+  std::vector<ScoredCause> scored = rank(catalog, obs);
+  std::vector<ScoredCause> kept;
+  for (const ScoredCause& sc : scored) {
+    if (sc.score >= min_score) kept.push_back(sc);
+  }
+  if (!kept.empty()) return kept;
+  // Degraded evidence eliminated everything: report the least-implausible
+  // causes (top score tier) rather than an empty — and silently wrong —
+  // verdict. Their low score is the caller's signal to distrust them.
+  const double best = scored.empty() ? 0.0 : scored.front().score;
+  for (const ScoredCause& sc : scored) {
+    if (sc.score >= best) kept.push_back(sc);
+  }
+  return kept;
 }
 
 std::vector<const RootCause*> prune(const RootCauseCatalog& catalog,

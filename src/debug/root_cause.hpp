@@ -55,11 +55,39 @@ class RootCauseCatalog {
 };
 
 /// A cause is consistent with the observation iff its prediction matches
-/// the observed status of every *traced* message.
+/// the observed status of every *traced* message. Messages whose status is
+/// kUnknown (damaged evidence) carry no signal and are skipped.
 bool consistent(const RootCause& cause, const Observation& obs);
 
 /// The causes of `catalog` that survive the observation.
 std::vector<const RootCause*> prune(const RootCauseCatalog& catalog,
                                     const Observation& obs);
+
+/// A cause with its confidence-weighted agreement score. Held by value so
+/// reports outlive the catalog they were computed from.
+struct ScoredCause {
+  RootCause cause;
+  /// 1 - (confidence mass of mismatched messages / total confidence mass),
+  /// in [0,1]. 1.0 = fully consistent with every trustworthy observation.
+  double score = 1.0;
+  std::size_t mismatches = 0;
+};
+
+/// Confidence-weighted consistency over a (possibly degraded) observation:
+/// each traced message contributes its evidence confidence as weight, so a
+/// mismatch on garbled evidence barely dents a cause while a mismatch on
+/// clean evidence sinks it. Returns all causes, best score first. With a
+/// clean capture (all confidences 1) a score of 1.0 coincides with
+/// consistent().
+std::vector<ScoredCause> rank(const RootCauseCatalog& catalog,
+                              const Observation& obs);
+
+/// The causes scoring at least `min_score`. Never returns an empty set for
+/// a nonempty catalog: if degraded evidence eliminates everything, the
+/// top-scoring tier is returned (with its telltale low score) instead of a
+/// silently-wrong empty verdict.
+std::vector<ScoredCause> prune_weighted(const RootCauseCatalog& catalog,
+                                        const Observation& obs,
+                                        double min_score = 0.65);
 
 }  // namespace tracesel::debug

@@ -116,7 +116,39 @@ util::Json to_json(const flow::MessageCatalog& catalog,
                    util::Json::number(result.localization.consistent_paths));
   localization.set("fraction",
                    util::Json::number(result.localization.fraction));
+  localization.set(
+      "confidence",
+      util::Json::number(result.robust_localization.confidence));
+  localization.set("degraded",
+                   util::Json::boolean(result.robust_localization.degraded));
   obj.set("localization", std::move(localization));
+
+  util::Json ranked = util::Json::array();
+  for (const ScoredCause& sc : result.ranked_causes) {
+    util::Json cause = util::Json::object();
+    cause.set("id", util::Json::number(std::int64_t{sc.cause.id}));
+    cause.set("ip", util::Json::string(sc.cause.ip));
+    cause.set("score", util::Json::number(sc.score));
+    cause.set("mismatches", util::Json::number(sc.mismatches));
+    ranked.push_back(std::move(cause));
+  }
+  obj.set("ranked_causes", std::move(ranked));
+
+  util::Json capture = util::Json::object();
+  capture.set("quality", util::Json::number(result.observation.quality()));
+  capture.set("valid_records",
+              util::Json::number(result.observation.valid_records));
+  capture.set("invalid_records",
+              util::Json::number(result.observation.invalid_records));
+  capture.set("attempts", util::Json::number(result.capture_attempts));
+  capture.set("degraded", util::Json::boolean(result.capture_degraded));
+  util::Json injected = util::Json::object();
+  for (const soc::FaultKind k : soc::all_fault_kinds())
+    injected.set(soc::to_string(k),
+                 util::Json::number(result.fault_stats.injected
+                                        [static_cast<std::size_t>(k)]));
+  capture.set("injected_faults", std::move(injected));
+  obj.set("capture", std::move(capture));
   return obj;
 }
 

@@ -1,6 +1,7 @@
 #include "debug/workbench.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace tracesel::debug {
 
@@ -46,17 +47,54 @@ WorkbenchResult Workbench::run(const std::vector<bug::Bug>& bugs,
 
   for (const soc::TimedMessage& tm : result.golden.messages)
     golden_buffer.record(tm);
-  for (const soc::TimedMessage& tm : result.buggy.messages)
-    buggy_buffer.record(tm);
   result.golden_records = golden_buffer.records();
-  result.buggy_records = buggy_buffer.records();
 
-  // --- Observation and root-cause pruning ---
-  result.observation = observe(*catalog_, result.selection.observable(),
-                               result.golden_records, result.buggy_records);
+  // --- Buggy-side capture through the (possibly faulty) channel ---
+  const bool faulty = config.faults.enabled();
+  const soc::FaultInjector injector(*catalog_, config.faults);
+  const std::vector<flow::MessageId> traced = result.selection.observable();
+  ObserveOptions obs_opts;
+  obs_opts.unusable_threshold = config.unusable_threshold;
+
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    result.capture_attempts = attempt + 1;
+    buggy_buffer.configure(*catalog_, result.selection);  // reset the ring
+    const std::vector<soc::TimedMessage> delivered =
+        injector.apply(result.buggy.messages, attempt, &result.fault_stats);
+    for (const soc::TimedMessage& tm : delivered) buggy_buffer.record(tm);
+    result.buggy_records = buggy_buffer.records();
+
+    if (!faulty) {
+      // Perfect channel: the original exact decode.
+      result.observation = observe(*catalog_, traced, result.golden_records,
+                                   result.buggy_records);
+      break;
+    }
+    util::Result<Observation> checked =
+        observe_checked(*catalog_, traced, result.golden_records,
+                        result.buggy_records, obs_opts);
+    if (checked.ok()) {
+      result.observation = std::move(checked).value();
+      break;
+    }
+    if (attempt >= config.capture_retries) {
+      // Every recapture stayed unusable: degrade to the lenient decode
+      // rather than crash — statuses fall to kUnknown where evidence is
+      // gone, and every consumer below weighs that accordingly.
+      result.observation = observe_lenient(
+          *catalog_, traced, result.golden_records, result.buggy_records);
+      result.capture_degraded = true;
+      break;
+    }
+    // Unusable: recapture with a fresh fault salt (a re-run on silicon).
+  }
+
+  // --- Root-cause pruning: exact walk plus the weighted verdict ---
   const Debugger debugger(*catalog_, flows_, *causes_);
   result.report =
       debugger.debug(result.observation, result.buggy_records, config.seed);
+  result.ranked_causes = prune_weighted(*causes_, result.observation,
+                                        config.cause_score_threshold);
 
   // --- Path localization on the failing session's projection ---
   // Caveat: if the buffer wrapped (overwritten records), the surviving
@@ -67,8 +105,28 @@ WorkbenchResult Workbench::run(const std::vector<bug::Bug>& bugs,
   for (const soc::TraceRecord& r : result.buggy_records) {
     if (r.session == result.buggy.fail_session) observed.push_back(r.msg);
   }
-  result.localization =
-      selection::localize(u, result.selection.observable(), observed);
+  if (!faulty) {
+    result.localization =
+        selection::localize(u, result.selection.observable(), observed);
+    result.robust_localization.result = result.localization;
+    result.robust_localization.observed_total = observed.size();
+    result.robust_localization.observed_screened = observed.size();
+    result.robust_localization.observed_used = observed.size();
+  } else {
+    const auto robust = selection::localize_robust(
+        u, result.selection.observable(), observed);
+    if (robust.ok()) {
+      result.robust_localization = robust.value();
+      result.localization = result.robust_localization.result;
+    } else {
+      // Structurally impossible localization (e.g. no executions): report
+      // zero knowledge rather than throwing mid-pipeline.
+      result.robust_localization = selection::RobustLocalizationResult{};
+      result.robust_localization.confidence = 0.0;
+      result.robust_localization.unusable = true;
+      result.localization = result.robust_localization.result;
+    }
+  }
   return result;
 }
 

@@ -5,6 +5,14 @@
 // catalog. The T2 case studies (case_study.hpp) are thin wrappers over
 // this; downstream users run their own SoCs (e.g. flows parsed from a
 // .flow spec) through the same machinery.
+//
+// The capture channel may be faulty (WorkbenchConfig::faults): the buggy
+// silicon's message stream then passes through a FaultInjector before the
+// trace buffer, and the downstream stages degrade gracefully — hardened
+// decode with per-message evidence, recapture retries with fresh fault
+// seeds when a capture is unusable, confidence-weighted localization and
+// root-cause ranking — instead of crashing or silently asserting a unique
+// answer. The golden (pre-silicon reference) run is never faulted.
 
 #include <cstdint>
 #include <vector>
@@ -14,6 +22,7 @@
 #include "debug/root_cause.hpp"
 #include "selection/localization.hpp"
 #include "selection/selector.hpp"
+#include "soc/fault_injector.hpp"
 #include "soc/simulator.hpp"
 #include "soc/trace_buffer.hpp"
 
@@ -26,6 +35,17 @@ struct WorkbenchConfig {
   std::uint32_t sessions = 4;
   std::uint64_t seed = 2018;
   std::size_t buffer_depth = 1u << 16;
+
+  /// Capture-channel fault model; disabled (rate 0) reproduces the exact
+  /// perfect-channel pipeline.
+  soc::FaultProfile faults;
+  /// Recapture attempts (fresh fault salt each time) when the decode
+  /// reports an unusable capture.
+  std::uint32_t capture_retries = 2;
+  /// Invalid-record fraction beyond which a capture is unusable.
+  double unusable_threshold = 0.5;
+  /// Minimum confidence-weighted agreement score for prune_weighted.
+  double cause_score_threshold = 0.65;
 };
 
 struct WorkbenchResult {
@@ -37,6 +57,18 @@ struct WorkbenchResult {
   Observation observation;
   DebugReport report;
   selection::LocalizationResult localization;
+
+  /// Capture-channel degradation telemetry (defaults = clean channel).
+  soc::FaultStats fault_stats;
+  std::size_t capture_attempts = 1;
+  /// True when even the last recapture stayed unusable and the pipeline
+  /// fell back to best-effort lenient decode.
+  bool capture_degraded = false;
+  /// Confidence-weighted verdict (always populated; on a clean channel the
+  /// score-1.0 entries coincide with report.final_causes).
+  std::vector<ScoredCause> ranked_causes;
+  /// Localization with confidence weighting (clean channel: confidence 1).
+  selection::RobustLocalizationResult robust_localization;
 };
 
 class Workbench {

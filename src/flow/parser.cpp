@@ -47,9 +47,13 @@ struct PendingSubgroup {
   std::size_t line;
 };
 
-}  // namespace
-
-ParsedSpec parse_flow_spec(std::string_view text) {
+/// One implementation serves both modes. Strict (sink == nullptr): the
+/// first error throws a ParseError carrying `file`. Lenient: every error
+/// is appended to `sink` and parsing recovers at the construct boundary —
+/// a malformed line is skipped, a flow that cannot be built is dropped.
+ParsedSpec parse_impl(std::string_view text, const std::string& file,
+                      std::vector<ParseDiagnostic>* sink) {
+  const bool lenient = sink != nullptr;
   ParsedSpec spec;
   std::vector<PendingSubgroup> pending_subgroups;
   // Message definitions are collected first (subgroups may reference
@@ -58,10 +62,28 @@ ParsedSpec parse_flow_spec(std::string_view text) {
   struct FlowBody {
     std::string name;
     std::size_t line;
+    /// Header was malformed (lenient mode): parse the body for further
+    /// diagnostics but never attempt to build the flow.
+    bool poisoned = false;
     std::vector<std::pair<std::size_t, std::vector<std::string>>> lines;
   };
   std::vector<FlowBody> bodies;
   std::vector<Message> messages;
+  std::vector<std::size_t> message_lines;  // parallel to `messages`
+
+  // Runs one construct-level action; on ParseError either rethrows with
+  // the file attached (strict) or records the diagnostic and reports
+  // failure so the caller can recover (lenient).
+  const auto guard = [&](auto&& fn) -> bool {
+    try {
+      fn();
+      return true;
+    } catch (const ParseError& e) {
+      if (!lenient) throw ParseError(file, e.line(), e.detail());
+      sink->push_back(ParseDiagnostic{file, e.line(), e.detail()});
+      return false;
+    }
+  };
 
   std::istringstream stream{std::string(text)};
   std::string raw;
@@ -88,6 +110,7 @@ ParsedSpec parse_flow_spec(std::string_view text) {
       m.beats = parse_u32(t[7], line, "beats");
     }
     messages.push_back(std::move(m));
+    message_lines.push_back(line);
   };
 
   auto handle_subgroup = [&](const std::vector<std::string>& t,
@@ -106,103 +129,172 @@ ParsedSpec parse_flow_spec(std::string_view text) {
 
     if (open == nullptr) {
       if (tokens[0] == "message") {
-        handle_message(tokens, lineno);
+        guard([&] { handle_message(tokens, lineno); });
       } else if (tokens[0] == "subgroup") {
-        handle_subgroup(tokens, lineno);
+        guard([&] { handle_subgroup(tokens, lineno); });
       } else if (tokens[0] == "flow") {
-        if (tokens.size() != 3 || tokens[2] != "{")
-          throw ParseError(lineno, "flow syntax: flow NAME {");
-        bodies.push_back(FlowBody{tokens[1], lineno, {}});
-        open = &bodies.back();
+        const bool well_formed = tokens.size() == 3 && tokens[2] == "{";
+        guard([&] {
+          if (!well_formed)
+            throw ParseError(lineno, "flow syntax: flow NAME {");
+        });
+        if (well_formed || lenient) {
+          // Lenient recovery: still open a (poisoned) body so its lines
+          // are linted instead of cascading "expected 'message'..." noise.
+          bodies.push_back(FlowBody{
+              tokens.size() > 1 ? tokens[1] : "<anonymous>", lineno,
+              !well_formed, {}});
+          open = &bodies.back();
+        }
       } else {
-        throw ParseError(lineno, "expected 'message', 'subgroup' or "
-                                 "'flow', got '" + tokens[0] + "'");
+        guard([&] {
+          throw ParseError(lineno, "expected 'message', 'subgroup' or "
+                                   "'flow', got '" + tokens[0] + "'");
+        });
       }
     } else {
       if (tokens[0] == "}") {
-        if (tokens.size() != 1)
-          throw ParseError(lineno, "unexpected tokens after '}'");
+        guard([&] {
+          if (tokens.size() != 1)
+            throw ParseError(lineno, "unexpected tokens after '}'");
+        });
         open = nullptr;
       } else if (tokens[0] == "message") {
-        handle_message(tokens, lineno);
+        guard([&] { handle_message(tokens, lineno); });
       } else if (tokens[0] == "subgroup") {
-        handle_subgroup(tokens, lineno);
+        guard([&] { handle_subgroup(tokens, lineno); });
       } else {
         open->lines.emplace_back(lineno, tokens);
       }
     }
   }
-  if (open != nullptr)
-    throw ParseError(lineno, "unterminated flow block '" + open->name + "'");
+  if (open != nullptr) {
+    FlowBody* unterminated = open;
+    guard([&] {
+      throw ParseError(lineno, "unterminated flow block '" +
+                                   unterminated->name + "'");
+    });
+  }
 
   // Attach subgroups, then register messages.
   for (const PendingSubgroup& sg : pending_subgroups) {
-    bool found = false;
-    for (Message& m : messages) {
-      if (m.name == sg.parent) {
-        m.subgroups.push_back(Subgroup{sg.name, sg.width});
-        found = true;
-        break;
+    guard([&] {
+      for (Message& m : messages) {
+        if (m.name == sg.parent) {
+          m.subgroups.push_back(Subgroup{sg.name, sg.width});
+          return;
+        }
       }
-    }
-    if (!found)
-      throw ParseError(sg.line,
-                       "subgroup references unknown message '" + sg.parent +
-                           "'");
+      throw ParseError(sg.line, "subgroup references unknown message '" +
+                                    sg.parent + "'");
+    });
   }
-  for (Message& m : messages) spec.catalog.add(std::move(m));
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    guard([&] {
+      try {
+        spec.catalog.add(std::move(messages[i]));
+      } catch (const std::invalid_argument& e) {
+        throw ParseError(message_lines[i], e.what());
+      }
+    });
+  }
 
   // Build the flows.
   for (const FlowBody& body : bodies) {
+    if (body.poisoned) continue;
     FlowBuilder builder(body.name);
+    bool body_ok = true;
     for (const auto& [line, t] : body.lines) {
-      if (t[0] == "state") {
-        // state NAME [initial] [stop] [atomic]...
-        if (t.size() < 2)
-          throw ParseError(line, "state syntax: state NAME [initial] "
-                                 "[stop] [atomic]");
-        std::uint8_t flags = FlowBuilder::kNone;
-        for (std::size_t i = 2; i < t.size(); ++i) {
-          if (t[i] == "initial") flags |= FlowBuilder::kInitial;
-          else if (t[i] == "stop") flags |= FlowBuilder::kStop;
-          else if (t[i] == "atomic") flags |= FlowBuilder::kAtomic;
-          else
-            throw ParseError(line, "unknown state flag '" + t[i] + "'");
+      const std::size_t l = line;
+      const auto& tt = t;
+      const bool line_ok = guard([&] {
+        if (tt[0] == "state") {
+          // state NAME [initial] [stop] [atomic]...
+          if (tt.size() < 2)
+            throw ParseError(l, "state syntax: state NAME [initial] "
+                                "[stop] [atomic]");
+          std::uint8_t flags = FlowBuilder::kNone;
+          for (std::size_t i = 2; i < tt.size(); ++i) {
+            if (tt[i] == "initial") flags |= FlowBuilder::kInitial;
+            else if (tt[i] == "stop") flags |= FlowBuilder::kStop;
+            else if (tt[i] == "atomic") flags |= FlowBuilder::kAtomic;
+            else
+              throw ParseError(l, "unknown state flag '" + tt[i] + "'");
+          }
+          builder.state(tt[1], flags);
+        } else if (tt.size() == 5 && tt[1] == "->" && tt[3] == "on") {
+          // FROM -> TO on MESSAGE
+          const auto id = spec.catalog.find(tt[4]);
+          if (!id)
+            throw ParseError(l, "transition references unknown message '" +
+                                    tt[4] + "'");
+          try {
+            builder.transition(tt[0], *id, tt[2]);
+          } catch (const std::invalid_argument& e) {
+            throw ParseError(l, e.what());
+          }
+        } else {
+          throw ParseError(l, "expected 'state NAME ...' or "
+                              "'FROM -> TO on MESSAGE'");
         }
-        builder.state(t[1], flags);
-      } else if (t.size() == 5 && t[1] == "->" && t[3] == "on") {
-        // FROM -> TO on MESSAGE
-        const auto id = spec.catalog.find(t[4]);
-        if (!id)
-          throw ParseError(line, "transition references unknown message '" +
-                                     t[4] + "'");
-        try {
-          builder.transition(t[0], *id, t[2]);
-        } catch (const std::invalid_argument& e) {
-          throw ParseError(line, e.what());
-        }
-      } else {
-        throw ParseError(line, "expected 'state NAME ...' or "
-                               "'FROM -> TO on MESSAGE'");
+      });
+      body_ok = body_ok && line_ok;
+    }
+    guard([&] {
+      try {
+        spec.flows.push_back(builder.build(spec.catalog));
+      } catch (const std::invalid_argument& e) {
+        // A flow whose body already had errors will often fail to build;
+        // reporting that again would be cascade noise.
+        if (body_ok) throw ParseError(body.line, e.what());
       }
-    }
-    try {
-      spec.flows.push_back(builder.build(spec.catalog));
-    } catch (const std::invalid_argument& e) {
-      throw ParseError(body.line, e.what());
-    }
+    });
   }
   return spec;
 }
 
-ParsedSpec parse_flow_spec_file(const std::string& path) {
+}  // namespace
+
+ParsedSpec parse_flow_spec(std::string_view text, std::string_view file) {
+  return parse_impl(text, std::string(file), nullptr);
+}
+
+LenientParseResult parse_flow_spec_lenient(std::string_view text,
+                                           std::string_view file) {
+  LenientParseResult result;
+  result.spec = parse_impl(text, std::string(file), &result.errors);
+  return result;
+}
+
+namespace {
+
+std::optional<std::string> read_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in)
-    throw std::runtime_error("parse_flow_spec_file: cannot open '" + path +
-                             "'");
+  if (!in) return std::nullopt;
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return parse_flow_spec(buffer.str());
+  return buffer.str();
+}
+
+}  // namespace
+
+ParsedSpec parse_flow_spec_file(const std::string& path) {
+  const auto text = read_file(path);
+  if (!text)
+    throw std::runtime_error("parse_flow_spec_file: cannot open '" + path +
+                             "'");
+  return parse_flow_spec(*text, path);
+}
+
+LenientParseResult parse_flow_spec_file_lenient(const std::string& path) {
+  const auto text = read_file(path);
+  if (!text) {
+    LenientParseResult result;
+    result.errors.push_back(
+        ParseDiagnostic{path, 0, "cannot open file"});
+    return result;
+  }
+  return parse_flow_spec_lenient(*text, path);
 }
 
 }  // namespace tracesel::flow

@@ -37,16 +37,43 @@
 
 namespace tracesel::flow {
 
-/// Parse failure with 1-based line number.
+/// Parse failure with 1-based line number and (when known) the file name:
+/// what() reads "spec.flow:12: ..." or "line 12: ..." for in-memory text.
 class ParseError : public std::runtime_error {
  public:
   ParseError(std::size_t line, const std::string& what)
-      : std::runtime_error("line " + std::to_string(line) + ": " + what),
-        line_(line) {}
+      : ParseError("", line, what) {}
+  ParseError(const std::string& file, std::size_t line,
+             const std::string& what)
+      : std::runtime_error(file.empty()
+                               ? "line " + std::to_string(line) + ": " + what
+                               : file + ":" + std::to_string(line) + ": " +
+                                     what),
+        file_(file),
+        line_(line),
+        detail_(what) {}
+  const std::string& file() const { return file_; }
   std::size_t line() const { return line_; }
+  /// The message without the file:line prefix.
+  const std::string& detail() const { return detail_; }
 
  private:
+  std::string file_;
   std::size_t line_;
+  std::string detail_;
+};
+
+/// One accumulated error from the lenient (lint) parse mode.
+struct ParseDiagnostic {
+  std::string file;  ///< empty for in-memory text
+  std::size_t line = 0;
+  std::string text;
+
+  std::string to_string() const {
+    return (file.empty() ? "line " + std::to_string(line)
+                         : file + ":" + std::to_string(line)) +
+           ": " + text;
+  }
 };
 
 /// A parsed specification: one catalog shared by all flows.
@@ -59,9 +86,28 @@ struct ParsedSpec {
 
 /// Parses a complete spec; throws ParseError on malformed input and the
 /// usual std::invalid_argument on semantic violations (via FlowBuilder).
-ParsedSpec parse_flow_spec(std::string_view text);
+/// A non-empty `file` is prefixed to every error message.
+ParsedSpec parse_flow_spec(std::string_view text, std::string_view file = "");
 
 /// Reads and parses a spec file; throws std::runtime_error if unreadable.
+/// Parse errors carry the file name ("spec.flow:12: ...").
 ParsedSpec parse_flow_spec_file(const std::string& path);
+
+/// Outcome of a lenient parse: the salvageable spec plus every error.
+struct LenientParseResult {
+  ParsedSpec spec;  ///< whatever parsed cleanly (lint it anyway)
+  std::vector<ParseDiagnostic> errors;
+  bool ok() const { return errors.empty(); }
+};
+
+/// Lint mode: instead of stopping at the first error, accumulates all of
+/// them and recovers per construct (a bad message/state/transition line is
+/// skipped; a flow that cannot be built is dropped). Never throws on
+/// malformed input.
+LenientParseResult parse_flow_spec_lenient(std::string_view text,
+                                           std::string_view file = "");
+
+/// Lenient parse of a file; an unreadable file is itself one diagnostic.
+LenientParseResult parse_flow_spec_file_lenient(const std::string& path);
 
 }  // namespace tracesel::flow

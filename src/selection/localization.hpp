@@ -3,11 +3,19 @@
 // projection of a buggy execution onto the traced messages), how small a
 // fraction of the interleaved flow's executions remains consistent with it?
 // Fewer consistent paths = tighter localization = less debug work.
+//
+// localize() assumes a perfect capture; localize_robust() is the hardened
+// variant for lossy channels: it screens the observed projection against
+// the selected set, falls back to the longest consistent prefix when
+// channel faults (drops, reordering, corruption) make the full projection
+// path-inconsistent, and reports a confidence weight instead of asserting
+// a unique answer.
 
 #include <span>
 #include <vector>
 
 #include "flow/interleaved_flow.hpp"
+#include "util/result.hpp"
 
 namespace tracesel::selection {
 
@@ -24,5 +32,32 @@ struct LocalizationResult {
 LocalizationResult localize(const flow::InterleavedFlow& u,
                             std::span<const flow::MessageId> selected,
                             const std::vector<flow::IndexedMessage>& observed);
+
+/// Localization under a degraded capture. The candidate-path set is sized
+/// from whatever prefix of the (screened) observation is still consistent
+/// with at least one execution; confidence reflects how much of the
+/// observation actually supported the answer.
+struct RobustLocalizationResult {
+  LocalizationResult result;
+  /// observed_used / observed_total, scaled to [0,1]; 1.0 = the entire
+  /// observed projection was consistent (clean-capture behaviour), 0.0 = no
+  /// ordering evidence survived.
+  double confidence = 1.0;
+  std::size_t observed_total = 0;    ///< records offered by the caller
+  std::size_t observed_screened = 0; ///< after dropping non-selected ids
+  std::size_t observed_used = 0;     ///< longest consistent prefix length
+  /// True when any screening or prefix back-off was needed.
+  bool degraded = false;
+  /// True when the observation carried no usable ordering evidence at all
+  /// (the localization then degenerates to "all paths possible").
+  bool unusable = false;
+};
+
+/// Never throws on damaged observations; errs only on structural misuse
+/// (an interleaving with no paths).
+util::Result<RobustLocalizationResult> localize_robust(
+    const flow::InterleavedFlow& u,
+    std::span<const flow::MessageId> selected,
+    const std::vector<flow::IndexedMessage>& observed);
 
 }  // namespace tracesel::selection

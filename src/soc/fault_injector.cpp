@@ -1,0 +1,211 @@
+#include "soc/fault_injector.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace tracesel::soc {
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kReorder: return "reorder";
+    case FaultKind::kTruncate: return "truncate";
+    case FaultKind::kOverflow: return "overflow";
+  }
+  return "?";
+}
+
+util::Result<FaultKind> fault_kind_from_string(std::string_view name) {
+  for (const FaultKind k : all_fault_kinds()) {
+    if (name == to_string(k)) return k;
+  }
+  return util::Error{util::ErrorCode::kParse,
+                     "unknown fault kind '" + std::string(name) +
+                         "' (expected drop, corrupt, duplicate, reorder, "
+                         "truncate or overflow)"};
+}
+
+util::Result<std::vector<FaultKind>> parse_fault_kinds(std::string_view csv) {
+  std::vector<FaultKind> kinds;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string_view item =
+        csv.substr(start, comma == std::string_view::npos ? std::string_view::npos
+                                                          : comma - start);
+    if (!item.empty()) {
+      const auto parsed = fault_kind_from_string(item);
+      if (!parsed.ok()) return parsed.error();
+      if (std::find(kinds.begin(), kinds.end(), parsed.value()) == kinds.end())
+        kinds.push_back(parsed.value());
+    }
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  if (kinds.empty())
+    return util::Error{util::ErrorCode::kParse, "empty fault kind list"};
+  return kinds;
+}
+
+std::vector<FaultKind> all_fault_kinds() {
+  return {FaultKind::kDrop,      FaultKind::kCorrupt,
+          FaultKind::kDuplicate, FaultKind::kReorder,
+          FaultKind::kTruncate,  FaultKind::kOverflow};
+}
+
+std::vector<FaultKind> FaultProfile::effective_kinds() const {
+  return kinds.empty() ? all_fault_kinds() : kinds;
+}
+
+std::size_t FaultStats::total_injected() const {
+  std::size_t total = 0;
+  for (const std::size_t n : injected) total += n;
+  return total;
+}
+
+double FaultStats::fault_fraction() const {
+  if (input_messages == 0) return 0.0;
+  return std::min(1.0, static_cast<double>(total_injected()) /
+                           static_cast<double>(input_messages));
+}
+
+FaultInjector::FaultInjector(const flow::MessageCatalog& catalog,
+                             FaultProfile profile)
+    : catalog_(&catalog), profile_(std::move(profile)) {
+  std::unordered_set<std::string> seen;
+  for (const flow::Message& m : catalog) {
+    if (seen.insert(m.source_ip).second) ips_.push_back(m.source_ip);
+    if (seen.insert(m.dest_ip).second) ips_.push_back(m.dest_ip);
+  }
+}
+
+std::vector<TimedMessage> FaultInjector::apply(
+    const std::vector<TimedMessage>& input, std::uint64_t salt,
+    FaultStats* stats) const {
+  FaultStats local;
+  local.input_messages = input.size();
+
+  if (!profile_.enabled() || input.empty()) {
+    local.delivered_messages = input.size();
+    if (stats != nullptr) *stats = local;
+    return input;
+  }
+
+  // Fresh, decorrelated stream per (seed, salt): a retried capture of the
+  // same execution sees different faults, like a re-run on real silicon.
+  util::Rng rng(profile_.seed ^ (salt * 0x9E3779B97F4A7C15ull + salt));
+
+  std::array<bool, kNumFaultKinds> on{};
+  for (const FaultKind k : profile_.effective_kinds())
+    on[static_cast<std::size_t>(k)] = true;
+  const auto enabled = [&](FaultKind k) {
+    return on[static_cast<std::size_t>(k)];
+  };
+  auto count = [&](FaultKind k) {
+    ++local.injected[static_cast<std::size_t>(k)];
+  };
+
+  // Per-session totals drive the derived overflow capacity.
+  std::unordered_map<std::uint32_t, std::size_t> session_total;
+  for (const TimedMessage& tm : input) ++session_total[tm.session];
+  const auto capacity_of = [&](std::uint32_t session) -> std::size_t {
+    if (profile_.channel_capacity > 0) return profile_.channel_capacity;
+    const double keep = std::max(0.0, 1.0 - profile_.rate);
+    return std::max<std::size_t>(
+        1, static_cast<std::size_t>(keep *
+                                    static_cast<double>(
+                                        session_total[session])));
+  };
+
+  std::vector<TimedMessage> out;
+  out.reserve(input.size());
+  std::unordered_map<std::uint32_t, std::size_t> session_delivered;
+  std::unordered_set<std::uint32_t> truncated_sessions;
+
+  for (const TimedMessage& tm : input) {
+    if (truncated_sessions.contains(tm.session)) {
+      count(FaultKind::kTruncate);
+      continue;
+    }
+    if (enabled(FaultKind::kTruncate) &&
+        rng.chance(profile_.rate * profile_.truncate_rate_scale)) {
+      truncated_sessions.insert(tm.session);
+      count(FaultKind::kTruncate);
+      continue;
+    }
+    if (enabled(FaultKind::kOverflow) &&
+        session_delivered[tm.session] >= capacity_of(tm.session)) {
+      count(FaultKind::kOverflow);
+      continue;
+    }
+    if (enabled(FaultKind::kDrop) && rng.chance(profile_.rate)) {
+      count(FaultKind::kDrop);
+      continue;
+    }
+
+    TimedMessage delivered = tm;
+    if (enabled(FaultKind::kCorrupt) && rng.chance(profile_.rate)) {
+      count(FaultKind::kCorrupt);
+      const std::uint64_t mode = rng.below(10);
+      if (mode < 6) {
+        // Content corruption: flip 1..3 bits inside the message's width.
+        const std::uint32_t width =
+            std::max<std::uint32_t>(1, catalog_->get(tm.msg.message).width);
+        const std::uint64_t flips = rng.between(1, 3);
+        for (std::uint64_t f = 0; f < flips; ++f)
+          delivered.value ^= std::uint64_t{1} << rng.below(width);
+      } else if (mode < 8) {
+        // Sideband session ordinal garbled beyond any real session.
+        delivered.session += 1000 + static_cast<std::uint32_t>(rng.below(1000));
+      } else {
+        // Routed-destination label garbled: half the time to a real other
+        // IP (looks like a misroute), half to electrical garbage.
+        if (rng.chance(0.5) && ips_.size() > 1) {
+          std::string other = delivered.dst;
+          while (other == delivered.dst)
+            other = ips_[rng.index(ips_.size())];
+          delivered.dst = std::move(other);
+        } else {
+          delivered.dst = "<garbled>";
+        }
+      }
+    }
+
+    out.push_back(delivered);
+    ++session_delivered[tm.session];
+    if (enabled(FaultKind::kDuplicate) && rng.chance(profile_.rate)) {
+      count(FaultKind::kDuplicate);
+      TimedMessage dup = delivered;
+      ++dup.cycle;  // the re-delivery lands a beat later
+      out.push_back(dup);
+      ++session_delivered[tm.session];
+    }
+  }
+
+  // Bounded reordering: displace flagged beats forward by up to the window.
+  if (enabled(FaultKind::kReorder) && out.size() > 1 &&
+      profile_.reorder_window > 0) {
+    for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+      if (!rng.chance(profile_.rate)) continue;
+      count(FaultKind::kReorder);
+      const std::size_t target =
+          std::min(out.size() - 1,
+                   i + 1 + static_cast<std::size_t>(
+                               rng.below(profile_.reorder_window)));
+      std::rotate(out.begin() + static_cast<std::ptrdiff_t>(i),
+                  out.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                  out.begin() + static_cast<std::ptrdiff_t>(target) + 1);
+    }
+  }
+
+  local.delivered_messages = out.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace tracesel::soc

@@ -1,0 +1,115 @@
+#pragma once
+// Capture-channel fault injection: the adversarial layer between the
+// simulator's message stream and the trace buffer.
+//
+// The paper's operating reality is a lossy observation channel — a 32-bit
+// buffer fed over noisy sideband wiring, with arbitration back-pressure and
+// finite bandwidth. The seed pipeline assumed a perfect channel: every
+// message arrives intact, in order, exactly once. FaultInjector restores
+// the lossy reality in a controlled, seeded way so the downstream decode /
+// localization / root-cause stages can be exercised (and benchmarked)
+// against degraded captures. Fault kinds:
+//
+//   drop      — a message beat never reaches the buffer
+//   corrupt   — bit flips in the content value, or a garbled sideband
+//               field (session ordinal / routed-destination label)
+//   duplicate — the channel re-delivers a beat (retry glitch)
+//   reorder   — a beat is displaced forward by a bounded distance
+//   truncate  — the remainder of a session's capture is lost (power event,
+//               trigger misfire)
+//   overflow  — per-session channel capacity; beats beyond it are dropped
+//               by back-pressure
+//
+// Injection is deterministic given (profile.seed, input stream): reruns and
+// CI sweeps are bit-reproducible. The golden (pre-silicon reference) run is
+// never faulted — only the silicon-side capture is.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "flow/message.hpp"
+#include "soc/monitor.hpp"
+#include "util/result.hpp"
+
+namespace tracesel::soc {
+
+enum class FaultKind : std::uint8_t {
+  kDrop = 0,
+  kCorrupt,
+  kDuplicate,
+  kReorder,
+  kTruncate,
+  kOverflow,
+};
+
+inline constexpr std::size_t kNumFaultKinds = 6;
+
+std::string to_string(FaultKind kind);
+
+/// Parses one fault kind name ("drop", "corrupt", ...).
+util::Result<FaultKind> fault_kind_from_string(std::string_view name);
+
+/// Parses a comma-separated kind list, e.g. "drop,corrupt,reorder".
+util::Result<std::vector<FaultKind>> parse_fault_kinds(std::string_view csv);
+
+/// All six kinds, in enum order.
+std::vector<FaultKind> all_fault_kinds();
+
+/// Configuration of the faulty channel.
+struct FaultProfile {
+  /// Per-message fault probability for each enabled kind (truncate is
+  /// interpreted per session, see truncate_rate_scale).
+  double rate = 0.0;
+  /// Enabled kinds; empty with rate > 0 means "all kinds".
+  std::vector<FaultKind> kinds;
+  std::uint64_t seed = 1;
+  /// Maximum forward displacement of a reordered beat.
+  std::uint32_t reorder_window = 4;
+  /// Truncation is a rare catastrophic event: its per-message probability
+  /// is rate * this scale, and one firing discards the session's tail.
+  double truncate_rate_scale = 0.05;
+  /// Per-session channel capacity for kOverflow; 0 derives a capacity that
+  /// back-pressures roughly the configured rate of the session's beats.
+  std::size_t channel_capacity = 0;
+
+  bool enabled() const { return rate > 0.0; }
+  /// The effective kind set (kinds, or all kinds when empty).
+  std::vector<FaultKind> effective_kinds() const;
+};
+
+/// Per-kind injection tally for one apply() pass.
+struct FaultStats {
+  std::array<std::size_t, kNumFaultKinds> injected{};  ///< by FaultKind
+  std::size_t input_messages = 0;
+  std::size_t delivered_messages = 0;
+
+  std::size_t total_injected() const;
+  /// Fraction of input beats touched by at least one fault event.
+  double fault_fraction() const;
+};
+
+/// Wraps the simulator -> trace-buffer path. Stateless between apply()
+/// calls except for the profile; each apply() forks a fresh RNG stream from
+/// (profile.seed, salt) so retries with a new salt see fresh faults.
+class FaultInjector {
+ public:
+  FaultInjector(const flow::MessageCatalog& catalog, FaultProfile profile);
+
+  /// Pushes the stream through the faulty channel. `salt` decorrelates
+  /// repeated captures of the same run (retry-with-fresh-seed).
+  std::vector<TimedMessage> apply(const std::vector<TimedMessage>& input,
+                                  std::uint64_t salt = 0,
+                                  FaultStats* stats = nullptr) const;
+
+  const FaultProfile& profile() const { return profile_; }
+
+ private:
+  const flow::MessageCatalog* catalog_;
+  FaultProfile profile_;
+  std::vector<std::string> ips_;  ///< distinct IP labels, for misdelivery
+};
+
+}  // namespace tracesel::soc

@@ -1,0 +1,146 @@
+#pragma once
+// Structured error handling for the degradation-tolerant pipeline.
+//
+// Post-silicon captures are lossy by construction (a 32-bit buffer, noisy
+// sideband signals, dropped beats), so "this trace is damaged" is an
+// expected outcome, not a programming error. The hot paths that decode and
+// interpret captures (observation diffing, path localization) return
+// Result<T> instead of throwing: callers decide whether to retry with a
+// fresh capture, degrade to lower-confidence answers, or surface the error.
+// Exceptions remain reserved for contract violations (bad configuration,
+// impossible states).
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tracesel::util {
+
+/// The error taxonomy of the capture-processing pipeline.
+enum class ErrorCode {
+  kInvalidArgument,   ///< caller broke a precondition we can report softly
+  kParse,             ///< malformed collateral (flow spec, profile string)
+  kCorruptCapture,    ///< trace decoded, but evidence is self-contradictory
+  kUnusableCapture,   ///< too little valid data to support any conclusion
+  kExhaustedRetries,  ///< every recapture attempt stayed unusable
+  kInternal,          ///< invariant violation inside the library
+};
+
+inline const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "invalid-argument";
+    case ErrorCode::kParse: return "parse";
+    case ErrorCode::kCorruptCapture: return "corrupt-capture";
+    case ErrorCode::kUnusableCapture: return "unusable-capture";
+    case ErrorCode::kExhaustedRetries: return "exhausted-retries";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+/// One structured error: a taxonomy code plus a human-readable message.
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  std::string to_string() const {
+    return std::string(util::to_string(code)) + ": " + message;
+  }
+
+  friend bool operator==(const Error& a, const Error& b) {
+    return a.code == b.code && a.message == b.message;
+  }
+};
+
+/// Expected<T>-style sum type: either a value or an Error. value() on an
+/// error (or error() on a value) throws std::logic_error — that is a caller
+/// bug, not a data condition, so it stays an exception.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}            // NOLINT implicit
+  Result(Error error) : state_(std::move(error)) {}        // NOLINT implicit
+  Result(ErrorCode code, std::string message)
+      : state_(Error{code, std::move(message)}) {}
+
+  static Result ok(T value) { return Result(std::move(value)); }
+  static Result err(ErrorCode code, std::string message) {
+    return Result(Error{code, std::move(message)});
+  }
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    require(ok(), "Result::value() called on an error");
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    require(ok(), "Result::value() called on an error");
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    require(ok(), "Result::value() called on an error");
+    return std::get<T>(std::move(state_));
+  }
+
+  const Error& error() const {
+    require(!ok(), "Result::error() called on a value");
+    return std::get<Error>(state_);
+  }
+
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+  /// Applies `fn` to the value, forwarding errors unchanged.
+  template <typename Fn>
+  auto map(Fn&& fn) const -> Result<decltype(fn(std::declval<const T&>()))> {
+    using U = decltype(fn(std::declval<const T&>()));
+    if (!ok()) return Result<U>(error());
+    return Result<U>(fn(std::get<T>(state_)));
+  }
+
+  /// Chains a fallible continuation (fn returns Result<U>).
+  template <typename Fn>
+  auto and_then(Fn&& fn) const -> decltype(fn(std::declval<const T&>())) {
+    if (!ok()) return decltype(fn(std::declval<const T&>()))(error());
+    return fn(std::get<T>(state_));
+  }
+
+ private:
+  static void require(bool cond, const char* what) {
+    if (!cond) throw std::logic_error(what);
+  }
+
+  std::variant<T, Error> state_;
+};
+
+/// Result with no payload: success or a structured error.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  ///< success
+  Status(Error error) : error_(std::move(error)), failed_(true) {}  // NOLINT
+  Status(ErrorCode code, std::string message)
+      : error_(Error{code, std::move(message)}), failed_(true) {}
+
+  static Status success() { return Status(); }
+  static Status err(ErrorCode code, std::string message) {
+    return Status(Error{code, std::move(message)});
+  }
+
+  bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    if (!failed_) throw std::logic_error("Status::error() called on ok");
+    return error_;
+  }
+
+ private:
+  Error error_;
+  bool failed_ = false;
+};
+
+}  // namespace tracesel::util

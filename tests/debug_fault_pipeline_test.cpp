@@ -1,0 +1,187 @@
+// The gracefully-degrading pipeline: fault injection on the capture
+// channel must never crash the debug stack, and the answers it produces
+// must be confidence-weighted rather than silently wrong.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "debug/case_study.hpp"
+#include "debug/observation.hpp"
+#include "debug/root_cause.hpp"
+#include "soc/fault_injector.hpp"
+#include "soc/t2_bugs.hpp"
+#include "soc/t2_design.hpp"
+
+namespace tracesel::debug {
+namespace {
+
+soc::TraceRecord record(flow::MessageId m, std::uint64_t value,
+                        std::uint32_t session, const std::string& dst) {
+  soc::TraceRecord r;
+  r.msg = {m, 0};
+  r.value = value;
+  r.session = session;
+  r.dst = dst;
+  return r;
+}
+
+class ObserveCheckedTest : public ::testing::Test {
+ protected:
+  soc::T2Design design_;
+};
+
+TEST_F(ObserveCheckedTest, CleanCaptureMatchesPlainObserve) {
+  const auto m = design_.mondoacknack;
+  const std::string dst = design_.catalog().get(m).dest_ip;
+  const std::vector<soc::TraceRecord> golden = {record(m, 1, 0, dst),
+                                                record(m, 2, 1, dst)};
+  const auto checked =
+      observe_checked(design_.catalog(), {m}, golden, golden);
+  ASSERT_TRUE(checked.ok());
+  const Observation& obs = checked.value();
+  EXPECT_EQ(obs.status.at(m), MsgStatus::kPresentCorrect);
+  EXPECT_DOUBLE_EQ(obs.quality(), 1.0);
+  EXPECT_DOUBLE_EQ(obs.confidence(m), 1.0);
+  EXPECT_EQ(obs.invalid_records, 0u);
+}
+
+TEST_F(ObserveCheckedTest, GarbledRecordsAreScreenedNotTrusted) {
+  const auto m = design_.mondoacknack;
+  const std::string dst = design_.catalog().get(m).dest_ip;
+  const std::vector<soc::TraceRecord> golden = {record(m, 1, 0, dst),
+                                                record(m, 2, 1, dst)};
+  // One valid record, one with a garbled destination label.
+  const std::vector<soc::TraceRecord> buggy = {
+      record(m, 1, 0, dst), record(m, 2, 1, "<garbled>")};
+  const auto checked =
+      observe_checked(design_.catalog(), {m}, golden, buggy);
+  ASSERT_TRUE(checked.ok());
+  const Observation& obs = checked.value();
+  EXPECT_EQ(obs.invalid_records, 1u);
+  EXPECT_EQ(obs.valid_records, 1u);
+  EXPECT_LT(obs.confidence(m), 1.0);
+  // The surviving record says "present and correct"; the lost one shows
+  // as an absent stream — either way the status is backed by evidence.
+  EXPECT_NE(obs.status.at(m), MsgStatus::kUnknown);
+}
+
+TEST_F(ObserveCheckedTest, SessionBeyondGoldenIsInvalid) {
+  const auto m = design_.mondoacknack;
+  const std::string dst = design_.catalog().get(m).dest_ip;
+  const std::vector<soc::TraceRecord> golden = {record(m, 1, 0, dst)};
+  const std::vector<soc::TraceRecord> buggy = {record(m, 1, 1523, dst)};
+  const auto checked =
+      observe_checked(design_.catalog(), {m}, golden, buggy);
+  // 100% invalid > default 50% threshold: structurally unusable.
+  ASSERT_FALSE(checked.ok());
+  EXPECT_EQ(checked.error().code, util::ErrorCode::kUnusableCapture);
+
+  // The lenient decode still answers, flagging the evidence as unknown.
+  const Observation obs =
+      observe_lenient(design_.catalog(), {m}, golden, buggy);
+  EXPECT_EQ(obs.status.at(m), MsgStatus::kUnknown);
+  EXPECT_DOUBLE_EQ(obs.confidence(m), 0.0);
+}
+
+TEST_F(ObserveCheckedTest, UnknownEvidenceNeverEliminatesCauses) {
+  const auto m = design_.mondoacknack;
+  Observation obs;
+  obs.traced = {m};
+  obs.status[m] = MsgStatus::kUnknown;
+  const auto catalog = RootCauseCatalog::for_scenario(design_, 1);
+  // Unknown evidence is no evidence: nothing can be pruned by it.
+  EXPECT_EQ(prune(catalog, obs).size(), catalog.size());
+  for (const ScoredCause& sc : rank(catalog, obs))
+    EXPECT_DOUBLE_EQ(sc.score, 1.0);
+}
+
+class FaultPipelineTest : public ::testing::Test {
+ protected:
+  soc::T2Design design_;
+};
+
+TEST_F(FaultPipelineTest, CleanChannelRankedCausesMatchExactPrune) {
+  const auto cases = soc::standard_case_studies();
+  const auto r = run_case_study(design_, cases[0]);
+  const auto catalog =
+      RootCauseCatalog::for_scenario(design_, cases[0].scenario_id);
+  const auto exact = prune(catalog, r.observation);
+  std::vector<int> exact_ids, perfect_score_ids;
+  for (const RootCause* c : exact) exact_ids.push_back(c->id);
+  for (const ScoredCause& sc : r.ranked_causes) {
+    if (sc.score >= 1.0) perfect_score_ids.push_back(sc.cause.id);
+  }
+  std::sort(exact_ids.begin(), exact_ids.end());
+  std::sort(perfect_score_ids.begin(), perfect_score_ids.end());
+  EXPECT_EQ(exact_ids, perfect_score_ids);
+  EXPECT_EQ(r.capture_attempts, 1u);
+  EXPECT_FALSE(r.capture_degraded);
+  EXPECT_DOUBLE_EQ(r.robust_localization.confidence, 1.0);
+}
+
+TEST_F(FaultPipelineTest, AllCaseStudiesSurviveTenPercentDropCorrupt) {
+  CaseStudyOptions opt;
+  opt.faults.rate = 0.10;
+  opt.faults.kinds = {soc::FaultKind::kDrop, soc::FaultKind::kCorrupt};
+  opt.faults.seed = 99;
+  opt.capture_retries = 2;
+  for (const auto& cs : soc::standard_case_studies()) {
+    SCOPED_TRACE("case study " + std::to_string(cs.id));
+    const auto r = run_case_study(design_, cs, opt);  // must not throw
+    // Confidence-weighted verdict is always present and sane.
+    ASSERT_FALSE(r.ranked_causes.empty());
+    for (const ScoredCause& sc : r.ranked_causes) {
+      EXPECT_GE(sc.score, 0.0);
+      EXPECT_LE(sc.score, 1.0);
+    }
+    EXPECT_GE(r.robust_localization.confidence, 0.0);
+    EXPECT_LE(r.robust_localization.confidence, 1.0);
+    EXPECT_GE(r.localization.fraction, 0.0);
+    EXPECT_LE(r.localization.fraction, 1.0);
+    EXPECT_GT(r.fault_stats.total_injected(), 0u);
+  }
+}
+
+TEST_F(FaultPipelineTest, UnusableCapturesRetryWithFreshSeeds) {
+  CaseStudyOptions opt;
+  opt.faults.rate = 0.9;
+  opt.faults.kinds = {soc::FaultKind::kCorrupt};
+  opt.faults.seed = 5;
+  opt.capture_retries = 3;
+  // Make nearly any garbling unacceptable so retries must happen.
+  opt.unusable_threshold = 0.01;
+  const auto cases = soc::standard_case_studies();
+  const auto r = run_case_study(design_, cases[0], opt);  // must not throw
+  EXPECT_GT(r.capture_attempts, 1u);
+  // With a 90% corrupt rate every attempt stays unusable: the pipeline
+  // degrades to the lenient decode instead of crashing.
+  EXPECT_TRUE(r.capture_degraded);
+  EXPECT_EQ(r.capture_attempts, 4u);  // 1 + 3 retries
+  ASSERT_FALSE(r.ranked_causes.empty());
+  EXPECT_LT(r.observation.quality(), 1.0);
+}
+
+TEST_F(FaultPipelineTest, DegradationIsMonotonicInEvidenceQuality) {
+  // More faults => (weakly) less pruning confidence on the same case.
+  const auto cases = soc::standard_case_studies();
+  CaseStudyOptions clean;
+  const auto r_clean = run_case_study(design_, cases[1], clean);
+
+  CaseStudyOptions noisy;
+  noisy.faults.rate = 0.3;
+  noisy.faults.kinds = {soc::FaultKind::kDrop, soc::FaultKind::kCorrupt};
+  const auto r_noisy = run_case_study(design_, cases[1], noisy);
+
+  // The noisy capture cannot yield a *stronger* (smaller or equal is fine)
+  // perfect-score verdict backed by less evidence than the clean one; what
+  // matters for robustness is that both complete and the noisy one keeps
+  // its candidate set non-empty.
+  ASSERT_FALSE(r_clean.ranked_causes.empty());
+  ASSERT_FALSE(r_noisy.ranked_causes.empty());
+  EXPECT_LE(r_noisy.robust_localization.confidence,
+            r_clean.robust_localization.confidence + 1e-12);
+}
+
+}  // namespace
+}  // namespace tracesel::debug

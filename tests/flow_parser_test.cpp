@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 #include "flow/indexed_flow.hpp"
 #include "flow/interleaved_flow.hpp"
 #include "selection/selector.hpp"
@@ -203,6 +205,96 @@ TEST(FlowParser, UnknownFlowLookupThrows) {
 TEST(FlowParser, FileLoaderErrorsOnMissingFile) {
   EXPECT_THROW(parse_flow_spec_file("/nonexistent/x.flow"),
                std::runtime_error);
+}
+
+TEST(FlowParser, ErrorsCarryFileNameWhenKnown) {
+  try {
+    parse_flow_spec("message a 1 X -> Y\nbogus line here\n", "spec.flow");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.file(), "spec.flow");
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_EQ(std::string(e.what()).rfind("spec.flow:2: ", 0), 0u)
+        << e.what();
+  }
+}
+
+TEST(FlowParser, FileLoaderPrefixesErrorsWithPath) {
+  const std::string path = ::testing::TempDir() + "bad.flow";
+  {
+    std::ofstream out(path);
+    out << "message a 1 X -> Y\nbogus\n";
+  }
+  try {
+    parse_flow_spec_file(path);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.file(), path);
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_NE(std::string(e.what()).find(path + ":2: "), std::string::npos);
+  }
+}
+
+TEST(FlowParser, LenientAccumulatesAllErrors) {
+  // Four independent mistakes; strict mode would stop at the first.
+  const auto result = parse_flow_spec_lenient(R"(
+message a 1 X -> Y
+message bad zero X -> Y
+subgroup ghost tid 3
+flow f {
+  state s initial
+  state t stop
+  s -> t on missing
+  s -> t on a
+}
+bogus trailing line
+)",
+                                              "multi.flow");
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.errors.size(), 4u);
+  EXPECT_EQ(result.errors[0].line, 3u);   // bad width
+  EXPECT_EQ(result.errors[1].line, 11u);  // bogus top-level line
+  EXPECT_EQ(result.errors[2].line, 4u);   // unknown subgroup parent
+  EXPECT_EQ(result.errors[3].line, 8u);   // unknown message in transition
+  for (const ParseDiagnostic& d : result.errors) {
+    EXPECT_EQ(d.file, "multi.flow");
+    EXPECT_EQ(d.to_string().rfind("multi.flow:", 0), 0u) << d.to_string();
+  }
+  // The salvageable parts survive: message 'a' and flow 'f' (built from
+  // its two good lines and the one good transition).
+  EXPECT_EQ(result.spec.catalog.size(), 1u);
+  ASSERT_EQ(result.spec.flows.size(), 1u);
+  EXPECT_EQ(result.spec.flows[0].name(), "f");
+}
+
+TEST(FlowParser, LenientDropsUnbuildableFlowWithoutCascade) {
+  // The flow body is fine line-by-line but has no stop state: exactly one
+  // diagnostic (at the flow header), and the flow is dropped.
+  const auto result = parse_flow_spec_lenient(R"(
+message a 1 X -> Y
+flow f {
+  state s initial
+  state t
+  s -> t on a
+}
+)");
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_EQ(result.errors[0].line, 3u);
+  EXPECT_TRUE(result.spec.flows.empty());
+  EXPECT_EQ(result.spec.catalog.size(), 1u);
+}
+
+TEST(FlowParser, LenientCleanInputIsOk) {
+  const auto result = parse_flow_spec_lenient(kCoherence);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.spec.flows.size(), 1u);
+}
+
+TEST(FlowParser, LenientUnreadableFileIsOneDiagnostic) {
+  const auto result = parse_flow_spec_file_lenient("/nonexistent/x.flow");
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_EQ(result.errors[0].file, "/nonexistent/x.flow");
+  EXPECT_EQ(result.errors[0].line, 0u);
 }
 
 TEST(FlowParser, T2CollateralFileMatchesBuiltInDesign) {

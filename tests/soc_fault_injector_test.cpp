@@ -1,0 +1,191 @@
+#include "soc/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "soc/t2_design.hpp"
+
+namespace tracesel::soc {
+namespace {
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  /// A synthetic stream: `n` beats of mondoacknack split over 2 sessions.
+  std::vector<TimedMessage> stream(std::size_t n) {
+    std::vector<TimedMessage> out;
+    for (std::size_t i = 0; i < n; ++i) {
+      TimedMessage tm;
+      tm.msg = {design_.mondoacknack, static_cast<std::uint32_t>(i % 2)};
+      tm.cycle = i;
+      tm.value = i & 0x3;
+      tm.session = static_cast<std::uint32_t>(i < n / 2 ? 0 : 1);
+      tm.src = design_.catalog().get(design_.mondoacknack).source_ip;
+      tm.dst = design_.catalog().get(design_.mondoacknack).dest_ip;
+      out.push_back(tm);
+    }
+    return out;
+  }
+
+  T2Design design_;
+};
+
+TEST_F(FaultInjectorTest, ZeroRateIsIdentity) {
+  FaultProfile profile;  // rate == 0
+  const FaultInjector inj(design_.catalog(), profile);
+  const auto in = stream(64);
+  FaultStats stats;
+  const auto out = inj.apply(in, 0, &stats);
+  EXPECT_EQ(out, in);
+  EXPECT_EQ(stats.total_injected(), 0u);
+  EXPECT_EQ(stats.delivered_messages, 64u);
+}
+
+TEST_F(FaultInjectorTest, DeterministicForFixedSeedAndSalt) {
+  FaultProfile profile;
+  profile.rate = 0.2;
+  profile.seed = 7;
+  const FaultInjector inj(design_.catalog(), profile);
+  const auto in = stream(200);
+  const auto a = inj.apply(in, 3);
+  const auto b = inj.apply(in, 3);
+  EXPECT_EQ(a, b);
+  // A different salt decorrelates the capture (overwhelmingly likely to
+  // differ at 200 beats and 20% rate).
+  const auto c = inj.apply(in, 4);
+  EXPECT_NE(a, c);
+}
+
+TEST_F(FaultInjectorTest, DropReducesDeliveredCount) {
+  FaultProfile profile;
+  profile.rate = 0.5;
+  profile.kinds = {FaultKind::kDrop};
+  const FaultInjector inj(design_.catalog(), profile);
+  FaultStats stats;
+  const auto out = inj.apply(stream(400), 0, &stats);
+  EXPECT_LT(out.size(), 400u);
+  EXPECT_EQ(out.size() + stats.injected[static_cast<std::size_t>(
+                             FaultKind::kDrop)],
+            400u);
+}
+
+TEST_F(FaultInjectorTest, CorruptPreservesCountButChangesContent) {
+  FaultProfile profile;
+  profile.rate = 0.8;
+  profile.kinds = {FaultKind::kCorrupt};
+  const FaultInjector inj(design_.catalog(), profile);
+  const auto in = stream(300);
+  FaultStats stats;
+  const auto out = inj.apply(in, 0, &stats);
+  ASSERT_EQ(out.size(), in.size());
+  EXPECT_GT(stats.injected[static_cast<std::size_t>(FaultKind::kCorrupt)],
+            0u);
+  EXPECT_NE(out, in);
+  // Message identity is never corrupted — only payload and sideband.
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out[i].msg.message, in[i].msg.message);
+}
+
+TEST_F(FaultInjectorTest, DuplicateIncreasesDeliveredCount) {
+  FaultProfile profile;
+  profile.rate = 0.5;
+  profile.kinds = {FaultKind::kDuplicate};
+  const FaultInjector inj(design_.catalog(), profile);
+  FaultStats stats;
+  const auto out = inj.apply(stream(200), 0, &stats);
+  EXPECT_GT(out.size(), 200u);
+  EXPECT_EQ(out.size(), 200u + stats.injected[static_cast<std::size_t>(
+                                   FaultKind::kDuplicate)]);
+}
+
+TEST_F(FaultInjectorTest, ReorderPreservesMultiset) {
+  FaultProfile profile;
+  profile.rate = 0.4;
+  profile.kinds = {FaultKind::kReorder};
+  profile.reorder_window = 3;
+  const FaultInjector inj(design_.catalog(), profile);
+  const auto in = stream(150);
+  FaultStats stats;
+  auto out = inj.apply(in, 0, &stats);
+  ASSERT_EQ(out.size(), in.size());
+  EXPECT_GT(stats.injected[static_cast<std::size_t>(FaultKind::kReorder)],
+            0u);
+  auto key = [](const TimedMessage& tm) {
+    return std::tuple(tm.msg.message, tm.msg.index, tm.cycle, tm.value);
+  };
+  std::multiset<std::tuple<flow::MessageId, std::uint32_t, std::uint64_t,
+                           std::uint64_t>>
+      a, b;
+  for (const auto& tm : in) a.insert(key(tm));
+  for (const auto& tm : out) b.insert(key(tm));
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(FaultInjectorTest, TruncateCutsASessionTail) {
+  FaultProfile profile;
+  profile.rate = 1.0;  // with scale 0.05 -> 5% per beat: fires early
+  profile.kinds = {FaultKind::kTruncate};
+  const FaultInjector inj(design_.catalog(), profile);
+  const auto in = stream(400);
+  FaultStats stats;
+  const auto out = inj.apply(in, 0, &stats);
+  EXPECT_LT(out.size(), in.size());
+  // Once a session is truncated nothing later from it is delivered: the
+  // delivered beats of each session are a prefix of that session's input.
+  std::map<std::uint32_t, std::vector<std::uint64_t>> in_cycles, out_cycles;
+  for (const auto& tm : in) in_cycles[tm.session].push_back(tm.cycle);
+  for (const auto& tm : out) out_cycles[tm.session].push_back(tm.cycle);
+  for (const auto& [session, cycles] : out_cycles) {
+    ASSERT_LE(cycles.size(), in_cycles[session].size());
+    for (std::size_t i = 0; i < cycles.size(); ++i)
+      EXPECT_EQ(cycles[i], in_cycles[session][i]);
+  }
+}
+
+TEST_F(FaultInjectorTest, OverflowBackPressureCapsPerSession) {
+  FaultProfile profile;
+  profile.rate = 0.3;
+  profile.kinds = {FaultKind::kOverflow};
+  profile.channel_capacity = 10;
+  const FaultInjector inj(design_.catalog(), profile);
+  FaultStats stats;
+  const auto out = inj.apply(stream(100), 0, &stats);
+  std::map<std::uint32_t, std::size_t> per_session;
+  for (const auto& tm : out) ++per_session[tm.session];
+  for (const auto& [session, n] : per_session) EXPECT_LE(n, 10u);
+  EXPECT_GT(stats.injected[static_cast<std::size_t>(FaultKind::kOverflow)],
+            0u);
+}
+
+TEST(FaultKinds, ParseRoundTrip) {
+  const auto kinds = parse_fault_kinds("drop,corrupt,reorder");
+  ASSERT_TRUE(kinds.ok());
+  EXPECT_EQ(kinds.value(),
+            (std::vector<FaultKind>{FaultKind::kDrop, FaultKind::kCorrupt,
+                                    FaultKind::kReorder}));
+  for (const FaultKind k : all_fault_kinds()) {
+    const auto back = fault_kind_from_string(to_string(k));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), k);
+  }
+}
+
+TEST(FaultKinds, ParseRejectsUnknownAndEmpty) {
+  EXPECT_FALSE(parse_fault_kinds("drop,frobnicate").ok());
+  EXPECT_FALSE(parse_fault_kinds("").ok());
+  EXPECT_EQ(parse_fault_kinds("nope").error().code,
+            util::ErrorCode::kParse);
+}
+
+TEST(FaultProfile, EffectiveKindsDefaultsToAll) {
+  FaultProfile profile;
+  EXPECT_EQ(profile.effective_kinds().size(), kNumFaultKinds);
+  profile.kinds = {FaultKind::kDrop};
+  EXPECT_EQ(profile.effective_kinds().size(), 1u);
+}
+
+}  // namespace
+}  // namespace tracesel::soc

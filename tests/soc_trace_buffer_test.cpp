@@ -5,6 +5,7 @@
 #include "selection/selector.hpp"
 #include "soc/scenario.hpp"
 #include "soc/t2_design.hpp"
+#include "soc/vcd.hpp"
 
 namespace tracesel::soc {
 namespace {
@@ -124,6 +125,71 @@ TEST_F(TraceBufferTest, DstPreservedForMisrouteEvidence) {
   tm.dst = "SIU";  // misrouted
   tb.record(tm);
   EXPECT_EQ(tb.records()[0].dst, "SIU");
+}
+
+TEST_F(TraceBufferTest, ZeroWidthSelectionObservesNothing) {
+  // A buffer configured with an empty selection is legal (the tools may
+  // probe a design before choosing messages): it observes and records
+  // nothing instead of crashing.
+  selection::SelectionResult empty;
+  empty.buffer_width = 32;
+  empty.used_width = 0;
+  TraceBuffer tb(TraceBufferConfig{32, 16});
+  tb.configure(design_.catalog(), empty);
+  EXPECT_DOUBLE_EQ(tb.utilization(), 0.0);
+  EXPECT_FALSE(tb.observes(design_.mondoacknack));
+  tb.record(make(design_.mondoacknack, 1));
+  EXPECT_EQ(tb.size(), 0u);
+}
+
+TEST_F(TraceBufferTest, FillingToExactCapacityDoesNotOverwrite) {
+  // Off-by-one guard: depth records fill the ring exactly; the wrap
+  // bookkeeping must only start at depth + 1.
+  constexpr std::uint32_t kDepth = 4;
+  TraceBuffer tb(TraceBufferConfig{32, kDepth});
+  tb.configure(design_.catalog(), selection_);
+  for (std::uint64_t i = 0; i < kDepth; ++i) {
+    auto tm = make(design_.mondoacknack, i & 3);
+    tm.cycle = i;
+    tb.record(tm);
+  }
+  EXPECT_EQ(tb.size(), kDepth);
+  EXPECT_EQ(tb.overwritten(), 0u);
+  EXPECT_EQ(tb.records().front().cycle, 0u);
+  EXPECT_EQ(tb.records().back().cycle, kDepth - 1);
+
+  auto tm = make(design_.mondoacknack, 1);
+  tm.cycle = kDepth;
+  tb.record(tm);
+  EXPECT_EQ(tb.size(), kDepth);
+  EXPECT_EQ(tb.overwritten(), 1u);
+  EXPECT_EQ(tb.records().front().cycle, 1u);  // oldest beat evicted
+}
+
+TEST_F(TraceBufferTest, EmptyCaptureRendersValidVcd) {
+  // An empty session (trigger never fired, or the run produced no traced
+  // messages) must still render a well-formed VCD document.
+  const std::string vcd = trace_to_vcd(design_.catalog(), {});
+  EXPECT_NE(vcd.find("$enddefinitions"), std::string::npos);
+  EXPECT_NE(vcd.find("$timescale"), std::string::npos);
+}
+
+TEST_F(TraceBufferTest, DuplicateMessageIdsAreAllRecorded) {
+  // A capture may legitimately contain the same message id many times
+  // (repeats across sessions, or duplication faults on the channel); the
+  // buffer must keep every beat, not dedupe.
+  TraceBuffer tb(TraceBufferConfig{32, 16});
+  tb.configure(design_.catalog(), selection_);
+  for (int i = 0; i < 3; ++i) {
+    auto tm = make(design_.mondoacknack, 2);
+    tm.cycle = static_cast<std::uint64_t>(i);
+    tb.record(tm);
+  }
+  ASSERT_EQ(tb.size(), 3u);
+  for (const TraceRecord& r : tb.records()) {
+    EXPECT_EQ(r.msg.message, design_.mondoacknack);
+    EXPECT_EQ(r.value, 2u);
+  }
 }
 
 class TriggerTest : public TraceBufferTest {

@@ -1,0 +1,87 @@
+#include "util/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace tracesel::util {
+namespace {
+
+TEST(Result, HoldsValue) {
+  const Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(Result, HoldsError) {
+  const Result<int> r = Error{ErrorCode::kUnusableCapture, "too noisy"};
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kUnusableCapture);
+  EXPECT_EQ(r.error().message, "too noisy");
+  EXPECT_EQ(r.value_or(-1), -1);
+  EXPECT_EQ(r.error().to_string(), "unusable-capture: too noisy");
+}
+
+TEST(Result, ValueOnErrorThrowsLogicError) {
+  const Result<int> r = Error{ErrorCode::kInternal, "bug"};
+  EXPECT_THROW(r.value(), std::logic_error);
+  const Result<int> v = 1;
+  EXPECT_THROW(v.error(), std::logic_error);
+}
+
+TEST(Result, MapTransformsValueAndForwardsError) {
+  const Result<int> v = 10;
+  const auto doubled = v.map([](int x) { return x * 2; });
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_EQ(doubled.value(), 20);
+
+  const Result<int> e = Error{ErrorCode::kParse, "bad"};
+  const auto still_error = e.map([](int x) { return x * 2; });
+  ASSERT_FALSE(still_error.ok());
+  EXPECT_EQ(still_error.error().code, ErrorCode::kParse);
+}
+
+TEST(Result, AndThenChainsFallibleSteps) {
+  const auto parse_positive = [](int x) -> Result<std::string> {
+    if (x <= 0) return Error{ErrorCode::kInvalidArgument, "non-positive"};
+    return std::to_string(x);
+  };
+  const Result<int> good = 7;
+  const auto chained = good.and_then(parse_positive);
+  ASSERT_TRUE(chained.ok());
+  EXPECT_EQ(chained.value(), "7");
+
+  const Result<int> zero = 0;
+  EXPECT_FALSE(zero.and_then(parse_positive).ok());
+}
+
+TEST(Result, FactoryHelpers) {
+  const auto ok = Result<int>::ok(5);
+  EXPECT_TRUE(ok.ok());
+  const auto err = Result<int>::err(ErrorCode::kCorruptCapture, "x");
+  EXPECT_FALSE(err.ok());
+}
+
+TEST(Status, OkAndError) {
+  const Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_THROW(ok.error(), std::logic_error);
+
+  const Status bad(ErrorCode::kExhaustedRetries, "gave up");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, ErrorCode::kExhaustedRetries);
+}
+
+TEST(ErrorCode, AllCodesHaveNames) {
+  for (const ErrorCode c :
+       {ErrorCode::kInvalidArgument, ErrorCode::kParse,
+        ErrorCode::kCorruptCapture, ErrorCode::kUnusableCapture,
+        ErrorCode::kExhaustedRetries, ErrorCode::kInternal}) {
+    EXPECT_STRNE(to_string(c), "?");
+  }
+}
+
+}  // namespace
+}  // namespace tracesel::util

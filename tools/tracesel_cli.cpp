@@ -8,11 +8,20 @@
 //       --no-packing     disable Step 3
 //       --json           machine-readable output
 //   tracesel dot <spec.flow> <flow-name>             Graphviz of one flow
-//   tracesel lint <spec.flow> [--buffer N]           check the collateral
+//   tracesel lint <spec.flow> [--buffer N] [--lenient]
+//       --lenient        accumulate parse errors instead of stopping at
+//                        the first, then lint whatever parsed cleanly
 //   tracesel debug <case 1..5> [--no-packing] [--vcd FILE]
 //                  [--report FILE] [--json]          run a T2 case study
+//       --fault-rate R   inject capture faults with probability R (0..1)
+//       --fault-kinds K  csv of drop,corrupt,duplicate,reorder,truncate,
+//                        overflow                      (default: all)
+//       --fault-seed N   fault injection seed          (default 1)
+//       --retries N      recapture attempts when the capture is unusable
+//                                                      (default 2)
 //
-// Exit codes: 0 ok, 1 usage error, 2 runtime failure.
+// Exit codes: 0 ok, 1 usage error, 2 runtime failure (any uncaught
+// exception is reported as a one-line diagnostic, never a crash).
 
 #include <algorithm>
 #include <cstring>
@@ -25,6 +34,7 @@
 #include "flow/parser.hpp"
 #include "flow/stats.hpp"
 #include "selection/selector.hpp"
+#include "soc/fault_injector.hpp"
 #include "debug/report.hpp"
 #include "debug/serialize.hpp"
 #include "soc/vcd.hpp"
@@ -34,6 +44,18 @@ namespace {
 
 using namespace tracesel;
 
+double parse_number(const std::string& text, const char* flag) {
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(text, &consumed);
+    if (consumed != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("invalid numeric value '") + text +
+                             "' for " + flag);
+  }
+}
+
 int usage() {
   std::cerr << "usage:\n"
                "  tracesel inspect <spec.flow>\n"
@@ -41,9 +63,11 @@ int usage() {
                " [--mode maximal|exhaustive|greedy|knapsack] [--no-packing]"
                " [--json]\n"
                "  tracesel dot <spec.flow> <flow-name>\n"
-               "  tracesel lint <spec.flow> [--buffer N]\n"
+               "  tracesel lint <spec.flow> [--buffer N] [--lenient]\n"
                "  tracesel debug <case 1..5> [--no-packing] [--vcd FILE]"
-               " [--report FILE]\n";
+               " [--report FILE] [--json]\n"
+               "                 [--fault-rate R] [--fault-kinds K,...]"
+               " [--fault-seed N] [--retries N]\n";
   return 1;
 }
 
@@ -142,8 +166,19 @@ int cmd_select(const std::string& path, int argc, char** argv) {
   return 0;
 }
 
-int cmd_lint(const std::string& path, std::uint32_t buffer) {
-  const auto spec = flow::parse_flow_spec_file(path);
+int cmd_lint(const std::string& path, std::uint32_t buffer, bool lenient) {
+  flow::ParsedSpec spec;
+  std::size_t parse_errors = 0;
+  if (lenient) {
+    // Lint mode: accumulate every parse error, then lint whatever survived.
+    auto parsed = flow::parse_flow_spec_file_lenient(path);
+    for (const flow::ParseDiagnostic& d : parsed.errors)
+      std::cout << "error: " << d.to_string() << '\n';
+    parse_errors = parsed.errors.size();
+    spec = std::move(parsed.spec);
+  } else {
+    spec = flow::parse_flow_spec_file(path);
+  }
   std::vector<const flow::Flow*> flows;
   for (const flow::Flow& f : spec.flows) flows.push_back(&f);
   flow::LintOptions opt;
@@ -153,12 +188,12 @@ int cmd_lint(const std::string& path, std::uint32_t buffer) {
     std::cout << flow::to_string(d.severity) << ": [" << d.rule << "] "
               << d.subject << ": " << d.text << '\n';
   }
-  std::cout << diagnostics.size() << " diagnostic(s)\n";
+  std::cout << parse_errors + diagnostics.size() << " diagnostic(s)\n";
   const bool warnings = std::any_of(
       diagnostics.begin(), diagnostics.end(), [](const auto& d) {
         return d.severity == flow::LintSeverity::kWarning;
       });
-  return warnings ? 2 : 0;
+  return (parse_errors > 0 || warnings) ? 2 : 0;
 }
 
 int cmd_dot(const std::string& path, const std::string& flow_name) {
@@ -167,8 +202,15 @@ int cmd_dot(const std::string& path, const std::string& flow_name) {
   return 0;
 }
 
-int cmd_debug(int case_id, bool packing, const std::string& vcd_path,
-              const std::string& report_path, bool json) {
+struct DebugCliOptions {
+  bool packing = true;
+  bool json = false;
+  std::string vcd_path, report_path;
+  soc::FaultProfile faults;
+  std::uint32_t retries = 2;
+};
+
+int cmd_debug(int case_id, const DebugCliOptions& cli) {
   const auto cases = soc::standard_case_studies();
   if (case_id < 1 || case_id > static_cast<int>(cases.size())) {
     std::cerr << "case id must be 1.." << cases.size() << '\n';
@@ -176,9 +218,11 @@ int cmd_debug(int case_id, bool packing, const std::string& vcd_path,
   }
   soc::T2Design design;
   debug::CaseStudyOptions opt;
-  opt.packing = packing;
+  opt.packing = cli.packing;
+  opt.faults = cli.faults;
+  opt.capture_retries = cli.retries;
   const auto r = debug::run_case_study(design, cases[case_id - 1], opt);
-  if (json) {
+  if (cli.json) {
     debug::WorkbenchResult wr;
     wr.selection = r.selection;
     wr.golden = r.golden;
@@ -186,6 +230,11 @@ int cmd_debug(int case_id, bool packing, const std::string& vcd_path,
     wr.observation = r.observation;
     wr.report = r.report;
     wr.localization = r.localization;
+    wr.fault_stats = r.fault_stats;
+    wr.capture_attempts = r.capture_attempts;
+    wr.capture_degraded = r.capture_degraded;
+    wr.ranked_causes = r.ranked_causes;
+    wr.robust_localization = r.robust_localization;
     std::cout << debug::to_json(design.catalog(), wr).dump(2) << '\n';
     return 0;
   }
@@ -199,18 +248,33 @@ int cmd_debug(int case_id, bool packing, const std::string& vcd_path,
             << r.report.final_causes.size() << " plausible cause(s))\n";
   for (const auto& c : r.report.final_causes)
     std::cout << "  [" << c.ip << "] " << c.description << '\n';
-  if (!report_path.empty()) {
-    debug::write_report(design, r, report_path);
-    std::cout << "Debug report written to " << report_path << '\n';
+  if (cli.faults.enabled()) {
+    std::cout << "Capture: quality " << util::pct(r.observation.quality())
+              << ", " << r.fault_stats.total_injected()
+              << " fault(s) injected, " << r.capture_attempts
+              << " attempt(s)" << (r.capture_degraded ? ", degraded" : "")
+              << '\n';
+    std::cout << "Ranked causes (confidence-weighted):\n";
+    for (const debug::ScoredCause& sc : r.ranked_causes)
+      std::cout << "  " << util::fixed(sc.score, 3) << "  [" << sc.cause.ip
+                << "] " << sc.cause.description << '\n';
+    std::cout << "Localization confidence: "
+              << util::pct(r.robust_localization.confidence)
+              << (r.robust_localization.degraded ? " (degraded)" : "")
+              << '\n';
   }
-  if (!vcd_path.empty()) {
-    std::ofstream out(vcd_path);
+  if (!cli.report_path.empty()) {
+    debug::write_report(design, r, cli.report_path);
+    std::cout << "Debug report written to " << cli.report_path << '\n';
+  }
+  if (!cli.vcd_path.empty()) {
+    std::ofstream out(cli.vcd_path);
     if (!out) {
-      std::cerr << "cannot write " << vcd_path << '\n';
+      std::cerr << "cannot write " << cli.vcd_path << '\n';
       return 2;
     }
     out << soc::trace_to_vcd(design.catalog(), r.buggy_records);
-    std::cout << "Trace buffer dump written to " << vcd_path << '\n';
+    std::cout << "Trace buffer dump written to " << cli.vcd_path << '\n';
   }
   return 0;
 }
@@ -225,32 +289,61 @@ int main(int argc, char** argv) {
     if (cmd == "select" && argc >= 3)
       return cmd_select(argv[2], argc - 3, argv + 3);
     if (cmd == "dot" && argc == 4) return cmd_dot(argv[2], argv[3]);
-    if (cmd == "lint" && (argc == 3 || argc == 5)) {
+    if (cmd == "lint" && argc >= 3) {
       std::uint32_t buffer = 32;
-      if (argc == 5) {
-        if (std::strcmp(argv[3], "--buffer") != 0) return usage();
-        buffer = static_cast<std::uint32_t>(std::stoul(argv[4]));
-      }
-      return cmd_lint(argv[2], buffer);
-    }
-    if (cmd == "debug" && argc >= 3) {
-      bool packing = true;
-      bool json = false;
-      std::string vcd, report;
+      bool lenient = false;
       for (int i = 3; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--no-packing") == 0) packing = false;
-        else if (std::strcmp(argv[i], "--json") == 0) json = true;
-        else if (std::strcmp(argv[i], "--vcd") == 0 && i + 1 < argc)
-          vcd = argv[++i];
-        else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc)
-          report = argv[++i];
+        if (std::strcmp(argv[i], "--lenient") == 0) lenient = true;
+        else if (std::strcmp(argv[i], "--buffer") == 0 && i + 1 < argc)
+          buffer = static_cast<std::uint32_t>(std::stoul(argv[++i]));
         else
           return usage();
       }
-      return cmd_debug(std::atoi(argv[2]), packing, vcd, report, json);
+      return cmd_lint(argv[2], buffer, lenient);
+    }
+    if (cmd == "debug" && argc >= 3) {
+      DebugCliOptions cli;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--no-packing") == 0) cli.packing = false;
+        else if (std::strcmp(argv[i], "--json") == 0) cli.json = true;
+        else if (std::strcmp(argv[i], "--vcd") == 0 && i + 1 < argc)
+          cli.vcd_path = argv[++i];
+        else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc)
+          cli.report_path = argv[++i];
+        else if (std::strcmp(argv[i], "--fault-rate") == 0 && i + 1 < argc)
+          cli.faults.rate = parse_number(argv[++i], "--fault-rate");
+        else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc)
+          cli.faults.seed =
+              static_cast<std::uint64_t>(parse_number(argv[++i],
+                                                      "--fault-seed"));
+        else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc)
+          cli.retries =
+              static_cast<std::uint32_t>(parse_number(argv[++i],
+                                                      "--retries"));
+        else if (std::strcmp(argv[i], "--fault-kinds") == 0 && i + 1 < argc) {
+          auto kinds = soc::parse_fault_kinds(argv[++i]);
+          if (!kinds.ok()) {
+            std::cerr << "error: " << kinds.error().to_string() << '\n';
+            return 1;
+          }
+          cli.faults.kinds = std::move(kinds).value();
+        } else {
+          return usage();
+        }
+      }
+      if (cli.faults.rate < 0.0 || cli.faults.rate > 1.0) {
+        std::cerr << "error: --fault-rate must be in [0, 1]\n";
+        return 1;
+      }
+      return cmd_debug(std::atoi(argv[2]), cli);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  } catch (...) {
+    // Last-resort guard: an unexpected non-std exception must still exit
+    // with a diagnostic, never terminate().
+    std::cerr << "error: unexpected non-standard exception\n";
     return 2;
   }
   return usage();

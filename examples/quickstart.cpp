@@ -7,20 +7,19 @@
 // number the paper works out by hand (I = 1.073, coverage = 0.7333).
 
 #include <iostream>
+#include <utility>
 
 #include "flow/dot.hpp"
-#include "flow/flow_builder.hpp"
-#include "selection/localization.hpp"
-#include "selection/selector.hpp"
+#include "tracesel/tracesel.hpp"
 
 int main() {
   using namespace tracesel;
 
   // --- 1. Messages and the flow DAG (Fig. 1a) ---
-  flow::MessageCatalog catalog;
-  const auto reqE = catalog.add("ReqE", 1, "IP1", "Dir");
-  const auto gntE = catalog.add("GntE", 1, "Dir", "IP1");
-  const auto ack = catalog.add("Ack", 1, "IP1", "Dir");
+  flow::ParsedSpec spec;
+  const auto reqE = spec.catalog.add("ReqE", 1, "IP1", "Dir");
+  const auto gntE = spec.catalog.add("GntE", 1, "Dir", "IP1");
+  const auto ack = spec.catalog.add("Ack", 1, "IP1", "Dir");
 
   flow::FlowBuilder builder("CacheCoherence");
   builder.state("Init", flow::FlowBuilder::kInitial)
@@ -30,23 +29,27 @@ int main() {
       .transition("Init", reqE, "Wait")
       .transition("Wait", gntE, "GntW")
       .transition("GntW", ack, "Done");
-  const flow::Flow coherence = builder.build(catalog);
+  spec.flows.push_back(builder.build(spec.catalog));
+
+  // The Session owns the spec from here on; everything below goes through
+  // the facade.
+  auto session = Session::from_spec(std::move(spec));
+  const flow::MessageCatalog& catalog = session.catalog();
+  const flow::Flow& coherence = session.spec().flow("CacheCoherence");
   std::cout << "Flow '" << coherence.name() << "': "
             << coherence.num_states() << " states, "
             << coherence.messages().size() << " messages\n";
 
   // --- 2. Interleave two legally indexed instances (Fig. 2) ---
-  const auto u =
-      flow::InterleavedFlow::build(flow::make_instances({&coherence}, 2));
+  session.interleave(2);
+  const flow::InterleavedFlow& u = session.interleaving();
   std::cout << "Interleaved flow: " << u.num_nodes() << " states, "
             << u.num_edges() << " indexed-message occurrences (paper: 15 "
             << "states, 18 occurrences)\n";
 
   // --- 3. Select messages for a 2-bit trace buffer (Sec. 3.1-3.2) ---
-  const selection::MessageSelector selector(catalog, u);
-  selection::SelectorConfig config;
-  config.buffer_width = 2;
-  const auto result = selector.select(config);
+  session.config().buffer_width = 2;
+  const auto result = session.select();
 
   std::cout << "Selected combination:";
   for (const auto m : result.combination.messages)
@@ -61,8 +64,7 @@ int main() {
   // --- 4. Localize an observed trace (Sec. 3.2's example) ---
   const std::vector<flow::IndexedMessage> observed{
       {reqE, 1}, {gntE, 1}, {reqE, 2}};
-  const auto loc =
-      selection::localize(u, result.observable(), observed);
+  const auto loc = session.localize(observed);
   std::cout << "Observing {1:ReqE, 1:GntE, 2:ReqE} leaves "
             << loc.consistent_paths << " of " << loc.total_paths
             << " executions consistent ("

@@ -8,8 +8,7 @@
 #include "baseline/prnet.hpp"
 #include "baseline/sigset.hpp"
 #include "netlist/usb_design.hpp"
-#include "selection/coverage.hpp"
-#include "selection/selector.hpp"
+#include "tracesel/tracesel.hpp"
 
 int main() {
   using namespace tracesel;
@@ -32,9 +31,11 @@ int main() {
   std::cout << "\n\n";
 
   // --- Application-level selection on the rx/tx flows ---
-  const auto u = usb.interleaving(2);
-  const selection::MessageSelector selector(usb.catalog(), u);
-  const auto infogain = selector.select({});
+  // The session borrows usb's catalog, which outlives it here.
+  auto session =
+      tracesel::Session::from_interleaving(usb.catalog(), usb.interleaving(2));
+  const flow::InterleavedFlow& u = session.interleaving();
+  const auto infogain = session.select();
   std::cout << "InfoGain (message selection on UsbRx ||| UsbTx):\n  ";
   for (const auto m : infogain.combination.messages)
     std::cout << usb.catalog().get(m).name << ' ';

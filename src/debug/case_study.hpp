@@ -20,6 +20,10 @@ namespace tracesel::debug {
 struct CaseStudyOptions {
   std::uint32_t buffer_width = 32;  ///< Table 3 assumes 32 bits
   bool packing = true;
+  /// Worker threads for the selection step (SelectorConfig::jobs
+  /// semantics: 1 serial, 0 = hardware threads). Results are identical
+  /// for every value.
+  std::size_t jobs = 1;
   std::uint32_t sessions = 4;   ///< test repetitions per run
   std::uint64_t seed = 2018;
   std::size_t buffer_depth = 1u << 16;
@@ -59,6 +63,9 @@ struct CaseStudyResult {
 };
 
 /// Runs one full case study. Deterministic given the options.
+// deprecated: as an application entry point, prefer
+// tracesel::Session::t2().run_case_study(...) (tracesel/tracesel.hpp);
+// this free function remains the implementation the facade calls.
 CaseStudyResult run_case_study(const soc::T2Design& design,
                                const soc::CaseStudy& case_study,
                                const CaseStudyOptions& options = {});

@@ -24,24 +24,39 @@ MetricStats stats_of(const std::vector<double>& xs) {
 MonteCarloResult evaluate_case_study(const soc::T2Design& design,
                                      const soc::CaseStudy& case_study,
                                      const CaseStudyOptions& base,
-                                     std::size_t runs) {
+                                     std::size_t runs, std::size_t jobs,
+                                     util::ThreadPool* pool) {
   if (runs == 0)
     throw std::invalid_argument("evaluate_case_study: zero runs");
 
   MonteCarloResult result;
   result.runs = runs;
-  std::vector<double> pruned, localization, messages, pairs;
-  for (std::size_t i = 0; i < runs; ++i) {
+  // Trials are embarrassingly parallel: each derives its seed from its
+  // index and writes only its own slots, so the aggregation below sees the
+  // same vectors (in the same order) as a serial run.
+  std::vector<double> pruned(runs), localization(runs), messages(runs),
+      pairs(runs);
+  std::vector<unsigned char> failed(runs, 0);
+  const auto run_one = [&](std::size_t i) {
     CaseStudyOptions opt = base;
     opt.seed = base.seed + i;
     const auto r = run_case_study(design, case_study, opt);
-    if (r.buggy.failed) ++result.failures_detected;
-    pruned.push_back(r.report.pruned_fraction());
-    localization.push_back(r.localization.fraction);
-    messages.push_back(
-        static_cast<double>(r.report.messages_investigated));
-    pairs.push_back(static_cast<double>(r.report.pairs_investigated));
+    failed[i] = r.buggy.failed ? 1 : 0;
+    pruned[i] = r.report.pruned_fraction();
+    localization[i] = r.localization.fraction;
+    messages[i] = static_cast<double>(r.report.messages_investigated);
+    pairs[i] = static_cast<double>(r.report.pairs_investigated);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(0, runs, run_one);
+  } else if (util::ThreadPool::resolve_jobs(jobs) == 1) {
+    for (std::size_t i = 0; i < runs; ++i) run_one(i);
+  } else {
+    util::ThreadPool local(util::ThreadPool::resolve_jobs(jobs));
+    local.parallel_for(0, runs, run_one);
   }
+  for (unsigned char f : failed)
+    if (f) ++result.failures_detected;
   result.pruned_fraction = stats_of(pruned);
   result.localization_fraction = stats_of(localization);
   result.messages_investigated = stats_of(messages);

@@ -7,6 +7,7 @@
 #include <cstddef>
 
 #include "debug/case_study.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tracesel::debug {
 
@@ -26,11 +27,19 @@ struct MonteCarloResult {
   MetricStats pairs_investigated;
 };
 
+// deprecated: as an application entry point, prefer
+// tracesel::Session::t2().monte_carlo(case_id, runs, base) — the facade
+// threads SelectorConfig::jobs and reuses the session worker pool.
 /// Runs the case study `runs` times with seeds base.seed, base.seed+1, ...
-/// and aggregates. Deterministic for fixed inputs.
+/// and aggregates. Each trial derives its RNG stream purely from its trial
+/// index, so the result is deterministic and identical for every `jobs`
+/// value (1 = serial, 0 = one worker per hardware thread). Pass `pool` to
+/// reuse a caller-owned pool (e.g. tracesel::Session's) instead of
+/// spawning one for the call.
 MonteCarloResult evaluate_case_study(const soc::T2Design& design,
                                      const soc::CaseStudy& case_study,
                                      const CaseStudyOptions& base,
-                                     std::size_t runs);
+                                     std::size_t runs, std::size_t jobs = 1,
+                                     util::ThreadPool* pool = nullptr);
 
 }  // namespace tracesel::debug

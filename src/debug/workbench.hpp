@@ -31,6 +31,9 @@ namespace tracesel::debug {
 struct WorkbenchConfig {
   std::uint32_t buffer_width = 32;
   bool packing = true;
+  /// Worker threads for the selection step (SelectorConfig::jobs
+  /// semantics); selection output is identical for every value.
+  std::size_t jobs = 1;
   std::uint32_t instances_per_flow = 2;
   std::uint32_t sessions = 4;
   std::uint64_t seed = 2018;

@@ -1,0 +1,73 @@
+#include "selection/gain_memo.hpp"
+
+#include <algorithm>
+
+namespace tracesel::selection {
+
+GainMemo::GainMemo(std::size_t max_entries)
+    : per_shard_cap_(max_entries / kShards + 1) {}
+
+std::uint64_t GainMemo::hash_key(std::span<const flow::MessageId> sorted) {
+  // FNV-1a over the id bytes; ids are canonical once sorted.
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (flow::MessageId m : sorted) {
+    h ^= static_cast<std::uint64_t>(m);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+std::optional<double> GainMemo::lookup(
+    std::span<const flow::MessageId> sorted) const {
+  const std::uint64_t h = hash_key(sorted);
+  const Shard& s = shard_of(h);
+  std::lock_guard<std::mutex> lk(s.mu);
+  const auto it = s.buckets.find(h);
+  if (it == s.buckets.end()) return std::nullopt;
+  for (const auto& [key, value] : it->second) {
+    if (key.size() == sorted.size() &&
+        std::equal(key.begin(), key.end(), sorted.begin()))
+      return value;
+  }
+  return std::nullopt;
+}
+
+void GainMemo::store(std::span<const flow::MessageId> sorted, double gain) {
+  const std::uint64_t h = hash_key(sorted);
+  Shard& s = shard_of(h);
+  std::lock_guard<std::mutex> lk(s.mu);
+  if (s.entries >= per_shard_cap_) return;
+  auto& bucket = s.buckets[h];
+  for (const auto& [key, value] : bucket) {
+    if (key.size() == sorted.size() &&
+        std::equal(key.begin(), key.end(), sorted.begin()))
+      return;
+  }
+  bucket.emplace_back(
+      std::vector<flow::MessageId>(sorted.begin(), sorted.end()), gain);
+  ++s.entries;
+}
+
+double GainMemo::gain(const InfoGainEngine& engine,
+                      std::span<const flow::MessageId> combination) {
+  std::vector<flow::MessageId> key(combination.begin(), combination.end());
+  std::sort(key.begin(), key.end());
+  if (const auto hit = lookup(key)) return *hit;
+  // Score the caller's original order: info_gain sums per-message terms in
+  // argument order, and packing callers pass unsorted unions — matching
+  // their serial summation order keeps results bit-identical.
+  const double g = engine.info_gain(combination);
+  store(key, g);
+  return g;
+}
+
+std::size_t GainMemo::size() const {
+  std::size_t total = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    total += s.entries;
+  }
+  return total;
+}
+
+}  // namespace tracesel::selection

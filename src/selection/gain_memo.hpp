@@ -1,0 +1,65 @@
+#pragma once
+// Per-combination information-gain memo shared across Step 2 search and
+// Step 3 packing (and across repeated select() calls on one selector).
+// InfoGainEngine::info_gain is a pure function of the message set once the
+// engine is built, so caching is transparent: a hit returns the exact
+// double a recomputation would produce, preserving bit-identical results.
+//
+// Invariants:
+//  - keys are the canonical (sorted, as stored) message-id vectors;
+//  - entries are never updated, only inserted (the value for a key is
+//    unique), so concurrent readers can never observe a torn value;
+//  - the map is sharded by key hash with one mutex per shard, and each
+//    shard stops inserting past its capacity slice — lookups stay O(1)
+//    and memory stays bounded on exhaustive searches.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "selection/info_gain.hpp"
+
+namespace tracesel::selection {
+
+class GainMemo {
+ public:
+  /// `max_entries` bounds the total entry count across all shards.
+  explicit GainMemo(std::size_t max_entries = 1u << 16);
+
+  /// Exact-key lookup; `sorted` must be sorted ascending.
+  std::optional<double> lookup(
+      std::span<const flow::MessageId> sorted) const;
+
+  /// Inserts (no-op when the key is present or the shard is full).
+  void store(std::span<const flow::MessageId> sorted, double gain);
+
+  /// Lookup-or-compute-and-store. `combination` need not be sorted; a
+  /// sorted copy is used as the key. Returns exactly what
+  /// engine.info_gain(combination) would.
+  double gain(const InfoGainEngine& engine,
+              std::span<const flow::MessageId> combination);
+
+  std::size_t size() const;
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, std::vector<std::pair<
+        std::vector<flow::MessageId>, double>>> buckets;
+    std::size_t entries = 0;
+  };
+
+  static std::uint64_t hash_key(std::span<const flow::MessageId> sorted);
+  Shard& shard_of(std::uint64_t h) { return shards_[h % kShards]; }
+  const Shard& shard_of(std::uint64_t h) const { return shards_[h % kShards]; }
+
+  std::size_t per_shard_cap_;
+  Shard shards_[kShards];
+};
+
+}  // namespace tracesel::selection

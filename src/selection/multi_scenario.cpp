@@ -4,12 +4,13 @@
 #include <stdexcept>
 
 #include "selection/coverage.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tracesel::selection {
 
 MultiScenarioSelector::MultiScenarioSelector(
     const flow::MessageCatalog& catalog,
-    std::vector<WeightedScenario> scenarios)
+    std::vector<WeightedScenario> scenarios, std::size_t jobs)
     : catalog_(&catalog), scenarios_(std::move(scenarios)) {
   if (scenarios_.empty())
     throw std::invalid_argument("MultiScenarioSelector: no scenarios");
@@ -19,7 +20,6 @@ MultiScenarioSelector::MultiScenarioSelector(
     if (s.weight <= 0.0)
       throw std::invalid_argument(
           "MultiScenarioSelector: weights must be positive");
-    engines_.emplace_back(*s.interleaving);
     for (const auto& e : s.interleaving->edges()) {
       if (std::find(candidates_.begin(), candidates_.end(),
                     e.label.message) == candidates_.end())
@@ -27,17 +27,41 @@ MultiScenarioSelector::MultiScenarioSelector(
     }
   }
   std::sort(candidates_.begin(), candidates_.end());
+
+  // Each engine depends only on its own interleaving, so construction is
+  // embarrassingly parallel; each worker writes its own slot.
+  engines_.resize(scenarios_.size());
+  const auto build = [this](std::size_t i) {
+    engines_[i] =
+        std::make_unique<InfoGainEngine>(*scenarios_[i].interleaving);
+  };
+  if (util::ThreadPool::resolve_jobs(jobs) == 1) {
+    for (std::size_t i = 0; i < scenarios_.size(); ++i) build(i);
+  } else {
+    util::ThreadPool pool(util::ThreadPool::resolve_jobs(jobs));
+    pool.parallel_for(0, scenarios_.size(), build);
+  }
 }
 
 double MultiScenarioSelector::contribution(flow::MessageId m) const {
   double total = 0.0;
   for (std::size_t i = 0; i < engines_.size(); ++i)
-    total += scenarios_[i].weight * engines_[i].message_contribution(m);
+    total += scenarios_[i].weight * engines_[i]->message_contribution(m);
   return total;
 }
 
-MultiScenarioResult MultiScenarioSelector::select(std::uint32_t buffer_width,
-                                                  bool packing) const {
+MultiScenarioResult MultiScenarioSelector::select(
+    std::uint32_t buffer_width, bool packing) const {
+  SelectorConfig config;
+  config.buffer_width = buffer_width;
+  config.packing = packing;
+  return select(config);
+}
+
+MultiScenarioResult MultiScenarioSelector::select(
+    const SelectorConfig& config) const {
+  const std::uint32_t buffer_width = config.buffer_width;
+  const bool packing = config.packing;
   MultiScenarioResult result;
   result.buffer_width = buffer_width;
 
@@ -117,9 +141,18 @@ MultiScenarioResult MultiScenarioSelector::select(std::uint32_t buffer_width,
   // ---- metrics ----
   for (const flow::MessageId m : observable)
     result.weighted_gain += contribution(m);
-  for (const WeightedScenario& s : scenarios_) {
-    result.per_scenario_coverage.push_back(
-        flow_spec_coverage(*s.interleaving, observable));
+  // Per-scenario coverage is independent across scenarios; each worker
+  // writes its own slot, so the vector is identical for every job count.
+  result.per_scenario_coverage.resize(scenarios_.size());
+  const auto cover = [&](std::size_t i) {
+    result.per_scenario_coverage[i] =
+        flow_spec_coverage(*scenarios_[i].interleaving, observable);
+  };
+  if (util::ThreadPool::resolve_jobs(config.jobs) == 1) {
+    for (std::size_t i = 0; i < scenarios_.size(); ++i) cover(i);
+  } else {
+    util::ThreadPool pool(util::ThreadPool::resolve_jobs(config.jobs));
+    pool.parallel_for(0, scenarios_.size(), cover);
   }
   return result;
 }

@@ -11,11 +11,13 @@
 // additive too, and the exact optimum is again a knapsack.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "selection/combination.hpp"
 #include "selection/info_gain.hpp"
 #include "selection/packing.hpp"
+#include "selection/selector.hpp"
 
 namespace tracesel::selection {
 
@@ -46,12 +48,21 @@ struct MultiScenarioResult {
 
 class MultiScenarioSelector {
  public:
-  /// Scenarios must be non-empty with positive weights.
+  /// Scenarios must be non-empty with positive weights. `jobs` workers
+  /// build the per-scenario InfoGainEngines concurrently (they are
+  /// independent; 1 = serial, 0 = one per hardware thread).
   MultiScenarioSelector(const flow::MessageCatalog& catalog,
-                        std::vector<WeightedScenario> scenarios);
+                        std::vector<WeightedScenario> scenarios,
+                        std::size_t jobs = 1);
 
   /// Exact knapsack over the weighted aggregate gain, then greedy subgroup
-  /// packing with the same objective.
+  /// packing with the same objective. Honours config.buffer_width,
+  /// config.packing and config.jobs (per-scenario coverage is evaluated in
+  /// parallel; results are identical for every job count).
+  MultiScenarioResult select(const SelectorConfig& config) const;
+
+  // deprecated: use select(const SelectorConfig&) — the facade-wide options
+  // struct (see tracesel/tracesel.hpp) — instead of loose knob arguments.
   MultiScenarioResult select(std::uint32_t buffer_width,
                              bool packing = true) const;
 
@@ -65,7 +76,7 @@ class MultiScenarioSelector {
  private:
   const flow::MessageCatalog* catalog_;
   std::vector<WeightedScenario> scenarios_;
-  std::vector<InfoGainEngine> engines_;
+  std::vector<std::unique_ptr<InfoGainEngine>> engines_;
   std::vector<flow::MessageId> candidates_;  ///< union of alphabets
 };
 

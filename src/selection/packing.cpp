@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "selection/gain_memo.hpp"
+
 namespace tracesel::selection {
 
 std::vector<flow::MessageId> observable_messages(
@@ -18,14 +20,19 @@ PackingResult pack_leftover(const flow::MessageCatalog& catalog,
                             const InfoGainEngine& engine,
                             const Combination& base,
                             std::uint32_t buffer_width,
-                            const std::vector<flow::MessageId>& candidates) {
+                            const std::vector<flow::MessageId>& candidates,
+                            GainMemo* memo) {
   if (base.width > buffer_width)
     throw std::invalid_argument("pack_leftover: base exceeds buffer width");
+
+  const auto score = [&](std::span<const flow::MessageId> set) {
+    return memo ? memo->gain(engine, set) : engine.info_gain(set);
+  };
 
   PackingResult result;
   std::uint32_t leftover = buffer_width - base.width;
   std::vector<flow::MessageId> observable = base.messages;
-  double current_gain = engine.info_gain(observable);
+  double current_gain = score(observable);
 
   // Candidate pool: every subgroup of a candidate message whose parent is
   // not yet observable.
@@ -57,7 +64,7 @@ PackingResult pack_leftover(const flow::MessageCatalog& catalog,
     for (const Candidate& c : pool) {
       std::vector<flow::MessageId> trial = observable;
       trial.push_back(c.parent);
-      const double g = engine.info_gain(trial);
+      const double g = score(trial);
       const bool better =
           g > best_gain ||
           (best != nullptr && g == best_gain && c.sg->width < best->sg->width);

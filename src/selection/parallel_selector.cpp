@@ -1,0 +1,183 @@
+#include "selection/parallel_selector.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace tracesel::selection {
+
+namespace {
+
+/// Per-task champion under the serial search's strict total order:
+/// gain descending, then width ascending, then lexicographic messages.
+struct Best {
+  bool valid = false;
+  double gain = -1.0;
+  Combination combo;
+
+  void offer(double g, const std::vector<flow::MessageId>& messages,
+             std::uint32_t width) {
+    const bool better =
+        !valid || g > gain ||
+        (g == gain &&
+         (width < combo.width ||
+          (width == combo.width && messages < combo.messages)));
+    if (better) {
+      valid = true;
+      gain = g;
+      combo.messages = messages;
+      combo.width = width;
+    }
+  }
+
+  void offer(const Best& other) {
+    if (other.valid) offer(other.gain, other.combo.messages, other.combo.width);
+  }
+};
+
+/// One shard of the search space: a fitting prefix of candidate indexes.
+/// `subtree` tasks own every extension past `next`; leaf tasks own exactly
+/// the prefix itself.
+struct Seed {
+  std::vector<std::size_t> prefix;
+  std::uint32_t width = 0;
+  std::size_t next = 0;
+  bool subtree = false;
+};
+
+}  // namespace
+
+ParallelSelector::ParallelSelector(const flow::MessageCatalog& catalog,
+                                   const flow::InterleavedFlow& u)
+    : owned_(std::make_unique<MessageSelector>(catalog, u)),
+      base_(owned_.get()) {}
+
+ParallelSelector::ParallelSelector(const MessageSelector& base)
+    : base_(&base) {}
+
+Combination ParallelSelector::search_sharded(const SelectorConfig& config,
+                                             bool maximal_only,
+                                             util::ThreadPool& pool) const {
+  const auto& candidates = base_->candidates();
+  const auto& catalog = base_->catalog();
+  const InfoGainEngine& engine = base_->engine();
+  const std::size_t n = candidates.size();
+  const std::uint32_t budget = config.buffer_width;
+
+  std::vector<std::uint32_t> widths(n);
+  for (std::size_t i = 0; i < n; ++i)
+    widths[i] = catalog.get(candidates[i]).trace_width();
+
+  // Shard prefix depth: 3 gives ~C(n,3) well-balanced subtrees; drop to 2
+  // for very large alphabets to keep the task count bounded.
+  const std::size_t depth = n <= 40 ? 3 : 2;
+
+  std::vector<Seed> seeds;
+  {
+    std::vector<std::size_t> prefix;
+    std::uint32_t width = 0;
+    auto gen = [&](auto&& self, std::size_t next) -> void {
+      for (std::size_t i = next; i < n; ++i) {
+        if (width + widths[i] > budget) continue;
+        prefix.push_back(i);
+        width += widths[i];
+        const bool subtree = prefix.size() == depth;
+        seeds.push_back(Seed{prefix, width, i + 1, subtree});
+        if (!subtree) self(self, i + 1);
+        width -= widths[i];
+        prefix.pop_back();
+      }
+    };
+    gen(gen, 0);
+  }
+
+  std::vector<Best> results(seeds.size());
+  std::atomic<std::size_t> emitted{0};
+
+  for (std::size_t s = 0; s < seeds.size(); ++s) {
+    pool.submit([&, s] {
+      const Seed& seed = seeds[s];
+      Best best;
+      std::vector<char> in_current(n, 0);
+      std::vector<flow::MessageId> current;
+      current.reserve(n);
+      std::uint32_t width = 0;
+      for (std::size_t i : seed.prefix) {
+        in_current[i] = 1;
+        current.push_back(candidates[i]);
+        width += widths[i];
+      }
+
+      const auto consider = [&] {
+        if (maximal_only) {
+          for (std::size_t i = 0; i < n; ++i) {
+            if (!in_current[i] && width + widths[i] <= budget) return;
+          }
+        }
+        // Same cap semantics as the serial enumerator: only combinations
+        // that pass the maximality filter count, and emission number
+        // max_combinations + 1 throws.
+        if (emitted.fetch_add(1, std::memory_order_relaxed) >=
+            config.max_combinations)
+          throw std::length_error(
+              "enumerate_combinations: result cap exceeded; use "
+              "maximal/greedy enumeration for large message sets");
+        best.offer(engine.info_gain(current), current, width);
+      };
+
+      if (!seed.subtree) {
+        consider();
+      } else {
+        auto walk = [&](auto&& self, std::size_t next) -> void {
+          consider();
+          for (std::size_t i = next; i < n; ++i) {
+            if (width + widths[i] > budget) continue;
+            in_current[i] = 1;
+            current.push_back(candidates[i]);
+            width += widths[i];
+            self(self, i + 1);
+            width -= widths[i];
+            current.pop_back();
+            in_current[i] = 0;
+          }
+        };
+        walk(walk, seed.next);
+      }
+      results[s] = std::move(best);
+    });
+  }
+  pool.wait();
+
+  Best overall;
+  for (const Best& b : results) overall.offer(b);
+  if (!overall.valid)
+    throw std::runtime_error(
+        "MessageSelector: no message fits the trace buffer");
+  return std::move(overall.combo);
+}
+
+SelectionResult ParallelSelector::select(const SelectorConfig& config,
+                                         util::ThreadPool* pool) const {
+  if (config.mode == SearchMode::kGreedy ||
+      config.mode == SearchMode::kKnapsack) {
+    // Greedy ascent and the knapsack DP are sequential by nature (each
+    // step/row depends on the previous) and already near-linear; run them
+    // on the serial path.
+    SelectorConfig serial = config;
+    serial.jobs = 1;
+    return base_->select(serial);
+  }
+
+  std::optional<util::ThreadPool> local;
+  if (pool == nullptr) {
+    local.emplace(util::ThreadPool::resolve_jobs(config.jobs));
+    pool = &*local;
+  }
+  Combination winner = search_sharded(
+      config, /*maximal_only=*/config.mode == SearchMode::kMaximal, *pool);
+  return base_->finalize(std::move(winner), config, &memo_);
+}
+
+}  // namespace tracesel::selection

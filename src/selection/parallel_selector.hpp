@@ -1,0 +1,66 @@
+#pragma once
+// Parallel Step 1/2: partitions the fitting-combination search across a
+// util::ThreadPool and reduces the per-partition winners deterministically.
+//
+// Sharding. Every fitting combination, viewed as a sorted candidate-index
+// sequence, is owned by exactly one task: combinations with fewer than D
+// members are their own (leaf) task, and each fitting D-prefix owns the
+// subtree of all combinations sharing those first D members (D = 3, or 2
+// for very large alphabets to bound the task count). Tasks are submitted
+// largest-first and stream enumeration, maximality filtering and scoring
+// in one pass — nothing is materialized.
+//
+// Determinism. The Step 2 winner is the maximum under the strict total
+// order (gain desc, width asc, messages lex asc) — the same tie-break the
+// serial search applies. Each combination's gain is computed by the same
+// InfoGainEngine call as in the serial path, so per-combination doubles
+// are identical, and taking a maximum under a total order is independent
+// of partitioning: the result is bit-identical to MessageSelector::select
+// for every worker count. The max_combinations cap is enforced with a
+// shared counter over emitted (post-filter) combinations — the same
+// cardinality the serial search counts — so the overflow throw fires iff
+// the serial search would throw.
+//
+// The per-combination gain memo is shared with Step 3 packing and across
+// repeated select() calls on this selector (see gain_memo.hpp).
+
+#include <memory>
+
+#include "selection/gain_memo.hpp"
+#include "selection/selector.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tracesel::selection {
+
+class ParallelSelector {
+ public:
+  /// Owns a MessageSelector built over the interleaving.
+  ParallelSelector(const flow::MessageCatalog& catalog,
+                   const flow::InterleavedFlow& u);
+
+  /// Borrows an existing selector (must outlive this object); reuses its
+  /// already-built InfoGainEngine.
+  explicit ParallelSelector(const MessageSelector& base);
+
+  /// Step 1-3 with config.jobs workers. kExhaustive/kMaximal shard across
+  /// the pool; kGreedy/kKnapsack are inherently sequential (near-linear /
+  /// a row-dependent DP) and delegate to the serial path. Pass `pool` to
+  /// reuse a caller-owned pool (config.jobs is ignored for sizing then);
+  /// otherwise a pool of resolve_jobs(config.jobs) workers is created for
+  /// the call.
+  SelectionResult select(const SelectorConfig& config = {},
+                         util::ThreadPool* pool = nullptr) const;
+
+  const MessageSelector& base() const { return *base_; }
+  GainMemo& memo() const { return memo_; }
+
+ private:
+  Combination search_sharded(const SelectorConfig& config, bool maximal_only,
+                             util::ThreadPool& pool) const;
+
+  std::unique_ptr<MessageSelector> owned_;
+  const MessageSelector* base_;
+  mutable GainMemo memo_;
+};
+
+}  // namespace tracesel::selection

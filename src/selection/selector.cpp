@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "selection/gain_memo.hpp"
+#include "selection/parallel_selector.hpp"
+
 namespace tracesel::selection {
 
 MessageSelector::MessageSelector(const flow::MessageCatalog& catalog,
@@ -132,26 +135,16 @@ Combination MessageSelector::search_knapsack(
   return best;
 }
 
-SelectionResult MessageSelector::select(const SelectorConfig& config) const {
+SelectionResult MessageSelector::finalize(Combination combination,
+                                          const SelectorConfig& config,
+                                          GainMemo* memo) const {
   SelectionResult result;
   result.buffer_width = config.buffer_width;
+  result.combination = std::move(combination);
 
-  switch (config.mode) {
-    case SearchMode::kExhaustive:
-      result.combination = search_exhaustive(config, /*maximal_only=*/false);
-      break;
-    case SearchMode::kMaximal:
-      result.combination = search_exhaustive(config, /*maximal_only=*/true);
-      break;
-    case SearchMode::kGreedy:
-      result.combination = search_greedy(config);
-      break;
-    case SearchMode::kKnapsack:
-      result.combination = search_knapsack(config);
-      break;
-  }
-
-  result.gain_unpacked = engine_.info_gain(result.combination.messages);
+  result.gain_unpacked =
+      memo ? memo->gain(engine_, result.combination.messages)
+           : engine_.info_gain(result.combination.messages);
   result.coverage_unpacked =
       flow_spec_coverage(*u_, result.combination.messages);
   result.used_width = result.combination.width;
@@ -159,7 +152,7 @@ SelectionResult MessageSelector::select(const SelectorConfig& config) const {
   if (config.packing) {
     PackingResult packing =
         pack_leftover(*catalog_, engine_, result.combination,
-                      config.buffer_width, candidates_);
+                      config.buffer_width, candidates_, memo);
     result.packed = std::move(packing.packed);
     result.used_width += packing.width_added;
     result.gain = packing.gain_after;
@@ -168,6 +161,33 @@ SelectionResult MessageSelector::select(const SelectorConfig& config) const {
   }
   result.coverage = flow_spec_coverage(*u_, result.observable());
   return result;
+}
+
+SelectionResult MessageSelector::select(const SelectorConfig& config) const {
+  // The exhaustive/maximal search parallelizes cleanly (the engine is
+  // const after construction); jobs != 1 routes it through the parallel
+  // engine, which produces bit-identical results for every worker count.
+  if (config.jobs != 1 && (config.mode == SearchMode::kExhaustive ||
+                           config.mode == SearchMode::kMaximal)) {
+    return ParallelSelector(*this).select(config);
+  }
+
+  Combination combination;
+  switch (config.mode) {
+    case SearchMode::kExhaustive:
+      combination = search_exhaustive(config, /*maximal_only=*/false);
+      break;
+    case SearchMode::kMaximal:
+      combination = search_exhaustive(config, /*maximal_only=*/true);
+      break;
+    case SearchMode::kGreedy:
+      combination = search_greedy(config);
+      break;
+    case SearchMode::kKnapsack:
+      combination = search_knapsack(config);
+      break;
+  }
+  return finalize(std::move(combination), config, nullptr);
 }
 
 SelectionResult MessageSelector::select_with_flow_constraint(

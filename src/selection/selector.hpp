@@ -13,6 +13,9 @@
 
 namespace tracesel::selection {
 
+class GainMemo;
+class ParallelSelector;
+
 /// How Step 1/2 search the combination space.
 enum class SearchMode {
   /// Score every fitting combination (paper Sec. 3.1-3.2). Exponential.
@@ -30,11 +33,19 @@ enum class SearchMode {
   kKnapsack,
 };
 
+/// The single options struct for the whole selection pipeline. Every entry
+/// point (MessageSelector, ParallelSelector, MultiScenarioSelector,
+/// tracesel::Session, the CLI and the benches) takes its knobs from here.
 struct SelectorConfig {
   std::uint32_t buffer_width = 32;  ///< bits, Table 3 uses 32
   bool packing = true;              ///< run Step 3
   SearchMode mode = SearchMode::kMaximal;
   std::size_t max_combinations = 1u << 22;
+  /// Worker threads for the Step 1/2 search (and the other hot loops that
+  /// honour this config): 1 = the classic serial path, 0 = one worker per
+  /// hardware thread, N = exactly N workers. Results are bit-identical to
+  /// the serial path for every value.
+  std::size_t jobs = 1;
 };
 
 /// The full outcome of a selection run, carrying both the packed and
@@ -84,11 +95,20 @@ class MessageSelector {
       const SelectorConfig& config = {}) const;
 
   const InfoGainEngine& engine() const { return engine_; }
+  const flow::MessageCatalog& catalog() const { return *catalog_; }
   const std::vector<flow::MessageId>& candidates() const {
     return candidates_;
   }
 
  private:
+  friend class ParallelSelector;
+
+  /// Shared Step 2 epilogue: metrics + Step 3 packing over a winner.
+  /// `memo` (optional) caches per-combination gains across steps.
+  SelectionResult finalize(Combination combination,
+                           const SelectorConfig& config,
+                           GainMemo* memo) const;
+
   Combination search_exhaustive(const SelectorConfig& config,
                                 bool maximal_only) const;
   Combination search_greedy(const SelectorConfig& config) const;

@@ -1,0 +1,181 @@
+#include "tracesel/session.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "flow/indexed_flow.hpp"
+#include "soc/scenario.hpp"
+
+namespace tracesel {
+
+Session Session::from_spec(flow::ParsedSpec spec) {
+  Session s;
+  s.spec_ = std::make_unique<flow::ParsedSpec>(std::move(spec));
+  s.catalog_ = &s.spec_->catalog;
+  return s;
+}
+
+Session Session::from_spec_file(const std::string& path) {
+  return from_spec(flow::parse_flow_spec_file(path));
+}
+
+Session Session::from_spec_text(std::string_view text) {
+  return from_spec(flow::parse_flow_spec(text));
+}
+
+Session Session::from_interleaving(const flow::MessageCatalog& catalog,
+                                   flow::InterleavedFlow u) {
+  Session s;
+  s.catalog_ = &catalog;
+  s.u_ = std::make_unique<flow::InterleavedFlow>(std::move(u));
+  return s;
+}
+
+Session Session::t2() {
+  Session s;
+  s.t2_ = std::make_unique<soc::T2Design>();
+  s.catalog_ = &s.t2_->catalog();
+  return s;
+}
+
+Session& Session::configure(const selection::SelectorConfig& config) {
+  config_ = config;
+  return *this;
+}
+
+Session& Session::jobs(std::size_t n) {
+  config_.jobs = n;
+  return *this;
+}
+
+Session& Session::interleave(std::uint32_t instances) {
+  if (!spec_)
+    throw std::logic_error(
+        "Session::interleave: no spec loaded (use scenario() for t2 "
+        "sessions)");
+  std::vector<const flow::Flow*> flows;
+  for (const flow::Flow& f : spec_->flows) flows.push_back(&f);
+  u_ = std::make_unique<flow::InterleavedFlow>(
+      flow::InterleavedFlow::build(flow::make_instances(flows, instances)));
+  invalidate_selector();
+  return *this;
+}
+
+Session& Session::scenario(int id) {
+  if (!t2_)
+    throw std::logic_error("Session::scenario: not a t2 session");
+  u_ = std::make_unique<flow::InterleavedFlow>(
+      soc::build_interleaving(*t2_, soc::scenario_by_id(id)));
+  invalidate_selector();
+  return *this;
+}
+
+void Session::invalidate_selector() {
+  selector_.reset();
+  parallel_.reset();
+  last_selection_.reset();
+}
+
+util::ThreadPool* Session::pool() {
+  const std::size_t workers = util::ThreadPool::resolve_jobs(config_.jobs);
+  if (workers <= 1) return nullptr;
+  if (!pool_ || pool_workers_ != workers) {
+    pool_ = std::make_unique<util::ThreadPool>(workers);
+    pool_workers_ = workers;
+  }
+  return pool_.get();
+}
+
+selection::SelectionResult Session::select_impl(bool flow_constraint) {
+  if (!u_) {
+    // Spec sessions default to the paper's two legally indexed instances.
+    if (spec_) interleave(2);
+    else
+      throw std::logic_error(
+          "Session::select: no interleaving (call scenario()/interleave() "
+          "first)");
+  }
+  if (!selector_)
+    selector_ =
+        std::make_unique<selection::MessageSelector>(*catalog_, *u_);
+
+  selection::SelectionResult result;
+  if (flow_constraint) {
+    // The repair loop is a short serial epilogue; its inner select() call
+    // honours config_.jobs by itself.
+    result = selector_->select_with_flow_constraint(config_);
+  } else if (util::ThreadPool* p = pool()) {
+    if (!parallel_)
+      parallel_ = std::make_unique<selection::ParallelSelector>(*selector_);
+    result = parallel_->select(config_, p);
+  } else {
+    selection::SelectorConfig serial = config_;
+    serial.jobs = 1;
+    result = selector_->select(serial);
+  }
+  last_selection_ = result;
+  return result;
+}
+
+selection::SelectionResult Session::select() { return select_impl(false); }
+
+selection::SelectionResult Session::select_with_flow_constraint() {
+  return select_impl(true);
+}
+
+selection::LocalizationResult Session::localize(
+    std::span<const flow::IndexedMessage> observed) const {
+  if (!u_ || !last_selection_)
+    throw std::logic_error("Session::localize: run select() first");
+  return selection::localize(*u_, last_selection_->observable(),
+                             std::vector<flow::IndexedMessage>(
+                                 observed.begin(), observed.end()));
+}
+
+debug::CaseStudyResult Session::run_case_study(
+    int case_id, debug::CaseStudyOptions options) {
+  if (!t2_)
+    throw std::logic_error("Session::run_case_study: not a t2 session");
+  const auto cases = soc::standard_case_studies();
+  if (case_id < 1 || case_id > static_cast<int>(cases.size()))
+    throw std::out_of_range("Session::run_case_study: case id out of range");
+  options.jobs = config_.jobs;
+  return debug::run_case_study(*t2_, cases[case_id - 1], options);
+}
+
+debug::MonteCarloResult Session::monte_carlo(int case_id, std::size_t runs,
+                                             debug::CaseStudyOptions base) {
+  if (!t2_)
+    throw std::logic_error("Session::monte_carlo: not a t2 session");
+  const auto cases = soc::standard_case_studies();
+  if (case_id < 1 || case_id > static_cast<int>(cases.size()))
+    throw std::out_of_range("Session::monte_carlo: case id out of range");
+  // Parallelism is applied across trials, not inside each trial's
+  // selection step — nesting pools would oversubscribe the machine.
+  return debug::evaluate_case_study(*t2_, cases[case_id - 1], base, runs,
+                                    config_.jobs, pool());
+}
+
+const flow::MessageCatalog& Session::catalog() const {
+  if (!catalog_) throw std::logic_error("Session: no catalog");
+  return *catalog_;
+}
+
+const flow::ParsedSpec& Session::spec() const {
+  if (!spec_) throw std::logic_error("Session: not a spec session");
+  return *spec_;
+}
+
+const flow::InterleavedFlow& Session::interleaving() const {
+  if (!u_)
+    throw std::logic_error(
+        "Session: no interleaving (call interleave()/scenario())");
+  return *u_;
+}
+
+const soc::T2Design& Session::design() const {
+  if (!t2_) throw std::logic_error("Session: not a t2 session");
+  return *t2_;
+}
+
+}  // namespace tracesel

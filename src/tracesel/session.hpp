@@ -1,0 +1,128 @@
+#pragma once
+// tracesel::Session — the facade over the whole pipeline:
+//
+//     load spec  ->  interleave  ->  select  ->  debug
+//
+// Before the facade every caller (CLI, examples, benches) hand-wired
+// parser -> InterleavedFlow::build -> MessageSelector -> case-study
+// driver, which left no single surface to thread a concurrency knob
+// through. A Session owns the spec, the interleaving, the (parallel)
+// selector and the worker pool, and takes every option from one
+// selection::SelectorConfig — SelectorConfig::jobs sizes the pool shared
+// by selection and the Monte-Carlo debug trials.
+//
+//   auto session = tracesel::Session::from_spec_file("soc.flow");
+//   session.config().jobs = 8;
+//   session.interleave(2);
+//   auto result = session.select();
+//
+// Three construction modes:
+//   - from_spec_file / from_spec_text / from_spec: a parsed .flow spec the
+//     session owns; interleave() products come from its flows.
+//   - from_interleaving: an externally built interleaving plus its catalog
+//     (e.g. netlist::UsbDesign) — the catalog must outlive the session.
+//   - t2(): the built-in OpenSPARC T2 uncore; scenario(id) builds the
+//     interleaving and run_case_study()/monte_carlo() drive the debug leg.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "debug/case_study.hpp"
+#include "debug/monte_carlo.hpp"
+#include "flow/interleaved_flow.hpp"
+#include "flow/parser.hpp"
+#include "selection/localization.hpp"
+#include "selection/parallel_selector.hpp"
+#include "selection/selector.hpp"
+#include "soc/t2_design.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tracesel {
+
+class Session {
+ public:
+  // --- construction ---
+  static Session from_spec_file(const std::string& path);
+  static Session from_spec_text(std::string_view text);
+  static Session from_spec(flow::ParsedSpec spec);
+  /// Adopts an externally built interleaving. `catalog` is borrowed and
+  /// must outlive the session.
+  static Session from_interleaving(const flow::MessageCatalog& catalog,
+                                   flow::InterleavedFlow u);
+  /// A session over the built-in OpenSPARC T2 uncore (debug leg enabled).
+  static Session t2();
+
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+
+  // --- configuration (one options struct for the whole pipeline) ---
+  Session& configure(const selection::SelectorConfig& config);
+  selection::SelectorConfig& config() { return config_; }
+  const selection::SelectorConfig& config() const { return config_; }
+  /// Shorthand for config().jobs = n.
+  Session& jobs(std::size_t n);
+
+  // --- pipeline ---
+  /// Builds the interleaving of all spec flows with `instances` legally
+  /// indexed instances each (spec sessions only).
+  Session& interleave(std::uint32_t instances = 2);
+  /// Builds the interleaving of a built-in T2 scenario (t2 sessions only).
+  Session& scenario(int id);
+
+  /// Step 1-3 over the current interleaving, honouring config() including
+  /// jobs. Caches the result for localize().
+  selection::SelectionResult select();
+  /// select() plus the every-flow-represented repair
+  /// (MessageSelector::select_with_flow_constraint).
+  selection::SelectionResult select_with_flow_constraint();
+  /// Localization of an observed projection against the last select()
+  /// result's observable set.
+  selection::LocalizationResult localize(
+      std::span<const flow::IndexedMessage> observed) const;
+
+  // --- debug leg (t2 sessions) ---
+  /// Runs one built-in case study (1-based id). config().jobs is threaded
+  /// into the selection step.
+  debug::CaseStudyResult run_case_study(int case_id,
+                                        debug::CaseStudyOptions options = {});
+  /// Monte-Carlo repetition of a case study across seeds; trials run on
+  /// the session pool (config().jobs workers).
+  debug::MonteCarloResult monte_carlo(int case_id, std::size_t runs,
+                                      debug::CaseStudyOptions base = {});
+
+  // --- introspection ---
+  const flow::MessageCatalog& catalog() const;
+  const flow::ParsedSpec& spec() const;
+  const flow::InterleavedFlow& interleaving() const;
+  const soc::T2Design& design() const;
+  bool has_interleaving() const { return u_ != nullptr; }
+  const std::optional<selection::SelectionResult>& last_selection() const {
+    return last_selection_;
+  }
+
+ private:
+  Session() = default;
+
+  /// The session pool, sized to config().jobs; nullptr when serial.
+  util::ThreadPool* pool();
+  void invalidate_selector();
+  selection::SelectionResult select_impl(bool flow_constraint);
+
+  selection::SelectorConfig config_;
+  std::unique_ptr<flow::ParsedSpec> spec_;      // spec sessions
+  std::unique_ptr<soc::T2Design> t2_;           // t2 sessions
+  const flow::MessageCatalog* catalog_ = nullptr;
+  std::unique_ptr<flow::InterleavedFlow> u_;
+  std::unique_ptr<selection::MessageSelector> selector_;
+  std::unique_ptr<selection::ParallelSelector> parallel_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::size_t pool_workers_ = 0;
+  std::optional<selection::SelectionResult> last_selection_;
+};
+
+}  // namespace tracesel

@@ -1,0 +1,46 @@
+#pragma once
+// Umbrella header: the public API of the tracesel library in one include.
+//
+//   #include "tracesel/tracesel.hpp"
+//
+//   auto session = tracesel::Session::from_spec_file("soc.flow");
+//   session.config().jobs = 8;          // pool width for every hot loop
+//   auto result = session.interleave(2).select();
+//
+// tracesel::Session (session.hpp) is the intended entry point; the layer
+// headers below remain public for callers that need one building block
+// (e.g. a custom flow built with flow::FlowBuilder, or the gate-level
+// baselines, which stay in baseline/ and netlist/).
+
+// Flow layer: messages, flow DAGs, interleavings, the .flow parser.
+#include "flow/flow.hpp"
+#include "flow/flow_builder.hpp"
+#include "flow/interleaved_flow.hpp"
+#include "flow/lint.hpp"
+#include "flow/message.hpp"
+#include "flow/parser.hpp"
+#include "flow/stats.hpp"
+
+// Selection layer: Steps 1-3, parallel engine, multi-scenario planning.
+#include "selection/combination.hpp"
+#include "selection/coverage.hpp"
+#include "selection/gain_memo.hpp"
+#include "selection/info_gain.hpp"
+#include "selection/localization.hpp"
+#include "selection/multi_scenario.hpp"
+#include "selection/packing.hpp"
+#include "selection/parallel_selector.hpp"
+#include "selection/selector.hpp"
+
+// SoC + debug layer: the T2 uncore, simulation, capture, case studies.
+#include "debug/case_study.hpp"
+#include "debug/monte_carlo.hpp"
+#include "debug/workbench.hpp"
+#include "soc/scenario.hpp"
+#include "soc/t2_design.hpp"
+
+// Utilities callers commonly need alongside the facade.
+#include "util/thread_pool.hpp"
+
+// The facade itself.
+#include "tracesel/session.hpp"

@@ -1,0 +1,74 @@
+#include "util/thread_pool.hpp"
+
+#include <stdexcept>
+
+namespace tracesel::util {
+
+std::size_t ThreadPool::resolve_jobs(std::size_t jobs) {
+  if (jobs != 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  const std::size_t n = resolve_jobs(workers);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_)
+      throw std::runtime_error("ThreadPool::submit: pool is shut down");
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      task_ready_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) all_idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::wait() {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    all_idle_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace tracesel::util

@@ -1,0 +1,105 @@
+#pragma once
+// Fixed-size worker pool behind every parallel hot loop in the library
+// (Step 1/2 combination search, Monte-Carlo debug trials, multi-scenario
+// selection). Design constraints, in order:
+//
+//  1. Determinism. parallel_reduce combines chunk results in chunk-index
+//     order on the calling thread, so a reduction over floating-point
+//     values is bit-identical to the same chunking run serially,
+//     regardless of worker count or scheduling.
+//  2. Exception transparency. The first exception thrown by any task is
+//     captured and rethrown from wait() on the calling thread; the pool
+//     stays usable afterwards.
+//  3. No global state. Callers own their pools; SelectorConfig::jobs
+//     decides the width (0 = one worker per hardware thread).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace tracesel::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads; 0 means resolve_jobs(0) = one per hardware
+  /// thread (at least one).
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Maps a SelectorConfig::jobs value to a worker count: 0 = one per
+  /// hardware thread (minimum 1), anything else is taken literally.
+  static std::size_t resolve_jobs(std::size_t jobs);
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues one task. Tasks may not touch the pool except via submit().
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception any of them raised (if any). The pool remains usable.
+  void wait();
+
+  /// Runs body(i) for every i in [begin, end), `grain` indices per task.
+  /// body is shared across workers and must be safe to invoke concurrently
+  /// for distinct indices. Blocks until done; rethrows the first exception.
+  template <typename Body>
+  void parallel_for(std::size_t begin, std::size_t end, Body&& body,
+                    std::size_t grain = 1) {
+    if (end <= begin) return;
+    if (grain == 0) grain = 1;
+    for (std::size_t b = begin; b < end; b += grain) {
+      const std::size_t e = b + grain < end ? b + grain : end;
+      submit([&body, b, e] {
+        for (std::size_t i = b; i < e; ++i) body(i);
+      });
+    }
+    wait();
+  }
+
+  /// Deterministic ordered reduction: chunk_fn(b, e) maps each chunk
+  /// [b, e) to a partial value; partials are combined with
+  /// combine(acc, partial) in ascending chunk order on the calling thread.
+  /// For a fixed (range, grain) the result is bit-identical no matter how
+  /// many workers the pool has.
+  template <typename T, typename ChunkFn, typename CombineFn>
+  T parallel_reduce(std::size_t begin, std::size_t end, std::size_t grain,
+                    T identity, ChunkFn&& chunk_fn, CombineFn&& combine) {
+    if (end <= begin) return identity;
+    if (grain == 0) grain = 1;
+    const std::size_t chunks = (end - begin + grain - 1) / grain;
+    std::vector<T> partial(chunks, identity);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t b = begin + c * grain;
+      const std::size_t e = b + grain < end ? b + grain : end;
+      submit([&chunk_fn, &partial, b, e, c] { partial[c] = chunk_fn(b, e); });
+    }
+    wait();
+    T acc = std::move(identity);
+    for (std::size_t c = 0; c < chunks; ++c)
+      acc = combine(std::move(acc), std::move(partial[c]));
+    return acc;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace tracesel::util

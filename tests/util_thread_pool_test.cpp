@@ -1,0 +1,121 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace tracesel::util {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTaskOnce) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, MoreTasksThanWorkers) {
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> sum{0};
+  for (std::uint64_t i = 1; i <= 1000; ++i)
+    pool.submit([&sum, i] { sum.fetch_add(i); });
+  pool.wait();
+  EXPECT_EQ(sum.load(), 1000u * 1001u / 2u);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesFromWait) {
+  ThreadPool pool(3);
+  for (int i = 0; i < 8; ++i)
+    pool.submit([i] {
+      if (i == 5) throw std::runtime_error("task 5 failed");
+    });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::logic_error("boom"); });
+  EXPECT_THROW(pool.wait(), std::logic_error);
+
+  // A failed batch must not poison the next one.
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i)
+    pool.submit([&counter] { counter.fetch_add(1); });
+  EXPECT_NO_THROW(pool.wait());
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  pool.parallel_for(5, 5, [&counter](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 0);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(0, hits.size(),
+                    [&hits](std::size_t i) { hits[i].fetch_add(1); }, 3);
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 64,
+                                 [](std::size_t i) {
+                                   if (i == 17)
+                                     throw std::out_of_range("bad index");
+                                 }),
+               std::out_of_range);
+}
+
+TEST(ThreadPoolTest, ParallelReduceIsDeterministic) {
+  // Chunk results are combined in chunk order on the calling thread, so a
+  // non-commutative combine (string concatenation) must come out ordered.
+  ThreadPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    const std::string digits = pool.parallel_reduce(
+        std::size_t{0}, std::size_t{10}, /*grain=*/2, std::string{},
+        [](std::size_t b, std::size_t e) {
+          std::string s;
+          for (std::size_t i = b; i < e; ++i) s += static_cast<char>('0' + i);
+          return s;
+        },
+        [](std::string a, std::string b) { return a + b; });
+    EXPECT_EQ(digits, "0123456789");
+  }
+}
+
+TEST(ThreadPoolTest, ParallelReduceSum) {
+  ThreadPool pool(3);
+  const std::uint64_t total = pool.parallel_reduce(
+      std::size_t{1}, std::size_t{1001}, /*grain=*/7, std::uint64_t{0},
+      [](std::size_t b, std::size_t e) {
+        std::uint64_t s = 0;
+        for (std::size_t i = b; i < e; ++i) s += i;
+        return s;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(total, 1000u * 1001u / 2u);
+}
+
+TEST(ThreadPoolTest, ResolveJobs) {
+  EXPECT_EQ(ThreadPool::resolve_jobs(1), 1u);
+  EXPECT_EQ(ThreadPool::resolve_jobs(7), 7u);
+  EXPECT_GE(ThreadPool::resolve_jobs(0), 1u);  // hardware concurrency, >= 1
+}
+
+TEST(ThreadPoolTest, SizeReportsWorkerCount) {
+  ThreadPool pool(5);
+  EXPECT_EQ(pool.size(), 5u);
+}
+
+}  // namespace
+}  // namespace tracesel::util

@@ -6,13 +6,14 @@
 //       --instances K    indexed instances per flow   (default 2)
 //       --mode M         maximal|exhaustive|greedy|knapsack
 //       --no-packing     disable Step 3
+//       --jobs N         worker threads (1 serial, 0 = all cores)
 //       --json           machine-readable output
 //   tracesel dot <spec.flow> <flow-name>             Graphviz of one flow
 //   tracesel lint <spec.flow> [--buffer N] [--lenient]
 //       --lenient        accumulate parse errors instead of stopping at
 //                        the first, then lint whatever parsed cleanly
 //   tracesel debug <case 1..5> [--no-packing] [--vcd FILE]
-//                  [--report FILE] [--json]          run a T2 case study
+//                  [--report FILE] [--json] [--jobs N]  run a T2 case study
 //       --fault-rate R   inject capture faults with probability R (0..1)
 //       --fault-kinds K  csv of drop,corrupt,duplicate,reorder,truncate,
 //                        overflow                      (default: all)
@@ -28,15 +29,12 @@
 #include <fstream>
 #include <iostream>
 
-#include "debug/case_study.hpp"
-#include "flow/dot.hpp"
-#include "flow/lint.hpp"
-#include "flow/parser.hpp"
-#include "flow/stats.hpp"
-#include "selection/selector.hpp"
-#include "soc/fault_injector.hpp"
+#include "tracesel/tracesel.hpp"
+
 #include "debug/report.hpp"
 #include "debug/serialize.hpp"
+#include "flow/dot.hpp"
+#include "soc/fault_injector.hpp"
 #include "soc/vcd.hpp"
 #include "util/table.hpp"
 
@@ -61,22 +59,14 @@ int usage() {
                "  tracesel inspect <spec.flow>\n"
                "  tracesel select <spec.flow> [--buffer N] [--instances K]"
                " [--mode maximal|exhaustive|greedy|knapsack] [--no-packing]"
-               " [--json]\n"
+               " [--jobs N] [--json]\n"
                "  tracesel dot <spec.flow> <flow-name>\n"
                "  tracesel lint <spec.flow> [--buffer N] [--lenient]\n"
                "  tracesel debug <case 1..5> [--no-packing] [--vcd FILE]"
-               " [--report FILE] [--json]\n"
+               " [--report FILE] [--json] [--jobs N]\n"
                "                 [--fault-rate R] [--fault-kinds K,...]"
                " [--fault-seed N] [--retries N]\n";
   return 1;
-}
-
-flow::InterleavedFlow interleave_all(const flow::ParsedSpec& spec,
-                                     std::uint32_t instances) {
-  std::vector<const flow::Flow*> flows;
-  for (const flow::Flow& f : spec.flows) flows.push_back(&f);
-  return flow::InterleavedFlow::build(
-      flow::make_instances(flows, instances));
 }
 
 int cmd_inspect(const std::string& path) {
@@ -126,6 +116,7 @@ int cmd_select(const std::string& path, int argc, char** argv) {
     if (arg == "--buffer") cfg.buffer_width = std::stoul(next());
     else if (arg == "--instances") instances = std::stoul(next());
     else if (arg == "--no-packing") cfg.packing = false;
+    else if (arg == "--jobs") cfg.jobs = std::stoul(next());
     else if (arg == "--json") json = true;
     else if (arg == "--mode") {
       const std::string m = next();
@@ -139,24 +130,25 @@ int cmd_select(const std::string& path, int argc, char** argv) {
     }
   }
 
-  const auto spec = flow::parse_flow_spec_file(path);
-  const auto u = interleave_all(spec, instances);
-  const selection::MessageSelector selector(spec.catalog, u);
-  const auto r = selector.select(cfg);
+  auto session = Session::from_spec_file(path);
+  session.configure(cfg).interleave(instances);
+  const auto r = session.select();
+  const flow::MessageCatalog& catalog = session.catalog();
   if (json) {
-    std::cout << selection::to_json(spec.catalog, r).dump(2) << '\n';
+    std::cout << selection::to_json(catalog, r).dump(2) << '\n';
     return 0;
   }
+  const flow::InterleavedFlow& u = session.interleaving();
   std::cout << "Interleaving: " << u.num_nodes() << " states, "
             << u.num_edges() << " message occurrences\n";
 
   util::Table table({"Field", "Width", "Kind"});
   for (const auto m : r.combination.messages)
-    table.add_row({spec.catalog.get(m).name,
-                   std::to_string(spec.catalog.get(m).trace_width()),
+    table.add_row({catalog.get(m).name,
+                   std::to_string(catalog.get(m).trace_width()),
                    "message"});
   for (const auto& pg : r.packed)
-    table.add_row({spec.catalog.get(pg.parent).name + '.' + pg.subgroup_name,
+    table.add_row({catalog.get(pg.parent).name + '.' + pg.subgroup_name,
                    std::to_string(pg.width), "packed subgroup"});
   std::cout << table;
   std::cout << "gain=" << util::fixed(r.gain, 4)
@@ -208,6 +200,7 @@ struct DebugCliOptions {
   std::string vcd_path, report_path;
   soc::FaultProfile faults;
   std::uint32_t retries = 2;
+  std::size_t jobs = 1;
 };
 
 int cmd_debug(int case_id, const DebugCliOptions& cli) {
@@ -216,12 +209,14 @@ int cmd_debug(int case_id, const DebugCliOptions& cli) {
     std::cerr << "case id must be 1.." << cases.size() << '\n';
     return 1;
   }
-  soc::T2Design design;
+  auto session = Session::t2();
+  session.jobs(cli.jobs);
+  const soc::T2Design& design = session.design();
   debug::CaseStudyOptions opt;
   opt.packing = cli.packing;
   opt.faults = cli.faults;
   opt.capture_retries = cli.retries;
-  const auto r = debug::run_case_study(design, cases[case_id - 1], opt);
+  const auto r = session.run_case_study(case_id, opt);
   if (cli.json) {
     debug::WorkbenchResult wr;
     wr.selection = r.selection;
@@ -320,6 +315,9 @@ int main(int argc, char** argv) {
           cli.retries =
               static_cast<std::uint32_t>(parse_number(argv[++i],
                                                       "--retries"));
+        else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+          cli.jobs =
+              static_cast<std::size_t>(parse_number(argv[++i], "--jobs"));
         else if (std::strcmp(argv[i], "--fault-kinds") == 0 && i + 1 < argc) {
           auto kinds = soc::parse_fault_kinds(argv[++i]);
           if (!kinds.ok()) {

@@ -21,12 +21,21 @@ using namespace tracesel;
 void BM_InterleavingBuild(benchmark::State& state) {
   soc::T2Design design;
   const auto scenario = soc::scenario_by_id(static_cast<int>(state.range(0)));
+  flow::InterleaveOptions opt;
+  opt.symmetry_reduction = state.range(1) != 0;
+  std::size_t nodes = 0, edges = 0;
   for (auto _ : state) {
-    auto u = soc::build_interleaving(design, scenario);
-    benchmark::DoNotOptimize(u.num_nodes());
+    auto u = soc::build_interleaving(design, scenario, opt);
+    nodes = u.num_nodes();
+    edges = u.num_edges();
+    benchmark::DoNotOptimize(nodes);
   }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["edges"] = static_cast<double>(edges);
 }
-BENCHMARK(BM_InterleavingBuild)->Arg(1)->Arg(2)->Arg(3);
+BENCHMARK(BM_InterleavingBuild)
+    ->ArgsProduct({{1, 2, 3}, {0, 1}})
+    ->ArgNames({"scenario", "reduced"});
 
 void BM_InfoGainEngineBuild(benchmark::State& state) {
   soc::T2Design design;

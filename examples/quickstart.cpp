@@ -43,9 +43,10 @@ int main() {
   // --- 2. Interleave two legally indexed instances (Fig. 2) ---
   session.interleave(2);
   const flow::InterleavedFlow& u = session.interleaving();
-  std::cout << "Interleaved flow: " << u.num_nodes() << " states, "
-            << u.num_edges() << " indexed-message occurrences (paper: 15 "
-            << "states, 18 occurrences)\n";
+  std::cout << "Interleaved flow: " << u.num_product_states() << " states, "
+            << u.num_product_edges() << " indexed-message occurrences (paper: "
+            << "15 states, 18 occurrences; materialized as " << u.num_nodes()
+            << " symmetry-reduced orbit nodes)\n";
 
   // --- 3. Select messages for a 2-bit trace buffer (Sec. 3.1-3.2) ---
   session.config().buffer_width = 2;

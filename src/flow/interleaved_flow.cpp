@@ -1,8 +1,9 @@
 #include "flow/interleaved_flow.hpp"
 
 #include <algorithm>
+#include <map>
 #include <optional>
-#include <queue>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -10,17 +11,22 @@ namespace tracesel::flow {
 
 namespace {
 
-/// FNV-1a over the component-state tuple.
-struct KeyHash {
-  std::size_t operator()(const std::vector<StateId>& key) const noexcept {
-    std::size_t h = 1469598103934665603ull;
-    for (StateId s : key) {
-      h ^= s;
-      h *= 1099511628211ull;
-    }
-    return h;
-  }
-};
+// Orbit weights need n_g! for every same-flow group; 20! is the largest
+// factorial representable in 64 bits.
+constexpr std::uint32_t kMaxGroupSize = 20;
+
+std::uint64_t factorial(std::uint32_t n) {
+  std::uint64_t f = 1;
+  for (std::uint32_t i = 2; i <= n; ++i) f *= i;
+  return f;
+}
+
+std::uint64_t checked_u64(unsigned __int128 v, const char* what) {
+  if (v > static_cast<unsigned __int128>(~std::uint64_t{0}))
+    throw std::overflow_error(std::string("InterleavedFlow: ") + what +
+                              " exceeds 64 bits");
+  return static_cast<std::uint64_t>(v);
+}
 
 }  // namespace
 
@@ -41,6 +47,13 @@ std::vector<IndexedFlow> make_instances(const std::vector<const Flow*>& flows,
 
 InterleavedFlow InterleavedFlow::build(std::vector<IndexedFlow> instances,
                                        std::size_t max_nodes) {
+  InterleaveOptions options;
+  options.max_nodes = max_nodes;
+  return build(std::move(instances), options);
+}
+
+InterleavedFlow InterleavedFlow::build(std::vector<IndexedFlow> instances,
+                                       const InterleaveOptions& options) {
   if (instances.empty())
     throw std::invalid_argument("InterleavedFlow: no instances");
   for (const IndexedFlow& inst : instances) {
@@ -60,110 +73,238 @@ InterleavedFlow InterleavedFlow::build(std::vector<IndexedFlow> instances,
 
   InterleavedFlow u;
   u.instances_ = std::move(instances);
-  const std::size_t k = u.instances_.size();
+  u.options_ = options;
+  u.reduced_ = options.symmetry_reduction;
+  u.groups_ = group_instances(u.instances_);
+  u.group_of_.resize(u.instances_.size());
+  for (std::uint32_t g = 0; g < u.groups_.size(); ++g) {
+    if (u.reduced_ && u.groups_[g].positions.size() > kMaxGroupSize)
+      throw std::invalid_argument(
+          "InterleavedFlow: more than 20 instances of flow '" +
+          u.groups_[g].flow->name() +
+          "' — orbit weights would overflow; disable symmetry_reduction");
+    for (std::uint32_t p : u.groups_[g].positions) u.group_of_[p] = g;
+  }
 
-  std::unordered_map<std::vector<StateId>, NodeId, KeyHash> ids;
-  auto intern = [&](const std::vector<StateId>& key) -> NodeId {
-    const auto it = ids.find(key);
-    if (it != ids.end()) return it->second;
-    if (u.node_keys_.size() >= max_nodes)
+  u.codec_ = KeyCodec(u.instances_);
+  u.interner_ = KeyInterner(u.codec_.words());
+  u.build_graph();
+  u.finalize_weights_and_occurrences();
+  if (u.reduced_ && options.cross_check) u.verify_against_unreduced();
+  return u;
+}
+
+void InterleavedFlow::build_graph() {
+  const std::size_t k = instances_.size();
+  const std::size_t words = codec_.words();
+
+  std::vector<StateId> cur(k);
+  std::vector<StateId> nxt(k);
+  std::vector<std::uint64_t> kw(words);
+  std::vector<StateId> scratch;  // group-sort buffer
+
+  auto sort_group = [&](std::vector<StateId>& tuple, std::uint32_t g) {
+    const auto& pos = groups_[g].positions;
+    if (pos.size() < 2) return;
+    scratch.clear();
+    for (std::uint32_t p : pos) scratch.push_back(tuple[p]);
+    std::sort(scratch.begin(), scratch.end());
+    for (std::size_t j = 0; j < pos.size(); ++j) tuple[pos[j]] = scratch[j];
+  };
+
+  auto intern = [&](const std::vector<StateId>& tuple) -> NodeId {
+    codec_.encode(tuple.data(), kw.data());
+    bool inserted = false;
+    const NodeId id = interner_.intern(kw.data(), inserted);
+    if (inserted && interner_.size() > options_.max_nodes)
       throw std::length_error(
           "InterleavedFlow: reachable product exceeds max_nodes");
-    const NodeId id = static_cast<NodeId>(u.node_keys_.size());
-    u.node_keys_.push_back(key);
-    ids.emplace(key, id);
     return id;
   };
 
-  std::vector<StateId> root(k);
   for (std::size_t i = 0; i < k; ++i)
-    root[i] = u.instances_[i].flow->initial_states().front();
-  const NodeId root_id = intern(root);
-  u.initial_.push_back(root_id);
+    cur[i] = instances_[i].flow->initial_states().front();
+  if (reduced_)
+    for (std::uint32_t g = 0; g < groups_.size(); ++g) sort_group(cur, g);
+  initial_.push_back(intern(cur));
 
-  std::queue<NodeId> work;
-  work.push(root_id);
-  std::vector<bool> expanded;
-  expanded.resize(1, false);
+  // Expansion multiplicity per position: under reduction, each run of equal
+  // states within a group is expanded once from its first position, standing
+  // for `run length` concrete movers per concrete source state.
+  std::vector<std::uint32_t> mult(k, 1);
+  out_offset_.assign(1, 0);
 
-  while (!work.empty()) {
-    const NodeId n = work.front();
-    work.pop();
-    if (expanded[n]) continue;
-    expanded[n] = true;
-    const std::vector<StateId> key = u.node_keys_[n];  // copy: vector grows
+  // Nodes are interned in discovery order, which is exactly the expansion
+  // order, so a plain id sweep doubles as the worklist and the edge list
+  // comes out sorted by source — the CSR offsets need no second pass.
+  for (NodeId n = 0; static_cast<std::size_t>(n) < interner_.size(); ++n) {
+    codec_.decode(interner_.key(n), cur.data());
 
     // Which components sit in atomic states? If any does, only it may move
     // (generalized Def. 5 rules i/ii).
     std::size_t atomic_holder = k;  // k == none
-    for (std::size_t i = 0; i < k; ++i) {
-      if (u.instances_[i].flow->is_atomic(key[i])) {
-        atomic_holder = i;
-        break;  // by construction at most one component is atomic
+    if (reduced_) {
+      std::size_t atomics = 0;
+      for (std::size_t i = 0; i < k; ++i) {
+        if (instances_[i].flow->is_atomic(cur[i])) {
+          if (atomic_holder == k) atomic_holder = i;
+          ++atomics;
+        }
+      }
+      if (atomics > 1)
+        throw std::invalid_argument(
+            "InterleavedFlow: reached a product state with two atomic "
+            "components — the atomic-holder rule is not symmetric here; "
+            "disable symmetry_reduction");
+      for (std::uint32_t g = 0; g < groups_.size(); ++g) {
+        const auto& pos = groups_[g].positions;
+        for (std::size_t j = 0; j < pos.size(); ++j) {
+          if (j > 0 && cur[pos[j]] == cur[pos[j - 1]]) {
+            mult[pos[j]] = 0;
+            std::size_t f = j;  // first position of this run
+            while (f > 0 && cur[pos[f]] == cur[pos[f - 1]]) --f;
+            ++mult[pos[f]];
+          } else {
+            mult[pos[j]] = 1;
+          }
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < k; ++i) {
+        if (instances_[i].flow->is_atomic(cur[i])) {
+          atomic_holder = i;
+          break;  // by construction at most one component is atomic
+        }
       }
     }
 
     for (std::size_t i = 0; i < k; ++i) {
       if (atomic_holder != k && atomic_holder != i) continue;
-      const Flow& f = *u.instances_[i].flow;
-      for (std::uint32_t ti : f.outgoing(key[i])) {
+      const std::uint32_t m = reduced_ ? mult[i] : 1;
+      if (m == 0) continue;
+      const Flow& f = *instances_[i].flow;
+      for (std::uint32_t ti : f.outgoing(cur[i])) {
         const Transition& t = f.transitions()[ti];
-        std::vector<StateId> next = key;
-        next[i] = t.to;
-        const NodeId m = intern(next);
-        if (m >= expanded.size()) expanded.resize(m + 1, false);
-        u.edges_.push_back(
-            Edge{n,
-                 IndexedMessage{t.message, u.instances_[i].index},
-                 m, static_cast<std::uint32_t>(i)});
-        if (!expanded[m]) work.push(m);
+        nxt = cur;
+        nxt[i] = t.to;
+        if (reduced_) sort_group(nxt, group_of_[i]);
+        const NodeId tgt = intern(nxt);
+        edges_.push_back(Edge{n,
+                              IndexedMessage{t.message, instances_[i].index},
+                              tgt, static_cast<std::uint32_t>(i)});
+        if (reduced_) edge_mult_.push_back(m);
       }
     }
+    out_offset_.push_back(static_cast<std::uint32_t>(edges_.size()));
   }
+  num_nodes_ = interner_.size();
+}
 
-  const std::size_t num_nodes = u.node_keys_.size();
-  u.outgoing_.assign(num_nodes, {});
-  for (std::uint32_t e = 0; e < u.edges_.size(); ++e)
-    u.outgoing_[u.edges_[e].from].push_back(e);
+void InterleavedFlow::finalize_weights_and_occurrences() {
+  const std::size_t k = instances_.size();
+  std::vector<StateId> cur(k);
 
-  u.stop_mask_.assign(num_nodes, false);
-  for (NodeId n = 0; n < num_nodes; ++n) {
+  stop_mask_.assign(num_nodes_, false);
+  if (reduced_) node_weight_.resize(num_nodes_);
+
+  for (NodeId n = 0; static_cast<std::size_t>(n) < num_nodes_; ++n) {
+    codec_.decode(interner_.key(n), cur.data());
     bool all_stop = true;
     for (std::size_t i = 0; i < k; ++i) {
-      if (!u.instances_[i].flow->is_stop(u.node_keys_[n][i])) {
+      if (!instances_[i].flow->is_stop(cur[i])) {
         all_stop = false;
         break;
       }
     }
     if (all_stop) {
-      u.stop_mask_[n] = true;
-      u.stop_.push_back(n);
+      stop_mask_[n] = true;
+      stop_.push_back(n);
+    }
+    if (reduced_) {
+      // Orbit weight: number of concrete tuples the sorted representative
+      // stands for = prod_g n_g! / prod_runs len!.
+      std::uint64_t w = 1;
+      for (const InstanceGroup& grp : groups_) {
+        const auto& pos = grp.positions;
+        w *= factorial(static_cast<std::uint32_t>(pos.size()));
+        std::uint32_t run = 1;
+        for (std::size_t j = 1; j <= pos.size(); ++j) {
+          if (j < pos.size() && cur[pos[j]] == cur[pos[j - 1]]) {
+            ++run;
+          } else {
+            w /= factorial(run);
+            run = 1;
+          }
+        }
+      }
+      node_weight_[n] = w;
     }
   }
 
-  for (const Edge& e : u.edges_) {
-    auto [it, fresh] = u.occurrence_counts_.try_emplace(e.label, 0u);
-    if (fresh) u.indexed_messages_.push_back(e.label);
-    ++it->second;
+  if (!reduced_) {
+    product_states_ = num_nodes_;
+    product_edges_ = edges_.size();
+    for (const Edge& e : edges_) {
+      auto [it, fresh] = occurrence_counts_.try_emplace(e.label, 0u);
+      if (fresh) indexed_messages_.push_back(e.label);
+      ++it->second;
+    }
+    std::sort(indexed_messages_.begin(), indexed_messages_.end());
+    return;
   }
-  std::sort(u.indexed_messages_.begin(), u.indexed_messages_.end());
-  return u;
+
+  unsigned __int128 states = 0;
+  for (std::uint64_t w : node_weight_) states += w;
+  product_states_ = checked_u64(states, "product state count");
+
+  // Concrete edges represented by quotient edge e: W(from) * mu(e). Each
+  // group's total per message splits evenly over its n_g indices (every
+  // class count is divisible by n_g — DESIGN.md §9).
+  unsigned __int128 total_edges = 0;
+  std::map<std::pair<std::uint32_t, MessageId>, unsigned __int128> per_gm;
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    const unsigned __int128 c =
+        static_cast<unsigned __int128>(node_weight_[edges_[e].from]) *
+        edge_mult_[e];
+    total_edges += c;
+    per_gm[{group_of_[edges_[e].instance], edges_[e].label.message}] += c;
+  }
+  product_edges_ = checked_u64(total_edges, "product edge count");
+
+  for (const auto& [gm, total] : per_gm) {
+    const InstanceGroup& grp = groups_[gm.first];
+    const unsigned __int128 n_g = grp.positions.size();
+    if (total % n_g != 0)
+      throw std::logic_error(
+          "InterleavedFlow: orbit occurrence total not divisible by group "
+          "size (internal invariant violated)");
+    const std::uint64_t per_index =
+        checked_u64(total / n_g, "occurrence count");
+    for (std::uint32_t p : grp.positions)
+      occurrence_counts_[IndexedMessage{gm.second, instances_[p].index}] +=
+          per_index;
+  }
+  for (const auto& [im, cnt] : occurrence_counts_)
+    indexed_messages_.push_back(im);
+  std::sort(indexed_messages_.begin(), indexed_messages_.end());
 }
 
-const std::vector<std::uint32_t>& InterleavedFlow::outgoing(NodeId n) const {
-  if (n >= outgoing_.size())
+InterleavedFlow::OutgoingRange InterleavedFlow::outgoing(NodeId n) const {
+  if (static_cast<std::size_t>(n) >= num_nodes_)
     throw std::out_of_range("InterleavedFlow: bad node id");
-  return outgoing_[n];
+  return OutgoingRange(out_offset_[n], out_offset_[n + 1]);
 }
 
-const std::vector<StateId>& InterleavedFlow::node_key(NodeId n) const {
-  if (n >= node_keys_.size())
+std::vector<StateId> InterleavedFlow::node_key(NodeId n) const {
+  if (static_cast<std::size_t>(n) >= num_nodes_)
     throw std::out_of_range("InterleavedFlow: bad node id");
-  return node_keys_[n];
+  std::vector<StateId> key(instances_.size());
+  codec_.decode(interner_.key(n), key.data());
+  return key;
 }
 
 std::string InterleavedFlow::node_name(NodeId n) const {
-  const auto& key = node_key(n);
+  const auto key = node_key(n);
   std::ostringstream os;
   os << '(';
   for (std::size_t i = 0; i < key.size(); ++i) {
@@ -180,10 +321,25 @@ std::size_t InterleavedFlow::occurrences(const IndexedMessage& im) const {
   return it == occurrence_counts_.end() ? 0 : it->second;
 }
 
+const InterleavedFlow& InterleavedFlow::concrete() const {
+  if (!reduced_) return *this;
+  std::lock_guard<std::mutex> lock(*concrete_.mutex);
+  if (!concrete_.flow) {
+    InterleaveOptions opt = options_;
+    opt.symmetry_reduction = false;
+    opt.cross_check = false;
+    concrete_.flow = std::make_unique<InterleavedFlow>(build(instances_, opt));
+  }
+  return *concrete_.flow;
+}
+
 double InterleavedFlow::count_paths() const {
   // Executions end at a stop tuple (Def. 2). In all flows in this repo stop
   // states are sinks, so "reaches a stop node" and "ends at a stop node"
-  // coincide; we count the latter by backward DP over the DAG.
+  // coincide; we count the latter by backward DP over the DAG. Under
+  // reduction every edge counts mu concrete successors per concrete source,
+  // and every concrete member of an orbit has the same path count, so the
+  // weighted DP equals the concrete total exactly (DESIGN.md §9).
   std::vector<double> memo(num_nodes(), -1.0);
   // Iterative post-order to avoid recursion depth issues on deep products.
   std::vector<std::pair<NodeId, bool>> stack;
@@ -196,13 +352,15 @@ double InterleavedFlow::count_paths() const {
       if (memo[n] >= 0.0) continue;
       if (!processed) {
         stack.emplace_back(n, true);
-        for (std::uint32_t e : outgoing_[n]) {
+        for (std::uint32_t e : outgoing(n)) {
           const NodeId m = edges_[e].to;
           if (memo[m] < 0.0) stack.emplace_back(m, false);
         }
       } else {
         double paths = stop_mask_[n] ? 1.0 : 0.0;
-        for (std::uint32_t e : outgoing_[n]) paths += memo[edges_[e].to];
+        for (std::uint32_t e : outgoing(n))
+          paths += static_cast<double>(edge_multiplicity(e)) *
+                   memo[edges_[e].to];
         memo[n] = paths;
       }
     }
@@ -214,6 +372,10 @@ double InterleavedFlow::count_paths() const {
 double InterleavedFlow::count_consistent_paths(
     const std::vector<MessageId>& selected,
     const std::vector<IndexedMessage>& observed) const {
+  // Observation names concrete instance indices, which breaks the
+  // permutation symmetry — answer on the unreduced product.
+  if (reduced_) return concrete().count_consistent_paths(selected, observed);
+
   // f(n, j) = number of stop-terminated paths from n whose projection onto
   // `selected` extends observed[j..] as a prefix. Memoized on (node, j).
   std::vector<bool> is_selected;
@@ -230,6 +392,32 @@ double InterleavedFlow::count_consistent_paths(
       throw std::invalid_argument(
           "count_consistent_paths: observed trace contains a message outside "
           "the selected combination");
+  }
+
+  // Distinct observed labels get small ids; every edge is classified once
+  // up front so the DP inner loop does integer compares, not label
+  // comparisons or searches.
+  std::vector<IndexedMessage> kinds;
+  std::vector<std::int32_t> obs_kind(olen);
+  for (std::size_t j = 0; j < olen; ++j) {
+    const auto it = std::find(kinds.begin(), kinds.end(), observed[j]);
+    if (it == kinds.end()) {
+      obs_kind[j] = static_cast<std::int32_t>(kinds.size());
+      kinds.push_back(observed[j]);
+    } else {
+      obs_kind[j] = static_cast<std::int32_t>(it - kinds.begin());
+    }
+  }
+  // -2: invisible edge; -1: visible but never observed; >=0: kind id.
+  std::vector<std::int32_t> edge_code(edges_.size());
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    if (!is_selected[edges_[e].label.message]) {
+      edge_code[e] = -2;
+      continue;
+    }
+    const auto it = std::find(kinds.begin(), kinds.end(), edges_[e].label);
+    edge_code[e] =
+        it == kinds.end() ? -1 : static_cast<std::int32_t>(it - kinds.begin());
   }
 
   const std::size_t width = olen + 1;
@@ -252,18 +440,19 @@ double InterleavedFlow::count_consistent_paths(
       stack.pop_back();
       if (slot(it.n, it.j) >= 0.0) continue;
       // Successor (node, j') for an edge given matching rules.
-      auto next_j = [&](const Edge& e) -> std::optional<std::uint32_t> {
-        if (!is_selected[e.label.message]) return it.j;  // invisible step
+      auto next_j = [&](std::uint32_t e) -> std::optional<std::uint32_t> {
+        const std::int32_t code = edge_code[e];
+        if (code == -2) return it.j;  // invisible step
         if (it.j < olen) {
-          if (e.label == observed[it.j]) return it.j + 1;
+          if (code == obs_kind[it.j]) return it.j + 1;
           return std::nullopt;  // visible mismatch kills the path
         }
         return it.j;  // prefix fully matched; extra visible messages fine
       };
       if (!it.processed) {
         stack.push_back(Item{it.n, it.j, true});
-        for (std::uint32_t e : outgoing_[it.n]) {
-          if (auto j2 = next_j(edges_[e])) {
+        for (std::uint32_t e : outgoing(it.n)) {
+          if (auto j2 = next_j(e)) {
             if (slot(edges_[e].to, *j2) < 0.0)
               stack.push_back(Item{edges_[e].to, *j2, false});
           }
@@ -271,8 +460,8 @@ double InterleavedFlow::count_consistent_paths(
       } else {
         double paths = 0.0;
         if (stop_mask_[it.n] && it.j == olen) paths += 1.0;
-        for (std::uint32_t e : outgoing_[it.n]) {
-          if (auto j2 = next_j(edges_[e])) paths += slot(edges_[e].to, *j2);
+        for (std::uint32_t e : outgoing(it.n)) {
+          if (auto j2 = next_j(e)) paths += slot(edges_[e].to, *j2);
         }
         slot(it.n, it.j) = paths;
       }
@@ -285,6 +474,9 @@ double InterleavedFlow::count_consistent_paths(
 double InterleavedFlow::count_consistent_paths_multiset(
     const std::vector<MessageId>& selected,
     const std::vector<IndexedMessage>& observed) const {
+  if (reduced_)
+    return concrete().count_consistent_paths_multiset(selected, observed);
+
   std::vector<bool> is_selected;
   {
     MessageId max_id = 0;
@@ -339,6 +531,20 @@ double InterleavedFlow::count_consistent_paths_multiset(
     return (cstate / stride[i]) % (need[i] + 1);
   };
 
+  // Classify every edge once: -2 invisible, -1 visible non-observed kind,
+  // >= 0 the observed kind consumed — the DP inner loop stops doing a
+  // std::find over kinds per edge visit.
+  std::vector<std::int32_t> edge_code(edges_.size());
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    if (!is_selected[edges_[e].label.message]) {
+      edge_code[e] = -2;
+      continue;
+    }
+    const auto it = std::find(kinds.begin(), kinds.end(), edges_[e].label);
+    edge_code[e] =
+        it == kinds.end() ? -1 : static_cast<std::int32_t>(it - kinds.begin());
+  }
+
   std::vector<double> memo(num_nodes() * num_cstates, -1.0);
   auto slot = [&](NodeId n, std::size_t c) -> double& {
     return memo[static_cast<std::size_t>(n) * num_cstates + c];
@@ -346,12 +552,13 @@ double InterleavedFlow::count_consistent_paths_multiset(
 
   // Successor consumption state for taking edge e in state c, or nullopt if
   // the edge is inconsistent with the observation.
-  auto next_c = [&](const Edge& e, std::size_t c) -> std::optional<std::size_t> {
-    if (!is_selected[e.label.message]) return c;
+  auto next_c = [&](std::uint32_t e,
+                    std::size_t c) -> std::optional<std::size_t> {
+    const std::int32_t code = edge_code[e];
+    if (code == -2) return c;
     if (c == full) return c;  // prefix complete; visible suffix unrestricted
-    const auto it = std::find(kinds.begin(), kinds.end(), e.label);
-    if (it == kinds.end()) return std::nullopt;  // visible non-observed kind
-    const std::size_t i = static_cast<std::size_t>(it - kinds.begin());
+    if (code == -1) return std::nullopt;  // visible non-observed kind
+    const std::size_t i = static_cast<std::size_t>(code);
     if (digit(c, i) >= need[i]) return std::nullopt;  // kind already consumed
     return c + stride[i];
   };
@@ -371,8 +578,8 @@ double InterleavedFlow::count_consistent_paths_multiset(
       if (slot(it.n, it.c) >= 0.0) continue;
       if (!it.processed) {
         stack.push_back(Item{it.n, it.c, true});
-        for (std::uint32_t e : outgoing_[it.n]) {
-          if (auto c2 = next_c(edges_[e], it.c)) {
+        for (std::uint32_t e : outgoing(it.n)) {
+          if (auto c2 = next_c(e, it.c)) {
             if (slot(edges_[e].to, *c2) < 0.0)
               stack.push_back(Item{edges_[e].to, *c2, false});
           }
@@ -380,9 +587,8 @@ double InterleavedFlow::count_consistent_paths_multiset(
       } else {
         double paths = 0.0;
         if (stop_mask_[it.n] && it.c == full) paths += 1.0;
-        for (std::uint32_t e : outgoing_[it.n]) {
-          if (auto c2 = next_c(edges_[e], it.c))
-            paths += slot(edges_[e].to, *c2);
+        for (std::uint32_t e : outgoing(it.n)) {
+          if (auto c2 = next_c(e, it.c)) paths += slot(edges_[e].to, *c2);
         }
         slot(it.n, it.c) = paths;
       }
@@ -390,6 +596,211 @@ double InterleavedFlow::count_consistent_paths_multiset(
     total += slot(r, 0);
   }
   return total;
+}
+
+std::vector<InterleavedFlow::LabelClassHistogram>
+InterleavedFlow::label_target_histograms() const {
+  return reduced_ ? histograms_reduced() : histograms_unreduced();
+}
+
+std::vector<InterleavedFlow::LabelClassHistogram>
+InterleavedFlow::histograms_unreduced() const {
+  // cnt[y][x] = number of edges labeled y that lead to product state x.
+  std::map<IndexedMessage, std::unordered_map<NodeId, std::uint64_t>> cnt;
+  for (const Edge& e : edges_) ++cnt[e.label][e.to];
+  std::vector<LabelClassHistogram> out;
+  out.reserve(cnt.size());
+  for (const auto& [label, targets] : cnt) {
+    std::map<std::uint64_t, std::uint64_t> classes;
+    for (const auto& [node, c] : targets) ++classes[c];
+    out.push_back(LabelClassHistogram{
+        label, {classes.begin(), classes.end()}});
+  }
+  return out;
+}
+
+std::vector<InterleavedFlow::LabelClassHistogram>
+InterleavedFlow::histograms_reduced() const {
+  // For a concrete state x in orbit B whose group-g index-i component sits
+  // in state v, the number of concrete in-edges labeled <m,i> contributed
+  // by group g depends only on (B, g, v): every legal flow-g transition
+  // q -> m -> v whose predecessor orbit (one v swapped back to q) is
+  // reachable adds one. Legality of the move is orbit-level too: the
+  // predecessor's other components hold no atomic state iff
+  // atomics(B) == [v atomic]. The concrete states of B with the index-i
+  // slot of group g at v number W(B) * mu_g(v) / n_g — exactly divisible —
+  // and slots of distinct groups are independent, so per-(m,i) class counts
+  // come from a product over the groups that can emit <m,i>.
+  const std::size_t k = instances_.size();
+  const std::size_t words = codec_.words();
+
+  // Per group: in-transitions by target state.
+  std::vector<std::vector<std::vector<std::pair<MessageId, StateId>>>> in_by(
+      groups_.size());
+  std::map<MessageId, std::vector<std::uint32_t>> msg_groups;
+  for (std::uint32_t g = 0; g < groups_.size(); ++g) {
+    const Flow& f = *groups_[g].flow;
+    in_by[g].resize(f.num_states());
+    std::set<MessageId> used;
+    for (const Transition& t : f.transitions()) {
+      in_by[g][t.to].push_back({t.message, t.from});
+      used.insert(t.message);
+    }
+    for (MessageId m : used) msg_groups[m].push_back(g);
+  }
+  // Per group: the instance indices present, aligned with positions.
+  std::vector<std::vector<std::uint32_t>> group_indices(groups_.size());
+  for (std::uint32_t g = 0; g < groups_.size(); ++g)
+    for (std::uint32_t p : groups_[g].positions)
+      group_indices[g].push_back(instances_[p].index);
+
+  std::map<IndexedMessage, std::map<std::uint64_t, std::uint64_t>> hist;
+
+  std::vector<StateId> cur(k);
+  std::vector<StateId> pred(k);
+  std::vector<std::uint64_t> kw(words);
+  std::vector<StateId> scratch;
+
+  // runs[g]: distinct states of group g in this node with multiplicities;
+  // cmap[g][v][m]: per-slot in-edge count for <m, any index of g>.
+  std::vector<std::vector<std::pair<StateId, std::uint32_t>>> runs(
+      groups_.size());
+  std::vector<std::map<StateId, std::map<MessageId, std::uint64_t>>> cmap(
+      groups_.size());
+
+  for (NodeId n = 0; static_cast<std::size_t>(n) < num_nodes_; ++n) {
+    codec_.decode(interner_.key(n), cur.data());
+    std::size_t atomics = 0;
+    for (std::size_t i = 0; i < k; ++i)
+      if (instances_[i].flow->is_atomic(cur[i])) ++atomics;
+    const std::uint64_t w = node_weight_[n];
+
+    std::set<MessageId> active;
+    for (std::uint32_t g = 0; g < groups_.size(); ++g) {
+      runs[g].clear();
+      cmap[g].clear();
+      const auto& pos = groups_[g].positions;
+      for (std::size_t j = 0; j < pos.size(); ++j) {
+        if (!runs[g].empty() && runs[g].back().first == cur[pos[j]]) {
+          ++runs[g].back().second;
+          continue;
+        }
+        runs[g].push_back({cur[pos[j]], 1});
+        const StateId v = cur[pos[j]];
+        // All in-moves into v are illegal unless v's holder is the only
+        // atomic component of the predecessor.
+        if (atomics != (groups_[g].flow->is_atomic(v) ? 1u : 0u)) continue;
+        std::map<StateId, bool> pred_reachable;
+        for (const auto& [m, q] : in_by[g][v]) {
+          auto it = pred_reachable.find(q);
+          if (it == pred_reachable.end()) {
+            pred = cur;
+            pred[pos[j]] = q;
+            scratch.clear();
+            for (std::uint32_t p : pos) scratch.push_back(pred[p]);
+            std::sort(scratch.begin(), scratch.end());
+            for (std::size_t s = 0; s < pos.size(); ++s)
+              pred[pos[s]] = scratch[s];
+            codec_.encode(pred.data(), kw.data());
+            it = pred_reachable
+                     .emplace(q, interner_.find(kw.data()) != kInvalidNode)
+                     .first;
+          }
+          if (it->second) {
+            ++cmap[g][v][m];
+            active.insert(m);
+          }
+        }
+      }
+    }
+
+    for (MessageId m : active) {
+      const auto& candidates = msg_groups[m];
+      std::set<std::uint32_t> indices;
+      for (std::uint32_t g : candidates)
+        indices.insert(group_indices[g].begin(), group_indices[g].end());
+      for (std::uint32_t idx : indices) {
+        std::vector<std::uint32_t> relevant;
+        for (std::uint32_t g : candidates) {
+          if (std::find(group_indices[g].begin(), group_indices[g].end(),
+                        idx) != group_indices[g].end())
+            relevant.push_back(g);
+        }
+        // Enumerate joint state profiles of the index-idx slots across the
+        // relevant groups; each profile is a class of identical concrete
+        // states.
+        auto emit = [&](auto&& self, std::size_t gi, unsigned __int128 kacc,
+                        std::uint64_t c) -> void {
+          if (gi == relevant.size()) {
+            if (c > 0)
+              hist[IndexedMessage{m, idx}][c] +=
+                  checked_u64(kacc, "class count");
+            return;
+          }
+          const std::uint32_t g = relevant[gi];
+          const unsigned __int128 n_g = groups_[g].positions.size();
+          for (const auto& [v, mu] : runs[g]) {
+            const unsigned __int128 k2 = kacc * mu;
+            if (k2 % n_g != 0)
+              throw std::logic_error(
+                  "InterleavedFlow: orbit class count not divisible by "
+                  "group size (internal invariant violated)");
+            std::uint64_t dc = 0;
+            const auto vit = cmap[g].find(v);
+            if (vit != cmap[g].end()) {
+              const auto mit = vit->second.find(m);
+              if (mit != vit->second.end()) dc = mit->second;
+            }
+            self(self, gi + 1, k2 / n_g, c + dc);
+          }
+        };
+        emit(emit, 0, w, 0);
+      }
+    }
+  }
+
+  std::vector<LabelClassHistogram> out;
+  out.reserve(hist.size());
+  for (const auto& [label, classes] : hist)
+    out.push_back(LabelClassHistogram{
+        label, {classes.begin(), classes.end()}});
+  return out;
+}
+
+void InterleavedFlow::verify_against_unreduced() const {
+  InterleaveOptions opt = options_;
+  opt.symmetry_reduction = false;
+  opt.cross_check = false;
+  const InterleavedFlow full = build(instances_, opt);
+  auto fail = [](const std::string& what) {
+    throw std::logic_error(
+        "InterleavedFlow cross-check: reduced engine disagrees with the "
+        "unreduced product on " +
+        what);
+  };
+
+  if (num_product_states() != full.num_product_states())
+    fail("the product state count");
+  if (num_product_edges() != full.num_product_edges())
+    fail("the product edge count");
+  unsigned __int128 stop_weight = 0;
+  for (NodeId n : stop_) stop_weight += node_weight(n);
+  if (stop_weight != static_cast<unsigned __int128>(full.stop_nodes().size()))
+    fail("the stop state count");
+  if (indexed_messages_ != full.indexed_messages())
+    fail("the indexed message set");
+  for (const IndexedMessage& im : indexed_messages_) {
+    if (occurrences(im) != full.occurrences(im))
+      fail("occurrences of an indexed message");
+  }
+  if (count_paths() != full.count_paths()) fail("the execution count");
+  const auto a = label_target_histograms();
+  const auto b = full.label_target_histograms();
+  if (a.size() != b.size()) fail("the in-edge histogram label set");
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].label != b[i].label || a[i].classes != b[i].classes)
+      fail("an in-edge class histogram");
+  }
 }
 
 }  // namespace tracesel::flow

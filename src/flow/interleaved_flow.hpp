@@ -9,23 +9,60 @@
 // occupying an atomic state can move until it leaves it.
 //
 // The product is materialized as an explicit DAG restricted to states
-// reachable from the initial tuple — for the SoC scenarios in this repo that
-// is 10^2..10^5 nodes, comfortably in memory — with edge labels carrying the
-// indexed message (Def. 3).
+// reachable from the initial tuple, with edge labels carrying the indexed
+// message (Def. 3). Two engine-level optimizations keep it scalable
+// (DESIGN.md §9):
+//
+//   * Symmetry reduction (on by default). Identical indexed copies of a
+//     flow are interchangeable: permuting the positions of same-flow
+//     instances is an automorphism of the product. The engine stores one
+//     canonical representative per orbit — the tuple with each same-flow
+//     group's states sorted — plus an exact orbit weight (the number of
+//     concrete product states the representative stands for) and per-edge
+//     multiplicities. occurrences(), count_paths(), num_product_states(),
+//     num_product_edges(), the Step 2 probabilities and Def. 7 coverage
+//     are all computed over the *full* product via these weights and are
+//     bit-identical to the unreduced engine. Queries that break symmetry
+//     (observation-conditioned path counts, random executions) transparently
+//     fall back to a lazily built unreduced product via concrete().
+//
+//   * Bit-packed keys + CSR adjacency. Product states are packed into
+//     64-bit words (ceil(log2 |S_i|) bits per component) interned in a flat
+//     open-addressing table, and outgoing edges are a CSR offset array over
+//     the edge list — no per-node heap allocations.
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "flow/indexed_flow.hpp"
+#include "flow/packed_key.hpp"
 #include "flow/types.hpp"
 
 namespace tracesel::flow {
 
+/// Knobs for InterleavedFlow::build.
+struct InterleaveOptions {
+  /// Store one canonical node per orbit of same-flow instance permutations
+  /// (with exact weights) instead of every concrete product state.
+  bool symmetry_reduction = true;
+  /// Upper bound on *materialized* nodes; std::length_error beyond it.
+  std::size_t max_nodes = 2'000'000;
+  /// Debug mode: additionally build the unreduced product and verify that
+  /// every weighted quantity matches it exactly (std::logic_error if not).
+  /// Only meaningful with symmetry_reduction on; expensive — small specs.
+  bool cross_check = false;
+};
+
 class InterleavedFlow {
  public:
-  /// One product transition; `instance` is the component that moved.
+  /// One product transition; `instance` is the component that moved (under
+  /// reduction: the first position of the moving state in its group).
   struct Edge {
     NodeId from = kInvalidNode;
     IndexedMessage label;
@@ -33,40 +70,115 @@ class InterleavedFlow {
     std::uint32_t instance = 0;  ///< index into instances()
   };
 
+  /// Contiguous range of outgoing edge indices (CSR row) of one node.
+  class OutgoingRange {
+   public:
+    class iterator {
+     public:
+      using value_type = std::uint32_t;
+      using difference_type = std::ptrdiff_t;
+      explicit iterator(std::uint32_t v) : v_(v) {}
+      std::uint32_t operator*() const { return v_; }
+      iterator& operator++() {
+        ++v_;
+        return *this;
+      }
+      iterator operator++(int) { return iterator(v_++); }
+      bool operator==(const iterator& o) const { return v_ == o.v_; }
+      bool operator!=(const iterator& o) const { return v_ != o.v_; }
+
+     private:
+      std::uint32_t v_;
+    };
+
+    OutgoingRange(std::uint32_t first, std::uint32_t last)
+        : first_(first), last_(last) {}
+    iterator begin() const { return iterator(first_); }
+    iterator end() const { return iterator(last_); }
+    std::size_t size() const { return last_ - first_; }
+    bool empty() const { return first_ == last_; }
+    std::uint32_t operator[](std::size_t i) const {
+      return first_ + static_cast<std::uint32_t>(i);
+    }
+
+   private:
+    std::uint32_t first_;
+    std::uint32_t last_;
+  };
+
+  /// Per-label class histogram of in-edge counts over the *concrete*
+  /// product: classes[j] = (c, k) means k concrete product states have
+  /// exactly c in-edges labeled `label`. The Step 2 info-gain engine is
+  /// computed from this shape; both engines produce it identically.
+  struct LabelClassHistogram {
+    IndexedMessage label;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> classes;
+  };
+
   /// Builds the reachable product of a legally indexed set of instances.
   /// Throws std::invalid_argument on empty or illegally indexed input, and
-  /// std::length_error if the reachable product exceeds `max_nodes`.
+  /// std::length_error if the materialized product exceeds
+  /// `options.max_nodes`.
   static InterleavedFlow build(std::vector<IndexedFlow> instances,
-                               std::size_t max_nodes = 2'000'000);
+                               const InterleaveOptions& options = {});
+  /// Back-compat convenience: default options with an explicit node cap.
+  static InterleavedFlow build(std::vector<IndexedFlow> instances,
+                               std::size_t max_nodes);
+
+  InterleavedFlow(InterleavedFlow&&) = default;
+  InterleavedFlow& operator=(InterleavedFlow&&) = default;
 
   const std::vector<IndexedFlow>& instances() const { return instances_; }
+  const InterleaveOptions& options() const { return options_; }
+  /// True when this engine stores orbit representatives, not all states.
+  bool reduced() const { return reduced_; }
 
-  std::size_t num_nodes() const { return node_keys_.size(); }
+  /// Materialized node/edge counts (orbit representatives when reduced()).
+  std::size_t num_nodes() const { return num_nodes_; }
   std::size_t num_edges() const { return edges_.size(); }
+
+  /// Exact size of the concrete product this engine represents: the sum of
+  /// orbit weights (== num_nodes()/num_edges() when not reduced).
+  std::uint64_t num_product_states() const { return product_states_; }
+  std::uint64_t num_product_edges() const { return product_edges_; }
+
+  /// Number of concrete product states the materialized node stands for
+  /// (1 when not reduced).
+  std::uint64_t node_weight(NodeId n) const {
+    return node_weight_.empty() ? 1 : node_weight_[n];
+  }
+  /// Number of concrete transitions per concrete source state this edge
+  /// stands for (1 when not reduced).
+  std::uint32_t edge_multiplicity(std::size_t e) const {
+    return edge_mult_.empty() ? 1 : edge_mult_[e];
+  }
 
   const std::vector<NodeId>& initial_nodes() const { return initial_; }
   const std::vector<NodeId>& stop_nodes() const { return stop_; }
   bool is_stop(NodeId n) const { return stop_mask_[n]; }
 
   const std::vector<Edge>& edges() const { return edges_; }
-  /// Outgoing edge indices of a node.
-  const std::vector<std::uint32_t>& outgoing(NodeId n) const;
+  /// Outgoing edge indices of a node (CSR row).
+  OutgoingRange outgoing(NodeId n) const;
 
-  /// The component flow states making up product state n.
-  const std::vector<StateId>& node_key(NodeId n) const;
+  /// The component flow states making up product state n (decoded from the
+  /// packed key; returned by value).
+  std::vector<StateId> node_key(NodeId n) const;
 
   /// Human-readable product state, e.g. "(c:1,n:2)".
   std::string node_name(NodeId n) const;
 
-  /// All distinct indexed messages labeling at least one edge.
+  /// All distinct indexed messages labeling at least one edge of the
+  /// concrete product.
   const std::vector<IndexedMessage>& indexed_messages() const {
     return indexed_messages_;
   }
 
-  /// Number of edges labeled with a given indexed message.
+  /// Number of concrete product edges labeled with a given indexed message.
   std::size_t occurrences(const IndexedMessage& im) const;
 
-  /// Total number of executions: root-to-stop paths of the product DAG.
+  /// Total number of executions: root-to-stop paths of the concrete product
+  /// DAG (orbit-weighted when reduced — same value either way).
   /// double-precision because counts grow combinatorially; exact for counts
   /// below 2^53.
   double count_paths() const;
@@ -74,7 +186,8 @@ class InterleavedFlow {
   /// Number of executions whose projection onto `selected` (set of message
   /// ids; all indices of those messages are visible) starts with `observed`
   /// *in order*. This is the denominator-free core of path localization
-  /// (Sec. 5.2): localization = consistent / count_paths().
+  /// (Sec. 5.2): localization = consistent / count_paths(). Observation
+  /// breaks instance symmetry, so a reduced engine answers via concrete().
   double count_consistent_paths(
       const std::vector<MessageId>& selected,
       const std::vector<IndexedMessage>& observed) const;
@@ -88,18 +201,59 @@ class InterleavedFlow {
       const std::vector<MessageId>& selected,
       const std::vector<IndexedMessage>& observed) const;
 
+  /// The in-edge class histograms of every indexed message over the
+  /// concrete product, labels ascending, classes ascending by c. Computed
+  /// directly from the edge list when unreduced and by exact orbit
+  /// combinatorics when reduced — identical output either way.
+  std::vector<LabelClassHistogram> label_target_histograms() const;
+
+  /// The unreduced product over the same instances (this engine itself when
+  /// not reduced). Built lazily on first use and cached; thread-safe.
+  const InterleavedFlow& concrete() const;
+
  private:
   InterleavedFlow() = default;
 
+  // The concrete() cache: never copied with the graph, fresh mutex per
+  // object so moved-from/copied engines stay independently lockable.
+  struct ConcreteCache {
+    ConcreteCache() : mutex(std::make_unique<std::mutex>()) {}
+    ConcreteCache(ConcreteCache&&) = default;
+    ConcreteCache& operator=(ConcreteCache&&) = default;
+    std::unique_ptr<std::mutex> mutex;
+    std::unique_ptr<InterleavedFlow> flow;
+  };
+
+  void build_graph();
+  void finalize_weights_and_occurrences();
+  void verify_against_unreduced() const;
+  std::vector<LabelClassHistogram> histograms_unreduced() const;
+  std::vector<LabelClassHistogram> histograms_reduced() const;
+
   std::vector<IndexedFlow> instances_;
-  std::vector<std::vector<StateId>> node_keys_;
+  InterleaveOptions options_;
+  bool reduced_ = false;
+  std::vector<InstanceGroup> groups_;
+  std::vector<std::uint32_t> group_of_;  ///< instance position -> group id
+
+  KeyCodec codec_;
+  KeyInterner interner_;  ///< owns packed key storage; NodeId-indexed
+  std::size_t num_nodes_ = 0;
+
   std::vector<NodeId> initial_;
   std::vector<NodeId> stop_;
   std::vector<bool> stop_mask_;
   std::vector<Edge> edges_;
-  std::vector<std::vector<std::uint32_t>> outgoing_;
+  std::vector<std::uint32_t> out_offset_;  ///< CSR: size num_nodes_ + 1
+  std::vector<std::uint32_t> edge_mult_;   ///< per-edge mu; empty = all 1
+  std::vector<std::uint64_t> node_weight_; ///< orbit weights; empty = all 1
+  std::uint64_t product_states_ = 0;
+  std::uint64_t product_edges_ = 0;
+
   std::vector<IndexedMessage> indexed_messages_;
   std::unordered_map<IndexedMessage, std::size_t> occurrence_counts_;
+
+  mutable ConcreteCache concrete_;
 };
 
 }  // namespace tracesel::flow

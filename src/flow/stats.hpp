@@ -29,9 +29,15 @@ struct FlowStats {
 FlowStats flow_stats(const Flow& flow);
 
 struct InterleavingStats {
-  std::size_t nodes = 0;
-  std::size_t edges = 0;
-  std::size_t stop_nodes = 0;
+  /// Concrete product state/edge counts — the semantic size of U,
+  /// independent of whether the engine stores orbit representatives.
+  std::uint64_t nodes = 0;
+  std::uint64_t edges = 0;
+  /// What the engine actually holds in memory (== nodes/edges when the
+  /// engine is unreduced; the symmetry win is nodes / materialized_nodes).
+  std::size_t materialized_nodes = 0;
+  std::size_t materialized_edges = 0;
+  std::uint64_t stop_nodes = 0;
   std::size_t indexed_messages = 0;
   double paths = 0.0;
   /// nodes / product of component state counts: how much the Atom mutex

@@ -246,9 +246,10 @@ const SignalGroup& UsbDesign::signal(std::string_view name) const {
                           "'");
 }
 
-flow::InterleavedFlow UsbDesign::interleaving(std::uint32_t instances) const {
+flow::InterleavedFlow UsbDesign::interleaving(
+    std::uint32_t instances, const flow::InterleaveOptions& options) const {
   return flow::InterleavedFlow::build(
-      flow::make_instances({&*rx_flow_, &*tx_flow_}, instances));
+      flow::make_instances({&*rx_flow_, &*tx_flow_}, instances), options);
 }
 
 flow::MessageId UsbDesign::message_of(std::string_view signal_name) const {

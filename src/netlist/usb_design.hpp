@@ -42,7 +42,9 @@ class UsbDesign {
   const flow::Flow& tx_flow() const { return *tx_flow_; }
 
   /// rx ||| tx with `instances` legally indexed copies of each.
-  flow::InterleavedFlow interleaving(std::uint32_t instances = 1) const;
+  flow::InterleavedFlow interleaving(
+      std::uint32_t instances = 1,
+      const flow::InterleaveOptions& options = {}) const;
 
   /// Message id of an interface signal (same names).
   flow::MessageId message_of(std::string_view signal_name) const;

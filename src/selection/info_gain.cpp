@@ -1,34 +1,35 @@
 #include "selection/info_gain.hpp"
 
 #include <cmath>
-#include <map>
 
 namespace tracesel::selection {
 
 InfoGainEngine::InfoGainEngine(const flow::InterleavedFlow& u) : u_(&u) {
-  const double num_states = static_cast<double>(u.num_nodes());
-  const double total_edges = static_cast<double>(u.num_edges());
+  // All probabilities range over the *concrete* product, so a
+  // symmetry-reduced engine scores exactly like the unreduced one: both
+  // reduce the per-edge statistics to the same in-edge class histograms
+  // (k product states with c in-edges labeled y), and the sum below runs
+  // over those classes in the same canonical order — labels ascending,
+  // class sizes ascending — making the resulting doubles bit-identical
+  // regardless of which engine produced them.
+  const double num_states = static_cast<double>(u.num_product_states());
+  const double total_edges = static_cast<double>(u.num_product_edges());
   if (total_edges == 0) return;
 
-  // cnt[(y, x)] = number of edges labeled y that lead to product state x.
-  std::map<std::pair<flow::IndexedMessage, flow::NodeId>, std::size_t> cnt;
-  for (const auto& e : u.edges()) ++cnt[{e.label, e.to}];
-
-  for (const auto& [key, c] : cnt) {
-    const auto& [y, x] = key;
-    (void)x;
-    const double occ_y = static_cast<double>(u.occurrences(y));
-    // p(x,y) = c / total_edges;  p(x) = 1/|S|;  p(y) = occ_y / total_edges.
-    // Term: p(x,y) * ln( p(x,y) / (p(x) p(y)) )
-    //     = (c/E) * ln( c * |S| / occ_y ).
-    const double pxy = static_cast<double>(c) / total_edges;
-    const double ratio = static_cast<double>(c) * num_states / occ_y;
-    contrib_[y] += pxy * std::log(ratio);
-  }
-
-  for (const auto& [y, g] : contrib_) {
-    contrib_by_message_[y.message] += g;
-    total_gain_ += g;
+  for (const auto& h : u.label_target_histograms()) {
+    const double occ_y = static_cast<double>(u.occurrences(h.label));
+    double gain = 0.0;
+    for (const auto& [c, k] : h.classes) {
+      // p(x,y) = c / total_edges;  p(x) = 1/|S|;  p(y) = occ_y / E.
+      // Term per state: p(x,y) * ln( p(x,y) / (p(x) p(y)) )
+      //              = (c/E) * ln( c * |S| / occ_y ), k identical states.
+      const double pxy = static_cast<double>(c) / total_edges;
+      const double ratio = static_cast<double>(c) * num_states / occ_y;
+      gain += static_cast<double>(k) * (pxy * std::log(ratio));
+    }
+    contrib_[h.label] = gain;
+    contrib_by_message_[h.label.message] += gain;
+    total_gain_ += gain;
   }
 }
 

@@ -64,9 +64,12 @@ std::vector<const flow::Flow*> scenario_flows(const T2Design& design,
 }
 
 flow::InterleavedFlow build_interleaving(const T2Design& design,
-                                         const Scenario& scenario) {
-  return flow::InterleavedFlow::build(flow::make_instances(
-      scenario_flows(design, scenario), scenario.instances_per_flow));
+                                         const Scenario& scenario,
+                                         const flow::InterleaveOptions& options) {
+  return flow::InterleavedFlow::build(
+      flow::make_instances(scenario_flows(design, scenario),
+                           scenario.instances_per_flow),
+      options);
 }
 
 }  // namespace tracesel::soc

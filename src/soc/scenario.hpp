@@ -42,8 +42,10 @@ std::vector<const flow::Flow*> scenario_flows(const T2Design& design,
                                               const Scenario& scenario);
 
 /// Builds the interleaved flow of the scenario: instances_per_flow legally
-/// indexed instances of each participating flow.
-flow::InterleavedFlow build_interleaving(const T2Design& design,
-                                         const Scenario& scenario);
+/// indexed instances of each participating flow. `options` selects the
+/// engine (symmetry-reduced by default) and the node budget.
+flow::InterleavedFlow build_interleaving(
+    const T2Design& design, const Scenario& scenario,
+    const flow::InterleaveOptions& options = {});
 
 }  // namespace tracesel::soc

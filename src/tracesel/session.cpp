@@ -48,6 +48,16 @@ Session& Session::jobs(std::size_t n) {
   return *this;
 }
 
+Session& Session::interleave_options(const flow::InterleaveOptions& options) {
+  interleave_options_ = options;
+  // A rebuilt engine invalidates any interleaving-derived state.
+  if (u_) {
+    u_.reset();
+    invalidate_selector();
+  }
+  return *this;
+}
+
 Session& Session::interleave(std::uint32_t instances) {
   if (!spec_)
     throw std::logic_error(
@@ -55,8 +65,8 @@ Session& Session::interleave(std::uint32_t instances) {
         "sessions)");
   std::vector<const flow::Flow*> flows;
   for (const flow::Flow& f : spec_->flows) flows.push_back(&f);
-  u_ = std::make_unique<flow::InterleavedFlow>(
-      flow::InterleavedFlow::build(flow::make_instances(flows, instances)));
+  u_ = std::make_unique<flow::InterleavedFlow>(flow::InterleavedFlow::build(
+      flow::make_instances(flows, instances), interleave_options_));
   invalidate_selector();
   return *this;
 }
@@ -64,8 +74,8 @@ Session& Session::interleave(std::uint32_t instances) {
 Session& Session::scenario(int id) {
   if (!t2_)
     throw std::logic_error("Session::scenario: not a t2 session");
-  u_ = std::make_unique<flow::InterleavedFlow>(
-      soc::build_interleaving(*t2_, soc::scenario_by_id(id)));
+  u_ = std::make_unique<flow::InterleavedFlow>(soc::build_interleaving(
+      *t2_, soc::scenario_by_id(id), interleave_options_));
   invalidate_selector();
   return *this;
 }

@@ -66,6 +66,12 @@ class Session {
   const selection::SelectorConfig& config() const { return config_; }
   /// Shorthand for config().jobs = n.
   Session& jobs(std::size_t n);
+  /// Engine options used by subsequent interleave()/scenario() calls —
+  /// symmetry reduction (default on), node budget, cross-check mode.
+  Session& interleave_options(const flow::InterleaveOptions& options);
+  const flow::InterleaveOptions& interleave_options() const {
+    return interleave_options_;
+  }
 
   // --- pipeline ---
   /// Builds the interleaving of all spec flows with `instances` legally
@@ -114,6 +120,7 @@ class Session {
   selection::SelectionResult select_impl(bool flow_constraint);
 
   selection::SelectorConfig config_;
+  flow::InterleaveOptions interleave_options_;
   std::unique_ptr<flow::ParsedSpec> spec_;      // spec sessions
   std::unique_ptr<soc::T2Design> t2_;           // t2 sessions
   const flow::MessageCatalog* catalog_ = nullptr;

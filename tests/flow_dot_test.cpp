@@ -33,13 +33,23 @@ TEST_F(DotTest, MarksSpecialStates) {
 }
 
 TEST_F(DotTest, InterleavingDotLabelsIndexedMessages) {
+  // Render the concrete product — the paper's Fig. 2 picture — regardless
+  // of which engine the default build uses.
   const auto u = fx_.two_instance_interleaving();
-  const std::string dot = to_dot(u, fx_.catalog);
+  const std::string dot = to_dot(u.concrete(), fx_.catalog);
   EXPECT_NE(dot.find("digraph interleaving"), std::string::npos);
   EXPECT_NE(dot.find("1:ReqE"), std::string::npos);
   EXPECT_NE(dot.find("2:GntE"), std::string::npos);
   // 15 nodes + 18 edges.
   EXPECT_EQ(std::count(dot.begin(), dot.end(), '\n'), 2 + 15 + 18 + 1 + 1);
+}
+
+TEST_F(DotTest, ReducedInterleavingDotIsSmaller) {
+  const auto u = fx_.two_instance_interleaving();
+  ASSERT_TRUE(u.reduced());
+  const std::string dot = to_dot(u, fx_.catalog);
+  // 9 orbit representatives instead of 15 concrete nodes.
+  EXPECT_LT(std::count(dot.begin(), dot.end(), '\n'), 2 + 15 + 18 + 1 + 1);
 }
 
 TEST_F(DotTest, EscapesQuotesInNames) {

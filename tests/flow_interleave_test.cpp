@@ -12,10 +12,16 @@ namespace {
 using test::CoherenceFixture;
 
 TEST(Interleave, PaperFigure2HasFifteenStates) {
-  // 4x4 product minus the illegal (c1,c2) double-atomic state = 15.
+  // 4x4 product minus the illegal (c1,c2) double-atomic state = 15. The
+  // default engine is symmetry-reduced, so it materializes one node per
+  // orbit — 9 for Fig. 2 — while the weighted product count stays 15.
   const CoherenceFixture fx;
   const auto u = fx.two_instance_interleaving();
-  EXPECT_EQ(u.num_nodes(), 15u);
+  EXPECT_EQ(u.num_product_states(), 15u);
+  EXPECT_EQ(u.num_nodes(), 9u);
+  std::uint64_t weight_sum = 0;
+  for (NodeId n = 0; n < u.num_nodes(); ++n) weight_sum += u.node_weight(n);
+  EXPECT_EQ(weight_sum, 15u);
 }
 
 TEST(Interleave, PaperFigure2HasEighteenEdges) {
@@ -23,7 +29,20 @@ TEST(Interleave, PaperFigure2HasEighteenEdges) {
   // states of the other instance: 2 * 3 * 3 = 18 indexed-message occurrences.
   const CoherenceFixture fx;
   const auto u = fx.two_instance_interleaving();
+  EXPECT_EQ(u.num_product_edges(), 18u);
+}
+
+TEST(Interleave, UnreducedEngineMaterializesFullFigure2) {
+  const CoherenceFixture fx;
+  InterleaveOptions opt;
+  opt.symmetry_reduction = false;
+  const auto u =
+      InterleavedFlow::build(make_instances({&fx.flow_}, 2), opt);
+  EXPECT_FALSE(u.reduced());
+  EXPECT_EQ(u.num_nodes(), 15u);
   EXPECT_EQ(u.num_edges(), 18u);
+  EXPECT_EQ(u.num_product_states(), 15u);
+  EXPECT_EQ(u.num_product_edges(), 18u);
 }
 
 TEST(Interleave, DoubleAtomicStateIsUnreachable) {
@@ -106,7 +125,7 @@ TEST(Interleave, PathCountWithoutAtomicityIsBinomial) {
       .transition("s2", c, "s3");
   const Flow f = fb.build(cat);
   const auto u = InterleavedFlow::build(make_instances({&f}, 2));
-  EXPECT_EQ(u.num_nodes(), 16u);
+  EXPECT_EQ(u.num_product_states(), 16u);
   EXPECT_DOUBLE_EQ(u.count_paths(), 20.0);
 }
 

@@ -45,8 +45,8 @@ TEST(FlowParser, ParsedFlowReproducesPaperNumbers) {
   const ParsedSpec spec = parse_flow_spec(kCoherence);
   const Flow& f = spec.flow("CacheCoherence");
   const auto u = InterleavedFlow::build(make_instances({&f}, 2));
-  EXPECT_EQ(u.num_nodes(), 15u);
-  EXPECT_EQ(u.num_edges(), 18u);
+  EXPECT_EQ(u.num_product_states(), 15u);
+  EXPECT_EQ(u.num_product_edges(), 18u);
   const selection::MessageSelector sel(spec.catalog, u);
   selection::SelectorConfig cfg;
   cfg.buffer_width = 2;

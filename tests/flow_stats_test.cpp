@@ -83,10 +83,10 @@ TEST(MessageHistogram, SortedDescending) {
   const auto hist = message_histogram(u);
   for (std::size_t i = 1; i < hist.size(); ++i)
     EXPECT_GE(hist[i - 1].second, hist[i].second);
-  // Total equals edge count.
+  // Total equals the concrete product edge count.
   std::size_t total = 0;
   for (const auto& [m, c] : hist) total += c;
-  EXPECT_EQ(total, u.num_edges());
+  EXPECT_EQ(total, u.num_product_edges());
 }
 
 }  // namespace

@@ -102,10 +102,15 @@ TEST_P(PropertyTest, InterleavingStructuralInvariants) {
         u.instances()[e.instance].flow->uses_message(e.label.message));
   }
 
-  // Occurrence counts sum to the edge count.
-  std::size_t occ = 0;
+  // Occurrence counts sum to the concrete product edge count, and orbit
+  // weights sum to the concrete product state count.
+  std::uint64_t occ = 0;
   for (const auto& im : u.indexed_messages()) occ += u.occurrences(im);
-  EXPECT_EQ(occ, u.num_edges());
+  EXPECT_EQ(occ, u.num_product_edges());
+  std::uint64_t weight_sum = 0;
+  for (flow::NodeId n = 0; n < u.num_nodes(); ++n)
+    weight_sum += u.node_weight(n);
+  EXPECT_EQ(weight_sum, u.num_product_states());
 
   // Paths exist and stop tuples exist.
   EXPECT_FALSE(u.stop_nodes().empty());
@@ -150,12 +155,15 @@ TEST_P(PropertyTest, CoverageMonotoneAndBoundedByEnteredStates) {
     EXPECT_GE(c, last - 1e-12);
     last = c;
   }
-  // Full alphabet coverage = fraction of nodes with an incoming edge.
+  // Full alphabet coverage = weighted fraction of concrete product states
+  // with an incoming edge (weights are 1 when the engine is unreduced).
   std::vector<bool> entered(u.num_nodes(), false);
   for (const auto& e : u.edges()) entered[e.to] = true;
-  const double max_cov =
-      static_cast<double>(std::count(entered.begin(), entered.end(), true)) /
-      static_cast<double>(u.num_nodes());
+  std::uint64_t entered_weight = 0;
+  for (flow::NodeId n = 0; n < u.num_nodes(); ++n)
+    if (entered[n]) entered_weight += u.node_weight(n);
+  const double max_cov = static_cast<double>(entered_weight) /
+                         static_cast<double>(u.num_product_states());
   EXPECT_NEAR(last, max_cov, 1e-12);
 }
 

@@ -8,6 +8,9 @@
 //       --no-packing     disable Step 3
 //       --jobs N         worker threads (1 serial, 0 = all cores)
 //       --json           machine-readable output
+//       --no-symmetry-reduction   materialize every product state instead
+//                        of one weighted representative per orbit
+//       --max-nodes N    materialized node budget (default 2e6)
 //   tracesel dot <spec.flow> <flow-name>             Graphviz of one flow
 //   tracesel lint <spec.flow> [--buffer N] [--lenient]
 //       --lenient        accumulate parse errors instead of stopping at
@@ -60,6 +63,7 @@ int usage() {
                "  tracesel select <spec.flow> [--buffer N] [--instances K]"
                " [--mode maximal|exhaustive|greedy|knapsack] [--no-packing]"
                " [--jobs N] [--json]\n"
+               "                 [--no-symmetry-reduction] [--max-nodes N]\n"
                "  tracesel dot <spec.flow> <flow-name>\n"
                "  tracesel lint <spec.flow> [--buffer N] [--lenient]\n"
                "  tracesel debug <case 1..5> [--no-packing] [--vcd FILE]"
@@ -105,6 +109,7 @@ int cmd_inspect(const std::string& path) {
 
 int cmd_select(const std::string& path, int argc, char** argv) {
   selection::SelectorConfig cfg;
+  flow::InterleaveOptions iopt;
   std::uint32_t instances = 2;
   bool json = false;
   for (int i = 0; i < argc; ++i) {
@@ -118,6 +123,8 @@ int cmd_select(const std::string& path, int argc, char** argv) {
     else if (arg == "--no-packing") cfg.packing = false;
     else if (arg == "--jobs") cfg.jobs = std::stoul(next());
     else if (arg == "--json") json = true;
+    else if (arg == "--no-symmetry-reduction") iopt.symmetry_reduction = false;
+    else if (arg == "--max-nodes") iopt.max_nodes = std::stoul(next());
     else if (arg == "--mode") {
       const std::string m = next();
       if (m == "maximal") cfg.mode = selection::SearchMode::kMaximal;
@@ -131,7 +138,7 @@ int cmd_select(const std::string& path, int argc, char** argv) {
   }
 
   auto session = Session::from_spec_file(path);
-  session.configure(cfg).interleave(instances);
+  session.configure(cfg).interleave_options(iopt).interleave(instances);
   const auto r = session.select();
   const flow::MessageCatalog& catalog = session.catalog();
   if (json) {
@@ -139,8 +146,12 @@ int cmd_select(const std::string& path, int argc, char** argv) {
     return 0;
   }
   const flow::InterleavedFlow& u = session.interleaving();
-  std::cout << "Interleaving: " << u.num_nodes() << " states, "
-            << u.num_edges() << " message occurrences\n";
+  std::cout << "Interleaving: " << u.num_product_states() << " states, "
+            << u.num_product_edges() << " message occurrences";
+  if (u.reduced())
+    std::cout << " (materialized: " << u.num_nodes() << " orbit nodes, "
+              << u.num_edges() << " edges)";
+  std::cout << '\n';
 
   util::Table table({"Field", "Width", "Kind"});
   for (const auto m : r.combination.messages)

@@ -16,19 +16,18 @@
 // sweep compares engines up to 4 and then lets the reduced engine continue
 // alone — the rows that exist only because the reduction exists.
 
-#include <sys/resource.h>
-
 #include <chrono>
 #include <cstdint>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "flow/parser.hpp"
 #include "selection/info_gain.hpp"
 #include "selection/selector.hpp"
 #include "util/json.hpp"
+#include "util/obs.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -45,12 +44,6 @@ double best_of_ms(int repeats, const auto& fn) {
         best, std::chrono::duration<double, std::milli>(t1 - t0).count());
   }
   return best;
-}
-
-long peak_rss_kb() {
-  rusage ru{};
-  getrusage(RUSAGE_SELF, &ru);
-  return ru.ru_maxrss;  // kilobytes on Linux; monotone high-water mark
 }
 
 struct Row {
@@ -79,7 +72,7 @@ Row measure(const std::vector<flow::IndexedFlow>& instances,
     row.product_states = u.num_product_states();
     row.product_edges = u.num_product_edges();
   });
-  row.rss_kb = peak_rss_kb();
+  row.rss_kb = obs::peak_rss_kb();
   return row;
 }
 
@@ -223,8 +216,7 @@ int main() {
   out.set("rows", std::move(jrows));
   out.set("bit_identical", util::Json::boolean(id_failures == 0));
   out.set("gates_passed", util::Json::boolean(failures == 0));
-  std::ofstream("BENCH_interleave.json") << out.dump(2) << '\n';
-  std::cout << "Wrote BENCH_interleave.json\n";
+  bench::write_json("BENCH_interleave.json", std::move(out));
 
   if (failures) {
     std::cerr << failures << " gate/identity failure(s)\n";

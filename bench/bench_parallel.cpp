@@ -19,7 +19,9 @@
 #include <iostream>
 #include <thread>
 
+#include "bench_util.hpp"
 #include "tracesel/tracesel.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -48,11 +50,22 @@ bool identical(const selection::SelectionResult& a,
          a.used_width == b.used_width && a.buffer_width == b.buffer_width;
 }
 
-int bench_selection() {
+int bench_selection(util::Json& jrows) {
   int failures = 0;
   std::cout << "Selection on the full t2.flow spec (every flow, one indexed "
                "instance; buffer 48):\n";
   util::Table table({"Mode", "Jobs", "Wall ms", "Speedup", "Identical"});
+  auto record = [&](const char* mode, std::size_t jobs, double wall_ms,
+                    double speedup, bool ok) {
+    util::Json jr = util::Json::object();
+    jr.set("bench", util::Json::string("selection"));
+    jr.set("mode", util::Json::string(mode));
+    jr.set("jobs", util::Json::number(std::uint64_t{jobs}));
+    jr.set("wall_ms", util::Json::number(wall_ms));
+    jr.set("speedup", util::Json::number(speedup));
+    jr.set("identical", util::Json::boolean(ok));
+    jrows.push_back(std::move(jr));
+  };
   for (const auto& [mode, mode_name] :
        {std::pair{selection::SearchMode::kMaximal, "maximal"},
         std::pair{selection::SearchMode::kExhaustive, "exhaustive"}}) {
@@ -67,6 +80,7 @@ int bench_selection() {
     const double serial_ms =
         best_of_ms(5, [&] { reference = session.select(); });
     table.add_row({mode_name, "1", util::fixed(serial_ms, 2), "1.00", "ref"});
+    record(mode_name, 1, serial_ms, 1.0, true);
 
     for (const std::size_t jobs : {std::size_t{2}, std::size_t{4}}) {
       session.jobs(jobs);
@@ -78,16 +92,27 @@ int bench_selection() {
                      util::fixed(par_ms, 2),
                      util::fixed(serial_ms / par_ms, 2),
                      ok ? "yes" : "NO"});
+      record(mode_name, jobs, par_ms, serial_ms / par_ms, ok);
     }
   }
   std::cout << table << '\n';
   return failures;
 }
 
-int bench_monte_carlo() {
+int bench_monte_carlo(util::Json& jrows) {
   int failures = 0;
   std::cout << "Monte-Carlo debug trials (case study 1, 8 runs):\n";
   util::Table table({"Jobs", "Wall ms", "Speedup", "Identical"});
+  auto record = [&](std::size_t jobs, double wall_ms, double speedup,
+                    bool ok) {
+    util::Json jr = util::Json::object();
+    jr.set("bench", util::Json::string("monte_carlo"));
+    jr.set("jobs", util::Json::number(std::uint64_t{jobs}));
+    jr.set("wall_ms", util::Json::number(wall_ms));
+    jr.set("speedup", util::Json::number(speedup));
+    jr.set("identical", util::Json::boolean(ok));
+    jrows.push_back(std::move(jr));
+  };
   soc::T2Design design;
   const auto cases = soc::standard_case_studies();
   const debug::CaseStudyOptions base;
@@ -97,6 +122,7 @@ int bench_monte_carlo() {
     reference = debug::evaluate_case_study(design, cases[0], base, 8, 1);
   });
   table.add_row({"1", util::fixed(serial_ms, 2), "1.00", "ref"});
+  record(1, serial_ms, 1.0, true);
 
   for (const std::size_t jobs : {std::size_t{2}, std::size_t{4}}) {
     auto got = debug::evaluate_case_study(design, cases[0], base, 8, jobs);
@@ -116,6 +142,7 @@ int bench_monte_carlo() {
     if (!ok) ++failures;
     table.add_row({std::to_string(jobs), util::fixed(par_ms, 2),
                    util::fixed(serial_ms / par_ms, 2), ok ? "yes" : "NO"});
+    record(jobs, par_ms, serial_ms / par_ms, ok);
   }
   std::cout << table << '\n';
   return failures;
@@ -128,8 +155,19 @@ int main() {
             << " (thread-level speedup needs >1; the streaming-enumerator "
                "speedup does not)\n\n";
   int failures = 0;
-  failures += bench_selection();
-  failures += bench_monte_carlo();
+  util::Json jrows = util::Json::array();
+  failures += bench_selection(jrows);
+  failures += bench_monte_carlo(jrows);
+
+  util::Json out = util::Json::object();
+  out.set("spec", util::Json::string("t2.flow"));
+  out.set("hardware_threads",
+          util::Json::number(
+              std::uint64_t{std::thread::hardware_concurrency()}));
+  out.set("rows", std::move(jrows));
+  out.set("all_identical", util::Json::boolean(failures == 0));
+  bench::write_json("BENCH_parallel.json", std::move(out));
+
   if (failures) {
     std::cerr << failures
               << " parallel result(s) differed from the serial reference\n";

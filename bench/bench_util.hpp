@@ -4,9 +4,13 @@
 // measured table, and (c) the paper's reported numbers for side-by-side
 // comparison where applicable (see EXPERIMENTS.md for the discussion).
 
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 
+#include "util/json.hpp"
+#include "util/obs.hpp"
 #include "util/table.hpp"
 
 namespace tracesel::bench {
@@ -24,6 +28,34 @@ inline void banner(const std::string& experiment,
 
 inline void note(const std::string& text) {
   std::cout << "note: " << text << "\n";
+}
+
+/// Stamps `out` with a "process" block — peak RSS and total wall time read
+/// from the tracesel::obs metrics registry — giving every BENCH_*.json a
+/// memory axis alongside its timing columns. Works with the obs layer
+/// disabled (process gauges are maintained unconditionally).
+inline void stamp_process(util::Json& out) {
+  obs::update_process_gauges();
+  util::Json process = util::Json::object();
+  process.set("peak_rss_kb",
+              util::Json::number(
+                  obs::registry().gauge_value("process.peak_rss_kb")));
+  process.set("wall_ms", util::Json::number(obs::process_wall_ms()));
+  out.set("process", std::move(process));
+}
+
+/// Stamps the process block into `out` and writes one BENCH_*.json result
+/// file; false (with a diagnostic) when the file cannot be opened.
+inline bool write_json(const std::string& path, util::Json out) {
+  stamp_process(out);
+  std::ofstream file(path);
+  if (!file) {
+    std::cerr << "cannot write " << path << '\n';
+    return false;
+  }
+  file << out.dump(2) << '\n';
+  std::cout << "Wrote " << path << '\n';
+  return true;
 }
 
 }  // namespace tracesel::bench

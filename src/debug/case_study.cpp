@@ -1,12 +1,14 @@
 #include "debug/case_study.hpp"
 
 #include "debug/workbench.hpp"
+#include "util/obs.hpp"
 
 namespace tracesel::debug {
 
 CaseStudyResult run_case_study(const soc::T2Design& design,
                                const soc::CaseStudy& case_study,
                                const CaseStudyOptions& options) {
+  OBS_SPAN("debug.case_study");
   CaseStudyResult result;
   result.case_study = case_study;
   result.scenario = soc::scenario_by_id(case_study.scenario_id);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/obs.hpp"
 #include "util/stats.hpp"
 
 namespace tracesel::debug {
@@ -29,6 +30,7 @@ MonteCarloResult evaluate_case_study(const soc::T2Design& design,
   if (runs == 0)
     throw std::invalid_argument("evaluate_case_study: zero runs");
 
+  OBS_SPAN("debug.monte_carlo");
   MonteCarloResult result;
   result.runs = runs;
   // Trials are embarrassingly parallel: each derives its seed from its
@@ -38,6 +40,7 @@ MonteCarloResult evaluate_case_study(const soc::T2Design& design,
       pairs(runs);
   std::vector<unsigned char> failed(runs, 0);
   const auto run_one = [&](std::size_t i) {
+    OBS_COUNT("debug.monte_carlo.trials", 1);
     CaseStudyOptions opt = base;
     opt.seed = base.seed + i;
     const auto r = run_case_study(design, case_study, opt);

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/obs.hpp"
+
 namespace tracesel::debug {
 
 Workbench::Workbench(const flow::MessageCatalog& catalog,
@@ -14,6 +16,7 @@ Workbench::Workbench(const flow::MessageCatalog& catalog,
 
 WorkbenchResult Workbench::run(const std::vector<bug::Bug>& bugs,
                                const WorkbenchConfig& config) const {
+  OBS_SPAN("debug.workbench");
   WorkbenchResult result;
 
   // --- Message selection over the interleaving ---
@@ -43,8 +46,11 @@ WorkbenchResult Workbench::run(const std::vector<bug::Bug>& bugs,
   soc::SimOptions sim_opts;
   sim_opts.sessions = config.sessions;
   sim_opts.seed = config.seed;
-  result.golden = golden_sim.run(sim_opts);
-  result.buggy = buggy_sim.run(sim_opts);
+  {
+    OBS_SPAN("debug.simulate");
+    result.golden = golden_sim.run(sim_opts);
+    result.buggy = buggy_sim.run(sim_opts);
+  }
 
   for (const soc::TimedMessage& tm : result.golden.messages)
     golden_buffer.record(tm);
@@ -58,7 +64,10 @@ WorkbenchResult Workbench::run(const std::vector<bug::Bug>& bugs,
   obs_opts.unusable_threshold = config.unusable_threshold;
 
   for (std::uint32_t attempt = 0;; ++attempt) {
+    OBS_SPAN("debug.capture");
     result.capture_attempts = attempt + 1;
+    OBS_COUNT("debug.capture.attempts", 1);
+    if (attempt > 0) OBS_COUNT("debug.capture.retries", 1);
     buggy_buffer.configure(*catalog_, result.selection);  // reset the ring
     const std::vector<soc::TimedMessage> delivered =
         injector.apply(result.buggy.messages, attempt, &result.fault_stats);
@@ -85,23 +94,29 @@ WorkbenchResult Workbench::run(const std::vector<bug::Bug>& bugs,
       result.observation = observe_lenient(
           *catalog_, traced, result.golden_records, result.buggy_records);
       result.capture_degraded = true;
+      OBS_COUNT("debug.capture.degraded", 1);
       break;
     }
     // Unusable: recapture with a fresh fault salt (a re-run on silicon).
   }
+  OBS_COUNT("debug.faults.injected", result.fault_stats.total_injected());
 
   // --- Root-cause pruning: exact walk plus the weighted verdict ---
-  const Debugger debugger(*catalog_, flows_, *causes_);
-  result.report =
-      debugger.debug(result.observation, result.buggy_records, config.seed);
-  result.ranked_causes = prune_weighted(*causes_, result.observation,
-                                        config.cause_score_threshold);
+  {
+    OBS_SPAN("debug.root_cause");
+    const Debugger debugger(*catalog_, flows_, *causes_);
+    result.report =
+        debugger.debug(result.observation, result.buggy_records, config.seed);
+    result.ranked_causes = prune_weighted(*causes_, result.observation,
+                                          config.cause_score_threshold);
+  }
 
   // --- Path localization on the failing session's projection ---
   // Caveat: if the buffer wrapped (overwritten records), the surviving
   // projection is a suffix, not a prefix, and ordered prefix-consistency
   // may count zero paths; size buffer_depth generously (default 64k) or
   // use a TraceTrigger to spend depth on the failing region.
+  OBS_SPAN("debug.localize");
   std::vector<flow::IndexedMessage> observed;
   for (const soc::TraceRecord& r : result.buggy_records) {
     if (r.session == result.buggy.fail_session) observed.push_back(r.msg);

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/obs.hpp"
+
 namespace tracesel::flow {
 
 namespace {
@@ -54,6 +56,7 @@ InterleavedFlow InterleavedFlow::build(std::vector<IndexedFlow> instances,
 
 InterleavedFlow InterleavedFlow::build(std::vector<IndexedFlow> instances,
                                        const InterleaveOptions& options) {
+  OBS_SPAN("interleave.build");
   if (instances.empty())
     throw std::invalid_argument("InterleavedFlow: no instances");
   for (const IndexedFlow& inst : instances) {
@@ -90,11 +93,18 @@ InterleavedFlow InterleavedFlow::build(std::vector<IndexedFlow> instances,
   u.interner_ = KeyInterner(u.codec_.words());
   u.build_graph();
   u.finalize_weights_and_occurrences();
+  OBS_COUNT("interleave.builds", 1);
+  OBS_COUNT("interleave.nodes", u.num_nodes_);
+  OBS_COUNT("interleave.edges", u.edges_.size());
+  OBS_COUNT("interleave.interner.probes", u.interner_.probes());
+  OBS_GAUGE_MAX("interleave.product_states", u.product_states_);
+  OBS_GAUGE_MAX("interleave.product_edges", u.product_edges_);
   if (u.reduced_ && options.cross_check) u.verify_against_unreduced();
   return u;
 }
 
 void InterleavedFlow::build_graph() {
+  OBS_SPAN("interleave.graph");
   const std::size_t k = instances_.size();
   const std::size_t words = codec_.words();
 
@@ -201,6 +211,7 @@ void InterleavedFlow::build_graph() {
 }
 
 void InterleavedFlow::finalize_weights_and_occurrences() {
+  OBS_SPAN("interleave.weights");
   const std::size_t k = instances_.size();
   std::vector<StateId> cur(k);
 
@@ -768,6 +779,7 @@ InterleavedFlow::histograms_reduced() const {
 }
 
 void InterleavedFlow::verify_against_unreduced() const {
+  OBS_SPAN("interleave.cross_check");
   InterleaveOptions opt = options_;
   opt.symmetry_reduction = false;
   opt.cross_check = false;

@@ -91,6 +91,11 @@ class KeyInterner {
 
   std::size_t size() const { return count_; }
 
+  /// Total slot inspections across intern()/find() — the obs layer
+  /// reports this as "interleave.interner.probes" (probes/lookup ≈ 1 means
+  /// the table is healthy).
+  std::uint64_t probes() const { return probes_; }
+
   const std::uint64_t* key(std::uint32_t id) const {
     return keys_.data() + static_cast<std::size_t>(id) * words_;
   }
@@ -100,6 +105,7 @@ class KeyInterner {
     if ((count_ + 1) * 10 >= slots_.size() * 7) rehash(slots_.size() * 2);
     std::size_t s = probe_start(k);
     for (;; s = (s + 1) & mask_) {
+      ++probes_;
       const std::uint32_t id = slots_[s];
       if (id == kInvalidNode) break;
       if (equal(key(id), k)) {
@@ -118,6 +124,7 @@ class KeyInterner {
   std::uint32_t find(const std::uint64_t* k) const {
     std::size_t s = probe_start(k);
     for (;; s = (s + 1) & mask_) {
+      ++probes_;
       const std::uint32_t id = slots_[s];
       if (id == kInvalidNode) return kInvalidNode;
       if (equal(key(id), k)) return id;
@@ -159,6 +166,7 @@ class KeyInterner {
   std::size_t count_ = 0;
   std::vector<std::uint32_t> slots_;
   std::size_t mask_ = 0;
+  mutable std::uint64_t probes_ = 0;
 };
 
 }  // namespace tracesel::flow

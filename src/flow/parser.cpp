@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "flow/flow_builder.hpp"
+#include "util/obs.hpp"
 
 namespace tracesel::flow {
 
@@ -53,6 +54,7 @@ struct PendingSubgroup {
 /// a malformed line is skipped, a flow that cannot be built is dropped.
 ParsedSpec parse_impl(std::string_view text, const std::string& file,
                       std::vector<ParseDiagnostic>* sink) {
+  OBS_SPAN("flow.parse");
   const bool lenient = sink != nullptr;
   ParsedSpec spec;
   std::vector<PendingSubgroup> pending_subgroups;
@@ -250,6 +252,9 @@ ParsedSpec parse_impl(std::string_view text, const std::string& file,
       }
     });
   }
+  OBS_COUNT("parse.flows", spec.flows.size());
+  OBS_COUNT("parse.messages", spec.catalog.size());
+  if (sink != nullptr) OBS_COUNT("parse.diagnostics", sink->size());
   return spec;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/obs.hpp"
+
 namespace tracesel::selection {
 
 GainMemo::GainMemo(std::size_t max_entries)
@@ -52,7 +54,11 @@ double GainMemo::gain(const InfoGainEngine& engine,
                       std::span<const flow::MessageId> combination) {
   std::vector<flow::MessageId> key(combination.begin(), combination.end());
   std::sort(key.begin(), key.end());
-  if (const auto hit = lookup(key)) return *hit;
+  if (const auto hit = lookup(key)) {
+    OBS_COUNT("selection.memo.hits", 1);
+    return *hit;
+  }
+  OBS_COUNT("selection.memo.misses", 1);
   // Score the caller's original order: info_gain sums per-message terms in
   // argument order, and packing callers pass unsorted unions — matching
   // their serial summation order keeps results bit-identical.

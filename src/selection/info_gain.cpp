@@ -2,9 +2,12 @@
 
 #include <cmath>
 
+#include "util/obs.hpp"
+
 namespace tracesel::selection {
 
 InfoGainEngine::InfoGainEngine(const flow::InterleavedFlow& u) : u_(&u) {
+  OBS_SPAN("selection.gain.engine_build");
   // All probabilities range over the *concrete* product, so a
   // symmetry-reduced engine scores exactly like the unreduced one: both
   // reduce the per-edge statistics to the same in-edge class histograms
@@ -35,6 +38,7 @@ InfoGainEngine::InfoGainEngine(const flow::InterleavedFlow& u) : u_(&u) {
 
 double InfoGainEngine::info_gain(
     std::span<const flow::MessageId> combination) const {
+  OBS_COUNT("selection.gain.evals", 1);
   double gain = 0.0;
   for (flow::MessageId m : combination) {
     const auto it = contrib_by_message_.find(m);

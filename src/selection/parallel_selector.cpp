@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/obs.hpp"
+
 namespace tracesel::selection {
 
 namespace {
@@ -60,6 +62,7 @@ ParallelSelector::ParallelSelector(const MessageSelector& base)
 Combination ParallelSelector::search_sharded(const SelectorConfig& config,
                                              bool maximal_only,
                                              util::ThreadPool& pool) const {
+  OBS_SPAN("selection.parallel.search");
   const auto& candidates = base_->candidates();
   const auto& catalog = base_->catalog();
   const InfoGainEngine& engine = base_->engine();
@@ -92,6 +95,7 @@ Combination ParallelSelector::search_sharded(const SelectorConfig& config,
     };
     gen(gen, 0);
   }
+  OBS_COUNT("selection.parallel.seeds", seeds.size());
 
   std::vector<Best> results(seeds.size());
   std::atomic<std::size_t> emitted{0};
@@ -149,6 +153,7 @@ Combination ParallelSelector::search_sharded(const SelectorConfig& config,
     });
   }
   pool.wait();
+  OBS_COUNT("selection.combinations", emitted.load(std::memory_order_relaxed));
 
   Best overall;
   for (const Best& b : results) overall.offer(b);

@@ -5,6 +5,7 @@
 
 #include "selection/gain_memo.hpp"
 #include "selection/parallel_selector.hpp"
+#include "util/obs.hpp"
 
 namespace tracesel::selection {
 
@@ -21,18 +22,23 @@ MessageSelector::MessageSelector(const flow::MessageCatalog& catalog,
 
 Combination MessageSelector::search_exhaustive(const SelectorConfig& config,
                                                bool maximal_only) const {
-  const auto combos =
-      maximal_only
-          ? enumerate_maximal_combinations(*catalog_, candidates_,
-                                           config.buffer_width,
-                                           config.max_combinations)
-          : enumerate_combinations(*catalog_, candidates_,
-                                   config.buffer_width,
-                                   config.max_combinations);
+  std::vector<Combination> combos;
+  {
+    OBS_SPAN("selection.step1.enumerate");
+    combos = maximal_only
+                 ? enumerate_maximal_combinations(*catalog_, candidates_,
+                                                  config.buffer_width,
+                                                  config.max_combinations)
+                 : enumerate_combinations(*catalog_, candidates_,
+                                          config.buffer_width,
+                                          config.max_combinations);
+  }
+  OBS_COUNT("selection.combinations", combos.size());
   if (combos.empty())
     throw std::runtime_error(
         "MessageSelector: no message fits the trace buffer");
 
+  OBS_SPAN("selection.step2.score");
   const Combination* best = nullptr;
   double best_gain = -1.0;
   for (const Combination& c : combos) {
@@ -53,6 +59,7 @@ Combination MessageSelector::search_exhaustive(const SelectorConfig& config,
 }
 
 Combination MessageSelector::search_greedy(const SelectorConfig& config) const {
+  OBS_SPAN("selection.search.greedy");
   Combination current;
   for (;;) {
     const flow::MessageId* best = nullptr;
@@ -87,6 +94,7 @@ Combination MessageSelector::search_greedy(const SelectorConfig& config) const {
 
 Combination MessageSelector::search_knapsack(
     const SelectorConfig& config) const {
+  OBS_SPAN("selection.search.knapsack");
   // Full-table 0/1 knapsack: dp[i][w] = (best gain, width actually used)
   // over the first i candidates within capacity w. Ties in gain prefer the
   // narrower fill (leaves room for Step 3 packing), matching the
@@ -150,9 +158,11 @@ SelectionResult MessageSelector::finalize(Combination combination,
   result.used_width = result.combination.width;
 
   if (config.packing) {
+    OBS_SPAN("selection.step3.packing");
     PackingResult packing =
         pack_leftover(*catalog_, engine_, result.combination,
                       config.buffer_width, candidates_, memo);
+    OBS_COUNT("selection.packed", packing.packed.size());
     result.packed = std::move(packing.packed);
     result.used_width += packing.width_added;
     result.gain = packing.gain_after;
@@ -164,6 +174,7 @@ SelectionResult MessageSelector::finalize(Combination combination,
 }
 
 SelectionResult MessageSelector::select(const SelectorConfig& config) const {
+  OBS_SPAN("selection.select");
   // The exhaustive/maximal search parallelizes cleanly (the engine is
   // const after construction); jobs != 1 routes it through the parallel
   // engine, which produces bit-identical results for every worker count.

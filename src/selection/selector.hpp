@@ -4,6 +4,7 @@
 // mutual information gain, then pack subgroups into the leftover buffer.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "selection/combination.hpp"
@@ -46,6 +47,12 @@ struct SelectorConfig {
   /// hardware thread, N = exactly N workers. Results are bit-identical to
   /// the serial path for every value.
   std::size_t jobs = 1;
+  /// Observability sinks (tracesel::obs, DESIGN.md §10). Either being
+  /// non-empty turns the obs layer on when the config reaches a
+  /// tracesel::Session; Session::write_observability() then writes the
+  /// Chrome trace-event JSON / flat metrics JSON to these paths.
+  std::string trace_out;
+  std::string metrics_out;
 };
 
 /// The full outcome of a selection run, carrying both the packed and

@@ -5,6 +5,7 @@
 
 #include "flow/indexed_flow.hpp"
 #include "soc/scenario.hpp"
+#include "util/obs.hpp"
 
 namespace tracesel {
 
@@ -40,7 +41,22 @@ Session Session::t2() {
 
 Session& Session::configure(const selection::SelectorConfig& config) {
   config_ = config;
+  // Asking for an observability sink is the opt-in for the whole layer;
+  // never the reverse (a config without sinks must not silence a layer an
+  // embedding application enabled directly).
+  if (!config_.trace_out.empty() || !config_.metrics_out.empty())
+    obs::set_enabled(true);
   return *this;
+}
+
+bool Session::write_observability() const {
+  obs::update_process_gauges();
+  bool ok = true;
+  if (!config_.trace_out.empty())
+    ok = obs::write_chrome_trace(config_.trace_out) && ok;
+  if (!config_.metrics_out.empty())
+    ok = obs::write_metrics(config_.metrics_out) && ok;
+  return ok;
 }
 
 Session& Session::jobs(std::size_t n) {
@@ -63,6 +79,7 @@ Session& Session::interleave(std::uint32_t instances) {
     throw std::logic_error(
         "Session::interleave: no spec loaded (use scenario() for t2 "
         "sessions)");
+  OBS_SPAN("session.interleave");
   std::vector<const flow::Flow*> flows;
   for (const flow::Flow& f : spec_->flows) flows.push_back(&f);
   u_ = std::make_unique<flow::InterleavedFlow>(flow::InterleavedFlow::build(
@@ -74,6 +91,7 @@ Session& Session::interleave(std::uint32_t instances) {
 Session& Session::scenario(int id) {
   if (!t2_)
     throw std::logic_error("Session::scenario: not a t2 session");
+  OBS_SPAN("session.interleave");
   u_ = std::make_unique<flow::InterleavedFlow>(soc::build_interleaving(
       *t2_, soc::scenario_by_id(id), interleave_options_));
   invalidate_selector();
@@ -97,6 +115,7 @@ util::ThreadPool* Session::pool() {
 }
 
 selection::SelectionResult Session::select_impl(bool flow_constraint) {
+  OBS_SPAN("session.select");
   if (!u_) {
     // Spec sessions default to the paper's two legally indexed instances.
     if (spec_) interleave(2);
@@ -149,6 +168,7 @@ debug::CaseStudyResult Session::run_case_study(
   const auto cases = soc::standard_case_studies();
   if (case_id < 1 || case_id > static_cast<int>(cases.size()))
     throw std::out_of_range("Session::run_case_study: case id out of range");
+  OBS_SPAN("session.case_study");
   options.jobs = config_.jobs;
   return debug::run_case_study(*t2_, cases[case_id - 1], options);
 }
@@ -162,6 +182,7 @@ debug::MonteCarloResult Session::monte_carlo(int case_id, std::size_t runs,
     throw std::out_of_range("Session::monte_carlo: case id out of range");
   // Parallelism is applied across trials, not inside each trial's
   // selection step — nesting pools would oversubscribe the machine.
+  OBS_SPAN("session.monte_carlo");
   return debug::evaluate_case_study(*t2_, cases[case_id - 1], base, runs,
                                     config_.jobs, pool());
 }

@@ -61,7 +61,13 @@ class Session {
   Session& operator=(Session&&) = default;
 
   // --- configuration (one options struct for the whole pipeline) ---
+  /// Adopts the config; a non-empty trace_out/metrics_out also enables the
+  /// tracesel::obs layer for the process.
   Session& configure(const selection::SelectorConfig& config);
+  /// Writes the Chrome trace (config().trace_out) and/or metrics JSON
+  /// (config().metrics_out) accumulated so far; true when every requested
+  /// sink was written. No-op (true) when neither path is set.
+  bool write_observability() const;
   selection::SelectorConfig& config() { return config_; }
   const selection::SelectorConfig& config() const { return config_; }
   /// Shorthand for config().jobs = n.

@@ -1,6 +1,9 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
 
 namespace tracesel::util {
 
@@ -16,6 +19,22 @@ const char* prefix(LogLevel level) {
   }
   return "[?    ] ";
 }
+
+/// Seconds since the first log line, so concurrent runs are comparable
+/// without wall-clock parsing.
+double elapsed_s() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - epoch).count();
+}
+
+/// Dense per-thread id, assigned on first log from a thread.
+std::uint32_t thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 }  // namespace
 
 LogLevel log_threshold() { return g_threshold.load(std::memory_order_relaxed); }
@@ -26,7 +45,14 @@ void set_log_threshold(LogLevel level) {
 
 namespace detail {
 void emit(LogLevel level, const std::string& text) {
-  std::clog << prefix(level) << text << '\n';
+  // Lines from parallel workers must never interleave mid-line: format the
+  // whole record first, then write it under one mutex.
+  char stamp[48];
+  std::snprintf(stamp, sizeof stamp, "%10.6f t%02u ", elapsed_s(),
+                thread_id());
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lk(mu);
+  std::clog << prefix(level) << stamp << text << '\n';
 }
 }  // namespace detail
 

@@ -1,0 +1,543 @@
+#include "util/obs.hpp"
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "util/log.hpp"
+
+namespace tracesel::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Hard cap on buffered events per thread: past it spans are dropped (and
+/// counted in the snapshot) instead of growing memory without bound.
+constexpr std::size_t kMaxEventsPerThread = std::size_t{1} << 20;
+
+constexpr std::uint64_t kNoMin = ~std::uint64_t{0};
+
+std::int64_t clock_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+struct HistShard {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> min{kNoMin};
+  std::atomic<std::uint64_t> max{0};
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+};
+
+/// One thread's private metric block. The owner thread is the only writer
+/// of the atomics (relaxed), snapshot readers merge them concurrently;
+/// the event vector is guarded by its own mutex because it reallocates.
+struct ThreadShard {
+  std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+  std::array<HistShard, kMaxHistograms> hists{};
+  std::mutex events_mu;
+  std::vector<TraceEvent> events;
+  std::uint64_t events_dropped = 0;  // guarded by events_mu
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;  // owner thread only
+};
+
+struct HistTotals {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = kNoMin;
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+};
+
+/// The backing store behind the MetricsRegistry facade. Lock order:
+/// state.mu before any shard's events_mu.
+struct State {
+  mutable std::mutex mu;
+
+  // Append-only name tables; ids handed out stay valid for the process
+  // lifetime (reset() clears values, never names).
+  std::unordered_map<std::string, std::uint32_t> counter_ids;
+  std::unordered_map<std::string, std::uint32_t> gauge_ids;
+  std::unordered_map<std::string, std::uint32_t> hist_ids;
+  std::vector<std::string> counter_names;
+  std::vector<std::string> gauge_names;
+  std::vector<std::string> hist_names;
+
+  std::array<std::atomic<std::int64_t>, kMaxGauges> gauges{};
+
+  std::vector<ThreadShard*> shards;  // live threads
+  std::uint32_t next_tid = 0;
+
+  // Folded-in contributions of exited threads (guarded by mu).
+  std::array<std::uint64_t, kMaxCounters> retired_counters{};
+  std::array<HistTotals, kMaxHistograms> retired_hists{};
+  std::vector<TraceEvent> retired_events;
+  std::uint64_t retired_events_dropped = 0;
+
+  /// Trace epoch as steady-clock nanoseconds, atomic so Span never takes
+  /// the registry mutex on the hot path.
+  std::atomic<std::int64_t> epoch_ns{clock_now_ns()};
+
+  ThreadShard* attach() {
+    auto* shard = new ThreadShard;
+    std::lock_guard<std::mutex> lk(mu);
+    shard->tid = next_tid++;
+    shards.push_back(shard);
+    return shard;
+  }
+
+  void detach(ThreadShard* shard) {
+    std::lock_guard<std::mutex> lk(mu);
+    for (std::size_t i = 0; i < kMaxCounters; ++i)
+      retired_counters[i] += shard->counters[i].load(std::memory_order_relaxed);
+    for (std::size_t h = 0; h < kMaxHistograms; ++h)
+      merge_hist(retired_hists[h], shard->hists[h]);
+    {
+      std::lock_guard<std::mutex> elk(shard->events_mu);
+      retired_events.insert(retired_events.end(), shard->events.begin(),
+                            shard->events.end());
+      retired_events_dropped += shard->events_dropped;
+    }
+    shards.erase(std::find(shards.begin(), shards.end(), shard));
+    delete shard;
+  }
+
+  static void merge_hist(HistTotals& into, const HistShard& from) {
+    into.count += from.count.load(std::memory_order_relaxed);
+    into.sum += from.sum.load(std::memory_order_relaxed);
+    into.min = std::min(into.min, from.min.load(std::memory_order_relaxed));
+    into.max = std::max(into.max, from.max.load(std::memory_order_relaxed));
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b)
+      into.buckets[b] += from.buckets[b].load(std::memory_order_relaxed);
+  }
+};
+
+State& state() {
+  // Leaked on purpose: worker threads may detach during static
+  // destruction, after main() has returned.
+  static State* s = new State;
+  return *s;
+}
+
+// Construct the state (and with it the trace epoch) during static
+// initialization, not at first metric use: process_wall_ms() must measure
+// from process start even when the first obs call is a final
+// update_process_gauges() stamping a bench result.
+[[maybe_unused]] const State& g_eager_state = state();
+
+/// RAII registration of the calling thread's shard; the destructor folds
+/// the shard into the retired accumulators at thread exit.
+struct ShardHandle {
+  ThreadShard* shard;
+  ShardHandle() : shard(state().attach()) {}
+  ~ShardHandle() { state().detach(shard); }
+};
+
+ThreadShard& local_shard() {
+  thread_local ShardHandle handle;
+  return *handle.shard;
+}
+
+std::uint32_t register_name(std::unordered_map<std::string, std::uint32_t>& ids,
+                            std::vector<std::string>& names,
+                            std::size_t capacity, std::string_view name,
+                            const char* kind) {
+  const auto it = ids.find(std::string(name));
+  if (it != ids.end()) return it->second;
+  if (names.size() >= capacity)
+    throw std::length_error(std::string("obs::MetricsRegistry: ") + kind +
+                            " capacity exceeded registering '" +
+                            std::string(name) + "'");
+  const auto id = static_cast<std::uint32_t>(names.size());
+  names.emplace_back(name);
+  ids.emplace(names.back(), id);
+  return id;
+}
+
+}  // namespace
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint32_t histogram_bucket(std::uint64_t value) {
+  return value == 0 ? 0u : static_cast<std::uint32_t>(std::bit_width(value));
+}
+
+MetricsRegistry& registry() {
+  static MetricsRegistry facade;
+  state();  // make sure the backing store outlives any first use
+  return facade;
+}
+
+CounterId MetricsRegistry::counter(std::string_view name) {
+  State& s = state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  return CounterId{register_name(s.counter_ids, s.counter_names, kMaxCounters,
+                                 name, "counter")};
+}
+
+GaugeId MetricsRegistry::gauge(std::string_view name) {
+  State& s = state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  return GaugeId{
+      register_name(s.gauge_ids, s.gauge_names, kMaxGauges, name, "gauge")};
+}
+
+HistogramId MetricsRegistry::histogram(std::string_view name) {
+  State& s = state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  return HistogramId{register_name(s.hist_ids, s.hist_names, kMaxHistograms,
+                                   name, "histogram")};
+}
+
+void MetricsRegistry::add(CounterId id, std::uint64_t delta) {
+  local_shard().counters[id.index].fetch_add(delta,
+                                             std::memory_order_relaxed);
+}
+
+void MetricsRegistry::set(GaugeId id, std::int64_t value) {
+  state().gauges[id.index].store(value, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::set_max(GaugeId id, std::int64_t value) {
+  auto& gauge = state().gauges[id.index];
+  std::int64_t seen = gauge.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !gauge.compare_exchange_weak(seen, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void MetricsRegistry::observe(HistogramId id, std::uint64_t value) {
+  HistShard& h = local_shard().hists[id.index];
+  h.count.fetch_add(1, std::memory_order_relaxed);
+  h.sum.fetch_add(value, std::memory_order_relaxed);
+  // The owner thread is the only writer, so load-compare-store is enough.
+  if (value < h.min.load(std::memory_order_relaxed))
+    h.min.store(value, std::memory_order_relaxed);
+  if (value > h.max.load(std::memory_order_relaxed))
+    h.max.store(value, std::memory_order_relaxed);
+  h.buckets[histogram_bucket(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  State& s = state();
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lk(s.mu);
+
+  std::vector<std::uint64_t> counter_totals(s.counter_names.size(), 0);
+  for (std::size_t i = 0; i < counter_totals.size(); ++i)
+    counter_totals[i] = s.retired_counters[i];
+
+  auto split_of = [&](std::string label,
+                      const auto& value_at) {
+    std::vector<std::pair<std::string, std::uint64_t>> values;
+    for (std::size_t i = 0; i < s.counter_names.size(); ++i) {
+      const std::uint64_t v = value_at(i);
+      if (v != 0) values.emplace_back(s.counter_names[i], v);
+    }
+    if (!values.empty())
+      snap.per_thread_counters.emplace_back(std::move(label),
+                                            std::move(values));
+  };
+
+  for (const ThreadShard* shard : s.shards) {
+    std::string label = "t";
+    label += std::to_string(shard->tid);
+    split_of(std::move(label), [&](std::size_t i) {
+      return shard->counters[i].load(std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < counter_totals.size(); ++i)
+      counter_totals[i] +=
+          shard->counters[i].load(std::memory_order_relaxed);
+  }
+  split_of("retired", [&](std::size_t i) { return s.retired_counters[i]; });
+
+  for (std::size_t i = 0; i < s.counter_names.size(); ++i)
+    snap.counters.emplace_back(s.counter_names[i], counter_totals[i]);
+  for (std::size_t i = 0; i < s.gauge_names.size(); ++i)
+    snap.gauges.emplace_back(s.gauge_names[i],
+                             s.gauges[i].load(std::memory_order_relaxed));
+
+  for (std::size_t h = 0; h < s.hist_names.size(); ++h) {
+    HistTotals totals = s.retired_hists[h];
+    for (const ThreadShard* shard : s.shards)
+      State::merge_hist(totals, shard->hists[h]);
+    HistogramSnapshot hs;
+    hs.name = s.hist_names[h];
+    hs.count = totals.count;
+    hs.sum = totals.sum;
+    hs.min = totals.count == 0 ? 0 : totals.min;
+    hs.max = totals.max;
+    hs.buckets.assign(totals.buckets.begin(), totals.buckets.end());
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  const MetricsSnapshot snap = snapshot();
+  for (const auto& [n, v] : snap.counters)
+    if (n == name) return v;
+  return 0;
+}
+
+std::int64_t MetricsRegistry::gauge_value(std::string_view name) const {
+  const MetricsSnapshot snap = snapshot();
+  for (const auto& [n, v] : snap.gauges)
+    if (n == name) return v;
+  return 0;
+}
+
+std::optional<HistogramSnapshot> MetricsRegistry::histogram_snapshot(
+    std::string_view name) const {
+  MetricsSnapshot snap = snapshot();
+  for (auto& h : snap.histograms)
+    if (h.name == name) return std::move(h);
+  return std::nullopt;
+}
+
+void reset() {
+  State& s = state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  s.retired_counters.fill(0);
+  s.retired_hists.fill(HistTotals{});
+  s.retired_events.clear();
+  s.retired_events_dropped = 0;
+  for (auto& g : s.gauges) g.store(0, std::memory_order_relaxed);
+  for (ThreadShard* shard : s.shards) {
+    for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& h : shard->hists) {
+      h.count.store(0, std::memory_order_relaxed);
+      h.sum.store(0, std::memory_order_relaxed);
+      h.min.store(kNoMin, std::memory_order_relaxed);
+      h.max.store(0, std::memory_order_relaxed);
+      for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+    }
+    std::lock_guard<std::mutex> elk(shard->events_mu);
+    shard->events.clear();
+    shard->events_dropped = 0;
+  }
+  s.epoch_ns.store(clock_now_ns(), std::memory_order_relaxed);
+}
+
+// --- spans and trace export -------------------------------------------
+
+void Span::begin(const char* name) {
+  name_ = name;
+  ThreadShard& shard = local_shard();
+  depth_ = shard.depth++;
+  const std::int64_t epoch =
+      state().epoch_ns.load(std::memory_order_relaxed);
+  start_ns_ = static_cast<std::uint64_t>(clock_now_ns() - epoch);
+}
+
+void Span::end() {
+  ThreadShard& shard = local_shard();
+  if (shard.depth > 0) --shard.depth;
+
+  const std::int64_t epoch =
+      state().epoch_ns.load(std::memory_order_relaxed);
+  const auto now_ns = static_cast<std::uint64_t>(clock_now_ns() - epoch);
+  // A reset() between begin and end restarts the epoch; clamp rather than
+  // underflow.
+  const std::uint64_t dur =
+      now_ns >= start_ns_ ? now_ns - start_ns_ : 0;
+
+  TraceEvent event;
+  event.name = name_;
+  event.ts_ns = now_ns - dur;
+  event.dur_ns = dur;
+  event.tid = shard.tid;
+  event.depth = depth_;
+  {
+    std::lock_guard<std::mutex> lk(shard.events_mu);
+    if (shard.events.size() < kMaxEventsPerThread)
+      shard.events.push_back(event);
+    else
+      ++shard.events_dropped;
+  }
+
+  // Mirror the latency into "span.<name>" so the metrics JSON carries the
+  // distribution without re-parsing the trace.
+  registry().observe(
+      registry().histogram(std::string("span.") + name_), dur);
+}
+
+std::vector<TraceEvent> trace_events() {
+  State& s = state();
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    events = s.retired_events;
+    for (ThreadShard* shard : s.shards) {
+      std::lock_guard<std::mutex> elk(shard->events_mu);
+      events.insert(events.end(), shard->events.begin(),
+                    shard->events.end());
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+              if (a.depth != b.depth) return a.depth < b.depth;
+              return a.tid < b.tid;
+            });
+  return events;
+}
+
+util::Json chrome_trace_json() {
+  util::Json events = util::Json::array();
+  {
+    // Process/thread metadata rows make the Perfetto timeline readable.
+    util::Json meta = util::Json::object();
+    meta.set("ph", util::Json::string("M"));
+    meta.set("pid", util::Json::number(std::int64_t{1}));
+    meta.set("name", util::Json::string("process_name"));
+    util::Json args = util::Json::object();
+    args.set("name", util::Json::string("tracesel"));
+    meta.set("args", std::move(args));
+    events.push_back(std::move(meta));
+  }
+  for (const TraceEvent& e : trace_events()) {
+    util::Json je = util::Json::object();
+    je.set("name", util::Json::string(e.name));
+    je.set("cat", util::Json::string("tracesel"));
+    je.set("ph", util::Json::string("X"));
+    je.set("pid", util::Json::number(std::int64_t{1}));
+    je.set("tid", util::Json::number(std::uint64_t{e.tid}));
+    // Chrome trace timestamps are microseconds.
+    je.set("ts", util::Json::number(static_cast<double>(e.ts_ns) / 1000.0));
+    je.set("dur",
+           util::Json::number(static_cast<double>(e.dur_ns) / 1000.0));
+    util::Json args = util::Json::object();
+    args.set("depth", util::Json::number(std::uint64_t{e.depth}));
+    je.set("args", std::move(args));
+    events.push_back(std::move(je));
+  }
+  util::Json out = util::Json::object();
+  out.set("displayTimeUnit", util::Json::string("ms"));
+  out.set("traceEvents", std::move(events));
+  return out;
+}
+
+util::Json metrics_json() {
+  update_process_gauges();
+  const MetricsSnapshot snap = registry().snapshot();
+
+  util::Json counters = util::Json::object();
+  for (const auto& [name, value] : snap.counters)
+    counters.set(name, util::Json::number(value));
+
+  util::Json gauges = util::Json::object();
+  for (const auto& [name, value] : snap.gauges)
+    gauges.set(name, util::Json::number(value));
+
+  util::Json hists = util::Json::object();
+  for (const HistogramSnapshot& h : snap.histograms) {
+    util::Json jh = util::Json::object();
+    jh.set("count", util::Json::number(h.count));
+    jh.set("sum", util::Json::number(h.sum));
+    jh.set("min", util::Json::number(h.min));
+    jh.set("max", util::Json::number(h.max));
+    jh.set("mean", util::Json::number(
+                       h.count == 0 ? 0.0
+                                    : static_cast<double>(h.sum) /
+                                          static_cast<double>(h.count)));
+    util::Json buckets = util::Json::array();
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      util::Json jb = util::Json::object();
+      // Bucket b >= 1 holds values in [2^(b-1), 2^b); report the upper
+      // bound, log-scale.
+      jb.set("lt", util::Json::number(
+                       b == 0 ? std::uint64_t{1} : std::uint64_t{1} << b));
+      jb.set("count", util::Json::number(h.buckets[b]));
+      buckets.push_back(std::move(jb));
+    }
+    jh.set("buckets", std::move(buckets));
+    hists.set(h.name, std::move(jh));
+  }
+
+  util::Json per_thread = util::Json::object();
+  for (const auto& [label, values] : snap.per_thread_counters) {
+    util::Json jt = util::Json::object();
+    for (const auto& [name, value] : values)
+      jt.set(name, util::Json::number(value));
+    per_thread.set(label, std::move(jt));
+  }
+
+  util::Json process = util::Json::object();
+  process.set("peak_rss_kb",
+              util::Json::number(static_cast<std::int64_t>(peak_rss_kb())));
+  process.set("wall_ms", util::Json::number(process_wall_ms()));
+
+  util::Json out = util::Json::object();
+  out.set("process", std::move(process));
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("histograms", std::move(hists));
+  out.set("per_thread_counters", std::move(per_thread));
+  return out;
+}
+
+namespace {
+
+bool write_json(const util::Json& json, const std::string& path,
+                const char* what) {
+  std::ofstream out(path);
+  if (!out) {
+    util::Log(util::LogLevel::kError)
+        << "obs: cannot write " << what << " to '" << path << "'";
+    return false;
+  }
+  out << json.dump(2) << '\n';
+  return out.good();
+}
+
+}  // namespace
+
+bool write_chrome_trace(const std::string& path) {
+  return write_json(chrome_trace_json(), path, "Chrome trace");
+}
+
+bool write_metrics(const std::string& path) {
+  return write_json(metrics_json(), path, "metrics");
+}
+
+long peak_rss_kb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;  // kilobytes on Linux; monotone high-water mark
+}
+
+double process_wall_ms() {
+  const std::int64_t epoch =
+      state().epoch_ns.load(std::memory_order_relaxed);
+  return static_cast<double>(clock_now_ns() - epoch) / 1e6;
+}
+
+void update_process_gauges() {
+  MetricsRegistry& reg = registry();
+  reg.set(reg.gauge("process.peak_rss_kb"), peak_rss_kb());
+  reg.set(reg.gauge("process.wall_ms"),
+          static_cast<std::int64_t>(process_wall_ms()));
+}
+
+}  // namespace tracesel::obs

@@ -1,0 +1,237 @@
+#pragma once
+// tracesel::obs — the runtime observability layer (DESIGN.md §10): named
+// metrics plus hierarchical span timers over the selection and debug
+// pipeline, exported as a flat metrics JSON and as Chrome trace-event JSON
+// (loadable in chrome://tracing and Perfetto).
+//
+// Design constraints, in order:
+//
+//  1. Zero-cost-when-off. The whole layer sits behind one process-global
+//     obs::enabled() flag (default off). Every instrumentation macro reads
+//     it first, so a disabled site costs one relaxed atomic load and one
+//     predictable branch — the bench hard gates (bench_interleave,
+//     bench_parallel) run with the layer off and must stay inside their
+//     thresholds.
+//
+//  2. Race-free under the ThreadPool. Counters and histograms are sharded
+//     per thread: each thread owns a fixed-capacity block of relaxed
+//     atomics it alone writes, and readers merge the shards at snapshot
+//     time. Shards of exited threads are folded into a retired
+//     accumulator, so totals never lose increments. Gauges (rare writes)
+//     are process-global atomics.
+//
+//  3. Stable handles. Metric names map to small dense ids on first use;
+//     ids stay valid for the process lifetime (obs::reset() clears values,
+//     never the name table), so call sites may cache them in function-local
+//     statics — which is exactly what the OBS_* macros do.
+//
+// Span names must be string literals (or otherwise have static storage
+// duration): trace events store the pointer, not a copy. Metric names are
+// copied at registration.
+//
+// Naming scheme (docs/observability.md): dot-separated
+// <subsystem>.<noun>[.<detail>] — e.g. "interleave.interner.probes",
+// "selection.gain.evals", "pool.idle_ns". Span latencies are automatically
+// mirrored into a histogram named "span.<span name>".
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace tracesel::obs {
+
+// Fixed shard capacities: per-thread blocks must never reallocate (readers
+// walk them concurrently), so registration past a cap throws.
+inline constexpr std::size_t kMaxCounters = 256;
+inline constexpr std::size_t kMaxGauges = 64;
+inline constexpr std::size_t kMaxHistograms = 96;
+/// Log-scale buckets: value v lands in bucket bit_width(v) (0 for v == 0),
+/// i.e. bucket b >= 1 holds values in [2^(b-1), 2^b).
+inline constexpr std::size_t kHistogramBuckets = 65;
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// The single switch the instrumentation macros branch on.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on);
+
+/// Clears every metric value and trace event and restarts the trace epoch.
+/// The name -> id table is preserved, so cached metric ids stay valid.
+void reset();
+
+struct CounterId { std::uint32_t index = 0; };
+struct GaugeId { std::uint32_t index = 0; };
+struct HistogramId { std::uint32_t index = 0; };
+
+/// Bucket index of a histogram value (exposed for tests).
+std::uint32_t histogram_bucket(std::uint64_t value);
+
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  ///< 0 when count == 0
+  std::uint64_t max = 0;
+  std::vector<std::uint64_t> buckets;  ///< kHistogramBuckets entries
+};
+
+/// A merged, point-in-time view of every registered metric.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+  /// Per-thread counter split (live shards plus one "retired" pseudo
+  /// shard), for shard-balance analysis: {tid, {name, value}...}.
+  std::vector<std::pair<std::string,
+                        std::vector<std::pair<std::string, std::uint64_t>>>>
+      per_thread_counters;
+};
+
+/// One completed span, timestamped on the steady clock relative to the
+/// trace epoch (process start, or the last reset()).
+struct TraceEvent {
+  const char* name = nullptr;  ///< static storage duration required
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;    ///< dense per-thread id, assigned on first use
+  std::uint32_t depth = 0;  ///< nesting depth within its thread
+};
+
+class Span;
+std::vector<TraceEvent> trace_events();
+
+class MetricsRegistry {
+ public:
+  /// Registers (or finds) a metric; throws std::length_error past the
+  /// capacity caps.
+  CounterId counter(std::string_view name);
+  GaugeId gauge(std::string_view name);
+  HistogramId histogram(std::string_view name);
+
+  void add(CounterId id, std::uint64_t delta = 1);
+  void set(GaugeId id, std::int64_t value);
+  void set_max(GaugeId id, std::int64_t value);  ///< monotone high-water
+  void observe(HistogramId id, std::uint64_t value);
+
+  MetricsSnapshot snapshot() const;
+  /// Merged value lookups by name (0 / nullopt when unregistered).
+  std::uint64_t counter_value(std::string_view name) const;
+  std::int64_t gauge_value(std::string_view name) const;
+  std::optional<HistogramSnapshot> histogram_snapshot(
+      std::string_view name) const;
+
+ private:
+  friend MetricsRegistry& registry();
+  MetricsRegistry() = default;
+};
+
+/// The process-global registry. The class is a stateless facade; the
+/// backing store lives in obs.cpp and is intentionally leaked, so
+/// thread-exit merges stay safe during static destruction.
+MetricsRegistry& registry();
+
+/// RAII span timer. Construction snapshots steady_clock and bumps the
+/// thread's nesting depth; destruction records a TraceEvent into the
+/// thread's shard and mirrors the duration into histogram "span.<name>".
+/// No-op (one branch) when the layer is disabled at construction.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (enabled()) begin(name);
+  }
+  ~Span() {
+    if (name_ != nullptr) end();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void begin(const char* name);
+  void end();
+
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  std::uint32_t depth_ = 0;
+};
+
+/// Chrome trace-event JSON ("X" complete events, microsecond timestamps)
+/// — load the written file in chrome://tracing or ui.perfetto.dev.
+util::Json chrome_trace_json();
+/// Flat metrics JSON: process stats, counters, gauges, histograms and the
+/// per-thread counter split.
+util::Json metrics_json();
+
+/// Convenience writers; false (plus a log line) when the file cannot be
+/// opened.
+bool write_chrome_trace(const std::string& path);
+bool write_metrics(const std::string& path);
+
+/// Process-wide helpers (also mirrored into gauges by
+/// update_process_gauges so bench JSON can read them from the registry).
+long peak_rss_kb();
+double process_wall_ms();
+void update_process_gauges();
+
+}  // namespace tracesel::obs
+
+// --- instrumentation macros -------------------------------------------
+// Each site caches its metric id in a function-local static, so the
+// enabled path is: relaxed load, branch, (first time: registration),
+// thread-shard lookup, relaxed atomic add.
+
+#define TRACESEL_OBS_CONCAT2(a, b) a##b
+#define TRACESEL_OBS_CONCAT(a, b) TRACESEL_OBS_CONCAT2(a, b)
+
+/// Times the enclosing scope as a span named `name` (a string literal).
+#define OBS_SPAN(name) \
+  ::tracesel::obs::Span TRACESEL_OBS_CONCAT(obs_span_, __LINE__)(name)
+
+#define OBS_COUNT(name, delta)                                        \
+  do {                                                                \
+    if (::tracesel::obs::enabled()) {                                 \
+      static const ::tracesel::obs::CounterId obs_metric_id =         \
+          ::tracesel::obs::registry().counter(name);                  \
+      ::tracesel::obs::registry().add(                                \
+          obs_metric_id, static_cast<std::uint64_t>(delta));          \
+    }                                                                 \
+  } while (0)
+
+#define OBS_GAUGE_SET(name, value)                                    \
+  do {                                                                \
+    if (::tracesel::obs::enabled()) {                                 \
+      static const ::tracesel::obs::GaugeId obs_metric_id =           \
+          ::tracesel::obs::registry().gauge(name);                    \
+      ::tracesel::obs::registry().set(                                \
+          obs_metric_id, static_cast<std::int64_t>(value));           \
+    }                                                                 \
+  } while (0)
+
+#define OBS_GAUGE_MAX(name, value)                                    \
+  do {                                                                \
+    if (::tracesel::obs::enabled()) {                                 \
+      static const ::tracesel::obs::GaugeId obs_metric_id =           \
+          ::tracesel::obs::registry().gauge(name);                    \
+      ::tracesel::obs::registry().set_max(                            \
+          obs_metric_id, static_cast<std::int64_t>(value));           \
+    }                                                                 \
+  } while (0)
+
+#define OBS_HIST(name, value)                                         \
+  do {                                                                \
+    if (::tracesel::obs::enabled()) {                                 \
+      static const ::tracesel::obs::HistogramId obs_metric_id =       \
+          ::tracesel::obs::registry().histogram(name);                \
+      ::tracesel::obs::registry().observe(                            \
+          obs_metric_id, static_cast<std::uint64_t>(value));          \
+    }                                                                 \
+  } while (0)

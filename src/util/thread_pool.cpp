@@ -1,6 +1,9 @@
 #include "util/thread_pool.hpp"
 
+#include <chrono>
 #include <stdexcept>
+
+#include "util/obs.hpp"
 
 namespace tracesel::util {
 
@@ -37,8 +40,15 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::worker_loop() {
+  using Clock = std::chrono::steady_clock;
   for (;;) {
+    // Per-iteration observability (checked fresh each lap so a pool created
+    // before obs::set_enabled still reports): worker task tallies land in
+    // per-thread counter shards, giving the shard-balance split for free.
+    const bool observed = obs::enabled();
     std::function<void()> task;
+    Clock::time_point t0;
+    if (observed) t0 = Clock::now();
     {
       std::unique_lock<std::mutex> lk(mu_);
       task_ready_.wait(lk, [this] { return stop_ || !queue_.empty(); });
@@ -47,11 +57,24 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++active_;
     }
+    Clock::time_point t1;
+    if (observed) {
+      t1 = Clock::now();
+      OBS_COUNT("pool.tasks", 1);
+      OBS_HIST("pool.idle_ns", std::chrono::duration_cast<
+                                   std::chrono::nanoseconds>(t1 - t0)
+                                   .count());
+    }
     try {
       task();
     } catch (...) {
       std::lock_guard<std::mutex> lk(mu_);
       if (!first_error_) first_error_ = std::current_exception();
+    }
+    if (observed) {
+      OBS_HIST("pool.task_ns", std::chrono::duration_cast<
+                                   std::chrono::nanoseconds>(Clock::now() - t1)
+                                   .count());
     }
     {
       std::lock_guard<std::mutex> lk(mu_);

@@ -4,6 +4,7 @@
 
 #include "soc/ip.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tracesel {
 namespace {
@@ -42,7 +43,8 @@ TEST_F(LogTest, EmitsAtOrAboveThreshold) {
     util::Log(util::LogLevel::kInfo) << "visible " << 42;
     util::Log(util::LogLevel::kDebug) << "hidden";
   });
-  EXPECT_NE(out.find("[info ] visible 42"), std::string::npos);
+  EXPECT_NE(out.find("[info ] "), std::string::npos);
+  EXPECT_NE(out.find("visible 42"), std::string::npos);
   EXPECT_EQ(out.find("hidden"), std::string::npos);
 }
 
@@ -51,7 +53,44 @@ TEST_F(LogTest, ErrorAlwaysAboveWarnThreshold) {
   const std::string out = capture([] {
     util::Log(util::LogLevel::kError) << "boom";
   });
-  EXPECT_NE(out.find("[error] boom"), std::string::npos);
+  EXPECT_NE(out.find("[error] "), std::string::npos);
+  EXPECT_NE(out.find("boom"), std::string::npos);
+}
+
+TEST_F(LogTest, PrefixCarriesTimestampAndThreadId) {
+  util::set_log_threshold(util::LogLevel::kInfo);
+  const std::string out = capture([] {
+    util::Log(util::LogLevel::kInfo) << "stamped";
+  });
+  // "[info ] <elapsed seconds> t<NN> stamped" — elapsed has 6 decimals and
+  // the thread id is zero-padded decimal.
+  EXPECT_NE(out.find(" t"), std::string::npos);
+  EXPECT_NE(out.find('.'), std::string::npos);
+  const std::size_t dot = out.find('.');
+  ASSERT_GE(out.size(), dot + 7);
+  for (std::size_t i = dot + 1; i < dot + 7; ++i)
+    EXPECT_TRUE(out[i] >= '0' && out[i] <= '9') << out;
+  EXPECT_NE(out.find("stamped"), std::string::npos);
+}
+
+TEST_F(LogTest, ConcurrentLinesNeverInterleave) {
+  util::set_log_threshold(util::LogLevel::kInfo);
+  const std::string payload(64, 'x');
+  const std::string out = capture([&] {
+    util::ThreadPool pool(4);
+    for (int i = 0; i < 64; ++i)
+      pool.submit([&] { util::Log(util::LogLevel::kInfo) << payload; });
+    pool.wait();
+  });
+  // Every emitted line must carry the full payload unbroken.
+  std::istringstream lines(out);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_NE(line.find(payload), std::string::npos) << line;
+    ++count;
+  }
+  EXPECT_EQ(count, 64u);
 }
 
 TEST_F(LogTest, ThresholdRoundTrips) {

@@ -1,0 +1,418 @@
+// tracesel::obs unit tests (DESIGN.md §10): registry merge correctness
+// under ThreadPool contention, span nesting/ordering, histogram bucketing,
+// the disabled fast path, and a round-trip through the Session facade that
+// checks --trace-out / --metrics-out output is well-formed JSON carrying
+// the expected top-level span names. The contention tests are the ones
+// scripts/check.sh re-runs under ThreadSanitizer.
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tracesel/tracesel.hpp"
+#include "util/obs.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tracesel {
+namespace {
+
+// Every test runs with the layer freshly enabled and zeroed, and leaves it
+// disabled again: obs state is process-global, and under `ctest` each TEST
+// is its own process but a bare `./util_obs_test` run shares one.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(true);
+    obs::reset();
+  }
+  void TearDown() override {
+    obs::set_enabled(false);
+    obs::reset();
+  }
+};
+
+TEST_F(ObsTest, HistogramBucketingIsLogScale) {
+  // Bucket b >= 1 holds [2^(b-1), 2^b); zero gets its own bucket 0.
+  EXPECT_EQ(obs::histogram_bucket(0), 0u);
+  EXPECT_EQ(obs::histogram_bucket(1), 1u);
+  EXPECT_EQ(obs::histogram_bucket(2), 2u);
+  EXPECT_EQ(obs::histogram_bucket(3), 2u);
+  EXPECT_EQ(obs::histogram_bucket(4), 3u);
+  EXPECT_EQ(obs::histogram_bucket(7), 3u);
+  EXPECT_EQ(obs::histogram_bucket(8), 4u);
+  EXPECT_EQ(obs::histogram_bucket(1023), 10u);
+  EXPECT_EQ(obs::histogram_bucket(1024), 11u);
+  EXPECT_EQ(obs::histogram_bucket(~std::uint64_t{0}), 64u);
+}
+
+TEST_F(ObsTest, HistogramSnapshotTracksCountSumMinMax) {
+  const auto id = obs::registry().histogram("test.hist");
+  for (const std::uint64_t v : {std::uint64_t{0}, std::uint64_t{1},
+                                std::uint64_t{3}, std::uint64_t{1000}})
+    obs::registry().observe(id, v);
+
+  const auto snap = obs::registry().histogram_snapshot("test.hist");
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->count, 4u);
+  EXPECT_EQ(snap->sum, 1004u);
+  EXPECT_EQ(snap->min, 0u);
+  EXPECT_EQ(snap->max, 1000u);
+  ASSERT_EQ(snap->buckets.size(), obs::kHistogramBuckets);
+  EXPECT_EQ(snap->buckets[0], 1u);   // 0
+  EXPECT_EQ(snap->buckets[1], 1u);   // 1
+  EXPECT_EQ(snap->buckets[2], 1u);   // 3
+  EXPECT_EQ(snap->buckets[10], 1u);  // 1000 in [512, 1024)
+  std::uint64_t total = 0;
+  for (const auto b : snap->buckets) total += b;
+  EXPECT_EQ(total, snap->count);
+
+  EXPECT_FALSE(
+      obs::registry().histogram_snapshot("test.never_registered").has_value());
+}
+
+TEST_F(ObsTest, CounterIdsSurviveReset) {
+  const auto id = obs::registry().counter("test.sticky");
+  obs::registry().add(id, 7);
+  EXPECT_EQ(obs::registry().counter_value("test.sticky"), 7u);
+
+  obs::reset();
+  EXPECT_EQ(obs::registry().counter_value("test.sticky"), 0u);
+
+  // The cached id must still be valid after reset (the OBS_* macros cache
+  // ids in function-local statics for the process lifetime).
+  obs::registry().add(id, 3);
+  EXPECT_EQ(obs::registry().counter_value("test.sticky"), 3u);
+}
+
+TEST_F(ObsTest, GaugeSetAndMonotoneMax) {
+  const auto id = obs::registry().gauge("test.gauge");
+  obs::registry().set(id, 42);
+  EXPECT_EQ(obs::registry().gauge_value("test.gauge"), 42);
+  obs::registry().set(id, 5);
+  EXPECT_EQ(obs::registry().gauge_value("test.gauge"), 5);
+
+  obs::registry().set_max(id, 100);
+  obs::registry().set_max(id, 50);  // lower: ignored
+  EXPECT_EQ(obs::registry().gauge_value("test.gauge"), 100);
+}
+
+TEST_F(ObsTest, CounterMergeExactUnderThreadPoolContention) {
+  // N threads x M submissions x K increments on one shared counter id, all
+  // through per-thread shards; the merged total must be exact. This is the
+  // test TSan watches for shard races.
+  constexpr std::size_t kWorkers = 4;
+  constexpr std::size_t kTasks = 64;
+  constexpr std::uint64_t kPerTask = 100;
+  const auto id = obs::registry().counter("test.contended");
+  const auto hist = obs::registry().histogram("test.contended_hist");
+  {
+    util::ThreadPool pool(kWorkers);
+    for (std::size_t t = 0; t < kTasks; ++t)
+      pool.submit([id, hist] {
+        for (std::uint64_t i = 0; i < kPerTask; ++i) {
+          obs::registry().add(id, 1);
+          obs::registry().observe(hist, i);
+        }
+      });
+    pool.wait();
+  }
+  EXPECT_EQ(obs::registry().counter_value("test.contended"), kTasks * kPerTask);
+
+  const auto snap = obs::registry().histogram_snapshot("test.contended_hist");
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->count, kTasks * kPerTask);
+  EXPECT_EQ(snap->max, kPerTask - 1);
+
+  // The per-thread split must account for every increment: worker shards
+  // plus the "retired" accumulator (the pool's threads have exited by now).
+  const auto full = obs::registry().snapshot();
+  std::uint64_t split_total = 0;
+  for (const auto& [tid, counters] : full.per_thread_counters)
+    for (const auto& [name, value] : counters)
+      if (name == "test.contended") split_total += value;
+  EXPECT_EQ(split_total, kTasks * kPerTask);
+}
+
+TEST_F(ObsTest, SpanNestingRecordsDepthAndContainment) {
+  {
+    OBS_SPAN("obs_test.outer");
+    { OBS_SPAN("obs_test.inner"); }
+    { OBS_SPAN("obs_test.inner"); }
+  }
+  const auto events = obs::trace_events();
+  ASSERT_EQ(events.size(), 3u);
+
+  const obs::TraceEvent* outer = nullptr;
+  std::vector<const obs::TraceEvent*> inner;
+  for (const auto& e : events) {
+    if (std::string(e.name) == "obs_test.outer") outer = &e;
+    if (std::string(e.name) == "obs_test.inner") inner.push_back(&e);
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_EQ(inner.size(), 2u);
+
+  EXPECT_EQ(outer->depth, 0u);
+  for (const auto* e : inner) {
+    EXPECT_EQ(e->depth, 1u);
+    EXPECT_EQ(e->tid, outer->tid);
+    // Containment on the steady clock: inner spans start no earlier and
+    // end no later than the outer span.
+    EXPECT_GE(e->ts_ns, outer->ts_ns);
+    EXPECT_LE(e->ts_ns + e->dur_ns, outer->ts_ns + outer->dur_ns);
+  }
+  // The two sibling inner spans are disjoint and ordered.
+  EXPECT_LE(inner[0]->ts_ns + inner[0]->dur_ns, inner[1]->ts_ns);
+
+  // Span durations are mirrored into "span.<name>" histograms.
+  const auto mirrored = obs::registry().histogram_snapshot(
+      "span.obs_test.inner");
+  ASSERT_TRUE(mirrored.has_value());
+  EXPECT_EQ(mirrored->count, 2u);
+}
+
+TEST_F(ObsTest, SpansFromPoolWorkersCarryDistinctThreadIds) {
+  {
+    util::ThreadPool pool(2);
+    for (int t = 0; t < 8; ++t)
+      pool.submit([] { OBS_SPAN("obs_test.worker"); });
+    pool.wait();
+  }
+  const auto events = obs::trace_events();
+  ASSERT_EQ(events.size(), 8u);
+  for (const auto& e : events) EXPECT_EQ(e.depth, 0u);
+}
+
+TEST_F(ObsTest, DisabledPathRecordsNothing) {
+  obs::set_enabled(false);
+  OBS_COUNT("test.disabled_counter", 5);
+  OBS_GAUGE_SET("test.disabled_gauge", 5);
+  OBS_HIST("test.disabled_hist", 5);
+  { OBS_SPAN("obs_test.disabled"); }
+
+  EXPECT_EQ(obs::registry().counter_value("test.disabled_counter"), 0u);
+  EXPECT_EQ(obs::registry().gauge_value("test.disabled_gauge"), 0);
+  EXPECT_FALSE(
+      obs::registry().histogram_snapshot("test.disabled_hist").has_value());
+  EXPECT_TRUE(obs::trace_events().empty());
+}
+
+TEST_F(ObsTest, SpanOpenAcrossDisableStillCompletes) {
+  // A span begun while enabled records even if the layer is switched off
+  // before it closes — Span latches the decision at construction.
+  {
+    OBS_SPAN("obs_test.latched");
+    obs::set_enabled(false);
+  }
+  EXPECT_EQ(obs::trace_events().size(), 1u);
+}
+
+TEST_F(ObsTest, ProcessGaugesAreMaintainedEvenWhenDisabled) {
+  // bench_util.hpp stamps BENCH_*.json from these with the layer off.
+  obs::set_enabled(false);
+  obs::update_process_gauges();
+  EXPECT_GT(obs::peak_rss_kb(), 0);
+  EXPECT_GT(obs::registry().gauge_value("process.peak_rss_kb"), 0);
+  EXPECT_GE(obs::process_wall_ms(), 0.0);
+}
+
+// --- JSON round-trip --------------------------------------------------
+
+// Minimal recursive-descent JSON well-formedness check. util::Json is a
+// writer only, so structural validation lives here; the CI smoke step
+// additionally runs the real `python3 -m json.tool` over the same files.
+class JsonScanner {
+ public:
+  explicit JsonScanner(std::string_view text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing '"'
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\t' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+TEST_F(ObsTest, JsonScannerSelfCheck) {
+  EXPECT_TRUE(JsonScanner(R"({"a": [1, 2.5, -3], "b": {"c": null}})").valid());
+  EXPECT_TRUE(JsonScanner(R"(["x", true, false])").valid());
+  EXPECT_FALSE(JsonScanner(R"({"a": )").valid());
+  EXPECT_FALSE(JsonScanner(R"({"a": 1,})").valid());
+  EXPECT_FALSE(JsonScanner("{} trailing").valid());
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream file(path);
+  std::ostringstream out;
+  out << file.rdbuf();
+  return out.str();
+}
+
+// The paper's Fig. 1a/Fig. 2 running example, inline so the test needs no
+// data-dir plumbing (same spec as data/fig2.flow).
+constexpr const char* kFig2Spec = R"(
+message ReqE 1 IP1 -> Dir
+message GntE 1 Dir -> IP1
+message Ack  1 IP1 -> Dir
+
+flow CacheCoherence {
+  state n initial
+  state w
+  state c atomic
+  state d stop
+  n -> w on ReqE
+  w -> c on GntE
+  c -> d on Ack
+}
+)";
+
+TEST_F(ObsTest, SessionRoundTripEmitsValidTraceAndMetricsJson) {
+  // Session::configure must turn the layer on by itself.
+  obs::set_enabled(false);
+
+  const std::string trace_path = ::testing::TempDir() + "/obs_trace.json";
+  const std::string metrics_path = ::testing::TempDir() + "/obs_metrics.json";
+
+  auto session = Session::from_spec_text(kFig2Spec);
+  selection::SelectorConfig cfg;
+  cfg.buffer_width = 2;
+  cfg.trace_out = trace_path;
+  cfg.metrics_out = metrics_path;
+  session.configure(cfg);
+  EXPECT_TRUE(obs::enabled());
+
+  session.interleave(2);
+  const auto result = session.select();
+  EXPECT_FALSE(result.combination.messages.empty());
+  ASSERT_TRUE(session.write_observability());
+
+  const std::string trace = slurp(trace_path);
+  const std::string metrics = slurp(metrics_path);
+  ASSERT_FALSE(trace.empty());
+  ASSERT_FALSE(metrics.empty());
+  EXPECT_TRUE(JsonScanner(trace).valid()) << trace;
+  EXPECT_TRUE(JsonScanner(metrics).valid()) << metrics;
+
+  // Chrome trace-event shape plus the pipeline's top-level span names.
+  // "flow.parse" is absent here by design: the spec was parsed at session
+  // construction, before configure() switched the layer on (the CLI
+  // enables obs before dispatch, so its traces do include the parse).
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  for (const char* span :
+       {"interleave.build", "session.interleave",
+        "selection.step1.enumerate", "selection.step2.score",
+        "session.select"})
+    EXPECT_NE(trace.find(std::string("\"name\": \"") + span + "\""),
+              std::string::npos)
+        << "missing span " << span << " in " << trace;
+
+  EXPECT_NE(metrics.find("\"counters\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"interleave.nodes\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"selection.combinations\""), std::string::npos);
+
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+}
+
+TEST_F(ObsTest, WriteObservabilityIsNoOpWithoutSinks) {
+  auto session = Session::from_spec_text(kFig2Spec);
+  EXPECT_TRUE(session.write_observability());
+}
+
+TEST_F(ObsTest, MetricsJsonContainsPerThreadSplit) {
+  OBS_COUNT("test.split", 2);
+  const auto json = obs::metrics_json().dump(2);
+  EXPECT_TRUE(JsonScanner(json).valid()) << json;
+  EXPECT_NE(json.find("\"per_thread_counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.split\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tracesel

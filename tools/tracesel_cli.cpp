@@ -24,6 +24,12 @@
 //       --retries N      recapture attempts when the capture is unusable
 //                                                      (default 2)
 //
+// Global options (any subcommand, docs/observability.md):
+//       --trace-out FILE    write a Chrome trace-event JSON of the run
+//                           (load in chrome://tracing or ui.perfetto.dev)
+//       --metrics-out FILE  write the flat metrics JSON
+//       --log-level L       debug|info|warn|error      (default warn)
+//
 // Exit codes: 0 ok, 1 usage error, 2 runtime failure (any uncaught
 // exception is reported as a one-line diagnostic, never a crash).
 
@@ -39,11 +45,19 @@
 #include "flow/dot.hpp"
 #include "soc/fault_injector.hpp"
 #include "soc/vcd.hpp"
+#include "util/log.hpp"
+#include "util/obs.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace tracesel;
+
+/// Observability sinks from the global pre-pass; written once after the
+/// subcommand finishes (success or failure — the trace of a failed run is
+/// the interesting one).
+std::string g_trace_out;
+std::string g_metrics_out;
 
 double parse_number(const std::string& text, const char* flag) {
   try {
@@ -69,7 +83,11 @@ int usage() {
                "  tracesel debug <case 1..5> [--no-packing] [--vcd FILE]"
                " [--report FILE] [--json] [--jobs N]\n"
                "                 [--fault-rate R] [--fault-kinds K,...]"
-               " [--fault-seed N] [--retries N]\n";
+               " [--fault-seed N] [--retries N]\n"
+               "global options (any subcommand):\n"
+               "  --trace-out FILE    Chrome trace-event JSON of this run\n"
+               "  --metrics-out FILE  flat metrics JSON of this run\n"
+               "  --log-level L       debug|info|warn|error (default warn)\n";
   return 1;
 }
 
@@ -137,6 +155,10 @@ int cmd_select(const std::string& path, int argc, char** argv) {
     }
   }
 
+  // Thread the global sinks through the config so the Session plumbing is
+  // the same one embedding applications use; main() performs the writes.
+  cfg.trace_out = g_trace_out;
+  cfg.metrics_out = g_metrics_out;
   auto session = Session::from_spec_file(path);
   session.configure(cfg).interleave_options(iopt).interleave(instances);
   const auto r = session.select();
@@ -285,9 +307,7 @@ int cmd_debug(int case_id, const DebugCliOptions& cli) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int dispatch(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
@@ -356,4 +376,56 @@ int main(int argc, char** argv) {
     return 2;
   }
   return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strip the global observability/logging options (valid anywhere on the
+  // command line) before subcommand dispatch.
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const bool takes_value = i > 0 && (std::strcmp(argv[i], "--trace-out") == 0 ||
+                                       std::strcmp(argv[i], "--metrics-out") == 0 ||
+                                       std::strcmp(argv[i], "--log-level") == 0);
+    if (!takes_value) {
+      args.push_back(argv[i]);
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::cerr << "error: missing value for " << argv[i] << '\n';
+      return 1;
+    }
+    const std::string flag = argv[i];
+    const std::string value = argv[++i];
+    if (flag == "--trace-out") {
+      g_trace_out = value;
+    } else if (flag == "--metrics-out") {
+      g_metrics_out = value;
+    } else {
+      if (value == "debug") util::set_log_threshold(util::LogLevel::kDebug);
+      else if (value == "info") util::set_log_threshold(util::LogLevel::kInfo);
+      else if (value == "warn") util::set_log_threshold(util::LogLevel::kWarn);
+      else if (value == "error") util::set_log_threshold(util::LogLevel::kError);
+      else {
+        std::cerr << "error: unknown log level '" << value << "'\n";
+        return 1;
+      }
+    }
+  }
+  if (!g_trace_out.empty() || !g_metrics_out.empty()) obs::set_enabled(true);
+
+  int rc = dispatch(static_cast<int>(args.size()), args.data());
+
+  if (!g_trace_out.empty() || !g_metrics_out.empty()) {
+    obs::update_process_gauges();
+    if (!g_trace_out.empty() && !obs::write_chrome_trace(g_trace_out) &&
+        rc == 0)
+      rc = 2;
+    if (!g_metrics_out.empty() && !obs::write_metrics(g_metrics_out) &&
+        rc == 0)
+      rc = 2;
+  }
+  return rc;
 }

@@ -4,11 +4,11 @@
 // measured table, and (c) the paper's reported numbers for side-by-side
 // comparison where applicable (see EXPERIMENTS.md for the discussion).
 
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <utility>
 
+#include "util/atomic_file.hpp"
 #include "util/json.hpp"
 #include "util/obs.hpp"
 #include "util/table.hpp"
@@ -45,15 +45,17 @@ inline void stamp_process(util::Json& out) {
 }
 
 /// Stamps the process block into `out` and writes one BENCH_*.json result
-/// file; false (with a diagnostic) when the file cannot be opened.
+/// file atomically (temp + rename, so an interrupted bench never leaves a
+/// truncated JSON behind); false (with a diagnostic) on failure.
 inline bool write_json(const std::string& path, util::Json out) {
   stamp_process(out);
-  std::ofstream file(path);
-  if (!file) {
-    std::cerr << "cannot write " << path << '\n';
+  const util::Status st =
+      util::atomic_write_file(path, out.dump(2) + '\n');
+  if (!st.ok()) {
+    std::cerr << "cannot write " << path << ": " << st.error().to_string()
+              << '\n';
     return false;
   }
-  file << out.dump(2) << '\n';
   std::cout << "Wrote " << path << '\n';
   return true;
 }

@@ -19,7 +19,11 @@ struct MetricStats {
 };
 
 struct MonteCarloResult {
-  std::size_t runs = 0;
+  std::size_t runs = 0;            ///< trials that actually completed
+  std::size_t requested_runs = 0;  ///< trials asked for
+  /// True when cancellation stopped the evaluation early: the statistics
+  /// aggregate only the completed trials.
+  bool partial = false;
   std::size_t failures_detected = 0;  ///< runs whose symptom manifested
   MetricStats pruned_fraction;
   MetricStats localization_fraction;
@@ -35,11 +39,14 @@ struct MonteCarloResult {
 /// index, so the result is deterministic and identical for every `jobs`
 /// value (1 = serial, 0 = one worker per hardware thread). Pass `pool` to
 /// reuse a caller-owned pool (e.g. tracesel::Session's) instead of
-/// spawning one for the call.
+/// spawning one for the call. A non-null `cancel` makes the evaluation
+/// cooperative: remaining trials are skipped once it fires and the result
+/// aggregates the completed trials only (partial = true).
 MonteCarloResult evaluate_case_study(const soc::T2Design& design,
                                      const soc::CaseStudy& case_study,
                                      const CaseStudyOptions& base,
                                      std::size_t runs, std::size_t jobs = 1,
-                                     util::ThreadPool* pool = nullptr);
+                                     util::ThreadPool* pool = nullptr,
+                                     const util::CancelToken* cancel = nullptr);
 
 }  // namespace tracesel::debug

@@ -56,6 +56,44 @@ InterleavedFlow InterleavedFlow::build(std::vector<IndexedFlow> instances,
 
 InterleavedFlow InterleavedFlow::build(std::vector<IndexedFlow> instances,
                                        const InterleaveOptions& options) {
+  // Degrading instead of throwing is opt-in via the memory budget: without
+  // one, an over-cap unreduced build keeps its historical contract and
+  // throws std::length_error.
+  const bool may_fall_back =
+      !options.symmetry_reduction && options.mem_budget_mb > 0;
+  try {
+    InterleavedFlow u = may_fall_back ? build_impl(instances, options)
+                                      : build_impl(std::move(instances),
+                                                   options);
+    if (u.degraded()) OBS_COUNT("resilience.degradations", 1);
+    return u;
+  } catch (const std::length_error&) {
+    if (!may_fall_back) throw;
+    // The unreduced product blew the (possibly budget-lowered) node cap:
+    // retry with the symmetry-reduced engine, which answers every weighted
+    // query identically from far fewer materialized nodes. Reduction has
+    // its own preconditions (group size <= 20, symmetric atomic rule) — if
+    // they fail, the original capacity error is the honest diagnosis.
+    InterleaveOptions reduced = options;
+    reduced.symmetry_reduction = true;
+    try {
+      InterleavedFlow u = build_impl(std::move(instances), reduced);
+      if (!u.degradation_.empty()) u.degradation_ += "; ";
+      u.degradation_ +=
+          "fell back to the symmetry-reduced engine (unreduced product "
+          "exceeds the node cap)";
+      OBS_COUNT("resilience.degradations", 1);
+      return u;
+    } catch (const std::invalid_argument&) {
+      throw std::length_error(
+          "InterleavedFlow: reachable product exceeds max_nodes and the "
+          "symmetry-reduced fallback is not applicable");
+    }
+  }
+}
+
+InterleavedFlow InterleavedFlow::build_impl(std::vector<IndexedFlow> instances,
+                                            const InterleaveOptions& options) {
   OBS_SPAN("interleave.build");
   if (instances.empty())
     throw std::invalid_argument("InterleavedFlow: no instances");
@@ -91,6 +129,26 @@ InterleavedFlow InterleavedFlow::build(std::vector<IndexedFlow> instances,
 
   u.codec_ = KeyCodec(u.instances_);
   u.interner_ = KeyInterner(u.codec_.words());
+
+  if (options.mem_budget_mb > 0) {
+    // Deterministic per-node storage estimate: packed key words + one
+    // open-addressing slot + ~4 outgoing edges with CSR overhead. Derived
+    // from counts only (never runtime RSS) so the same spec hits the same
+    // cap on every run and bit-identity of results is preserved.
+    const std::size_t per_node = u.codec_.words() * 8 + 16 +
+                                 4 * (sizeof(Edge) + 8);
+    const std::size_t budget_nodes =
+        std::max<std::size_t>(1024, options.mem_budget_mb * (std::size_t{1}
+                                                             << 20) /
+                                        per_node);
+    if (budget_nodes < u.options_.max_nodes) {
+      u.options_.max_nodes = budget_nodes;
+      u.degradation_ = "node cap lowered to " + std::to_string(budget_nodes) +
+                       " by the " + std::to_string(options.mem_budget_mb) +
+                       " MiB memory budget";
+    }
+  }
+
   u.build_graph();
   u.finalize_weights_and_occurrences();
   OBS_COUNT("interleave.builds", 1);
@@ -148,6 +206,8 @@ void InterleavedFlow::build_graph() {
   // order, so a plain id sweep doubles as the worklist and the edge list
   // comes out sorted by source — the CSR offsets need no second pass.
   for (NodeId n = 0; static_cast<std::size_t>(n) < interner_.size(); ++n) {
+    if ((n & 1023) == 0 && options_.cancel.cancelled())
+      throw util::CancelledError("interleave.build");
     codec_.decode(interner_.key(n), cur.data());
 
     // Which components sit in atomic states? If any does, only it may move
@@ -339,7 +399,12 @@ const InterleavedFlow& InterleavedFlow::concrete() const {
     InterleaveOptions opt = options_;
     opt.symmetry_reduction = false;
     opt.cross_check = false;
-    concrete_.flow = std::make_unique<InterleavedFlow>(build(instances_, opt));
+    // build_impl, not build: the fallback logic would hand back another
+    // *reduced* engine when the unreduced product is over budget, and a
+    // reduced flow cached as its own concrete() would answer
+    // symmetry-breaking queries wrong.
+    concrete_.flow =
+        std::make_unique<InterleavedFlow>(build_impl(instances_, opt));
   }
   return *concrete_.flow;
 }
@@ -783,7 +848,7 @@ void InterleavedFlow::verify_against_unreduced() const {
   InterleaveOptions opt = options_;
   opt.symmetry_reduction = false;
   opt.cross_check = false;
-  const InterleavedFlow full = build(instances_, opt);
+  const InterleavedFlow full = build_impl(instances_, opt);
   auto fail = [](const std::string& what) {
     throw std::logic_error(
         "InterleavedFlow cross-check: reduced engine disagrees with the "

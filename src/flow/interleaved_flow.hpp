@@ -43,6 +43,7 @@
 #include "flow/indexed_flow.hpp"
 #include "flow/packed_key.hpp"
 #include "flow/types.hpp"
+#include "util/cancel.hpp"
 
 namespace tracesel::flow {
 
@@ -57,6 +58,19 @@ struct InterleaveOptions {
   /// every weighted quantity matches it exactly (std::logic_error if not).
   /// Only meaningful with symmetry_reduction on; expensive — small specs.
   bool cross_check = false;
+  /// Cooperative cancellation: build() throws util::CancelledError within
+  /// ~1024 expanded nodes of the token reporting cancelled. The default
+  /// (inert) token never cancels.
+  util::CancelToken cancel;
+  /// Soft memory budget in MiB; 0 = unlimited. The budget is converted to a
+  /// *deterministic* node cap from the per-node storage estimate (packed key
+  /// words + interner slot + amortized edges) — never from runtime RSS, so
+  /// the same spec degrades identically on every run. When the budget (or
+  /// max_nodes) is exceeded and symmetry_reduction is off, build() retries
+  /// with the symmetry-reduced engine — bit-identical results, typically
+  /// orders of magnitude fewer materialized nodes — and records the
+  /// fallback in degradation().
+  std::size_t mem_budget_mb = 0;
 };
 
 class InterleavedFlow {
@@ -116,9 +130,11 @@ class InterleavedFlow {
   };
 
   /// Builds the reachable product of a legally indexed set of instances.
-  /// Throws std::invalid_argument on empty or illegally indexed input, and
-  /// std::length_error if the materialized product exceeds
-  /// `options.max_nodes`.
+  /// Throws std::invalid_argument on empty or illegally indexed input,
+  /// util::CancelledError when options.cancel fires mid-build, and
+  /// std::length_error if the materialized product exceeds the effective
+  /// node cap (options.max_nodes, possibly lowered by mem_budget_mb) even
+  /// after the symmetry-reduction fallback described in InterleaveOptions.
   static InterleavedFlow build(std::vector<IndexedFlow> instances,
                                const InterleaveOptions& options = {});
   /// Back-compat convenience: default options with an explicit node cap.
@@ -129,9 +145,19 @@ class InterleavedFlow {
   InterleavedFlow& operator=(InterleavedFlow&&) = default;
 
   const std::vector<IndexedFlow>& instances() const { return instances_; }
+  /// The options the engine was actually built with: max_nodes reflects the
+  /// effective (budget-lowered) cap and symmetry_reduction the engine that
+  /// succeeded, which may differ from what the caller requested — see
+  /// degradation().
   const InterleaveOptions& options() const { return options_; }
   /// True when this engine stores orbit representatives, not all states.
   bool reduced() const { return reduced_; }
+
+  /// Non-empty when the build deviated from the requested options to fit
+  /// the memory budget (node cap lowered and/or fell back to the
+  /// symmetry-reduced engine). The results are still exact.
+  const std::string& degradation() const { return degradation_; }
+  bool degraded() const { return !degradation_.empty(); }
 
   /// Materialized node/edge counts (orbit representatives when reduced()).
   std::size_t num_nodes() const { return num_nodes_; }
@@ -224,6 +250,12 @@ class InterleavedFlow {
     std::unique_ptr<InterleavedFlow> flow;
   };
 
+  /// One build attempt with the options exactly as given (no budget
+  /// lowering, no reduction fallback) — used by build(), concrete() and the
+  /// cross-checker, which must not re-enter the degradation logic.
+  static InterleavedFlow build_impl(std::vector<IndexedFlow> instances,
+                                    const InterleaveOptions& options);
+
   void build_graph();
   void finalize_weights_and_occurrences();
   void verify_against_unreduced() const;
@@ -232,6 +264,7 @@ class InterleavedFlow {
 
   std::vector<IndexedFlow> instances_;
   InterleaveOptions options_;
+  std::string degradation_;  ///< see degradation()
   bool reduced_ = false;
   std::vector<InstanceGroup> groups_;
   std::vector<std::uint32_t> group_of_;  ///< instance position -> group id

@@ -1,10 +1,10 @@
 #include "flow/parser.hpp"
 
-#include <fstream>
-#include <optional>
 #include <sstream>
 
 #include "flow/flow_builder.hpp"
+#include "util/atomic_file.hpp"
+#include "util/cancel.hpp"
 #include "util/obs.hpp"
 
 namespace tracesel::flow {
@@ -18,6 +18,15 @@ const Flow& ParsedSpec::flow(std::string_view name) const {
 }
 
 namespace {
+
+// Input caps (DESIGN.md §11): a fuzzed or hostile .flow file must produce
+// a typed file:line diagnostic, never unbounded allocation. The limits are
+// far above any real collateral (the full T2 uncore spec is ~120 lines).
+constexpr std::size_t kMaxSpecBytes = 64u << 20;   ///< whole-file cap
+constexpr std::size_t kMaxLineLength = 64u << 10;  ///< bytes per line
+constexpr std::size_t kMaxMessages = 65536;
+constexpr std::size_t kMaxFlows = 4096;
+constexpr std::size_t kMaxLinesPerFlow = 1u << 17; ///< states + transitions
 
 /// Whitespace tokenizer that strips '#' comments.
 std::vector<std::string> tokenize(const std::string& line) {
@@ -53,7 +62,8 @@ struct PendingSubgroup {
 /// is appended to `sink` and parsing recovers at the construct boundary —
 /// a malformed line is skipped, a flow that cannot be built is dropped.
 ParsedSpec parse_impl(std::string_view text, const std::string& file,
-                      std::vector<ParseDiagnostic>* sink) {
+                      std::vector<ParseDiagnostic>* sink,
+                      const util::CancelToken* cancel) {
   OBS_SPAN("flow.parse");
   const bool lenient = sink != nullptr;
   ParsedSpec spec;
@@ -67,9 +77,16 @@ ParsedSpec parse_impl(std::string_view text, const std::string& file,
     /// Header was malformed (lenient mode): parse the body for further
     /// diagnostics but never attempt to build the flow.
     bool poisoned = false;
+    /// Body hit kMaxLinesPerFlow: further lines are dropped unrecorded.
+    bool truncated = false;
+    /// Over-kMaxFlows body (lenient mode): consume lines, keep nothing.
+    bool discard = false;
     std::vector<std::pair<std::size_t, std::vector<std::string>>> lines;
   };
   std::vector<FlowBody> bodies;
+  // Over-cap flows in lenient mode still need their '{...}' consumed so the
+  // parser stays synchronized; their lines land in this throwaway body.
+  FlowBody discard_body{"<discarded>", 0, true, false, true, {}};
   std::vector<Message> messages;
   std::vector<std::size_t> message_lines;  // parallel to `messages`
 
@@ -91,6 +108,10 @@ ParsedSpec parse_impl(std::string_view text, const std::string& file,
   std::string raw;
   std::size_t lineno = 0;
   FlowBody* open = nullptr;
+  // Each count cap is reported once; repeating it per excess line would
+  // turn a pathological input into a pathological diagnostic list.
+  bool message_cap_reported = false;
+  bool flow_cap_reported = false;
 
   auto handle_message = [&](const std::vector<std::string>& t,
                             std::size_t line) {
@@ -124,14 +145,39 @@ ParsedSpec parse_impl(std::string_view text, const std::string& file,
         PendingSubgroup{t[1], t[2], parse_u32(t[3], line, "width"), line});
   };
 
+  auto accept_message = [&](const std::vector<std::string>& t,
+                            std::size_t line) {
+    if (messages.size() >= kMaxMessages) {
+      if (!message_cap_reported) {
+        message_cap_reported = true;
+        guard([&] {
+          throw ParseError(line, "message count exceeds the cap of " +
+                                     std::to_string(kMaxMessages));
+        });
+      }
+      return;
+    }
+    guard([&] { handle_message(t, line); });
+  };
+
   while (std::getline(stream, raw)) {
     ++lineno;
+    if (cancel != nullptr && (lineno & 0xFFF) == 0 && cancel->cancelled())
+      throw util::CancelledError("flow.parse");
+    if (raw.size() > kMaxLineLength) {
+      guard([&] {
+        throw ParseError(lineno, "line exceeds the length cap of " +
+                                     std::to_string(kMaxLineLength) +
+                                     " bytes");
+      });
+      continue;  // lenient: drop the line, stay synchronized
+    }
     const auto tokens = tokenize(raw);
     if (tokens.empty()) continue;
 
     if (open == nullptr) {
       if (tokens[0] == "message") {
-        guard([&] { handle_message(tokens, lineno); });
+        accept_message(tokens, lineno);
       } else if (tokens[0] == "subgroup") {
         guard([&] { handle_subgroup(tokens, lineno); });
       } else if (tokens[0] == "flow") {
@@ -140,12 +186,21 @@ ParsedSpec parse_impl(std::string_view text, const std::string& file,
           if (!well_formed)
             throw ParseError(lineno, "flow syntax: flow NAME {");
         });
-        if (well_formed || lenient) {
+        if (bodies.size() >= kMaxFlows) {
+          if (!flow_cap_reported) {
+            flow_cap_reported = true;
+            guard([&] {
+              throw ParseError(lineno, "flow count exceeds the cap of " +
+                                           std::to_string(kMaxFlows));
+            });
+          }
+          if (lenient) open = &discard_body;  // consume the block body
+        } else if (well_formed || lenient) {
           // Lenient recovery: still open a (poisoned) body so its lines
           // are linted instead of cascading "expected 'message'..." noise.
           bodies.push_back(FlowBody{
               tokens.size() > 1 ? tokens[1] : "<anonymous>", lineno,
-              !well_formed, {}});
+              !well_formed, false, false, {}});
           open = &bodies.back();
         }
       } else {
@@ -162,9 +217,22 @@ ParsedSpec parse_impl(std::string_view text, const std::string& file,
         });
         open = nullptr;
       } else if (tokens[0] == "message") {
-        guard([&] { handle_message(tokens, lineno); });
+        accept_message(tokens, lineno);
       } else if (tokens[0] == "subgroup") {
         guard([&] { handle_subgroup(tokens, lineno); });
+      } else if (open->discard) {
+        // Over-cap flow: swallow the body without recording anything.
+      } else if (open->lines.size() >= kMaxLinesPerFlow) {
+        if (!open->truncated) {
+          open->truncated = true;
+          open->poisoned = true;  // a truncated body must never build
+          guard([&] {
+            throw ParseError(lineno, "flow body '" + open->name +
+                                         "' exceeds the cap of " +
+                                         std::to_string(kMaxLinesPerFlow) +
+                                         " lines");
+          });
+        }
       } else {
         open->lines.emplace_back(lineno, tokens);
       }
@@ -260,46 +328,38 @@ ParsedSpec parse_impl(std::string_view text, const std::string& file,
 
 }  // namespace
 
-ParsedSpec parse_flow_spec(std::string_view text, std::string_view file) {
-  return parse_impl(text, std::string(file), nullptr);
+ParsedSpec parse_flow_spec(std::string_view text, std::string_view file,
+                           const util::CancelToken* cancel) {
+  return parse_impl(text, std::string(file), nullptr, cancel);
 }
 
 LenientParseResult parse_flow_spec_lenient(std::string_view text,
-                                           std::string_view file) {
+                                           std::string_view file,
+                                           const util::CancelToken* cancel) {
   LenientParseResult result;
-  result.spec = parse_impl(text, std::string(file), &result.errors);
+  result.spec = parse_impl(text, std::string(file), &result.errors, cancel);
   return result;
 }
 
-namespace {
-
-std::optional<std::string> read_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return std::nullopt;
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
+ParsedSpec parse_flow_spec_file(const std::string& path,
+                                const util::CancelToken* cancel) {
+  auto text = util::read_file_capped(path, kMaxSpecBytes);
+  if (!text.ok())
+    throw std::runtime_error("parse_flow_spec_file: " +
+                             text.error().to_string());
+  return parse_flow_spec(text.value(), path, cancel);
 }
 
-}  // namespace
-
-ParsedSpec parse_flow_spec_file(const std::string& path) {
-  const auto text = read_file(path);
-  if (!text)
-    throw std::runtime_error("parse_flow_spec_file: cannot open '" + path +
-                             "'");
-  return parse_flow_spec(*text, path);
-}
-
-LenientParseResult parse_flow_spec_file_lenient(const std::string& path) {
-  const auto text = read_file(path);
-  if (!text) {
+LenientParseResult parse_flow_spec_file_lenient(
+    const std::string& path, const util::CancelToken* cancel) {
+  auto text = util::read_file_capped(path, kMaxSpecBytes);
+  if (!text.ok()) {
     LenientParseResult result;
     result.errors.push_back(
-        ParseDiagnostic{path, 0, "cannot open file"});
+        ParseDiagnostic{path, 0, text.error().to_string()});
     return result;
   }
-  return parse_flow_spec_lenient(*text, path);
+  return parse_flow_spec_lenient(text.value(), path, cancel);
 }
 
 }  // namespace tracesel::flow

@@ -34,6 +34,7 @@
 
 #include "flow/flow.hpp"
 #include "flow/message.hpp"
+#include "util/cancel.hpp"
 
 namespace tracesel::flow {
 
@@ -86,12 +87,19 @@ struct ParsedSpec {
 
 /// Parses a complete spec; throws ParseError on malformed input and the
 /// usual std::invalid_argument on semantic violations (via FlowBuilder).
-/// A non-empty `file` is prefixed to every error message.
-ParsedSpec parse_flow_spec(std::string_view text, std::string_view file = "");
+/// A non-empty `file` is prefixed to every error message. Pathological
+/// inputs are rejected with typed file:line diagnostics: lines over 64 KiB,
+/// more than 65536 messages or 4096 flows, flow bodies past 2^17 lines.
+/// A non-null `cancel` makes parsing cooperative — a cancelled token makes
+/// it throw util::CancelledError within a few thousand lines.
+ParsedSpec parse_flow_spec(std::string_view text, std::string_view file = "",
+                           const util::CancelToken* cancel = nullptr);
 
-/// Reads and parses a spec file; throws std::runtime_error if unreadable.
-/// Parse errors carry the file name ("spec.flow:12: ...").
-ParsedSpec parse_flow_spec_file(const std::string& path);
+/// Reads and parses a spec file; throws std::runtime_error if unreadable
+/// or larger than 64 MiB. Parse errors carry the file name
+/// ("spec.flow:12: ...").
+ParsedSpec parse_flow_spec_file(const std::string& path,
+                                const util::CancelToken* cancel = nullptr);
 
 /// Outcome of a lenient parse: the salvageable spec plus every error.
 struct LenientParseResult {
@@ -104,10 +112,13 @@ struct LenientParseResult {
 /// them and recovers per construct (a bad message/state/transition line is
 /// skipped; a flow that cannot be built is dropped). Never throws on
 /// malformed input.
-LenientParseResult parse_flow_spec_lenient(std::string_view text,
-                                           std::string_view file = "");
+LenientParseResult parse_flow_spec_lenient(
+    std::string_view text, std::string_view file = "",
+    const util::CancelToken* cancel = nullptr);
 
-/// Lenient parse of a file; an unreadable file is itself one diagnostic.
-LenientParseResult parse_flow_spec_file_lenient(const std::string& path);
+/// Lenient parse of a file; an unreadable (or over-64-MiB) file is itself
+/// one diagnostic.
+LenientParseResult parse_flow_spec_file_lenient(
+    const std::string& path, const util::CancelToken* cancel = nullptr);
 
 }  // namespace tracesel::flow

@@ -1,0 +1,275 @@
+#include "selection/checkpoint.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "flow/interleaved_flow.hpp"
+#include "selection/selector.hpp"
+#include "util/atomic_file.hpp"
+
+namespace tracesel::selection {
+
+namespace {
+
+// Checkpoints are small (the memo is capped) but a corrupted length field
+// must not turn the loader into an allocator bomb.
+constexpr std::size_t kMaxCheckpointBytes = 64u << 20;
+constexpr std::size_t kMaxMemoEntries = 1u << 20;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xFF;
+    h *= 0x100000001B3ull;
+  }
+}
+
+void append_u64(std::ostringstream& os, std::uint64_t v) { os << v; }
+
+void append_hex(std::ostringstream& os, std::uint64_t v) {
+  os << std::hex << v << std::dec;
+}
+
+/// Whitespace tokenizer for one checkpoint line.
+std::vector<std::string> split(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> tokens;
+  std::string tok;
+  while (is >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+bool to_u64(const std::string& tok, std::uint64_t& out, int base = 10) {
+  const char* first = tok.data();
+  const char* last = tok.data() + tok.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out, base);
+  return ec == std::errc{} && ptr == last;
+}
+
+util::Result<SearchCheckpoint> malformed(std::size_t line,
+                                         const std::string& what) {
+  return util::Result<SearchCheckpoint>::err(
+      util::ErrorCode::kParse,
+      "checkpoint line " + std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+std::uint64_t search_fingerprint(const MessageSelector& selector,
+                                 const SelectorConfig& config,
+                                 bool maximal_only) {
+  const flow::InterleavedFlow& u = selector.interleaving();
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (flow::MessageId m : selector.candidates()) {
+    fnv_mix(h, m);
+    fnv_mix(h, selector.catalog().get(m).trace_width());
+  }
+  fnv_mix(h, config.buffer_width);
+  fnv_mix(h, static_cast<std::uint64_t>(config.mode));
+  fnv_mix(h, maximal_only ? 1 : 0);
+  fnv_mix(h, config.max_combinations);
+  fnv_mix(h, u.num_product_states());
+  fnv_mix(h, u.num_product_edges());
+  fnv_mix(h, u.num_nodes());
+  fnv_mix(h, u.num_edges());
+  return h;
+}
+
+std::string serialize_checkpoint(const SearchCheckpoint& ck) {
+  std::ostringstream body;
+  body << "spec " << (ck.spec_path.empty() ? "-" : ck.spec_path) << '\n';
+  body << "instances " << ck.instances << '\n';
+  body << "fingerprint ";
+  append_hex(body, ck.fingerprint);
+  body << '\n';
+  body << "buffer_width " << ck.buffer_width << '\n';
+  body << "mode " << ck.mode << '\n';
+  body << "packing " << (ck.packing ? 1 : 0) << '\n';
+  body << "max_combinations ";
+  append_u64(body, ck.max_combinations);
+  body << '\n';
+  body << "symmetry_reduction " << (ck.symmetry_reduction ? 1 : 0) << '\n';
+  body << "max_nodes ";
+  append_u64(body, ck.max_nodes);
+  body << '\n';
+  body << "seeds_total ";
+  append_u64(body, ck.seeds_total);
+  body << '\n';
+  body << "next_seed ";
+  append_u64(body, ck.next_seed);
+  body << '\n';
+  body << "emitted ";
+  append_u64(body, ck.emitted);
+  body << '\n';
+  body << "best " << (ck.best_valid ? 1 : 0);
+  if (ck.best_valid) {
+    body << ' ';
+    append_hex(body, ck.best_gain_bits);
+    body << ' ' << ck.best_width;
+    for (flow::MessageId m : ck.best_messages) body << ' ' << m;
+  }
+  body << '\n';
+  body << "memo_entries " << ck.memo.size() << '\n';
+  for (const auto& [key, bits] : ck.memo) {
+    body << "memo ";
+    append_hex(body, bits);
+    for (flow::MessageId m : key) body << ' ' << m;
+    body << '\n';
+  }
+  body << "end\n";
+
+  const std::string payload = body.str();
+  std::ostringstream out;
+  out << "tracesel-checkpoint " << SearchCheckpoint::kVersion << ' ';
+  append_hex(out, util::fnv1a64(payload));
+  out << '\n' << payload;
+  return out.str();
+}
+
+util::Result<SearchCheckpoint> parse_checkpoint(std::string_view text) {
+  std::istringstream stream{std::string(text)};
+  std::string line;
+  std::size_t lineno = 0;
+
+  if (!std::getline(stream, line))
+    return malformed(1, "empty checkpoint");
+  ++lineno;
+  {
+    const auto header = split(line);
+    std::uint64_t version = 0;
+    std::uint64_t checksum = 0;
+    if (header.size() != 3 || header[0] != "tracesel-checkpoint" ||
+        !to_u64(header[1], version) || !to_u64(header[2], checksum, 16))
+      return malformed(lineno, "bad envelope header");
+    if (version != SearchCheckpoint::kVersion)
+      return util::Result<SearchCheckpoint>::err(
+          util::ErrorCode::kParse,
+          "checkpoint version " + std::to_string(version) +
+              " is not supported (expected " +
+              std::to_string(SearchCheckpoint::kVersion) + ")");
+    const std::size_t payload_at = text.find('\n');
+    const std::string_view payload = text.substr(payload_at + 1);
+    if (util::fnv1a64(payload) != checksum)
+      return util::Result<SearchCheckpoint>::err(
+          util::ErrorCode::kCorruptCapture,
+          "checkpoint checksum mismatch (truncated or corrupted file)");
+  }
+
+  SearchCheckpoint ck;
+  bool saw_end = false;
+  std::size_t memo_expected = 0;
+
+  // Field readers keyed on the first token. `spec` takes the rest of the
+  // line verbatim (paths may contain spaces).
+  while (std::getline(stream, line)) {
+    ++lineno;
+    const auto tokens = split(line);
+    if (tokens.empty()) continue;
+    const std::string& key = tokens[0];
+    std::uint64_t v = 0;
+
+    if (key == "end") {
+      saw_end = true;
+      break;
+    } else if (key == "spec") {
+      const std::size_t at = line.find("spec ");
+      std::string rest = line.substr(at + 5);
+      while (!rest.empty() && (rest.back() == '\r' || rest.back() == ' '))
+        rest.pop_back();
+      ck.spec_path = rest == "-" ? "" : rest;
+    } else if (key == "memo") {
+      if (tokens.size() < 2 || !to_u64(tokens[1], v, 16))
+        return malformed(lineno, "bad memo entry");
+      std::vector<flow::MessageId> ids;
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        std::uint64_t m = 0;
+        if (!to_u64(tokens[i], m) || m > ~flow::MessageId{0})
+          return malformed(lineno, "bad memo message id");
+        ids.push_back(static_cast<flow::MessageId>(m));
+      }
+      if (ck.memo.size() >= kMaxMemoEntries)
+        return malformed(lineno, "too many memo entries");
+      ck.memo.emplace_back(std::move(ids), v);
+    } else if (key == "best") {
+      if (tokens.size() < 2 || !to_u64(tokens[1], v))
+        return malformed(lineno, "bad best record");
+      ck.best_valid = v != 0;
+      if (ck.best_valid) {
+        std::uint64_t w = 0;
+        if (tokens.size() < 4 || !to_u64(tokens[2], ck.best_gain_bits, 16) ||
+            !to_u64(tokens[3], w))
+          return malformed(lineno, "bad best record");
+        ck.best_width = static_cast<std::uint32_t>(w);
+        for (std::size_t i = 4; i < tokens.size(); ++i) {
+          std::uint64_t m = 0;
+          if (!to_u64(tokens[i], m) || m > ~flow::MessageId{0})
+            return malformed(lineno, "bad best message id");
+          ck.best_messages.push_back(static_cast<flow::MessageId>(m));
+        }
+        if (ck.best_messages.empty())
+          return malformed(lineno, "valid best with no messages");
+      }
+    } else {
+      if (tokens.size() != 2)
+        return malformed(lineno, "expected '" + key + " <value>'");
+      const bool hex = key == "fingerprint";
+      if (!to_u64(tokens[1], v, hex ? 16 : 10))
+        return malformed(lineno, "bad value for '" + key + "'");
+      if (key == "instances") {
+        ck.instances = static_cast<std::uint32_t>(v);
+      } else if (key == "fingerprint") {
+        ck.fingerprint = v;
+      } else if (key == "buffer_width") {
+        ck.buffer_width = static_cast<std::uint32_t>(v);
+      } else if (key == "mode") {
+        ck.mode = static_cast<std::uint32_t>(v);
+      } else if (key == "packing") {
+        ck.packing = v != 0;
+      } else if (key == "max_combinations") {
+        ck.max_combinations = v;
+      } else if (key == "symmetry_reduction") {
+        ck.symmetry_reduction = v != 0;
+      } else if (key == "max_nodes") {
+        ck.max_nodes = v;
+      } else if (key == "seeds_total") {
+        ck.seeds_total = v;
+      } else if (key == "next_seed") {
+        ck.next_seed = v;
+      } else if (key == "emitted") {
+        ck.emitted = v;
+      } else if (key == "memo_entries") {
+        if (v > kMaxMemoEntries)
+          return malformed(lineno, "memo_entries exceeds the loader cap");
+        memo_expected = static_cast<std::size_t>(v);
+      } else {
+        return malformed(lineno, "unknown field '" + key + "'");
+      }
+    }
+  }
+
+  if (!saw_end)
+    return util::Result<SearchCheckpoint>::err(
+        util::ErrorCode::kCorruptCapture,
+        "checkpoint has no 'end' marker (truncated file)");
+  if (ck.memo.size() != memo_expected)
+    return util::Result<SearchCheckpoint>::err(
+        util::ErrorCode::kCorruptCapture,
+        "checkpoint memo entry count mismatch");
+  if (ck.next_seed > ck.seeds_total)
+    return util::Result<SearchCheckpoint>::err(
+        util::ErrorCode::kCorruptCapture,
+        "checkpoint next_seed exceeds seeds_total");
+  return ck;
+}
+
+util::Status save_checkpoint(const std::string& path,
+                             const SearchCheckpoint& ck) {
+  return util::atomic_write_file(path, serialize_checkpoint(ck));
+}
+
+util::Result<SearchCheckpoint> load_checkpoint(const std::string& path) {
+  auto text = util::read_file_capped(path, kMaxCheckpointBytes);
+  if (!text.ok()) return text.error();
+  return parse_checkpoint(text.value());
+}
+
+}  // namespace tracesel::selection

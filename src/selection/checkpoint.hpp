@@ -1,0 +1,88 @@
+#pragma once
+// Versioned, checksummed snapshots of the D-prefix sharded Step 1/2 search
+// (DESIGN.md §11, docs/resilience.md).
+//
+// The parallel search dispatches its seed shards in waves; at every
+// completed wave boundary the engine can persist (atomically, see
+// util/atomic_file.hpp) everything needed to continue the search in a
+// fresh process: the next seed index, the running best-so-far combination,
+// the emitted-combination counter that enforces max_combinations, and the
+// GainMemo contents. Because shards are merged in ascending seed order
+// under a strict total order, a run resumed from any boundary produces a
+// final selection bit-identical to the uninterrupted run — gains are
+// serialized as raw IEEE-754 bit patterns so not even a decimal round-trip
+// separates the two.
+//
+// A checkpoint also records provenance (spec path + instance count) and a
+// fingerprint of the search identity (candidate set, widths, buffer,
+// mode, interleaving shape). Loading verifies an FNV-1a checksum over the
+// payload; resuming verifies the fingerprint against the rebuilt search.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "flow/types.hpp"
+#include "util/result.hpp"
+
+namespace tracesel::selection {
+
+class MessageSelector;
+struct SelectorConfig;
+
+/// Everything needed to continue an interrupted sharded search.
+struct SearchCheckpoint {
+  static constexpr std::uint32_t kVersion = 1;
+
+  // --- provenance (how to rebuild the session; may be empty) ---
+  std::string spec_path;        ///< .flow path, or "t2" for t2 sessions
+  std::uint32_t instances = 0;  ///< interleave() count / t2 scenario id
+
+  // --- search identity ---
+  std::uint64_t fingerprint = 0;  ///< search_fingerprint() of the run
+  std::uint32_t buffer_width = 0;
+  std::uint32_t mode = 0;  ///< SearchMode as integer
+  bool packing = true;
+  std::uint64_t max_combinations = 0;
+  bool symmetry_reduction = true;
+  std::uint64_t max_nodes = 0;
+
+  // --- progress ---
+  std::uint64_t seeds_total = 0;
+  std::uint64_t next_seed = 0;  ///< first seed NOT yet fully explored
+  std::uint64_t emitted = 0;    ///< post-filter emissions so far (the cap)
+
+  // --- running best (strict total order champion over seeds < next_seed) ---
+  bool best_valid = false;
+  std::uint64_t best_gain_bits = 0;  ///< std::bit_cast of the double
+  std::uint32_t best_width = 0;
+  std::vector<flow::MessageId> best_messages;
+
+  // --- gain memo (sorted by key; values as IEEE-754 bit patterns) ---
+  std::vector<std::pair<std::vector<flow::MessageId>, std::uint64_t>> memo;
+};
+
+/// The identity of a Step 1/2 search: FNV-1a over the candidate ids and
+/// trace widths, the buffer width, search mode, maximality, the
+/// combination cap and the interleaving shape (product state/edge counts,
+/// materialized node/edge counts). Deliberately independent of jobs /
+/// checkpoint_interval / shard_budget — a checkpoint taken at 4 jobs
+/// resumes correctly at 1 job and vice versa.
+std::uint64_t search_fingerprint(const MessageSelector& selector,
+                                 const SelectorConfig& config,
+                                 bool maximal_only);
+
+/// Text round-trip. serialize produces the full file contents including
+/// the "tracesel-checkpoint <version> <checksum>" envelope header.
+std::string serialize_checkpoint(const SearchCheckpoint& ck);
+util::Result<SearchCheckpoint> parse_checkpoint(std::string_view text);
+
+/// Atomic (temp + rename) write; a killed writer never corrupts `path`.
+util::Status save_checkpoint(const std::string& path,
+                             const SearchCheckpoint& ck);
+/// Capped read + checksum + version verification.
+util::Result<SearchCheckpoint> load_checkpoint(const std::string& path);
+
+}  // namespace tracesel::selection

@@ -1,6 +1,7 @@
 #include "selection/gain_memo.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/obs.hpp"
 
@@ -65,6 +66,29 @@ double GainMemo::gain(const InfoGainEngine& engine,
   const double g = engine.info_gain(combination);
   store(key, g);
   return g;
+}
+
+std::vector<std::pair<std::vector<flow::MessageId>, std::uint64_t>>
+GainMemo::entries() const {
+  std::vector<std::pair<std::vector<flow::MessageId>, std::uint64_t>> out;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    for (const auto& [h, bucket] : s.buckets) {
+      for (const auto& [key, value] : bucket)
+        out.emplace_back(key, std::bit_cast<std::uint64_t>(value));
+    }
+  }
+  // Canonical order so the serialized checkpoint is independent of shard
+  // iteration order (unordered_map) across runs and job counts.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void GainMemo::restore(
+    const std::vector<std::pair<std::vector<flow::MessageId>,
+                                std::uint64_t>>& entries) {
+  for (const auto& [key, bits] : entries)
+    store(key, std::bit_cast<double>(bits));
 }
 
 std::size_t GainMemo::size() const {

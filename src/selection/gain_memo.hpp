@@ -45,6 +45,18 @@ class GainMemo {
 
   std::size_t size() const;
 
+  /// Snapshot of every entry, keys ascending lexicographically and gains as
+  /// IEEE-754 bit patterns — the checkpoint exchange format (bit-exact
+  /// round-trip regardless of locale or formatting).
+  std::vector<std::pair<std::vector<flow::MessageId>, std::uint64_t>>
+  entries() const;
+
+  /// Preloads entries captured by entries() (e.g. from a checkpoint); keys
+  /// must be sorted message-id vectors. Shard caps still apply.
+  void restore(
+      const std::vector<std::pair<std::vector<flow::MessageId>,
+                                  std::uint64_t>>& entries);
+
  private:
   static constexpr std::size_t kShards = 16;
   struct Shard {

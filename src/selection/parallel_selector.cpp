@@ -1,11 +1,14 @@
 #include "selection/parallel_selector.hpp"
 
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <stdexcept>
 #include <vector>
 
+#include "flow/interleaved_flow.hpp"
+#include "selection/checkpoint.hpp"
 #include "util/obs.hpp"
 
 namespace tracesel::selection {
@@ -59,15 +62,16 @@ ParallelSelector::ParallelSelector(const flow::MessageCatalog& catalog,
 ParallelSelector::ParallelSelector(const MessageSelector& base)
     : base_(&base) {}
 
-Combination ParallelSelector::search_sharded(const SelectorConfig& config,
-                                             bool maximal_only,
-                                             util::ThreadPool& pool) const {
+ParallelSelector::SearchOutcome ParallelSelector::search_sharded(
+    const SelectorConfig& config, bool maximal_only,
+    util::ThreadPool& pool) const {
   OBS_SPAN("selection.parallel.search");
   const auto& candidates = base_->candidates();
   const auto& catalog = base_->catalog();
   const InfoGainEngine& engine = base_->engine();
   const std::size_t n = candidates.size();
   const std::uint32_t budget = config.buffer_width;
+  const util::CancelToken cancel = config.cancel;  // shared state, cheap copy
 
   std::vector<std::uint32_t> widths(n);
   for (std::size_t i = 0; i < n; ++i)
@@ -97,70 +101,204 @@ Combination ParallelSelector::search_sharded(const SelectorConfig& config,
   }
   OBS_COUNT("selection.parallel.seeds", seeds.size());
 
-  std::vector<Best> results(seeds.size());
-  std::atomic<std::size_t> emitted{0};
-
-  for (std::size_t s = 0; s < seeds.size(); ++s) {
-    pool.submit([&, s] {
-      const Seed& seed = seeds[s];
-      Best best;
-      std::vector<char> in_current(n, 0);
-      std::vector<flow::MessageId> current;
-      current.reserve(n);
-      std::uint32_t width = 0;
-      for (std::size_t i : seed.prefix) {
-        in_current[i] = 1;
-        current.push_back(candidates[i]);
-        width += widths[i];
-      }
-
-      const auto consider = [&] {
-        if (maximal_only) {
-          for (std::size_t i = 0; i < n; ++i) {
-            if (!in_current[i] && width + widths[i] <= budget) return;
-          }
-        }
-        // Same cap semantics as the serial enumerator: only combinations
-        // that pass the maximality filter count, and emission number
-        // max_combinations + 1 throws.
-        if (emitted.fetch_add(1, std::memory_order_relaxed) >=
-            config.max_combinations)
-          throw std::length_error(
-              "enumerate_combinations: result cap exceeded; use "
-              "maximal/greedy enumeration for large message sets");
-        best.offer(engine.info_gain(current), current, width);
-      };
-
-      if (!seed.subtree) {
-        consider();
-      } else {
-        auto walk = [&](auto&& self, std::size_t next) -> void {
-          consider();
-          for (std::size_t i = next; i < n; ++i) {
-            if (width + widths[i] > budget) continue;
-            in_current[i] = 1;
-            current.push_back(candidates[i]);
-            width += widths[i];
-            self(self, i + 1);
-            width -= widths[i];
-            current.pop_back();
-            in_current[i] = 0;
-          }
-        };
-        walk(walk, seed.next);
-      }
-      results[s] = std::move(best);
-    });
-  }
-  pool.wait();
-  OBS_COUNT("selection.combinations", emitted.load(std::memory_order_relaxed));
-
+  // Resume: validate that the checkpoint describes *this* search, then
+  // preload the running best, the emitted-combination counter and the
+  // memo, and skip the shards the previous run completed.
+  std::size_t start_seed = 0;
   Best overall;
-  for (const Best& b : results) overall.offer(b);
-  if (!overall.valid)
+  std::size_t emitted_start = 0;
+  if (config.resume_from) {
+    const SearchCheckpoint& ck = *config.resume_from;
+    if (ck.fingerprint !=
+            search_fingerprint(*base_, config, maximal_only) ||
+        ck.seeds_total != seeds.size())
+      throw std::runtime_error(
+          "ParallelSelector: checkpoint does not match this search "
+          "(different spec, candidates, buffer width, mode or cap)");
+    start_seed = static_cast<std::size_t>(ck.next_seed);
+    emitted_start = static_cast<std::size_t>(ck.emitted);
+    if (ck.best_valid)
+      overall.offer(std::bit_cast<double>(ck.best_gain_bits),
+                    ck.best_messages, ck.best_width);
+    memo_.restore(ck.memo);
+    OBS_COUNT("resilience.resumes", 1);
+  }
+
+  std::atomic<std::size_t> emitted{emitted_start};
+
+  const auto run_seed = [&](const Seed& seed, Best& best,
+                            bool& stopped) {
+    std::vector<char> in_current(n, 0);
+    std::vector<flow::MessageId> current;
+    current.reserve(n);
+    std::uint32_t width = 0;
+    for (std::size_t i : seed.prefix) {
+      in_current[i] = 1;
+      current.push_back(candidates[i]);
+      width += widths[i];
+    }
+
+    const auto consider = [&] {
+      if (cancel.cancelled()) {
+        stopped = true;
+        return;
+      }
+      if (maximal_only) {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (!in_current[i] && width + widths[i] <= budget) return;
+        }
+      }
+      // Same cap semantics as the serial enumerator: only combinations
+      // that pass the maximality filter count, and emission number
+      // max_combinations + 1 throws.
+      if (emitted.fetch_add(1, std::memory_order_relaxed) >=
+          config.max_combinations)
+        throw std::length_error(
+            "enumerate_combinations: result cap exceeded; use "
+            "maximal/greedy enumeration for large message sets");
+      best.offer(engine.info_gain(current), current, width);
+    };
+
+    if (!seed.subtree) {
+      consider();
+    } else {
+      auto walk = [&](auto&& self, std::size_t next) -> void {
+        consider();
+        if (stopped) return;
+        for (std::size_t i = next; i < n && !stopped; ++i) {
+          if (width + widths[i] > budget) continue;
+          in_current[i] = 1;
+          current.push_back(candidates[i]);
+          width += widths[i];
+          self(self, i + 1);
+          width -= widths[i];
+          current.pop_back();
+          in_current[i] = 0;
+        }
+      };
+      walk(walk, seed.next);
+    }
+  };
+
+  const auto write_checkpoint = [&](std::size_t next_seed) {
+    OBS_SPAN("resilience.checkpoint.write");
+    SearchCheckpoint ck;
+    ck.spec_path = config.checkpoint_spec_path;
+    ck.instances = config.checkpoint_instances;
+    ck.fingerprint = search_fingerprint(*base_, config, maximal_only);
+    ck.buffer_width = config.buffer_width;
+    ck.mode = static_cast<std::uint32_t>(config.mode);
+    ck.packing = config.packing;
+    ck.max_combinations = config.max_combinations;
+    const flow::InterleaveOptions& iopt = base_->interleaving().options();
+    ck.symmetry_reduction = iopt.symmetry_reduction;
+    ck.max_nodes = iopt.max_nodes;
+    ck.seeds_total = seeds.size();
+    ck.next_seed = next_seed;
+    ck.emitted = emitted.load(std::memory_order_relaxed);
+    ck.best_valid = overall.valid;
+    if (overall.valid) {
+      ck.best_gain_bits = std::bit_cast<std::uint64_t>(overall.gain);
+      ck.best_width = overall.combo.width;
+      ck.best_messages = overall.combo.messages;
+    }
+    ck.memo = memo_.entries();
+    const util::Status st = save_checkpoint(config.checkpoint_path, ck);
+    if (!st.ok())
+      throw std::runtime_error("ParallelSelector: cannot write checkpoint: " +
+                               st.error().to_string());
+    OBS_COUNT("resilience.checkpoints.written", 1);
+  };
+
+  // Dispatch in waves. A wave is a barrier: once every shard in it has
+  // finished, its champions are merged in ascending seed order and the
+  // boundary is a legal checkpoint. Without checkpointing or a shard
+  // budget the single wave covers all remaining seeds — identical
+  // scheduling to the pre-resilience engine.
+  const bool waved =
+      !config.checkpoint_path.empty() || config.shard_budget > 0;
+  const std::size_t wave =
+      waved ? std::max<std::size_t>(1, config.checkpoint_interval)
+            : seeds.size();
+
+  std::size_t completed = start_seed;  // seeds fully explored (prefix)
+  std::size_t s = start_seed;
+  bool stopped_early = false;
+  std::vector<Best> tail;  // champions of cancelled, part-explored shards
+
+  while (s < seeds.size()) {
+    if (cancel.cancelled()) {
+      stopped_early = true;
+      break;
+    }
+    if (config.shard_budget > 0 &&
+        s - start_seed >= config.shard_budget) {
+      stopped_early = true;
+      break;
+    }
+    std::size_t wave_end = std::min(seeds.size(), s + wave);
+    if (config.shard_budget > 0)
+      wave_end = std::min(wave_end,
+                          start_seed + config.shard_budget);
+
+    const std::size_t len = wave_end - s;
+    std::vector<Best> results(len);
+    std::vector<std::uint8_t> done(len, 0);
+    for (std::size_t t = 0; t < len; ++t) {
+      pool.submit([&, t] {
+        if (cancel.cancelled()) return;  // skipped shard: done stays 0
+        bool stopped = false;
+        run_seed(seeds[s + t], results[t], stopped);
+        if (!stopped) done[t] = 1;
+      });
+    }
+    pool.wait();
+
+    bool wave_complete = true;
+    for (std::size_t t = 0; t < len; ++t)
+      if (!done[t]) wave_complete = false;
+
+    if (wave_complete) {
+      for (std::size_t t = 0; t < len; ++t) overall.offer(results[t]);
+      s = wave_end;
+      completed = wave_end;
+      if (!config.checkpoint_path.empty()) write_checkpoint(completed);
+    } else {
+      // Cancelled mid-wave: the boundary checkpoint already on disk stays
+      // authoritative. Completed shards still merge exactly; cancelled
+      // shards contribute their (valid, exactly scored) champions to the
+      // *returned* partial best only.
+      for (std::size_t t = 0; t < len; ++t) {
+        if (done[t]) {
+          ++completed;
+          overall.offer(results[t]);
+        } else {
+          tail.push_back(std::move(results[t]));
+        }
+      }
+      stopped_early = true;
+      break;
+    }
+  }
+  OBS_COUNT("selection.combinations",
+            emitted.load(std::memory_order_relaxed) - emitted_start);
+
+  SearchOutcome out;
+  out.partial = stopped_early;
+  out.explored_fraction =
+      seeds.empty() ? 1.0
+                    : static_cast<double>(completed) /
+                          static_cast<double>(seeds.size());
+  if (stopped_early) OBS_COUNT("resilience.cancelled_searches", 1);
+  for (const Best& b : tail) overall.offer(b);
+  if (!overall.valid) {
+    if (stopped_early) return out;  // empty partial result, not an error
     throw std::runtime_error(
         "MessageSelector: no message fits the trace buffer");
-  return std::move(overall.combo);
+  }
+  out.valid = true;
+  out.combo = std::move(overall.combo);
+  return out;
 }
 
 SelectionResult ParallelSelector::select(const SelectorConfig& config,
@@ -174,15 +312,38 @@ SelectionResult ParallelSelector::select(const SelectorConfig& config,
     serial.jobs = 1;
     return base_->select(serial);
   }
+  if (config.mem_budget_mb > 0 &&
+      base_->estimate_search_bytes(config) >
+          static_cast<double>(config.mem_budget_mb) * (1u << 20)) {
+    // Over the Step 2 memory budget: the serial path degrades to the
+    // beam-limited search (MessageSelector::select applies the budget
+    // check before its parallel routing, so this cannot bounce back here).
+    SelectorConfig serial = config;
+    serial.jobs = 1;
+    return base_->select(serial);
+  }
 
   std::optional<util::ThreadPool> local;
   if (pool == nullptr) {
     local.emplace(util::ThreadPool::resolve_jobs(config.jobs));
     pool = &*local;
   }
-  Combination winner = search_sharded(
+  SearchOutcome out = search_sharded(
       config, /*maximal_only=*/config.mode == SearchMode::kMaximal, *pool);
-  return base_->finalize(std::move(winner), config, &memo_);
+  if (!out.valid) {
+    // Interrupted before any shard produced a champion: a well-formed
+    // empty partial result (never a throw or a hang).
+    SelectionResult result;
+    result.buffer_width = config.buffer_width;
+    result.partial = true;
+    result.explored_fraction = out.explored_fraction;
+    return result;
+  }
+  SelectionResult result =
+      base_->finalize(std::move(out.combo), config, &memo_);
+  result.partial = out.partial;
+  result.explored_fraction = out.explored_fraction;
+  return result;
 }
 
 }  // namespace tracesel::selection

@@ -48,6 +48,13 @@ class ParallelSelector {
   /// reuse a caller-owned pool (config.jobs is ignored for sizing then);
   /// otherwise a pool of resolve_jobs(config.jobs) workers is created for
   /// the call.
+  ///
+  /// Resilience (DESIGN.md §11): config.cancel stops the search within one
+  /// shard granule and yields a partial result; config.checkpoint_path
+  /// persists the search state at every completed wave of
+  /// config.checkpoint_interval shards; config.resume_from continues a
+  /// checkpointed search bit-identically; config.shard_budget bounds the
+  /// shards explored per call.
   SelectionResult select(const SelectorConfig& config = {},
                          util::ThreadPool* pool = nullptr) const;
 
@@ -55,8 +62,18 @@ class ParallelSelector {
   GainMemo& memo() const { return memo_; }
 
  private:
-  Combination search_sharded(const SelectorConfig& config, bool maximal_only,
-                             util::ThreadPool& pool) const;
+  /// What search_sharded hands back: the champion of the explored region
+  /// plus how much of the seed space that region covers.
+  struct SearchOutcome {
+    bool valid = false;  ///< at least one combination was scored
+    Combination combo;
+    bool partial = false;
+    double explored_fraction = 1.0;
+  };
+
+  SearchOutcome search_sharded(const SelectorConfig& config,
+                               bool maximal_only,
+                               util::ThreadPool& pool) const;
 
   std::unique_ptr<MessageSelector> owned_;
   const MessageSelector* base_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "selection/gain_memo.hpp"
 #include "selection/parallel_selector.hpp"
@@ -62,6 +63,9 @@ Combination MessageSelector::search_greedy(const SelectorConfig& config) const {
   OBS_SPAN("selection.search.greedy");
   Combination current;
   for (;;) {
+    // Cooperative cancel between ascent steps: the combination built so
+    // far is a valid (partial) greedy result.
+    if (config.cancel.cancelled()) break;
     const flow::MessageId* best = nullptr;
     double best_gain = -1.0;
     std::uint32_t best_width = 0;
@@ -85,9 +89,11 @@ Combination MessageSelector::search_greedy(const SelectorConfig& config) const {
     current.messages.push_back(*best);
     current.width += catalog_->get(*best).trace_width();
   }
-  if (current.messages.empty())
+  if (current.messages.empty()) {
+    if (config.cancel.cancelled()) return current;  // empty partial
     throw std::runtime_error(
         "MessageSelector: no message fits the trace buffer");
+  }
   std::sort(current.messages.begin(), current.messages.end());
   return current;
 }
@@ -109,6 +115,9 @@ Combination MessageSelector::search_knapsack(
                                     std::vector<Cell>(wmax + 1, Cell{}));
 
   for (std::size_t i = 1; i <= n; ++i) {
+    // Cancel between DP rows; an incomplete table is unusable, so the
+    // caller gets an empty partial combination.
+    if (config.cancel.cancelled()) return Combination{};
     const std::uint32_t w = catalog_->get(candidates_[i - 1]).trace_width();
     const double v = engine_.message_contribution(candidates_[i - 1]);
     for (std::size_t cap = 0; cap <= wmax; ++cap) {
@@ -136,11 +145,102 @@ Combination MessageSelector::search_knapsack(
     best.width += w;
     cap -= w;
   }
-  if (best.messages.empty())
+  if (best.messages.empty()) {
+    if (config.cancel.cancelled()) return best;  // empty partial
     throw std::runtime_error(
         "MessageSelector: no message fits the trace buffer");
+  }
   std::sort(best.messages.begin(), best.messages.end());
   return best;
+}
+
+double MessageSelector::estimate_search_bytes(
+    const SelectorConfig& config) const {
+  // Number of fitting subsets via a counting knapsack DP over the candidate
+  // widths — pure arithmetic on the candidate set, so every run of the same
+  // spec reaches the same verdict (determinism of the budget decision).
+  // Each materialized Combination costs roughly a vector header + a handful
+  // of 4-byte ids; 64 bytes is the round, documented estimate.
+  std::vector<double> dp(config.buffer_width + 1, 0.0);
+  dp[0] = 1.0;
+  for (flow::MessageId m : candidates_) {
+    const std::uint32_t w = catalog_->get(m).trace_width();
+    if (w == 0 || w > config.buffer_width) continue;
+    for (std::uint32_t cap = config.buffer_width; cap >= w; --cap)
+      dp[cap] += dp[cap - w];
+  }
+  double count = -1.0;  // exclude the empty set
+  for (double c : dp) count += c;
+  count = std::min(count, static_cast<double>(config.max_combinations));
+  return std::max(count, 0.0) * 64.0;
+}
+
+Combination MessageSelector::search_beam(const SelectorConfig& config,
+                                         std::size_t beam_width) const {
+  OBS_SPAN("selection.search.beam");
+  struct Entry {
+    double gain = -1.0;
+    Combination combo;
+    std::size_t last = 0;  ///< index of the last candidate added
+  };
+  // The exhaustive search's strict total order, reused as the beam rank.
+  const auto better = [](const Entry& a, const Entry& b) {
+    if (a.gain != b.gain) return a.gain > b.gain;
+    if (a.combo.width != b.combo.width) return a.combo.width < b.combo.width;
+    return a.combo.messages < b.combo.messages;
+  };
+
+  const std::size_t n = candidates_.size();
+  std::vector<std::uint32_t> widths(n);
+  for (std::size_t i = 0; i < n; ++i)
+    widths[i] = catalog_->get(candidates_[i]).trace_width();
+
+  std::vector<Entry> beam;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (widths[i] > config.buffer_width) continue;
+    Entry e;
+    e.combo.messages = {candidates_[i]};
+    e.combo.width = widths[i];
+    e.last = i;
+    e.gain = engine_.info_gain(e.combo.messages);
+    beam.push_back(std::move(e));
+  }
+
+  Entry best;
+  bool have_best = false;
+  while (!beam.empty()) {
+    std::sort(beam.begin(), beam.end(), better);
+    if (beam.size() > beam_width) beam.resize(beam_width);
+    for (const Entry& e : beam) {
+      if (!have_best || better(e, best)) {
+        best = e;
+        have_best = true;
+      }
+    }
+    if (config.cancel.cancelled()) break;  // best-so-far is the answer
+    // Level-synchronous expansion: children extend with strictly larger
+    // candidate indices, so no combination is generated twice.
+    std::vector<Entry> next;
+    for (const Entry& e : beam) {
+      for (std::size_t i = e.last + 1; i < n; ++i) {
+        if (e.combo.width + widths[i] > config.buffer_width) continue;
+        Entry c;
+        c.combo.messages = e.combo.messages;
+        c.combo.messages.push_back(candidates_[i]);
+        c.combo.width = e.combo.width + widths[i];
+        c.last = i;
+        c.gain = engine_.info_gain(c.combo.messages);
+        next.push_back(std::move(c));
+      }
+    }
+    beam = std::move(next);
+  }
+  if (!have_best) {
+    if (config.cancel.cancelled()) return Combination{};  // empty partial
+    throw std::runtime_error(
+        "MessageSelector: no message fits the trace buffer");
+  }
+  return std::move(best.combo);
 }
 
 SelectionResult MessageSelector::finalize(Combination combination,
@@ -175,11 +275,55 @@ SelectionResult MessageSelector::finalize(Combination combination,
 
 SelectionResult MessageSelector::select(const SelectorConfig& config) const {
   OBS_SPAN("selection.select");
+  const bool searchable = config.mode == SearchMode::kExhaustive ||
+                          config.mode == SearchMode::kMaximal;
+
+  // Memory budget first — and before the parallel routing, so the
+  // ParallelSelector's over-budget delegation back to this serial path
+  // lands on the beam and cannot bounce back (no routing recursion).
+  if (searchable && config.mem_budget_mb > 0 &&
+      estimate_search_bytes(config) >
+          static_cast<double>(config.mem_budget_mb) * (1u << 20)) {
+    // 64 beam slots per budgeted MiB: deterministic, and each slot is a
+    // bounded Combination, so the beam respects the budget by orders of
+    // magnitude.
+    const std::size_t beam_width =
+        std::clamp<std::size_t>(config.mem_budget_mb * 64, 16, 1u << 16);
+    const std::string note =
+        "step2: beam-limited search (beam " + std::to_string(beam_width) +
+        ") under the " + std::to_string(config.mem_budget_mb) +
+        " MiB memory budget";
+    OBS_COUNT("resilience.degradations", 1);
+    Combination combo = search_beam(config, beam_width);
+    if (combo.messages.empty()) {  // cancelled before anything was scored
+      SelectionResult r;
+      r.buffer_width = config.buffer_width;
+      r.partial = true;
+      r.explored_fraction = 0.0;
+      r.degradation = note;
+      return r;
+    }
+    const bool cancelled = config.cancel.cancelled();
+    SelectionResult result = finalize(std::move(combo), config, nullptr);
+    result.degradation = note;
+    if (cancelled) {
+      result.partial = true;
+      result.explored_fraction = 0.0;
+    }
+    return result;
+  }
+
   // The exhaustive/maximal search parallelizes cleanly (the engine is
   // const after construction); jobs != 1 routes it through the parallel
   // engine, which produces bit-identical results for every worker count.
-  if (config.jobs != 1 && (config.mode == SearchMode::kExhaustive ||
-                           config.mode == SearchMode::kMaximal)) {
+  // Any resilience feature routes there too (even at jobs == 1): the
+  // sharded wave engine is what implements cancellation granularity,
+  // checkpoints, resume and shard budgets.
+  const bool resilient = config.cancel.valid() ||
+                         !config.checkpoint_path.empty() ||
+                         config.resume_from != nullptr ||
+                         config.shard_budget > 0;
+  if (searchable && (config.jobs != 1 || resilient)) {
     return ParallelSelector(*this).select(config);
   }
 
@@ -198,7 +342,22 @@ SelectionResult MessageSelector::select(const SelectorConfig& config) const {
       combination = search_knapsack(config);
       break;
   }
-  return finalize(std::move(combination), config, nullptr);
+  const bool cancelled = config.cancel.cancelled();
+  if (combination.messages.empty()) {
+    // Only the cancel-aware searches return empty (they throw otherwise):
+    // a well-formed empty partial result.
+    SelectionResult result;
+    result.buffer_width = config.buffer_width;
+    result.partial = true;
+    result.explored_fraction = 0.0;
+    return result;
+  }
+  SelectionResult result = finalize(std::move(combination), config, nullptr);
+  if (cancelled) {
+    result.partial = true;
+    result.explored_fraction = 0.0;
+  }
+  return result;
 }
 
 SelectionResult MessageSelector::select_with_flow_constraint(

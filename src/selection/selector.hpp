@@ -4,6 +4,7 @@
 // mutual information gain, then pack subgroups into the leftover buffer.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,11 +12,13 @@
 #include "selection/coverage.hpp"
 #include "selection/info_gain.hpp"
 #include "selection/packing.hpp"
+#include "util/cancel.hpp"
 
 namespace tracesel::selection {
 
 class GainMemo;
 class ParallelSelector;
+struct SearchCheckpoint;
 
 /// How Step 1/2 search the combination space.
 enum class SearchMode {
@@ -53,6 +56,38 @@ struct SelectorConfig {
   /// Chrome trace-event JSON / flat metrics JSON to these paths.
   std::string trace_out;
   std::string metrics_out;
+
+  // --- resilience (DESIGN.md §11, docs/resilience.md) ---
+  /// Cooperative cancellation / deadline. The default token is inert. When
+  /// it fires, the search stops within one shard granule and select()
+  /// returns the best-so-far with SelectionResult::partial = true instead
+  /// of throwing or hanging.
+  util::CancelToken cancel;
+  /// Non-empty: persist a SearchCheckpoint to this path (atomically) at
+  /// every completed wave of `checkpoint_interval` seed shards.
+  std::string checkpoint_path;
+  std::size_t checkpoint_interval = 64;
+  /// Non-zero: explore at most this many seed shards in this call, then
+  /// checkpoint (if enabled) and return a partial result — deterministic
+  /// time-slicing for cooperative schedulers and the kill/resume tests.
+  std::size_t shard_budget = 0;
+  /// Soft memory budget in MiB for the Step 2 search (0 = unlimited).
+  /// Enforced via a deterministic estimate of the fitting-combination
+  /// storage: when over budget the search degrades to a beam-limited
+  /// variant and records it in SelectionResult::degradation. The same
+  /// value should be passed to InterleaveOptions::mem_budget_mb to bound
+  /// the product build too.
+  std::size_t mem_budget_mb = 0;
+  /// Continue a previously checkpointed search: completed shards are
+  /// skipped, the running best / emitted counter / gain memo are
+  /// preloaded, and the final selection is bit-identical to the
+  /// uninterrupted run. The checkpoint's fingerprint must match this
+  /// search (std::runtime_error otherwise).
+  std::shared_ptr<const SearchCheckpoint> resume_from;
+  /// Provenance stamped into written checkpoints so Session::resume can
+  /// rebuild the pipeline; filled by tracesel::Session, ignored elsewhere.
+  std::string checkpoint_spec_path;
+  std::uint32_t checkpoint_instances = 0;
 };
 
 /// The full outcome of a selection run, carrying both the packed and
@@ -66,6 +101,19 @@ struct SelectionResult {
   double coverage_unpacked = 0.0;
   std::uint32_t used_width = 0;     ///< combination width + packed widths
   std::uint32_t buffer_width = 0;
+
+  /// True when the run was interrupted (cancel/deadline/shard_budget): the
+  /// result is the exact champion of the explored region, not of the full
+  /// space. A partial result may be empty (no shard finished).
+  bool partial = false;
+  /// Fraction of seed shards fully explored; 1.0 for complete runs. For the
+  /// serial greedy/knapsack paths an interrupted run reports 0.0 (their
+  /// progress has no shard granularity).
+  double explored_fraction = 1.0;
+  /// Non-empty when a memory budget degraded a stage (interleave fallback,
+  /// beam-limited Step 2); see docs/resilience.md.
+  std::string degradation;
+  bool degraded() const { return !degradation.empty(); }
 
   double utilization() const {
     return buffer_width ? static_cast<double>(used_width) / buffer_width : 0.0;
@@ -103,6 +151,7 @@ class MessageSelector {
 
   const InfoGainEngine& engine() const { return engine_; }
   const flow::MessageCatalog& catalog() const { return *catalog_; }
+  const flow::InterleavedFlow& interleaving() const { return *u_; }
   const std::vector<flow::MessageId>& candidates() const {
     return candidates_;
   }
@@ -120,6 +169,15 @@ class MessageSelector {
                                 bool maximal_only) const;
   Combination search_greedy(const SelectorConfig& config) const;
   Combination search_knapsack(const SelectorConfig& config) const;
+  /// Memory-budget degradation of the exhaustive/maximal search: a
+  /// level-synchronous beam over combination sizes, beam width derived
+  /// deterministically from the budget. Approximate (and flagged via
+  /// SelectionResult::degradation) but bounded-memory.
+  Combination search_beam(const SelectorConfig& config,
+                          std::size_t beam_width) const;
+  /// Deterministic estimate (bytes) of what materializing every fitting
+  /// combination would cost — counts only, never runtime RSS.
+  double estimate_search_bytes(const SelectorConfig& config) const;
 
   const flow::MessageCatalog* catalog_;
   const flow::InterleavedFlow* u_;

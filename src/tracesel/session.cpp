@@ -17,7 +17,9 @@ Session Session::from_spec(flow::ParsedSpec spec) {
 }
 
 Session Session::from_spec_file(const std::string& path) {
-  return from_spec(flow::parse_flow_spec_file(path));
+  Session s = from_spec(flow::parse_flow_spec_file(path));
+  s.spec_path_ = path;  // checkpoint provenance
+  return s;
 }
 
 Session Session::from_spec_text(std::string_view text) {
@@ -82,8 +84,12 @@ Session& Session::interleave(std::uint32_t instances) {
   OBS_SPAN("session.interleave");
   std::vector<const flow::Flow*> flows;
   for (const flow::Flow& f : spec_->flows) flows.push_back(&f);
+  flow::InterleaveOptions opt = interleave_options_;
+  opt.cancel = config_.cancel;  // SIGINT/deadline covers the build too
+  if (opt.mem_budget_mb == 0) opt.mem_budget_mb = config_.mem_budget_mb;
   u_ = std::make_unique<flow::InterleavedFlow>(flow::InterleavedFlow::build(
-      flow::make_instances(flows, instances), interleave_options_));
+      flow::make_instances(flows, instances), opt));
+  instances_used_ = instances;
   invalidate_selector();
   return *this;
 }
@@ -92,8 +98,12 @@ Session& Session::scenario(int id) {
   if (!t2_)
     throw std::logic_error("Session::scenario: not a t2 session");
   OBS_SPAN("session.interleave");
+  flow::InterleaveOptions opt = interleave_options_;
+  opt.cancel = config_.cancel;
+  if (opt.mem_budget_mb == 0) opt.mem_budget_mb = config_.mem_budget_mb;
   u_ = std::make_unique<flow::InterleavedFlow>(soc::build_interleaving(
-      *t2_, soc::scenario_by_id(id), interleave_options_));
+      *t2_, soc::scenario_by_id(id), opt));
+  instances_used_ = static_cast<std::uint32_t>(id);
   invalidate_selector();
   return *this;
 }
@@ -128,22 +138,75 @@ selection::SelectionResult Session::select_impl(bool flow_constraint) {
     selector_ =
         std::make_unique<selection::MessageSelector>(*catalog_, *u_);
 
+  // Checkpoint provenance so Session::resume can rebuild this pipeline.
+  selection::SelectorConfig cfg = config_;
+  if (cfg.checkpoint_spec_path.empty())
+    cfg.checkpoint_spec_path = t2_ ? "t2" : spec_path_;
+  if (cfg.checkpoint_instances == 0) cfg.checkpoint_instances = instances_used_;
+
   selection::SelectionResult result;
   if (flow_constraint) {
     // The repair loop is a short serial epilogue; its inner select() call
     // honours config_.jobs by itself.
-    result = selector_->select_with_flow_constraint(config_);
+    result = selector_->select_with_flow_constraint(cfg);
   } else if (util::ThreadPool* p = pool()) {
     if (!parallel_)
       parallel_ = std::make_unique<selection::ParallelSelector>(*selector_);
-    result = parallel_->select(config_, p);
+    result = parallel_->select(cfg, p);
   } else {
-    selection::SelectorConfig serial = config_;
-    serial.jobs = 1;
-    result = selector_->select(serial);
+    cfg.jobs = 1;
+    result = selector_->select(cfg);
   }
+
+  // Surface any interleave-stage degradation alongside the selection's own.
+  if (u_->degraded()) {
+    const std::string note = "interleave: " + u_->degradation();
+    result.degradation = result.degradation.empty()
+                             ? note
+                             : note + "; " + result.degradation;
+  }
+  // A resume is one-shot: the next select() starts a fresh search instead
+  // of silently skipping shards against a stale checkpoint.
+  config_.resume_from.reset();
+
   last_selection_ = result;
   return result;
+}
+
+util::Result<Session> Session::resume(const std::string& checkpoint_path) {
+  auto loaded = selection::load_checkpoint(checkpoint_path);
+  if (!loaded.ok()) return loaded.error();
+  selection::SearchCheckpoint ck = std::move(loaded).value();
+  if (ck.spec_path.empty())
+    return util::Error{
+        util::ErrorCode::kInvalidArgument,
+        "checkpoint carries no spec provenance (written outside a "
+        "Session); rebuild the pipeline manually and set "
+        "config().resume_from"};
+  if (ck.mode > static_cast<std::uint32_t>(selection::SearchMode::kKnapsack))
+    return util::Error{util::ErrorCode::kParse,
+                       "checkpoint records an unknown search mode"};
+  try {
+    Session s = ck.spec_path == "t2" ? t2() : from_spec_file(ck.spec_path);
+    s.interleave_options_.symmetry_reduction = ck.symmetry_reduction;
+    s.interleave_options_.max_nodes = static_cast<std::size_t>(ck.max_nodes);
+    s.config_.buffer_width = ck.buffer_width;
+    s.config_.mode = static_cast<selection::SearchMode>(ck.mode);
+    s.config_.packing = ck.packing;
+    s.config_.max_combinations = static_cast<std::size_t>(ck.max_combinations);
+    // Keep checkpointing where the interrupted run left it.
+    s.config_.checkpoint_path = checkpoint_path;
+    if (ck.spec_path == "t2")
+      s.scenario(static_cast<int>(ck.instances));
+    else
+      s.interleave(ck.instances);
+    s.config_.resume_from =
+        std::make_shared<selection::SearchCheckpoint>(std::move(ck));
+    return s;
+  } catch (const std::exception& e) {
+    return util::Error{util::ErrorCode::kInvalidArgument,
+                       std::string("Session::resume: ") + e.what()};
+  }
 }
 
 selection::SelectionResult Session::select() { return select_impl(false); }
@@ -184,7 +247,7 @@ debug::MonteCarloResult Session::monte_carlo(int case_id, std::size_t runs,
   // selection step — nesting pools would oversubscribe the machine.
   OBS_SPAN("session.monte_carlo");
   return debug::evaluate_case_study(*t2_, cases[case_id - 1], base, runs,
-                                    config_.jobs, pool());
+                                    config_.jobs, pool(), &config_.cancel);
 }
 
 const flow::MessageCatalog& Session::catalog() const {

@@ -36,10 +36,12 @@
 #include "debug/monte_carlo.hpp"
 #include "flow/interleaved_flow.hpp"
 #include "flow/parser.hpp"
+#include "selection/checkpoint.hpp"
 #include "selection/localization.hpp"
 #include "selection/parallel_selector.hpp"
 #include "selection/selector.hpp"
 #include "soc/t2_design.hpp"
+#include "util/result.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tracesel {
@@ -56,6 +58,14 @@ class Session {
                                    flow::InterleavedFlow u);
   /// A session over the built-in OpenSPARC T2 uncore (debug leg enabled).
   static Session t2();
+  /// Rebuilds a session from a search checkpoint written by a previous
+  /// run (docs/resilience.md): loads + verifies the file, re-parses the
+  /// recorded spec (a .flow path, or "t2" for t2 sessions), restores the
+  /// interleave options and selection config, rebuilds the interleaving
+  /// and arms config().resume_from — the next select() continues the
+  /// search and finishes bit-identical to an uninterrupted run. A typed
+  /// error (never a crash) on missing/corrupt/provenance-free checkpoints.
+  static util::Result<Session> resume(const std::string& checkpoint_path);
 
   Session(Session&&) = default;
   Session& operator=(Session&&) = default;
@@ -127,6 +137,8 @@ class Session {
 
   selection::SelectorConfig config_;
   flow::InterleaveOptions interleave_options_;
+  std::string spec_path_;            ///< checkpoint provenance (file sessions)
+  std::uint32_t instances_used_ = 0; ///< last interleave() count / scenario id
   std::unique_ptr<flow::ParsedSpec> spec_;      // spec sessions
   std::unique_ptr<soc::T2Design> t2_;           // t2 sessions
   const flow::MessageCatalog* catalog_ = nullptr;

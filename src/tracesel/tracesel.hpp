@@ -42,5 +42,7 @@
 // Utilities callers commonly need alongside the facade.
 #include "util/thread_pool.hpp"
 
-// The facade itself.
+// The facade itself, plus the resilience surface (cancellation tokens,
+// checkpoints, exit-code contract).
+#include "tracesel/resilience.hpp"
 #include "tracesel/session.hpp"

@@ -1,0 +1,70 @@
+#include "util/atomic_file.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace tracesel::util {
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+Status atomic_write_file(const std::string& path, std::string_view contents) {
+  if (path.empty())
+    return Status::err(ErrorCode::kInvalidArgument,
+                       "atomic_write_file: empty path");
+  // A sibling temp keeps the rename on one filesystem (atomicity) and makes
+  // leftovers from a killed process easy to spot and reap.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      return Status::err(ErrorCode::kInvalidArgument,
+                         "cannot open '" + tmp + "' for writing");
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::err(ErrorCode::kInternal,
+                         "short write to '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::err(ErrorCode::kInternal,
+                       "cannot rename '" + tmp + "' over '" + path + "'");
+  }
+  return Status::success();
+}
+
+Result<std::string> read_file_capped(const std::string& path,
+                                     std::size_t max_bytes) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in)
+    return Result<std::string>::err(ErrorCode::kInvalidArgument,
+                                    "cannot open '" + path + "'");
+  const auto size = in.tellg();
+  if (size < 0)
+    return Result<std::string>::err(ErrorCode::kInternal,
+                                    "cannot stat '" + path + "'");
+  if (static_cast<std::uint64_t>(size) > max_bytes)
+    return Result<std::string>::err(
+        ErrorCode::kParse, "'" + path + "' exceeds the " +
+                               std::to_string(max_bytes) + "-byte cap");
+  in.seekg(0);
+  std::string text(static_cast<std::size_t>(size), '\0');
+  in.read(text.data(), size);
+  if (!in && size != 0)
+    return Result<std::string>::err(ErrorCode::kInternal,
+                                    "short read from '" + path + "'");
+  return text;
+}
+
+}  // namespace tracesel::util

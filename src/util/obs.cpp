@@ -12,6 +12,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "util/atomic_file.hpp"
 #include "util/log.hpp"
 
 namespace tracesel::obs {
@@ -501,14 +502,16 @@ namespace {
 
 bool write_json(const util::Json& json, const std::string& path,
                 const char* what) {
-  std::ofstream out(path);
-  if (!out) {
+  // Temp+rename: a run killed mid-flush (SIGINT after a cancel request,
+  // node preemption) must never leave a truncated half-JSON sink behind.
+  const util::Status st = util::atomic_write_file(path, json.dump(2) + '\n');
+  if (!st.ok()) {
     util::Log(util::LogLevel::kError)
-        << "obs: cannot write " << what << " to '" << path << "'";
+        << "obs: cannot write " << what << " to '" << path
+        << "': " << st.error().to_string();
     return false;
   }
-  out << json.dump(2) << '\n';
-  return out.good();
+  return true;
 }
 
 }  // namespace

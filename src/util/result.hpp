@@ -24,6 +24,8 @@ enum class ErrorCode {
   kCorruptCapture,    ///< trace decoded, but evidence is self-contradictory
   kUnusableCapture,   ///< too little valid data to support any conclusion
   kExhaustedRetries,  ///< every recapture attempt stayed unusable
+  kCancelled,         ///< cooperative cancel/deadline stopped the stage
+  kResourceExhausted, ///< a memory/node budget refused the request
   kInternal,          ///< invariant violation inside the library
 };
 
@@ -34,6 +36,8 @@ inline const char* to_string(ErrorCode code) {
     case ErrorCode::kCorruptCapture: return "corrupt-capture";
     case ErrorCode::kUnusableCapture: return "unusable-capture";
     case ErrorCode::kExhaustedRetries: return "exhausted-retries";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kResourceExhausted: return "resource-exhausted";
     case ErrorCode::kInternal: return "internal";
   }
   return "?";

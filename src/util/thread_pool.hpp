@@ -23,6 +23,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/cancel.hpp"
+
 namespace tracesel::util {
 
 class ThreadPool {
@@ -51,14 +53,23 @@ class ThreadPool {
   /// Runs body(i) for every i in [begin, end), `grain` indices per task.
   /// body is shared across workers and must be safe to invoke concurrently
   /// for distinct indices. Blocks until done; rethrows the first exception.
+  ///
+  /// `cancel` (optional) makes the loop cooperative: once the token reports
+  /// cancellation, not-yet-started chunks are skipped (each queued task
+  /// re-checks the token before its first iteration), so the call returns
+  /// within one chunk granule of the request. The caller must treat the
+  /// iteration space as partially covered when cancel->cancelled() is true
+  /// afterwards; indices that did run each ran exactly once.
   template <typename Body>
   void parallel_for(std::size_t begin, std::size_t end, Body&& body,
-                    std::size_t grain = 1) {
+                    std::size_t grain = 1,
+                    const CancelToken* cancel = nullptr) {
     if (end <= begin) return;
     if (grain == 0) grain = 1;
     for (std::size_t b = begin; b < end; b += grain) {
       const std::size_t e = b + grain < end ? b + grain : end;
-      submit([&body, b, e] {
+      submit([&body, b, e, cancel] {
+        if (cancel != nullptr && cancel->cancelled()) return;
         for (std::size_t i = b; i < e; ++i) body(i);
       });
     }
@@ -70,9 +81,13 @@ class ThreadPool {
   /// combine(acc, partial) in ascending chunk order on the calling thread.
   /// For a fixed (range, grain) the result is bit-identical no matter how
   /// many workers the pool has.
+  /// `cancel` (optional): chunks skipped after cancellation contribute the
+  /// identity, so when cancel->cancelled() is observed afterwards the
+  /// returned value is a *partial* reduction over the chunks that ran.
   template <typename T, typename ChunkFn, typename CombineFn>
   T parallel_reduce(std::size_t begin, std::size_t end, std::size_t grain,
-                    T identity, ChunkFn&& chunk_fn, CombineFn&& combine) {
+                    T identity, ChunkFn&& chunk_fn, CombineFn&& combine,
+                    const CancelToken* cancel = nullptr) {
     if (end <= begin) return identity;
     if (grain == 0) grain = 1;
     const std::size_t chunks = (end - begin + grain - 1) / grain;
@@ -80,7 +95,10 @@ class ThreadPool {
     for (std::size_t c = 0; c < chunks; ++c) {
       const std::size_t b = begin + c * grain;
       const std::size_t e = b + grain < end ? b + grain : end;
-      submit([&chunk_fn, &partial, b, e, c] { partial[c] = chunk_fn(b, e); });
+      submit([&chunk_fn, &partial, b, e, c, cancel] {
+        if (cancel != nullptr && cancel->cancelled()) return;
+        partial[c] = chunk_fn(b, e);
+      });
     }
     wait();
     T acc = std::move(identity);

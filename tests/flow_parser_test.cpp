@@ -362,5 +362,73 @@ TEST_P(ParserFuzzTest, GarbageNeverCrashesOnlyThrows) {
 INSTANTIATE_TEST_SUITE_P(RandomTokenSoup, ParserFuzzTest,
                          ::testing::Range<std::uint64_t>(1, 33));
 
+TEST(ParserCapsTest, OverlongLineRejectedWithLineNumber) {
+  std::string text = "message Ok 1 A -> B\n";
+  text += std::string(65 * 1024, 'x');  // one 65 KiB line
+  text += "\nmessage Ok2 1 A -> B\n";
+  try {
+    parse_flow_spec(text, "caps.flow");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_EQ(e.file(), "caps.flow");
+    EXPECT_NE(e.detail().find("length cap"), std::string::npos);
+  }
+  // Lenient mode drops the line, stays synchronized and keeps parsing.
+  const auto lenient = parse_flow_spec_lenient(text);
+  ASSERT_EQ(lenient.errors.size(), 1u);
+  EXPECT_EQ(lenient.errors[0].line, 2u);
+  EXPECT_EQ(lenient.spec.catalog.size(), 2u);
+}
+
+TEST(ParserCapsTest, MessageCountCapReportedOnce) {
+  // 65536 messages are accepted; the 65537th (and beyond) trips the cap
+  // with exactly one diagnostic instead of 10k repeats.
+  std::string text;
+  text.reserve(70u << 20 >> 5);
+  for (std::size_t i = 0; i < 65536 + 10; ++i)
+    text += "message m" + std::to_string(i) + " 1 A -> B\n";
+  EXPECT_THROW(parse_flow_spec(text), ParseError);
+  const auto lenient = parse_flow_spec_lenient(text);
+  ASSERT_EQ(lenient.errors.size(), 1u);
+  EXPECT_NE(lenient.errors[0].text.find("message count"), std::string::npos);
+  EXPECT_EQ(lenient.spec.catalog.size(), 65536u);
+}
+
+TEST(ParserCapsTest, FlowCountCapConsumesExcessBodies) {
+  // 4096 flows parse; flow 4097 is reported once and its body swallowed so
+  // the parser stays synchronized for what follows.
+  std::string text = "message m 1 A -> B\n";
+  for (std::size_t i = 0; i < 4096 + 2; ++i) {
+    text += "flow f" + std::to_string(i) +
+            " {\n  state a initial\n  state b stop\n  a -> b on m\n}\n";
+  }
+  text += "message tail 1 A -> B\n";
+  EXPECT_THROW(parse_flow_spec(text), ParseError);
+  const auto lenient = parse_flow_spec_lenient(text);
+  ASSERT_EQ(lenient.errors.size(), 1u);
+  EXPECT_NE(lenient.errors[0].text.find("flow count"), std::string::npos);
+  EXPECT_EQ(lenient.spec.flows.size(), 4096u);
+  EXPECT_TRUE(lenient.spec.catalog.find("tail").has_value());
+}
+
+TEST(ParserCapsTest, CancelledTokenAbortsParseWithTypedError) {
+  // The poll granule is a few thousand lines, so a large input with a
+  // pre-cancelled token must unwind with CancelledError, not finish.
+  std::string text;
+  for (std::size_t i = 0; i < 20000; ++i)
+    text += "message m" + std::to_string(i) + " 1 A -> B\n";
+  const util::CancelToken token = util::CancelToken::make();
+  token.cancel();
+  try {
+    parse_flow_spec(text, "", &token);
+    FAIL() << "expected CancelledError";
+  } catch (const util::CancelledError& e) {
+    EXPECT_EQ(e.stage(), "flow.parse");
+  }
+  // An inert (default) token changes nothing.
+  EXPECT_NO_THROW(parse_flow_spec(text, "", nullptr));
+}
+
 }  // namespace
 }  // namespace tracesel::flow

@@ -1,0 +1,465 @@
+// Resilience contract of the selection pipeline (DESIGN.md §11,
+// docs/resilience.md): cooperative cancellation yields well-formed partial
+// results, checkpointed searches resume bit-identically to uninterrupted
+// runs (across job counts and kill points, on Fig. 2, USB and the T2
+// spec), memory budgets degrade deterministically instead of aborting,
+// and checkpoint files survive corruption attempts with typed errors.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flow/flow_builder.hpp"
+#include "flow/parser.hpp"
+#include "netlist/usb_design.hpp"
+#include "selection/checkpoint.hpp"
+#include "selection/parallel_selector.hpp"
+#include "selection/selector.hpp"
+#include "testutil.hpp"
+#include "tracesel/tracesel.hpp"
+#include "util/cancel.hpp"
+
+namespace tracesel::selection {
+namespace {
+
+using flow::MessageId;
+using test::CoherenceFixture;
+
+void expect_identical(const SelectionResult& a, const SelectionResult& b) {
+  EXPECT_EQ(a.combination.messages, b.combination.messages);
+  EXPECT_EQ(a.combination.width, b.combination.width);
+  EXPECT_EQ(a.packed, b.packed);
+  // EXPECT_EQ on doubles is exact: the contract is bit-identity.
+  EXPECT_EQ(a.gain, b.gain);
+  EXPECT_EQ(a.gain_unpacked, b.gain_unpacked);
+  EXPECT_EQ(a.coverage, b.coverage);
+  EXPECT_EQ(a.coverage_unpacked, b.coverage_unpacked);
+  EXPECT_EQ(a.used_width, b.used_width);
+  EXPECT_EQ(a.buffer_width, b.buffer_width);
+}
+
+std::string temp_path(const std::string& stem) {
+  return ::testing::TempDir() + "tracesel_" + stem + "_" +
+         std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+         ".ck";
+}
+
+/// The kill-and-resume property: for seeded kill points k, a search
+/// checkpointed after k shards and resumed (possibly at a different job
+/// count) finishes bit-identical to the uninterrupted reference.
+void run_kill_resume_property(const flow::MessageCatalog& catalog,
+                              const flow::InterleavedFlow& u,
+                              std::uint32_t buffer_width, std::uint64_t seed,
+                              const std::string& stem) {
+  const MessageSelector selector(catalog, u);
+  SelectorConfig base;
+  base.buffer_width = buffer_width;
+  base.mode = SearchMode::kExhaustive;
+  base.jobs = 1;
+  const auto reference = selector.select(base);
+
+  // Learn the shard count from a one-shard probe checkpoint.
+  const std::string probe_ck = temp_path(stem + "_probe");
+  SelectorConfig probe = base;
+  probe.checkpoint_path = probe_ck;
+  probe.checkpoint_interval = 1;
+  probe.shard_budget = 1;
+  (void)selector.select(probe);
+  auto loaded = load_checkpoint(probe_ck);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().to_string();
+  const std::uint64_t seeds_total = loaded.value().seeds_total;
+  std::remove(probe_ck.c_str());
+  if (seeds_total < 2) GTEST_SKIP() << "search too small to kill mid-way";
+
+  std::mt19937_64 rng(seed);
+  std::vector<std::uint64_t> kill_points = {1, seeds_total - 1};
+  for (int i = 0; i < 3; ++i)
+    kill_points.push_back(1 + rng() % (seeds_total - 1));
+
+  const std::string ck = temp_path(stem);
+  for (const std::uint64_t k : kill_points) {
+    for (const std::size_t kill_jobs : {std::size_t{1}, std::size_t{4}}) {
+      for (const std::size_t resume_jobs : {std::size_t{1}, std::size_t{4}}) {
+        SCOPED_TRACE("kill=" + std::to_string(k) + " kill_jobs=" +
+                     std::to_string(kill_jobs) + " resume_jobs=" +
+                     std::to_string(resume_jobs));
+        SelectorConfig kill = base;
+        kill.jobs = kill_jobs;
+        kill.checkpoint_path = ck;
+        kill.checkpoint_interval = 1;
+        kill.shard_budget = k;
+        const auto partial = selector.select(kill);
+        EXPECT_TRUE(partial.partial);
+        EXPECT_LT(partial.explored_fraction, 1.0);
+        auto mid = load_checkpoint(ck);
+        ASSERT_TRUE(mid.ok()) << mid.error().to_string();
+        EXPECT_EQ(mid.value().next_seed, k);
+        EXPECT_EQ(mid.value().seeds_total, seeds_total);
+
+        SelectorConfig res = base;
+        res.jobs = resume_jobs;
+        res.resume_from =
+            std::make_shared<SearchCheckpoint>(std::move(mid).value());
+        const auto resumed = selector.select(res);
+        EXPECT_FALSE(resumed.partial);
+        EXPECT_EQ(resumed.explored_fraction, 1.0);
+        expect_identical(reference, resumed);
+      }
+    }
+  }
+  std::remove(ck.c_str());
+}
+
+TEST(KillResumeProperty, Fig2) {
+  CoherenceFixture fx;
+  const auto u = fx.two_instance_interleaving();
+  run_kill_resume_property(fx.catalog, u, 2, 20260806, "fig2");
+}
+
+TEST(KillResumeProperty, Usb) {
+  netlist::UsbDesign usb;
+  const auto u = usb.interleaving(2);
+  run_kill_resume_property(usb.catalog(), u, 32, 20260807, "usb");
+}
+
+TEST(KillResumeProperty, T2Spec) {
+  const auto spec = flow::parse_flow_spec_file(TRACESEL_DATA_DIR "/t2.flow");
+  std::vector<const flow::Flow*> flows;
+  for (const flow::Flow& f : spec.flows) flows.push_back(&f);
+  const auto u = flow::InterleavedFlow::build(flow::make_instances(flows, 1));
+  run_kill_resume_property(spec.catalog, u, 32, 20260808, "t2");
+}
+
+TEST(ResilienceTest, PreCancelledTokenYieldsEmptyPartialResult) {
+  CoherenceFixture fx;
+  const auto u = fx.two_instance_interleaving();
+  const MessageSelector selector(fx.catalog, u);
+  for (const SearchMode mode :
+       {SearchMode::kMaximal, SearchMode::kExhaustive, SearchMode::kGreedy,
+        SearchMode::kKnapsack}) {
+    SCOPED_TRACE("mode=" + std::to_string(static_cast<int>(mode)));
+    SelectorConfig cfg;
+    cfg.buffer_width = 2;
+    cfg.mode = mode;
+    cfg.jobs = 1;
+    cfg.cancel = util::CancelToken::make();
+    cfg.cancel.cancel();
+    const auto r = selector.select(cfg);
+    EXPECT_TRUE(r.partial);
+    EXPECT_EQ(r.explored_fraction, 0.0);
+    EXPECT_TRUE(r.combination.messages.empty());
+    EXPECT_EQ(r.buffer_width, 2u);
+  }
+}
+
+TEST(ResilienceTest, CancelMidSearchFromSecondThreadIsWellFormed) {
+  // The TSan-visible race: cancel() fires from another thread while shard
+  // tasks are running. Whatever the timing, select() must terminate and
+  // return either the complete answer or a well-formed partial one.
+  netlist::UsbDesign usb;
+  const auto u = usb.interleaving(2);
+  const MessageSelector selector(usb.catalog(), u);
+  SelectorConfig ref_cfg;
+  ref_cfg.buffer_width = 32;
+  ref_cfg.mode = SearchMode::kExhaustive;
+  ref_cfg.jobs = 1;
+  const auto reference = selector.select(ref_cfg);
+  for (const int delay_us : {0, 50, 200, 800}) {
+    SCOPED_TRACE("delay_us=" + std::to_string(delay_us));
+    SelectorConfig cfg = ref_cfg;
+    cfg.jobs = 4;
+    cfg.cancel = util::CancelToken::make();
+    std::thread killer([token = cfg.cancel, delay_us] {
+      if (delay_us > 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+      token.cancel();
+    });
+    const auto r = selector.select(cfg);
+    killer.join();
+    if (r.partial) {
+      EXPECT_GE(r.explored_fraction, 0.0);
+      EXPECT_LT(r.explored_fraction, 1.0);
+      if (!r.combination.messages.empty()) {
+        EXPECT_LE(r.combination.width, 32u);
+      }
+    } else {
+      expect_identical(reference, r);
+    }
+  }
+}
+
+TEST(ResilienceTest, ShardBudgetPartialIsDeterministic) {
+  CoherenceFixture fx;
+  const auto u = fx.two_instance_interleaving();
+  const MessageSelector selector(fx.catalog, u);
+  SelectorConfig cfg;
+  cfg.buffer_width = 2;
+  cfg.mode = SearchMode::kExhaustive;
+  cfg.jobs = 4;
+  cfg.shard_budget = 1;
+  const auto a = selector.select(cfg);
+  const auto b = selector.select(cfg);
+  EXPECT_TRUE(a.partial);
+  EXPECT_EQ(a.explored_fraction, b.explored_fraction);
+  expect_identical(a, b);
+}
+
+TEST(ResilienceTest, CheckpointSerializationRoundTrips) {
+  SearchCheckpoint ck;
+  ck.spec_path = "some dir/spec.flow";  // spaces must survive
+  ck.instances = 3;
+  ck.fingerprint = 0xdeadbeefcafef00dull;
+  ck.buffer_width = 32;
+  ck.mode = 1;
+  ck.packing = false;
+  ck.max_combinations = 123456;
+  ck.symmetry_reduction = true;
+  ck.max_nodes = 2000000;
+  ck.seeds_total = 9;
+  ck.next_seed = 4;
+  ck.emitted = 77;
+  ck.best_valid = true;
+  ck.best_gain_bits = std::bit_cast<std::uint64_t>(3.14159);
+  ck.best_width = 7;
+  ck.best_messages = {MessageId{2}, MessageId{5}};
+  ck.memo = {{{MessageId{1}}, std::bit_cast<std::uint64_t>(0.5)},
+             {{MessageId{1}, MessageId{2}},
+              std::bit_cast<std::uint64_t>(-1.25)}};
+
+  auto parsed = parse_checkpoint(serialize_checkpoint(ck));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const SearchCheckpoint& got = parsed.value();
+  EXPECT_EQ(got.spec_path, ck.spec_path);
+  EXPECT_EQ(got.instances, ck.instances);
+  EXPECT_EQ(got.fingerprint, ck.fingerprint);
+  EXPECT_EQ(got.buffer_width, ck.buffer_width);
+  EXPECT_EQ(got.mode, ck.mode);
+  EXPECT_EQ(got.packing, ck.packing);
+  EXPECT_EQ(got.max_combinations, ck.max_combinations);
+  EXPECT_EQ(got.symmetry_reduction, ck.symmetry_reduction);
+  EXPECT_EQ(got.max_nodes, ck.max_nodes);
+  EXPECT_EQ(got.seeds_total, ck.seeds_total);
+  EXPECT_EQ(got.next_seed, ck.next_seed);
+  EXPECT_EQ(got.emitted, ck.emitted);
+  EXPECT_EQ(got.best_valid, ck.best_valid);
+  EXPECT_EQ(got.best_gain_bits, ck.best_gain_bits);
+  EXPECT_EQ(std::bit_cast<double>(got.best_gain_bits), 3.14159);
+  EXPECT_EQ(got.best_width, ck.best_width);
+  EXPECT_EQ(got.best_messages, ck.best_messages);
+  EXPECT_EQ(got.memo, ck.memo);
+}
+
+TEST(ResilienceTest, CorruptCheckpointsRejectedWithTypedErrors) {
+  SearchCheckpoint ck;
+  ck.seeds_total = 4;
+  ck.next_seed = 2;
+  const std::string text = serialize_checkpoint(ck);
+
+  // Truncation (atomicity failure simulation).
+  EXPECT_FALSE(parse_checkpoint(text.substr(0, text.size() - 6)).ok());
+  EXPECT_FALSE(parse_checkpoint(text.substr(0, text.size() / 2)).ok());
+  EXPECT_FALSE(parse_checkpoint("").ok());
+
+  // A flipped payload byte fails the checksum.
+  std::string flipped = text;
+  flipped[text.find("seeds_total")] ^= 1;
+  EXPECT_FALSE(parse_checkpoint(flipped).ok());
+
+  // Unknown version.
+  std::string versioned = text;
+  versioned.replace(versioned.find("checkpoint 1"), 12, "checkpoint 9");
+  EXPECT_FALSE(parse_checkpoint(versioned).ok());
+
+  // Progress that cannot be valid.
+  SearchCheckpoint bad = ck;
+  bad.next_seed = 5;  // > seeds_total
+  EXPECT_FALSE(parse_checkpoint(serialize_checkpoint(bad)).ok());
+}
+
+TEST(ResilienceTest, SaveCheckpointIsAtomicAndLoadable) {
+  const std::string path = temp_path("atomic");
+  SearchCheckpoint ck;
+  ck.seeds_total = 2;
+  ck.next_seed = 1;
+  const auto saved = save_checkpoint(path, ck);
+  ASSERT_TRUE(saved.ok()) << saved.error().to_string();
+  // The temp sibling must be gone after the rename.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  auto loaded = load_checkpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().to_string();
+  EXPECT_EQ(loaded.value().seeds_total, 2u);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(load_checkpoint(path + ".does-not-exist").ok());
+}
+
+TEST(ResilienceTest, FingerprintMismatchRefusesToResume) {
+  CoherenceFixture fx;
+  const auto u = fx.two_instance_interleaving();
+  const MessageSelector selector(fx.catalog, u);
+  const std::string ck = temp_path("mismatch");
+  SelectorConfig cfg;
+  cfg.buffer_width = 2;
+  cfg.mode = SearchMode::kExhaustive;
+  cfg.jobs = 1;
+  cfg.checkpoint_path = ck;
+  cfg.checkpoint_interval = 1;
+  cfg.shard_budget = 1;
+  (void)selector.select(cfg);
+  auto loaded = load_checkpoint(ck);
+  ASSERT_TRUE(loaded.ok());
+  std::remove(ck.c_str());
+
+  // Same selector, different buffer width: a different search identity.
+  SelectorConfig other;
+  other.buffer_width = 3;
+  other.mode = SearchMode::kExhaustive;
+  other.jobs = 1;
+  other.resume_from =
+      std::make_shared<SearchCheckpoint>(std::move(loaded).value());
+  EXPECT_THROW((void)selector.select(other), std::runtime_error);
+}
+
+TEST(ResilienceTest, MemBudgetDegradesStep2ToBeamAndRecordsIt) {
+  // 15 one-bit messages with a 14-bit buffer: 32766 fitting combinations,
+  // an estimated ~2 MiB exhaustive frontier — over a 1 MiB budget, under
+  // any roomy one.
+  flow::MessageCatalog catalog;
+  flow::FlowBuilder builder("Chain");
+  std::vector<std::string> states;
+  for (int i = 0; i <= 15; ++i) {
+    std::string name = std::to_string(i);
+    name.insert(name.begin(), 's');
+    states.push_back(std::move(name));
+  }
+  builder.state(states[0], flow::FlowBuilder::kInitial);
+  std::vector<MessageId> ids;
+  for (int i = 0; i < 15; ++i) {
+    std::string msg = std::to_string(i);
+    msg.insert(msg.begin(), 'm');
+    ids.push_back(catalog.add(msg, 1, "A", "B"));
+    if (i == 14) builder.state(states[15], flow::FlowBuilder::kStop);
+    else builder.state(states[i + 1]);
+    builder.transition(states[i], ids.back(), states[i + 1]);
+  }
+  const flow::Flow chain = builder.build(catalog);
+  const auto u =
+      flow::InterleavedFlow::build(flow::make_instances({&chain}, 1));
+  const MessageSelector selector(catalog, u);
+  SelectorConfig cfg;
+  cfg.buffer_width = 14;
+  cfg.mode = SearchMode::kExhaustive;
+  cfg.jobs = 1;
+  const auto reference = selector.select(cfg);
+
+  cfg.mem_budget_mb = 1;  // below the exhaustive frontier estimate
+  const auto degraded = selector.select(cfg);
+  ASSERT_TRUE(degraded.degraded()) << "budget did not trigger";
+  EXPECT_NE(degraded.degradation.find("beam"), std::string::npos);
+  EXPECT_FALSE(degraded.partial);
+  EXPECT_FALSE(degraded.combination.messages.empty());
+  EXPECT_LE(degraded.combination.width, 14u);
+  EXPECT_LE(degraded.gain, reference.gain);
+
+  // The degradation decision is count-based, never RSS-based, so the
+  // parallel entry point lands on the identical beam result.
+  SelectorConfig par = cfg;
+  par.jobs = 4;
+  const auto degraded_par = selector.select(par);
+  EXPECT_TRUE(degraded_par.degraded());
+  expect_identical(degraded, degraded_par);
+
+  // A generous budget changes nothing.
+  SelectorConfig roomy = cfg;
+  roomy.mem_budget_mb = 1u << 14;
+  const auto full = selector.select(roomy);
+  EXPECT_FALSE(full.degraded());
+  expect_identical(reference, full);
+}
+
+TEST(ResilienceTest, InterleaveBudgetFallsBackToSymmetryReduction) {
+  // Eight coherence instances: the unreduced product (24057 reachable
+  // states) busts a 1 MiB node budget, the reduced one (dozens of orbit
+  // nodes) fits easily — the build must degrade, not die.
+  CoherenceFixture fx;
+  flow::InterleaveOptions opt;
+  opt.symmetry_reduction = false;
+  opt.mem_budget_mb = 1;
+  const auto u = flow::InterleavedFlow::build(
+      flow::make_instances({&fx.flow_}, 8), opt);
+  EXPECT_TRUE(u.degraded());
+  EXPECT_NE(u.degradation().find("symmetry-reduced"), std::string::npos);
+  EXPECT_TRUE(u.reduced());
+
+  // Bit-identical to an explicitly reduced build.
+  const auto v = flow::InterleavedFlow::build(
+      flow::make_instances({&fx.flow_}, 8));
+  const MessageSelector a(fx.catalog, u);
+  const MessageSelector b(fx.catalog, v);
+  SelectorConfig cfg;
+  cfg.buffer_width = 2;
+  cfg.jobs = 1;
+  expect_identical(b.select(cfg), a.select(cfg));
+
+  // Without a budget the historical contract holds: over-cap unreduced
+  // builds throw instead of silently degrading.
+  flow::InterleaveOptions strict;
+  strict.symmetry_reduction = false;
+  strict.max_nodes = 100;
+  EXPECT_THROW((void)flow::InterleavedFlow::build(
+                   flow::make_instances({&fx.flow_}, 8), strict),
+               std::length_error);
+}
+
+TEST(ResilienceTest, SessionResumeRebuildsPipelineAndFinishes) {
+  const std::string ck = temp_path("session");
+  Session clean = Session::from_spec_file(TRACESEL_DATA_DIR "/fig2.flow");
+  clean.config().buffer_width = 2;
+  clean.config().mode = SearchMode::kExhaustive;
+  clean.interleave(2);
+  const auto reference = clean.select();
+
+  Session interrupted = Session::from_spec_file(TRACESEL_DATA_DIR
+                                                "/fig2.flow");
+  interrupted.config().buffer_width = 2;
+  interrupted.config().mode = SearchMode::kExhaustive;
+  interrupted.config().checkpoint_path = ck;
+  interrupted.config().checkpoint_interval = 1;
+  interrupted.config().shard_budget = 1;
+  interrupted.interleave(2);
+  const auto partial = interrupted.select();
+  EXPECT_TRUE(partial.partial);
+  EXPECT_LT(partial.explored_fraction, 1.0);
+
+  auto resumed = Session::resume(ck);
+  ASSERT_TRUE(resumed.ok()) << resumed.error().to_string();
+  Session continued = std::move(resumed).value();
+  const auto final_result = continued.select();
+  EXPECT_FALSE(final_result.partial);
+  expect_identical(reference, final_result);
+  std::remove(ck.c_str());
+
+  EXPECT_FALSE(Session::resume(ck + ".missing").ok());
+}
+
+TEST(ResilienceTest, MonteCarloCancelYieldsPartialAggregate) {
+  Session session = Session::t2();
+  session.config().cancel = util::CancelToken::make();
+  session.config().cancel.cancel();
+  const auto r = session.monte_carlo(1, 4);
+  EXPECT_TRUE(r.partial);
+  EXPECT_EQ(r.runs, 0u);
+  EXPECT_EQ(r.requested_runs, 4u);
+}
+
+}  // namespace
+}  // namespace tracesel::selection

@@ -3,9 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
+
+#include "util/cancel.hpp"
 
 namespace tracesel::util {
 namespace {
@@ -115,6 +119,92 @@ TEST(ThreadPoolTest, ResolveJobs) {
 TEST(ThreadPoolTest, SizeReportsWorkerCount) {
   ThreadPool pool(5);
   EXPECT_EQ(pool.size(), 5u);
+}
+
+TEST(ThreadPoolTest, ParallelForPreCancelledRunsNothing) {
+  ThreadPool pool(4);
+  const CancelToken token = CancelToken::make();
+  token.cancel();
+  std::atomic<int> counter{0};
+  pool.parallel_for(0, 1000,
+                    [&counter](std::size_t) { counter.fetch_add(1); },
+                    /*grain=*/1, &token);
+  EXPECT_EQ(counter.load(), 0);
+}
+
+TEST(ThreadPoolTest, ParallelForCancelMidFlightFromSecondThread) {
+  // The race the resilience layer must survive: cancel() fires from
+  // another thread while chunks are executing. The loop must return (no
+  // hang), run each started chunk to completion exactly once, and skip
+  // chunks not yet started.
+  ThreadPool pool(4);
+  const CancelToken token = CancelToken::make();
+  std::vector<std::atomic<int>> hits(4096);
+  std::atomic<int> executed{0};
+  std::thread killer([&] {
+    // Wait until some chunks have demonstrably run, then cancel.
+    while (executed.load(std::memory_order_relaxed) < 64)
+      std::this_thread::yield();
+    token.cancel();
+  });
+  pool.parallel_for(
+      0, hits.size(),
+      [&](std::size_t i) {
+        hits[i].fetch_add(1);
+        executed.fetch_add(1, std::memory_order_relaxed);
+      },
+      /*grain=*/1, &token);
+  killer.join();
+  int ran = 0;
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_LE(hits[i].load(), 1) << "index " << i << " ran twice";
+    ran += hits[i].load();
+  }
+  EXPECT_GE(ran, 64);
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(ThreadPoolTest, ParallelReduceCancelledChunksContributeIdentity) {
+  ThreadPool pool(2);
+  const CancelToken token = CancelToken::make();
+  token.cancel();
+  const std::uint64_t total = pool.parallel_reduce(
+      std::size_t{0}, std::size_t{1000}, /*grain=*/10, std::uint64_t{0},
+      [](std::size_t b, std::size_t e) {
+        std::uint64_t s = 0;
+        for (std::size_t i = b; i < e; ++i) s += 1;
+        return s;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; }, &token);
+  EXPECT_EQ(total, 0u);
+}
+
+TEST(CancelTokenTest, InertTokenNeverCancels) {
+  const CancelToken inert;
+  EXPECT_FALSE(inert.valid());
+  inert.cancel();  // no-op, must not crash
+  EXPECT_FALSE(inert.cancelled());
+  EXPECT_FALSE(inert.cancel_requested());
+}
+
+TEST(CancelTokenTest, CancelIsIdempotentAndSharedAcrossCopies) {
+  const CancelToken token = CancelToken::make();
+  const CancelToken copy = token;
+  EXPECT_FALSE(copy.cancelled());
+  token.cancel();
+  token.cancel();  // double-cancel is fine
+  EXPECT_TRUE(copy.cancelled());
+  EXPECT_TRUE(copy.cancel_requested());
+}
+
+TEST(CancelTokenTest, DeadlineExpiryLatches) {
+  const CancelToken token = CancelToken::after(std::chrono::nanoseconds(1));
+  // The deadline is in the past by the time we poll; expiry must latch.
+  while (!token.cancelled()) std::this_thread::yield();
+  EXPECT_TRUE(token.cancelled());
+  // Deadline expiry is not a cancel() call, but the latch records it in
+  // the same flag, so cancel_requested() reports true afterwards.
+  EXPECT_TRUE(token.cancel_requested());
 }
 
 }  // namespace

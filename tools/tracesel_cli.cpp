@@ -11,6 +11,17 @@
 //       --no-symmetry-reduction   materialize every product state instead
 //                        of one weighted representative per orbit
 //       --max-nodes N    materialized node budget (default 2e6)
+//     resilience (docs/resilience.md):
+//       --checkpoint FILE          periodically snapshot the search; an
+//                        interrupted run resumes from FILE bit-identically
+//       --checkpoint-interval N    shards per snapshot       (default 64)
+//       --resume FILE    continue the search recorded in FILE (spec, mode
+//                        and interleave settings come from the checkpoint;
+//                        no positional spec, no structural flags)
+//       --deadline-ms N  cancel the run after N milliseconds
+//       --mem-budget-mb N   degrade (never abort) when the interleaving or
+//                        the Step 2 search would exceed N MiB
+//       --shard-budget N    explore at most N shards, then stop partial
 //   tracesel dot <spec.flow> <flow-name>             Graphviz of one flow
 //   tracesel lint <spec.flow> [--buffer N] [--lenient]
 //       --lenient        accumulate parse errors instead of stopping at
@@ -31,9 +42,16 @@
 //       --log-level L       debug|info|warn|error      (default warn)
 //
 // Exit codes: 0 ok, 1 usage error, 2 runtime failure (any uncaught
-// exception is reported as a one-line diagnostic, never a crash).
+// exception is reported as a one-line diagnostic, never a crash), 3
+// interrupted (SIGINT/SIGTERM or --deadline-ms fired: the run stopped
+// cooperatively with a partial result and/or a final checkpoint; a second
+// signal exits immediately with 130).
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -59,6 +77,23 @@ using namespace tracesel;
 std::string g_trace_out;
 std::string g_metrics_out;
 
+/// Process-wide cancellation token, created before the signal handlers are
+/// installed so cancel() (one lock-free store) is safe from them.
+const util::CancelToken g_cancel = util::CancelToken::make();
+/// True while a subcommand that polls g_cancel is running; outside such a
+/// window a signal keeps its conventional kill-the-process meaning.
+std::atomic<bool> g_cooperative{false};
+std::atomic<int> g_signals{0};
+
+extern "C" void handle_signal(int) {
+  if (!g_cooperative.load(std::memory_order_relaxed) ||
+      g_signals.fetch_add(1, std::memory_order_relaxed) > 0) {
+    // Second signal (or no cooperative stage to unwind): stop insisting.
+    std::_Exit(130);
+  }
+  g_cancel.cancel();
+}
+
 double parse_number(const std::string& text, const char* flag) {
   try {
     std::size_t consumed = 0;
@@ -78,6 +113,10 @@ int usage() {
                " [--mode maximal|exhaustive|greedy|knapsack] [--no-packing]"
                " [--jobs N] [--json]\n"
                "                 [--no-symmetry-reduction] [--max-nodes N]\n"
+               "                 [--checkpoint FILE] [--checkpoint-interval N]"
+               " [--resume FILE]\n"
+               "                 [--deadline-ms N] [--mem-budget-mb N]"
+               " [--shard-budget N]\n"
                "  tracesel dot <spec.flow> <flow-name>\n"
                "  tracesel lint <spec.flow> [--buffer N] [--lenient]\n"
                "  tracesel debug <case 1..5> [--no-packing] [--vcd FILE]"
@@ -125,31 +164,62 @@ int cmd_inspect(const std::string& path) {
   return 0;
 }
 
-int cmd_select(const std::string& path, int argc, char** argv) {
+/// Handles every token after "select": one optional positional spec path
+/// plus flags. With --resume the spec, search mode and interleave settings
+/// come from the checkpoint, so the positional spec and the structural
+/// flags are rejected rather than silently ignored.
+int cmd_select(int argc, char** argv) {
   selection::SelectorConfig cfg;
   flow::InterleaveOptions iopt;
   std::uint32_t instances = 2;
   bool json = false;
+  std::string spec_path, resume_path;
+  std::string structural_flag;  // first structural flag seen, for diagnostics
+  bool checkpoint_given = false;
+  std::uint64_t deadline_ms = 0;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
       if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
       return argv[++i];
     };
-    if (arg == "--buffer") cfg.buffer_width = std::stoul(next());
-    else if (arg == "--instances") instances = std::stoul(next());
-    else if (arg == "--no-packing") cfg.packing = false;
+    auto structural = [&]() {
+      if (structural_flag.empty()) structural_flag = arg;
+    };
+    if (arg == "--buffer") { structural(); cfg.buffer_width = std::stoul(next()); }
+    else if (arg == "--instances") { structural(); instances = std::stoul(next()); }
+    else if (arg == "--no-packing") { structural(); cfg.packing = false; }
     else if (arg == "--jobs") cfg.jobs = std::stoul(next());
     else if (arg == "--json") json = true;
-    else if (arg == "--no-symmetry-reduction") iopt.symmetry_reduction = false;
-    else if (arg == "--max-nodes") iopt.max_nodes = std::stoul(next());
+    else if (arg == "--no-symmetry-reduction") {
+      structural();
+      iopt.symmetry_reduction = false;
+    } else if (arg == "--max-nodes") {
+      structural();
+      iopt.max_nodes = std::stoul(next());
+    } else if (arg == "--checkpoint") {
+      cfg.checkpoint_path = next();
+      checkpoint_given = true;
+    } else if (arg == "--checkpoint-interval") {
+      cfg.checkpoint_interval = std::stoul(next());
+      if (cfg.checkpoint_interval == 0)
+        throw std::runtime_error("--checkpoint-interval must be >= 1");
+    } else if (arg == "--resume") resume_path = next();
+    else if (arg == "--deadline-ms") deadline_ms = std::stoull(next());
+    else if (arg == "--mem-budget-mb") cfg.mem_budget_mb = std::stoul(next());
+    else if (arg == "--shard-budget") cfg.shard_budget = std::stoul(next());
     else if (arg == "--mode") {
+      structural();
       const std::string m = next();
       if (m == "maximal") cfg.mode = selection::SearchMode::kMaximal;
       else if (m == "exhaustive") cfg.mode = selection::SearchMode::kExhaustive;
       else if (m == "greedy") cfg.mode = selection::SearchMode::kGreedy;
       else if (m == "knapsack") cfg.mode = selection::SearchMode::kKnapsack;
       else throw std::runtime_error("unknown mode '" + m + "'");
+    } else if (!arg.starts_with("--")) {
+      if (!spec_path.empty())
+        throw std::runtime_error("unexpected operand '" + arg + "'");
+      spec_path = arg;
     } else {
       throw std::runtime_error("unknown option '" + arg + "'");
     }
@@ -159,13 +229,65 @@ int cmd_select(const std::string& path, int argc, char** argv) {
   // the same one embedding applications use; main() performs the writes.
   cfg.trace_out = g_trace_out;
   cfg.metrics_out = g_metrics_out;
-  auto session = Session::from_spec_file(path);
-  session.configure(cfg).interleave_options(iopt).interleave(instances);
+  // Signals and the optional deadline share one token, so either stops the
+  // run the same cooperative way.
+  cfg.cancel = g_cancel;
+  if (deadline_ms > 0)
+    cfg.cancel.set_timeout(std::chrono::milliseconds(deadline_ms));
+
+  auto session = [&]() -> Session {
+    if (resume_path.empty()) {
+      if (spec_path.empty())
+        throw std::runtime_error("select: missing <spec.flow> operand");
+      Session s = Session::from_spec_file(spec_path);
+      s.configure(cfg).interleave_options(iopt);
+      g_cooperative.store(true, std::memory_order_relaxed);
+      s.interleave(instances);
+      return s;
+    }
+    if (!spec_path.empty() || !structural_flag.empty())
+      throw std::runtime_error(
+          "--resume takes the spec and " +
+          (structural_flag.empty() ? std::string("'" + spec_path + "'")
+                                   : structural_flag) +
+          " from the checkpoint; drop it");
+    g_cooperative.store(true, std::memory_order_relaxed);
+    auto resumed = Session::resume(resume_path);
+    if (!resumed.ok())
+      throw std::runtime_error(resumed.error().to_string());
+    Session s = std::move(resumed).value();
+    // Runtime knobs stay overridable on resume; the structural ones above
+    // were restored from the checkpoint by Session::resume.
+    selection::SelectorConfig rc = s.config();
+    rc.jobs = cfg.jobs;
+    if (checkpoint_given) rc.checkpoint_path = cfg.checkpoint_path;
+    rc.checkpoint_interval = cfg.checkpoint_interval;
+    rc.shard_budget = cfg.shard_budget;
+    rc.mem_budget_mb = cfg.mem_budget_mb;
+    rc.trace_out = cfg.trace_out;
+    rc.metrics_out = cfg.metrics_out;
+    rc.cancel = cfg.cancel;
+    s.configure(rc);
+    return s;
+  }();
+
   const auto r = session.select();
+  int rc = 0;
+  if (r.partial) {
+    std::cerr << "interrupted: partial result, "
+              << util::pct(r.explored_fraction) << " of the search explored";
+    if (!session.config().checkpoint_path.empty())
+      std::cerr << " (resume with --resume "
+                << session.config().checkpoint_path << ")";
+    std::cerr << '\n';
+    rc = resilience::kExitInterrupted;
+  }
+  if (r.degraded())
+    std::cerr << "degraded: " << r.degradation << '\n';
   const flow::MessageCatalog& catalog = session.catalog();
   if (json) {
     std::cout << selection::to_json(catalog, r).dump(2) << '\n';
-    return 0;
+    return rc;
   }
   const flow::InterleavedFlow& u = session.interleaving();
   std::cout << "Interleaving: " << u.num_product_states() << " states, "
@@ -188,7 +310,7 @@ int cmd_select(const std::string& path, int argc, char** argv) {
             << " coverage=" << util::pct(r.coverage)
             << " utilization=" << util::pct(r.utilization()) << " ("
             << r.used_width << '/' << r.buffer_width << " bits)\n";
-  return 0;
+  return rc;
 }
 
 int cmd_lint(const std::string& path, std::uint32_t buffer, bool lenient) {
@@ -313,7 +435,7 @@ int dispatch(int argc, char** argv) {
   try {
     if (cmd == "inspect" && argc == 3) return cmd_inspect(argv[2]);
     if (cmd == "select" && argc >= 3)
-      return cmd_select(argv[2], argc - 3, argv + 3);
+      return cmd_select(argc - 2, argv + 2);
     if (cmd == "dot" && argc == 4) return cmd_dot(argv[2], argv[3]);
     if (cmd == "lint" && argc >= 3) {
       std::uint32_t buffer = 32;
@@ -366,6 +488,11 @@ int dispatch(int argc, char** argv) {
       }
       return cmd_debug(std::atoi(argv[2]), cli);
     }
+  } catch (const util::CancelledError& e) {
+    // A stage that cannot carry a partial result (flow parse, interleave
+    // build) unwound on cancellation: interrupted, not failed.
+    std::cerr << "interrupted: " << e.what() << '\n';
+    return resilience::kExitInterrupted;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 2;
@@ -381,6 +508,13 @@ int dispatch(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Cooperative interrupts: while a cancellable stage runs, the first
+  // SIGINT/SIGTERM requests cancellation (partial result + final
+  // checkpoint + flushed observability sinks, exit 3); a second — or any
+  // signal outside such a stage — exits immediately.
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
   // Strip the global observability/logging options (valid anywhere on the
   // command line) before subcommand dispatch.
   std::vector<char*> args;

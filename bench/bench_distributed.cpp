@@ -1,0 +1,155 @@
+// Distributed sharded search: process-level speedup, identity check, and
+// the cost of surviving a hostile fault schedule.
+//
+// Drives the full data/t2.flow spec through three engines at equal core
+// counts — the serial reference, the in-process sharded engine (--jobs N)
+// and the coordinator/worker engine (--workers N, real child processes of
+// the tracesel CLI in --worker mode) — plus the distributed engine again
+// under a 25% seeded worker-kill schedule. Identity against the serial
+// reference is a hard gate (the bench exits nonzero on any difference,
+// so CI can run it as a check); the timing columns quantify what the
+// process boundary and the fault recovery cost on top of threads.
+//
+// Emits BENCH_distributed.json with one row per engine configuration:
+// {engine, workers, wall_ms, speedup, identical, units_retried,
+//  units_salvaged, faults_injected}.
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "tracesel/tracesel.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace tracesel;
+
+double best_of_ms(int repeats, const auto& fn) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+bool identical(const selection::SelectionResult& a,
+               const selection::SelectionResult& b) {
+  return a.combination.messages == b.combination.messages &&
+         a.combination.width == b.combination.width && a.packed == b.packed &&
+         a.gain == b.gain && a.gain_unpacked == b.gain_unpacked &&
+         a.coverage == b.coverage &&
+         a.coverage_unpacked == b.coverage_unpacked &&
+         a.used_width == b.used_width && a.buffer_width == b.buffer_width;
+}
+
+Session make_session() {
+  auto session = Session::from_spec_file(TRACESEL_DATA_DIR "/t2.flow");
+  session.config().buffer_width = 48;
+  session.config().mode = selection::SearchMode::kExhaustive;
+  session.config().max_combinations = std::uint64_t{1} << 26;
+  session.interleave(1);
+  return session;
+}
+
+selection::DistConfig dist_config(std::size_t workers, double kill_rate) {
+  selection::DistConfig dist;
+  dist.workers = workers;
+  dist.worker_argv = {TRACESEL_WORKER_BIN, "--worker"};
+  dist.faults.kill_rate = kill_rate;
+  dist.faults.seed = 7;
+  dist.backoff.initial_ms = 5;
+  dist.backoff.cap_ms = 50;
+  return dist;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Distributed selection",
+                "coordinator/worker processes vs in-process threads");
+  std::cout << "Hardware threads: " << std::thread::hardware_concurrency()
+            << " (process-level speedup needs >1 core; the identity gate "
+               "does not)\n\n";
+
+  int failures = 0;
+  util::Json jrows = util::Json::array();
+  util::Table table({"Engine", "Workers", "Wall ms", "Speedup", "Identical",
+                     "Retried", "Salvaged", "Faults"});
+  auto record = [&](const char* engine, std::size_t workers, double wall_ms,
+                    double speedup, bool ok,
+                    const selection::DistStats& stats) {
+    util::Json jr = util::Json::object();
+    jr.set("engine", util::Json::string(engine));
+    jr.set("workers", util::Json::number(std::uint64_t{workers}));
+    jr.set("wall_ms", util::Json::number(wall_ms));
+    jr.set("speedup", util::Json::number(speedup));
+    jr.set("identical", util::Json::boolean(ok));
+    jr.set("units_retried", util::Json::number(stats.units_retried));
+    jr.set("units_salvaged", util::Json::number(stats.units_salvaged));
+    jr.set("faults_injected", util::Json::number(stats.faults_injected));
+    jrows.push_back(std::move(jr));
+    table.add_row({engine, std::to_string(workers), util::fixed(wall_ms, 2),
+                   util::fixed(speedup, 2), ok ? "yes" : "NO",
+                   std::to_string(stats.units_retried),
+                   std::to_string(stats.units_salvaged),
+                   std::to_string(stats.faults_injected)});
+  };
+
+  // Serial reference.
+  auto session = make_session();
+  session.jobs(1);
+  auto reference = session.select();  // warm caches, then time
+  const double serial_ms = best_of_ms(3, [&] { reference = session.select(); });
+  record("serial", 1, serial_ms, 1.0, true, {});
+
+  for (const std::size_t n : {std::size_t{2}, std::size_t{4}}) {
+    // In-process threads at n cores.
+    session.jobs(n);
+    auto got = session.select();
+    const double jobs_ms = best_of_ms(3, [&] { got = session.select(); });
+    bool ok = identical(reference, got);
+    if (!ok) ++failures;
+    record("jobs", n, jobs_ms, serial_ms / jobs_ms, ok, {});
+
+    // Worker processes at the same core count, clean channel.
+    auto dist_session = make_session();
+    const auto dist = dist_config(n, 0.0);
+    auto dr = dist_session.run_distributed(dist);
+    const double dist_ms =
+        best_of_ms(3, [&] { dr = dist_session.run_distributed(dist); });
+    ok = identical(reference, dr);
+    if (!ok) ++failures;
+    record("workers", n, dist_ms, serial_ms / dist_ms, ok,
+           dist_session.last_dist_stats());
+
+    // Same worker count under a 25% seeded kill schedule: the overhead of
+    // fault recovery (respawn + retry + possible salvage).
+    const auto faulty = dist_config(n, 0.25);
+    auto fr = dist_session.run_distributed(faulty);
+    const double fault_ms =
+        best_of_ms(3, [&] { fr = dist_session.run_distributed(faulty); });
+    ok = identical(reference, fr);
+    if (!ok) ++failures;
+    record("workers+25%kill", n, fault_ms, serial_ms / fault_ms, ok,
+           dist_session.last_dist_stats());
+  }
+
+  std::cout << table << '\n';
+  if (failures > 0)
+    std::cerr << failures
+              << " configuration(s) broke bit-identity with the serial "
+                 "reference\n";
+  util::Json out = util::Json::object();
+  out.set("bench", util::Json::string("distributed"));
+  out.set("rows", std::move(jrows));
+  if (!bench::write_json("BENCH_distributed.json", std::move(out))) return 2;
+  return failures == 0 ? 0 : 1;
+}

@@ -66,6 +66,7 @@ CaseStudyResult run_case_study(const soc::T2Design& design,
   result.fault_stats = r.fault_stats;
   result.capture_attempts = r.capture_attempts;
   result.capture_degraded = r.capture_degraded;
+  result.recapture_delays_ms = std::move(r.recapture_delays_ms);
   result.ranked_causes = std::move(r.ranked_causes);
   result.robust_localization = r.robust_localization;
   return result;

@@ -58,6 +58,9 @@ struct CaseStudyResult {
   soc::FaultStats fault_stats;
   std::size_t capture_attempts = 1;
   bool capture_degraded = false;
+  /// Seeded-backoff delay waited before each recapture (see
+  /// WorkbenchConfig::recapture_backoff).
+  std::vector<std::uint64_t> recapture_delays_ms;
   std::vector<ScoredCause> ranked_causes;
   selection::RobustLocalizationResult robust_localization;
 };

@@ -1,8 +1,10 @@
 #include "debug/workbench.hpp"
 
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
+#include "util/backoff.hpp"
 #include "util/obs.hpp"
 
 namespace tracesel::debug {
@@ -63,6 +65,10 @@ WorkbenchResult Workbench::run(const std::vector<bug::Bug>& bugs,
   ObserveOptions obs_opts;
   obs_opts.unusable_threshold = config.unusable_threshold;
 
+  // Recapture spacing: the shared util::Backoff schedule, stream-salted
+  // with the run seed so repeated runs replay identical delays.
+  util::Backoff recapture_backoff(config.recapture_backoff, config.seed);
+
   for (std::uint32_t attempt = 0;; ++attempt) {
     OBS_SPAN("debug.capture");
     result.capture_attempts = attempt + 1;
@@ -98,6 +104,13 @@ WorkbenchResult Workbench::run(const std::vector<bug::Bug>& bugs,
       break;
     }
     // Unusable: recapture with a fresh fault salt (a re-run on silicon).
+    // Re-arming the trigger is not free — back off before the next pass.
+    const auto delay = recapture_backoff.next();
+    result.recapture_delays_ms.push_back(
+        static_cast<std::uint64_t>(delay.count()));
+    OBS_HIST("debug.recapture.backoff_ms",
+             static_cast<double>(delay.count()));
+    if (delay.count() > 0) std::this_thread::sleep_for(delay);
   }
   OBS_COUNT("debug.faults.injected", result.fault_stats.total_injected());
 

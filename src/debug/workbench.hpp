@@ -25,6 +25,7 @@
 #include "soc/fault_injector.hpp"
 #include "soc/simulator.hpp"
 #include "soc/trace_buffer.hpp"
+#include "util/backoff.hpp"
 
 namespace tracesel::debug {
 
@@ -45,6 +46,14 @@ struct WorkbenchConfig {
   /// Recapture attempts (fresh fault salt each time) when the decode
   /// reports an unusable capture.
   std::uint32_t capture_retries = 2;
+  /// Delay schedule between recaptures (a re-run on silicon is not free:
+  /// back off before re-arming the trigger). Exponential with seeded
+  /// jitter; the stream is salted with WorkbenchConfig::seed so the same
+  /// run replays the same delays. Defaults are sized for tests — real
+  /// silicon would raise initial/cap by orders of magnitude.
+  util::BackoffPolicy recapture_backoff{/*initial_ms=*/1, /*multiplier=*/2.0,
+                                        /*cap_ms=*/50, /*jitter=*/0.25,
+                                        /*seed=*/2018};
   /// Invalid-record fraction beyond which a capture is unusable.
   double unusable_threshold = 0.5;
   /// Minimum confidence-weighted agreement score for prune_weighted.
@@ -64,6 +73,9 @@ struct WorkbenchResult {
   /// Capture-channel degradation telemetry (defaults = clean channel).
   soc::FaultStats fault_stats;
   std::size_t capture_attempts = 1;
+  /// The backoff delay actually waited before each recapture, in order
+  /// (empty when the first capture was usable). Deterministic per seed.
+  std::vector<std::uint64_t> recapture_delays_ms;
   /// True when even the last recapture stayed unusable and the pipeline
   /// fell back to best-effort lenient decode.
   bool capture_degraded = false;

@@ -1,0 +1,528 @@
+#include "selection/dist_coordinator.hpp"
+
+#include <errno.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "flow/interleaved_flow.hpp"
+#include "selection/checkpoint.hpp"
+#include "util/log.hpp"
+#include "util/obs.hpp"
+#include "util/subprocess.hpp"
+
+namespace tracesel::selection {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using util::ErrorCode;
+
+std::uint64_t splitmix(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Merged champion under the serial search's strict total order (gain
+/// desc, width asc, messages lex asc) — order-independent maximum.
+struct Champion {
+  bool valid = false;
+  double gain = -1.0;
+  Combination combo;
+
+  void offer(double g, const std::vector<flow::MessageId>& messages,
+             std::uint32_t width) {
+    const bool better =
+        !valid || g > gain ||
+        (g == gain &&
+         (width < combo.width ||
+          (width == combo.width && messages < combo.messages)));
+    if (better) {
+      valid = true;
+      gain = g;
+      combo.messages = messages;
+      combo.width = width;
+    }
+  }
+};
+
+/// One work unit's lifecycle at the coordinator.
+struct UnitState {
+  std::uint64_t id = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::uint32_t attempts = 0;  ///< dispatches so far (incl. in-flight)
+  bool running = false;
+  bool done = false;
+  Clock::time_point not_before;  ///< backoff gate for the next dispatch
+  util::Backoff backoff;
+
+  // accepted result
+  bool valid = false;
+  double gain = -1.0;
+  Combination combo;
+  std::uint64_t emitted = 0;
+  bool cap_exceeded = false;
+
+  UnitState(std::uint64_t id_, std::size_t begin_, std::size_t end_,
+            const util::BackoffPolicy& policy)
+      : id(id_), begin(begin_), end(end_),
+        not_before(Clock::now()), backoff(policy, id_) {}
+};
+
+/// One worker process slot.
+struct WorkerSlot {
+  util::Subprocess proc;
+  util::FrameReader reader;
+  bool alive = false;
+  bool dead_forever = false;  ///< respawn budget exhausted / unspawnable
+  std::size_t respawns = 0;
+  std::ptrdiff_t unit = -1;  ///< index into units; -1 when idle
+  WorkUnitRequest request;   ///< outstanding request (valid iff unit >= 0)
+  Clock::time_point last_activity;
+  Clock::time_point assigned_at;
+};
+
+std::uint32_t elapsed_ms(Clock::time_point since) {
+  return static_cast<std::uint32_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                            since)
+          .count());
+}
+
+}  // namespace
+
+DistFaultAction DistFaultInjector::action(std::uint64_t unit_id,
+                                          std::uint32_t attempt) const {
+  if (!profile_.enabled()) return DistFaultAction::kNone;
+  util::Rng rng(splitmix(splitmix(profile_.seed ^ (unit_id * 0x9E3779B9ull)) +
+                         attempt));
+  const double u = rng.unit();
+  if (u < profile_.kill_rate) return DistFaultAction::kKillWorker;
+  if (u < profile_.kill_rate + profile_.hang_rate)
+    return DistFaultAction::kHangWorker;
+  if (u < profile_.kill_rate + profile_.hang_rate + profile_.corrupt_rate)
+    return DistFaultAction::kCorruptFrame;
+  return DistFaultAction::kNone;
+}
+
+DistCoordinator::DistCoordinator(const ParallelSelector& selector,
+                                 DistConfig config)
+    : selector_(selector), dist_(std::move(config)) {}
+
+SelectionResult DistCoordinator::run(const SelectorConfig& config) {
+  OBS_SPAN("selection.dist.run");
+  util::ignore_sigpipe();
+  stats_ = DistStats{};
+
+  const bool maximal_only = config.mode == SearchMode::kMaximal;
+  const std::size_t seeds_total = selector_.seed_count(config);
+
+  // The request template: the search identity + provenance every unit
+  // carries (reusing the checkpoint serialization and with it the
+  // version + checksum envelope).
+  SearchCheckpoint tmpl;
+  tmpl.spec_path = config.checkpoint_spec_path;
+  tmpl.instances = config.checkpoint_instances;
+  tmpl.fingerprint =
+      search_fingerprint(selector_.base(), config, maximal_only);
+  tmpl.buffer_width = config.buffer_width;
+  tmpl.mode = static_cast<std::uint32_t>(config.mode);
+  tmpl.packing = config.packing;
+  tmpl.max_combinations = config.max_combinations;
+  const flow::InterleaveOptions& iopt =
+      selector_.base().interleaving().options();
+  tmpl.symmetry_reduction = iopt.symmetry_reduction;
+  tmpl.max_nodes = iopt.max_nodes;
+  tmpl.seeds_total = seeds_total;
+
+  // Partition the seed space into contiguous units. Auto-sizing aims for
+  // ~8 units per worker: fine enough to rebalance around a lost worker,
+  // coarse enough that framing overhead stays negligible.
+  const std::size_t workers = std::max<std::size_t>(1, dist_.workers);
+  std::size_t unit_size = dist_.unit_size;
+  if (unit_size == 0)
+    unit_size = std::max<std::size_t>(1, seeds_total / (workers * 8));
+  std::vector<UnitState> units;
+  for (std::size_t begin = 0; begin < seeds_total; begin += unit_size) {
+    const std::size_t end = std::min(seeds_total, begin + unit_size);
+    units.emplace_back(units.size(), begin, end, dist_.backoff);
+  }
+  stats_.units_total = units.size();
+  OBS_COUNT("dist.units.total", units.size());
+
+  const DistFaultInjector injector(dist_.faults);
+  const util::CancelToken cancel = config.cancel;
+  const std::size_t respawn_budget =
+      std::max<std::size_t>(4, dist_.max_retries + 1);
+
+  std::size_t done_count = 0;
+  bool cancelled = false;
+
+  // Salvage: run a lost unit in-process with the exact same enumerator the
+  // workers use. This is both the retry-exhaustion backstop and the
+  // graceful-degradation path — it guarantees termination and
+  // bit-identity under every failure schedule.
+  const auto salvage = [&](UnitState& unit) {
+    OBS_COUNT("dist.units.salvaged", 1);
+    ++stats_.units_salvaged;
+    const ParallelSelector::UnitOutcome out =
+        selector_.run_unit(config, unit.begin, unit.end);
+    if (out.stopped) {
+      cancelled = true;  // cancel fired mid-salvage; unit stays incomplete
+      return;
+    }
+    unit.valid = out.valid;
+    unit.gain = out.gain;
+    unit.combo = out.combo;
+    unit.emitted = out.emitted;
+    unit.cap_exceeded = out.cap_exceeded;
+    unit.done = true;
+    unit.running = false;
+    ++done_count;
+  };
+
+  // A unit dispatch failed (crash, hang, corrupt reply, typed error).
+  // Back off and retry until the budget runs out, then salvage.
+  const auto fail_unit = [&](std::size_t unit_index) {
+    UnitState& unit = units[unit_index];
+    unit.running = false;
+    if (unit.done) return;
+    if (unit.attempts > dist_.max_retries) {
+      salvage(unit);
+      return;
+    }
+    OBS_COUNT("dist.units.retried", 1);
+    ++stats_.units_retried;
+    unit.not_before = Clock::now() + unit.backoff.next();
+  };
+
+  std::vector<WorkerSlot> slots(std::min<std::size_t>(workers, units.size()));
+
+  const auto spawn_slot = [&](WorkerSlot& slot) -> bool {
+    if (slot.dead_forever) return false;
+    if (dist_.worker_argv.empty() || slot.respawns >= respawn_budget) {
+      slot.dead_forever = true;
+      return false;
+    }
+    ++slot.respawns;
+    auto spawned = util::Subprocess::spawn(dist_.worker_argv);
+    if (!spawned.ok()) {
+      util::Log(util::LogLevel::kWarn)
+          << "dist: cannot spawn worker: " << spawned.error().to_string();
+      slot.dead_forever = true;
+      return false;
+    }
+    slot.proc = std::move(spawned).value();
+    slot.reader = util::FrameReader();
+    slot.alive = true;
+    slot.unit = -1;
+    slot.last_activity = Clock::now();
+    OBS_COUNT("dist.workers.spawned", 1);
+    ++stats_.workers_spawned;
+    return true;
+  };
+
+  // The slot's worker is gone (crash, EOF, stream corruption) or must be
+  // killed (straggler). Reassigns its unit and respawns the slot.
+  const auto retire_slot = [&](WorkerSlot& slot, bool coordinator_kill) {
+    if (slot.alive) {
+      slot.proc.kill_hard();
+      slot.proc.wait();
+      slot.alive = false;
+      if (coordinator_kill) {
+        OBS_COUNT("dist.workers.killed", 1);
+        ++stats_.workers_killed;
+      } else {
+        OBS_COUNT("dist.workers.crashed", 1);
+        ++stats_.workers_crashed;
+      }
+    }
+    if (slot.unit >= 0) {
+      const std::size_t unit_index = static_cast<std::size_t>(slot.unit);
+      slot.unit = -1;
+      fail_unit(unit_index);
+    }
+    spawn_slot(slot);
+  };
+
+  for (WorkerSlot& slot : slots) spawn_slot(slot);
+
+  const auto all_dead = [&] {
+    for (const WorkerSlot& slot : slots)
+      if (!slot.dead_forever) return false;
+    return true;
+  };
+
+  const auto dispatch = [&](WorkerSlot& slot, std::size_t unit_index) {
+    UnitState& unit = units[unit_index];
+    WorkUnitRequest request;
+    request.unit_id = unit.id;
+    request.seed_begin = unit.begin;
+    request.seed_end = unit.end;
+    request.heartbeat_ms = dist_.heartbeat_ms;
+    request.fault = injector.action(unit.id, unit.attempts);
+    if (request.fault != DistFaultAction::kNone) {
+      OBS_COUNT("dist.faults.injected", 1);
+      ++stats_.faults_injected;
+    }
+    request.state = tmpl;
+    ++unit.attempts;
+    unit.running = true;
+    slot.request = request;
+    slot.unit = static_cast<std::ptrdiff_t>(unit_index);
+    slot.last_activity = Clock::now();
+    slot.assigned_at = slot.last_activity;
+    OBS_COUNT("dist.units.dispatched", 1);
+    ++stats_.units_dispatched;
+    const std::string frame =
+        util::encode_frame(serialize_unit_request(request));
+    if (!slot.proc.write_all(frame).ok()) {
+      retire_slot(slot, /*coordinator_kill=*/false);
+    }
+  };
+
+  const auto accept_reply = [&](WorkerSlot& slot, const WorkUnitReply& reply,
+                                const util::Status& validity) {
+    if (slot.unit < 0) return;  // stale frame; nothing outstanding
+    const std::size_t unit_index = static_cast<std::size_t>(slot.unit);
+    slot.unit = -1;
+    UnitState& unit = units[unit_index];
+    if (!validity.ok()) {
+      util::Log(util::LogLevel::kWarn)
+          << "dist: rejecting reply for unit " << unit.id << ": "
+          << validity.error().to_string();
+      fail_unit(unit_index);
+      return;
+    }
+    if (unit.done) return;  // duplicate (should not happen; be safe)
+    unit.valid = reply.state.best_valid;
+    unit.gain = std::bit_cast<double>(reply.state.best_gain_bits);
+    unit.combo.width = reply.state.best_width;
+    unit.combo.messages = reply.state.best_messages;
+    unit.emitted = reply.state.emitted;
+    unit.cap_exceeded = reply.cap_exceeded;
+    unit.done = true;
+    unit.running = false;
+    ++done_count;
+    OBS_COUNT("dist.units.completed", 1);
+    ++stats_.units_completed;
+    OBS_HIST("dist.unit.latency_ms", elapsed_ms(slot.assigned_at));
+  };
+
+  // Drains every complete frame buffered for the slot. False when the
+  // stream is corrupt (caller retires the slot).
+  const auto drain_frames = [&](WorkerSlot& slot) -> bool {
+    for (;;) {
+      std::string payload;
+      switch (slot.reader.next(payload)) {
+        case util::FrameReader::State::kNeedMore:
+          return true;
+        case util::FrameReader::State::kCorrupt:
+          util::Log(util::LogLevel::kWarn)
+              << "dist: worker stream corrupt: "
+              << slot.reader.corrupt_reason();
+          return false;
+        case util::FrameReader::State::kFrame:
+          break;
+      }
+      slot.last_activity = Clock::now();
+      switch (classify_frame(payload)) {
+        case FrameKind::kHeartbeat:
+          OBS_COUNT("dist.heartbeats", 1);
+          break;
+        case FrameKind::kUnitReply: {
+          auto reply = parse_unit_reply(payload);
+          if (!reply.ok()) {
+            // A structurally broken reply (envelope checksum, version
+            // skew): typed failure, retry the outstanding unit. The
+            // worker itself is still healthy and framed correctly.
+            util::Log(util::LogLevel::kWarn)
+                << "dist: corrupt unit reply: " << reply.error().to_string();
+            if (slot.unit >= 0) {
+              const std::size_t unit_index =
+                  static_cast<std::size_t>(slot.unit);
+              slot.unit = -1;
+              fail_unit(unit_index);
+            }
+            break;
+          }
+          accept_reply(slot, reply.value(),
+                       validate_reply(reply.value(), slot.request));
+          break;
+        }
+        case FrameKind::kUnitError: {
+          auto err = parse_unit_error(payload);
+          util::Log(util::LogLevel::kWarn)
+              << "dist: worker reported unit error: "
+              << (err.ok() ? err.value().code + ": " + err.value().message
+                           : std::string("unparseable error frame"));
+          if (slot.unit >= 0) {
+            const std::size_t unit_index = static_cast<std::size_t>(slot.unit);
+            slot.unit = -1;
+            fail_unit(unit_index);
+          }
+          break;
+        }
+        default:
+          break;  // unknown frame kinds are ignored (forward compat)
+      }
+    }
+  };
+
+  // --- event loop -------------------------------------------------------
+  char buf[64 * 1024];
+  while (done_count < units.size()) {
+    if (cancel.cancelled()) {
+      cancelled = true;
+      break;
+    }
+    // Any accepted unit crossing the cap makes the global total exceed it:
+    // the serial search would have thrown, so stop and do the same.
+    bool overflow = false;
+    for (const UnitState& unit : units)
+      if (unit.done && unit.cap_exceeded) overflow = true;
+    if (overflow) break;
+
+    if (all_dead()) {
+      // Graceful degradation: no worker can be spawned (or every slot
+      // exhausted its respawn budget). Finish everything in-process.
+      for (UnitState& unit : units) {
+        if (cancel.cancelled()) {
+          cancelled = true;
+          break;
+        }
+        if (!unit.done) salvage(unit);
+        if (unit.done && unit.cap_exceeded) break;
+      }
+      break;
+    }
+
+    // Assign idle workers to runnable units (in unit order, so dispatch
+    // order is deterministic given identical timing).
+    const Clock::time_point now = Clock::now();
+    for (WorkerSlot& slot : slots) {
+      if (!slot.alive || slot.unit >= 0) continue;
+      for (std::size_t u = 0; u < units.size(); ++u) {
+        UnitState& unit = units[u];
+        if (unit.done || unit.running || unit.not_before > now) continue;
+        dispatch(slot, u);
+        break;
+      }
+    }
+
+    // Wait for worker output.
+    std::vector<struct pollfd> fds;
+    std::vector<std::size_t> fd_slot;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (!slots[i].alive) continue;
+      fds.push_back({slots[i].proc.stdout_fd(), POLLIN, 0});
+      fd_slot.push_back(i);
+    }
+    if (!fds.empty()) {
+      ::poll(fds.data(), fds.size(), 20);
+    }
+
+    for (std::size_t f = 0; f < fds.size(); ++f) {
+      WorkerSlot& slot = slots[fd_slot[f]];
+      if (!slot.alive) continue;
+      if ((fds[f].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      bool eof = false;
+      for (;;) {
+        const ssize_t n = ::read(slot.proc.stdout_fd(), buf, sizeof(buf));
+        if (n > 0) {
+          slot.reader.feed(buf, static_cast<std::size_t>(n));
+          continue;
+        }
+        if (n == 0) {
+          eof = true;
+        } else if (errno == EINTR) {
+          continue;
+        }
+        break;  // EAGAIN (drained), EOF or error
+      }
+      if (!drain_frames(slot) || eof) {
+        retire_slot(slot, /*coordinator_kill=*/false);
+      }
+    }
+
+    // Straggler detection: no frame (reply or heartbeat) for the deadline
+    // means the worker is hung or starved — SIGKILL and reassign.
+    for (WorkerSlot& slot : slots) {
+      if (!slot.alive || slot.unit < 0) continue;
+      const std::uint32_t quiet = elapsed_ms(slot.last_activity);
+      if (quiet > dist_.unit_deadline_ms) {
+        OBS_COUNT("dist.units.reassigned", 1);
+        ++stats_.units_reassigned;
+        OBS_HIST("dist.straggler.latency_ms", elapsed_ms(slot.assigned_at));
+        util::Log(util::LogLevel::kWarn)
+            << "dist: unit " << units[static_cast<std::size_t>(slot.unit)].id
+            << " missed its deadline (" << quiet << " ms quiet); "
+            << "reassigning";
+        retire_slot(slot, /*coordinator_kill=*/true);
+      }
+    }
+  }
+
+  // Orderly shutdown: ask, give workers a moment, then enforce.
+  for (WorkerSlot& slot : slots) {
+    if (!slot.alive) continue;
+    (void)slot.proc.write_all(util::encode_frame(
+        std::string(kShutdownFrame)));
+    slot.proc.close_stdin();
+  }
+  const Clock::time_point shutdown_start = Clock::now();
+  for (WorkerSlot& slot : slots) {
+    if (!slot.alive) continue;
+    int code = 0;
+    while (!slot.proc.try_wait(&code)) {
+      if (elapsed_ms(shutdown_start) > 500) {
+        slot.proc.kill_hard();
+        slot.proc.wait();
+        break;
+      }
+      ::usleep(2000);
+    }
+    slot.alive = false;
+  }
+
+  // --- merge ------------------------------------------------------------
+  Champion overall;
+  std::uint64_t emitted_total = 0;
+  bool cap_exceeded = false;
+  std::size_t completed_seeds = 0;
+  for (const UnitState& unit : units) {
+    if (!unit.done) continue;
+    completed_seeds += unit.end - unit.begin;
+    emitted_total += unit.emitted;
+    cap_exceeded = cap_exceeded || unit.cap_exceeded;
+    if (unit.valid) overall.offer(unit.gain, unit.combo.messages,
+                                  unit.combo.width);
+  }
+  if (cap_exceeded && emitted_total <= config.max_combinations) {
+    // A unit stopped counting at cap+1; the true total can only be larger.
+    emitted_total = config.max_combinations + 1;
+  }
+  const bool partial = cancelled && done_count < units.size();
+  const double explored_fraction =
+      seeds_total == 0 ? 1.0
+                       : static_cast<double>(completed_seeds) /
+                             static_cast<double>(seeds_total);
+  if (partial) OBS_COUNT("resilience.cancelled_searches", 1);
+  OBS_COUNT("selection.combinations", emitted_total);
+
+  return selector_.finalize_distributed(overall.valid,
+                                        std::move(overall.combo),
+                                        emitted_total, partial,
+                                        explored_fraction, config);
+}
+
+}  // namespace tracesel::selection

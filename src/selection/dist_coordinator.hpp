@@ -1,0 +1,127 @@
+#pragma once
+// Coordinator side of the fault-tolerant distributed sharded search
+// (DESIGN.md §12, docs/distributed.md).
+//
+// The coordinator partitions the D-prefix seed space (shard_seeds) into
+// contiguous work units, farms them to worker processes over pipes
+// (work_unit.hpp frames), and merges the unit champions with the same
+// strict total order the in-process search uses — so the final selection
+// is bit-identical to serial for every worker count and every failure
+// schedule. Robustness model:
+//
+//   worker crash / EOF      kill + reap + respawn the slot, retry the unit
+//   hang / straggler        no frame for unit_deadline_ms -> SIGKILL,
+//                           respawn, reassign the unit
+//   corrupt reply           checksum/version/identity failure -> typed
+//                           error, retry the unit (worker stays up)
+//   retries exhausted       the unit is salvaged in-process (run_unit),
+//                           so termination and bit-identity hold under
+//                           every schedule
+//   no spawnable workers    graceful degradation: every unit salvaged
+//                           in-process
+//
+// Retries are spaced by util::Backoff with the unit id as the jitter
+// stream, so a seeded schedule reproduces exactly. DistFaultInjector
+// (the soc::FaultInjector idiom lifted to processes) decides per
+// (unit, attempt) whether the request carries a kill/hang/corrupt
+// directive the worker honors — making every path above property-testable
+// with real process deaths.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "selection/parallel_selector.hpp"
+#include "selection/selector.hpp"
+#include "selection/work_unit.hpp"
+#include "util/backoff.hpp"
+#include "util/rng.hpp"
+
+namespace tracesel::selection {
+
+/// Seeded schedule of injected worker faults (probability per unit
+/// dispatch, decided independently for every (unit, attempt) pair so
+/// retries of a faulted unit can succeed).
+struct DistFaultProfile {
+  double kill_rate = 0.0;     ///< worker _Exits mid-unit
+  double hang_rate = 0.0;     ///< worker sleeps, no heartbeats
+  double corrupt_rate = 0.0;  ///< reply payload byte flipped
+  std::uint64_t seed = 1;
+
+  bool enabled() const {
+    return kill_rate > 0.0 || hang_rate > 0.0 || corrupt_rate > 0.0;
+  }
+};
+
+class DistFaultInjector {
+ public:
+  explicit DistFaultInjector(DistFaultProfile profile) : profile_(profile) {}
+
+  /// The fault (if any) to inject into dispatch `attempt` of `unit_id`.
+  /// Pure function of (profile.seed, unit_id, attempt).
+  DistFaultAction action(std::uint64_t unit_id, std::uint32_t attempt) const;
+
+  const DistFaultProfile& profile() const { return profile_; }
+
+ private:
+  DistFaultProfile profile_;
+};
+
+struct DistConfig {
+  /// Worker process count; < 2 degrades to in-process execution at the
+  /// Session level (a single worker is still exercised by tests).
+  std::size_t workers = 0;
+  /// Command line for one worker, e.g. {"/path/to/tracesel", "--worker"}.
+  /// Empty -> in-process degradation.
+  std::vector<std::string> worker_argv;
+  /// Seeds per work unit; 0 = auto (~8 units per worker for balance).
+  std::size_t unit_size = 0;
+  /// Inactivity deadline: a unit whose worker has produced no frame (reply
+  /// or heartbeat) for this long is declared lost and reassigned.
+  std::uint32_t unit_deadline_ms = 30000;
+  /// Heartbeat period workers are asked to emit at while computing.
+  std::uint32_t heartbeat_ms = 100;
+  /// Retries per unit before the coordinator salvages it in-process.
+  std::uint32_t max_retries = 3;
+  /// Retry spacing; the unit id is the jitter stream.
+  util::BackoffPolicy backoff{20, 2.0, 1000, 0.25, 1};
+  DistFaultProfile faults;
+};
+
+/// Aggregate failure/retry accounting of one distributed run (also
+/// mirrored into obs counters "dist.*").
+struct DistStats {
+  std::uint64_t units_total = 0;
+  std::uint64_t units_dispatched = 0;  ///< requests written (incl. retries)
+  std::uint64_t units_completed = 0;   ///< replies accepted from workers
+  std::uint64_t units_retried = 0;     ///< failures that went back to queue
+  std::uint64_t units_reassigned = 0;  ///< deadline-expired stragglers
+  std::uint64_t units_salvaged = 0;    ///< ran in-process after exhaustion
+  std::uint64_t workers_spawned = 0;
+  std::uint64_t workers_crashed = 0;   ///< EOF/death/stream corruption
+  std::uint64_t workers_killed = 0;    ///< coordinator-initiated SIGKILLs
+  std::uint64_t faults_injected = 0;
+};
+
+class DistCoordinator {
+ public:
+  DistCoordinator(const ParallelSelector& selector, DistConfig config);
+
+  /// Runs the full distributed search for `config` (the same SelectorConfig
+  /// the in-process paths take; checkpoint_path is not supported here and
+  /// is ignored). Blocks until every unit is merged, the cap overflows
+  /// (throws the serial std::length_error) or config.cancel fires (partial
+  /// result). Bit-identical to MessageSelector::select for every worker
+  /// count and fault schedule.
+  SelectionResult run(const SelectorConfig& config);
+
+  /// Accounting of the last run().
+  const DistStats& stats() const { return stats_; }
+
+ private:
+  const ParallelSelector& selector_;
+  DistConfig dist_;
+  DistStats stats_;
+};
+
+}  // namespace tracesel::selection

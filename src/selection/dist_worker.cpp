@@ -1,0 +1,229 @@
+#include "selection/dist_worker.hpp"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "selection/work_unit.hpp"
+#include "util/log.hpp"
+#include "util/obs.hpp"
+#include "util/subprocess.hpp"
+
+namespace tracesel::selection {
+
+namespace {
+
+using util::ErrorCode;
+
+/// Serializes all frame writes from this process (reply writer vs the
+/// heartbeat thread) so frames never interleave on the pipe.
+class FrameWriter {
+ public:
+  explicit FrameWriter(int fd) : fd_(fd) {}
+
+  /// False when the coordinator is gone (EPIPE) — time to exit.
+  bool send(std::string_view payload) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return util::write_frame(fd_, payload).ok();
+  }
+
+ private:
+  int fd_;
+  std::mutex mutex_;
+};
+
+/// Emits heartbeat frames for one unit every `interval` while in scope.
+class HeartbeatThread {
+ public:
+  HeartbeatThread(FrameWriter& writer, std::uint64_t unit_id,
+                  std::chrono::milliseconds interval)
+      : writer_(writer), unit_id_(unit_id), interval_(interval) {
+    if (interval_.count() > 0)
+      thread_ = std::thread([this] { run(); });
+  }
+
+  ~HeartbeatThread() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void run() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!cv_.wait_for(lock, interval_, [this] { return stop_; })) {
+      lock.unlock();
+      writer_.send(serialize_heartbeat(unit_id_));
+      OBS_COUNT("dist.worker.heartbeats", 1);
+      lock.lock();
+    }
+  }
+
+  FrameWriter& writer_;
+  std::uint64_t unit_id_;
+  std::chrono::milliseconds interval_;
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Handles one request frame. Returns false when the coordinator is gone.
+bool handle_request(std::string_view payload, FrameWriter& writer,
+                    const WorkerEngineFactory& factory,
+                    std::map<std::uint64_t, WorkerEngine>& engines) {
+  auto parsed = parse_unit_request(payload);
+  if (!parsed.ok()) {
+    return writer.send(serialize_unit_error(0, parsed.error().code,
+                                            parsed.error().message));
+  }
+  const WorkUnitRequest& request = parsed.value();
+
+  // Injected faults fire before any work so each failure mode is pure:
+  // kill is a real crash (no reply, EOF at the coordinator), hang is a
+  // real straggler (no heartbeats, no reply), corrupt damages an
+  // otherwise-honest reply below.
+  if (request.fault == DistFaultAction::kKillWorker) {
+    std::_Exit(9);
+  }
+  if (request.fault == DistFaultAction::kHangWorker) {
+    // Sleep "forever" (the coordinator SIGKILLs hung workers long before
+    // this elapses). Deliberately no heartbeat thread: a hang is the
+    // absence of progress *and* of liveness signals.
+    std::this_thread::sleep_for(std::chrono::hours(1));
+    return true;
+  }
+
+  WorkerEngine* engine = nullptr;
+  auto it = engines.find(request.state.fingerprint);
+  if (it != engines.end()) {
+    engine = &it->second;
+  } else {
+    auto built = factory(request.state);
+    if (!built.ok()) {
+      return writer.send(serialize_unit_error(
+          request.unit_id, built.error().code, built.error().message));
+    }
+    // Validate that the rebuilt search *is* the requested one before
+    // caching it under the requested fingerprint.
+    const WorkerEngine& we = built.value();
+    const bool maximal =
+        we.config.mode == SearchMode::kMaximal;
+    if (search_fingerprint(we.selector->base(), we.config, maximal) !=
+        request.state.fingerprint) {
+      return writer.send(serialize_unit_error(
+          request.unit_id, ErrorCode::kCorruptCapture,
+          "worker: rebuilt search does not match the request fingerprint"));
+    }
+    if (we.selector->seed_count(we.config) != request.state.seeds_total) {
+      return writer.send(serialize_unit_error(
+          request.unit_id, ErrorCode::kCorruptCapture,
+          "worker: rebuilt seed universe does not match the request"));
+    }
+    it = engines.emplace(request.state.fingerprint, std::move(built).value())
+             .first;
+    engine = &it->second;
+  }
+
+  ParallelSelector::UnitOutcome outcome;
+  {
+    HeartbeatThread heartbeat(writer, request.unit_id,
+                              std::chrono::milliseconds(request.heartbeat_ms));
+    outcome = engine->selector->run_unit(
+        engine->config, static_cast<std::size_t>(request.seed_begin),
+        static_cast<std::size_t>(request.seed_end));
+  }
+  OBS_COUNT("dist.worker.units", 1);
+
+  WorkUnitReply reply;
+  reply.unit_id = request.unit_id;
+  reply.seed_begin = request.seed_begin;
+  reply.seed_end = request.seed_end;
+  reply.cap_exceeded = outcome.cap_exceeded;
+  reply.state = request.state;  // identity + provenance echo back
+  reply.state.next_seed = request.seed_end;
+  reply.state.emitted = outcome.emitted;
+  reply.state.best_valid = outcome.valid;
+  if (outcome.valid) {
+    reply.state.best_gain_bits = std::bit_cast<std::uint64_t>(outcome.gain);
+    reply.state.best_width = outcome.combo.width;
+    reply.state.best_messages = outcome.combo.messages;
+  } else {
+    reply.state.best_gain_bits = 0;
+    reply.state.best_width = 0;
+    reply.state.best_messages.clear();
+  }
+  reply.state.memo.clear();  // per-unit memos are not merged over the wire
+
+  std::string wire = serialize_unit_reply(reply);
+  if (request.fault == DistFaultAction::kCorruptFrame) {
+    // Flip a byte inside the checkpoint body: the pipe frame stays intact
+    // but the envelope checksum fails at the coordinator — exercising the
+    // payload-corruption path (typed parse error, retry without respawn).
+    wire[wire.size() / 2] ^= 0x20;
+  }
+  return writer.send(wire);
+}
+
+}  // namespace
+
+int run_worker(int in_fd, int out_fd, const WorkerEngineFactory& factory) {
+  util::ignore_sigpipe();
+  FrameWriter writer(out_fd);
+  util::FrameReader reader;
+  std::map<std::uint64_t, WorkerEngine> engines;
+
+  char buf[64 * 1024];
+  for (;;) {
+    std::string payload;
+    const util::FrameReader::State state = reader.next(payload);
+    if (state == util::FrameReader::State::kCorrupt) {
+      util::Log(util::LogLevel::kError)
+          << "worker: request stream corrupt: " << reader.corrupt_reason();
+      return 2;
+    }
+    if (state == util::FrameReader::State::kNeedMore) {
+      const ssize_t n = ::read(in_fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        util::Log(util::LogLevel::kError)
+            << "worker: read from coordinator failed";
+        return 2;
+      }
+      if (n == 0) return 0;  // coordinator closed our stdin: orderly exit
+      reader.feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+
+    switch (classify_frame(payload)) {
+      case FrameKind::kShutdown:
+        return 0;
+      case FrameKind::kUnitRequest:
+        if (!handle_request(payload, writer, factory, engines)) {
+          // Coordinator hung up mid-write; nothing left to serve.
+          return 0;
+        }
+        break;
+      default:
+        // Unknown frames are reported (best-effort) and skipped so a newer
+        // coordinator can talk to an older worker without killing it.
+        writer.send(serialize_unit_error(0, ErrorCode::kParse,
+                                         "worker: unexpected frame kind"));
+        break;
+    }
+  }
+}
+
+}  // namespace tracesel::selection

@@ -1,0 +1,49 @@
+#pragma once
+// Worker-process side of the distributed sharded search (DESIGN.md §12,
+// docs/distributed.md).
+//
+// A worker is the existing CLI re-invoked as `tracesel --worker`: it reads
+// work-unit request frames from stdin, rebuilds the search from the
+// checkpoint provenance carried in each request (caching the rebuilt
+// engine by search fingerprint so a stream of units for one search parses
+// the spec once), walks the unit's seed range with
+// ParallelSelector::run_unit, and writes the reply frame to stdout. While
+// a unit computes, a heartbeat thread emits heartbeat frames so the
+// coordinator can tell "slow but alive" from "hung".
+//
+// Layering: the worker loop lives in selection/ and cannot depend on the
+// tracesel facade (which depends on selection/), so session rebuilding is
+// injected as a WorkerEngineFactory — the CLI passes
+// Session::worker_engine.
+
+#include <functional>
+#include <memory>
+
+#include "selection/checkpoint.hpp"
+#include "selection/parallel_selector.hpp"
+#include "selection/selector.hpp"
+#include "util/result.hpp"
+
+namespace tracesel::selection {
+
+/// A rebuilt search engine for one checkpoint's provenance. `keepalive`
+/// owns whatever object graph backs `selector` (e.g. a Session).
+struct WorkerEngine {
+  std::shared_ptr<void> keepalive;
+  std::shared_ptr<const ParallelSelector> selector;
+  SelectorConfig config;
+};
+
+/// Rebuilds a WorkerEngine from a request's checkpoint (provenance +
+/// search identity). A typed error when the provenance cannot be loaded.
+using WorkerEngineFactory =
+    std::function<util::Result<WorkerEngine>(const SearchCheckpoint&)>;
+
+/// The worker main loop: frames in on `in_fd`, frames out on `out_fd`.
+/// Returns the process exit code — 0 on orderly shutdown (shutdown frame
+/// or EOF from the coordinator), 2 on an unrecoverable stream error.
+/// Per-unit failures (bad provenance, fingerprint mismatch, parse errors)
+/// are reported as unit-error frames and do NOT terminate the loop.
+int run_worker(int in_fd, int out_fd, const WorkerEngineFactory& factory);
+
+}  // namespace tracesel::selection

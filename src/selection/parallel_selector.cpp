@@ -42,17 +42,112 @@ struct Best {
   }
 };
 
-/// One shard of the search space: a fitting prefix of candidate indexes.
-/// `subtree` tasks own every extension past `next`; leaf tasks own exactly
-/// the prefix itself.
-struct Seed {
-  std::vector<std::size_t> prefix;
-  std::uint32_t width = 0;
-  std::size_t next = 0;
-  bool subtree = false;
+/// Shared combination walker: enumerates every combination owned by one
+/// seed with the exact order, width accounting and maximality filter of
+/// the serial search. Both the pooled path (search_sharded) and the
+/// distributed path (run_unit) drive it, differing only in their emit
+/// policy — which is the whole point: one enumerator, bit-identical
+/// emissions everywhere.
+struct SeedWalker {
+  const std::vector<flow::MessageId>& candidates;
+  const std::vector<std::uint32_t>& widths;
+  std::uint32_t budget;
+  bool maximal_only;
+
+  /// keep_going() is polled at every node (pre-filter) — cancellation.
+  /// emit(messages, width) fires for every post-filter combination and
+  /// returns false to stop the walk (cap crossing). Returns false iff the
+  /// walk stopped early.
+  template <typename KeepGoing, typename Emit>
+  bool run(const ShardSeed& seed, KeepGoing&& keep_going,
+           Emit&& emit) const {
+    const std::size_t n = candidates.size();
+    std::vector<char> in_current(n, 0);
+    std::vector<flow::MessageId> current;
+    current.reserve(n);
+    std::uint32_t width = 0;
+    for (std::size_t i : seed.prefix) {
+      in_current[i] = 1;
+      current.push_back(candidates[i]);
+      width += widths[i];
+    }
+
+    bool stopped = false;
+    const auto consider = [&] {
+      if (!keep_going()) {
+        stopped = true;
+        return;
+      }
+      if (maximal_only) {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (!in_current[i] && width + widths[i] <= budget) return;
+        }
+      }
+      if (!emit(current, width)) stopped = true;
+    };
+
+    if (!seed.subtree) {
+      consider();
+    } else {
+      auto walk = [&](auto&& self, std::size_t next) -> void {
+        consider();
+        if (stopped) return;
+        for (std::size_t i = next; i < n && !stopped; ++i) {
+          if (width + widths[i] > budget) continue;
+          in_current[i] = 1;
+          current.push_back(candidates[i]);
+          width += widths[i];
+          self(self, i + 1);
+          width -= widths[i];
+          current.pop_back();
+          in_current[i] = 0;
+        }
+      };
+      walk(walk, seed.next);
+    }
+    return !stopped;
+  }
 };
 
+std::vector<std::uint32_t> candidate_widths(const MessageSelector& base) {
+  const auto& candidates = base.candidates();
+  const auto& catalog = base.catalog();
+  std::vector<std::uint32_t> widths(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i)
+    widths[i] = catalog.get(candidates[i]).trace_width();
+  return widths;
+}
+
 }  // namespace
+
+std::vector<ShardSeed> shard_seeds(const MessageSelector& base,
+                                   const SelectorConfig& config) {
+  const std::size_t n = base.candidates().size();
+  const std::uint32_t budget = config.buffer_width;
+  const std::vector<std::uint32_t> widths = candidate_widths(base);
+
+  // Shard prefix depth: 3 gives ~C(n,3) well-balanced subtrees; drop to 2
+  // for very large alphabets to keep the task count bounded.
+  const std::size_t depth = n <= 40 ? 3 : 2;
+
+  std::vector<ShardSeed> seeds;
+  std::vector<std::size_t> prefix;
+  std::uint32_t width = 0;
+  auto gen = [&](auto&& self, std::size_t next) -> void {
+    for (std::size_t i = next; i < n; ++i) {
+      if (width + widths[i] > budget) continue;
+      prefix.push_back(i);
+      width += widths[i];
+      const bool subtree = prefix.size() == depth;
+      seeds.push_back(ShardSeed{prefix, width, i + 1, subtree});
+      if (!subtree) self(self, i + 1);
+      width -= widths[i];
+      prefix.pop_back();
+    }
+  };
+  gen(gen, 0);
+  return seeds;
+}
 
 ParallelSelector::ParallelSelector(const flow::MessageCatalog& catalog,
                                    const flow::InterleavedFlow& u)
@@ -67,38 +162,11 @@ ParallelSelector::SearchOutcome ParallelSelector::search_sharded(
     util::ThreadPool& pool) const {
   OBS_SPAN("selection.parallel.search");
   const auto& candidates = base_->candidates();
-  const auto& catalog = base_->catalog();
   const InfoGainEngine& engine = base_->engine();
-  const std::size_t n = candidates.size();
-  const std::uint32_t budget = config.buffer_width;
   const util::CancelToken cancel = config.cancel;  // shared state, cheap copy
 
-  std::vector<std::uint32_t> widths(n);
-  for (std::size_t i = 0; i < n; ++i)
-    widths[i] = catalog.get(candidates[i]).trace_width();
-
-  // Shard prefix depth: 3 gives ~C(n,3) well-balanced subtrees; drop to 2
-  // for very large alphabets to keep the task count bounded.
-  const std::size_t depth = n <= 40 ? 3 : 2;
-
-  std::vector<Seed> seeds;
-  {
-    std::vector<std::size_t> prefix;
-    std::uint32_t width = 0;
-    auto gen = [&](auto&& self, std::size_t next) -> void {
-      for (std::size_t i = next; i < n; ++i) {
-        if (width + widths[i] > budget) continue;
-        prefix.push_back(i);
-        width += widths[i];
-        const bool subtree = prefix.size() == depth;
-        seeds.push_back(Seed{prefix, width, i + 1, subtree});
-        if (!subtree) self(self, i + 1);
-        width -= widths[i];
-        prefix.pop_back();
-      }
-    };
-    gen(gen, 0);
-  }
+  const std::vector<std::uint32_t> widths = candidate_widths(*base_);
+  const std::vector<ShardSeed> seeds = shard_seeds(*base_, config);
   OBS_COUNT("selection.parallel.seeds", seeds.size());
 
   // Resume: validate that the checkpoint describes *this* search, then
@@ -126,58 +194,26 @@ ParallelSelector::SearchOutcome ParallelSelector::search_sharded(
 
   std::atomic<std::size_t> emitted{emitted_start};
 
-  const auto run_seed = [&](const Seed& seed, Best& best,
+  const SeedWalker walker{candidates, widths, config.buffer_width,
+                          maximal_only};
+  const auto run_seed = [&](const ShardSeed& seed, Best& best,
                             bool& stopped) {
-    std::vector<char> in_current(n, 0);
-    std::vector<flow::MessageId> current;
-    current.reserve(n);
-    std::uint32_t width = 0;
-    for (std::size_t i : seed.prefix) {
-      in_current[i] = 1;
-      current.push_back(candidates[i]);
-      width += widths[i];
-    }
-
-    const auto consider = [&] {
-      if (cancel.cancelled()) {
-        stopped = true;
-        return;
-      }
-      if (maximal_only) {
-        for (std::size_t i = 0; i < n; ++i) {
-          if (!in_current[i] && width + widths[i] <= budget) return;
-        }
-      }
-      // Same cap semantics as the serial enumerator: only combinations
-      // that pass the maximality filter count, and emission number
-      // max_combinations + 1 throws.
-      if (emitted.fetch_add(1, std::memory_order_relaxed) >=
-          config.max_combinations)
-        throw std::length_error(
-            "enumerate_combinations: result cap exceeded; use "
-            "maximal/greedy enumeration for large message sets");
-      best.offer(engine.info_gain(current), current, width);
-    };
-
-    if (!seed.subtree) {
-      consider();
-    } else {
-      auto walk = [&](auto&& self, std::size_t next) -> void {
-        consider();
-        if (stopped) return;
-        for (std::size_t i = next; i < n && !stopped; ++i) {
-          if (width + widths[i] > budget) continue;
-          in_current[i] = 1;
-          current.push_back(candidates[i]);
-          width += widths[i];
-          self(self, i + 1);
-          width -= widths[i];
-          current.pop_back();
-          in_current[i] = 0;
-        }
-      };
-      walk(walk, seed.next);
-    }
+    const bool complete = walker.run(
+        seed, [&] { return !cancel.cancelled(); },
+        [&](const std::vector<flow::MessageId>& current,
+            std::uint32_t width) {
+          // Same cap semantics as the serial enumerator: only combinations
+          // that pass the maximality filter count, and emission number
+          // max_combinations + 1 throws.
+          if (emitted.fetch_add(1, std::memory_order_relaxed) >=
+              config.max_combinations)
+            throw std::length_error(
+                "enumerate_combinations: result cap exceeded; use "
+                "maximal/greedy enumeration for large message sets");
+          best.offer(engine.info_gain(current), current, width);
+          return true;
+        });
+    if (!complete) stopped = true;
   };
 
   const auto write_checkpoint = [&](std::size_t next_seed) {
@@ -343,6 +379,84 @@ SelectionResult ParallelSelector::select(const SelectorConfig& config,
       base_->finalize(std::move(out.combo), config, &memo_);
   result.partial = out.partial;
   result.explored_fraction = out.explored_fraction;
+  return result;
+}
+
+std::size_t ParallelSelector::seed_count(const SelectorConfig& config) const {
+  return shard_seeds(*base_, config).size();
+}
+
+bool ParallelSelector::memory_degraded(const SelectorConfig& config) const {
+  return config.mem_budget_mb > 0 &&
+         base_->estimate_search_bytes(config) >
+             static_cast<double>(config.mem_budget_mb) * (1u << 20);
+}
+
+ParallelSelector::UnitOutcome ParallelSelector::run_unit(
+    const SelectorConfig& config, std::size_t begin, std::size_t end) const {
+  OBS_SPAN("selection.dist.unit");
+  const bool maximal_only = config.mode == SearchMode::kMaximal;
+  const std::vector<std::uint32_t> widths = candidate_widths(*base_);
+  const std::vector<ShardSeed> seeds = shard_seeds(*base_, config);
+  end = std::min(end, seeds.size());
+  begin = std::min(begin, end);
+
+  const InfoGainEngine& engine = base_->engine();
+  const util::CancelToken cancel = config.cancel;
+  const SeedWalker walker{base_->candidates(), widths, config.buffer_width,
+                          maximal_only};
+
+  UnitOutcome out;
+  Best best;
+  for (std::size_t s = begin; s < end; ++s) {
+    const bool complete = walker.run(
+        seeds[s], [&] { return !cancel.cancelled(); },
+        [&](const std::vector<flow::MessageId>& current,
+            std::uint32_t width) {
+          ++out.emitted;
+          // This range alone has crossed the global cap: no need to keep
+          // walking, the coordinator must throw whatever the other units
+          // report. The crossing emission stays counted so the sum the
+          // coordinator checks is still a lower bound > cap.
+          if (out.emitted > config.max_combinations) {
+            out.cap_exceeded = true;
+            return false;
+          }
+          best.offer(engine.info_gain(current), current, width);
+          return true;
+        });
+    if (!complete) {
+      if (!out.cap_exceeded) out.stopped = true;
+      break;
+    }
+  }
+  out.valid = best.valid;
+  out.gain = best.gain;
+  out.combo = std::move(best.combo);
+  return out;
+}
+
+SelectionResult ParallelSelector::finalize_distributed(
+    bool valid, Combination combo, std::uint64_t emitted_total, bool partial,
+    double explored_fraction, const SelectorConfig& config) const {
+  if (emitted_total > config.max_combinations)
+    throw std::length_error(
+        "enumerate_combinations: result cap exceeded; use "
+        "maximal/greedy enumeration for large message sets");
+  if (!valid) {
+    if (partial) {
+      SelectionResult result;
+      result.buffer_width = config.buffer_width;
+      result.partial = true;
+      result.explored_fraction = explored_fraction;
+      return result;
+    }
+    throw std::runtime_error(
+        "MessageSelector: no message fits the trace buffer");
+  }
+  SelectionResult result = base_->finalize(std::move(combo), config, &memo_);
+  result.partial = partial;
+  result.explored_fraction = explored_fraction;
   return result;
 }
 

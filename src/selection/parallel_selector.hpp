@@ -24,13 +24,33 @@
 // The per-combination gain memo is shared with Step 3 packing and across
 // repeated select() calls on this selector (see gain_memo.hpp).
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "selection/gain_memo.hpp"
 #include "selection/selector.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tracesel::selection {
+
+/// One shard of the search space: a fitting prefix of candidate indexes.
+/// `subtree` tasks own every extension past `next`; leaf tasks own exactly
+/// the prefix itself.
+struct ShardSeed {
+  std::vector<std::size_t> prefix;
+  std::uint32_t width = 0;
+  std::size_t next = 0;
+  bool subtree = false;
+};
+
+/// The deterministic shard decomposition of the fitting-combination space
+/// for `base`'s candidates under config.buffer_width. Depends only on the
+/// candidate set, widths and budget, so every process that loads the same
+/// spec computes the identical seed list — the distributed protocol
+/// addresses work units as [begin, end) ranges into this list.
+std::vector<ShardSeed> shard_seeds(const MessageSelector& base,
+                                   const SelectorConfig& config);
 
 class ParallelSelector {
  public:
@@ -60,6 +80,50 @@ class ParallelSelector {
 
   const MessageSelector& base() const { return *base_; }
   GainMemo& memo() const { return memo_; }
+
+  // --- distributed building blocks (dist_coordinator / dist_worker) -----
+
+  /// Result of exhaustively walking one contiguous seed range in-process:
+  /// the range's champion plus the exact number of (post-filter) emissions
+  /// it contributed to the global max_combinations cap.
+  struct UnitOutcome {
+    bool valid = false;  ///< at least one combination was scored
+    double gain = -1.0;
+    Combination combo;
+    std::uint64_t emitted = 0;
+    /// The range alone emitted more than config.max_combinations, so the
+    /// global total necessarily exceeds the cap; the walk stopped early
+    /// (emitted counts through the crossing emission).
+    bool cap_exceeded = false;
+    bool stopped = false;  ///< config.cancel fired mid-range
+  };
+
+  /// Number of shard seeds this search decomposes into (== the size of
+  /// shard_seeds(base(), config)); the coordinator partitions [0, count)
+  /// into work units.
+  std::size_t seed_count(const SelectorConfig& config) const;
+
+  /// True when config.mem_budget_mb would force select() onto the serial
+  /// beam-limited path — a distributed run must degrade the same way to
+  /// stay bit-identical.
+  bool memory_degraded(const SelectorConfig& config) const;
+
+  /// Walks seeds [begin, end) serially with the same enumeration,
+  /// maximality filter and scoring as search_sharded — the worker-process
+  /// entry point, also used by the coordinator to salvage lost units
+  /// in-process. Ranges are clamped to the seed list.
+  UnitOutcome run_unit(const SelectorConfig& config, std::size_t begin,
+                       std::size_t end) const;
+
+  /// Completes a distributed search from the merged champion: enforces the
+  /// cap (throws the serial std::length_error iff emitted_total exceeds
+  /// config.max_combinations), packs and scores the winner via the same
+  /// finalize as the in-process paths, and stamps the partial fields.
+  SelectionResult finalize_distributed(bool valid, Combination combo,
+                                       std::uint64_t emitted_total,
+                                       bool partial,
+                                       double explored_fraction,
+                                       const SelectorConfig& config) const;
 
  private:
   /// What search_sharded hands back: the champion of the explored region

@@ -1,0 +1,242 @@
+#include "selection/work_unit.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace tracesel::selection {
+
+namespace {
+
+using util::ErrorCode;
+
+/// Consumes the first line (without its '\n') from `text`, advancing it.
+std::string_view take_line(std::string_view& text) {
+  const std::size_t nl = text.find('\n');
+  std::string_view line =
+      nl == std::string_view::npos ? text : text.substr(0, nl);
+  text.remove_prefix(nl == std::string_view::npos ? text.size() : nl + 1);
+  return line;
+}
+
+/// Splits a line into whitespace-separated tokens.
+std::vector<std::string_view> tokens_of(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ') ++j;
+    if (j > i) out.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+bool parse_u64(std::string_view token, std::uint64_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), out);
+  return ec == std::errc() && ptr == token.data() + token.size();
+}
+
+/// Validates "<tag> <version>\nunit <fields...>\n" and returns the unit
+/// line's tokens (after "unit") plus the remaining checkpoint text.
+util::Result<std::pair<std::vector<std::string_view>, std::string_view>>
+parse_envelope(std::string_view text, std::string_view tag,
+               std::uint32_t version, std::size_t min_fields) {
+  using R =
+      util::Result<std::pair<std::vector<std::string_view>, std::string_view>>;
+  std::string_view rest = text;
+  const auto header = tokens_of(take_line(rest));
+  if (header.size() != 2 || header[0] != tag)
+    return R::err(ErrorCode::kParse,
+                  std::string("work unit: not a ") + std::string(tag) +
+                      " envelope");
+  std::uint64_t v = 0;
+  if (!parse_u64(header[1], v))
+    return R::err(ErrorCode::kParse, "work unit: unreadable version");
+  if (v != version)
+    return R::err(ErrorCode::kParse,
+                  "work unit: version skew (got " + std::to_string(v) +
+                      ", want " + std::to_string(version) + ")");
+  auto unit = tokens_of(take_line(rest));
+  if (unit.size() < 1 + min_fields || unit[0] != "unit")
+    return R::err(ErrorCode::kParse, "work unit: malformed unit line");
+  unit.erase(unit.begin());
+  return R::ok({std::move(unit), rest});
+}
+
+}  // namespace
+
+const char* to_string(DistFaultAction action) {
+  switch (action) {
+    case DistFaultAction::kNone: return "none";
+    case DistFaultAction::kKillWorker: return "kill";
+    case DistFaultAction::kHangWorker: return "hang";
+    case DistFaultAction::kCorruptFrame: return "corrupt";
+  }
+  return "?";
+}
+
+util::Result<DistFaultAction> parse_fault_action(std::string_view token) {
+  if (token == "none") return DistFaultAction::kNone;
+  if (token == "kill") return DistFaultAction::kKillWorker;
+  if (token == "hang") return DistFaultAction::kHangWorker;
+  if (token == "corrupt") return DistFaultAction::kCorruptFrame;
+  return util::Result<DistFaultAction>::err(
+      ErrorCode::kParse,
+      "work unit: unknown fault action '" + std::string(token) + "'");
+}
+
+std::string serialize_unit_request(const WorkUnitRequest& request) {
+  std::ostringstream out;
+  out << "tracesel-unit-request " << WorkUnitRequest::kVersion << "\n"
+      << "unit " << request.unit_id << ' ' << request.seed_begin << ' '
+      << request.seed_end << ' ' << request.heartbeat_ms << ' '
+      << to_string(request.fault) << "\n"
+      << serialize_checkpoint(request.state);
+  return out.str();
+}
+
+util::Result<WorkUnitRequest> parse_unit_request(std::string_view text) {
+  using R = util::Result<WorkUnitRequest>;
+  auto env = parse_envelope(text, "tracesel-unit-request",
+                            WorkUnitRequest::kVersion, 5);
+  if (!env.ok()) return R(env.error());
+  const auto& [fields, rest] = env.value();
+
+  WorkUnitRequest request;
+  std::uint64_t hb = 0;
+  if (!parse_u64(fields[0], request.unit_id) ||
+      !parse_u64(fields[1], request.seed_begin) ||
+      !parse_u64(fields[2], request.seed_end) || !parse_u64(fields[3], hb))
+    return R::err(ErrorCode::kParse, "work unit: unreadable request fields");
+  request.heartbeat_ms = static_cast<std::uint32_t>(hb);
+  auto fault = parse_fault_action(fields[4]);
+  if (!fault.ok()) return R(fault.error());
+  request.fault = fault.value();
+
+  auto state = parse_checkpoint(rest);
+  if (!state.ok()) return R(state.error());
+  request.state = std::move(state).value();
+  return request;
+}
+
+std::string serialize_unit_reply(const WorkUnitReply& reply) {
+  std::ostringstream out;
+  out << "tracesel-unit-reply " << WorkUnitReply::kVersion << "\n"
+      << "unit " << reply.unit_id << ' ' << reply.seed_begin << ' '
+      << reply.seed_end << ' ' << (reply.cap_exceeded ? 1 : 0) << "\n"
+      << serialize_checkpoint(reply.state);
+  return out.str();
+}
+
+util::Result<WorkUnitReply> parse_unit_reply(std::string_view text) {
+  using R = util::Result<WorkUnitReply>;
+  auto env = parse_envelope(text, "tracesel-unit-reply",
+                            WorkUnitReply::kVersion, 4);
+  if (!env.ok()) return R(env.error());
+  const auto& [fields, rest] = env.value();
+
+  WorkUnitReply reply;
+  std::uint64_t cap = 0;
+  if (!parse_u64(fields[0], reply.unit_id) ||
+      !parse_u64(fields[1], reply.seed_begin) ||
+      !parse_u64(fields[2], reply.seed_end) || !parse_u64(fields[3], cap) ||
+      cap > 1)
+    return R::err(ErrorCode::kParse, "work unit: unreadable reply fields");
+  reply.cap_exceeded = cap == 1;
+
+  auto state = parse_checkpoint(rest);
+  if (!state.ok()) return R(state.error());
+  reply.state = std::move(state).value();
+  return reply;
+}
+
+util::Status validate_reply(const WorkUnitReply& reply,
+                            const WorkUnitRequest& request) {
+  // Identity checks catch swapped-shard payloads: a structurally valid
+  // reply whose body answers a different unit or a different search.
+  if (reply.unit_id != request.unit_id)
+    return util::Status::err(
+        ErrorCode::kCorruptCapture,
+        "work unit: reply answers unit " + std::to_string(reply.unit_id) +
+            ", expected " + std::to_string(request.unit_id));
+  if (reply.seed_begin != request.seed_begin ||
+      reply.seed_end != request.seed_end)
+    return util::Status::err(
+        ErrorCode::kCorruptCapture,
+        "work unit: reply seed range [" + std::to_string(reply.seed_begin) +
+            ", " + std::to_string(reply.seed_end) + ") does not match "
+            "request [" + std::to_string(request.seed_begin) + ", " +
+            std::to_string(request.seed_end) + ")");
+  if (reply.state.fingerprint != request.state.fingerprint)
+    return util::Status::err(
+        ErrorCode::kCorruptCapture,
+        "work unit: reply fingerprint does not match the requested search "
+        "(swapped-shard payload)");
+  if (reply.state.seeds_total != request.state.seeds_total)
+    return util::Status::err(
+        ErrorCode::kCorruptCapture,
+        "work unit: reply seed universe does not match the request");
+  return util::Status::success();
+}
+
+std::string serialize_heartbeat(std::uint64_t unit_id) {
+  return "tracesel-heartbeat " + std::to_string(unit_id);
+}
+
+util::Result<std::uint64_t> parse_heartbeat(std::string_view text) {
+  using R = util::Result<std::uint64_t>;
+  const auto fields = tokens_of(text);
+  std::uint64_t id = 0;
+  if (fields.size() != 2 || fields[0] != "tracesel-heartbeat" ||
+      !parse_u64(fields[1], id))
+    return R::err(ErrorCode::kParse, "work unit: malformed heartbeat");
+  return id;
+}
+
+std::string serialize_unit_error(std::uint64_t unit_id, util::ErrorCode code,
+                                 std::string_view message) {
+  std::string out = "tracesel-unit-error " + std::to_string(unit_id) + ' ' +
+                    util::to_string(code) + ' ';
+  out.append(message);
+  return out;
+}
+
+util::Result<UnitError> parse_unit_error(std::string_view text) {
+  using R = util::Result<UnitError>;
+  std::string_view rest = text;
+  const auto take_token = [&]() -> std::string_view {
+    while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+    std::size_t j = 0;
+    while (j < rest.size() && rest[j] != ' ') ++j;
+    const std::string_view tok = rest.substr(0, j);
+    rest.remove_prefix(j);
+    return tok;
+  };
+  UnitError err;
+  const std::string_view tag = take_token();
+  const std::string_view id = take_token();
+  const std::string_view code = take_token();
+  if (tag != "tracesel-unit-error" || !parse_u64(id, err.unit_id) ||
+      code.empty())
+    return R::err(ErrorCode::kParse, "work unit: malformed error frame");
+  err.code = std::string(code);
+  if (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  err.message = std::string(rest);
+  return err;
+}
+
+FrameKind classify_frame(std::string_view text) {
+  const std::size_t sp = text.find_first_of(" \n");
+  const std::string_view head =
+      sp == std::string_view::npos ? text : text.substr(0, sp);
+  if (head == "tracesel-unit-request") return FrameKind::kUnitRequest;
+  if (head == "tracesel-unit-reply") return FrameKind::kUnitReply;
+  if (head == "tracesel-heartbeat") return FrameKind::kHeartbeat;
+  if (head == "tracesel-unit-error") return FrameKind::kUnitError;
+  if (text == kShutdownFrame) return FrameKind::kShutdown;
+  return FrameKind::kUnknown;
+}
+
+}  // namespace tracesel::selection

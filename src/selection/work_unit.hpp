@@ -1,0 +1,121 @@
+#pragma once
+// Wire types of the distributed sharded search (DESIGN.md §12,
+// docs/distributed.md).
+//
+// The coordinator/worker protocol promotes the PR-5 checkpoint
+// serialization into a work-unit envelope: a request carries the full
+// SearchCheckpoint describing the search identity (provenance, config,
+// fingerprint) plus the [seed_begin, seed_end) range the worker must walk;
+// the reply carries the same checkpoint structure with the unit's champion
+// and emission count filled in. Reusing the checkpoint text format means
+// the reply inherits its version + FNV-1a checksum envelope for free, so
+// version skew and payload corruption surface as the same typed parse
+// errors the resume path already produces — and the coordinator's response
+// to any of them is a work-unit retry, never an abort.
+//
+// Frames on the pipe (see util/subprocess.hpp for the byte framing):
+//   request    "tracesel-unit-request 1\nunit <id> <begin> <end> <hb> <fault>\n"
+//              + serialize_checkpoint(state)
+//   reply      "tracesel-unit-reply 1\nunit <id> <begin> <end> <cap>\n"
+//              + serialize_checkpoint(state)   // champion + emitted of unit
+//   heartbeat  "tracesel-heartbeat <id>"
+//   error      "tracesel-unit-error <id> <code> <message...>"
+//   shutdown   "tracesel-shutdown"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "selection/checkpoint.hpp"
+#include "util/result.hpp"
+
+namespace tracesel::selection {
+
+/// Fault directive a request may carry (DistFaultInjector schedules).
+/// Honored by the worker so every failure path is exercised end-to-end:
+/// a *real* process death, a *real* hang, a *real* corrupt payload.
+enum class DistFaultAction : std::uint8_t {
+  kNone = 0,
+  kKillWorker,    ///< _Exit mid-unit (crash)
+  kHangWorker,    ///< sleep without heartbeats (straggler)
+  kCorruptFrame,  ///< flip a payload byte in the reply (corruption)
+};
+
+const char* to_string(DistFaultAction action);
+util::Result<DistFaultAction> parse_fault_action(std::string_view token);
+
+/// One unit of distributed work: walk seeds [seed_begin, seed_end).
+struct WorkUnitRequest {
+  static constexpr std::uint32_t kVersion = 1;
+
+  std::uint64_t unit_id = 0;
+  std::uint64_t seed_begin = 0;
+  std::uint64_t seed_end = 0;
+  std::uint32_t heartbeat_ms = 100;
+  DistFaultAction fault = DistFaultAction::kNone;
+  /// Search identity + provenance; progress/best fields are ignored on the
+  /// request side (the worker rebuilds the session from provenance and
+  /// validates the fingerprint).
+  SearchCheckpoint state;
+};
+
+/// A completed unit: `state` carries the unit's champion in best_* and the
+/// unit's post-filter emission count in `emitted` (cap accounting at the
+/// coordinator sums these). `cap_exceeded` mirrors
+/// ParallelSelector::UnitOutcome (workers are never cancelled
+/// cooperatively — a lost unit is killed and reassigned — so there is no
+/// `stopped` on the wire).
+struct WorkUnitReply {
+  static constexpr std::uint32_t kVersion = 1;
+
+  std::uint64_t unit_id = 0;
+  std::uint64_t seed_begin = 0;
+  std::uint64_t seed_end = 0;
+  bool cap_exceeded = false;
+  SearchCheckpoint state;
+};
+
+std::string serialize_unit_request(const WorkUnitRequest& request);
+util::Result<WorkUnitRequest> parse_unit_request(std::string_view text);
+
+std::string serialize_unit_reply(const WorkUnitReply& reply);
+util::Result<WorkUnitReply> parse_unit_reply(std::string_view text);
+
+/// Coordinator-side acceptance check: the reply must name the requested
+/// unit and seed range and carry the requested search fingerprint —
+/// a swapped-shard payload (a reply body grafted from a different unit or
+/// a different search) is rejected with ErrorCode::kCorruptCapture and
+/// retried like any other unit failure.
+util::Status validate_reply(const WorkUnitReply& reply,
+                            const WorkUnitRequest& request);
+
+// --- small control frames ----------------------------------------------
+
+std::string serialize_heartbeat(std::uint64_t unit_id);
+/// Parses a heartbeat frame; returns the unit id.
+util::Result<std::uint64_t> parse_heartbeat(std::string_view text);
+
+std::string serialize_unit_error(std::uint64_t unit_id,
+                                 util::ErrorCode code,
+                                 std::string_view message);
+struct UnitError {
+  std::uint64_t unit_id = 0;
+  std::string code;  ///< taxonomy name, e.g. "corrupt-capture"
+  std::string message;
+};
+util::Result<UnitError> parse_unit_error(std::string_view text);
+
+inline constexpr std::string_view kShutdownFrame = "tracesel-shutdown";
+
+/// Frame discriminator (first token of the payload).
+enum class FrameKind {
+  kUnitRequest,
+  kUnitReply,
+  kHeartbeat,
+  kUnitError,
+  kShutdown,
+  kUnknown,
+};
+FrameKind classify_frame(std::string_view text);
+
+}  // namespace tracesel::selection

@@ -41,6 +41,13 @@ Session Session::t2() {
   return s;
 }
 
+Session Session::usb() {
+  Session s;
+  s.usb_ = std::make_unique<netlist::UsbDesign>();
+  s.catalog_ = &s.usb_->catalog();
+  return s;
+}
+
 Session& Session::configure(const selection::SelectorConfig& config) {
   config_ = config;
   // Asking for an observability sink is the opt-in for the whole layer;
@@ -77,6 +84,17 @@ Session& Session::interleave_options(const flow::InterleaveOptions& options) {
 }
 
 Session& Session::interleave(std::uint32_t instances) {
+  if (usb_) {
+    OBS_SPAN("session.interleave");
+    flow::InterleaveOptions opt = interleave_options_;
+    opt.cancel = config_.cancel;
+    if (opt.mem_budget_mb == 0) opt.mem_budget_mb = config_.mem_budget_mb;
+    u_ = std::make_unique<flow::InterleavedFlow>(
+        usb_->interleaving(instances, opt));
+    instances_used_ = instances;
+    invalidate_selector();
+    return *this;
+  }
   if (!spec_)
     throw std::logic_error(
         "Session::interleave: no spec loaded (use scenario() for t2 "
@@ -124,11 +142,35 @@ util::ThreadPool* Session::pool() {
   return pool_.get();
 }
 
+selection::SelectorConfig Session::config_with_provenance() const {
+  // Checkpoint/work-unit provenance so Session::resume and distributed
+  // workers can rebuild this pipeline.
+  selection::SelectorConfig cfg = config_;
+  if (cfg.checkpoint_spec_path.empty())
+    cfg.checkpoint_spec_path = t2_ ? "t2" : (usb_ ? "usb" : spec_path_);
+  if (cfg.checkpoint_instances == 0) cfg.checkpoint_instances = instances_used_;
+  return cfg;
+}
+
+selection::ParallelSelector& Session::ensure_parallel() {
+  if (!u_)
+    throw std::logic_error(
+        "Session: no interleaving (call scenario()/interleave() first)");
+  if (!selector_)
+    selector_ =
+        std::make_unique<selection::MessageSelector>(*catalog_, *u_);
+  if (!parallel_)
+    parallel_ = std::make_unique<selection::ParallelSelector>(*selector_);
+  return *parallel_;
+}
+
 selection::SelectionResult Session::select_impl(bool flow_constraint) {
   OBS_SPAN("session.select");
   if (!u_) {
-    // Spec sessions default to the paper's two legally indexed instances.
+    // Spec sessions default to the paper's two legally indexed instances;
+    // usb sessions to one instance of each flow (Table 4 setting).
     if (spec_) interleave(2);
+    else if (usb_) interleave(1);
     else
       throw std::logic_error(
           "Session::select: no interleaving (call scenario()/interleave() "
@@ -138,11 +180,7 @@ selection::SelectionResult Session::select_impl(bool flow_constraint) {
     selector_ =
         std::make_unique<selection::MessageSelector>(*catalog_, *u_);
 
-  // Checkpoint provenance so Session::resume can rebuild this pipeline.
-  selection::SelectorConfig cfg = config_;
-  if (cfg.checkpoint_spec_path.empty())
-    cfg.checkpoint_spec_path = t2_ ? "t2" : spec_path_;
-  if (cfg.checkpoint_instances == 0) cfg.checkpoint_instances = instances_used_;
+  selection::SelectorConfig cfg = config_with_provenance();
 
   selection::SelectionResult result;
   if (flow_constraint) {
@@ -187,7 +225,9 @@ util::Result<Session> Session::resume(const std::string& checkpoint_path) {
     return util::Error{util::ErrorCode::kParse,
                        "checkpoint records an unknown search mode"};
   try {
-    Session s = ck.spec_path == "t2" ? t2() : from_spec_file(ck.spec_path);
+    Session s = ck.spec_path == "t2"    ? t2()
+                : ck.spec_path == "usb" ? usb()
+                                        : from_spec_file(ck.spec_path);
     s.interleave_options_.symmetry_reduction = ck.symmetry_reduction;
     s.interleave_options_.max_nodes = static_cast<std::size_t>(ck.max_nodes);
     s.config_.buffer_width = ck.buffer_width;
@@ -206,6 +246,105 @@ util::Result<Session> Session::resume(const std::string& checkpoint_path) {
   } catch (const std::exception& e) {
     return util::Error{util::ErrorCode::kInvalidArgument,
                        std::string("Session::resume: ") + e.what()};
+  }
+}
+
+selection::SelectionResult Session::run_distributed(
+    const selection::DistConfig& dist) {
+  OBS_SPAN("session.select_distributed");
+  if (!u_) {
+    if (spec_) interleave(2);
+    else if (usb_) interleave(1);
+    else if (t2_)
+      throw std::logic_error(
+          "Session::run_distributed: no interleaving (call scenario() "
+          "first)");
+    else
+      throw std::logic_error(
+          "Session::run_distributed: no interleaving (call interleave() "
+          "first)");
+  }
+  selection::SelectorConfig cfg = config_with_provenance();
+  // Wave checkpointing is an in-process feature; the distributed engine's
+  // unit of recovery is the work unit itself.
+  cfg.checkpoint_path.clear();
+
+  // Graceful degradation: anything that makes worker processes impossible
+  // or pointless falls back to the in-process engine, with the reason
+  // recorded as a degradation note — never an error.
+  std::string why;
+  if (dist.workers == 0)
+    why = "workers == 0";
+  else if (dist.worker_argv.empty())
+    why = "no worker command";
+  else if (cfg.checkpoint_spec_path.empty())
+    why = "no spec provenance for workers to rebuild from";
+  else if (cfg.mode == selection::SearchMode::kGreedy ||
+           cfg.mode == selection::SearchMode::kKnapsack)
+    why = "sequential search mode";
+  else if (ensure_parallel().memory_degraded(cfg))
+    why = "memory budget forces the beam-limited serial search";
+  if (!why.empty()) {
+    OBS_COUNT("dist.degraded_runs", 1);
+    dist_stats_ = selection::DistStats{};
+    selection::SelectionResult result = select_impl(false);
+    const std::string note = "distributed: fell back in-process (" + why + ")";
+    result.degradation = result.degradation.empty()
+                             ? note
+                             : note + "; " + result.degradation;
+    last_selection_ = result;
+    return result;
+  }
+
+  selection::DistCoordinator coordinator(ensure_parallel(), dist);
+  selection::SelectionResult result = coordinator.run(cfg);
+  dist_stats_ = coordinator.stats();
+  if (u_->degraded()) {
+    const std::string note = "interleave: " + u_->degradation();
+    result.degradation = result.degradation.empty()
+                             ? note
+                             : note + "; " + result.degradation;
+  }
+  last_selection_ = result;
+  return result;
+}
+
+util::Result<selection::WorkerEngine> Session::worker_engine(
+    const selection::SearchCheckpoint& ck) {
+  if (ck.spec_path.empty())
+    return util::Error{util::ErrorCode::kInvalidArgument,
+                       "work unit carries no spec provenance"};
+  if (ck.mode > static_cast<std::uint32_t>(selection::SearchMode::kKnapsack))
+    return util::Error{util::ErrorCode::kParse,
+                       "work unit records an unknown search mode"};
+  try {
+    Session s = ck.spec_path == "t2"    ? t2()
+                : ck.spec_path == "usb" ? usb()
+                                        : from_spec_file(ck.spec_path);
+    s.interleave_options_.symmetry_reduction = ck.symmetry_reduction;
+    s.interleave_options_.max_nodes = static_cast<std::size_t>(ck.max_nodes);
+    s.config_.buffer_width = ck.buffer_width;
+    s.config_.mode = static_cast<selection::SearchMode>(ck.mode);
+    s.config_.packing = ck.packing;
+    s.config_.max_combinations =
+        static_cast<std::size_t>(ck.max_combinations);
+    s.config_.jobs = 1;  // the unit walk is serial; workers ARE the pool
+    if (ck.spec_path == "t2")
+      s.scenario(static_cast<int>(ck.instances));
+    else
+      s.interleave(ck.instances);
+
+    auto holder = std::make_shared<Session>(std::move(s));
+    selection::ParallelSelector& parallel = holder->ensure_parallel();
+    selection::WorkerEngine engine;
+    engine.keepalive = holder;
+    engine.selector = std::shared_ptr<const selection::ParallelSelector>(
+        holder, &parallel);
+    engine.config = holder->config_with_provenance();
+    return engine;
+  } catch (const std::exception& e) {
+    return util::Error{util::ErrorCode::kInvalidArgument,
+                       std::string("Session::worker_engine: ") + e.what()};
   }
 }
 

@@ -36,7 +36,10 @@
 #include "debug/monte_carlo.hpp"
 #include "flow/interleaved_flow.hpp"
 #include "flow/parser.hpp"
+#include "netlist/usb_design.hpp"
 #include "selection/checkpoint.hpp"
+#include "selection/dist_coordinator.hpp"
+#include "selection/dist_worker.hpp"
 #include "selection/localization.hpp"
 #include "selection/parallel_selector.hpp"
 #include "selection/selector.hpp"
@@ -58,6 +61,11 @@ class Session {
                                    flow::InterleavedFlow u);
   /// A session over the built-in OpenSPARC T2 uncore (debug leg enabled).
   static Session t2();
+  /// A session over the built-in USB 2.0 function controller
+  /// (netlist::UsbDesign); interleave(n) builds rx ||| tx with n indexed
+  /// instances each. Checkpoint/work-unit provenance records "usb", so
+  /// distributed workers and resume() can rebuild it.
+  static Session usb();
   /// Rebuilds a session from a search checkpoint written by a previous
   /// run (docs/resilience.md): loads + verifies the file, re-parses the
   /// recorded spec (a .flow path, or "t2" for t2 sessions), restores the
@@ -99,6 +107,21 @@ class Session {
   /// Step 1-3 over the current interleaving, honouring config() including
   /// jobs. Caches the result for localize().
   selection::SelectionResult select();
+  /// Step 1-3 farmed to worker processes by a selection::DistCoordinator
+  /// (docs/distributed.md) — bit-identical to select() for every worker
+  /// count and fault schedule. Degrades gracefully to the in-process path
+  /// (with a degradation note) when distribution is impossible: no worker
+  /// command, no spec provenance for workers to rebuild from, a
+  /// sequential search mode (greedy/knapsack) or a memory-budget
+  /// degradation. last_dist_stats() reports the run's failure/retry
+  /// accounting.
+  selection::SelectionResult run_distributed(const selection::DistConfig& dist);
+  const selection::DistStats& last_dist_stats() const { return dist_stats_; }
+  /// selection::WorkerEngineFactory for `tracesel --worker`: rebuilds the
+  /// session a work-unit request describes (spec path / "t2" / "usb" +
+  /// instances + search config) and exposes its ParallelSelector.
+  static util::Result<selection::WorkerEngine> worker_engine(
+      const selection::SearchCheckpoint& ck);
   /// select() plus the every-flow-represented repair
   /// (MessageSelector::select_with_flow_constraint).
   selection::SelectionResult select_with_flow_constraint();
@@ -134,6 +157,11 @@ class Session {
   util::ThreadPool* pool();
   void invalidate_selector();
   selection::SelectionResult select_impl(bool flow_constraint);
+  /// Builds (once) and returns the parallel selector over the current
+  /// interleaving; throws when no interleaving exists.
+  selection::ParallelSelector& ensure_parallel();
+  /// Fills checkpoint/work-unit provenance into a copy of config().
+  selection::SelectorConfig config_with_provenance() const;
 
   selection::SelectorConfig config_;
   flow::InterleaveOptions interleave_options_;
@@ -141,6 +169,7 @@ class Session {
   std::uint32_t instances_used_ = 0; ///< last interleave() count / scenario id
   std::unique_ptr<flow::ParsedSpec> spec_;      // spec sessions
   std::unique_ptr<soc::T2Design> t2_;           // t2 sessions
+  std::unique_ptr<netlist::UsbDesign> usb_;     // usb sessions
   const flow::MessageCatalog* catalog_ = nullptr;
   std::unique_ptr<flow::InterleavedFlow> u_;
   std::unique_ptr<selection::MessageSelector> selector_;
@@ -148,6 +177,7 @@ class Session {
   std::unique_ptr<util::ThreadPool> pool_;
   std::size_t pool_workers_ = 0;
   std::optional<selection::SelectionResult> last_selection_;
+  selection::DistStats dist_stats_;
 };
 
 }  // namespace tracesel

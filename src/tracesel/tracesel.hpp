@@ -21,9 +21,12 @@
 #include "flow/parser.hpp"
 #include "flow/stats.hpp"
 
-// Selection layer: Steps 1-3, parallel engine, multi-scenario planning.
+// Selection layer: Steps 1-3, parallel engine, the distributed
+// coordinator/worker protocol, multi-scenario planning.
 #include "selection/combination.hpp"
 #include "selection/coverage.hpp"
+#include "selection/dist_coordinator.hpp"
+#include "selection/dist_worker.hpp"
 #include "selection/gain_memo.hpp"
 #include "selection/info_gain.hpp"
 #include "selection/localization.hpp"

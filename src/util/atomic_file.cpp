@@ -1,6 +1,12 @@
 #include "util/atomic_file.hpp"
 
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -15,6 +21,18 @@ std::uint64_t fnv1a64(std::string_view bytes) {
   return h;
 }
 
+namespace {
+
+// The directory that would hold `path` ("." for a bare filename).
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
 Status atomic_write_file(const std::string& path, std::string_view contents) {
   if (path.empty())
     return Status::err(ErrorCode::kInvalidArgument,
@@ -22,24 +40,55 @@ Status atomic_write_file(const std::string& path, std::string_view contents) {
   // A sibling temp keeps the rename on one filesystem (atomicity) and makes
   // leftovers from a killed process easy to spot and reap.
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out)
-      return Status::err(ErrorCode::kInvalidArgument,
-                         "cannot open '" + tmp + "' for writing");
-    out.write(contents.data(),
-              static_cast<std::streamsize>(contents.size()));
-    out.flush();
-    if (!out) {
+  int fd;
+  do {
+    fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0)
+    return Status::err(ErrorCode::kInvalidArgument,
+                       "cannot open '" + tmp + "' for writing: " +
+                           std::strerror(errno));
+  std::size_t off = 0;
+  while (off < contents.size()) {
+    const ssize_t n =
+        ::write(fd, contents.data() + off, contents.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
       std::remove(tmp.c_str());
       return Status::err(ErrorCode::kInternal,
-                         "short write to '" + tmp + "'");
+                         "short write to '" + tmp + "': " +
+                             std::strerror(errno));
     }
+    off += static_cast<std::size_t>(n);
   }
+  // fsync before the rename: the rename must never become visible while the
+  // new bytes are still only in the page cache, or a power loss could leave
+  // `path` pointing at a hole.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    std::remove(tmp.c_str());
+    return Status::err(ErrorCode::kInternal,
+                       "fsync of '" + tmp + "' failed: " +
+                           std::strerror(errno));
+  }
+  ::close(fd);
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return Status::err(ErrorCode::kInternal,
                        "cannot rename '" + tmp + "' over '" + path + "'");
+  }
+  // fsync the parent directory so the rename itself (the directory entry)
+  // is durable. Best-effort: some filesystems refuse O_RDONLY on dirs, and
+  // the data above is already safe.
+  const std::string dir = parent_dir(path);
+  int dfd;
+  do {
+    dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  } while (dfd < 0 && errno == EINTR);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
   }
   return Status::success();
 }

@@ -19,9 +19,10 @@ namespace tracesel::util {
 /// FNV-1a 64-bit over raw bytes; the checksum used by checkpoint envelopes.
 std::uint64_t fnv1a64(std::string_view bytes);
 
-/// Writes `contents` to `path` atomically: the data lands in a sibling
-/// temporary first and is renamed over `path` only after a successful
-/// flush+close. On any failure the temporary is removed and `path` is left
+/// Writes `contents` to `path` atomically and durably: the data lands in a
+/// sibling temporary, is fsync'd, and only then renamed over `path`; the
+/// parent directory is fsync'd after the rename so the entry survives a
+/// power loss. On any failure the temporary is removed and `path` is left
 /// untouched (old content or absent — never truncated).
 Status atomic_write_file(const std::string& path, std::string_view contents);
 

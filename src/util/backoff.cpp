@@ -1,0 +1,31 @@
+#include "util/backoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tracesel::util {
+
+std::chrono::milliseconds Backoff::next() {
+  // Base delay: initial * multiplier^attempt, saturated at the cap. The
+  // power is computed in doubles and clamped before the cast so a large
+  // attempt count cannot overflow.
+  const double grown =
+      static_cast<double>(policy_.initial_ms) *
+      std::pow(std::max(1.0, policy_.multiplier),
+               static_cast<double>(attempt_));
+  const double base = std::min(grown, static_cast<double>(policy_.cap_ms));
+  ++attempt_;
+
+  double jittered = base;
+  if (policy_.jitter > 0.0 && base > 0.0) {
+    const double j = std::min(policy_.jitter, 1.0);
+    // Uniform in [base*(1-j), base*(1+j)], then re-clamped to the cap so
+    // the ceiling is a hard guarantee.
+    jittered = base * (1.0 - j + 2.0 * j * rng_.unit());
+    jittered = std::min(jittered, static_cast<double>(policy_.cap_ms));
+  }
+  return std::chrono::milliseconds(
+      static_cast<std::int64_t>(std::llround(jittered)));
+}
+
+}  // namespace tracesel::util

@@ -1,0 +1,328 @@
+#include "util/subprocess.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "util/atomic_file.hpp"
+
+namespace tracesel::util {
+
+void ignore_sigpipe() {
+  static const bool installed = [] {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &sa, nullptr);
+    return true;
+  }();
+  (void)installed;
+}
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  if (this != &other) {
+    if (valid() && !reaped_) {
+      kill_hard();
+      wait();
+    }
+    close_fds();
+    pid_ = std::exchange(other.pid_, -1);
+    stdin_fd_ = std::exchange(other.stdin_fd_, -1);
+    stdout_fd_ = std::exchange(other.stdout_fd_, -1);
+    reaped_ = std::exchange(other.reaped_, false);
+    exit_code_ = std::exchange(other.exit_code_, -1);
+  }
+  return *this;
+}
+
+Subprocess::~Subprocess() {
+  if (valid() && !reaped_) {
+    kill_hard();
+    wait();
+  }
+  close_fds();
+}
+
+void Subprocess::close_fds() {
+  if (stdin_fd_ >= 0) {
+    ::close(stdin_fd_);
+    stdin_fd_ = -1;
+  }
+  if (stdout_fd_ >= 0) {
+    ::close(stdout_fd_);
+    stdout_fd_ = -1;
+  }
+}
+
+Result<Subprocess> Subprocess::spawn(const std::vector<std::string>& argv) {
+  if (argv.empty()) {
+    return Error{ErrorCode::kInternal, "spawn: empty argv"};
+  }
+  ignore_sigpipe();
+
+  int to_child[2] = {-1, -1};    // parent writes [1] -> child stdin [0]
+  int from_child[2] = {-1, -1};  // child stdout [1] -> parent reads [0]
+  if (::pipe2(to_child, O_CLOEXEC) != 0) {
+    return Error{ErrorCode::kInternal,
+                 std::string("spawn: pipe2 failed: ") + std::strerror(errno)};
+  }
+  if (::pipe2(from_child, O_CLOEXEC) != 0) {
+    const int err = errno;
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    return Error{ErrorCode::kInternal,
+                 std::string("spawn: pipe2 failed: ") + std::strerror(err)};
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    const int err = errno;
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    return Error{ErrorCode::kInternal,
+                 std::string("spawn: fork failed: ") + std::strerror(err)};
+  }
+
+  if (pid == 0) {
+    // Child: wire the pipe ends onto stdin/stdout (dup2 clears O_CLOEXEC on
+    // the duplicates; the originals close on exec), restore default SIGPIPE
+    // so the worker dies cleanly if the coordinator vanishes mid-write.
+    if (::dup2(to_child[0], STDIN_FILENO) < 0 ||
+        ::dup2(from_child[1], STDOUT_FILENO) < 0) {
+      ::_exit(127);
+    }
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = SIG_DFL;
+    ::sigaction(SIGPIPE, &sa, nullptr);
+
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string& a : argv) {
+      cargv.push_back(const_cast<char*>(a.c_str()));
+    }
+    cargv.push_back(nullptr);
+    ::execvp(cargv[0], cargv.data());
+    ::_exit(127);
+  }
+
+  // Parent.
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+
+  const int flags = ::fcntl(from_child[0], F_GETFL, 0);
+  if (flags >= 0) {
+    ::fcntl(from_child[0], F_SETFL, flags | O_NONBLOCK);
+  }
+
+  Subprocess child;
+  child.pid_ = pid;
+  child.stdin_fd_ = to_child[1];
+  child.stdout_fd_ = from_child[0];
+  return child;
+}
+
+Status Subprocess::write_all(std::string_view bytes) const {
+  if (stdin_fd_ < 0) {
+    return Error{ErrorCode::kInternal, "write_all: stdin already closed"};
+  }
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::write(stdin_fd_, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const char* what = errno == EPIPE ? "write_all: peer closed (EPIPE)"
+                                        : "write_all: write failed";
+      return Error{ErrorCode::kInternal,
+                   std::string(what) + ": " + std::strerror(errno)};
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Status::success();
+}
+
+void Subprocess::close_stdin() {
+  if (stdin_fd_ >= 0) {
+    ::close(stdin_fd_);
+    stdin_fd_ = -1;
+  }
+}
+
+void Subprocess::kill_hard() const {
+  if (pid_ > 0 && !reaped_) {
+    ::kill(pid_, SIGKILL);
+  }
+}
+
+bool Subprocess::try_wait(int* code) {
+  if (reaped_) {
+    if (code != nullptr) {
+      *code = exit_code_;
+    }
+    return true;
+  }
+  if (pid_ <= 0) {
+    return false;
+  }
+  int status = 0;
+  const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+  if (r == 0) {
+    return false;
+  }
+  reaped_ = true;
+  if (r < 0) {
+    exit_code_ = -1;  // already reaped elsewhere; nothing better to report
+  } else if (WIFEXITED(status)) {
+    exit_code_ = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    exit_code_ = 128 + WTERMSIG(status);
+  } else {
+    exit_code_ = -1;
+  }
+  if (code != nullptr) {
+    *code = exit_code_;
+  }
+  return true;
+}
+
+int Subprocess::wait() {
+  if (reaped_) {
+    return exit_code_;
+  }
+  if (pid_ <= 0) {
+    return -1;
+  }
+  int status = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(pid_, &status, 0);
+  } while (r < 0 && errno == EINTR);
+  reaped_ = true;
+  if (r < 0) {
+    exit_code_ = -1;
+  } else if (WIFEXITED(status)) {
+    exit_code_ = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    exit_code_ = 128 + WTERMSIG(status);
+  } else {
+    exit_code_ = -1;
+  }
+  return exit_code_;
+}
+
+// --- framing ------------------------------------------------------------
+
+namespace {
+
+void put_u32le(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+void put_u64le(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint32_t get_u32le(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+std::uint64_t get_u64le(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string encode_frame(std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.append(kFrameMagic, sizeof(kFrameMagic));
+  put_u32le(out, static_cast<std::uint32_t>(payload.size()));
+  put_u64le(out, fnv1a64(payload));
+  out.append(payload);
+  return out;
+}
+
+Status write_frame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Error{ErrorCode::kInternal, "write_frame: payload exceeds cap"};
+  }
+  const std::string frame = encode_frame(payload);
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::write(fd, frame.data() + off, frame.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const char* what = errno == EPIPE ? "write_frame: peer closed (EPIPE)"
+                                        : "write_frame: write failed";
+      return Error{ErrorCode::kInternal,
+                   std::string(what) + ": " + std::strerror(errno)};
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Status::success();
+}
+
+FrameReader::State FrameReader::next(std::string& payload) {
+  if (corrupt_) {
+    return State::kCorrupt;
+  }
+  // Validate the magic on whatever prefix has arrived so far: garbage is
+  // reported the moment it shows up, not deferred until (and unless) a
+  // full header's worth of bytes accumulates.
+  const std::size_t have = std::min(buffer_.size(), sizeof(kFrameMagic));
+  if (std::memcmp(buffer_.data(), kFrameMagic, have) != 0) {
+    corrupt_ = true;
+    corrupt_reason_ = "bad frame magic (stream desynchronized)";
+    return State::kCorrupt;
+  }
+  if (buffer_.size() < kFrameHeaderBytes) {
+    return State::kNeedMore;
+  }
+  const std::uint32_t len = get_u32le(buffer_.data() + 8);
+  if (len > kMaxFrameBytes) {
+    corrupt_ = true;
+    corrupt_reason_ = "frame length exceeds cap (corrupt length field)";
+    return State::kCorrupt;
+  }
+  if (buffer_.size() < kFrameHeaderBytes + len) {
+    return State::kNeedMore;
+  }
+  const std::uint64_t want = get_u64le(buffer_.data() + 12);
+  const std::string_view body(buffer_.data() + kFrameHeaderBytes, len);
+  if (fnv1a64(body) != want) {
+    corrupt_ = true;
+    corrupt_reason_ = "frame checksum mismatch";
+    return State::kCorrupt;
+  }
+  payload.assign(body);
+  buffer_.erase(0, kFrameHeaderBytes + len);
+  return State::kFrame;
+}
+
+}  // namespace tracesel::util

@@ -1,0 +1,126 @@
+#pragma once
+// Child-process plumbing and length-prefixed framing for the distributed
+// selection engine (DESIGN.md §12, docs/distributed.md).
+//
+// Subprocess wraps fork/exec with stdin/stdout pipes and explicit
+// lifecycle control: the coordinator needs to kill a hung worker outright
+// (SIGKILL, never cooperative — the worker may be wedged), reap every
+// child it spawned (no zombies, even when the coordinator unwinds via an
+// exception: the destructor kills and reaps), and survive a worker dying
+// mid-write (SIGPIPE is turned into an EPIPE error return by
+// ignore_sigpipe(), which spawn() installs process-wide).
+//
+// Framing: a pipe is a byte stream, so messages are delimited by a fixed
+// 20-byte header — 8-byte magic "TSELFRM1", little-endian u32 payload
+// length, little-endian u64 FNV-1a checksum of the payload. The checksum
+// catches payload corruption inside an intact frame; a bad magic or an
+// over-cap length means stream desynchronization, which FrameReader
+// reports as kCorrupt — unrecoverable for that pipe (the coordinator
+// responds by killing and respawning the worker).
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace tracesel::util {
+
+/// Installs SIG_IGN for SIGPIPE (idempotent, first call wins) so a write
+/// to a dead peer fails with EPIPE instead of killing the process.
+void ignore_sigpipe();
+
+class Subprocess {
+ public:
+  Subprocess() = default;
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+  Subprocess(Subprocess&& other) noexcept { *this = std::move(other); }
+  Subprocess& operator=(Subprocess&& other) noexcept;
+  /// Kills (SIGKILL) and reaps the child if it is still running — a
+  /// coordinator unwinding through an exception leaves no zombies behind.
+  ~Subprocess();
+
+  /// fork/exec of argv (argv[0] resolved via PATH when it has no slash),
+  /// with pipes on the child's stdin/stdout; stderr is inherited so
+  /// worker diagnostics reach the operator. The parent's read end is
+  /// non-blocking (poll-driven); the write end stays blocking. exec
+  /// failure inside the child exits 127, observed by the caller as an
+  /// immediate child death.
+  static Result<Subprocess> spawn(const std::vector<std::string>& argv);
+
+  bool valid() const { return pid_ > 0; }
+  pid_t pid() const { return pid_; }
+  int stdin_fd() const { return stdin_fd_; }
+  int stdout_fd() const { return stdout_fd_; }
+
+  /// Blocking write of the whole buffer (EINTR retried). A typed error on
+  /// EPIPE (peer died) or any other write failure.
+  Status write_all(std::string_view bytes) const;
+
+  void close_stdin();
+
+  /// SIGKILL; the caller still must wait()/try_wait() to reap.
+  void kill_hard() const;
+
+  /// Non-blocking reap. True when the child has exited (code: exit status,
+  /// or 128+signal for a signalled death); false while still running.
+  bool try_wait(int* code);
+
+  /// Blocking reap; idempotent (returns the cached code after the first).
+  int wait();
+
+ private:
+  void close_fds();
+
+  pid_t pid_ = -1;
+  int stdin_fd_ = -1;
+  int stdout_fd_ = -1;
+  bool reaped_ = false;
+  int exit_code_ = -1;
+};
+
+// --- length-prefixed framing -------------------------------------------
+
+inline constexpr char kFrameMagic[8] = {'T', 'S', 'E', 'L',
+                                        'F', 'R', 'M', '1'};
+inline constexpr std::size_t kFrameHeaderBytes = 8 + 4 + 8;
+/// Frames carry checkpoint-sized payloads; anything larger is a corrupted
+/// length field, not a legitimate message.
+inline constexpr std::size_t kMaxFrameBytes = 64u << 20;
+
+/// Header + payload as one contiguous buffer.
+std::string encode_frame(std::string_view payload);
+
+/// encode_frame + write_all on a raw fd (EINTR retried; EPIPE typed).
+Status write_frame(int fd, std::string_view payload);
+
+/// Incremental decoder: feed() raw bytes as they arrive, then drain
+/// complete frames with next(). Once a frame fails validation the stream
+/// is poisoned (kCorrupt forever) — framing cannot resynchronize.
+class FrameReader {
+ public:
+  enum class State { kFrame, kNeedMore, kCorrupt };
+
+  void feed(const char* data, std::size_t n) { buffer_.append(data, n); }
+  void feed(std::string_view bytes) { buffer_.append(bytes); }
+
+  /// Extracts the next complete frame's payload into `payload`.
+  State next(std::string& payload);
+
+  /// Human-readable reason after kCorrupt.
+  const std::string& corrupt_reason() const { return corrupt_reason_; }
+
+  /// Bytes buffered but not yet consumed (diagnostics).
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  bool corrupt_ = false;
+  std::string corrupt_reason_;
+};
+
+}  // namespace tracesel::util

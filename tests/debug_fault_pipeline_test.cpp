@@ -8,6 +8,7 @@
 
 #include "debug/case_study.hpp"
 #include "debug/observation.hpp"
+#include "debug/workbench.hpp"
 #include "debug/root_cause.hpp"
 #include "soc/fault_injector.hpp"
 #include "soc/t2_bugs.hpp"
@@ -160,6 +161,34 @@ TEST_F(FaultPipelineTest, UnusableCapturesRetryWithFreshSeeds) {
   EXPECT_EQ(r.capture_attempts, 4u);  // 1 + 3 retries
   ASSERT_FALSE(r.ranked_causes.empty());
   EXPECT_LT(r.observation.quality(), 1.0);
+}
+
+TEST_F(FaultPipelineTest, RecaptureBackoffIsSeededAndDeterministic) {
+  // Same forced-retry setup as above: every recapture must have waited a
+  // recorded delay drawn from the shared util::Backoff schedule.
+  CaseStudyOptions opt;
+  opt.faults.rate = 0.9;
+  opt.faults.kinds = {soc::FaultKind::kCorrupt};
+  opt.faults.seed = 5;
+  opt.capture_retries = 3;
+  opt.unusable_threshold = 0.01;
+  const auto cases = soc::standard_case_studies();
+  const auto r = run_case_study(design_, cases[0], opt);
+  ASSERT_EQ(r.capture_attempts, 4u);
+  ASSERT_EQ(r.recapture_delays_ms.size(), 3u);  // one delay per retry
+
+  // The recorded delays are exactly the WorkbenchConfig default policy
+  // replayed on the run-seed stream — deterministic, jittered, growing.
+  WorkbenchConfig defaults;
+  util::Backoff expected(defaults.recapture_backoff, opt.seed);
+  for (const std::uint64_t got : r.recapture_delays_ms) {
+    EXPECT_EQ(got, static_cast<std::uint64_t>(expected.next().count()));
+    EXPECT_LE(got, defaults.recapture_backoff.cap_ms);
+  }
+
+  // Bit-for-bit replay across runs.
+  const auto again = run_case_study(design_, cases[0], opt);
+  EXPECT_EQ(again.recapture_delays_ms, r.recapture_delays_ms);
 }
 
 TEST_F(FaultPipelineTest, DegradationIsMonotonicInEvidenceQuality) {

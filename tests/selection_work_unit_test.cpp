@@ -1,0 +1,211 @@
+// Work-unit wire types: envelope round-trips, frame classification, and
+// the PR-6 corruption matrix — truncation mid-envelope, version skew,
+// swapped-shard payloads — all of which must surface as typed errors the
+// coordinator can retry on (never an abort).
+
+#include "selection/work_unit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace tracesel::selection {
+namespace {
+
+SearchCheckpoint sample_state() {
+  SearchCheckpoint ck;
+  ck.spec_path = "t2";
+  ck.instances = 1;
+  ck.fingerprint = 0xfeedfacedeadbeefull;
+  ck.buffer_width = 32;
+  ck.mode = 1;
+  ck.packing = true;
+  ck.max_combinations = 1u << 20;
+  ck.seeds_total = 64;
+  ck.next_seed = 0;
+  ck.emitted = 0;
+  return ck;
+}
+
+WorkUnitRequest sample_request() {
+  WorkUnitRequest req;
+  req.unit_id = 7;
+  req.seed_begin = 8;
+  req.seed_end = 16;
+  req.heartbeat_ms = 50;
+  req.fault = DistFaultAction::kNone;
+  req.state = sample_state();
+  return req;
+}
+
+TEST(WorkUnitTest, RequestRoundTrip) {
+  const WorkUnitRequest req = sample_request();
+  const auto parsed = parse_unit_request(serialize_unit_request(req));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().unit_id, 7u);
+  EXPECT_EQ(parsed.value().seed_begin, 8u);
+  EXPECT_EQ(parsed.value().seed_end, 16u);
+  EXPECT_EQ(parsed.value().heartbeat_ms, 50u);
+  EXPECT_EQ(parsed.value().fault, DistFaultAction::kNone);
+  EXPECT_EQ(parsed.value().state.fingerprint, req.state.fingerprint);
+  EXPECT_EQ(parsed.value().state.spec_path, "t2");
+}
+
+TEST(WorkUnitTest, ReplyRoundTripCarriesChampion) {
+  WorkUnitReply reply;
+  reply.unit_id = 7;
+  reply.seed_begin = 8;
+  reply.seed_end = 16;
+  reply.cap_exceeded = true;
+  reply.state = sample_state();
+  reply.state.best_valid = true;
+  reply.state.best_gain_bits = 0x3ff8000000000000ull;  // 1.5
+  reply.state.best_width = 13;
+  reply.state.best_messages = {flow::MessageId{2}, flow::MessageId{5}};
+  reply.state.emitted = 42;
+
+  const auto parsed = parse_unit_reply(serialize_unit_reply(reply));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_TRUE(parsed.value().cap_exceeded);
+  EXPECT_TRUE(parsed.value().state.best_valid);
+  EXPECT_EQ(parsed.value().state.best_gain_bits, 0x3ff8000000000000ull);
+  EXPECT_EQ(parsed.value().state.emitted, 42u);
+  ASSERT_EQ(parsed.value().state.best_messages.size(), 2u);
+}
+
+TEST(WorkUnitTest, FaultActionRoundTrip) {
+  for (const auto action :
+       {DistFaultAction::kNone, DistFaultAction::kKillWorker,
+        DistFaultAction::kHangWorker, DistFaultAction::kCorruptFrame}) {
+    const auto parsed = parse_fault_action(to_string(action));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), action);
+  }
+  EXPECT_FALSE(parse_fault_action("set-on-fire").ok());
+}
+
+TEST(WorkUnitTest, FaultDirectiveSurvivesTheWire) {
+  WorkUnitRequest req = sample_request();
+  req.fault = DistFaultAction::kCorruptFrame;
+  const auto parsed = parse_unit_request(serialize_unit_request(req));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().fault, DistFaultAction::kCorruptFrame);
+}
+
+TEST(WorkUnitTest, ClassifyFrames) {
+  EXPECT_EQ(classify_frame(serialize_unit_request(sample_request())),
+            FrameKind::kUnitRequest);
+  WorkUnitReply reply;
+  reply.state = sample_state();
+  EXPECT_EQ(classify_frame(serialize_unit_reply(reply)),
+            FrameKind::kUnitReply);
+  EXPECT_EQ(classify_frame(serialize_heartbeat(3)), FrameKind::kHeartbeat);
+  EXPECT_EQ(classify_frame(serialize_unit_error(
+                3, util::ErrorCode::kParse, "boom")),
+            FrameKind::kUnitError);
+  EXPECT_EQ(classify_frame(kShutdownFrame), FrameKind::kShutdown);
+  EXPECT_EQ(classify_frame("who-goes-there"), FrameKind::kUnknown);
+}
+
+TEST(WorkUnitTest, HeartbeatRoundTrip) {
+  const auto id = parse_heartbeat(serialize_heartbeat(99));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id.value(), 99u);
+  EXPECT_FALSE(parse_heartbeat("tracesel-heartbeat").ok());
+  EXPECT_FALSE(parse_heartbeat("tracesel-heartbeat nope").ok());
+}
+
+TEST(WorkUnitTest, UnitErrorRoundTripKeepsSpacesInMessage) {
+  const auto parsed = parse_unit_error(serialize_unit_error(
+      5, util::ErrorCode::kCorruptCapture, "fingerprint mismatch: a b c"));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().unit_id, 5u);
+  EXPECT_EQ(parsed.value().message, "fingerprint mismatch: a b c");
+}
+
+// --- corruption matrix --------------------------------------------------
+
+/// Truncation is a typed, retryable failure: kParse when the cut hits the
+/// unit envelope itself, kCorruptCapture when it lands inside the
+/// checksummed checkpoint body. Either way the coordinator retries the
+/// unit — never aborts.
+void expect_typed_truncation_error(const util::Error& error) {
+  EXPECT_TRUE(error.code == util::ErrorCode::kParse ||
+              error.code == util::ErrorCode::kCorruptCapture)
+      << error.to_string();
+}
+
+TEST(WorkUnitCorruptionTest, TruncationMidEnvelopeIsTypedError) {
+  const std::string wire = serialize_unit_request(sample_request());
+  // Cut inside the embedded checkpoint: header intact, payload truncated.
+  for (const std::size_t keep :
+       {wire.size() / 2, wire.size() - 1, std::size_t{30}}) {
+    const auto parsed = parse_unit_request(wire.substr(0, keep));
+    ASSERT_FALSE(parsed.ok()) << "keep=" << keep;
+    expect_typed_truncation_error(parsed.error());
+  }
+}
+
+TEST(WorkUnitCorruptionTest, TruncatedReplyIsTypedError) {
+  WorkUnitReply reply;
+  reply.state = sample_state();
+  const std::string wire = serialize_unit_reply(reply);
+  const auto parsed = parse_unit_reply(wire.substr(0, wire.size() / 2));
+  ASSERT_FALSE(parsed.ok());
+  expect_typed_truncation_error(parsed.error());
+}
+
+TEST(WorkUnitCorruptionTest, VersionSkewIsTypedParseError) {
+  std::string wire = serialize_unit_request(sample_request());
+  const auto pos = wire.find("tracesel-unit-request 1");
+  ASSERT_NE(pos, std::string::npos);
+  wire.replace(pos, 23, "tracesel-unit-request 2");
+  const auto parsed = parse_unit_request(wire);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, util::ErrorCode::kParse);
+  EXPECT_NE(parsed.error().message.find("version"), std::string::npos);
+}
+
+TEST(WorkUnitCorruptionTest, PayloadBitFlipFailsChecksum) {
+  std::string wire = serialize_unit_request(sample_request());
+  wire[wire.size() / 2] ^= 0x20;  // the DistFaultInjector's own corruption
+  EXPECT_FALSE(parse_unit_request(wire).ok());
+}
+
+TEST(WorkUnitCorruptionTest, SwappedShardPayloadRejectedByValidate) {
+  const WorkUnitRequest req = sample_request();
+
+  WorkUnitReply reply;
+  reply.unit_id = req.unit_id;
+  reply.seed_begin = req.seed_begin;
+  reply.seed_end = req.seed_end;
+  reply.state = req.state;
+  ASSERT_TRUE(validate_reply(reply, req).ok());
+
+  // Reply names a different unit.
+  WorkUnitReply wrong_unit = reply;
+  wrong_unit.unit_id = req.unit_id + 1;
+  auto st = validate_reply(wrong_unit, req);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, util::ErrorCode::kCorruptCapture);
+
+  // Reply covers the wrong seed range (grafted from another unit).
+  WorkUnitReply wrong_range = reply;
+  wrong_range.seed_begin = req.seed_begin + 1;
+  EXPECT_FALSE(validate_reply(wrong_range, req).ok());
+
+  // Reply from a different search entirely (fingerprint mismatch).
+  WorkUnitReply wrong_search = reply;
+  wrong_search.state.fingerprint ^= 1;
+  st = validate_reply(wrong_search, req);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, util::ErrorCode::kCorruptCapture);
+
+  // Same search id but a different shard decomposition.
+  WorkUnitReply wrong_seeds = reply;
+  wrong_seeds.state.seeds_total += 1;
+  EXPECT_FALSE(validate_reply(wrong_seeds, req).ok());
+}
+
+}  // namespace
+}  // namespace tracesel::selection

@@ -1,0 +1,87 @@
+// util::Backoff: deterministic exponential growth, jitter bounds, cap
+// saturation, stream decorrelation, reset semantics.
+
+#include "util/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tracesel::util {
+namespace {
+
+std::vector<std::int64_t> schedule(Backoff& b, int n) {
+  std::vector<std::int64_t> out;
+  for (int i = 0; i < n; ++i) out.push_back(b.next().count());
+  return out;
+}
+
+TEST(BackoffTest, DeterministicForSameSeedAndStream) {
+  BackoffPolicy policy;
+  policy.seed = 42;
+  Backoff a(policy, 7);
+  Backoff b(policy, 7);
+  EXPECT_EQ(schedule(a, 8), schedule(b, 8));
+}
+
+TEST(BackoffTest, StreamsDecorrelate) {
+  BackoffPolicy policy;
+  policy.seed = 42;
+  Backoff a(policy, 1);
+  Backoff b(policy, 2);
+  EXPECT_NE(schedule(a, 8), schedule(b, 8));
+}
+
+TEST(BackoffTest, JitterFreeScheduleIsExactExponential) {
+  BackoffPolicy policy;
+  policy.initial_ms = 10;
+  policy.multiplier = 2.0;
+  policy.cap_ms = 100;
+  policy.jitter = 0.0;
+  Backoff b(policy);
+  EXPECT_EQ(schedule(b, 6),
+            (std::vector<std::int64_t>{10, 20, 40, 80, 100, 100}));
+}
+
+TEST(BackoffTest, JitterStaysWithinBoundsAndCap) {
+  BackoffPolicy policy;
+  policy.initial_ms = 100;
+  policy.multiplier = 2.0;
+  policy.cap_ms = 1000;
+  policy.jitter = 0.25;
+  policy.seed = 3;
+  for (std::uint64_t stream = 0; stream < 16; ++stream) {
+    Backoff b(policy, stream);
+    double base = 100.0;
+    for (int i = 0; i < 10; ++i) {
+      const auto d = static_cast<double>(b.next().count());
+      const double expect = std::min(base, 1000.0);
+      EXPECT_GE(d, expect * 0.75 - 1.0);
+      EXPECT_LE(d, 1000.0);  // jitter never pushes past the cap
+      base *= 2.0;
+    }
+  }
+}
+
+TEST(BackoffTest, ResetReplaysTheSchedule) {
+  BackoffPolicy policy;
+  policy.seed = 9;
+  Backoff b(policy, 4);
+  const auto first = schedule(b, 5);
+  EXPECT_EQ(b.attempts(), 5u);
+  b.reset();
+  EXPECT_EQ(b.attempts(), 0u);
+  EXPECT_EQ(schedule(b, 5), first);
+}
+
+TEST(BackoffTest, SubUnityMultiplierIsClampedToFlat) {
+  BackoffPolicy policy;
+  policy.initial_ms = 10;
+  policy.multiplier = 0.5;  // nonsense input: must not decay toward zero
+  policy.jitter = 0.0;
+  Backoff b(policy);
+  EXPECT_EQ(schedule(b, 3), (std::vector<std::int64_t>{10, 10, 10}));
+}
+
+}  // namespace
+}  // namespace tracesel::util

@@ -1,0 +1,188 @@
+// util::Subprocess + frame protocol: spawn/roundtrip through a real child
+// process, kill/reap lifecycle (no zombies), EPIPE on dead peers, and the
+// FrameReader state machine under partial feeds and corruption.
+
+#include "util/subprocess.hpp"
+
+#include <gtest/gtest.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <string>
+
+namespace tracesel::util {
+namespace {
+
+/// Drains the child's stdout (non-blocking fd, poll-driven) into `reader`
+/// until a frame or corruption emerges, or the timeout lapses.
+FrameReader::State pump(const Subprocess& p, FrameReader& reader,
+                        std::string& payload, int timeout_ms = 5000) {
+  for (int waited = 0; waited < timeout_ms;) {
+    const auto state = reader.next(payload);
+    if (state != FrameReader::State::kNeedMore) return state;
+    pollfd pfd{p.stdout_fd(), POLLIN, 0};
+    if (::poll(&pfd, 1, 50) <= 0) {
+      waited += 50;
+      continue;
+    }
+    char buf[4096];
+    const ssize_t n = ::read(p.stdout_fd(), buf, sizeof buf);
+    if (n > 0) reader.feed(buf, static_cast<std::size_t>(n));
+    else if (n == 0) return reader.next(payload);  // EOF: final drain
+    else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)
+      return FrameReader::State::kCorrupt;
+  }
+  return FrameReader::State::kNeedMore;
+}
+
+TEST(SubprocessTest, FrameRoundTripThroughCat) {
+  auto spawned = Subprocess::spawn({"/bin/cat"});
+  ASSERT_TRUE(spawned.ok()) << spawned.error().to_string();
+  Subprocess p = std::move(spawned).value();
+  ASSERT_TRUE(p.valid());
+
+  const std::string payload =
+      std::string("hello frames\nwith") + '\0' + "binary\x7f stuff";
+  ASSERT_TRUE(write_frame(p.stdin_fd(), payload).ok());
+  FrameReader reader;
+  std::string got;
+  EXPECT_EQ(pump(p, reader, got), FrameReader::State::kFrame);
+  EXPECT_EQ(got, payload);
+
+  p.close_stdin();  // cat sees EOF and exits cleanly
+  EXPECT_EQ(p.wait(), 0);
+}
+
+TEST(SubprocessTest, SpawnFailureIsTypedNotFatal) {
+  auto spawned = Subprocess::spawn({"/nonexistent/no-such-binary-xyz"});
+  // exec failure happens in the child (exit 127); spawn itself succeeds.
+  // Either shape is acceptable, but the parent must never crash and the
+  // child must be reapable.
+  if (spawned.ok()) {
+    Subprocess p = std::move(spawned).value();
+    EXPECT_EQ(p.wait(), 127);
+  }
+}
+
+TEST(SubprocessTest, KillHardReapsWithSignalCode) {
+  auto spawned = Subprocess::spawn({"/bin/cat"});
+  ASSERT_TRUE(spawned.ok());
+  Subprocess p = std::move(spawned).value();
+  const pid_t pid = p.pid();
+  p.kill_hard();
+  const int code = p.wait();
+  EXPECT_EQ(code, 128 + SIGKILL);
+  // Reaped: a second waitpid on the pid must say "no such child".
+  EXPECT_EQ(::waitpid(pid, nullptr, WNOHANG), -1);
+  EXPECT_EQ(errno, ECHILD);
+}
+
+TEST(SubprocessTest, DestructorLeavesNoZombie) {
+  pid_t pid = -1;
+  {
+    auto spawned = Subprocess::spawn({"/bin/cat"});
+    ASSERT_TRUE(spawned.ok());
+    pid = spawned.value().pid();
+  }  // destructor: SIGKILL + reap
+  EXPECT_EQ(::waitpid(pid, nullptr, WNOHANG), -1);
+  EXPECT_EQ(errno, ECHILD);
+}
+
+TEST(SubprocessTest, WriteToDeadChildIsEpipeNotSigpipe) {
+  ignore_sigpipe();
+  auto spawned = Subprocess::spawn({"/bin/true"});
+  ASSERT_TRUE(spawned.ok());
+  Subprocess p = std::move(spawned).value();
+  p.wait();  // child exited; its stdin read end is gone
+  // Large enough to defeat the pipe buffer on every platform.
+  const std::string big(1u << 20, 'x');
+  Status st = Status::success();
+  for (int i = 0; i < 8 && st.ok(); ++i) st = p.write_all(big);
+  EXPECT_FALSE(st.ok());  // EPIPE surfaced as a typed error, process alive
+}
+
+TEST(SubprocessTest, TryWaitReportsRunningThenExit) {
+  auto spawned = Subprocess::spawn({"/bin/cat"});
+  ASSERT_TRUE(spawned.ok());
+  Subprocess p = std::move(spawned).value();
+  int code = -1;
+  EXPECT_FALSE(p.try_wait(&code));  // still blocked on stdin
+  p.close_stdin();
+  EXPECT_EQ(p.wait(), 0);
+}
+
+// --- FrameReader ---------------------------------------------------------
+
+TEST(FrameReaderTest, ByteAtATimeFeedStillDecodes) {
+  const std::string wire = encode_frame("abc") + encode_frame("");
+  FrameReader reader;
+  std::string payload;
+  std::vector<std::string> frames;
+  for (char c : wire) {
+    reader.feed(&c, 1);
+    while (reader.next(payload) == FrameReader::State::kFrame)
+      frames.push_back(payload);
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0], "abc");
+  EXPECT_EQ(frames[1], "");
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameReaderTest, ChecksumMismatchPoisonsForever) {
+  std::string wire = encode_frame("payload bytes");
+  wire.back() ^= 0x01;  // flip one payload bit
+  FrameReader reader;
+  reader.feed(wire);
+  std::string payload;
+  EXPECT_EQ(reader.next(payload), FrameReader::State::kCorrupt);
+  EXPECT_FALSE(reader.corrupt_reason().empty());
+  // Poisoned: even a pristine follow-up frame is rejected.
+  reader.feed(encode_frame("fine"));
+  EXPECT_EQ(reader.next(payload), FrameReader::State::kCorrupt);
+}
+
+TEST(FrameReaderTest, BadMagicIsCorrupt) {
+  std::string wire = encode_frame("x");
+  wire[0] = 'Z';
+  FrameReader reader;
+  reader.feed(wire);
+  std::string payload;
+  EXPECT_EQ(reader.next(payload), FrameReader::State::kCorrupt);
+}
+
+TEST(FrameReaderTest, GarbageShorterThanHeaderIsCorruptImmediately) {
+  // A bad magic must be detected on the prefix that has arrived, not
+  // deferred until a full header accumulates (it never would: this is
+  // what a human typing at a worker's stdin looks like).
+  FrameReader reader;
+  reader.feed("not a frame at all\n");
+  std::string payload;
+  EXPECT_EQ(reader.next(payload), FrameReader::State::kCorrupt);
+}
+
+TEST(FrameReaderTest, OversizedLengthIsCorruptNotAllocation) {
+  std::string wire = encode_frame("x");
+  // Length field (little-endian u32 at offset 8): claim ~4 GiB.
+  wire[8] = wire[9] = wire[10] = wire[11] = '\xff';
+  FrameReader reader;
+  reader.feed(wire);
+  std::string payload;
+  EXPECT_EQ(reader.next(payload), FrameReader::State::kCorrupt);
+}
+
+TEST(FrameReaderTest, NeedMoreUntilPayloadComplete) {
+  const std::string wire = encode_frame("0123456789");
+  FrameReader reader;
+  std::string payload;
+  reader.feed(wire.substr(0, kFrameHeaderBytes + 4));
+  EXPECT_EQ(reader.next(payload), FrameReader::State::kNeedMore);
+  reader.feed(wire.substr(kFrameHeaderBytes + 4));
+  EXPECT_EQ(reader.next(payload), FrameReader::State::kFrame);
+  EXPECT_EQ(payload, "0123456789");
+}
+
+}  // namespace
+}  // namespace tracesel::util

@@ -22,6 +22,21 @@
 //       --mem-budget-mb N   degrade (never abort) when the interleaving or
 //                        the Step 2 search would exceed N MiB
 //       --shard-budget N    explore at most N shards, then stop partial
+//     distributed (docs/distributed.md):
+//       --workers N      farm the search to N worker processes (this
+//                        binary re-invoked as `tracesel --worker`);
+//                        bit-identical to the in-process result
+//       --unit-size N    seeds per work unit (0 = auto)
+//       --unit-deadline-ms N  inactivity deadline before a unit is
+//                        reassigned                     (default 30000)
+//       --max-retries N  retries per unit before in-process salvage
+//       --dist-kill-rate R / --dist-hang-rate R / --dist-corrupt-rate R
+//                        seeded fault injection into worker dispatches
+//                        (testing; see DistFaultInjector)
+//       --dist-fault-seed N   fault schedule seed       (default 1)
+//   tracesel --worker                                   worker-process mode
+//       (internal: spawned by --workers; speaks the work-unit frame
+//       protocol on stdin/stdout)
 //   tracesel dot <spec.flow> <flow-name>             Graphviz of one flow
 //   tracesel lint <spec.flow> [--buffer N] [--lenient]
 //       --lenient        accumulate parse errors instead of stopping at
@@ -65,6 +80,7 @@
 #include "soc/vcd.hpp"
 #include "util/log.hpp"
 #include "util/obs.hpp"
+#include "util/subprocess.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -76,6 +92,10 @@ using namespace tracesel;
 /// the interesting one).
 std::string g_trace_out;
 std::string g_metrics_out;
+
+/// argv[0] as invoked, so --workers can re-exec this binary in --worker
+/// mode (the worker inherits our cwd, so a relative path still resolves).
+std::string g_argv0 = "tracesel";
 
 /// Process-wide cancellation token, created before the signal handlers are
 /// installed so cancel() (one lock-free store) is safe from them.
@@ -117,6 +137,10 @@ int usage() {
                " [--resume FILE]\n"
                "                 [--deadline-ms N] [--mem-budget-mb N]"
                " [--shard-budget N]\n"
+               "                 [--workers N] [--unit-size N]"
+               " [--unit-deadline-ms N] [--max-retries N]\n"
+               "                 [--dist-kill-rate R] [--dist-hang-rate R]"
+               " [--dist-corrupt-rate R] [--dist-fault-seed N]\n"
                "  tracesel dot <spec.flow> <flow-name>\n"
                "  tracesel lint <spec.flow> [--buffer N] [--lenient]\n"
                "  tracesel debug <case 1..5> [--no-packing] [--vcd FILE]"
@@ -177,6 +201,7 @@ int cmd_select(int argc, char** argv) {
   std::string structural_flag;  // first structural flag seen, for diagnostics
   bool checkpoint_given = false;
   std::uint64_t deadline_ms = 0;
+  selection::DistConfig dist;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -205,6 +230,19 @@ int cmd_select(int argc, char** argv) {
       if (cfg.checkpoint_interval == 0)
         throw std::runtime_error("--checkpoint-interval must be >= 1");
     } else if (arg == "--resume") resume_path = next();
+    else if (arg == "--workers") dist.workers = std::stoul(next());
+    else if (arg == "--unit-size") dist.unit_size = std::stoul(next());
+    else if (arg == "--unit-deadline-ms")
+      dist.unit_deadline_ms = std::stoull(next());
+    else if (arg == "--max-retries") dist.max_retries = std::stoul(next());
+    else if (arg == "--dist-kill-rate")
+      dist.faults.kill_rate = parse_number(next(), "--dist-kill-rate");
+    else if (arg == "--dist-hang-rate")
+      dist.faults.hang_rate = parse_number(next(), "--dist-hang-rate");
+    else if (arg == "--dist-corrupt-rate")
+      dist.faults.corrupt_rate = parse_number(next(), "--dist-corrupt-rate");
+    else if (arg == "--dist-fault-seed")
+      dist.faults.seed = std::stoull(next());
     else if (arg == "--deadline-ms") deadline_ms = std::stoull(next());
     else if (arg == "--mem-budget-mb") cfg.mem_budget_mb = std::stoul(next());
     else if (arg == "--shard-budget") cfg.shard_budget = std::stoul(next());
@@ -271,7 +309,13 @@ int cmd_select(int argc, char** argv) {
     return s;
   }();
 
-  const auto r = session.select();
+  if (dist.workers > 0 && !resume_path.empty())
+    throw std::runtime_error("--resume is in-process only; drop --workers");
+  const auto r = [&]() {
+    if (dist.workers == 0) return session.select();
+    dist.worker_argv = {g_argv0, "--worker"};
+    return session.run_distributed(dist);
+  }();
   int rc = 0;
   if (r.partial) {
     std::cerr << "interrupted: partial result, "
@@ -433,6 +477,14 @@ int dispatch(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
+    if (cmd == "--worker") {
+      // Worker-process mode (spawned by --workers): speak the work-unit
+      // frame protocol on stdin/stdout. Nothing else may touch stdout —
+      // logging already goes to stderr. A coordinator that dies mid-write
+      // must surface as EPIPE on our next reply, not SIGPIPE.
+      util::ignore_sigpipe();
+      return selection::run_worker(0, 1, Session::worker_engine);
+    }
     if (cmd == "inspect" && argc == 3) return cmd_inspect(argv[2]);
     if (cmd == "select" && argc >= 3)
       return cmd_select(argc - 2, argv + 2);
@@ -514,6 +566,7 @@ int main(int argc, char** argv) {
   // signal outside such a stage — exits immediately.
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
+  if (argc > 0) g_argv0 = argv[0];
 
   // Strip the global observability/logging options (valid anywhere on the
   // command line) before subcommand dispatch.

@@ -5,6 +5,11 @@
 // mutual information gain, and reports the selected combination, its flow
 // specification coverage, and a localization query — reproducing every
 // number the paper works out by hand (I = 1.073, coverage = 0.7333).
+//
+// Uses the query API (PR 7): QueryCore turns a Workload + JobRequest into
+// a selection with no hidden state. Long-lived embedders that run many
+// queries share an ArtifactStore so repeated requests are memoized; the
+// stateful tracesel::Session facade remains for incremental exploration.
 
 #include <iostream>
 #include <utility>
@@ -31,26 +36,30 @@ int main() {
       .transition("GntW", ack, "Done");
   spec.flows.push_back(builder.build(spec.catalog));
 
-  // The Session owns the spec from here on; everything below goes through
-  // the facade.
-  auto session = Session::from_spec(std::move(spec));
-  const flow::MessageCatalog& catalog = session.catalog();
-  const flow::Flow& coherence = session.spec().flow("CacheCoherence");
+  // The Workload owns the spec from here on; QueryCore's stateless
+  // functions do the rest.
+  auto workload = QueryCore::workload_from_spec(std::move(spec));
+  const flow::MessageCatalog& catalog = *workload->catalog;
+  const flow::Flow& coherence = workload->spec->flow("CacheCoherence");
   std::cout << "Flow '" << coherence.name() << "': "
             << coherence.num_states() << " states, "
             << coherence.messages().size() << " messages\n";
 
   // --- 2. Interleave two legally indexed instances (Fig. 2) ---
-  session.interleave(2);
-  const flow::InterleavedFlow& u = session.interleaving();
+  QueryCore::interleave(*workload, 2, flow::InterleaveOptions{});
+  const flow::InterleavedFlow& u = *workload->u;
   std::cout << "Interleaved flow: " << u.num_product_states() << " states, "
             << u.num_product_edges() << " indexed-message occurrences (paper: "
             << "15 states, 18 occurrences; materialized as " << u.num_nodes()
             << " symmetry-reduced orbit nodes)\n";
 
   // --- 3. Select messages for a 2-bit trace buffer (Sec. 3.1-3.2) ---
-  session.config().buffer_width = 2;
-  const auto result = session.select();
+  // One versioned JobRequest carries every selection knob; the same
+  // request submitted to a traceseld daemon returns the same answer.
+  JobRequest request;
+  request.buffer_width = 2;
+  QueryCore::ensure_selectors(*workload);
+  const auto result = QueryCore::select(*workload, request, {});
 
   std::cout << "Selected combination:";
   for (const auto m : result.combination.messages)
@@ -65,7 +74,7 @@ int main() {
   // --- 4. Localize an observed trace (Sec. 3.2's example) ---
   const std::vector<flow::IndexedMessage> observed{
       {reqE, 1}, {gntE, 1}, {reqE, 2}};
-  const auto loc = session.localize(observed);
+  const auto loc = selection::localize(u, result.observable(), observed);
   std::cout << "Observing {1:ReqE, 1:GntE, 2:ReqE} leaves "
             << loc.consistent_paths << " of " << loc.total_paths
             << " executions consistent ("

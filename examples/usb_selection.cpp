@@ -31,11 +31,14 @@ int main() {
   std::cout << "\n\n";
 
   // --- Application-level selection on the rx/tx flows ---
-  // The session borrows usb's catalog, which outlives it here.
-  auto session =
-      tracesel::Session::from_interleaving(usb.catalog(), usb.interleaving(2));
-  const flow::InterleavedFlow& u = session.interleaving();
-  const auto infogain = session.select();
+  // The workload borrows usb's catalog, which outlives it here; a default
+  // JobRequest is the paper's 32-bit maximal-mode selection.
+  auto workload = tracesel::QueryCore::workload_from_interleaving(
+      usb.catalog(), usb.interleaving(2));
+  const flow::InterleavedFlow& u = *workload->u;
+  tracesel::QueryCore::ensure_selectors(*workload);
+  const auto infogain =
+      tracesel::QueryCore::select(*workload, tracesel::JobRequest{}, {});
   std::cout << "InfoGain (message selection on UsbRx ||| UsbTx):\n  ";
   for (const auto m : infogain.combination.messages)
     std::cout << usb.catalog().get(m).name << ' ';

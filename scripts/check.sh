@@ -9,7 +9,9 @@
 #     tests, the sharded obs metrics registry, the parallel selection
 #     engine, the Monte-Carlo trial fan-out and the Session facade, the
 #     cancellation / checkpoint-resume races (Resilience, KillResume,
-#     CancelToken), plus the --jobs CLI smoke tests.
+#     CancelToken), the query layer's shared ArtifactStore and the
+#     traceseld daemon's multi-tenant job handling (Query, ArtifactStore,
+#     Service), plus the --jobs CLI smoke tests.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,4 +27,4 @@ cmake -B "$TSAN_BUILD_DIR" -S . -DTRACESEL_SANITIZE=thread
 cmake --build "$TSAN_BUILD_DIR" -j
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$(nproc)" \
-    -R 'ThreadPool|Parallel|MonteCarlo|Session|Obs|Resilience|KillResume|CancelToken|cli_select_jobs|cli_debug_jobs'
+    -R 'ThreadPool|Parallel|MonteCarlo|Session|Obs|Resilience|KillResume|CancelToken|ArtifactStore|QueryCore|Service|Framing|cli_select_jobs|cli_debug_jobs'

@@ -6,6 +6,7 @@
 #include "flow/interleaved_flow.hpp"
 #include "selection/selector.hpp"
 #include "util/atomic_file.hpp"
+#include "util/framing.hpp"
 
 namespace tracesel::selection {
 
@@ -117,42 +118,20 @@ std::string serialize_checkpoint(const SearchCheckpoint& ck) {
   }
   body << "end\n";
 
-  const std::string payload = body.str();
-  std::ostringstream out;
-  out << "tracesel-checkpoint " << SearchCheckpoint::kVersion << ' ';
-  append_hex(out, util::fnv1a64(payload));
-  out << '\n' << payload;
-  return out.str();
+  // The "tracesel-checkpoint <version> <checksum>" envelope is the shared
+  // util codec, so work units and daemon job requests validate the same way.
+  return util::encode_envelope("tracesel-checkpoint", SearchCheckpoint::kVersion,
+                               body.str());
 }
 
 util::Result<SearchCheckpoint> parse_checkpoint(std::string_view text) {
-  std::istringstream stream{std::string(text)};
-  std::string line;
-  std::size_t lineno = 0;
+  const auto payload = util::decode_envelope(
+      text, "tracesel-checkpoint", SearchCheckpoint::kVersion, "checkpoint");
+  if (!payload.ok()) return payload.error();
 
-  if (!std::getline(stream, line))
-    return malformed(1, "empty checkpoint");
-  ++lineno;
-  {
-    const auto header = split(line);
-    std::uint64_t version = 0;
-    std::uint64_t checksum = 0;
-    if (header.size() != 3 || header[0] != "tracesel-checkpoint" ||
-        !to_u64(header[1], version) || !to_u64(header[2], checksum, 16))
-      return malformed(lineno, "bad envelope header");
-    if (version != SearchCheckpoint::kVersion)
-      return util::Result<SearchCheckpoint>::err(
-          util::ErrorCode::kParse,
-          "checkpoint version " + std::to_string(version) +
-              " is not supported (expected " +
-              std::to_string(SearchCheckpoint::kVersion) + ")");
-    const std::size_t payload_at = text.find('\n');
-    const std::string_view payload = text.substr(payload_at + 1);
-    if (util::fnv1a64(payload) != checksum)
-      return util::Result<SearchCheckpoint>::err(
-          util::ErrorCode::kCorruptCapture,
-          "checkpoint checksum mismatch (truncated or corrupted file)");
-  }
+  std::istringstream stream{std::string(payload.value())};
+  std::string line;
+  std::size_t lineno = 1;  // line 1 is the envelope header
 
   SearchCheckpoint ck;
   bool saw_end = false;

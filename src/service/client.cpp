@@ -1,0 +1,187 @@
+#include "service/client.hpp"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "util/subprocess.hpp"
+
+namespace tracesel::service {
+
+namespace {
+constexpr int kPollMs = 100;
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), reader_(std::move(other.reader_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    reader_ = std::move(other.reader_);
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+util::Result<Client> Client::connect(const std::string& socket_path) {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path))
+    return util::Result<Client>::err(
+        util::ErrorCode::kInvalidArgument,
+        "socket path '" + socket_path + "' exceeds the sun_path limit");
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size());
+
+  util::ignore_sigpipe();
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0)
+    return util::Result<Client>::err(
+        util::ErrorCode::kInternal,
+        std::string("socket failed: ") + std::strerror(errno));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return util::Result<Client>::err(
+        util::ErrorCode::kInvalidArgument,
+        "cannot reach traceseld at " + socket_path + ": " +
+            std::strerror(err) + " (is the daemon running?)");
+  }
+  Client c;
+  c.fd_ = fd;
+  return c;
+}
+
+util::Status Client::send_payload(const std::string& payload) {
+  if (fd_ < 0)
+    return util::Error{util::ErrorCode::kInvalidArgument, "not connected"};
+  return util::write_frame(fd_, payload);
+}
+
+util::Result<Message> Client::next_message(const util::CancelToken* cancel,
+                                           bool* sent_cancel) {
+  using R = util::Result<Message>;
+  char buf[4096];
+  std::string payload;
+  for (;;) {
+    // Drain frames already buffered before touching the socket.
+    const auto st = reader_.next(payload);
+    if (st == util::FrameReader::State::kFrame) {
+      auto msg = parse_message(payload);
+      if (!msg.ok()) return msg.error();
+      return std::move(msg).value();
+    }
+    if (st == util::FrameReader::State::kCorrupt)
+      return R::err(util::ErrorCode::kCorruptCapture,
+                    "traceseld stream corrupt: " + reader_.corrupt_reason());
+
+    // Relay a local cancellation once, then keep waiting: the server's
+    // result frame is the authoritative outcome of the cancelled job.
+    if (cancel && sent_cancel && !*sent_cancel && cancel->cancelled()) {
+      *sent_cancel = true;
+      auto ws = send_payload(encode_simple(MessageType::kCancel));
+      if (!ws.ok()) return ws.error();
+    }
+
+    pollfd pfd{fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, kPollMs);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return R::err(util::ErrorCode::kInternal,
+                    std::string("poll failed: ") + std::strerror(errno));
+    }
+    if (pr == 0) continue;
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return R::err(util::ErrorCode::kInternal,
+                    std::string("read failed: ") + std::strerror(errno));
+    }
+    if (n == 0)
+      return R::err(util::ErrorCode::kInternal,
+                    "traceseld closed the connection");
+    reader_.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+util::Result<JobOutcome> Client::submit(const JobRequest& request,
+                                        util::CancelToken cancel,
+                                        const EventFn& on_event) {
+  auto ws = send_payload(encode_submit(request));
+  if (!ws.ok()) return ws.error();
+  bool sent_cancel = false;
+  for (;;) {
+    auto msg = next_message(&cancel, &sent_cancel);
+    if (!msg.ok()) return msg.error();
+    Message& m = msg.value();
+    switch (m.type) {
+      case MessageType::kEvent:
+        if (on_event) on_event(m.text, m.position);
+        break;
+      case MessageType::kResult:
+        return std::move(m.outcome);
+      case MessageType::kError:
+        return util::Result<JobOutcome>::err(util::ErrorCode::kInvalidArgument,
+                                             "traceseld rejected the job: " +
+                                                 m.text);
+      case MessageType::kOk:
+        break;  // ack of our cancel frame
+      default:
+        return util::Result<JobOutcome>::err(
+            util::ErrorCode::kParse, "unexpected reply while awaiting result");
+    }
+  }
+}
+
+util::Result<std::string> Client::stats() {
+  auto ws = send_payload(encode_simple(MessageType::kStats));
+  if (!ws.ok()) return ws.error();
+  auto msg = next_message(nullptr, nullptr);
+  if (!msg.ok()) return msg.error();
+  if (msg.value().type == MessageType::kError)
+    return util::Result<std::string>::err(util::ErrorCode::kInternal,
+                                          msg.value().text);
+  if (msg.value().type != MessageType::kStatsResult)
+    return util::Result<std::string>::err(
+        util::ErrorCode::kParse, "unexpected reply to stats request");
+  return std::move(msg.value().text);
+}
+
+util::Status Client::ping() {
+  auto ws = send_payload(encode_simple(MessageType::kPing));
+  if (!ws.ok()) return ws;
+  auto msg = next_message(nullptr, nullptr);
+  if (!msg.ok()) return msg.error();
+  if (msg.value().type != MessageType::kPong)
+    return util::Error{util::ErrorCode::kParse, "unexpected reply to ping"};
+  return util::Status::success();
+}
+
+util::Status Client::stop() {
+  auto ws = send_payload(encode_simple(MessageType::kStop));
+  if (!ws.ok()) return ws;
+  auto msg = next_message(nullptr, nullptr);
+  if (!msg.ok()) return msg.error();
+  if (msg.value().type == MessageType::kError)
+    return util::Error{util::ErrorCode::kInternal, msg.value().text};
+  if (msg.value().type != MessageType::kOk)
+    return util::Error{util::ErrorCode::kParse, "unexpected reply to stop"};
+  return util::Status::success();
+}
+
+}  // namespace tracesel::service

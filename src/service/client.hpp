@@ -1,0 +1,65 @@
+#pragma once
+// tracesel::service::Client — blocking client for the traceseld daemon.
+//
+// Connects to the daemon's Unix socket and speaks the framed protocol
+// (protocol.hpp). submit() blocks until the result frame arrives, invoking
+// an optional callback for each lifecycle event (queued/started) and
+// forwarding a local CancelToken to the server as a cancel frame so Ctrl-C
+// on the client cancels the remote job cooperatively.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "service/protocol.hpp"
+#include "tracesel/job_request.hpp"
+#include "util/cancel.hpp"
+#include "util/framing.hpp"
+#include "util/result.hpp"
+
+namespace tracesel::service {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to a daemon's Unix socket. Typed error when the path is too
+  /// long, the socket is absent, or nobody is listening.
+  static util::Result<Client> connect(const std::string& socket_path);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Lifecycle callback: status ("queued"/"started") and queue position.
+  using EventFn =
+      std::function<void(std::string_view status, std::uint64_t position)>;
+
+  /// Submits a job and blocks until its result frame. When `cancel` fires
+  /// a cancel frame is sent and the call keeps waiting for the server's
+  /// (now cancelled/partial) result, so the outcome status is authoritative.
+  util::Result<JobOutcome> submit(const JobRequest& request,
+                                  util::CancelToken cancel = {},
+                                  const EventFn& on_event = {});
+
+  /// The daemon's flat stats JSON (jobs.* and store.* counters).
+  util::Result<std::string> stats();
+  util::Status ping();
+  /// Asks the daemon to drain and exit; resolves once the daemon acks.
+  util::Status stop();
+
+ private:
+  util::Result<Message> next_message(const util::CancelToken* cancel,
+                                     bool* sent_cancel);
+  util::Status send_payload(const std::string& payload);
+
+  int fd_ = -1;
+  util::FrameReader reader_;
+};
+
+}  // namespace tracesel::service

@@ -1,0 +1,455 @@
+#include "service/server.hpp"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "debug/serialize.hpp"
+#include "tracesel/query_core.hpp"
+#include "util/framing.hpp"
+#include "util/log.hpp"
+#include "util/obs.hpp"
+#include "util/subprocess.hpp"
+
+namespace tracesel::service {
+
+namespace {
+
+/// The accept/connection poll slice: long enough to stay cheap, short
+/// enough that shutdown and job completion are noticed promptly.
+constexpr int kPollMs = 100;
+
+/// Per-job obs metrics: the delta of this thread's counter shard across
+/// the job (obs.hpp thread_counter_values). Empty string when the obs
+/// layer is off.
+std::string metrics_delta_json(
+    const std::vector<std::pair<std::string, std::uint64_t>>& before,
+    const std::vector<std::pair<std::string, std::uint64_t>>& after) {
+  if (!obs::enabled()) return {};
+  util::Json j = util::Json::object();
+  std::size_t bi = 0;
+  for (const auto& [name, value] : after) {
+    std::uint64_t prev = 0;
+    // Both vectors are in registration (id) order; advance in lockstep.
+    while (bi < before.size() && before[bi].first != name) ++bi;
+    if (bi < before.size()) prev = before[bi].second;
+    if (value > prev) j.set(name, util::Json::number(value - prev));
+  }
+  return j.dump();
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {
+  if (options_.runners == 0) options_.runners = 1;
+}
+
+Server::~Server() {
+  begin_drain();
+  for (auto& t : runners_)
+    if (t.joinable()) t.join();
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (auto& t : conns_)
+      if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(options_.socket_path.c_str());
+  }
+}
+
+util::Status Server::start() {
+  if (options_.socket_path.empty())
+    return util::Error{util::ErrorCode::kInvalidArgument,
+                       "traceseld: no socket path"};
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path))
+    return util::Error{util::ErrorCode::kInvalidArgument,
+                       "traceseld: socket path '" + options_.socket_path +
+                           "' exceeds the sun_path limit (" +
+                           std::to_string(sizeof(addr.sun_path) - 1) +
+                           " chars); use a shorter path"};
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size());
+
+  util::ignore_sigpipe();  // a vanished client surfaces as EPIPE, not SIGPIPE
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0)
+    return util::Error{util::ErrorCode::kInternal,
+                       std::string("traceseld: socket failed: ") +
+                           std::strerror(errno)};
+  ::unlink(options_.socket_path.c_str());  // stale socket from a dead daemon
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return util::Error{util::ErrorCode::kInternal,
+                       "traceseld: bind(" + options_.socket_path +
+                           ") failed: " + std::strerror(err)};
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return util::Error{util::ErrorCode::kInternal,
+                       std::string("traceseld: listen failed: ") +
+                           std::strerror(err)};
+  }
+
+  started_at_ = std::chrono::steady_clock::now();
+  runners_.reserve(options_.runners);
+  for (std::size_t i = 0; i < options_.runners; ++i)
+    runners_.emplace_back([this] { runner_main(); });
+  util::Log(util::LogLevel::kInfo)
+      << "traceseld: listening on " << options_.socket_path << " ("
+      << options_.runners << " runner(s))";
+  return util::Status::success();
+}
+
+int Server::serve() {
+  while (!draining()) {
+    if (options_.shutdown.cancelled()) break;
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, kPollMs);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      util::Log(util::LogLevel::kError)
+          << "traceseld: poll failed: " << std::strerror(errno);
+      break;
+    }
+    if (r == 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+    if (cfd < 0) continue;
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    conns_.emplace_back([this, cfd] { connection_main(cfd); });
+  }
+
+  // Drain-and-exit: no new connections or submissions; queued jobs finish
+  // and every waiting client gets its result frame before we return.
+  begin_drain();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(options_.socket_path.c_str());
+  for (auto& t : runners_) t.join();
+  runners_.clear();
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& t : conns) t.join();
+  util::Log(util::LogLevel::kInfo) << "traceseld: drained, exiting";
+  return 0;
+}
+
+void Server::begin_drain() {
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    draining_.store(true, std::memory_order_relaxed);
+  }
+  queue_cv_.notify_all();
+}
+
+std::shared_ptr<Server::Job> Server::enqueue(JobRequest request,
+                                             std::string& why) {
+  std::lock_guard<std::mutex> lk(queue_mu_);
+  if (draining()) {
+    why = "server is shutting down";
+    return nullptr;
+  }
+  if (queue_.size() >= options_.max_queue) {
+    why = "job queue is full (" + std::to_string(options_.max_queue) + ")";
+    return nullptr;
+  }
+  auto job = std::make_shared<Job>();
+  job->id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
+  job->request = std::move(request);
+  queue_.push_back(job);
+  {
+    std::lock_guard<std::mutex> slk(stats_mu_);
+    ++stats_.submitted;
+  }
+  queue_cv_.notify_one();
+  return job;
+}
+
+std::shared_ptr<Server::Job> Server::pop_job() {
+  std::unique_lock<std::mutex> lk(queue_mu_);
+  queue_cv_.wait(lk, [this] { return !queue_.empty() || draining(); });
+  if (queue_.empty()) return nullptr;  // draining
+  auto job = queue_.front();
+  queue_.pop_front();
+  return job;
+}
+
+void Server::runner_main() {
+  while (auto job = pop_job()) run_job(*job);
+}
+
+void Server::run_job(Job& job) {
+  {
+    std::lock_guard<std::mutex> lk(job.mu);
+    job.state = Job::State::kRunning;
+  }
+  job.cv.notify_all();
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.running;
+  }
+  // The deadline starts when the job starts — queue time must not eat a
+  // client's compute budget.
+  if (job.request.deadline_ms > 0)
+    job.cancel.set_timeout(std::chrono::milliseconds(job.request.deadline_ms));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto before = obs::registry().thread_counter_values();
+
+  JobOutcome out;
+  out.job_id = job.id;
+  try {
+    auto run = QueryCore::run(job.request, &store_, job.cancel);
+    if (!run.ok()) {
+      out.status = "error";
+      out.error = run.error().to_string();
+    } else {
+      const QueryCore::Outcome& o = run.value();
+      out.cache_hit = o.result_cache_hit;
+      out.workload_cache_hit = o.workload_cache_hit;
+      // The exact bytes `tracesel select --json` prints, so clients can
+      // diff daemon answers against the single-process CLI.
+      out.report_json =
+          selection::to_json(*o.workload->catalog, *o.result).dump(2);
+      out.status = !o.result->partial
+                       ? "ok"
+                       : (job.client_cancelled.load(std::memory_order_relaxed)
+                              ? "cancelled"
+                              : "partial");
+    }
+  } catch (const util::CancelledError& e) {
+    // A stage with no partial form (parse, interleave build) unwound.
+    out.status = job.client_cancelled.load(std::memory_order_relaxed)
+                     ? "cancelled"
+                     : "partial";
+    out.error = e.what();
+  } catch (const std::exception& e) {
+    out.status = "error";
+    out.error = e.what();
+  }
+
+  out.metrics_json =
+      metrics_delta_json(before, obs::registry().thread_counter_values());
+  out.elapsed_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    --stats_.running;
+    if (out.status == "ok") ++stats_.completed;
+    else if (out.status == "partial") ++stats_.partial;
+    else if (out.status == "cancelled") ++stats_.cancelled;
+    else ++stats_.errors;
+  }
+  {
+    std::lock_guard<std::mutex> lk(job.mu);
+    job.outcome = std::move(out);
+    job.state = Job::State::kDone;
+  }
+  job.cv.notify_all();
+}
+
+void Server::connection_main(int fd) {
+  util::FrameReader reader(options_.max_frame_bytes);
+  char buf[4096];
+  std::shared_ptr<Job> active;
+  bool started_sent = false;
+  bool peer_gone = false;
+
+  const auto send = [&](const std::string& payload) {
+    if (peer_gone) return;
+    if (!util::write_frame(fd, payload).ok()) peer_gone = true;
+  };
+  const auto cancel_active = [&] {
+    if (active) {
+      active->client_cancelled.store(true, std::memory_order_relaxed);
+      active->cancel.cancel();
+    }
+  };
+
+  while (!peer_gone) {
+    if (active) {
+      // Watch the job between socket polls; stream lifecycle transitions.
+      Job::State state;
+      JobOutcome outcome;
+      {
+        std::lock_guard<std::mutex> lk(active->mu);
+        state = active->state;
+        if (state == Job::State::kDone) outcome = active->outcome;
+      }
+      if (state != Job::State::kQueued && !started_sent) {
+        send(encode_event("started", 0));
+        started_sent = true;
+      }
+      if (state == Job::State::kDone) {
+        send(encode_result(outcome));
+        active.reset();
+        started_sent = false;
+        continue;
+      }
+      // Block on the job's cv (run_job notifies every transition) so the
+      // result streams without polling latency; time out at kPollMs to
+      // keep watching the socket for cancel frames and disconnects.
+      {
+        std::unique_lock<std::mutex> lk(active->mu);
+        active->cv.wait_for(lk, std::chrono::milliseconds(kPollMs), [&] {
+          return active->state != (started_sent ? Job::State::kRunning
+                                                : Job::State::kQueued);
+        });
+      }
+    } else if (draining()) {
+      break;  // idle connection during drain
+    }
+
+    pollfd pfd{fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, active ? 0 : kPollMs);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (pr == 0) continue;
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) {
+      // Disconnect cancels the client's in-flight job: nobody is waiting
+      // for the answer, so stop burning the machine on it.
+      cancel_active();
+      break;
+    }
+    reader.feed(buf, static_cast<std::size_t>(n));
+
+    std::string payload;
+    while (!peer_gone) {
+      const auto st = reader.next(payload);
+      if (st == util::FrameReader::State::kNeedMore) break;
+      if (st == util::FrameReader::State::kCorrupt) {
+        // Malformed/oversized frame: typed rejection, then drop the
+        // connection — the stream cannot be resynchronized.
+        {
+          std::lock_guard<std::mutex> lk(stats_mu_);
+          ++stats_.protocol_errors;
+        }
+        send(encode_error("protocol error: " + reader.corrupt_reason()));
+        peer_gone = true;
+        break;
+      }
+      auto msg = parse_message(payload);
+      if (!msg.ok()) {
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        ++stats_.protocol_errors;
+        send(encode_error(msg.error().to_string()));
+        continue;
+      }
+      Message& m = msg.value();
+      switch (m.type) {
+        case MessageType::kPing:
+          send(encode_simple(MessageType::kPong));
+          break;
+        case MessageType::kStats:
+          send(encode_stats_result(stats_json().dump(2)));
+          break;
+        case MessageType::kStop:
+          begin_drain();
+          send(encode_simple(MessageType::kOk));
+          break;
+        case MessageType::kCancel:
+          cancel_active();
+          send(encode_simple(MessageType::kOk));
+          break;
+        case MessageType::kSubmit: {
+          if (active) {
+            send(encode_error(
+                "a job is already in flight on this connection"));
+            break;
+          }
+          std::string why;
+          auto job = enqueue(std::move(m.request), why);
+          if (!job) {
+            std::lock_guard<std::mutex> lk(stats_mu_);
+            ++stats_.rejected;
+            send(encode_error(why));
+            break;
+          }
+          std::uint64_t position = 0;
+          {
+            std::lock_guard<std::mutex> lk(queue_mu_);
+            position = queue_.size();  // 0 = already claimed by a runner
+          }
+          active = std::move(job);
+          started_sent = false;
+          send(encode_event("queued", position));
+          break;
+        }
+        default:
+          send(encode_error("unexpected verb on a client connection"));
+          break;
+      }
+    }
+  }
+  cancel_active();  // send failure path: the client is gone
+  ::close(fd);
+}
+
+Server::Stats Server::stats() const {
+  Stats s;
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    s = stats_;
+  }
+  std::lock_guard<std::mutex> lk(queue_mu_);
+  s.queued = queue_.size();
+  return s;
+}
+
+util::Json Server::stats_json() const {
+  const Stats s = stats();
+  const ArtifactStore::Stats ss = store_.stats();
+  util::Json j = util::Json::object();
+  j.set("uptime_ms",
+        util::Json::number(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - started_at_)
+                .count())));
+  j.set("runners", util::Json::number(std::uint64_t{options_.runners}));
+  j.set("jobs.submitted", util::Json::number(s.submitted));
+  j.set("jobs.completed", util::Json::number(s.completed));
+  j.set("jobs.partial", util::Json::number(s.partial));
+  j.set("jobs.cancelled", util::Json::number(s.cancelled));
+  j.set("jobs.errors", util::Json::number(s.errors));
+  j.set("jobs.rejected", util::Json::number(s.rejected));
+  j.set("jobs.protocol_errors", util::Json::number(s.protocol_errors));
+  j.set("jobs.queued", util::Json::number(s.queued));
+  j.set("jobs.running", util::Json::number(s.running));
+  j.set("store.workload.hits", util::Json::number(ss.workload_hits));
+  j.set("store.workload.misses", util::Json::number(ss.workload_misses));
+  j.set("store.result.hits", util::Json::number(ss.result_hits));
+  j.set("store.result.misses", util::Json::number(ss.result_misses));
+  j.set("store.result.collisions", util::Json::number(ss.collisions));
+  j.set("store.workload.entries", util::Json::number(ss.workload_entries));
+  j.set("store.result.entries", util::Json::number(ss.result_entries));
+  return j;
+}
+
+}  // namespace tracesel::service

@@ -1,0 +1,143 @@
+#pragma once
+// tracesel::service::Server — traceseld, the selection/debug job daemon
+// (DESIGN.md §13, docs/service.md).
+//
+// A long-running process accepting tracesel::JobRequest jobs over the
+// framed Unix-socket protocol (protocol.hpp). Architecture:
+//
+//   accept loop   poll()s the listening socket in 100 ms slices, checking
+//                 the shutdown token between slices; each accepted client
+//                 gets a connection thread.
+//   connections   read frames, answer ping/stats immediately, enqueue
+//                 submits on the job queue and stream lifecycle events
+//                 (queued -> started -> result) back while polling the
+//                 socket for a cancel frame or a disconnect — either
+//                 cancels the in-flight job cooperatively.
+//   runners       N worker threads pull jobs off the queue and execute
+//                 them through QueryCore::run against the shared
+//                 ArtifactStore, so concurrent and repeated jobs share
+//                 interleave products and memoized selection results.
+//                 Each job's deadline_ms is armed on its CancelToken when
+//                 the job *starts* (queue time does not count).
+//   metrics       a runner snapshots its obs thread-counter shard before
+//                 and after the job; the delta rides back in the result
+//                 frame as the job's own metrics (docs/service.md notes
+//                 the jobs>1 caveat: pool-thread work escapes the scope).
+//
+// Shutdown is drain-and-exit: when the shutdown token fires (SIGTERM in
+// the CLI) or a stop frame arrives, the server stops accepting, lets the
+// queue drain, answers every waiting client, then serve() returns 0.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "tracesel/artifact_store.hpp"
+#include "tracesel/job_request.hpp"
+#include "util/cancel.hpp"
+#include "util/json.hpp"
+#include "util/result.hpp"
+
+namespace tracesel::service {
+
+struct ServerOptions {
+  /// Filesystem path of the Unix domain socket. Must fit sun_path
+  /// (~107 chars) — keep it short (/tmp/...); start() rejects longer.
+  std::string socket_path;
+  /// Concurrent job runner threads (the multi-tenancy width).
+  std::size_t runners = 1;
+  /// Submissions beyond this many queued-or-running jobs are rejected
+  /// with a typed error frame rather than queued unboundedly.
+  std::size_t max_queue = 64;
+  /// Oversized-frame guard for client connections.
+  std::size_t max_frame_bytes = 16u << 20;
+  /// Drain-and-exit trigger; the CLI points this at its signal token so
+  /// SIGTERM/SIGINT drain the daemon. Defaults to a live token.
+  util::CancelToken shutdown = util::CancelToken::make();
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds + listens on options.socket_path (unlinking a stale socket
+  /// file) and starts the runner threads. Typed error on failure.
+  util::Status start();
+
+  /// The accept loop; blocks until shutdown, then drains and returns 0.
+  /// Call start() first.
+  int serve();
+
+  /// Counters for the stats verb and the tests.
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;   ///< status ok (incl. cache hits)
+    std::uint64_t partial = 0;     ///< deadline/budget-stopped jobs
+    std::uint64_t cancelled = 0;   ///< client-cancelled jobs
+    std::uint64_t errors = 0;      ///< failed jobs
+    std::uint64_t rejected = 0;    ///< queue-full / draining rejections
+    std::uint64_t protocol_errors = 0;  ///< malformed/oversized frames
+    std::uint64_t queued = 0;      ///< current depth
+    std::uint64_t running = 0;     ///< currently executing
+  };
+  Stats stats() const;
+  /// Flat stats JSON: jobs.* counters plus the ArtifactStore's store.*
+  /// counters (the CI smoke step greps store.result.hits here).
+  util::Json stats_json() const;
+
+  ArtifactStore& store() { return store_; }
+  const std::string& socket_path() const { return options_.socket_path; }
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    JobRequest request;
+    util::CancelToken cancel = util::CancelToken::make();
+    std::atomic<bool> client_cancelled{false};
+
+    std::mutex mu;
+    std::condition_variable cv;
+    enum class State { kQueued, kRunning, kDone } state = State::kQueued;
+    JobOutcome outcome;  // filled by the runner before kDone
+  };
+
+  void runner_main();
+  void connection_main(int fd);
+  /// nullptr (with a reason in `why`) when the queue is full or draining.
+  std::shared_ptr<Job> enqueue(JobRequest request, std::string& why);
+  std::shared_ptr<Job> pop_job();
+  void run_job(Job& job);
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+  void begin_drain();
+
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  ArtifactStore store_;
+  std::atomic<bool> draining_{false};
+  std::atomic<std::uint64_t> next_job_id_{1};
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+
+  std::vector<std::thread> runners_;
+  std::mutex conns_mu_;
+  std::vector<std::thread> conns_;
+  std::chrono::steady_clock::time_point started_at_;
+};
+
+}  // namespace tracesel::service

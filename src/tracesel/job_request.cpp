@@ -1,0 +1,210 @@
+#include "tracesel/job_request.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "util/framing.hpp"
+
+namespace tracesel {
+
+namespace {
+
+constexpr char kJobTag[] = "tracesel-job";
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xFF;
+    h *= 0x100000001B3ull;
+  }
+}
+
+bool to_u64(std::string_view tok, std::uint64_t& out) {
+  const char* first = tok.data();
+  const char* last = tok.data() + tok.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+util::Result<JobRequest> malformed(const std::string& what) {
+  return util::Result<JobRequest>::err(util::ErrorCode::kParse,
+                                       "job request: " + what);
+}
+
+}  // namespace
+
+selection::SelectorConfig JobRequest::selector_config() const {
+  selection::SelectorConfig cfg;
+  cfg.buffer_width = buffer_width;
+  cfg.packing = packing;
+  cfg.mode = mode;
+  cfg.max_combinations = static_cast<std::size_t>(max_combinations);
+  cfg.jobs = jobs;
+  cfg.mem_budget_mb = static_cast<std::size_t>(mem_budget_mb);
+  return cfg;
+}
+
+flow::InterleaveOptions JobRequest::interleave_options() const {
+  flow::InterleaveOptions opt;
+  opt.symmetry_reduction = symmetry_reduction;
+  opt.max_nodes = static_cast<std::size_t>(max_nodes);
+  opt.mem_budget_mb = static_cast<std::size_t>(mem_budget_mb);
+  return opt;
+}
+
+std::uint64_t JobRequest::canonical_hash(std::uint64_t source_hash) const {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  fnv_mix(h, kVersion);
+  fnv_mix(h, source_hash);
+  fnv_mix(h, instances);
+  fnv_mix(h, symmetry_reduction ? 1 : 0);
+  fnv_mix(h, max_nodes);
+  fnv_mix(h, static_cast<std::uint64_t>(kind));
+  fnv_mix(h, buffer_width);
+  fnv_mix(h, static_cast<std::uint64_t>(mode));
+  fnv_mix(h, packing ? 1 : 0);
+  fnv_mix(h, max_combinations);
+  fnv_mix(h, mem_budget_mb);
+  return h;
+}
+
+bool JobRequest::same_computation(const JobRequest& other) const {
+  return spec == other.spec && spec_text == other.spec_text &&
+         instances == other.instances &&
+         symmetry_reduction == other.symmetry_reduction &&
+         max_nodes == other.max_nodes && kind == other.kind &&
+         buffer_width == other.buffer_width && mode == other.mode &&
+         packing == other.packing &&
+         max_combinations == other.max_combinations &&
+         mem_budget_mb == other.mem_budget_mb;
+}
+
+std::string_view to_string(selection::SearchMode mode) {
+  switch (mode) {
+    case selection::SearchMode::kExhaustive: return "exhaustive";
+    case selection::SearchMode::kMaximal: return "maximal";
+    case selection::SearchMode::kGreedy: return "greedy";
+    case selection::SearchMode::kKnapsack: return "knapsack";
+  }
+  return "maximal";
+}
+
+util::Result<selection::SearchMode> parse_search_mode(std::string_view name) {
+  if (name == "exhaustive") return selection::SearchMode::kExhaustive;
+  if (name == "maximal") return selection::SearchMode::kMaximal;
+  if (name == "greedy") return selection::SearchMode::kGreedy;
+  if (name == "knapsack") return selection::SearchMode::kKnapsack;
+  return util::Result<selection::SearchMode>::err(
+      util::ErrorCode::kInvalidArgument,
+      "unknown search mode '" + std::string(name) +
+          "' (expected exhaustive|maximal|greedy|knapsack)");
+}
+
+std::string serialize_job_request(const JobRequest& req) {
+  std::ostringstream body;
+  body << "kind "
+       << (req.kind == JobRequest::Kind::kSelectFlowConstraint
+               ? "select-flow-constraint"
+               : "select")
+       << '\n';
+  body << "spec " << (req.spec.empty() ? "-" : req.spec) << '\n';
+  body << "instances " << req.instances << '\n';
+  body << "symmetry_reduction " << (req.symmetry_reduction ? 1 : 0) << '\n';
+  body << "max_nodes " << req.max_nodes << '\n';
+  body << "buffer_width " << req.buffer_width << '\n';
+  body << "mode " << to_string(req.mode) << '\n';
+  body << "packing " << (req.packing ? 1 : 0) << '\n';
+  body << "max_combinations " << req.max_combinations << '\n';
+  body << "mem_budget_mb " << req.mem_budget_mb << '\n';
+  body << "jobs " << req.jobs << '\n';
+  body << "deadline_ms " << req.deadline_ms << '\n';
+  // The inline spec rides as a length-prefixed raw block (it is multi-line
+  // text, so the "key value" line discipline cannot carry it).
+  body << "spec_text " << req.spec_text.size() << '\n';
+  body << req.spec_text;
+  body << "\nend\n";
+  return util::encode_envelope(kJobTag, JobRequest::kVersion, body.str());
+}
+
+util::Result<JobRequest> parse_job_request(std::string_view text) {
+  const auto payload =
+      util::decode_envelope(text, kJobTag, JobRequest::kVersion, "job request");
+  if (!payload.ok()) return payload.error();
+  std::string_view body = payload.value();
+
+  JobRequest req;
+  // Reset string defaults: an omitted "spec" line must read back as empty,
+  // not as the struct's convenience default.
+  req.spec.clear();
+
+  while (true) {
+    const std::size_t eol = body.find('\n');
+    if (eol == std::string_view::npos)
+      return malformed("truncated (no 'end' marker)");
+    std::string_view line = body.substr(0, eol);
+    body.remove_prefix(eol + 1);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+
+    const std::size_t sp = line.find(' ');
+    const std::string_view key = line.substr(0, sp);
+    const std::string_view value =
+        sp == std::string_view::npos ? std::string_view{} : line.substr(sp + 1);
+
+    if (key == "end") break;
+
+    if (key == "kind") {
+      if (value == "select") {
+        req.kind = JobRequest::Kind::kSelect;
+      } else if (value == "select-flow-constraint") {
+        req.kind = JobRequest::Kind::kSelectFlowConstraint;
+      } else {
+        return malformed("unknown kind '" + std::string(value) + "'");
+      }
+    } else if (key == "spec") {
+      req.spec = value == "-" ? "" : std::string(value);
+    } else if (key == "mode") {
+      auto mode = parse_search_mode(value);
+      if (!mode.ok()) return mode.error();
+      req.mode = mode.value();
+    } else if (key == "spec_text") {
+      std::uint64_t n = 0;
+      if (!to_u64(value, n)) return malformed("bad spec_text length");
+      if (n > body.size()) return malformed("spec_text block truncated");
+      req.spec_text = std::string(body.substr(0, static_cast<std::size_t>(n)));
+      body.remove_prefix(static_cast<std::size_t>(n));
+      // The block is followed by "\nend\n" (tolerating a trailing \r\n).
+      if (!body.empty() && body.front() == '\n') body.remove_prefix(1);
+    } else {
+      std::uint64_t v = 0;
+      if (!to_u64(value, v))
+        return malformed("bad value for '" + std::string(key) + "'");
+      if (key == "instances") {
+        req.instances = static_cast<std::uint32_t>(v);
+      } else if (key == "symmetry_reduction") {
+        req.symmetry_reduction = v != 0;
+      } else if (key == "max_nodes") {
+        req.max_nodes = v;
+      } else if (key == "buffer_width") {
+        req.buffer_width = static_cast<std::uint32_t>(v);
+      } else if (key == "packing") {
+        req.packing = v != 0;
+      } else if (key == "max_combinations") {
+        req.max_combinations = v;
+      } else if (key == "mem_budget_mb") {
+        req.mem_budget_mb = v;
+      } else if (key == "jobs") {
+        req.jobs = static_cast<std::uint32_t>(v);
+      } else if (key == "deadline_ms") {
+        req.deadline_ms = v;
+      } else {
+        return malformed("unknown field '" + std::string(key) + "'");
+      }
+    }
+  }
+
+  if (req.spec.empty() && req.spec_text.empty())
+    return malformed("neither a spec reference nor inline spec text");
+  return req;
+}
+
+}  // namespace tracesel

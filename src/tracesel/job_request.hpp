@@ -1,0 +1,106 @@
+#pragma once
+// tracesel::JobRequest — the one versioned description of a selection job.
+//
+// Before PR 7 the knobs of a run were smeared across four structs that grew
+// organically: selection::SelectorConfig (search), flow::InterleaveOptions
+// (product build), the checkpoint provenance fields riding inside
+// SelectorConfig, and ad-hoc CLI flag plumbing. Every consumer — the CLI,
+// the daemon wire protocol, the artifact cache — needed its own partial
+// copy, and nothing guaranteed the copies agreed.
+//
+// A JobRequest is the consolidation: one flat, versioned struct holding
+//
+//   - the workload:   which spec ("t2", "usb" or a .flow path — or inline
+//                     spec text for daemon clients without a shared
+//                     filesystem) and how many instances to interleave;
+//   - the structure:  every knob that can change the *bits* of the result
+//                     (buffer width, search mode, packing, combination cap,
+//                     interleave engine options, memory budget);
+//   - the runtime:    knobs that change only *how fast* the same bits are
+//                     produced (jobs, deadline) — excluded from the
+//                     canonical hash, because the engine guarantees results
+//                     bit-identical across them.
+//
+// The same struct feeds three consumers from one source of truth:
+//   canonical_hash()     -> the ArtifactStore cache key,
+//   serialize/parse      -> the daemon wire encoding (util envelope codec),
+//   selector_config() /
+//   interleave_options() -> the legacy engine structs.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "flow/interleaved_flow.hpp"
+#include "selection/selector.hpp"
+#include "util/result.hpp"
+
+namespace tracesel {
+
+struct JobRequest {
+  static constexpr std::uint32_t kVersion = 1;
+
+  /// Which selection entry point runs. kSelectFlowConstraint adds the
+  /// every-flow-represented repair (MessageSelector::
+  /// select_with_flow_constraint) on top of the plain Step 1-3 pipeline.
+  enum class Kind : std::uint32_t { kSelect = 0, kSelectFlowConstraint = 1 };
+
+  // --- workload (hashed via the resolved spec content) ---
+  /// "t2", "usb", or a .flow spec path. Ignored when spec_text is set.
+  std::string spec = "t2";
+  /// Inline .flow spec text; lets daemon clients submit jobs without a
+  /// filesystem shared with the server. Takes precedence over `spec`.
+  std::string spec_text;
+  /// interleave(n) count for spec/usb workloads; scenario id for t2.
+  std::uint32_t instances = 2;
+
+  // --- structural: interleave engine (hashed) ---
+  bool symmetry_reduction = true;
+  std::uint64_t max_nodes = 2'000'000;
+
+  // --- structural: search (hashed) ---
+  Kind kind = Kind::kSelect;
+  std::uint32_t buffer_width = 32;
+  selection::SearchMode mode = selection::SearchMode::kMaximal;
+  bool packing = true;
+  std::uint64_t max_combinations = 1u << 22;
+  std::uint64_t mem_budget_mb = 0;
+
+  // --- runtime knobs (never hashed: results are bit-identical across
+  //     worker counts, and a deadline either leaves the result complete or
+  //     marks it partial — and partial results are never cached) ---
+  std::uint32_t jobs = 1;
+  /// 0 = no deadline. Mapped onto a util::CancelToken deadline by the
+  /// daemon; the engine returns the best-so-far partial result when it
+  /// fires.
+  std::uint64_t deadline_ms = 0;
+
+  /// The engine structs this request denotes. Conversion is one-way by
+  /// design: JobRequest is the source of truth, the legacy structs are the
+  /// derived view.
+  selection::SelectorConfig selector_config() const;
+  flow::InterleaveOptions interleave_options() const;
+
+  /// The artifact-cache key: FNV-1a over the format version, every
+  /// structural field and `source_hash` — the caller-resolved hash of the
+  /// actual spec *content* (file bytes, inline text, or a builtin tag), so
+  /// two paths to the same bytes share a cache line and an edited spec
+  /// misses. Runtime knobs are deliberately absent; see above.
+  std::uint64_t canonical_hash(std::uint64_t source_hash) const;
+
+  /// True when the two requests denote the same computation (all hashed
+  /// fields equal). Used by the store to guard against hash collisions.
+  bool same_computation(const JobRequest& other) const;
+};
+
+/// Search-mode names used by the wire format and the CLI (--mode).
+std::string_view to_string(selection::SearchMode mode);
+util::Result<selection::SearchMode> parse_search_mode(std::string_view name);
+
+/// Wire encoding: a "tracesel-job <version> <checksum>" envelope (the
+/// shared util codec, like checkpoints and work units) over "key value"
+/// lines, with the inline spec text as a trailing length-prefixed block.
+std::string serialize_job_request(const JobRequest& req);
+util::Result<JobRequest> parse_job_request(std::string_view text);
+
+}  // namespace tracesel

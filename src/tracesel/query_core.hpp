@@ -1,0 +1,140 @@
+#pragma once
+// tracesel::QueryCore — the stateless compute core of the facade
+// (DESIGN.md §13).
+//
+// PR 7 splits the old do-everything tracesel::Session in two:
+//
+//   QueryCore      pure functions of (JobRequest, spec content): resolve
+//                  the workload, interleave, run Step 1-3. No hidden
+//                  state, no ordering constraints — safe to call from any
+//                  thread, which is what lets the traceseld daemon run
+//                  jobs concurrently.
+//   ArtifactStore  the shared immutable cache those functions memoize
+//                  through (artifact_store.hpp).
+//
+// tracesel::Session remains as a thin stateful compatibility shim over
+// these two (session.hpp): it owns one Workload, carries the mutable
+// SelectorConfig, and forwards its pipeline calls here.
+//
+// A Workload is the resolved middle product: the owned spec (or builtin
+// design), its message catalog, the interleaved flow, and the selectors
+// over it. Once built it is immutable and safely shared by concurrent
+// jobs — the only mutation under the hood is the ParallelSelector's
+// GainMemo, which is internally sharded-locked and insert-only.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "flow/interleaved_flow.hpp"
+#include "flow/parser.hpp"
+#include "netlist/usb_design.hpp"
+#include "selection/parallel_selector.hpp"
+#include "selection/selector.hpp"
+#include "soc/t2_design.hpp"
+#include "tracesel/artifact_store.hpp"
+#include "tracesel/job_request.hpp"
+#include "util/cancel.hpp"
+#include "util/result.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tracesel {
+
+/// The resolved workload of a job: spec/design ownership, catalog, the
+/// interleaved product and the selectors over it. Immutable once built
+/// (see file comment); handed around as shared_ptr<const Workload>.
+struct Workload {
+  // Exactly one of spec / t2 / usb is set for owned workloads; all three
+  // may be null for from_interleaving sessions (borrowed catalog).
+  std::unique_ptr<flow::ParsedSpec> spec;
+  std::unique_ptr<soc::T2Design> t2;
+  std::unique_ptr<netlist::UsbDesign> usb;
+  const flow::MessageCatalog* catalog = nullptr;
+
+  std::unique_ptr<flow::InterleavedFlow> u;
+  std::unique_ptr<selection::MessageSelector> selector;
+  std::unique_ptr<selection::ParallelSelector> parallel;
+
+  /// Checkpoint/work-unit provenance: "t2", "usb", the spec path, or ""
+  /// (inline text / adopted interleaving — not rebuildable by reference).
+  std::string spec_ref;
+  /// Last interleave() count (spec/usb) or scenario id (t2); 0 = none yet.
+  std::uint32_t instances = 0;
+  /// FNV-1a over the resolved spec content; 0 when not content-addressed.
+  std::uint64_t source_hash = 0;
+};
+
+class QueryCore {
+ public:
+  /// What a cached run hands back. `result` is shared with the store (do
+  /// not mutate); `workload` keeps the catalog the result's message ids
+  /// point into alive.
+  struct Outcome {
+    std::shared_ptr<const Workload> workload;
+    std::shared_ptr<const selection::SelectionResult> result;
+    bool workload_cache_hit = false;
+    bool result_cache_hit = false;
+  };
+
+  // --- workload construction (Session and the daemon both build through
+  //     these, so the two surfaces cannot drift) ---
+  static std::unique_ptr<Workload> workload_from_spec(flow::ParsedSpec spec);
+  static std::unique_ptr<Workload> workload_t2();
+  static std::unique_ptr<Workload> workload_usb();
+  /// Adopts an externally built interleaving; `catalog` is borrowed and
+  /// must outlive the workload.
+  static std::unique_ptr<Workload> workload_from_interleaving(
+      const flow::MessageCatalog& catalog, flow::InterleavedFlow u);
+
+  /// Builds the interleaved product into `w` (spec/usb: `instances`
+  /// indexed instances; t2: scenario id) and drops any stale selectors.
+  /// Engine failures throw (std::length_error, util::CancelledError, ...).
+  static void interleave(Workload& w, std::uint32_t instances,
+                         const flow::InterleaveOptions& options);
+  /// Builds (once) the MessageSelector/ParallelSelector over w.u.
+  static void ensure_selectors(Workload& w);
+
+  // --- content addressing ---
+  /// FNV-1a over the spec content the request resolves to: inline text,
+  /// "builtin:t2"/"builtin:usb", or the spec file's bytes (a typed error
+  /// when the file cannot be read).
+  static util::Result<std::uint64_t> source_hash(const JobRequest& req);
+  /// The ArtifactStore workload key: source hash + every field that
+  /// changes the interleaved product.
+  static std::uint64_t workload_key(const JobRequest& req,
+                                    std::uint64_t source_hash);
+
+  /// Resolves and interleaves the request's workload from scratch.
+  /// Parse/engine failures throw.
+  static std::unique_ptr<Workload> build_workload(const JobRequest& req,
+                                                  util::CancelToken cancel);
+
+  /// Step 1-3 over an existing workload. The low-level entry point both
+  /// Session::select and the request path share: honours every
+  /// SelectorConfig field (cancel, checkpoint, resume, shard budget),
+  /// picks the serial / pooled / flow-constraint path exactly as the old
+  /// Session did, and folds interleave-stage degradation into the result.
+  /// `pool` (optional) is reused when the effective worker count exceeds
+  /// one; otherwise a call-local pool is created.
+  static selection::SelectionResult select(
+      const Workload& w, const selection::SelectorConfig& config,
+      bool flow_constraint, util::ThreadPool* pool = nullptr);
+
+  /// The request-level wrapper: derives the SelectorConfig from `req`
+  /// (structural knobs + provenance), arms `cancel`, and runs select().
+  static selection::SelectionResult select(const Workload& w,
+                                           const JobRequest& req,
+                                           util::CancelToken cancel,
+                                           util::ThreadPool* pool = nullptr);
+
+  /// The full memoized pipeline: resolve -> workload (cached) -> select
+  /// (cached). `store` may be null (no caching). Partial results
+  /// (cancelled / deadline) are returned but never cached. A typed error
+  /// when the spec file cannot be read; parse and engine failures throw,
+  /// including util::CancelledError when `cancel` fires during the
+  /// interleave build.
+  static util::Result<Outcome> run(const JobRequest& req, ArtifactStore* store,
+                                   util::CancelToken cancel);
+};
+
+}  // namespace tracesel

@@ -11,14 +11,13 @@ namespace tracesel {
 
 Session Session::from_spec(flow::ParsedSpec spec) {
   Session s;
-  s.spec_ = std::make_unique<flow::ParsedSpec>(std::move(spec));
-  s.catalog_ = &s.spec_->catalog;
+  s.workload_ = QueryCore::workload_from_spec(std::move(spec));
   return s;
 }
 
 Session Session::from_spec_file(const std::string& path) {
   Session s = from_spec(flow::parse_flow_spec_file(path));
-  s.spec_path_ = path;  // checkpoint provenance
+  s.workload_->spec_ref = path;  // checkpoint provenance
   return s;
 }
 
@@ -29,22 +28,19 @@ Session Session::from_spec_text(std::string_view text) {
 Session Session::from_interleaving(const flow::MessageCatalog& catalog,
                                    flow::InterleavedFlow u) {
   Session s;
-  s.catalog_ = &catalog;
-  s.u_ = std::make_unique<flow::InterleavedFlow>(std::move(u));
+  s.workload_ = QueryCore::workload_from_interleaving(catalog, std::move(u));
   return s;
 }
 
 Session Session::t2() {
   Session s;
-  s.t2_ = std::make_unique<soc::T2Design>();
-  s.catalog_ = &s.t2_->catalog();
+  s.workload_ = QueryCore::workload_t2();
   return s;
 }
 
 Session Session::usb() {
   Session s;
-  s.usb_ = std::make_unique<netlist::UsbDesign>();
-  s.catalog_ = &s.usb_->catalog();
+  s.workload_ = QueryCore::workload_usb();
   return s;
 }
 
@@ -76,60 +72,39 @@ Session& Session::jobs(std::size_t n) {
 Session& Session::interleave_options(const flow::InterleaveOptions& options) {
   interleave_options_ = options;
   // A rebuilt engine invalidates any interleaving-derived state.
-  if (u_) {
-    u_.reset();
-    invalidate_selector();
+  if (workload_->u) {
+    workload_->u.reset();
+    workload_->selector.reset();
+    workload_->parallel.reset();
+    last_selection_.reset();
   }
   return *this;
 }
 
-Session& Session::interleave(std::uint32_t instances) {
-  if (usb_) {
-    OBS_SPAN("session.interleave");
-    flow::InterleaveOptions opt = interleave_options_;
-    opt.cancel = config_.cancel;
-    if (opt.mem_budget_mb == 0) opt.mem_budget_mb = config_.mem_budget_mb;
-    u_ = std::make_unique<flow::InterleavedFlow>(
-        usb_->interleaving(instances, opt));
-    instances_used_ = instances;
-    invalidate_selector();
-    return *this;
-  }
-  if (!spec_)
-    throw std::logic_error(
-        "Session::interleave: no spec loaded (use scenario() for t2 "
-        "sessions)");
-  OBS_SPAN("session.interleave");
-  std::vector<const flow::Flow*> flows;
-  for (const flow::Flow& f : spec_->flows) flows.push_back(&f);
+flow::InterleaveOptions Session::merged_interleave_options() const {
   flow::InterleaveOptions opt = interleave_options_;
   opt.cancel = config_.cancel;  // SIGINT/deadline covers the build too
   if (opt.mem_budget_mb == 0) opt.mem_budget_mb = config_.mem_budget_mb;
-  u_ = std::make_unique<flow::InterleavedFlow>(flow::InterleavedFlow::build(
-      flow::make_instances(flows, instances), opt));
-  instances_used_ = instances;
-  invalidate_selector();
+  return opt;
+}
+
+Session& Session::interleave(std::uint32_t instances) {
+  if (!workload_->spec && !workload_->usb)
+    throw std::logic_error(
+        "Session::interleave: no spec loaded (use scenario() for t2 "
+        "sessions)");
+  QueryCore::interleave(*workload_, instances, merged_interleave_options());
+  last_selection_.reset();
   return *this;
 }
 
 Session& Session::scenario(int id) {
-  if (!t2_)
+  if (!workload_->t2)
     throw std::logic_error("Session::scenario: not a t2 session");
-  OBS_SPAN("session.interleave");
-  flow::InterleaveOptions opt = interleave_options_;
-  opt.cancel = config_.cancel;
-  if (opt.mem_budget_mb == 0) opt.mem_budget_mb = config_.mem_budget_mb;
-  u_ = std::make_unique<flow::InterleavedFlow>(soc::build_interleaving(
-      *t2_, soc::scenario_by_id(id), opt));
-  instances_used_ = static_cast<std::uint32_t>(id);
-  invalidate_selector();
-  return *this;
-}
-
-void Session::invalidate_selector() {
-  selector_.reset();
-  parallel_.reset();
+  QueryCore::interleave(*workload_, static_cast<std::uint32_t>(id),
+                        merged_interleave_options());
   last_selection_.reset();
+  return *this;
 }
 
 util::ThreadPool* Session::pool() {
@@ -147,62 +122,33 @@ selection::SelectorConfig Session::config_with_provenance() const {
   // workers can rebuild this pipeline.
   selection::SelectorConfig cfg = config_;
   if (cfg.checkpoint_spec_path.empty())
-    cfg.checkpoint_spec_path = t2_ ? "t2" : (usb_ ? "usb" : spec_path_);
-  if (cfg.checkpoint_instances == 0) cfg.checkpoint_instances = instances_used_;
+    cfg.checkpoint_spec_path = workload_->spec_ref;
+  if (cfg.checkpoint_instances == 0)
+    cfg.checkpoint_instances = workload_->instances;
   return cfg;
 }
 
 selection::ParallelSelector& Session::ensure_parallel() {
-  if (!u_)
-    throw std::logic_error(
-        "Session: no interleaving (call scenario()/interleave() first)");
-  if (!selector_)
-    selector_ =
-        std::make_unique<selection::MessageSelector>(*catalog_, *u_);
-  if (!parallel_)
-    parallel_ = std::make_unique<selection::ParallelSelector>(*selector_);
-  return *parallel_;
+  QueryCore::ensure_selectors(*workload_);
+  return *workload_->parallel;
 }
 
 selection::SelectionResult Session::select_impl(bool flow_constraint) {
-  OBS_SPAN("session.select");
-  if (!u_) {
+  if (!workload_->u) {
     // Spec sessions default to the paper's two legally indexed instances;
     // usb sessions to one instance of each flow (Table 4 setting).
-    if (spec_) interleave(2);
-    else if (usb_) interleave(1);
+    if (workload_->spec) interleave(2);
+    else if (workload_->usb) interleave(1);
     else
       throw std::logic_error(
           "Session::select: no interleaving (call scenario()/interleave() "
           "first)");
   }
-  if (!selector_)
-    selector_ =
-        std::make_unique<selection::MessageSelector>(*catalog_, *u_);
+  QueryCore::ensure_selectors(*workload_);
 
-  selection::SelectorConfig cfg = config_with_provenance();
+  selection::SelectionResult result = QueryCore::select(
+      *workload_, config_with_provenance(), flow_constraint, pool());
 
-  selection::SelectionResult result;
-  if (flow_constraint) {
-    // The repair loop is a short serial epilogue; its inner select() call
-    // honours config_.jobs by itself.
-    result = selector_->select_with_flow_constraint(cfg);
-  } else if (util::ThreadPool* p = pool()) {
-    if (!parallel_)
-      parallel_ = std::make_unique<selection::ParallelSelector>(*selector_);
-    result = parallel_->select(cfg, p);
-  } else {
-    cfg.jobs = 1;
-    result = selector_->select(cfg);
-  }
-
-  // Surface any interleave-stage degradation alongside the selection's own.
-  if (u_->degraded()) {
-    const std::string note = "interleave: " + u_->degradation();
-    result.degradation = result.degradation.empty()
-                             ? note
-                             : note + "; " + result.degradation;
-  }
   // A resume is one-shot: the next select() starts a fresh search instead
   // of silently skipping shards against a stale checkpoint.
   config_.resume_from.reset();
@@ -252,10 +198,10 @@ util::Result<Session> Session::resume(const std::string& checkpoint_path) {
 selection::SelectionResult Session::run_distributed(
     const selection::DistConfig& dist) {
   OBS_SPAN("session.select_distributed");
-  if (!u_) {
-    if (spec_) interleave(2);
-    else if (usb_) interleave(1);
-    else if (t2_)
+  if (!workload_->u) {
+    if (workload_->spec) interleave(2);
+    else if (workload_->usb) interleave(1);
+    else if (workload_->t2)
       throw std::logic_error(
           "Session::run_distributed: no interleaving (call scenario() "
           "first)");
@@ -299,8 +245,8 @@ selection::SelectionResult Session::run_distributed(
   selection::DistCoordinator coordinator(ensure_parallel(), dist);
   selection::SelectionResult result = coordinator.run(cfg);
   dist_stats_ = coordinator.stats();
-  if (u_->degraded()) {
-    const std::string note = "interleave: " + u_->degradation();
+  if (workload_->u->degraded()) {
+    const std::string note = "interleave: " + workload_->u->degradation();
     result.degradation = result.degradation.empty()
                              ? note
                              : note + "; " + result.degradation;
@@ -356,28 +302,28 @@ selection::SelectionResult Session::select_with_flow_constraint() {
 
 selection::LocalizationResult Session::localize(
     std::span<const flow::IndexedMessage> observed) const {
-  if (!u_ || !last_selection_)
+  if (!workload_->u || !last_selection_)
     throw std::logic_error("Session::localize: run select() first");
-  return selection::localize(*u_, last_selection_->observable(),
+  return selection::localize(*workload_->u, last_selection_->observable(),
                              std::vector<flow::IndexedMessage>(
                                  observed.begin(), observed.end()));
 }
 
 debug::CaseStudyResult Session::run_case_study(
     int case_id, debug::CaseStudyOptions options) {
-  if (!t2_)
+  if (!workload_->t2)
     throw std::logic_error("Session::run_case_study: not a t2 session");
   const auto cases = soc::standard_case_studies();
   if (case_id < 1 || case_id > static_cast<int>(cases.size()))
     throw std::out_of_range("Session::run_case_study: case id out of range");
   OBS_SPAN("session.case_study");
   options.jobs = config_.jobs;
-  return debug::run_case_study(*t2_, cases[case_id - 1], options);
+  return debug::run_case_study(*workload_->t2, cases[case_id - 1], options);
 }
 
 debug::MonteCarloResult Session::monte_carlo(int case_id, std::size_t runs,
                                              debug::CaseStudyOptions base) {
-  if (!t2_)
+  if (!workload_->t2)
     throw std::logic_error("Session::monte_carlo: not a t2 session");
   const auto cases = soc::standard_case_studies();
   if (case_id < 1 || case_id > static_cast<int>(cases.size()))
@@ -385,30 +331,31 @@ debug::MonteCarloResult Session::monte_carlo(int case_id, std::size_t runs,
   // Parallelism is applied across trials, not inside each trial's
   // selection step — nesting pools would oversubscribe the machine.
   OBS_SPAN("session.monte_carlo");
-  return debug::evaluate_case_study(*t2_, cases[case_id - 1], base, runs,
-                                    config_.jobs, pool(), &config_.cancel);
+  return debug::evaluate_case_study(*workload_->t2, cases[case_id - 1], base,
+                                    runs, config_.jobs, pool(),
+                                    &config_.cancel);
 }
 
 const flow::MessageCatalog& Session::catalog() const {
-  if (!catalog_) throw std::logic_error("Session: no catalog");
-  return *catalog_;
+  if (!workload_->catalog) throw std::logic_error("Session: no catalog");
+  return *workload_->catalog;
 }
 
 const flow::ParsedSpec& Session::spec() const {
-  if (!spec_) throw std::logic_error("Session: not a spec session");
-  return *spec_;
+  if (!workload_->spec) throw std::logic_error("Session: not a spec session");
+  return *workload_->spec;
 }
 
 const flow::InterleavedFlow& Session::interleaving() const {
-  if (!u_)
+  if (!workload_->u)
     throw std::logic_error(
         "Session: no interleaving (call interleave()/scenario())");
-  return *u_;
+  return *workload_->u;
 }
 
 const soc::T2Design& Session::design() const {
-  if (!t2_) throw std::logic_error("Session: not a t2 session");
-  return *t2_;
+  if (!workload_->t2) throw std::logic_error("Session: not a t2 session");
+  return *workload_->t2;
 }
 
 }  // namespace tracesel

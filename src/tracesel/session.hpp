@@ -1,15 +1,21 @@
 #pragma once
-// tracesel::Session — the facade over the whole pipeline:
+// tracesel::Session — the stateful *compatibility shim* over the split
+// facade (DESIGN.md §13).
 //
-//     load spec  ->  interleave  ->  select  ->  debug
+// Since PR 7 the pipeline's compute lives in two pieces:
 //
-// Before the facade every caller (CLI, examples, benches) hand-wired
-// parser -> InterleavedFlow::build -> MessageSelector -> case-study
-// driver, which left no single surface to thread a concurrency knob
-// through. A Session owns the spec, the interleaving, the (parallel)
-// selector and the worker pool, and takes every option from one
-// selection::SelectorConfig — SelectorConfig::jobs sizes the pool shared
-// by selection and the Monte-Carlo debug trials.
+//   tracesel::QueryCore      stateless pure functions of a job description
+//                            (query_core.hpp) — resolve spec, interleave,
+//                            run Step 1-3;
+//   tracesel::ArtifactStore  the shared immutable cache concurrent jobs
+//                            memoize through (artifact_store.hpp).
+//
+// New code — and everything that wants caching or concurrency, such as
+// the traceseld daemon — should target tracesel::JobRequest + QueryCore
+// directly. Session remains the convenient fluent surface for scripts,
+// examples and the existing tests: it owns one QueryCore Workload, keeps
+// the mutable SelectorConfig between calls, and forwards every pipeline
+// step to QueryCore, so the two surfaces cannot produce different bits.
 //
 //   auto session = tracesel::Session::from_spec_file("soc.flow");
 //   session.config().jobs = 8;
@@ -44,6 +50,7 @@
 #include "selection/parallel_selector.hpp"
 #include "selection/selector.hpp"
 #include "soc/t2_design.hpp"
+#include "tracesel/query_core.hpp"
 #include "util/result.hpp"
 #include "util/thread_pool.hpp"
 
@@ -97,7 +104,7 @@ class Session {
     return interleave_options_;
   }
 
-  // --- pipeline ---
+  // --- pipeline (thin forwards to QueryCore) ---
   /// Builds the interleaving of all spec flows with `instances` legally
   /// indexed instances each (spec sessions only).
   Session& interleave(std::uint32_t instances = 2);
@@ -145,35 +152,31 @@ class Session {
   const flow::ParsedSpec& spec() const;
   const flow::InterleavedFlow& interleaving() const;
   const soc::T2Design& design() const;
-  bool has_interleaving() const { return u_ != nullptr; }
+  bool has_interleaving() const { return workload_ && workload_->u; }
+  /// The session's underlying QueryCore workload (always non-null).
+  const Workload& workload() const { return *workload_; }
   const std::optional<selection::SelectionResult>& last_selection() const {
     return last_selection_;
   }
 
  private:
-  Session() = default;
+  Session() : workload_(std::make_unique<Workload>()) {}
 
   /// The session pool, sized to config().jobs; nullptr when serial.
   util::ThreadPool* pool();
-  void invalidate_selector();
   selection::SelectionResult select_impl(bool flow_constraint);
   /// Builds (once) and returns the parallel selector over the current
   /// interleaving; throws when no interleaving exists.
   selection::ParallelSelector& ensure_parallel();
   /// Fills checkpoint/work-unit provenance into a copy of config().
   selection::SelectorConfig config_with_provenance() const;
+  /// interleave_options_ with the session's cancel token and memory
+  /// budget folded in, as every engine call expects.
+  flow::InterleaveOptions merged_interleave_options() const;
 
   selection::SelectorConfig config_;
   flow::InterleaveOptions interleave_options_;
-  std::string spec_path_;            ///< checkpoint provenance (file sessions)
-  std::uint32_t instances_used_ = 0; ///< last interleave() count / scenario id
-  std::unique_ptr<flow::ParsedSpec> spec_;      // spec sessions
-  std::unique_ptr<soc::T2Design> t2_;           // t2 sessions
-  std::unique_ptr<netlist::UsbDesign> usb_;     // usb sessions
-  const flow::MessageCatalog* catalog_ = nullptr;
-  std::unique_ptr<flow::InterleavedFlow> u_;
-  std::unique_ptr<selection::MessageSelector> selector_;
-  std::unique_ptr<selection::ParallelSelector> parallel_;
+  std::unique_ptr<Workload> workload_;
   std::unique_ptr<util::ThreadPool> pool_;
   std::size_t pool_workers_ = 0;
   std::optional<selection::SelectionResult> last_selection_;

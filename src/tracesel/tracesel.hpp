@@ -3,14 +3,32 @@
 //
 //   #include "tracesel/tracesel.hpp"
 //
-//   auto session = tracesel::Session::from_spec_file("soc.flow");
-//   session.config().jobs = 8;          // pool width for every hot loop
-//   auto result = session.interleave(2).select();
+// The primary entry point is the stateless query API (PR 7):
 //
-// tracesel::Session (session.hpp) is the intended entry point; the layer
-// headers below remain public for callers that need one building block
-// (e.g. a custom flow built with flow::FlowBuilder, or the gate-level
-// baselines, which stay in baseline/ and netlist/).
+//   tracesel::JobRequest req;           // one versioned request object
+//   req.spec = "soc.flow";              // or "t2" / "usb" builtins
+//   req.instances = 2;
+//   tracesel::ArtifactStore store;      // shared, content-addressed cache
+//   auto out = tracesel::QueryCore::run(req, &store);
+//   if (out.ok()) use(*out.value().result);
+//
+// QueryCore (query_core.hpp) is a set of pure functions from JobRequest to
+// selection results; every expensive intermediate (the parsed spec, the
+// interleave product, the memoized selection) lives in the caller-owned
+// ArtifactStore (artifact_store.hpp), keyed by the request's canonical
+// hash, so concurrent and repeated queries share work safely. This is the
+// API the traceseld daemon (service/server.hpp) multiplexes jobs onto.
+//
+// tracesel::Session (session.hpp) remains as a thin compatibility facade
+// over QueryCore for incremental, stateful exploration (load a spec once,
+// re-interleave, re-select, resume checkpoints, drive case studies). New
+// code — and anything that runs queries concurrently — should prefer
+// QueryCore + ArtifactStore; direct Session use is kept source-compatible
+// but is no longer the primary API.
+//
+// The layer headers below remain public for callers that need one
+// building block (e.g. a custom flow built with flow::FlowBuilder, or the
+// gate-level baselines, which stay in baseline/ and netlist/).
 
 // Flow layer: messages, flow DAGs, interleavings, the .flow parser.
 #include "flow/flow.hpp"
@@ -45,7 +63,13 @@
 // Utilities callers commonly need alongside the facade.
 #include "util/thread_pool.hpp"
 
-// The facade itself, plus the resilience surface (cancellation tokens,
-// checkpoints, exit-code contract).
+// The query API: versioned requests, the content-addressed artifact
+// cache, and the stateless query core.
+#include "tracesel/artifact_store.hpp"
+#include "tracesel/job_request.hpp"
+#include "tracesel/query_core.hpp"
+
+// The resilience surface (cancellation tokens, checkpoints, exit-code
+// contract) and the stateful compatibility facade.
 #include "tracesel/resilience.hpp"
 #include "tracesel/session.hpp"

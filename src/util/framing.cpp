@@ -1,0 +1,184 @@
+#include "util/framing.hpp"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <charconv>
+#include <cstring>
+
+#include "util/atomic_file.hpp"
+
+namespace tracesel::util {
+
+namespace {
+
+void put_u32le(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+void put_u64le(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint32_t get_u32le(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+std::uint64_t get_u64le(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+bool to_u64(std::string_view tok, std::uint64_t& out, int base = 10) {
+  const char* first = tok.data();
+  const char* last = tok.data() + tok.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out, base);
+  return ec == std::errc{} && ptr == last;
+}
+
+}  // namespace
+
+std::string encode_frame(std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.append(kFrameMagic, sizeof(kFrameMagic));
+  put_u32le(out, static_cast<std::uint32_t>(payload.size()));
+  put_u64le(out, fnv1a64(payload));
+  out.append(payload);
+  return out;
+}
+
+Status write_frame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Error{ErrorCode::kInternal, "write_frame: payload exceeds cap"};
+  }
+  const std::string frame = encode_frame(payload);
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::write(fd, frame.data() + off, frame.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const char* what = errno == EPIPE ? "write_frame: peer closed (EPIPE)"
+                                        : "write_frame: write failed";
+      return Error{ErrorCode::kInternal,
+                   std::string(what) + ": " + std::strerror(errno)};
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Status::success();
+}
+
+FrameReader::State FrameReader::next(std::string& payload) {
+  if (corrupt_) {
+    return State::kCorrupt;
+  }
+  // Validate the magic on whatever prefix has arrived so far: garbage is
+  // reported the moment it shows up, not deferred until (and unless) a
+  // full header's worth of bytes accumulates.
+  const std::size_t have = std::min(buffer_.size(), sizeof(kFrameMagic));
+  if (std::memcmp(buffer_.data(), kFrameMagic, have) != 0) {
+    corrupt_ = true;
+    corrupt_reason_ = "bad frame magic (stream desynchronized)";
+    return State::kCorrupt;
+  }
+  if (buffer_.size() < kFrameHeaderBytes) {
+    return State::kNeedMore;
+  }
+  const std::uint32_t len = get_u32le(buffer_.data() + 8);
+  if (len > max_frame_bytes_) {
+    corrupt_ = true;
+    corrupt_reason_ = "frame length exceeds cap (corrupt length field)";
+    return State::kCorrupt;
+  }
+  if (buffer_.size() < kFrameHeaderBytes + len) {
+    return State::kNeedMore;
+  }
+  const std::uint64_t want = get_u64le(buffer_.data() + 12);
+  const std::string_view body(buffer_.data() + kFrameHeaderBytes, len);
+  if (fnv1a64(body) != want) {
+    corrupt_ = true;
+    corrupt_reason_ = "frame checksum mismatch";
+    return State::kCorrupt;
+  }
+  payload.assign(body);
+  buffer_.erase(0, kFrameHeaderBytes + len);
+  return State::kFrame;
+}
+
+// --- text envelopes -----------------------------------------------------
+
+std::string encode_envelope(std::string_view tag, std::uint32_t version,
+                            std::string_view payload) {
+  char hex[17];
+  const std::uint64_t checksum = fnv1a64(payload);
+  const auto [end, ec] =
+      std::to_chars(hex, hex + sizeof(hex), checksum, 16);
+  std::string out;
+  out.reserve(tag.size() + 32 + payload.size());
+  out.append(tag);
+  out.push_back(' ');
+  out.append(std::to_string(version));
+  out.push_back(' ');
+  out.append(hex, static_cast<std::size_t>(end - hex));
+  out.push_back('\n');
+  out.append(payload);
+  return out;
+}
+
+Result<std::string_view> decode_envelope(std::string_view text,
+                                         std::string_view tag,
+                                         std::uint32_t version,
+                                         std::string_view subject) {
+  const auto bad_header = [&] {
+    return Result<std::string_view>::err(
+        ErrorCode::kParse,
+        std::string(subject) + " line 1: bad envelope header");
+  };
+  const std::size_t eol = text.find('\n');
+  if (eol == std::string_view::npos) return bad_header();
+  std::string_view header = text.substr(0, eol);
+  if (!header.empty() && header.back() == '\r') header.remove_suffix(1);
+
+  // "<tag> <version> <checksum-hex>", exactly three tokens.
+  if (header.substr(0, tag.size()) != tag || header.size() <= tag.size() ||
+      header[tag.size()] != ' ')
+    return bad_header();
+  header.remove_prefix(tag.size() + 1);
+  const std::size_t sp = header.find(' ');
+  if (sp == std::string_view::npos) return bad_header();
+  std::uint64_t got_version = 0;
+  std::uint64_t checksum = 0;
+  if (!to_u64(header.substr(0, sp), got_version) ||
+      !to_u64(header.substr(sp + 1), checksum, 16))
+    return bad_header();
+
+  if (got_version != version)
+    return Result<std::string_view>::err(
+        ErrorCode::kParse,
+        std::string(subject) + " version " + std::to_string(got_version) +
+            " is not supported (expected " + std::to_string(version) + ")");
+
+  const std::string_view payload = text.substr(eol + 1);
+  if (fnv1a64(payload) != checksum)
+    return Result<std::string_view>::err(
+        ErrorCode::kCorruptCapture,
+        std::string(subject) +
+            " checksum mismatch (truncated or corrupted file)");
+  return payload;
+}
+
+}  // namespace tracesel::util

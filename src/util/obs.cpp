@@ -238,6 +238,19 @@ void MetricsRegistry::observe(HistogramId id, std::uint64_t value) {
   h.buckets[histogram_bucket(value)].fetch_add(1, std::memory_order_relaxed);
 }
 
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::thread_counter_values() const {
+  State& s = state();
+  ThreadShard& shard = local_shard();
+  std::vector<std::pair<std::string, std::uint64_t>> values;
+  std::lock_guard<std::mutex> lk(s.mu);  // the name table may grow
+  for (std::size_t i = 0; i < s.counter_names.size(); ++i) {
+    const std::uint64_t v = shard.counters[i].load(std::memory_order_relaxed);
+    if (v != 0) values.emplace_back(s.counter_names[i], v);
+  }
+  return values;
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   State& s = state();
   MetricsSnapshot snap;

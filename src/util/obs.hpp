@@ -124,6 +124,14 @@ class MetricsRegistry {
   void observe(HistogramId id, std::uint64_t value);
 
   MetricsSnapshot snapshot() const;
+  /// The calling thread's own counter shard, named (zero entries elided).
+  /// This is the per-job metric scope of the traceseld daemon: a job runs
+  /// on one runner thread, so before/after deltas of this view attribute
+  /// counters to that job exactly — work a job fans out to pool threads
+  /// (jobs > 1) lands in those threads' shards and escapes the scope,
+  /// which the service layer documents (docs/service.md).
+  std::vector<std::pair<std::string, std::uint64_t>> thread_counter_values()
+      const;
   /// Merged value lookups by name (0 / nullopt when unregistered).
   std::uint64_t counter_value(std::string_view name) const;
   std::int64_t gauge_value(std::string_view name) const;

@@ -10,8 +10,6 @@
 #include <cstring>
 #include <utility>
 
-#include "util/atomic_file.hpp"
-
 namespace tracesel::util {
 
 void ignore_sigpipe() {
@@ -219,110 +217,6 @@ int Subprocess::wait() {
     exit_code_ = -1;
   }
   return exit_code_;
-}
-
-// --- framing ------------------------------------------------------------
-
-namespace {
-
-void put_u32le(std::string& out, std::uint32_t v) {
-  out.push_back(static_cast<char>(v & 0xFF));
-  out.push_back(static_cast<char>((v >> 8) & 0xFF));
-  out.push_back(static_cast<char>((v >> 16) & 0xFF));
-  out.push_back(static_cast<char>((v >> 24) & 0xFF));
-}
-
-void put_u64le(std::string& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-  }
-}
-
-std::uint32_t get_u32le(const char* p) {
-  std::uint32_t v = 0;
-  for (int i = 3; i >= 0; --i) {
-    v = (v << 8) | static_cast<unsigned char>(p[i]);
-  }
-  return v;
-}
-
-std::uint64_t get_u64le(const char* p) {
-  std::uint64_t v = 0;
-  for (int i = 7; i >= 0; --i) {
-    v = (v << 8) | static_cast<unsigned char>(p[i]);
-  }
-  return v;
-}
-
-}  // namespace
-
-std::string encode_frame(std::string_view payload) {
-  std::string out;
-  out.reserve(kFrameHeaderBytes + payload.size());
-  out.append(kFrameMagic, sizeof(kFrameMagic));
-  put_u32le(out, static_cast<std::uint32_t>(payload.size()));
-  put_u64le(out, fnv1a64(payload));
-  out.append(payload);
-  return out;
-}
-
-Status write_frame(int fd, std::string_view payload) {
-  if (payload.size() > kMaxFrameBytes) {
-    return Error{ErrorCode::kInternal, "write_frame: payload exceeds cap"};
-  }
-  const std::string frame = encode_frame(payload);
-  std::size_t off = 0;
-  while (off < frame.size()) {
-    const ssize_t n = ::write(fd, frame.data() + off, frame.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      const char* what = errno == EPIPE ? "write_frame: peer closed (EPIPE)"
-                                        : "write_frame: write failed";
-      return Error{ErrorCode::kInternal,
-                   std::string(what) + ": " + std::strerror(errno)};
-    }
-    off += static_cast<std::size_t>(n);
-  }
-  return Status::success();
-}
-
-FrameReader::State FrameReader::next(std::string& payload) {
-  if (corrupt_) {
-    return State::kCorrupt;
-  }
-  // Validate the magic on whatever prefix has arrived so far: garbage is
-  // reported the moment it shows up, not deferred until (and unless) a
-  // full header's worth of bytes accumulates.
-  const std::size_t have = std::min(buffer_.size(), sizeof(kFrameMagic));
-  if (std::memcmp(buffer_.data(), kFrameMagic, have) != 0) {
-    corrupt_ = true;
-    corrupt_reason_ = "bad frame magic (stream desynchronized)";
-    return State::kCorrupt;
-  }
-  if (buffer_.size() < kFrameHeaderBytes) {
-    return State::kNeedMore;
-  }
-  const std::uint32_t len = get_u32le(buffer_.data() + 8);
-  if (len > kMaxFrameBytes) {
-    corrupt_ = true;
-    corrupt_reason_ = "frame length exceeds cap (corrupt length field)";
-    return State::kCorrupt;
-  }
-  if (buffer_.size() < kFrameHeaderBytes + len) {
-    return State::kNeedMore;
-  }
-  const std::uint64_t want = get_u64le(buffer_.data() + 12);
-  const std::string_view body(buffer_.data() + kFrameHeaderBytes, len);
-  if (fnv1a64(body) != want) {
-    corrupt_ = true;
-    corrupt_reason_ = "frame checksum mismatch";
-    return State::kCorrupt;
-  }
-  payload.assign(body);
-  buffer_.erase(0, kFrameHeaderBytes + len);
-  return State::kFrame;
 }
 
 }  // namespace tracesel::util

@@ -1,6 +1,6 @@
 #pragma once
-// Child-process plumbing and length-prefixed framing for the distributed
-// selection engine (DESIGN.md §12, docs/distributed.md).
+// Child-process plumbing for the distributed selection engine
+// (DESIGN.md §12, docs/distributed.md).
 //
 // Subprocess wraps fork/exec with stdin/stdout pipes and explicit
 // lifecycle control: the coordinator needs to kill a hung worker outright
@@ -10,13 +10,9 @@
 // mid-write (SIGPIPE is turned into an EPIPE error return by
 // ignore_sigpipe(), which spawn() installs process-wide).
 //
-// Framing: a pipe is a byte stream, so messages are delimited by a fixed
-// 20-byte header — 8-byte magic "TSELFRM1", little-endian u32 payload
-// length, little-endian u64 FNV-1a checksum of the payload. The checksum
-// catches payload corruption inside an intact frame; a bad magic or an
-// over-cap length means stream desynchronization, which FrameReader
-// reports as kCorrupt — unrecoverable for that pipe (the coordinator
-// responds by killing and respawning the worker).
+// The byte framing the coordinator/worker pipes speak lives in
+// util/framing.hpp (shared with the traceseld socket protocol); it is
+// re-exported here because every subprocess peer needs it.
 
 #include <sys/types.h>
 
@@ -25,6 +21,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/framing.hpp"
 #include "util/result.hpp"
 
 namespace tracesel::util {
@@ -81,46 +78,6 @@ class Subprocess {
   int stdout_fd_ = -1;
   bool reaped_ = false;
   int exit_code_ = -1;
-};
-
-// --- length-prefixed framing -------------------------------------------
-
-inline constexpr char kFrameMagic[8] = {'T', 'S', 'E', 'L',
-                                        'F', 'R', 'M', '1'};
-inline constexpr std::size_t kFrameHeaderBytes = 8 + 4 + 8;
-/// Frames carry checkpoint-sized payloads; anything larger is a corrupted
-/// length field, not a legitimate message.
-inline constexpr std::size_t kMaxFrameBytes = 64u << 20;
-
-/// Header + payload as one contiguous buffer.
-std::string encode_frame(std::string_view payload);
-
-/// encode_frame + write_all on a raw fd (EINTR retried; EPIPE typed).
-Status write_frame(int fd, std::string_view payload);
-
-/// Incremental decoder: feed() raw bytes as they arrive, then drain
-/// complete frames with next(). Once a frame fails validation the stream
-/// is poisoned (kCorrupt forever) — framing cannot resynchronize.
-class FrameReader {
- public:
-  enum class State { kFrame, kNeedMore, kCorrupt };
-
-  void feed(const char* data, std::size_t n) { buffer_.append(data, n); }
-  void feed(std::string_view bytes) { buffer_.append(bytes); }
-
-  /// Extracts the next complete frame's payload into `payload`.
-  State next(std::string& payload);
-
-  /// Human-readable reason after kCorrupt.
-  const std::string& corrupt_reason() const { return corrupt_reason_; }
-
-  /// Bytes buffered but not yet consumed (diagnostics).
-  std::size_t buffered() const { return buffer_.size(); }
-
- private:
-  std::string buffer_;
-  bool corrupt_ = false;
-  std::string corrupt_reason_;
 };
 
 }  // namespace tracesel::util

@@ -1,0 +1,274 @@
+// The query API (PR 7): JobRequest's canonical wire format and hash,
+// ArtifactStore's caching protocol, and the property the daemon's whole
+// value rests on — a cache hit is bit-identical to a cold compute.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "debug/serialize.hpp"
+#include "tracesel/artifact_store.hpp"
+#include "tracesel/job_request.hpp"
+#include "tracesel/query_core.hpp"
+#include "util/cancel.hpp"
+
+namespace tracesel {
+namespace {
+
+JobRequest fig2_request() {
+  JobRequest req;
+  req.spec = std::string(TRACESEL_DATA_DIR) + "/fig2.flow";
+  req.instances = 2;
+  req.buffer_width = 2;
+  return req;
+}
+
+// --- JobRequest -------------------------------------------------------
+
+TEST(JobRequest, SerializeParseRoundTrip) {
+  JobRequest req;
+  req.spec = "some/path.flow";
+  req.spec_text = "flow F {\n  # inline, with newlines\n}\nend\n";
+  req.instances = 3;
+  req.symmetry_reduction = false;
+  req.max_nodes = 12345;
+  req.kind = JobRequest::Kind::kSelectFlowConstraint;
+  req.buffer_width = 24;
+  req.mode = selection::SearchMode::kKnapsack;
+  req.packing = false;
+  req.max_combinations = 999;
+  req.mem_budget_mb = 77;
+  req.jobs = 4;
+  req.deadline_ms = 1500;
+
+  const auto parsed = parse_job_request(serialize_job_request(req));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const JobRequest& p = parsed.value();
+  EXPECT_EQ(p.spec, req.spec);
+  EXPECT_EQ(p.spec_text, req.spec_text);
+  EXPECT_EQ(p.instances, req.instances);
+  EXPECT_EQ(p.symmetry_reduction, req.symmetry_reduction);
+  EXPECT_EQ(p.max_nodes, req.max_nodes);
+  EXPECT_EQ(p.kind, req.kind);
+  EXPECT_EQ(p.buffer_width, req.buffer_width);
+  EXPECT_EQ(p.mode, req.mode);
+  EXPECT_EQ(p.packing, req.packing);
+  EXPECT_EQ(p.max_combinations, req.max_combinations);
+  EXPECT_EQ(p.mem_budget_mb, req.mem_budget_mb);
+  EXPECT_EQ(p.jobs, req.jobs);
+  EXPECT_EQ(p.deadline_ms, req.deadline_ms);
+  EXPECT_TRUE(p.same_computation(req));
+}
+
+TEST(JobRequest, CanonicalHashIgnoresRuntimeKnobsOnly) {
+  const std::uint64_t source = 0x1234abcdu;
+  JobRequest a;
+  const std::uint64_t base = a.canonical_hash(source);
+
+  // Runtime knobs: identical answers at any worker count or deadline, so
+  // they must not fragment the cache.
+  JobRequest b = a;
+  b.jobs = 16;
+  b.deadline_ms = 10;
+  EXPECT_EQ(b.canonical_hash(source), base);
+  EXPECT_TRUE(b.same_computation(a));
+
+  // Every structural knob must move the key.
+  JobRequest c = a;
+  c.buffer_width = 16;
+  EXPECT_NE(c.canonical_hash(source), base);
+  EXPECT_FALSE(c.same_computation(a));
+  c = a;
+  c.instances = 3;
+  EXPECT_NE(c.canonical_hash(source), base);
+  c = a;
+  c.mode = selection::SearchMode::kGreedy;
+  EXPECT_NE(c.canonical_hash(source), base);
+  c = a;
+  c.packing = false;
+  EXPECT_NE(c.canonical_hash(source), base);
+  c = a;
+  c.kind = JobRequest::Kind::kSelectFlowConstraint;
+  EXPECT_NE(c.canonical_hash(source), base);
+  EXPECT_NE(a.canonical_hash(source ^ 1), base);
+}
+
+TEST(JobRequest, ParseRejectsGarbage) {
+  EXPECT_FALSE(parse_job_request("not a job request").ok());
+  JobRequest req;  // neither spec nor spec_text
+  req.spec.clear();
+  EXPECT_FALSE(parse_job_request(serialize_job_request(req)).ok());
+}
+
+// --- ArtifactStore ----------------------------------------------------
+
+std::shared_ptr<const selection::SelectionResult> dummy_result(double gain) {
+  auto r = std::make_shared<selection::SelectionResult>();
+  r->gain = gain;
+  return r;
+}
+
+TEST(ArtifactStore, CachesResultsByKeyWithCollisionGuard) {
+  ArtifactStore store;
+  JobRequest req;
+  bool hit = true;
+  auto first = store.result(42, req, [] { return dummy_result(1.0); }, &hit);
+  ASSERT_TRUE(first);
+  EXPECT_FALSE(hit);
+  auto second = store.result(
+      42, req, [] { return dummy_result(2.0); }, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(second.get(), first.get());
+
+  // Same key, different computation: a hash collision must be served as a
+  // miss (fresh private build), never as the other job's answer.
+  JobRequest other;
+  other.buffer_width = 8;
+  auto collided = store.result(
+      42, other, [] { return dummy_result(3.0); }, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(collided->gain, 3.0);
+  // And the original entry is untouched.
+  auto again = store.result(42, req, [] { return dummy_result(4.0); }, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(again.get(), first.get());
+
+  const auto s = store.stats();
+  EXPECT_EQ(s.result_hits, 2u);
+  EXPECT_EQ(s.result_misses, 2u);
+  EXPECT_EQ(s.collisions, 1u);
+  EXPECT_EQ(s.result_entries, 1u);
+}
+
+TEST(ArtifactStore, NullptrAndThrowingBuildersAreNotCached) {
+  ArtifactStore store;
+  JobRequest req;
+  bool hit = true;
+  // nullptr = "do not cache" (a partial result).
+  auto partial = store.result(7, req, [] { return nullptr; }, &hit);
+  EXPECT_EQ(partial, nullptr);
+  EXPECT_FALSE(hit);
+  // A throwing builder surfaces to its caller and leaves the key vacant.
+  EXPECT_THROW(store.result(7, req,
+                            []() -> std::shared_ptr<
+                                     const selection::SelectionResult> {
+                              throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+  // The key still works afterwards.
+  auto good = store.result(7, req, [] { return dummy_result(5.0); }, &hit);
+  ASSERT_TRUE(good);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(store.stats().result_entries, 1u);
+}
+
+TEST(ArtifactStore, InFlightRequestersShareOneBuild) {
+  ArtifactStore store;
+  JobRequest req;
+  std::atomic<int> builds{0};
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const selection::SelectionResult>> got(8);
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&, i] {
+      got[i] = store.result(99, req, [&] {
+        ++builds;
+        return dummy_result(1.0);
+      });
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(builds.load(), 1);
+  for (int i = 1; i < 8; ++i) EXPECT_EQ(got[i].get(), got[0].get());
+}
+
+// --- QueryCore through the store -------------------------------------
+
+/// The acceptance property: a warm run answers from the cache, and its
+/// serialized report is byte-identical to the cold compute's.
+void expect_cached_run_bit_identical(const JobRequest& req) {
+  ArtifactStore store;
+  const auto cold = QueryCore::run(req, &store, {});
+  ASSERT_TRUE(cold.ok()) << cold.error().to_string();
+  EXPECT_FALSE(cold.value().result_cache_hit);
+
+  const auto warm = QueryCore::run(req, &store, {});
+  ASSERT_TRUE(warm.ok()) << warm.error().to_string();
+  EXPECT_TRUE(warm.value().result_cache_hit);
+  EXPECT_TRUE(warm.value().workload_cache_hit);
+
+  // And a storeless (uncached) compute agrees, byte for byte.
+  const auto direct = QueryCore::run(req, nullptr, {});
+  ASSERT_TRUE(direct.ok());
+
+  const auto dump = [](const QueryCore::Outcome& o) {
+    return selection::to_json(*o.workload->catalog, *o.result).dump(2);
+  };
+  EXPECT_EQ(dump(cold.value()), dump(warm.value()));
+  EXPECT_EQ(dump(cold.value()), dump(direct.value()));
+
+  const auto s = store.stats();
+  EXPECT_EQ(s.result_hits, 1u);
+  EXPECT_EQ(s.result_misses, 1u);
+}
+
+TEST(QueryCore, CacheHitBitIdenticalFig2) {
+  expect_cached_run_bit_identical(fig2_request());
+}
+
+TEST(QueryCore, CacheHitBitIdenticalT2Builtin) {
+  JobRequest req;
+  req.spec = "t2";
+  req.instances = 1;  // t2: scenario id
+  expect_cached_run_bit_identical(req);
+}
+
+TEST(QueryCore, CacheHitBitIdenticalUsbBuiltin) {
+  JobRequest req;
+  req.spec = "usb";
+  req.instances = 2;
+  expect_cached_run_bit_identical(req);
+}
+
+TEST(QueryCore, JobsKnobSharesTheCacheEntry) {
+  // jobs is a runtime knob: a 4-worker run must answer a 1-worker repeat
+  // from the cache (the engine is bit-identical across worker counts).
+  ArtifactStore store;
+  JobRequest req = fig2_request();
+  req.jobs = 4;
+  const auto cold = QueryCore::run(req, &store, {});
+  ASSERT_TRUE(cold.ok());
+  req.jobs = 1;
+  const auto warm = QueryCore::run(req, &store, {});
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.value().result_cache_hit);
+}
+
+TEST(QueryCore, MissingSpecFileIsATypedError) {
+  JobRequest req;
+  req.spec = "/no/such/spec.flow";
+  const auto r = QueryCore::run(req, nullptr, {});
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(QueryCore, CancelledBuildDoesNotPoisonTheStore) {
+  ArtifactStore store;
+  const JobRequest req = fig2_request();
+  auto cancelled = util::CancelToken::make();
+  cancelled.cancel();
+  EXPECT_THROW(
+      { auto r = QueryCore::run(req, &store, cancelled); },
+      util::CancelledError);
+  EXPECT_EQ(store.stats().workload_entries, 0u);
+  EXPECT_EQ(store.stats().result_entries, 0u);
+  // The same request afterwards computes cleanly.
+  const auto ok = QueryCore::run(req, &store, {});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_FALSE(ok.value().result_cache_hit);
+}
+
+}  // namespace
+}  // namespace tracesel

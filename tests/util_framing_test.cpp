@@ -1,0 +1,128 @@
+// util/framing: the one codec every tracesel byte stream speaks — binary
+// length-prefixed frames (subprocess pipes, the traceseld socket) and
+// versioned checksummed text envelopes (checkpoints, job requests).
+
+#include "util/framing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace tracesel::util {
+namespace {
+
+TEST(Framing, RoundTripsOneFrame) {
+  const std::string payload = "hello, frames";
+  FrameReader reader;
+  reader.feed(encode_frame(payload));
+  std::string out;
+  EXPECT_EQ(reader.next(out), FrameReader::State::kFrame);
+  EXPECT_EQ(out, payload);
+  EXPECT_EQ(reader.next(out), FrameReader::State::kNeedMore);
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(Framing, RoundTripsEmptyAndBinaryPayloads) {
+  FrameReader reader;
+  const std::string binary("\x00\x01\xffpayload\n\r\x7f", 12);
+  reader.feed(encode_frame(""));
+  reader.feed(encode_frame(binary));
+  std::string out;
+  ASSERT_EQ(reader.next(out), FrameReader::State::kFrame);
+  EXPECT_TRUE(out.empty());
+  ASSERT_EQ(reader.next(out), FrameReader::State::kFrame);
+  EXPECT_EQ(out, binary);
+}
+
+TEST(Framing, ReassemblesByteByByte) {
+  const std::string payload(1000, 'x');
+  const std::string wire = encode_frame(payload);
+  FrameReader reader;
+  std::string out;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    reader.feed(&wire[i], 1);
+    ASSERT_EQ(reader.next(out), FrameReader::State::kNeedMore);
+  }
+  reader.feed(&wire[wire.size() - 1], 1);
+  ASSERT_EQ(reader.next(out), FrameReader::State::kFrame);
+  EXPECT_EQ(out, payload);
+}
+
+TEST(Framing, DrainsMultipleFramesFromOneFeed) {
+  FrameReader reader;
+  reader.feed(encode_frame("a") + encode_frame("bb") + encode_frame("ccc"));
+  std::string out;
+  ASSERT_EQ(reader.next(out), FrameReader::State::kFrame);
+  EXPECT_EQ(out, "a");
+  ASSERT_EQ(reader.next(out), FrameReader::State::kFrame);
+  EXPECT_EQ(out, "bb");
+  ASSERT_EQ(reader.next(out), FrameReader::State::kFrame);
+  EXPECT_EQ(out, "ccc");
+  EXPECT_EQ(reader.next(out), FrameReader::State::kNeedMore);
+}
+
+TEST(Framing, BadMagicPoisonsTheStream) {
+  FrameReader reader;
+  std::string wire = encode_frame("payload");
+  wire[0] = 'X';
+  reader.feed(wire);
+  std::string out;
+  EXPECT_EQ(reader.next(out), FrameReader::State::kCorrupt);
+  EXPECT_FALSE(reader.corrupt_reason().empty());
+  // Poisoned forever: even a pristine frame afterwards stays corrupt.
+  reader.feed(encode_frame("fine"));
+  EXPECT_EQ(reader.next(out), FrameReader::State::kCorrupt);
+}
+
+TEST(Framing, ChecksumMismatchIsCorrupt) {
+  std::string wire = encode_frame("payload");
+  wire[wire.size() - 1] ^= 0x01;  // flip a payload bit, keep the length
+  FrameReader reader;
+  reader.feed(wire);
+  std::string out;
+  EXPECT_EQ(reader.next(out), FrameReader::State::kCorrupt);
+}
+
+TEST(Framing, OversizedLengthIsCorruptNotAllocated) {
+  // A reader with a small cap must reject a frame whose header claims more
+  // than the cap — that is a corrupted length field, not a real message.
+  FrameReader reader(/*max_frame_bytes=*/16);
+  reader.feed(encode_frame(std::string(64, 'x')));
+  std::string out;
+  EXPECT_EQ(reader.next(out), FrameReader::State::kCorrupt);
+}
+
+TEST(Envelope, RoundTrips) {
+  const std::string payload = "line one\nline two\n";
+  const std::string text = encode_envelope("tracesel-job", 3, payload);
+  const auto decoded = decode_envelope(text, "tracesel-job", 3, "job");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), payload);
+}
+
+TEST(Envelope, RejectsWrongTagVersionAndChecksum) {
+  const std::string text = encode_envelope("tracesel-job", 3, "payload");
+
+  const auto wrong_tag = decode_envelope(text, "tracesel-ck", 3, "job");
+  ASSERT_FALSE(wrong_tag.ok());
+  EXPECT_EQ(wrong_tag.error().code, ErrorCode::kParse);
+
+  const auto wrong_version = decode_envelope(text, "tracesel-job", 4, "job");
+  ASSERT_FALSE(wrong_version.ok());
+  EXPECT_EQ(wrong_version.error().code, ErrorCode::kParse);
+
+  std::string flipped = text;
+  flipped[flipped.size() - 2] ^= 0x01;
+  const auto bad_sum = decode_envelope(flipped, "tracesel-job", 3, "job");
+  ASSERT_FALSE(bad_sum.ok());
+  EXPECT_EQ(bad_sum.error().code, ErrorCode::kCorruptCapture);
+}
+
+TEST(Envelope, RejectsGarbageHeader) {
+  const auto r = decode_envelope("not an envelope", "tracesel-job", 1, "job");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kParse);
+}
+
+}  // namespace
+}  // namespace tracesel::util

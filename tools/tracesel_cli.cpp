@@ -37,6 +37,17 @@
 //   tracesel --worker                                   worker-process mode
 //       (internal: spawned by --workers; speaks the work-unit frame
 //       protocol on stdin/stdout)
+//   tracesel serve --socket PATH [--runners N] [--max-queue N]
+//       run traceseld: the long-lived selection/debug job daemon
+//       (docs/service.md). SIGTERM/SIGINT or a stop frame drains the
+//       queue, answers every waiting client, then exits 0.
+//   tracesel submit <t2|usb|spec.flow> --socket PATH [select flags]
+//       submit one job to a running daemon and wait for the result; with
+//       --json prints the daemon's report block, which is byte-identical
+//       to `tracesel select --json` for the same request
+//   tracesel stats --socket PATH                     daemon counters (JSON)
+//   tracesel ping --socket PATH                      daemon liveness probe
+//   tracesel stop --socket PATH                      drain-and-exit request
 //   tracesel dot <spec.flow> <flow-name>             Graphviz of one flow
 //   tracesel lint <spec.flow> [--buffer N] [--lenient]
 //       --lenient        accumulate parse errors instead of stopping at
@@ -74,6 +85,8 @@
 #include "tracesel/tracesel.hpp"
 
 #include "debug/report.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
 #include "debug/serialize.hpp"
 #include "flow/dot.hpp"
 #include "soc/fault_injector.hpp"
@@ -141,6 +154,13 @@ int usage() {
                " [--unit-deadline-ms N] [--max-retries N]\n"
                "                 [--dist-kill-rate R] [--dist-hang-rate R]"
                " [--dist-corrupt-rate R] [--dist-fault-seed N]\n"
+               "  tracesel serve --socket PATH [--runners N]"
+               " [--max-queue N]\n"
+               "  tracesel submit <t2|usb|spec.flow> --socket PATH"
+               " [--buffer N] [--instances K] [--mode M] [--no-packing]\n"
+               "                 [--no-symmetry-reduction] [--max-nodes N]"
+               " [--mem-budget-mb N] [--deadline-ms N] [--jobs N] [--json]\n"
+               "  tracesel stats|ping|stop --socket PATH\n"
                "  tracesel dot <spec.flow> <flow-name>\n"
                "  tracesel lint <spec.flow> [--buffer N] [--lenient]\n"
                "  tracesel debug <case 1..5> [--no-packing] [--vcd FILE]"
@@ -357,6 +377,140 @@ int cmd_select(int argc, char** argv) {
   return rc;
 }
 
+/// traceseld (docs/service.md): bind the socket, run jobs until SIGTERM/
+/// SIGINT or a stop frame, then drain and exit 0.
+int cmd_serve(int argc, char** argv) {
+  service::ServerOptions opt;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--socket") opt.socket_path = next();
+    else if (arg == "--runners") opt.runners = std::stoul(next());
+    else if (arg == "--max-queue") opt.max_queue = std::stoul(next());
+    else throw std::runtime_error("unknown option '" + arg + "'");
+  }
+  if (opt.socket_path.empty())
+    throw std::runtime_error("serve: --socket PATH is required");
+  // First SIGTERM/SIGINT drains the daemon (cooperative); a second kills.
+  opt.shutdown = g_cancel;
+  g_cooperative.store(true, std::memory_order_relaxed);
+  service::Server server(std::move(opt));
+  const auto st = server.start();
+  if (!st.ok()) throw std::runtime_error(st.error().to_string());
+  return server.serve();
+}
+
+/// Builds the JobRequest a submit-style argv describes. Shared by
+/// `tracesel submit` and the tests that need an identical request.
+JobRequest parse_submit_request(int argc, char** argv, std::string& socket,
+                                bool& json) {
+  JobRequest req;
+  req.spec.clear();
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--socket") socket = next();
+    else if (arg == "--buffer") req.buffer_width = std::stoul(next());
+    else if (arg == "--instances") req.instances = std::stoul(next());
+    else if (arg == "--no-packing") req.packing = false;
+    else if (arg == "--no-symmetry-reduction") req.symmetry_reduction = false;
+    else if (arg == "--max-nodes") req.max_nodes = std::stoull(next());
+    else if (arg == "--max-combinations")
+      req.max_combinations = std::stoull(next());
+    else if (arg == "--mem-budget-mb") req.mem_budget_mb = std::stoull(next());
+    else if (arg == "--deadline-ms") req.deadline_ms = std::stoull(next());
+    else if (arg == "--jobs") req.jobs = std::stoul(next());
+    else if (arg == "--json") json = true;
+    else if (arg == "--mode") {
+      auto mode = parse_search_mode(next());
+      if (!mode.ok()) throw std::runtime_error(mode.error().to_string());
+      req.mode = mode.value();
+    } else if (!arg.starts_with("--")) {
+      if (!req.spec.empty())
+        throw std::runtime_error("unexpected operand '" + arg + "'");
+      req.spec = arg;
+    } else {
+      throw std::runtime_error("unknown option '" + arg + "'");
+    }
+  }
+  if (req.spec.empty())
+    throw std::runtime_error("submit: missing <t2|usb|spec.flow> operand");
+  return req;
+}
+
+int cmd_submit(int argc, char** argv) {
+  std::string socket;
+  bool json = false;
+  const JobRequest req = parse_submit_request(argc, argv, socket, json);
+  if (socket.empty())
+    throw std::runtime_error("submit: --socket PATH is required");
+
+  auto client = service::Client::connect(socket);
+  if (!client.ok()) throw std::runtime_error(client.error().to_string());
+  g_cooperative.store(true, std::memory_order_relaxed);
+  const auto outcome = client.value().submit(
+      req, g_cancel, [](std::string_view status, std::uint64_t position) {
+        std::cerr << "job " << status;
+        if (status == "queued" && position > 0)
+          std::cerr << " (position " << position << ")";
+        std::cerr << '\n';
+      });
+  if (!outcome.ok()) throw std::runtime_error(outcome.error().to_string());
+  const service::JobOutcome& o = outcome.value();
+
+  std::cerr << "job " << o.job_id << ": " << o.status << " in "
+            << o.elapsed_ms << " ms"
+            << (o.cache_hit ? " (result cache hit)"
+                            : (o.workload_cache_hit ? " (workload cache hit)"
+                                                    : ""))
+            << '\n';
+  if (!o.error.empty()) std::cerr << "error: " << o.error << '\n';
+  if (json && !o.report_json.empty())
+    std::cout << o.report_json << '\n';  // the `select --json` bytes
+  else if (!o.metrics_json.empty())
+    std::cerr << "metrics: " << o.metrics_json << '\n';
+  if (o.status == "error") return 2;
+  if (o.status == "partial" || o.status == "cancelled")
+    return resilience::kExitInterrupted;
+  return 0;
+}
+
+/// stats / ping / stop — the bodyless daemon control verbs.
+int cmd_daemon_ctl(const std::string& verb, int argc, char** argv) {
+  std::string socket;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) socket = argv[++i];
+    else throw std::runtime_error("unknown option '" + arg + "'");
+  }
+  if (socket.empty())
+    throw std::runtime_error(verb + ": --socket PATH is required");
+  auto client = service::Client::connect(socket);
+  if (!client.ok()) throw std::runtime_error(client.error().to_string());
+  if (verb == "stats") {
+    auto stats = client.value().stats();
+    if (!stats.ok()) throw std::runtime_error(stats.error().to_string());
+    std::cout << stats.value() << '\n';
+    return 0;
+  }
+  if (verb == "ping") {
+    const auto st = client.value().ping();
+    if (!st.ok()) throw std::runtime_error(st.error().to_string());
+    std::cout << "pong\n";
+    return 0;
+  }
+  const auto st = client.value().stop();
+  if (!st.ok()) throw std::runtime_error(st.error().to_string());
+  std::cout << "draining\n";
+  return 0;
+}
+
 int cmd_lint(const std::string& path, std::uint32_t buffer, bool lenient) {
   flow::ParsedSpec spec;
   std::size_t parse_errors = 0;
@@ -488,6 +642,10 @@ int dispatch(int argc, char** argv) {
     if (cmd == "inspect" && argc == 3) return cmd_inspect(argv[2]);
     if (cmd == "select" && argc >= 3)
       return cmd_select(argc - 2, argv + 2);
+    if (cmd == "serve") return cmd_serve(argc - 2, argv + 2);
+    if (cmd == "submit" && argc >= 3) return cmd_submit(argc - 2, argv + 2);
+    if (cmd == "stats" || cmd == "ping" || cmd == "stop")
+      return cmd_daemon_ctl(cmd, argc - 2, argv + 2);
     if (cmd == "dot" && argc == 4) return cmd_dot(argv[2], argv[3]);
     if (cmd == "lint" && argc >= 3) {
       std::uint32_t buffer = 32;

@@ -47,6 +47,11 @@ inline void stamp_process(util::Json& out) {
 /// Stamps the process block into `out` and writes one BENCH_*.json result
 /// file atomically (temp + rename, so an interrupted bench never leaves a
 /// truncated JSON behind); false (with a diagnostic) on failure.
+///
+/// Invariant (audited PR 8): every BENCH_*.json under bench/ is written
+/// through this helper — no bench opens an ofstream on its result path
+/// directly. New benches must do the same; CI consumers treat the presence
+/// of a BENCH file as "complete and parseable".
 inline bool write_json(const std::string& path, util::Json out) {
   stamp_process(out);
   const util::Status st =

@@ -27,4 +27,4 @@ cmake -B "$TSAN_BUILD_DIR" -S . -DTRACESEL_SANITIZE=thread
 cmake --build "$TSAN_BUILD_DIR" -j
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$(nproc)" \
-    -R 'ThreadPool|Parallel|MonteCarlo|Session|Obs|Resilience|KillResume|CancelToken|ArtifactStore|QueryCore|Service|Framing|cli_select_jobs|cli_debug_jobs'
+    -R 'ThreadPool|Kernel|Parallel|MonteCarlo|Session|Obs|Resilience|KillResume|CancelToken|ArtifactStore|QueryCore|Service|Framing|cli_select_jobs|cli_debug_jobs'

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "flow/kernel.hpp"
 #include "util/obs.hpp"
 
 namespace tracesel::flow {
@@ -409,7 +410,29 @@ const InterleavedFlow& InterleavedFlow::concrete() const {
   return *concrete_.flow;
 }
 
+const kernel::Program& InterleavedFlow::program() const {
+  return *shared_program();
+}
+
+std::shared_ptr<const kernel::Program> InterleavedFlow::shared_program()
+    const {
+  std::lock_guard<std::mutex> lock(*kernel_.mutex);
+  if (!kernel_.program)
+    kernel_.program = std::make_shared<const kernel::Program>(
+        kernel::Program::compile(*this));
+  return kernel_.program;
+}
+
+void InterleavedFlow::adopt_program(
+    std::shared_ptr<const kernel::Program> program) const {
+  if (!program) return;
+  std::lock_guard<std::mutex> lock(*kernel_.mutex);
+  if (!kernel_.program) kernel_.program = std::move(program);
+}
+
 double InterleavedFlow::count_paths() const {
+  if (options_.kernel == KernelMode::kCompiled)
+    return program().count_paths();
   // Executions end at a stop tuple (Def. 2). In all flows in this repo stop
   // states are sinks, so "reaches a stop node" and "ends at a stop node"
   // coincide; we count the latter by backward DP over the DAG. Under
@@ -451,6 +474,8 @@ double InterleavedFlow::count_consistent_paths(
   // Observation names concrete instance indices, which breaks the
   // permutation symmetry — answer on the unreduced product.
   if (reduced_) return concrete().count_consistent_paths(selected, observed);
+  if (options_.kernel == KernelMode::kCompiled)
+    return program().count_consistent_paths(selected, observed);
 
   // f(n, j) = number of stop-terminated paths from n whose projection onto
   // `selected` extends observed[j..] as a prefix. Memoized on (node, j).
@@ -676,6 +701,11 @@ double InterleavedFlow::count_consistent_paths_multiset(
 
 std::vector<InterleavedFlow::LabelClassHistogram>
 InterleavedFlow::label_target_histograms() const {
+  // The compiled fast path exists where the generic one is table-shaped
+  // (unreduced edge counting); the reduced engine's orbit combinatorics
+  // stay generic — both are bit-identical either way.
+  if (!reduced_ && options_.kernel == KernelMode::kCompiled)
+    return program().label_target_histograms();
   return reduced_ ? histograms_reduced() : histograms_unreduced();
 }
 

@@ -47,6 +47,20 @@
 
 namespace tracesel::flow {
 
+namespace kernel {
+class Program;
+}
+
+/// Which DP engine answers path-count / consistent-path / histogram
+/// queries. kCompiled (the default) lazily compiles the graph into a flat
+/// kernel::Program — per-label dispatch tables + dense topological sweeps —
+/// and is bit-identical to kGeneric, the original memoized DPs kept as the
+/// reference fallback (DESIGN.md §14).
+enum class KernelMode : std::uint8_t {
+  kCompiled = 0,
+  kGeneric = 1,
+};
+
 /// Knobs for InterleavedFlow::build.
 struct InterleaveOptions {
   /// Store one canonical node per orbit of same-flow instance permutations
@@ -71,6 +85,9 @@ struct InterleaveOptions {
   /// orders of magnitude fewer materialized nodes — and records the
   /// fallback in degradation().
   std::size_t mem_budget_mb = 0;
+  /// Query engine; a runtime knob (results are bit-identical either way),
+  /// so it never participates in workload/result cache keys.
+  KernelMode kernel = KernelMode::kCompiled;
 };
 
 class InterleavedFlow {
@@ -237,8 +254,24 @@ class InterleavedFlow {
   /// not reduced). Built lazily on first use and cached; thread-safe.
   const InterleavedFlow& concrete() const;
 
+  /// The compiled kernel program for this graph, built lazily on first use
+  /// and cached; thread-safe. Independent of options().kernel — callers can
+  /// always reach the compiled tables explicitly.
+  const kernel::Program& program() const;
+  /// program() as a shareable handle (e.g. for the ArtifactStore's
+  /// per-spec program cache).
+  std::shared_ptr<const kernel::Program> shared_program() const;
+  /// Seeds the program cache with an already compiled Program for the same
+  /// graph (store hit); no-op when one is already cached.
+  void adopt_program(std::shared_ptr<const kernel::Program> program) const;
+
  private:
   InterleavedFlow() = default;
+
+  // Program::compile reads the private CSR/edge tables directly and the
+  // private histogram routines must stay reachable without recursing into
+  // the dispatching public methods.
+  friend class kernel::Program;
 
   // The concrete() cache: never copied with the graph, fresh mutex per
   // object so moved-from/copied engines stay independently lockable.
@@ -248,6 +281,17 @@ class InterleavedFlow {
     ConcreteCache& operator=(ConcreteCache&&) = default;
     std::unique_ptr<std::mutex> mutex;
     std::unique_ptr<InterleavedFlow> flow;
+  };
+
+  // The program() cache; shared_ptr (not unique_ptr) so an incomplete
+  // kernel::Program works here and handles can be shared with the
+  // ArtifactStore across the flows of one workload.
+  struct KernelCache {
+    KernelCache() : mutex(std::make_unique<std::mutex>()) {}
+    KernelCache(KernelCache&&) = default;
+    KernelCache& operator=(KernelCache&&) = default;
+    std::unique_ptr<std::mutex> mutex;
+    std::shared_ptr<const kernel::Program> program;
   };
 
   /// One build attempt with the options exactly as given (no budget
@@ -287,6 +331,7 @@ class InterleavedFlow {
   std::unordered_map<IndexedMessage, std::size_t> occurrence_counts_;
 
   mutable ConcreteCache concrete_;
+  mutable KernelCache kernel_;
 };
 
 }  // namespace tracesel::flow

@@ -52,7 +52,8 @@ void GainMemo::store(std::span<const flow::MessageId> sorted, double gain) {
 }
 
 double GainMemo::gain(const InfoGainEngine& engine,
-                      std::span<const flow::MessageId> combination) {
+                      std::span<const flow::MessageId> combination,
+                      flow::KernelMode mode) {
   std::vector<flow::MessageId> key(combination.begin(), combination.end());
   std::sort(key.begin(), key.end());
   if (const auto hit = lookup(key)) {
@@ -63,7 +64,7 @@ double GainMemo::gain(const InfoGainEngine& engine,
   // Score the caller's original order: info_gain sums per-message terms in
   // argument order, and packing callers pass unsorted unions — matching
   // their serial summation order keeps results bit-identical.
-  const double g = engine.info_gain(combination);
+  const double g = engine.info_gain(combination, mode);
   store(key, g);
   return g;
 }

@@ -39,9 +39,12 @@ class GainMemo {
 
   /// Lookup-or-compute-and-store. `combination` need not be sorted; a
   /// sorted copy is used as the key. Returns exactly what
-  /// engine.info_gain(combination) would.
+  /// engine.info_gain(combination) would. `mode` picks the scoring kernel
+  /// for misses; hits are mode-independent because both kernels produce
+  /// the same bits (so one memo serves mixed-mode tenants).
   double gain(const InfoGainEngine& engine,
-              std::span<const flow::MessageId> combination);
+              std::span<const flow::MessageId> combination,
+              flow::KernelMode mode = flow::KernelMode::kGeneric);
 
   std::size_t size() const;
 

@@ -38,6 +38,14 @@ class InfoGainEngine {
   /// the interleaved flow contribute zero.
   double info_gain(std::span<const flow::MessageId> combination) const;
 
+  /// info_gain dispatching on the kernel mode: kGeneric is the hash-map
+  /// path above, kCompiled sums the dense per-message table instead — the
+  /// same doubles added in the same (argument) order, so results are
+  /// bit-identical. (Absent ids add +0.0, which is exact: contributions are
+  /// nonnegative, so no partial sum is ever -0.0.)
+  double info_gain(std::span<const flow::MessageId> combination,
+                   flow::KernelMode mode) const;
+
   /// The contribution of a single indexed message to I(X;Y) — the inner sum
   /// over x for this y. Nonnegative; exposed for tests and diagnostics.
   double contribution(const flow::IndexedMessage& im) const;
@@ -47,6 +55,14 @@ class InfoGainEngine {
   /// message, info_gain(C) == sum of message_contribution over C — the
   /// property the exact knapsack search mode exploits.
   double message_contribution(flow::MessageId m) const;
+
+  /// message_contribution dispatching on the kernel mode (bit-identical).
+  double message_contribution(flow::MessageId m,
+                              flow::KernelMode mode) const;
+
+  /// Dense contribution table indexed by MessageId (+0.0 for ids labeling
+  /// no edge); what the compiled Step-2 kernel and GainCursor read.
+  const std::vector<double>& message_table() const { return dense_; }
 
   /// Upper bound on the gain any combination can reach on this flow
   /// (the gain of tracing every message).
@@ -60,7 +76,38 @@ class InfoGainEngine {
   std::unordered_map<flow::IndexedMessage, double> contrib_;
   // contributions aggregated per (unindexed) message id.
   std::unordered_map<flow::MessageId, double> contrib_by_message_;
+  // contrib_by_message_ flattened into a MessageId-indexed array.
+  std::vector<double> dense_;
   double total_gain_ = 0.0;
+};
+
+/// Incremental Step-2 scorer for enumeration walks (the compiled kernel's
+/// hot loop): maintains the exact left-to-right prefix sums of the current
+/// combination's per-message contributions as a stack, so scoring after a
+/// push/pop is O(1) instead of O(|combination|) — and the top of the stack
+/// is bit-identical to info_gain(current) because it *is* the same
+/// summation, merely not re-run from scratch.
+class GainCursor {
+ public:
+  explicit GainCursor(const InfoGainEngine& engine)
+      : table_(&engine.message_table()) {
+    sums_.reserve(64);
+    sums_.push_back(0.0);
+  }
+
+  void push(flow::MessageId m) {
+    const double c = m < table_->size() ? (*table_)[m] : 0.0;
+    sums_.push_back(sums_.back() + c);
+  }
+  void pop() { sums_.pop_back(); }
+
+  /// Gain of the pushed-so-far combination, in push order.
+  double gain() const { return sums_.back(); }
+  std::size_t depth() const { return sums_.size() - 1; }
+
+ private:
+  const std::vector<double>* table_;
+  std::vector<double> sums_;  ///< sums_[d] = gain of the first d pushes
 };
 
 }  // namespace tracesel::selection

@@ -21,12 +21,13 @@ PackingResult pack_leftover(const flow::MessageCatalog& catalog,
                             const Combination& base,
                             std::uint32_t buffer_width,
                             const std::vector<flow::MessageId>& candidates,
-                            GainMemo* memo) {
+                            GainMemo* memo, flow::KernelMode mode) {
   if (base.width > buffer_width)
     throw std::invalid_argument("pack_leftover: base exceeds buffer width");
 
   const auto score = [&](std::span<const flow::MessageId> set) {
-    return memo ? memo->gain(engine, set) : engine.info_gain(set);
+    return memo ? memo->gain(engine, set, mode)
+                : engine.info_gain(set, mode);
   };
 
   PackingResult result;

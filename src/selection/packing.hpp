@@ -46,13 +46,15 @@ class GainMemo;
 /// leaving them free. Throws std::invalid_argument if the base already
 /// exceeds the buffer. A non-null `memo` caches per-combination gains
 /// (shared with the Step 2 search); hits return the exact double a
-/// recomputation would, so results are unchanged.
+/// recomputation would, so results are unchanged. `mode` picks the scoring
+/// kernel (both produce the same bits).
 PackingResult pack_leftover(const flow::MessageCatalog& catalog,
                             const InfoGainEngine& engine,
                             const Combination& base,
                             std::uint32_t buffer_width,
                             const std::vector<flow::MessageId>& candidates,
-                            GainMemo* memo = nullptr);
+                            GainMemo* memo = nullptr,
+                            flow::KernelMode mode = flow::KernelMode::kGeneric);
 
 /// The message ids observable after packing: base messages plus parents of
 /// packed subgroups. This is what coverage/localization should be computed

@@ -56,11 +56,14 @@ struct SeedWalker {
 
   /// keep_going() is polled at every node (pre-filter) — cancellation.
   /// emit(messages, width) fires for every post-filter combination and
-  /// returns false to stop the walk (cap crossing). Returns false iff the
-  /// walk stopped early.
-  template <typename KeepGoing, typename Emit>
-  bool run(const ShardSeed& seed, KeepGoing&& keep_going,
-           Emit&& emit) const {
+  /// returns false to stop the walk (cap crossing). on_push(i) / on_pop()
+  /// mirror every candidate entering/leaving `current` (prefix included),
+  /// so an incremental scorer (GainCursor) can ride the walk. Returns
+  /// false iff the walk stopped early.
+  template <typename KeepGoing, typename Emit, typename OnPush,
+            typename OnPop>
+  bool run(const ShardSeed& seed, KeepGoing&& keep_going, Emit&& emit,
+           OnPush&& on_push, OnPop&& on_pop) const {
     const std::size_t n = candidates.size();
     std::vector<char> in_current(n, 0);
     std::vector<flow::MessageId> current;
@@ -70,6 +73,7 @@ struct SeedWalker {
       in_current[i] = 1;
       current.push_back(candidates[i]);
       width += widths[i];
+      on_push(i);
     }
 
     bool stopped = false;
@@ -97,7 +101,9 @@ struct SeedWalker {
           in_current[i] = 1;
           current.push_back(candidates[i]);
           width += widths[i];
+          on_push(i);
           self(self, i + 1);
+          on_pop();
           width -= widths[i];
           current.pop_back();
           in_current[i] = 0;
@@ -196,8 +202,14 @@ ParallelSelector::SearchOutcome ParallelSelector::search_sharded(
 
   const SeedWalker walker{candidates, widths, config.buffer_width,
                           maximal_only};
+  const bool compiled = config.kernel == flow::KernelMode::kCompiled;
   const auto run_seed = [&](const ShardSeed& seed, Best& best,
                             bool& stopped) {
+    // Compiled Step-2 hot loop: a per-shard GainCursor keeps the exact
+    // left-to-right prefix sums of the walk, so each emission scores in
+    // O(1) — the very summation info_gain(current) would run, not re-run
+    // from scratch, hence bit-identical champions.
+    GainCursor cursor(engine);
     const bool complete = walker.run(
         seed, [&] { return !cancel.cancelled(); },
         [&](const std::vector<flow::MessageId>& current,
@@ -210,8 +222,15 @@ ParallelSelector::SearchOutcome ParallelSelector::search_sharded(
             throw std::length_error(
                 "enumerate_combinations: result cap exceeded; use "
                 "maximal/greedy enumeration for large message sets");
-          best.offer(engine.info_gain(current), current, width);
+          best.offer(compiled ? cursor.gain() : engine.info_gain(current),
+                     current, width);
           return true;
+        },
+        [&](std::size_t i) {
+          if (compiled) cursor.push(candidates[i]);
+        },
+        [&] {
+          if (compiled) cursor.pop();
         });
     if (!complete) stopped = true;
   };
@@ -406,9 +425,13 @@ ParallelSelector::UnitOutcome ParallelSelector::run_unit(
   const SeedWalker walker{base_->candidates(), widths, config.buffer_width,
                           maximal_only};
 
+  const bool compiled = config.kernel == flow::KernelMode::kCompiled;
   UnitOutcome out;
   Best best;
   for (std::size_t s = begin; s < end; ++s) {
+    // Fresh cursor per seed: the walker pushes each seed's prefix without
+    // popping it at the end of the walk.
+    GainCursor cursor(engine);
     const bool complete = walker.run(
         seeds[s], [&] { return !cancel.cancelled(); },
         [&](const std::vector<flow::MessageId>& current,
@@ -422,8 +445,15 @@ ParallelSelector::UnitOutcome ParallelSelector::run_unit(
             out.cap_exceeded = true;
             return false;
           }
-          best.offer(engine.info_gain(current), current, width);
+          best.offer(compiled ? cursor.gain() : engine.info_gain(current),
+                     current, width);
           return true;
+        },
+        [&](std::size_t i) {
+          if (compiled) cursor.push(base_->candidates()[i]);
+        },
+        [&] {
+          if (compiled) cursor.pop();
         });
     if (!complete) {
       if (!out.cap_exceeded) out.stopped = true;

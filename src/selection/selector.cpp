@@ -43,7 +43,7 @@ Combination MessageSelector::search_exhaustive(const SelectorConfig& config,
   const Combination* best = nullptr;
   double best_gain = -1.0;
   for (const Combination& c : combos) {
-    const double g = engine_.info_gain(c.messages);
+    const double g = engine_.info_gain(c.messages, config.kernel);
     // Highest gain wins; ties prefer the narrower combination (more room
     // for Step 3 packing), then lexicographic for determinism.
     const bool better =
@@ -77,7 +77,7 @@ Combination MessageSelector::search_greedy(const SelectorConfig& config) const {
       if (current.width + w > config.buffer_width) continue;
       std::vector<flow::MessageId> trial = current.messages;
       trial.push_back(m);
-      const double g = engine_.info_gain(trial);
+      const double g = engine_.info_gain(trial, config.kernel);
       if (best == nullptr || g > best_gain ||
           (g == best_gain && w < best_width)) {
         best = &m;
@@ -119,7 +119,8 @@ Combination MessageSelector::search_knapsack(
     // caller gets an empty partial combination.
     if (config.cancel.cancelled()) return Combination{};
     const std::uint32_t w = catalog_->get(candidates_[i - 1]).trace_width();
-    const double v = engine_.message_contribution(candidates_[i - 1]);
+    const double v =
+        engine_.message_contribution(candidates_[i - 1], config.kernel);
     for (std::size_t cap = 0; cap <= wmax; ++cap) {
       dp[i][cap] = dp[i - 1][cap];
       if (w <= cap) {
@@ -202,7 +203,7 @@ Combination MessageSelector::search_beam(const SelectorConfig& config,
     e.combo.messages = {candidates_[i]};
     e.combo.width = widths[i];
     e.last = i;
-    e.gain = engine_.info_gain(e.combo.messages);
+    e.gain = engine_.info_gain(e.combo.messages, config.kernel);
     beam.push_back(std::move(e));
   }
 
@@ -229,7 +230,7 @@ Combination MessageSelector::search_beam(const SelectorConfig& config,
         c.combo.messages.push_back(candidates_[i]);
         c.combo.width = e.combo.width + widths[i];
         c.last = i;
-        c.gain = engine_.info_gain(c.combo.messages);
+        c.gain = engine_.info_gain(c.combo.messages, config.kernel);
         next.push_back(std::move(c));
       }
     }
@@ -251,8 +252,8 @@ SelectionResult MessageSelector::finalize(Combination combination,
   result.combination = std::move(combination);
 
   result.gain_unpacked =
-      memo ? memo->gain(engine_, result.combination.messages)
-           : engine_.info_gain(result.combination.messages);
+      memo ? memo->gain(engine_, result.combination.messages, config.kernel)
+           : engine_.info_gain(result.combination.messages, config.kernel);
   result.coverage_unpacked =
       flow_spec_coverage(*u_, result.combination.messages);
   result.used_width = result.combination.width;
@@ -261,7 +262,7 @@ SelectionResult MessageSelector::finalize(Combination combination,
     OBS_SPAN("selection.step3.packing");
     PackingResult packing =
         pack_leftover(*catalog_, engine_, result.combination,
-                      config.buffer_width, candidates_, memo);
+                      config.buffer_width, candidates_, memo, config.kernel);
     OBS_COUNT("selection.packed", packing.packed.size());
     result.packed = std::move(packing.packed);
     result.used_width += packing.width_added;
@@ -386,10 +387,10 @@ SelectionResult MessageSelector::select_with_flow_constraint(
     for (const flow::MessageId& m : f->messages()) {
       if (catalog_->get(m).trace_width() > config.buffer_width) continue;
       if (best == nullptr ||
-          engine_.message_contribution(m) >
-              engine_.message_contribution(*best) ||
-          (engine_.message_contribution(m) ==
-               engine_.message_contribution(*best) &&
+          engine_.message_contribution(m, config.kernel) >
+              engine_.message_contribution(*best, config.kernel) ||
+          (engine_.message_contribution(m, config.kernel) ==
+               engine_.message_contribution(*best, config.kernel) &&
            catalog_->get(m).trace_width() <
                catalog_->get(*best).trace_width()))
         best = &m;
@@ -419,7 +420,7 @@ SelectionResult MessageSelector::select_with_flow_constraint(
           }
         }
         if (!keeps) continue;
-        const double g = engine_.message_contribution(m);
+        const double g = engine_.message_contribution(m, config.kernel);
         if (victim == flow::kInvalidMessage || g < victim_gain) {
           victim = m;
           victim_gain = g;
@@ -443,13 +444,15 @@ SelectionResult MessageSelector::select_with_flow_constraint(
   }
 
   // Re-run Step 3 over the repaired combination and refresh the metrics.
-  result.gain_unpacked = engine_.info_gain(result.combination.messages);
+  result.gain_unpacked =
+      engine_.info_gain(result.combination.messages, config.kernel);
   result.coverage_unpacked =
       flow_spec_coverage(*u_, result.combination.messages);
   if (config.packing) {
     PackingResult packing =
         pack_leftover(*catalog_, engine_, result.combination,
-                      config.buffer_width, candidates_);
+                      config.buffer_width, candidates_, nullptr,
+                      config.kernel);
     result.packed = std::move(packing.packed);
     result.used_width = result.combination.width + packing.width_added;
     result.gain = packing.gain_after;

@@ -50,6 +50,11 @@ struct SelectorConfig {
   /// hardware thread, N = exactly N workers. Results are bit-identical to
   /// the serial path for every value.
   std::size_t jobs = 1;
+  /// Scoring/DP engine for the hot loops (DESIGN.md §14): kCompiled runs
+  /// the flat per-spec kernel tables, kGeneric the original reference
+  /// paths. A *runtime* knob — results are bit-identical either way — so
+  /// it never enters cache keys and composes freely with --jobs / resume.
+  flow::KernelMode kernel = flow::KernelMode::kCompiled;
   /// Observability sinks (tracesel::obs, DESIGN.md §10). Either being
   /// non-empty turns the obs layer on when the config reaches a
   /// tracesel::Session; Session::write_observability() then writes the

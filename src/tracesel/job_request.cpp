@@ -40,6 +40,7 @@ selection::SelectorConfig JobRequest::selector_config() const {
   cfg.max_combinations = static_cast<std::size_t>(max_combinations);
   cfg.jobs = jobs;
   cfg.mem_budget_mb = static_cast<std::size_t>(mem_budget_mb);
+  cfg.kernel = kernel;
   return cfg;
 }
 
@@ -48,6 +49,7 @@ flow::InterleaveOptions JobRequest::interleave_options() const {
   opt.symmetry_reduction = symmetry_reduction;
   opt.max_nodes = static_cast<std::size_t>(max_nodes);
   opt.mem_budget_mb = static_cast<std::size_t>(mem_budget_mb);
+  opt.kernel = kernel;
   return opt;
 }
 
@@ -117,6 +119,9 @@ std::string serialize_job_request(const JobRequest& req) {
   body << "mem_budget_mb " << req.mem_budget_mb << '\n';
   body << "jobs " << req.jobs << '\n';
   body << "deadline_ms " << req.deadline_ms << '\n';
+  body << "kernel "
+       << (req.kernel == flow::KernelMode::kGeneric ? "generic" : "compiled")
+       << '\n';
   // The inline spec rides as a length-prefixed raw block (it is multi-line
   // text, so the "key value" line discipline cannot carry it).
   body << "spec_text " << req.spec_text.size() << '\n';
@@ -166,6 +171,15 @@ util::Result<JobRequest> parse_job_request(std::string_view text) {
       auto mode = parse_search_mode(value);
       if (!mode.ok()) return mode.error();
       req.mode = mode.value();
+    } else if (key == "kernel") {
+      if (value == "compiled") {
+        req.kernel = flow::KernelMode::kCompiled;
+      } else if (value == "generic") {
+        req.kernel = flow::KernelMode::kGeneric;
+      } else {
+        return malformed("unknown kernel '" + std::string(value) +
+                         "' (expected compiled|generic)");
+      }
     } else if (key == "spec_text") {
       std::uint64_t n = 0;
       if (!to_u64(value, n)) return malformed("bad spec_text length");

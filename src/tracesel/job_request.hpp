@@ -74,6 +74,10 @@ struct JobRequest {
   /// daemon; the engine returns the best-so-far partial result when it
   /// fires.
   std::uint64_t deadline_ms = 0;
+  /// Which DP/scoring engine runs the hot loops (DESIGN.md §14). A runtime
+  /// knob like jobs: kCompiled and kGeneric produce bit-identical results,
+  /// so a cached result computed under either mode serves both.
+  flow::KernelMode kernel = flow::KernelMode::kCompiled;
 
   /// The engine structs this request denotes. Conversion is one-way by
   /// design: JobRequest is the source of truth, the legacy structs are the

@@ -228,6 +228,22 @@ util::Result<QueryCore::Outcome> QueryCore::run(const JobRequest& req,
     out.workload_cache_hit = false;
   }
 
+  // Share the compiled DP program across tenants of the same workload
+  // (DESIGN.md §14). Keyed by the workload key: the program is a pure
+  // function of the interleaved product. shared_program() compiles lazily
+  // inside the flow, so a cache hit adopts the store's handle and a miss
+  // publishes ours; a failed in-flight compile just falls back to the
+  // flow's own lazy compile on first use.
+  if (req.kernel == flow::KernelMode::kCompiled && out.workload->u) {
+    auto program = store->kernel_program(
+        wkey,
+        [&]() -> std::shared_ptr<const flow::kernel::Program> {
+          return out.workload->u->shared_program();
+        },
+        &out.kernel_cache_hit);
+    if (program) out.workload->u->adopt_program(std::move(program));
+  }
+
   const std::uint64_t rkey = req.canonical_hash(src.value());
   std::shared_ptr<const selection::SelectionResult> partial;
   out.result = store->result(

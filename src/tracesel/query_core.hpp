@@ -74,6 +74,9 @@ class QueryCore {
     std::shared_ptr<const selection::SelectionResult> result;
     bool workload_cache_hit = false;
     bool result_cache_hit = false;
+    /// Compiled kernel program resolved from the store rather than compiled
+    /// here (always false under --kernel=generic or without a store).
+    bool kernel_cache_hit = false;
   };
 
   // --- workload construction (Session and the daemon both build through

@@ -85,6 +85,10 @@ flow::InterleaveOptions Session::merged_interleave_options() const {
   flow::InterleaveOptions opt = interleave_options_;
   opt.cancel = config_.cancel;  // SIGINT/deadline covers the build too
   if (opt.mem_budget_mb == 0) opt.mem_budget_mb = config_.mem_budget_mb;
+  // --kernel=generic must reach the flow-level dispatch too, not just the
+  // Step 2 scoring loops (both default to kCompiled).
+  if (config_.kernel != flow::KernelMode::kCompiled)
+    opt.kernel = config_.kernel;
   return opt;
 }
 

@@ -7,6 +7,9 @@
 //       --mode M         maximal|exhaustive|greedy|knapsack
 //       --no-packing     disable Step 3
 //       --jobs N         worker threads (1 serial, 0 = all cores)
+//       --kernel M       compiled|generic scoring/DP engine (default
+//                        compiled; bit-identical results, runtime knob
+//                        like --jobs so it composes with --resume)
 //       --json           machine-readable output
 //       --no-symmetry-reduction   materialize every product state instead
 //                        of one weighted representative per orbit
@@ -139,12 +142,19 @@ double parse_number(const std::string& text, const char* flag) {
   }
 }
 
+flow::KernelMode parse_kernel_mode(const std::string& name) {
+  if (name == "compiled") return flow::KernelMode::kCompiled;
+  if (name == "generic") return flow::KernelMode::kGeneric;
+  throw std::runtime_error("unknown kernel '" + name +
+                           "' (expected compiled|generic)");
+}
+
 int usage() {
   std::cerr << "usage:\n"
                "  tracesel inspect <spec.flow>\n"
                "  tracesel select <spec.flow> [--buffer N] [--instances K]"
                " [--mode maximal|exhaustive|greedy|knapsack] [--no-packing]"
-               " [--jobs N] [--json]\n"
+               " [--jobs N] [--kernel compiled|generic] [--json]\n"
                "                 [--no-symmetry-reduction] [--max-nodes N]\n"
                "                 [--checkpoint FILE] [--checkpoint-interval N]"
                " [--resume FILE]\n"
@@ -159,7 +169,8 @@ int usage() {
                "  tracesel submit <t2|usb|spec.flow> --socket PATH"
                " [--buffer N] [--instances K] [--mode M] [--no-packing]\n"
                "                 [--no-symmetry-reduction] [--max-nodes N]"
-               " [--mem-budget-mb N] [--deadline-ms N] [--jobs N] [--json]\n"
+               " [--mem-budget-mb N] [--deadline-ms N] [--jobs N]"
+               " [--kernel M] [--json]\n"
                "  tracesel stats|ping|stop --socket PATH\n"
                "  tracesel dot <spec.flow> <flow-name>\n"
                "  tracesel lint <spec.flow> [--buffer N] [--lenient]\n"
@@ -235,6 +246,7 @@ int cmd_select(int argc, char** argv) {
     else if (arg == "--instances") { structural(); instances = std::stoul(next()); }
     else if (arg == "--no-packing") { structural(); cfg.packing = false; }
     else if (arg == "--jobs") cfg.jobs = std::stoul(next());
+    else if (arg == "--kernel") cfg.kernel = parse_kernel_mode(next());
     else if (arg == "--json") json = true;
     else if (arg == "--no-symmetry-reduction") {
       structural();
@@ -318,6 +330,7 @@ int cmd_select(int argc, char** argv) {
     // were restored from the checkpoint by Session::resume.
     selection::SelectorConfig rc = s.config();
     rc.jobs = cfg.jobs;
+    rc.kernel = cfg.kernel;
     if (checkpoint_given) rc.checkpoint_path = cfg.checkpoint_path;
     rc.checkpoint_interval = cfg.checkpoint_interval;
     rc.shard_budget = cfg.shard_budget;
@@ -426,6 +439,7 @@ JobRequest parse_submit_request(int argc, char** argv, std::string& socket,
     else if (arg == "--mem-budget-mb") req.mem_budget_mb = std::stoull(next());
     else if (arg == "--deadline-ms") req.deadline_ms = std::stoull(next());
     else if (arg == "--jobs") req.jobs = std::stoul(next());
+    else if (arg == "--kernel") req.kernel = parse_kernel_mode(next());
     else if (arg == "--json") json = true;
     else if (arg == "--mode") {
       auto mode = parse_search_mode(next());

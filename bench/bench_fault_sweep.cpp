@@ -87,11 +87,13 @@ int main() {
   }
 
   util::Json out = util::Json::object();
+  out.set("bench", util::Json::string("fault_sweep"));
   out.set("case_studies", util::Json::number(cases.size()));
   out.set("seeds_per_point", util::Json::number(kSeeds));
   out.set("crashes", util::Json::number(crashes));
   out.set("curve", std::move(curve));
   std::cout << out.dump(2) << '\n';
+  if (!bench::write_json("BENCH_fault_sweep.json", std::move(out))) return 2;
 
   bench::note("accuracy is measured against the fault-free verdict; it "
               "should decay gracefully with the fault rate while 'crashes' "

@@ -48,7 +48,7 @@ inline void stamp_process(util::Json& out) {
 /// file atomically (temp + rename, so an interrupted bench never leaves a
 /// truncated JSON behind); false (with a diagnostic) on failure.
 ///
-/// Invariant (audited PR 8): every BENCH_*.json under bench/ is written
+///// Invariant (audited PR 8): every BENCH_*.json under bench/ is written
 /// through this helper — no bench opens an ofstream on its result path
 /// directly. New benches must do the same; CI consumers treat the presence
 /// of a BENCH file as "complete and parseable".

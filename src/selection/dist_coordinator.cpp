@@ -123,6 +123,16 @@ SelectionResult DistCoordinator::run(const SelectorConfig& config) {
   util::ignore_sigpipe();
   stats_ = DistStats{};
 
+  // Distributed tracing: every dispatched unit carries this process's
+  // trace id and the id of the span enclosing this call, so worker unit
+  // spans parent under the coordinator's run span in the merged trace.
+  std::uint64_t trace_id = 0;
+  std::uint64_t root_span = 0;
+  if (obs::enabled()) {
+    trace_id = obs::ensure_trace_context().trace_id;
+    root_span = obs::current_span_id();
+  }
+
   const bool maximal_only = config.mode == SearchMode::kMaximal;
   const std::size_t seeds_total = selector_.seed_count(config);
 
@@ -270,6 +280,8 @@ SelectionResult DistCoordinator::run(const SelectorConfig& config) {
     request.seed_end = unit.end;
     request.heartbeat_ms = dist_.heartbeat_ms;
     request.fault = injector.action(unit.id, unit.attempts);
+    request.trace_id = trace_id;
+    request.parent_span_id = root_span;
     if (request.fault != DistFaultAction::kNone) {
       OBS_COUNT("dist.faults.injected", 1);
       ++stats_.faults_injected;
@@ -357,6 +369,23 @@ SelectionResult DistCoordinator::run(const SelectorConfig& config) {
           }
           accept_reply(slot, reply.value(),
                        validate_reply(reply.value(), slot.request));
+          break;
+        }
+        case FrameKind::kTelemetry: {
+          // Advisory: a worker's per-unit metrics + spans for the merged
+          // trace. A frame we cannot parse (skewed or damaged) is counted
+          // and dropped — the unit outcome travels in the reply alone.
+          auto telemetry = parse_unit_telemetry(payload);
+          if (telemetry.ok()) {
+            obs::adopt_remote_telemetry(
+                std::move(telemetry).value().telemetry);
+            OBS_COUNT("dist.telemetry.frames", 1);
+          } else {
+            util::Log(util::LogLevel::kWarn)
+                << "dist: dropping telemetry frame: "
+                << telemetry.error().to_string();
+            OBS_COUNT("dist.telemetry.rejected", 1);
+          }
           break;
         }
         case FrameKind::kUnitError: {

@@ -91,6 +91,20 @@ bool handle_request(std::string_view payload, FrameWriter& writer,
   }
   const WorkUnitRequest& request = parsed.value();
 
+  // A non-zero trace id means the coordinator is tracing: enable the obs
+  // layer (one-way), install the context so the unit span parents under
+  // the coordinator's root span, and reset so the telemetry shipped at
+  // unit completion is this unit's delta alone. Log lines from this unit
+  // carry its id, so interleaved multi-process logs stay attributable.
+  const bool tracing = request.trace_id != 0;
+  if (tracing) {
+    obs::set_enabled(true);
+    obs::reset();
+    obs::set_trace_context({request.trace_id, request.parent_span_id});
+    obs::set_process_label("tracesel-worker");
+  }
+  util::set_log_context("u" + std::to_string(request.unit_id));
+
   // Injected faults fire before any work so each failure mode is pure:
   // kill is a real crash (no reply, EOF at the coordinator), hang is a
   // real straggler (no heartbeats, no reply), corrupt damages an
@@ -139,6 +153,10 @@ bool handle_request(std::string_view payload, FrameWriter& writer,
 
   ParallelSelector::UnitOutcome outcome;
   {
+    // The unit span and the heartbeat thread share a scope: both close
+    // before telemetry capture, so the heartbeat thread's shard has folded
+    // into the retired accumulator by then and no increment is lost.
+    obs::Span unit_span("dist.unit");
     HeartbeatThread heartbeat(writer, request.unit_id,
                               std::chrono::milliseconds(request.heartbeat_ms));
     outcome = engine->selector->run_unit(
@@ -146,6 +164,17 @@ bool handle_request(std::string_view payload, FrameWriter& writer,
         static_cast<std::size_t>(request.seed_end));
   }
   OBS_COUNT("dist.worker.units", 1);
+  util::Log(util::LogLevel::kDebug)
+      << "dist.worker: unit done, seeds [" << request.seed_begin << ", "
+      << request.seed_end << ")";
+
+  // Telemetry rides its own advisory frame, sent before the reply: the
+  // coordinator merges it into the distributed trace, and a receiver that
+  // cannot parse it drops it without affecting the unit outcome.
+  if (tracing &&
+      !writer.send(serialize_unit_telemetry(request.unit_id,
+                                            obs::capture_telemetry())))
+    return false;
 
   WorkUnitReply reply;
   reply.unit_id = request.unit_id;

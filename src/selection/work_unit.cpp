@@ -92,8 +92,12 @@ std::string serialize_unit_request(const WorkUnitRequest& request) {
   out << "tracesel-unit-request " << WorkUnitRequest::kVersion << "\n"
       << "unit " << request.unit_id << ' ' << request.seed_begin << ' '
       << request.seed_end << ' ' << request.heartbeat_ms << ' '
-      << to_string(request.fault) << "\n"
-      << serialize_checkpoint(request.state);
+      << to_string(request.fault);
+  // Trace context rides as optional trailing tokens (see header comment);
+  // omitted entirely when tracing is off, so untraced wires are unchanged.
+  if (request.trace_id != 0)
+    out << ' ' << request.trace_id << ' ' << request.parent_span_id;
+  out << "\n" << serialize_checkpoint(request.state);
   return out.str();
 }
 
@@ -114,6 +118,10 @@ util::Result<WorkUnitRequest> parse_unit_request(std::string_view text) {
   auto fault = parse_fault_action(fields[4]);
   if (!fault.ok()) return R(fault.error());
   request.fault = fault.value();
+  if (fields.size() >= 7 &&
+      (!parse_u64(fields[5], request.trace_id) ||
+       !parse_u64(fields[6], request.parent_span_id)))
+    return R::err(ErrorCode::kParse, "work unit: unreadable trace context");
 
   auto state = parse_checkpoint(rest);
   if (!state.ok()) return R(state.error());
@@ -227,6 +235,27 @@ util::Result<UnitError> parse_unit_error(std::string_view text) {
   return err;
 }
 
+std::string serialize_unit_telemetry(std::uint64_t unit_id,
+                                     const obs::ProcessTelemetry& telemetry) {
+  return "tracesel-unit-telemetry " + std::to_string(unit_id) + '\n' +
+         obs::serialize_telemetry(telemetry);
+}
+
+util::Result<UnitTelemetry> parse_unit_telemetry(std::string_view text) {
+  using R = util::Result<UnitTelemetry>;
+  std::string_view rest = text;
+  const auto head = tokens_of(take_line(rest));
+  UnitTelemetry out;
+  if (head.size() != 2 || head[0] != "tracesel-unit-telemetry" ||
+      !parse_u64(head[1], out.unit_id))
+    return R::err(ErrorCode::kParse,
+                  "work unit: malformed telemetry frame header");
+  auto telemetry = obs::parse_telemetry(rest);
+  if (!telemetry.ok()) return R(telemetry.error());
+  out.telemetry = std::move(telemetry).value();
+  return out;
+}
+
 FrameKind classify_frame(std::string_view text) {
   const std::size_t sp = text.find_first_of(" \n");
   const std::string_view head =
@@ -235,6 +264,7 @@ FrameKind classify_frame(std::string_view text) {
   if (head == "tracesel-unit-reply") return FrameKind::kUnitReply;
   if (head == "tracesel-heartbeat") return FrameKind::kHeartbeat;
   if (head == "tracesel-unit-error") return FrameKind::kUnitError;
+  if (head == "tracesel-unit-telemetry") return FrameKind::kTelemetry;
   if (text == kShutdownFrame) return FrameKind::kShutdown;
   return FrameKind::kUnknown;
 }

@@ -14,19 +14,27 @@
 // to any of them is a work-unit retry, never an abort.
 //
 // Frames on the pipe (see util/subprocess.hpp for the byte framing):
-//   request    "tracesel-unit-request 1\nunit <id> <begin> <end> <hb> <fault>\n"
-//              + serialize_checkpoint(state)
+//   request    "tracesel-unit-request 1\nunit <id> <begin> <end> <hb> <fault>
+//              [<trace_id> <parent_span>]\n" + serialize_checkpoint(state)
 //   reply      "tracesel-unit-reply 1\nunit <id> <begin> <end> <cap>\n"
 //              + serialize_checkpoint(state)   // champion + emitted of unit
 //   heartbeat  "tracesel-heartbeat <id>"
 //   error      "tracesel-unit-error <id> <code> <message...>"
+//   telemetry  "tracesel-unit-telemetry <id>\n" + obs::serialize_telemetry
 //   shutdown   "tracesel-shutdown"
+//
+// The trailing trace-context tokens ride the version-1 unit line because
+// parse_envelope tolerates extra tokens: old coordinators never send them
+// (workers see trace_id 0 = tracing off), old workers ignore them.
+// Telemetry frames are advisory — a coordinator that cannot parse one
+// counts it and moves on; the unit outcome travels in the reply alone.
 
 #include <cstdint>
 #include <string>
 #include <string_view>
 
 #include "selection/checkpoint.hpp"
+#include "util/obs.hpp"
 #include "util/result.hpp"
 
 namespace tracesel::selection {
@@ -53,6 +61,11 @@ struct WorkUnitRequest {
   std::uint64_t seed_end = 0;
   std::uint32_t heartbeat_ms = 100;
   DistFaultAction fault = DistFaultAction::kNone;
+  /// Distributed trace identity (obs::TraceContext): 0 = tracing off. A
+  /// worker that receives a non-zero trace_id enables its obs layer and
+  /// parents its unit span under `parent_span_id`.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
   /// Search identity + provenance; progress/best fields are ignored on the
   /// request side (the worker rebuilds the session from provenance and
   /// validates the fingerprint).
@@ -105,6 +118,16 @@ struct UnitError {
 };
 util::Result<UnitError> parse_unit_error(std::string_view text);
 
+/// Worker telemetry shipped alongside (before) a unit reply: the worker's
+/// obs::ProcessTelemetry for that unit, tagged with the unit id.
+struct UnitTelemetry {
+  std::uint64_t unit_id = 0;
+  obs::ProcessTelemetry telemetry;
+};
+std::string serialize_unit_telemetry(std::uint64_t unit_id,
+                                     const obs::ProcessTelemetry& telemetry);
+util::Result<UnitTelemetry> parse_unit_telemetry(std::string_view text);
+
 inline constexpr std::string_view kShutdownFrame = "tracesel-shutdown";
 
 /// Frame discriminator (first token of the payload).
@@ -113,6 +136,7 @@ enum class FrameKind {
   kUnitReply,
   kHeartbeat,
   kUnitError,
+  kTelemetry,
   kShutdown,
   kUnknown,
 };

@@ -162,6 +162,20 @@ util::Result<std::string> Client::stats() {
   return std::move(msg.value().text);
 }
 
+util::Result<std::string> Client::telemetry() {
+  auto ws = send_payload(encode_simple(MessageType::kTelemetry));
+  if (!ws.ok()) return ws.error();
+  auto msg = next_message(nullptr, nullptr);
+  if (!msg.ok()) return msg.error();
+  if (msg.value().type == MessageType::kError)
+    return util::Result<std::string>::err(util::ErrorCode::kInternal,
+                                          msg.value().text);
+  if (msg.value().type != MessageType::kTelemetryResult)
+    return util::Result<std::string>::err(
+        util::ErrorCode::kParse, "unexpected reply to telemetry request");
+  return std::move(msg.value().text);
+}
+
 util::Status Client::ping() {
   auto ws = send_payload(encode_simple(MessageType::kPing));
   if (!ws.ok()) return ws;

@@ -49,6 +49,9 @@ class Client {
 
   /// The daemon's flat stats JSON (jobs.* and store.* counters).
   util::Result<std::string> stats();
+  /// The daemon's live telemetry JSON (queue/utilization gauges,
+  /// per-tenant accounting, event journal, slow-job log).
+  util::Result<std::string> telemetry();
   util::Status ping();
   /// Asks the daemon to drain and exit; resolves once the daemon acks.
   util::Status stop();

@@ -67,11 +67,13 @@ std::string_view to_string(MessageType type) {
     case MessageType::kSubmit: return "submit";
     case MessageType::kCancel: return "cancel";
     case MessageType::kStats: return "stats";
+    case MessageType::kTelemetry: return "telemetry";
     case MessageType::kStop: return "stop";
     case MessageType::kPing: return "ping";
     case MessageType::kEvent: return "event";
     case MessageType::kResult: return "result";
     case MessageType::kStatsResult: return "stats-result";
+    case MessageType::kTelemetryResult: return "telemetry-result";
     case MessageType::kPong: return "pong";
     case MessageType::kOk: return "ok";
     case MessageType::kError: return "error";
@@ -106,6 +108,9 @@ std::string encode_result(const JobOutcome& outcome) {
   append_block(out, "error", outcome.error);
   append_block(out, "metrics", outcome.metrics_json);
   append_block(out, "report", outcome.report_json);
+  // Appended after the original three blocks so a version-1 reader that
+  // stops at its known blocks keeps parsing results from newer daemons.
+  append_block(out, "telemetry", outcome.telemetry);
   out += "end\n";
   return out;
 }
@@ -113,6 +118,12 @@ std::string encode_result(const JobOutcome& outcome) {
 std::string encode_stats_result(std::string_view stats_json) {
   std::string out = header(MessageType::kStatsResult);
   append_block(out, "stats", stats_json);
+  return out;
+}
+
+std::string encode_telemetry_result(std::string_view telemetry_json) {
+  std::string out = header(MessageType::kTelemetryResult);
+  append_block(out, "telemetry", telemetry_json);
   return out;
 }
 
@@ -152,6 +163,7 @@ util::Result<Message> parse_message(std::string_view payload) {
   }
   if (verb == "cancel") { m.type = MessageType::kCancel; return m; }
   if (verb == "stats") { m.type = MessageType::kStats; return m; }
+  if (verb == "telemetry") { m.type = MessageType::kTelemetry; return m; }
   if (verb == "stop") { m.type = MessageType::kStop; return m; }
   if (verb == "ping") { m.type = MessageType::kPing; return m; }
   if (verb == "pong") { m.type = MessageType::kPong; return m; }
@@ -208,6 +220,9 @@ util::Result<Message> parse_message(std::string_view payload) {
         !take_block(body, "metrics", m.outcome.metrics_json) ||
         !take_block(body, "report", m.outcome.report_json))
       return malformed("bad result blocks");
+    // Optional (absent from version-1 daemons): take_block leaves `body`
+    // untouched on a name mismatch, so tolerating absence is safe.
+    (void)take_block(body, "telemetry", m.outcome.telemetry);
     if (!body.starts_with("end")) return malformed("result has no end marker");
     return m;
   }
@@ -216,6 +231,13 @@ util::Result<Message> parse_message(std::string_view payload) {
     m.type = MessageType::kStatsResult;
     if (!take_block(body, "stats", m.text))
       return malformed("bad stats block");
+    return m;
+  }
+
+  if (verb == "telemetry-result") {
+    m.type = MessageType::kTelemetryResult;
+    if (!take_block(body, "telemetry", m.text))
+      return malformed("bad telemetry block");
     return m;
   }
 

@@ -10,10 +10,12 @@
 //     tracesel-svc <verb> <version>
 //
 // mirroring the work-unit protocol's first-line headers. Client verbs:
-// submit (a serialized tracesel::JobRequest follows), cancel, stats, stop,
-// ping. Server verbs: event (job lifecycle: queued/started), result (the
-// job outcome with length-prefixed error/metrics/report blocks), stats,
-// pong, ok, error.
+// submit (a serialized tracesel::JobRequest follows), cancel, stats,
+// telemetry (the live introspection surface: journal, slow jobs, queue
+// gauges), stop, ping. Server verbs: event (job lifecycle:
+// queued/started), result (the job outcome with length-prefixed
+// error/metrics/report/telemetry blocks), stats, telemetry-result, pong,
+// ok, error.
 //
 // The report block of a result is selection::to_json(...).dump(2) — the
 // exact bytes `tracesel select --json` prints — so a daemon answer can be
@@ -38,12 +40,14 @@ enum class MessageType {
   kSubmit,
   kCancel,
   kStats,
+  kTelemetry,
   kStop,
   kPing,
   // server -> client
   kEvent,
   kResult,
   kStatsResult,
+  kTelemetryResult,
   kPong,
   kOk,
   kError,
@@ -63,6 +67,10 @@ struct JobOutcome {
   std::string error;         ///< non-empty iff status == "error"
   std::string metrics_json;  ///< per-job obs counter deltas (may be empty)
   std::string report_json;   ///< selection::to_json(...).dump(2) bytes
+  /// obs::serialize_telemetry of the daemon's per-job spans + counter
+  /// deltas, when the request carried a trace context (else empty). The
+  /// client adopts it to merge the daemon lane into its own trace.
+  std::string telemetry;
 
   bool ok() const { return status == "ok"; }
 };
@@ -85,6 +93,7 @@ std::string encode_simple(MessageType type);
 std::string encode_event(std::string_view status, std::uint64_t position);
 std::string encode_result(const JobOutcome& outcome);
 std::string encode_stats_result(std::string_view stats_json);
+std::string encode_telemetry_result(std::string_view telemetry_json);
 std::string encode_error(std::string_view message);
 
 /// Decodes one frame payload. Typed errors on unknown verbs, version

@@ -6,6 +6,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
@@ -41,6 +42,44 @@ std::string metrics_delta_json(
     if (value > prev) j.set(name, util::Json::number(value - prev));
   }
   return j.dump();
+}
+
+/// The same before/after delta as named counter pairs, for the telemetry
+/// shipped back to a tracing client.
+std::vector<std::pair<std::string, std::uint64_t>> metrics_delta_pairs(
+    const std::vector<std::pair<std::string, std::uint64_t>>& before,
+    const std::vector<std::pair<std::string, std::uint64_t>>& after) {
+  std::vector<std::pair<std::string, std::uint64_t>> delta;
+  std::size_t bi = 0;
+  for (const auto& [name, value] : after) {
+    std::uint64_t prev = 0;
+    while (bi < before.size() && before[bi].first != name) ++bi;
+    if (bi < before.size()) prev = before[bi].second;
+    if (value > prev) delta.emplace_back(name, value - prev);
+  }
+  return delta;
+}
+
+/// "svc.job 812ms, selection.step2.score 790ms, ..." — the job's longest
+/// spans, for the slow-job log.
+std::string span_summary(const std::vector<obs::TraceEvent>& events) {
+  std::vector<const obs::TraceEvent*> by_dur;
+  by_dur.reserve(events.size());
+  for (const obs::TraceEvent& e : events) by_dur.push_back(&e);
+  std::sort(by_dur.begin(), by_dur.end(),
+            [](const obs::TraceEvent* a, const obs::TraceEvent* b) {
+              return a->dur_ns > b->dur_ns;
+            });
+  std::string out;
+  const std::size_t top = std::min<std::size_t>(3, by_dur.size());
+  for (std::size_t i = 0; i < top; ++i) {
+    if (i != 0) out += ", ";
+    out += by_dur[i]->name;
+    out += ' ';
+    out += std::to_string(by_dur[i]->dur_ns / 1000000);
+    out += "ms";
+  }
+  return out;
 }
 
 }  // namespace
@@ -174,10 +213,12 @@ std::shared_ptr<Server::Job> Server::enqueue(JobRequest request,
   job->id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
   job->request = std::move(request);
   queue_.push_back(job);
+  OBS_GAUGE_MAX("svc.queue.peak_depth", queue_.size());
   {
     std::lock_guard<std::mutex> slk(stats_mu_);
     ++stats_.submitted;
   }
+  journal_append(job->id, job->request.tenant, "queued");
   queue_cv_.notify_one();
   return job;
 }
@@ -205,52 +246,92 @@ void Server::run_job(Job& job) {
     std::lock_guard<std::mutex> lk(stats_mu_);
     ++stats_.running;
   }
+  journal_append(job.id, job.request.tenant, "started");
   // The deadline starts when the job starts — queue time must not eat a
   // client's compute budget.
   if (job.request.deadline_ms > 0)
     job.cancel.set_timeout(std::chrono::milliseconds(job.request.deadline_ms));
 
+  // A tracing client stamped its TraceContext into the request: enable
+  // the obs layer (one-way — stats-only daemons stay zero-cost) so the
+  // job's spans and counter deltas can ride back in the result frame.
+  const bool tracing = job.request.trace_id != 0;
+  if (tracing) obs::set_enabled(true);
+
   const auto t0 = std::chrono::steady_clock::now();
   const auto before = obs::registry().thread_counter_values();
+  const std::size_t events_mark = obs::thread_events_mark();
 
   JobOutcome out;
   out.job_id = job.id;
-  try {
-    auto run = QueryCore::run(job.request, &store_, job.cancel);
-    if (!run.ok()) {
+  {
+    // The job span parents under the *client's* submit span (explicit
+    // parent: runners serve concurrent jobs with distinct parents, so the
+    // process-global context cannot carry it).
+    obs::Span job_span("svc.job", job.request.parent_span_id);
+    OBS_COUNT("svc.jobs", 1);
+    try {
+      auto run = QueryCore::run(job.request, &store_, job.cancel);
+      if (!run.ok()) {
+        out.status = "error";
+        out.error = run.error().to_string();
+      } else {
+        const QueryCore::Outcome& o = run.value();
+        out.cache_hit = o.result_cache_hit;
+        out.workload_cache_hit = o.workload_cache_hit;
+        // The exact bytes `tracesel select --json` prints, so clients can
+        // diff daemon answers against the single-process CLI.
+        out.report_json =
+            selection::to_json(*o.workload->catalog, *o.result).dump(2);
+        out.status = !o.result->partial
+                         ? "ok"
+                         : (job.client_cancelled.load(std::memory_order_relaxed)
+                                ? "cancelled"
+                                : "partial");
+      }
+    } catch (const util::CancelledError& e) {
+      // A stage with no partial form (parse, interleave build) unwound.
+      out.status = job.client_cancelled.load(std::memory_order_relaxed)
+                       ? "cancelled"
+                       : "partial";
+      out.error = e.what();
+    } catch (const std::exception& e) {
       out.status = "error";
-      out.error = run.error().to_string();
-    } else {
-      const QueryCore::Outcome& o = run.value();
-      out.cache_hit = o.result_cache_hit;
-      out.workload_cache_hit = o.workload_cache_hit;
-      // The exact bytes `tracesel select --json` prints, so clients can
-      // diff daemon answers against the single-process CLI.
-      out.report_json =
-          selection::to_json(*o.workload->catalog, *o.result).dump(2);
-      out.status = !o.result->partial
-                       ? "ok"
-                       : (job.client_cancelled.load(std::memory_order_relaxed)
-                              ? "cancelled"
-                              : "partial");
+      out.error = e.what();
     }
-  } catch (const util::CancelledError& e) {
-    // A stage with no partial form (parse, interleave build) unwound.
-    out.status = job.client_cancelled.load(std::memory_order_relaxed)
-                     ? "cancelled"
-                     : "partial";
-    out.error = e.what();
-  } catch (const std::exception& e) {
-    out.status = "error";
-    out.error = e.what();
   }
 
-  out.metrics_json =
-      metrics_delta_json(before, obs::registry().thread_counter_values());
+  const auto after = obs::registry().thread_counter_values();
+  out.metrics_json = metrics_delta_json(before, after);
   out.elapsed_ms = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now() - t0)
           .count());
+
+  // The per-job window of this runner thread's event buffer: the job's
+  // own spans (svc.job and everything under it), not the whole process.
+  std::vector<obs::TraceEvent> job_events =
+      obs::enabled() ? obs::thread_events_since(events_mark)
+                     : std::vector<obs::TraceEvent>{};
+  if (tracing) {
+    obs::ProcessTelemetry t;
+    t.label = "traceseld";
+    t.pid = static_cast<std::uint64_t>(::getpid());
+    t.epoch_ns = obs::trace_epoch_ns();
+    t.metrics.counters = metrics_delta_pairs(before, after);
+    for (const obs::TraceEvent& e : job_events) {
+      obs::WireTraceEvent w;
+      w.name = e.name;
+      w.ts_ns = e.ts_ns;
+      w.dur_ns = e.dur_ns;
+      w.tid = e.tid;
+      w.depth = e.depth;
+      w.span_id = e.span_id;
+      w.parent_id = e.parent_id;
+      t.events.push_back(std::move(w));
+    }
+    out.telemetry = obs::serialize_telemetry(t);
+  }
 
   {
     std::lock_guard<std::mutex> lk(stats_mu_);
@@ -260,12 +341,63 @@ void Server::run_job(Job& job) {
     else if (out.status == "cancelled") ++stats_.cancelled;
     else ++stats_.errors;
   }
+  journal_append(job.id, job.request.tenant, out.status, out.elapsed_ms,
+                 out.status == "error" ? out.error : std::string());
+  {
+    std::lock_guard<std::mutex> lk(telemetry_mu_);
+    busy_ms_ += out.elapsed_ms;
+    auto tenant = std::find_if(
+        tenants_.begin(), tenants_.end(),
+        [&](const auto& t) { return t.first == job.request.tenant; });
+    if (tenant == tenants_.end()) {
+      tenants_.emplace_back(job.request.tenant, TenantStats{});
+      tenant = std::prev(tenants_.end());
+    }
+    ++tenant->second.jobs;
+    if (out.status == "error") ++tenant->second.errors;
+    tenant->second.busy_ms += out.elapsed_ms;
+  }
+  if (out.elapsed_ms >= options_.slow_job_ms) {
+    OBS_COUNT("svc.jobs.slow", 1);
+    journal_append(job.id, job.request.tenant, "slow", out.elapsed_ms,
+                   span_summary(job_events));
+    std::lock_guard<std::mutex> lk(telemetry_mu_);
+    // journal_append copied the entry into the ring; mirror the newest
+    // one into the bounded slow-job log.
+    if (!journal_.empty()) {
+      slow_jobs_.push_back(journal_.back());
+      if (slow_jobs_.size() > 32) slow_jobs_.pop_front();
+    }
+  }
   {
     std::lock_guard<std::mutex> lk(job.mu);
     job.outcome = std::move(out);
     job.state = Job::State::kDone;
   }
   job.cv.notify_all();
+}
+
+std::uint64_t Server::uptime_ms() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - started_at_)
+          .count());
+}
+
+void Server::journal_append(std::uint64_t job_id, const std::string& tenant,
+                            std::string event, std::uint64_t elapsed_ms,
+                            std::string detail) {
+  std::lock_guard<std::mutex> lk(telemetry_mu_);
+  JournalEntry entry;
+  entry.seq = ++journal_seq_;
+  entry.at_ms = uptime_ms();
+  entry.job_id = job_id;
+  entry.tenant = tenant;
+  entry.event = std::move(event);
+  entry.elapsed_ms = elapsed_ms;
+  entry.detail = std::move(detail);
+  journal_.push_back(std::move(entry));
+  while (journal_.size() > options_.journal_capacity) journal_.pop_front();
 }
 
 void Server::connection_main(int fd) {
@@ -370,6 +502,9 @@ void Server::connection_main(int fd) {
         case MessageType::kStats:
           send(encode_stats_result(stats_json().dump(2)));
           break;
+        case MessageType::kTelemetry:
+          send(encode_telemetry_result(telemetry_json().dump(2)));
+          break;
         case MessageType::kStop:
           begin_drain();
           send(encode_simple(MessageType::kOk));
@@ -449,6 +584,67 @@ util::Json Server::stats_json() const {
   j.set("store.result.collisions", util::Json::number(ss.collisions));
   j.set("store.workload.entries", util::Json::number(ss.workload_entries));
   j.set("store.result.entries", util::Json::number(ss.result_entries));
+  return j;
+}
+
+util::Json Server::telemetry_json() const {
+  // Lock discipline: stats() takes stats_mu_ then queue_mu_ and releases
+  // both before telemetry_mu_ below (journal_append runs under queue_mu_ ->
+  // telemetry_mu_, so telemetry_mu_ must always be innermost).
+  const Stats s = stats();
+  const std::uint64_t up = uptime_ms();
+
+  const auto entry_json = [](const JournalEntry& e) {
+    util::Json j = util::Json::object();
+    j.set("seq", util::Json::number(e.seq));
+    j.set("at_ms", util::Json::number(e.at_ms));
+    j.set("job", util::Json::number(e.job_id));
+    if (!e.tenant.empty()) j.set("tenant", util::Json::string(e.tenant));
+    j.set("event", util::Json::string(e.event));
+    if (e.elapsed_ms != 0) j.set("elapsed_ms", util::Json::number(e.elapsed_ms));
+    if (!e.detail.empty()) j.set("detail", util::Json::string(e.detail));
+    return j;
+  };
+
+  util::Json j = util::Json::object();
+  j.set("uptime_ms", util::Json::number(up));
+  j.set("runners", util::Json::number(std::uint64_t{options_.runners}));
+  j.set("slow_job_threshold_ms", util::Json::number(options_.slow_job_ms));
+  j.set("queue.depth", util::Json::number(s.queued));
+  j.set("jobs.running", util::Json::number(s.running));
+  j.set("jobs.submitted", util::Json::number(s.submitted));
+  j.set("jobs.completed", util::Json::number(s.completed));
+  j.set("jobs.errors", util::Json::number(s.errors));
+
+  std::lock_guard<std::mutex> lk(telemetry_mu_);
+  j.set("busy_ms", util::Json::number(busy_ms_));
+  // Runner utilization over the daemon's lifetime: busy runner-ms over
+  // elapsed runner-ms, clamped (in-flight jobs are not yet in busy_ms_).
+  const double capacity_ms =
+      static_cast<double>(up) * static_cast<double>(options_.runners);
+  const double util_ratio =
+      capacity_ms > 0.0
+          ? std::min(1.0, static_cast<double>(busy_ms_) / capacity_ms)
+          : 0.0;
+  j.set("utilization", util::Json::number(util_ratio));
+
+  util::Json tenants = util::Json::object();
+  for (const auto& [name, t] : tenants_) {
+    util::Json tj = util::Json::object();
+    tj.set("jobs", util::Json::number(t.jobs));
+    tj.set("errors", util::Json::number(t.errors));
+    tj.set("busy_ms", util::Json::number(t.busy_ms));
+    tenants.set(name.empty() ? "-" : name, std::move(tj));
+  }
+  j.set("tenants", std::move(tenants));
+
+  util::Json journal = util::Json::array();
+  for (const JournalEntry& e : journal_) journal.push_back(entry_json(e));
+  j.set("journal", std::move(journal));
+
+  util::Json slow = util::Json::array();
+  for (const JournalEntry& e : slow_jobs_) slow.push_back(entry_json(e));
+  j.set("slow_jobs", std::move(slow));
   return j;
 }
 

@@ -59,6 +59,11 @@ struct ServerOptions {
   std::size_t max_queue = 64;
   /// Oversized-frame guard for client connections.
   std::size_t max_frame_bytes = 16u << 20;
+  /// Jobs whose wall time meets this threshold are recorded in the
+  /// slow-job log (telemetry surface) with a span summary.
+  std::uint64_t slow_job_ms = 1000;
+  /// Ring-buffer capacity of the telemetry event journal.
+  std::size_t journal_capacity = 256;
   /// Drain-and-exit trigger; the CLI points this at its signal token so
   /// SIGTERM/SIGINT drain the daemon. Defaults to a live token.
   util::CancelToken shutdown = util::CancelToken::make();
@@ -96,6 +101,24 @@ class Server {
   /// counters (the CI smoke step greps store.result.hits here).
   util::Json stats_json() const;
 
+  /// One journal ring-buffer entry: a job lifecycle transition stamped
+  /// with uptime, job id and tenant. "slow" entries additionally carry a
+  /// span summary (the job's longest spans, when the obs layer is on).
+  struct JournalEntry {
+    std::uint64_t seq = 0;
+    std::uint64_t at_ms = 0;  ///< server uptime at the event
+    std::uint64_t job_id = 0;
+    std::string tenant;
+    std::string event;  ///< queued|started|ok|partial|cancelled|error|slow
+    std::uint64_t elapsed_ms = 0;  ///< job wall time (terminal events)
+    std::string detail;            ///< span summary / error text
+  };
+
+  /// The live introspection surface behind the telemetry verb
+  /// (docs/service.md): queue/utilization gauges, per-tenant accounting,
+  /// the event journal and the slow-job log.
+  util::Json telemetry_json() const;
+
   ArtifactStore& store() { return store_; }
   const std::string& socket_path() const { return options_.socket_path; }
 
@@ -114,6 +137,10 @@ class Server {
 
   void runner_main();
   void connection_main(int fd);
+  std::uint64_t uptime_ms() const;
+  void journal_append(std::uint64_t job_id, const std::string& tenant,
+                      std::string event, std::uint64_t elapsed_ms = 0,
+                      std::string detail = {});
   /// nullptr (with a reason in `why`) when the queue is full or draining.
   std::shared_ptr<Job> enqueue(JobRequest request, std::string& why);
   std::shared_ptr<Job> pop_job();
@@ -133,6 +160,20 @@ class Server {
 
   mutable std::mutex stats_mu_;
   Stats stats_;
+
+  /// Telemetry surface state (journal ring, slow-job log, per-tenant
+  /// accounting, busy-time integral for the utilization gauge).
+  struct TenantStats {
+    std::uint64_t jobs = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t busy_ms = 0;
+  };
+  mutable std::mutex telemetry_mu_;
+  std::deque<JournalEntry> journal_;
+  std::uint64_t journal_seq_ = 0;
+  std::deque<JournalEntry> slow_jobs_;
+  std::vector<std::pair<std::string, TenantStats>> tenants_;
+  std::uint64_t busy_ms_ = 0;
 
   std::vector<std::thread> runners_;
   std::mutex conns_mu_;

@@ -122,6 +122,14 @@ std::string serialize_job_request(const JobRequest& req) {
   body << "kernel "
        << (req.kernel == flow::KernelMode::kGeneric ? "generic" : "compiled")
        << '\n';
+  body << "trace_id " << req.trace_id << '\n';
+  body << "parent_span_id " << req.parent_span_id << '\n';
+  // Tenant labels are single tokens on the wire ("-" = none); spaces would
+  // desynchronize the key/value line discipline.
+  std::string tenant = req.tenant.empty() ? "-" : req.tenant;
+  for (char& c : tenant)
+    if (c == ' ' || c == '\n' || c == '\r') c = '_';
+  body << "tenant " << tenant << '\n';
   // The inline spec rides as a length-prefixed raw block (it is multi-line
   // text, so the "key value" line discipline cannot carry it).
   body << "spec_text " << req.spec_text.size() << '\n';
@@ -167,6 +175,8 @@ util::Result<JobRequest> parse_job_request(std::string_view text) {
       }
     } else if (key == "spec") {
       req.spec = value == "-" ? "" : std::string(value);
+    } else if (key == "tenant") {
+      req.tenant = value == "-" ? "" : std::string(value);
     } else if (key == "mode") {
       auto mode = parse_search_mode(value);
       if (!mode.ok()) return mode.error();
@@ -210,6 +220,10 @@ util::Result<JobRequest> parse_job_request(std::string_view text) {
         req.jobs = static_cast<std::uint32_t>(v);
       } else if (key == "deadline_ms") {
         req.deadline_ms = v;
+      } else if (key == "trace_id") {
+        req.trace_id = v;
+      } else if (key == "parent_span_id") {
+        req.parent_span_id = v;
       } else {
         return malformed("unknown field '" + std::string(key) + "'");
       }

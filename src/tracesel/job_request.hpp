@@ -78,6 +78,15 @@ struct JobRequest {
   /// knob like jobs: kCompiled and kGeneric produce bit-identical results,
   /// so a cached result computed under either mode serves both.
   flow::KernelMode kernel = flow::KernelMode::kCompiled;
+  /// Distributed trace identity (obs::TraceContext; 0 = client not
+  /// tracing). Runtime-only: identical jobs from traced and untraced
+  /// clients share a cache line, and the daemon's telemetry reply is keyed
+  /// to the connection, not the result bits.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
+  /// Free-form tenant label for the daemon's per-tenant accounting
+  /// (telemetry surface); empty = unattributed. Never hashed.
+  std::string tenant;
 
   /// The engine structs this request denotes. Conversion is one-way by
   /// design: JobRequest is the source of truth, the legacy structs are the

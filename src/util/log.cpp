@@ -35,12 +35,31 @@ std::uint32_t thread_id() {
       next.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
+// One mutex guards both the emit stream and the context string.
+std::mutex g_emit_mu;
+std::string g_context;  // guarded by g_emit_mu
+
 }  // namespace
 
 LogLevel log_threshold() { return g_threshold.load(std::memory_order_relaxed); }
 
 void set_log_threshold(LogLevel level) {
   g_threshold.store(level, std::memory_order_relaxed);
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "warn";
+}
+
+void set_log_context(std::string context) {
+  std::lock_guard<std::mutex> lk(g_emit_mu);
+  g_context = std::move(context);
 }
 
 namespace detail {
@@ -50,9 +69,10 @@ void emit(LogLevel level, const std::string& text) {
   char stamp[48];
   std::snprintf(stamp, sizeof stamp, "%10.6f t%02u ", elapsed_s(),
                 thread_id());
-  static std::mutex mu;
-  std::lock_guard<std::mutex> lk(mu);
-  std::clog << prefix(level) << stamp << text << '\n';
+  std::lock_guard<std::mutex> lk(g_emit_mu);
+  std::clog << prefix(level) << stamp;
+  if (!g_context.empty()) std::clog << '[' << g_context << "] ";
+  std::clog << text << '\n';
 }
 }  // namespace detail
 

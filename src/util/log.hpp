@@ -14,6 +14,15 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 LogLevel log_threshold();
 void set_log_threshold(LogLevel level);
 
+/// CLI flag spelling of a level ("debug", "info", "warn", "error").
+const char* log_level_name(LogLevel level);
+
+/// Process-global context tag inserted between the stamp and the text of
+/// every log line (empty = none). A distributed worker sets this to the
+/// work-unit id it is serving, so interleaved multi-process logs stay
+/// attributable.
+void set_log_context(std::string context);
+
 namespace detail {
 void emit(LogLevel level, const std::string& text);
 }

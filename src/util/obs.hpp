@@ -33,6 +33,18 @@
 // <subsystem>.<noun>[.<detail>] — e.g. "interleave.interner.probes",
 // "selection.gain.evals", "pool.idle_ns". Span latencies are automatically
 // mirrored into a histogram named "span.<span name>".
+//
+// Distributed tracing (DESIGN.md §15): every span carries a process-unique
+// span id and the id of its parent (the innermost open span on the same
+// thread, or the process-global TraceContext parent for thread roots). A
+// coordinating process stamps its TraceContext into the frames it sends;
+// the remote process installs it, so its root spans parent under the
+// coordinator's span. At completion the remote ships a ProcessTelemetry
+// (metrics snapshot + trace events + its steady-clock epoch) back;
+// adopt_remote_telemetry() rebases the events onto the local epoch
+// (CLOCK_MONOTONIC is machine-wide, so the correction is exact) and the
+// export paths then emit one Chrome trace lane per process and one
+// aggregated metrics JSON.
 
 #include <atomic>
 #include <cstddef>
@@ -43,6 +55,7 @@
 #include <vector>
 
 #include "util/json.hpp"
+#include "util/result.hpp"
 
 namespace tracesel::obs {
 
@@ -65,9 +78,36 @@ inline bool enabled() {
 }
 void set_enabled(bool on);
 
-/// Clears every metric value and trace event and restarts the trace epoch.
-/// The name -> id table is preserved, so cached metric ids stay valid.
+/// Clears every metric value, trace event and adopted remote telemetry and
+/// restarts the trace epoch. The name -> id table and the trace context are
+/// preserved, so cached metric ids stay valid.
 void reset();
+
+/// Cross-process trace identity. `trace_id` names the whole distributed
+/// trace; `parent_span_id` is the span a thread-root span parents under
+/// (0 = no parent). Stamped into work-unit frames by the coordinator and
+/// into JobRequests by daemon clients; installed by the remote process
+/// before it opens its root span.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
+};
+
+void set_trace_context(TraceContext ctx);
+TraceContext trace_context();
+/// Installs a freshly generated trace_id when none is set yet; returns the
+/// (now non-zero) context. The parent_span_id is left untouched.
+TraceContext ensure_trace_context();
+
+/// Span id of the calling thread's innermost open span (0 when none, or
+/// when the layer is off). This is what a coordinator stamps into frames
+/// as the remote side's parent_span_id.
+std::uint64_t current_span_id();
+
+/// Human-readable process lane label for the Chrome trace ("tracesel",
+/// "tracesel-worker", "traceseld"). Spaces are normalized to '_'.
+void set_process_label(std::string_view label);
+std::string process_label();
 
 struct CounterId { std::uint32_t index = 0; };
 struct GaugeId { std::uint32_t index = 0; };
@@ -105,10 +145,18 @@ struct TraceEvent {
   std::uint64_t dur_ns = 0;
   std::uint32_t tid = 0;    ///< dense per-thread id, assigned on first use
   std::uint32_t depth = 0;  ///< nesting depth within its thread
+  std::uint64_t span_id = 0;    ///< process-unique id of this span
+  std::uint64_t parent_id = 0;  ///< enclosing span / TraceContext parent / 0
 };
 
 class Span;
 std::vector<TraceEvent> trace_events();
+
+/// Window over the calling thread's own event buffer, for per-job span
+/// capture in the daemon: mark before the job, collect the delta after.
+/// A reset() between the two calls yields an empty (never stale) window.
+std::size_t thread_events_mark();
+std::vector<TraceEvent> thread_events_since(std::size_t mark);
 
 class MetricsRegistry {
  public:
@@ -155,7 +203,13 @@ MetricsRegistry& registry();
 class Span {
  public:
   explicit Span(const char* name) {
-    if (enabled()) begin(name);
+    if (enabled()) begin(name, 0);
+  }
+  /// Explicit-parent form for work that executes on behalf of a remote
+  /// span when the process-global TraceContext cannot carry it (e.g. a
+  /// daemon runner thread serving concurrent jobs with distinct parents).
+  Span(const char* name, std::uint64_t parent_span_id) {
+    if (enabled()) begin(name, parent_span_id);
   }
   ~Span() {
     if (name_ != nullptr) end();
@@ -163,26 +217,100 @@ class Span {
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
+  /// This span's id (0 when the layer was off at construction).
+  std::uint64_t id() const { return span_id_; }
+
  private:
-  void begin(const char* name);
+  void begin(const char* name, std::uint64_t parent_override);
   void end();
 
   const char* name_ = nullptr;
   std::uint64_t start_ns_ = 0;
   std::uint32_t depth_ = 0;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t parent_id_ = 0;
 };
 
+// --- cross-process telemetry ------------------------------------------
+
+/// A TraceEvent with the name materialized, so it survives the wire (the
+/// in-process form stores a string-literal pointer).
+struct WireTraceEvent {
+  std::string name;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
+};
+
+/// One process's contribution to a distributed trace: its metrics snapshot
+/// plus its trace events, timestamped against its own steady-clock epoch.
+/// The per-thread counter split does not travel (it is a process-local
+/// shard-balance diagnostic).
+struct ProcessTelemetry {
+  std::string label = "tracesel";
+  std::uint64_t pid = 0;
+  std::int64_t epoch_ns = 0;  ///< source process's trace epoch (steady clock)
+  MetricsSnapshot metrics;
+  std::vector<WireTraceEvent> events;
+};
+
+inline constexpr std::uint32_t kTelemetryVersion = 1;
+
+/// This process's trace epoch (steady-clock ns at process start or the
+/// last reset()) — the timestamp base of every TraceEvent.
+std::int64_t trace_epoch_ns();
+
+/// Snapshot of this process's telemetry (label, pid, epoch, metrics,
+/// events) — what a worker ships back at work-unit completion.
+ProcessTelemetry capture_telemetry();
+
+/// Versioned, checksummed text encoding ("tracesel-telemetry" envelope).
+/// parse rejects version skew, checksum mismatches and malformed bodies
+/// with typed errors — a receiver must reject, never crash.
+std::string serialize_telemetry(const ProcessTelemetry& telemetry);
+util::Result<ProcessTelemetry> parse_telemetry(std::string_view wire);
+
+/// Exact merge of two histogram snapshots: bucket counts and count/sum
+/// add; min/max are recomputed exactly (an empty side contributes nothing,
+/// so its sentinel 0 min never leaks into the merge).
+void merge_histogram(HistogramSnapshot& into, const HistogramSnapshot& from);
+/// Merges `from` into `into`: counters and histograms add, gauges keep the
+/// max (high-water semantics). Names absent from `into` are appended.
+void merge_metrics(MetricsSnapshot& into, const MetricsSnapshot& from);
+
+/// Folds a remote process's telemetry into this process's export paths:
+/// events are rebased onto the local epoch (steady clock is machine-wide,
+/// so corrected_ts = ts + remote_epoch - local_epoch is exact), repeat
+/// adoptions from the same (pid, label) merge into one lane, and
+/// chrome_trace_json()/metrics_json()/prometheus_text() then report the
+/// merged view. Cleared by reset().
+void adopt_remote_telemetry(ProcessTelemetry remote);
+/// The adopted remote lanes (rebased), for tests and aggregation checks.
+std::vector<ProcessTelemetry> adopted_telemetry();
+
 /// Chrome trace-event JSON ("X" complete events, microsecond timestamps)
-/// — load the written file in chrome://tracing or ui.perfetto.dev.
+/// — load the written file in chrome://tracing or ui.perfetto.dev. One
+/// lane (pid) per process: pid 1 is this process, adopted remote
+/// processes follow in adoption order. Event args carry span/parent ids.
 util::Json chrome_trace_json();
 /// Flat metrics JSON: process stats, counters, gauges, histograms and the
-/// per-thread counter split.
+/// per-thread counter split. With adopted telemetry the top-level blocks
+/// are the cross-process aggregate and "per_process" breaks them out.
 util::Json metrics_json();
+
+/// Prometheus text exposition of the (aggregated) registry: counters,
+/// gauges, and histograms as cumulative le-buckets. Metric names have
+/// '.' mapped to '_' and a "tracesel_" prefix.
+std::string prometheus_text();
 
 /// Convenience writers; false (plus a log line) when the file cannot be
 /// opened.
 bool write_chrome_trace(const std::string& path);
 bool write_metrics(const std::string& path);
+bool write_prometheus(const std::string& path);
 
 /// Process-wide helpers (also mirrored into gauges by
 /// update_process_gauges so bench JSON can read them from the registry).

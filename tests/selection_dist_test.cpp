@@ -128,6 +128,108 @@ TEST(DistTest, RetriesObservableInMetricsRegistry) {
   EXPECT_GT(stats.units_retried + stats.units_salvaged, 0u);
 }
 
+TEST(DistTest, MergedTraceHasOneLanePerProcessParentedUnderCoordinator) {
+  obs::set_enabled(true);
+  obs::reset();
+  Session session = Session::from_spec_file(TRACESEL_DATA_DIR "/fig2.flow");
+  const auto r = session.run_distributed(dist_config(2, {}));
+  EXPECT_FALSE(r.combination.messages.empty());
+
+  // The coordinator's root span and trace context exist.
+  const auto ctx = obs::trace_context();
+  EXPECT_NE(ctx.trace_id, 0u);
+  std::uint64_t coord_root = 0;
+  for (const auto& e : obs::trace_events())
+    if (std::string(e.name) == "selection.dist.run") coord_root = e.span_id;
+  ASSERT_NE(coord_root, 0u);
+
+  // Worker telemetry was adopted: at least one remote lane labeled
+  // tracesel-worker, whose dist.unit root spans parent under the
+  // coordinator's run span.
+  const auto lanes = obs::adopted_telemetry();
+  ASSERT_GE(lanes.size(), 1u);
+  std::uint64_t adopted_units = 0;
+  for (const auto& lane : lanes) {
+    EXPECT_EQ(lane.label, "tracesel-worker");
+    EXPECT_EQ(lane.epoch_ns, obs::trace_epoch_ns());  // rebased
+    for (const auto& e : lane.events)
+      if (e.name == "dist.unit") {
+        ++adopted_units;
+        EXPECT_EQ(e.parent_id, coord_root);
+      }
+  }
+  EXPECT_GT(adopted_units, 0u);
+
+  // Aggregated metrics = local + sum of every adopted lane: the workers'
+  // dist.worker.units counter only exists remotely, so the aggregate must
+  // equal the lane sum exactly — and equal the telemetry frame count.
+  std::uint64_t lane_units = 0;
+  for (const auto& lane : lanes)
+    for (const auto& [name, value] : lane.metrics.counters)
+      if (name == "dist.worker.units") lane_units += value;
+  EXPECT_GT(lane_units, 0u);
+  const std::string metrics = obs::metrics_json().dump(2);
+  EXPECT_NE(
+      metrics.find("\"dist.worker.units\": " + std::to_string(lane_units)),
+      std::string::npos)
+      << metrics;
+  EXPECT_EQ(obs::registry().counter_value("dist.telemetry.frames"),
+            adopted_units);
+
+  // One Chrome lane per process: the local process plus each worker.
+  const std::string trace = obs::chrome_trace_json().dump(2);
+  EXPECT_NE(trace.find("\"tracesel-worker #"), std::string::npos);
+  std::size_t lane_metas = 0;
+  for (std::size_t pos = trace.find("\"process_name\"");
+       pos != std::string::npos;
+       pos = trace.find("\"process_name\"", pos + 1))
+    ++lane_metas;
+  EXPECT_EQ(lane_metas, 1u + lanes.size());
+
+  obs::set_enabled(false);
+  obs::reset();
+  obs::set_trace_context({});
+}
+
+TEST(DistTest, KilledWorkersStillYieldWellFormedMergedTrace) {
+  // A kill schedule terminates workers mid-unit: their telemetry frames
+  // for completed units still merge, frames lost with the process are
+  // simply absent, and the run's trace/metrics stay well-formed.
+  obs::set_enabled(true);
+  obs::reset();
+  Session reference = Session::from_spec_file(TRACESEL_DATA_DIR "/fig2.flow");
+  const auto serial = reference.select();
+  obs::reset();
+
+  Session session = Session::from_spec_file(TRACESEL_DATA_DIR "/fig2.flow");
+  DistFaultProfile faults;
+  faults.kill_rate = 0.6;
+  faults.seed = 7;
+  const auto r = session.run_distributed(dist_config(2, faults));
+  expect_identical(serial, r);
+  ASSERT_GT(session.last_dist_stats().faults_injected, 0u);
+
+  // No rejected frames (kills drop whole connections, not partial bytes
+  // through the frame reader), and whatever telemetry arrived merged.
+  EXPECT_EQ(obs::registry().counter_value("dist.telemetry.rejected"), 0u);
+  for (const auto& lane : obs::adopted_telemetry())
+    EXPECT_EQ(lane.label, "tracesel-worker");
+
+  // The merged trace must still be coherent: every adopted dist.unit span
+  // parents under the coordinator root.
+  std::uint64_t coord_root = 0;
+  for (const auto& e : obs::trace_events())
+    if (std::string(e.name) == "selection.dist.run") coord_root = e.span_id;
+  ASSERT_NE(coord_root, 0u);
+  for (const auto& lane : obs::adopted_telemetry())
+    for (const auto& e : lane.events)
+      if (e.name == "dist.unit") EXPECT_EQ(e.parent_id, coord_root);
+
+  obs::set_enabled(false);
+  obs::reset();
+  obs::set_trace_context({});
+}
+
 TEST(DistTest, BrokenWorkerBinaryDegradesToSalvageIdentically) {
   // Workers that can never speak the protocol (exec fails, immediate
   // death): every unit exhausts its retries and is salvaged in-process.

@@ -104,7 +104,52 @@ TEST(WorkUnitTest, ClassifyFrames) {
                 3, util::ErrorCode::kParse, "boom")),
             FrameKind::kUnitError);
   EXPECT_EQ(classify_frame(kShutdownFrame), FrameKind::kShutdown);
+  EXPECT_EQ(classify_frame(serialize_unit_telemetry(
+                3, obs::ProcessTelemetry{})),
+            FrameKind::kTelemetry);
   EXPECT_EQ(classify_frame("who-goes-there"), FrameKind::kUnknown);
+}
+
+TEST(WorkUnitTest, TraceContextRidesTheRequestOnlyWhenSet) {
+  // Untraced requests keep the version-1 line shape (no trailing tokens).
+  const WorkUnitRequest plain = sample_request();
+  auto parsed = parse_unit_request(serialize_unit_request(plain));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().trace_id, 0u);
+  EXPECT_EQ(parsed.value().parent_span_id, 0u);
+
+  WorkUnitRequest traced = sample_request();
+  traced.trace_id = 0xDEADBEEFCAFEull;
+  traced.parent_span_id = 0x1234;
+  parsed = parse_unit_request(serialize_unit_request(traced));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().trace_id, 0xDEADBEEFCAFEull);
+  EXPECT_EQ(parsed.value().parent_span_id, 0x1234u);
+}
+
+TEST(WorkUnitTest, TelemetryFrameRoundTrip) {
+  obs::ProcessTelemetry t;
+  t.label = "tracesel-worker";
+  t.pid = 77;
+  t.epoch_ns = 123456789;
+  t.metrics.counters = {{"dist.worker.units", 1}};
+  obs::WireTraceEvent ev;
+  ev.name = "dist.unit";
+  ev.ts_ns = 10;
+  ev.dur_ns = 20;
+  ev.span_id = 0xAA;
+  ev.parent_id = 0xBB;
+  t.events.push_back(ev);
+
+  const std::string wire = serialize_unit_telemetry(9, t);
+  EXPECT_EQ(classify_frame(wire), FrameKind::kTelemetry);
+  const auto parsed = parse_unit_telemetry(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().unit_id, 9u);
+  EXPECT_EQ(parsed.value().telemetry.label, "tracesel-worker");
+  EXPECT_EQ(parsed.value().telemetry.pid, 77u);
+  ASSERT_EQ(parsed.value().telemetry.events.size(), 1u);
+  EXPECT_EQ(parsed.value().telemetry.events[0].span_id, 0xAAu);
 }
 
 TEST(WorkUnitTest, HeartbeatRoundTrip) {
@@ -170,6 +215,37 @@ TEST(WorkUnitCorruptionTest, PayloadBitFlipFailsChecksum) {
   std::string wire = serialize_unit_request(sample_request());
   wire[wire.size() / 2] ^= 0x20;  // the DistFaultInjector's own corruption
   EXPECT_FALSE(parse_unit_request(wire).ok());
+}
+
+TEST(WorkUnitCorruptionTest, TelemetryFrameCorruptionIsTypedNeverFatal) {
+  obs::ProcessTelemetry t;
+  t.label = "tracesel-worker";
+  t.pid = 1;
+  t.metrics.counters = {{"dist.worker.units", 1}};
+  const std::string wire = serialize_unit_telemetry(4, t);
+
+  // Fuzz-style truncation sweep over the whole frame: every cut must be a
+  // typed error (the coordinator drops the frame; the unit outcome travels
+  // separately in the reply, so nothing retries and nothing dies).
+  for (std::size_t keep = 0; keep < wire.size(); ++keep) {
+    const auto parsed = parse_unit_telemetry(wire.substr(0, keep));
+    ASSERT_FALSE(parsed.ok()) << "keep=" << keep;
+    expect_typed_truncation_error(parsed.error());
+  }
+
+  // Payload bit flip: checksum failure.
+  std::string corrupt = wire;
+  corrupt[corrupt.size() / 2] ^= 0x20;
+  EXPECT_FALSE(parse_unit_telemetry(corrupt).ok());
+
+  // Version skew in the embedded telemetry envelope.
+  std::string skew = wire;
+  const auto pos = skew.find("tracesel-telemetry 1");
+  ASSERT_NE(pos, std::string::npos);
+  skew.replace(pos, 20, "tracesel-telemetry 9");
+  const auto parsed = parse_unit_telemetry(skew);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, util::ErrorCode::kParse);
 }
 
 TEST(WorkUnitCorruptionTest, SwappedShardPayloadRejectedByValidate) {

@@ -20,6 +20,7 @@
 #include "service/server.hpp"
 #include "tracesel/query_core.hpp"
 #include "util/framing.hpp"
+#include "util/obs.hpp"
 
 namespace tracesel::service {
 namespace {
@@ -253,6 +254,135 @@ TEST(Service, BadJobRequestKeepsTheConnectionUsable) {
   ::close(fd);
   EXPECT_EQ(got[0], MessageType::kError);
   EXPECT_EQ(got[1], MessageType::kPong);
+}
+
+TEST(Service, TelemetryVerbReportsJournalTenantsAndGauges) {
+  Daemon daemon;
+  Client client = daemon.connect();
+  JobRequest req = fig2_request();
+  req.tenant = "team-a";
+  const auto out = client.submit(req);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out.value().status, "ok");
+
+  const auto telemetry = client.telemetry();
+  ASSERT_TRUE(telemetry.ok()) << telemetry.error().to_string();
+  const std::string& t = telemetry.value();
+  // Gauges and accounting the live view is built from.
+  for (const char* key :
+       {"\"uptime_ms\"", "\"runners\"", "\"utilization\"", "\"queue.depth\"",
+        "\"busy_ms\"", "\"slow_job_threshold_ms\"", "\"tenants\"",
+        "\"journal\"", "\"slow_jobs\""})
+    EXPECT_NE(t.find(key), std::string::npos) << "missing " << key << " in "
+                                              << t;
+  // The job's full lifecycle is in the journal, attributed to its tenant.
+  EXPECT_NE(t.find("\"team-a\""), std::string::npos);
+  for (const char* event :
+       {"\"event\": \"queued\"", "\"event\": \"started\"",
+        "\"event\": \"ok\""})
+    EXPECT_NE(t.find(event), std::string::npos) << t;
+}
+
+TEST(Service, TracedJobShipsTelemetryParentedUnderClientSpan) {
+  Daemon daemon;
+  Client client = daemon.connect();
+  JobRequest req = fig2_request();
+  req.trace_id = 0xFACE;
+  req.parent_span_id = 0xB00F;
+  const auto out = client.submit(req);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out.value().status, "ok");
+  ASSERT_FALSE(out.value().telemetry.empty());
+
+  auto parsed = obs::parse_telemetry(out.value().telemetry);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const obs::ProcessTelemetry& t = parsed.value();
+  EXPECT_EQ(t.label, "traceseld");
+  EXPECT_EQ(t.pid, static_cast<std::uint64_t>(::getpid()));
+
+  // The job's root span parents under the span id the client stamped into
+  // the request, and the per-job counter delta travels alongside.
+  const obs::WireTraceEvent* job_span = nullptr;
+  for (const auto& e : t.events)
+    if (e.name == "svc.job") job_span = &e;
+  ASSERT_NE(job_span, nullptr);
+  EXPECT_EQ(job_span->parent_id, 0xB00Fu);
+  EXPECT_NE(job_span->span_id, 0u);
+  bool counted = false;
+  for (const auto& [name, value] : t.metrics.counters)
+    if (name == "svc.jobs") counted = value >= 1;
+  EXPECT_TRUE(counted);
+
+  // An untraced job ships no telemetry block.
+  JobRequest plain = fig2_request(3);
+  const auto second = client.submit(plain);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.value().telemetry.empty());
+
+  obs::set_enabled(false);  // run_job enabled the layer one-way
+  obs::reset();
+}
+
+TEST(Service, MalformedTelemetryFramesRejectedWithoutKillingConnection) {
+  Daemon daemon;
+  const int fd = raw_connect(daemon.path);
+  // Version skew, a truncated verb and a junk body: each gets a typed
+  // error frame, and the connection stays usable throughout.
+  const std::string skew = util::encode_frame("tracesel-svc telemetry 2\n");
+  const std::string truncated = util::encode_frame("tracesel-svc telemetr");
+  const std::string junk =
+      util::encode_frame("not-tracesel-svc telemetry 1\n");
+  for (const std::string* frame : {&skew, &truncated, &junk})
+    ASSERT_EQ(::write(fd, frame->data(), frame->size()),
+              static_cast<ssize_t>(frame->size()));
+  const std::string good = util::encode_frame("tracesel-svc telemetry 1\n");
+  ASSERT_EQ(::write(fd, good.data(), good.size()),
+            static_cast<ssize_t>(good.size()));
+
+  util::FrameReader reader;
+  char buf[65536];
+  std::vector<Message> got;
+  while (got.size() < 4) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    ASSERT_GT(n, 0);
+    reader.feed(buf, static_cast<std::size_t>(n));
+    std::string payload;
+    while (reader.next(payload) == util::FrameReader::State::kFrame) {
+      auto msg = parse_message(payload);
+      ASSERT_TRUE(msg.ok());
+      got.push_back(std::move(msg).value());
+    }
+  }
+  ::close(fd);
+  EXPECT_EQ(got[0].type, MessageType::kError);
+  EXPECT_EQ(got[1].type, MessageType::kError);
+  EXPECT_EQ(got[2].type, MessageType::kError);
+  EXPECT_EQ(got[3].type, MessageType::kTelemetryResult);
+  EXPECT_NE(got[3].text.find("\"journal\""), std::string::npos);
+  // Protocol errors were counted, and the daemon is still healthy.
+  EXPECT_GE(daemon.server->stats().protocol_errors, 3u);
+  Client client = daemon.connect();
+  EXPECT_TRUE(client.ping().ok());
+}
+
+TEST(Service, ResultFrameTelemetryBlockRoundTripsThroughProtocol) {
+  // encode_result/parse_message round-trip of the telemetry block, plus
+  // version-1 compatibility: a result without the block parses with an
+  // empty telemetry string.
+  JobOutcome out;
+  out.job_id = 9;
+  out.status = "ok";
+  out.report_json = "{}";
+  out.metrics_json = "{}";
+  out.telemetry = "tracesel-telemetry 1 0badc0de\nopaque payload\n";
+  auto msg = parse_message(encode_result(out));
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg.value().outcome.telemetry, out.telemetry);
+
+  out.telemetry.clear();
+  msg = parse_message(encode_result(out));
+  ASSERT_TRUE(msg.ok());
+  EXPECT_TRUE(msg.value().outcome.telemetry.empty());
 }
 
 TEST(Service, StopFrameDrainsTheDaemon) {

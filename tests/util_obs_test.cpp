@@ -414,5 +414,299 @@ TEST_F(ObsTest, MetricsJsonContainsPerThreadSplit) {
   EXPECT_NE(json.find("\"test.split\""), std::string::npos);
 }
 
+// --- cross-process telemetry ------------------------------------------
+
+obs::HistogramSnapshot make_hist(const std::string& name,
+                                 std::vector<std::uint64_t> values) {
+  obs::HistogramSnapshot h;
+  h.name = name;
+  h.buckets.assign(obs::kHistogramBuckets, 0);
+  h.min = ~std::uint64_t{0};
+  for (const std::uint64_t v : values) {
+    ++h.count;
+    h.sum += v;
+    h.min = std::min(h.min, v);
+    h.max = std::max(h.max, v);
+    ++h.buckets[obs::histogram_bucket(v)];
+  }
+  if (h.count == 0) h.min = 0;  // snapshot convention: 0 when empty
+  return h;
+}
+
+TEST_F(ObsTest, MergeHistogramEmptyPlusNonEmptyKeepsExactMinMax) {
+  // The empty side's sentinel min (0 in the snapshot convention) must not
+  // leak: empty ⊕ {5, 9} has min 5, not 0 — in both merge directions.
+  obs::HistogramSnapshot empty = make_hist("h", {});
+  const obs::HistogramSnapshot filled = make_hist("h", {5, 9});
+
+  obs::HistogramSnapshot into = empty;
+  obs::merge_histogram(into, filled);
+  EXPECT_EQ(into.count, 2u);
+  EXPECT_EQ(into.sum, 14u);
+  EXPECT_EQ(into.min, 5u);
+  EXPECT_EQ(into.max, 9u);
+
+  into = filled;
+  obs::merge_histogram(into, empty);
+  EXPECT_EQ(into.count, 2u);
+  EXPECT_EQ(into.min, 5u);
+  EXPECT_EQ(into.max, 9u);
+
+  // empty ⊕ empty stays the empty snapshot.
+  into = empty;
+  obs::merge_histogram(into, empty);
+  EXPECT_EQ(into.count, 0u);
+  EXPECT_EQ(into.min, 0u);
+  EXPECT_EQ(into.max, 0u);
+}
+
+TEST_F(ObsTest, MergeHistogramSumsBucketsIncludingOverflow) {
+  // Values at the top of the range land in the final (overflow) bucket 64
+  // and must merge by addition like every other bucket.
+  const std::uint64_t huge = ~std::uint64_t{0};
+  obs::HistogramSnapshot a = make_hist("h", {0, 1, huge});
+  const obs::HistogramSnapshot b = make_hist("h", {3, huge, huge - 1});
+  obs::merge_histogram(a, b);
+  EXPECT_EQ(a.count, 6u);
+  EXPECT_EQ(a.min, 0u);
+  EXPECT_EQ(a.max, huge);
+  EXPECT_EQ(a.buckets[0], 1u);                            // 0
+  EXPECT_EQ(a.buckets[1], 1u);                            // 1
+  EXPECT_EQ(a.buckets[2], 1u);                            // 3
+  EXPECT_EQ(a.buckets[obs::kHistogramBuckets - 1], 3u);   // huge x3
+  std::uint64_t total = 0;
+  for (const auto c : a.buckets) total += c;
+  EXPECT_EQ(total, a.count);
+}
+
+TEST_F(ObsTest, MergeMetricsSumsCountersMaxesGauges) {
+  obs::MetricsSnapshot into;
+  into.counters = {{"c.shared", 3}, {"c.only_into", 1}};
+  into.gauges = {{"g.shared", 10}};
+  into.histograms = {make_hist("h.shared", {2})};
+
+  obs::MetricsSnapshot from;
+  from.counters = {{"c.shared", 4}, {"c.only_from", 9}};
+  from.gauges = {{"g.shared", 7}, {"g.only_from", -2}};
+  from.histograms = {make_hist("h.shared", {8}), make_hist("h.new", {1})};
+
+  obs::merge_metrics(into, from);
+  auto counter = [&](std::string_view name) -> std::uint64_t {
+    for (const auto& [n, v] : into.counters)
+      if (n == name) return v;
+    return ~std::uint64_t{0};
+  };
+  EXPECT_EQ(counter("c.shared"), 7u);
+  EXPECT_EQ(counter("c.only_into"), 1u);
+  EXPECT_EQ(counter("c.only_from"), 9u);
+  // Gauges merge by max (high-water semantics across processes).
+  EXPECT_EQ(into.gauges[0].second, 10);
+  EXPECT_EQ(into.gauges[1].second, -2);
+  ASSERT_EQ(into.histograms.size(), 2u);
+  EXPECT_EQ(into.histograms[0].count, 2u);
+  EXPECT_EQ(into.histograms[0].min, 2u);
+  EXPECT_EQ(into.histograms[0].max, 8u);
+}
+
+TEST_F(ObsTest, TelemetryWireRoundTripPreservesEverything) {
+  OBS_COUNT("test.rt_counter", 11);
+  OBS_GAUGE_SET("test.rt_gauge", -4);
+  OBS_HIST("test.rt_hist", 1000);
+  {
+    OBS_SPAN("obs_test.rt_outer");
+    OBS_SPAN("obs_test.rt_inner");
+  }
+  obs::set_process_label("rt-worker");
+  const obs::ProcessTelemetry sent = obs::capture_telemetry();
+  ASSERT_GE(sent.events.size(), 2u);
+
+  const std::string wire = obs::serialize_telemetry(sent);
+  auto parsed = obs::parse_telemetry(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const obs::ProcessTelemetry& got = parsed.value();
+
+  EXPECT_EQ(got.label, "rt-worker");
+  EXPECT_EQ(got.pid, sent.pid);
+  EXPECT_EQ(got.epoch_ns, sent.epoch_ns);
+  auto counter = [&](std::string_view name) -> std::uint64_t {
+    for (const auto& [n, v] : got.metrics.counters)
+      if (n == name) return v;
+    return 0;
+  };
+  EXPECT_EQ(counter("test.rt_counter"), 11u);
+
+  bool found_gauge = false;
+  for (const auto& [n, v] : got.metrics.gauges)
+    if (n == "test.rt_gauge") {
+      found_gauge = true;
+      EXPECT_EQ(v, -4);
+    }
+  EXPECT_TRUE(found_gauge);
+
+  bool found_hist = false;
+  for (const auto& h : got.metrics.histograms)
+    if (h.name == "test.rt_hist") {
+      found_hist = true;
+      EXPECT_EQ(h.count, 1u);
+      EXPECT_EQ(h.sum, 1000u);
+      EXPECT_EQ(h.min, 1000u);
+      EXPECT_EQ(h.max, 1000u);
+      ASSERT_EQ(h.buckets.size(), obs::kHistogramBuckets);
+      EXPECT_EQ(h.buckets[obs::histogram_bucket(1000)], 1u);
+    }
+  EXPECT_TRUE(found_hist);
+
+  ASSERT_EQ(got.events.size(), sent.events.size());
+  for (std::size_t i = 0; i < got.events.size(); ++i) {
+    EXPECT_EQ(got.events[i].name, std::string(sent.events[i].name));
+    EXPECT_EQ(got.events[i].ts_ns, sent.events[i].ts_ns);
+    EXPECT_EQ(got.events[i].dur_ns, sent.events[i].dur_ns);
+    EXPECT_EQ(got.events[i].span_id, sent.events[i].span_id);
+    EXPECT_EQ(got.events[i].parent_id, sent.events[i].parent_id);
+    EXPECT_EQ(got.events[i].depth, sent.events[i].depth);
+  }
+}
+
+TEST_F(ObsTest, TelemetryParserRejectsMalformedInputWithTypedErrors) {
+  OBS_COUNT("test.reject", 1);
+  { OBS_SPAN("obs_test.reject"); }
+  const std::string wire = obs::serialize_telemetry(obs::capture_telemetry());
+
+  // Wrong envelope tag / empty input.
+  EXPECT_FALSE(obs::parse_telemetry("").ok());
+  EXPECT_FALSE(obs::parse_telemetry("not a telemetry frame").ok());
+
+  // Version skew: a future version must be rejected, not misparsed.
+  std::string skewed = wire;
+  const std::size_t vpos = skewed.find(" 1 ");
+  ASSERT_NE(vpos, std::string::npos);
+  skewed.replace(vpos, 3, " 2 ");
+  EXPECT_FALSE(obs::parse_telemetry(skewed).ok());
+
+  // Checksum corruption (flip a payload byte).
+  std::string corrupt = wire;
+  corrupt[corrupt.size() - 3] ^= 0x01;
+  EXPECT_FALSE(obs::parse_telemetry(corrupt).ok());
+
+  // Fuzz-style truncation sweep: every proper prefix must be rejected
+  // without crashing (kParse or kCorruptCapture, never a throw).
+  for (std::size_t len = 0; len < wire.size();
+       len += std::max<std::size_t>(1, wire.size() / 97))
+    EXPECT_FALSE(obs::parse_telemetry(wire.substr(0, len)).ok())
+        << "prefix of length " << len << " unexpectedly parsed";
+}
+
+TEST_F(ObsTest, AdoptRemoteTelemetryRebasesOntoLocalEpochAndMergesLanes) {
+  OBS_COUNT("test.adopt", 5);
+
+  obs::ProcessTelemetry remote;
+  remote.label = "fake-worker";
+  remote.pid = 4242;
+  // Remote epoch 1 ms *after* ours (it started later on the shared steady
+  // clock): its timestamps rebase forward by the difference.
+  remote.epoch_ns = obs::trace_epoch_ns() + 1'000'000;
+  remote.metrics.counters = {{"test.adopt", 7}, {"test.remote_only", 2}};
+  obs::WireTraceEvent ev;
+  ev.name = "remote.unit";
+  ev.ts_ns = 500;
+  ev.dur_ns = 100;
+  ev.span_id = 0xABC;
+  ev.parent_id = 0xDEF;
+  remote.events.push_back(ev);
+  obs::adopt_remote_telemetry(remote);
+
+  auto lanes = obs::adopted_telemetry();
+  ASSERT_EQ(lanes.size(), 1u);
+  EXPECT_EQ(lanes[0].label, "fake-worker");
+  EXPECT_EQ(lanes[0].epoch_ns, obs::trace_epoch_ns());
+  ASSERT_EQ(lanes[0].events.size(), 1u);
+  EXPECT_EQ(lanes[0].events[0].ts_ns, 500u + 1'000'000u);
+
+  // Same (pid, label) adopts again: merged into the same lane, counters
+  // summed, events appended.
+  obs::adopt_remote_telemetry(remote);
+  lanes = obs::adopted_telemetry();
+  ASSERT_EQ(lanes.size(), 1u);
+  EXPECT_EQ(lanes[0].events.size(), 2u);
+
+  // Aggregated metrics JSON = local + all remote lanes, with a
+  // per-process breakout.
+  const std::string metrics = obs::metrics_json().dump(2);
+  EXPECT_TRUE(JsonScanner(metrics).valid()) << metrics;
+  EXPECT_NE(metrics.find("\"test.adopt\": 19"), std::string::npos)
+      << metrics;  // 5 local + 7 + 7 remote
+  EXPECT_NE(metrics.find("\"test.remote_only\": 4"), std::string::npos);
+  EXPECT_NE(metrics.find("\"per_process\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"fake-worker #4242\""), std::string::npos);
+
+  // The Chrome trace grows one lane per adopted process, and the remote
+  // events carry their span/parent ids.
+  const std::string trace = obs::chrome_trace_json().dump(2);
+  EXPECT_TRUE(JsonScanner(trace).valid());
+  EXPECT_NE(trace.find("\"fake-worker #4242\""), std::string::npos) << trace;
+  EXPECT_NE(trace.find("\"remote.unit\""), std::string::npos);
+  EXPECT_NE(trace.find("\"0xabc\""), std::string::npos);
+
+  // reset() clears adopted lanes.
+  obs::reset();
+  EXPECT_TRUE(obs::adopted_telemetry().empty());
+}
+
+TEST_F(ObsTest, TraceContextParentsThreadRootSpans) {
+  // With no context installed, ensure_trace_context mints a nonzero id
+  // and is idempotent.
+  EXPECT_EQ(obs::trace_context().trace_id, 0u);
+  const auto ctx = obs::ensure_trace_context();
+  EXPECT_NE(ctx.trace_id, 0u);
+  EXPECT_EQ(obs::ensure_trace_context().trace_id, ctx.trace_id);
+
+  // A remote process installs the coordinator's context: its thread-root
+  // spans parent under the coordinator's span id.
+  obs::set_trace_context({ctx.trace_id, 0x1234});
+  std::uint64_t outer_id = 0;
+  {
+    obs::Span outer("obs_test.ctx_root");
+    outer_id = outer.id();
+    EXPECT_EQ(obs::current_span_id(), outer_id);
+    { obs::Span inner("obs_test.ctx_child"); }
+  }
+  const auto events = obs::trace_events();
+  const obs::TraceEvent* root = nullptr;
+  const obs::TraceEvent* child = nullptr;
+  for (const auto& e : events) {
+    if (std::string(e.name) == "obs_test.ctx_root") root = &e;
+    if (std::string(e.name) == "obs_test.ctx_child") child = &e;
+  }
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(root->parent_id, 0x1234u);
+  EXPECT_EQ(child->parent_id, outer_id);
+  EXPECT_NE(root->span_id, 0u);
+
+  // The context survives reset() (values clear, identity does not).
+  obs::reset();
+  EXPECT_EQ(obs::trace_context().trace_id, ctx.trace_id);
+  obs::set_trace_context({});  // leave no context for the next test
+}
+
+TEST_F(ObsTest, PrometheusTextExposesCountersAndCumulativeBuckets) {
+  OBS_COUNT("test.prom_counter", 3);
+  OBS_GAUGE_SET("test.prom_gauge", 9);
+  OBS_HIST("test.prom_hist", 4);
+  OBS_HIST("test.prom_hist", 90);
+  const std::string text = obs::prometheus_text();
+  EXPECT_NE(text.find("tracesel_test_prom_counter 3"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("tracesel_test_prom_gauge 9"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE tracesel_test_prom_hist histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("tracesel_test_prom_hist_count 2"), std::string::npos);
+  EXPECT_NE(text.find("tracesel_test_prom_hist_sum 94"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\"} 2"), std::string::npos);
+  // Cumulative le buckets: the bucket holding 4 ([4,8) -> le 7) already
+  // counts it, and every later bucket includes it too.
+  EXPECT_NE(text.find("le=\"7\"} 1"), std::string::npos) << text;
+}
+
 }  // namespace
 }  // namespace tracesel

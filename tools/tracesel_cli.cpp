@@ -41,14 +41,27 @@
 //       (internal: spawned by --workers; speaks the work-unit frame
 //       protocol on stdin/stdout)
 //   tracesel serve --socket PATH [--runners N] [--max-queue N]
+//                  [--slow-job-ms N] [--journal-capacity N]
 //       run traceseld: the long-lived selection/debug job daemon
 //       (docs/service.md). SIGTERM/SIGINT or a stop frame drains the
-//       queue, answers every waiting client, then exits 0.
+//       queue, answers every waiting client, then exits 0. Jobs at or
+//       over --slow-job-ms land in the slow-job log with a span summary.
 //   tracesel submit <t2|usb|spec.flow> --socket PATH [select flags]
 //       submit one job to a running daemon and wait for the result; with
 //       --json prints the daemon's report block, which is byte-identical
 //       to `tracesel select --json` for the same request
+//       --tenant NAME    tenant label for the daemon's telemetry surface
+//       with --trace-out, the submit span's trace context rides in the
+//       request and the daemon ships the job's spans back: the written
+//       trace has a lane for this process and one for traceseld
 //   tracesel stats --socket PATH                     daemon counters (JSON)
+//       --watch          refresh until interrupted
+//       --interval-ms N  refresh period               (default 1000)
+//       --count N        stop after N samples (0 = until interrupted)
+//   tracesel top --socket PATH [--json]              live telemetry view
+//       utilization/queue gauges, per-tenant accounting, the event
+//       journal tail and the slow-job log; --json prints the raw
+//       telemetry JSON (docs/service.md)
 //   tracesel ping --socket PATH                      daemon liveness probe
 //   tracesel stop --socket PATH                      drain-and-exit request
 //   tracesel dot <spec.flow> <flow-name>             Graphviz of one flow
@@ -66,9 +79,16 @@
 //
 // Global options (any subcommand, docs/observability.md):
 //       --trace-out FILE    write a Chrome trace-event JSON of the run
-//                           (load in chrome://tracing or ui.perfetto.dev)
-//       --metrics-out FILE  write the flat metrics JSON
-//       --log-level L       debug|info|warn|error      (default warn)
+//                           (load in chrome://tracing or ui.perfetto.dev);
+//                           on a --workers or submit run this is the
+//                           *merged* multi-process trace — one lane per
+//                           process, spans parented across the wire
+//       --metrics-out FILE  write the flat metrics JSON (aggregated
+//                           across processes on distributed runs)
+//       --prom-out FILE     write Prometheus text exposition of the same
+//                           aggregated metrics
+//       --log-level L       debug|info|warn|error      (default warn);
+//                           forwarded to --workers subprocesses
 //
 // Exit codes: 0 ok, 1 usage error, 2 runtime failure (any uncaught
 // exception is reported as a one-line diagnostic, never a crash), 3
@@ -84,6 +104,8 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <thread>
 
 #include "tracesel/tracesel.hpp"
 
@@ -108,6 +130,7 @@ using namespace tracesel;
 /// the interesting one).
 std::string g_trace_out;
 std::string g_metrics_out;
+std::string g_prom_out;
 
 /// argv[0] as invoked, so --workers can re-exec this binary in --worker
 /// mode (the worker inherits our cwd, so a relative path still resolves).
@@ -165,13 +188,17 @@ int usage() {
                "                 [--dist-kill-rate R] [--dist-hang-rate R]"
                " [--dist-corrupt-rate R] [--dist-fault-seed N]\n"
                "  tracesel serve --socket PATH [--runners N]"
-               " [--max-queue N]\n"
+               " [--max-queue N] [--slow-job-ms N] [--journal-capacity N]\n"
                "  tracesel submit <t2|usb|spec.flow> --socket PATH"
                " [--buffer N] [--instances K] [--mode M] [--no-packing]\n"
                "                 [--no-symmetry-reduction] [--max-nodes N]"
                " [--mem-budget-mb N] [--deadline-ms N] [--jobs N]"
                " [--kernel M] [--json]\n"
-               "  tracesel stats|ping|stop --socket PATH\n"
+               "  tracesel submit ... [--tenant NAME]\n"
+               "  tracesel stats --socket PATH [--watch] [--interval-ms N]"
+               " [--count N]\n"
+               "  tracesel top --socket PATH [--json]\n"
+               "  tracesel ping|stop --socket PATH\n"
                "  tracesel dot <spec.flow> <flow-name>\n"
                "  tracesel lint <spec.flow> [--buffer N] [--lenient]\n"
                "  tracesel debug <case 1..5> [--no-packing] [--vcd FILE]"
@@ -179,8 +206,10 @@ int usage() {
                "                 [--fault-rate R] [--fault-kinds K,...]"
                " [--fault-seed N] [--retries N]\n"
                "global options (any subcommand):\n"
-               "  --trace-out FILE    Chrome trace-event JSON of this run\n"
+               "  --trace-out FILE    Chrome trace-event JSON of this run"
+               " (merged across processes on --workers/submit runs)\n"
                "  --metrics-out FILE  flat metrics JSON of this run\n"
+               "  --prom-out FILE     Prometheus text exposition\n"
                "  --log-level L       debug|info|warn|error (default warn)\n";
   return 1;
 }
@@ -346,7 +375,10 @@ int cmd_select(int argc, char** argv) {
     throw std::runtime_error("--resume is in-process only; drop --workers");
   const auto r = [&]() {
     if (dist.workers == 0) return session.select();
-    dist.worker_argv = {g_argv0, "--worker"};
+    // Workers inherit our log threshold so --log-level debug shows their
+    // per-unit logs too (each line carries its work-unit id context).
+    dist.worker_argv = {g_argv0, "--worker", "--log-level",
+                       util::log_level_name(util::log_threshold())};
     return session.run_distributed(dist);
   }();
   int rc = 0;
@@ -403,6 +435,9 @@ int cmd_serve(int argc, char** argv) {
     if (arg == "--socket") opt.socket_path = next();
     else if (arg == "--runners") opt.runners = std::stoul(next());
     else if (arg == "--max-queue") opt.max_queue = std::stoul(next());
+    else if (arg == "--slow-job-ms") opt.slow_job_ms = std::stoull(next());
+    else if (arg == "--journal-capacity")
+      opt.journal_capacity = std::stoul(next());
     else throw std::runtime_error("unknown option '" + arg + "'");
   }
   if (opt.socket_path.empty())
@@ -440,6 +475,7 @@ JobRequest parse_submit_request(int argc, char** argv, std::string& socket,
     else if (arg == "--deadline-ms") req.deadline_ms = std::stoull(next());
     else if (arg == "--jobs") req.jobs = std::stoul(next());
     else if (arg == "--kernel") req.kernel = parse_kernel_mode(next());
+    else if (arg == "--tenant") req.tenant = next();
     else if (arg == "--json") json = true;
     else if (arg == "--mode") {
       auto mode = parse_search_mode(next());
@@ -461,13 +497,24 @@ JobRequest parse_submit_request(int argc, char** argv, std::string& socket,
 int cmd_submit(int argc, char** argv) {
   std::string socket;
   bool json = false;
-  const JobRequest req = parse_submit_request(argc, argv, socket, json);
+  JobRequest req = parse_submit_request(argc, argv, socket, json);
   if (socket.empty())
     throw std::runtime_error("submit: --socket PATH is required");
 
   auto client = service::Client::connect(socket);
   if (!client.ok()) throw std::runtime_error(client.error().to_string());
   g_cooperative.store(true, std::memory_order_relaxed);
+
+  // With an observability sink active, stamp this process's trace context
+  // into the request: the daemon opens its job span under our submit span
+  // and ships the job's spans/counters back in the result frame, so the
+  // written trace is one flame chart across both processes.
+  std::optional<obs::Span> submit_span;
+  if (obs::enabled()) {
+    submit_span.emplace("cli.submit");
+    req.trace_id = obs::ensure_trace_context().trace_id;
+    req.parent_span_id = submit_span->id();
+  }
   const auto outcome = client.value().submit(
       req, g_cancel, [](std::string_view status, std::uint64_t position) {
         std::cerr << "job " << status;
@@ -475,8 +522,20 @@ int cmd_submit(int argc, char** argv) {
           std::cerr << " (position " << position << ")";
         std::cerr << '\n';
       });
+  submit_span.reset();  // close before the sinks are written
   if (!outcome.ok()) throw std::runtime_error(outcome.error().to_string());
   const service::JobOutcome& o = outcome.value();
+
+  if (!o.telemetry.empty()) {
+    auto remote = obs::parse_telemetry(o.telemetry);
+    if (remote.ok()) {
+      obs::adopt_remote_telemetry(std::move(remote).value());
+    } else {
+      util::Log(util::LogLevel::kWarn)
+          << "submit: dropping malformed daemon telemetry: "
+          << remote.error().to_string();
+    }
+  }
 
   std::cerr << "job " << o.job_id << ": " << o.status << " in "
             << o.elapsed_ms << " ms"
@@ -495,22 +554,127 @@ int cmd_submit(int argc, char** argv) {
   return 0;
 }
 
-/// stats / ping / stop — the bodyless daemon control verbs.
+/// One scalar out of the daemon's pretty-printed JSON (our own dump(2)
+/// output, so the `"key": value` line shape is stable; no parser needed).
+std::string json_scalar(const std::string& json, const std::string& key) {
+  const std::string needle = '"' + key + "\": ";
+  const std::size_t pos = json.find(needle);
+  if (pos == std::string::npos) return "?";
+  std::size_t end = pos + needle.size();
+  while (end < json.size() && json[end] != ',' && json[end] != '\n') ++end;
+  return json.substr(pos + needle.size(), end - pos - needle.size());
+}
+
+/// The raw `[...]` (or `{...}`) block of a top-level key, by bracket
+/// matching.
+std::string json_block(const std::string& json, const std::string& key,
+                       char open = '[', char close = ']') {
+  const std::string needle = '"' + key + "\": " + open;
+  const std::size_t pos = json.find(needle);
+  if (pos == std::string::npos) return {};
+  const std::size_t start = pos + needle.size() - 1;  // at the opener
+  int depth = 0;
+  bool in_str = false;
+  for (std::size_t i = start; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_str) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_str = false;
+      continue;
+    }
+    if (c == '"') in_str = true;
+    else if (c == open) ++depth;
+    else if (c == close && --depth == 0)
+      return json.substr(start, i - start + 1);
+  }
+  return {};
+}
+
+/// Human rendering of the telemetry JSON for `tracesel top`.
+void render_top(const std::string& socket, const std::string& t) {
+  std::cout << "traceseld @ " << socket << '\n'
+            << "  uptime: " << json_scalar(t, "uptime_ms") << " ms   runners: "
+            << json_scalar(t, "runners")
+            << "   utilization: " << json_scalar(t, "utilization") << '\n'
+            << "  queue depth: " << json_scalar(t, "queue.depth")
+            << "   running: " << json_scalar(t, "jobs.running")
+            << "   busy: " << json_scalar(t, "busy_ms") << " ms\n"
+            << "  jobs: submitted " << json_scalar(t, "jobs.submitted")
+            << ", completed " << json_scalar(t, "jobs.completed")
+            << ", errors " << json_scalar(t, "jobs.errors")
+            << "   slow-job threshold: "
+            << json_scalar(t, "slow_job_threshold_ms") << " ms\n";
+  const std::string tenants = json_block(t, "tenants", '{', '}');
+  if (!tenants.empty() && tenants != "{}")
+    std::cout << "tenants: " << tenants << '\n';
+  const std::string slow = json_block(t, "slow_jobs");
+  if (!slow.empty() && slow != "[]")
+    std::cout << "slow jobs: " << slow << '\n';
+  const std::string journal = json_block(t, "journal");
+  if (!journal.empty() && journal != "[]")
+    std::cout << "journal (oldest first): " << journal << '\n';
+}
+
+/// stats / top / ping / stop — the bodyless daemon control verbs. stats
+/// and top take --watch [--interval-ms N] [--count N] to refresh until
+/// interrupted (or N samples; --count 1 is the scripting one-shot).
 int cmd_daemon_ctl(const std::string& verb, int argc, char** argv) {
   std::string socket;
+  bool watch = false;
+  bool json = false;
+  std::uint64_t interval_ms = 1000;
+  std::uint64_t count = 0;  // 0 = until interrupted
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--socket" && i + 1 < argc) socket = argv[++i];
+    else if (arg == "--watch") watch = true;
+    else if (arg == "--json") json = true;
+    else if (arg == "--interval-ms" && i + 1 < argc)
+      interval_ms = std::stoull(argv[++i]);
+    else if (arg == "--count" && i + 1 < argc) count = std::stoull(argv[++i]);
     else throw std::runtime_error("unknown option '" + arg + "'");
   }
   if (socket.empty())
     throw std::runtime_error(verb + ": --socket PATH is required");
   auto client = service::Client::connect(socket);
   if (!client.ok()) throw std::runtime_error(client.error().to_string());
-  if (verb == "stats") {
-    auto stats = client.value().stats();
-    if (!stats.ok()) throw std::runtime_error(stats.error().to_string());
-    std::cout << stats.value() << '\n';
+
+  if (verb == "stats" || verb == "top") {
+    if (count == 0 && !watch) count = 1;
+    g_cooperative.store(true, std::memory_order_relaxed);
+    for (std::uint64_t sample = 0; count == 0 || sample < count; ++sample) {
+      if (sample != 0) {
+        // One connection, one frame per tick: the watch loop is itself a
+        // cheap client, not a thundering herd.
+        const auto until = std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(interval_ms);
+        while (std::chrono::steady_clock::now() < until) {
+          if (g_cancel.cancelled()) return 0;
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+        std::cout << '\n';
+      }
+      if (verb == "stats" && !watch) {
+        // One-shot stats keeps the legacy job/store counter frame;
+        // --watch upgrades to the live telemetry view (journal, tenants,
+        // utilization) so a refresh loop actually has motion to show.
+        auto stats = client.value().stats();
+        if (!stats.ok()) throw std::runtime_error(stats.error().to_string());
+        std::cout << stats.value() << '\n';
+      } else if (verb == "stats") {
+        auto telemetry = client.value().telemetry();
+        if (!telemetry.ok())
+          throw std::runtime_error(telemetry.error().to_string());
+        std::cout << telemetry.value() << '\n';
+      } else {
+        auto telemetry = client.value().telemetry();
+        if (!telemetry.ok())
+          throw std::runtime_error(telemetry.error().to_string());
+        if (json) std::cout << telemetry.value() << '\n';
+        else render_top(socket, telemetry.value());
+      }
+      std::cout.flush();
+    }
     return 0;
   }
   if (verb == "ping") {
@@ -658,7 +822,7 @@ int dispatch(int argc, char** argv) {
       return cmd_select(argc - 2, argv + 2);
     if (cmd == "serve") return cmd_serve(argc - 2, argv + 2);
     if (cmd == "submit" && argc >= 3) return cmd_submit(argc - 2, argv + 2);
-    if (cmd == "stats" || cmd == "ping" || cmd == "stop")
+    if (cmd == "stats" || cmd == "top" || cmd == "ping" || cmd == "stop")
       return cmd_daemon_ctl(cmd, argc - 2, argv + 2);
     if (cmd == "dot" && argc == 4) return cmd_dot(argv[2], argv[3]);
     if (cmd == "lint" && argc >= 3) {
@@ -747,6 +911,7 @@ int main(int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
     const bool takes_value = i > 0 && (std::strcmp(argv[i], "--trace-out") == 0 ||
                                        std::strcmp(argv[i], "--metrics-out") == 0 ||
+                                       std::strcmp(argv[i], "--prom-out") == 0 ||
                                        std::strcmp(argv[i], "--log-level") == 0);
     if (!takes_value) {
       args.push_back(argv[i]);
@@ -762,6 +927,8 @@ int main(int argc, char** argv) {
       g_trace_out = value;
     } else if (flag == "--metrics-out") {
       g_metrics_out = value;
+    } else if (flag == "--prom-out") {
+      g_prom_out = value;
     } else {
       if (value == "debug") util::set_log_threshold(util::LogLevel::kDebug);
       else if (value == "info") util::set_log_threshold(util::LogLevel::kInfo);
@@ -773,17 +940,21 @@ int main(int argc, char** argv) {
       }
     }
   }
-  if (!g_trace_out.empty() || !g_metrics_out.empty()) obs::set_enabled(true);
+  const bool sinks =
+      !g_trace_out.empty() || !g_metrics_out.empty() || !g_prom_out.empty();
+  if (sinks) obs::set_enabled(true);
 
   int rc = dispatch(static_cast<int>(args.size()), args.data());
 
-  if (!g_trace_out.empty() || !g_metrics_out.empty()) {
+  if (sinks) {
     obs::update_process_gauges();
     if (!g_trace_out.empty() && !obs::write_chrome_trace(g_trace_out) &&
         rc == 0)
       rc = 2;
     if (!g_metrics_out.empty() && !obs::write_metrics(g_metrics_out) &&
         rc == 0)
+      rc = 2;
+    if (!g_prom_out.empty() && !obs::write_prometheus(g_prom_out) && rc == 0)
       rc = 2;
   }
   return rc;

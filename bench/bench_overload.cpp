@@ -1,0 +1,244 @@
+// traceseld under overload (DESIGN.md §16, docs/service.md "Durability &
+// recovery"): a burst of distinct jobs far beyond the queue's capacity hits
+// an in-process daemon whose runners are paced to a fixed service time. The
+// bench reports the shed rate, the server's retry-after hints, and the
+// accepted-job latency distribution (p50/p99) — then proves the hints are
+// actionable by replaying every shed job through the resilient client path
+// until all land. A final phase measures write-ahead journal replay time at
+// restart scale. Gates: every accepted or retried job must finish "ok", and
+// every shed must carry a hint at or above the configured floor.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "service/client.hpp"
+#include "service/journal.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p * (v.size() - 1) / 100.0);
+  return v[idx];
+}
+
+}  // namespace
+
+int main() {
+  using namespace tracesel;
+  using Clock = std::chrono::steady_clock;
+  bench::banner("traceseld overload & recovery",
+                "shed rate, retry-after hints and accepted-job latency "
+                "under a burst, plus journal replay time");
+
+  // 16 concurrent submitters against 2 runners + an 8-deep queue: the
+  // burst's instantaneous concurrency exceeds capacity, so a fraction of
+  // the offered jobs must shed.
+  constexpr std::uint64_t kFloorMs = 25;
+  constexpr std::size_t kThreads = 16;
+  constexpr std::size_t kPerThread = 4;
+  const std::string journal_dir =
+      "/tmp/tsel_bench_overload_" + std::to_string(::getpid());
+  std::filesystem::remove_all(journal_dir);
+
+  service::ServerOptions opt;
+  opt.socket_path =
+      "/tmp/tsvc_overload_" + std::to_string(::getpid()) + ".sock";
+  opt.runners = 2;
+  opt.max_queue = 8;
+  opt.retry_after_floor_ms = kFloorMs;
+  opt.journal_dir = journal_dir;
+  // Pace every job to a fixed service time so the burst actually outruns
+  // the runner pool (fig2 jobs alone finish in a millisecond or two).
+  opt.on_job_start = [](const JobRequest&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  };
+  const util::CancelToken shutdown = opt.shutdown;
+  service::Server server(std::move(opt));
+  const auto started = server.start();
+  if (!started.ok()) {
+    std::cerr << started.error().to_string() << '\n';
+    return 1;
+  }
+  std::thread daemon([&] { server.serve(); });
+
+  // kThreads * kPerThread structurally distinct jobs (distinct buffer
+  // widths), so duplicate-attach cannot absorb the burst.
+  const auto request_for = [](std::size_t i) {
+    JobRequest req;
+    req.spec = std::string(TRACESEL_DATA_DIR) + "/fig2.flow";
+    req.instances = 2;
+    req.buffer_width = static_cast<std::uint32_t>(2 + i);
+    return req;
+  };
+
+  // --- phase 1: one-shot burst, no retries -------------------------------
+  std::mutex mu;
+  std::vector<double> accepted_ms;
+  std::vector<double> hint_ms;
+  std::vector<JobRequest> shed_jobs;
+  std::atomic<std::uint64_t> failures{0};
+  bool hints_ok = true;
+  {
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t)
+      threads.emplace_back([&, t] {
+        auto client = service::Client::connect(server.socket_path());
+        if (!client.ok()) {
+          failures.fetch_add(kPerThread);
+          return;
+        }
+        for (std::size_t i = 0; i < kPerThread; ++i) {
+          const JobRequest req = request_for(t * kPerThread + i);
+          service::Client::RetryAfter ra;
+          const auto t0 = Clock::now();
+          auto out = client.value().submit(req, {}, {}, &ra);
+          const double ms =
+              std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                  .count();
+          std::lock_guard<std::mutex> lk(mu);
+          if (out.ok() && out.value().status == "ok") {
+            accepted_ms.push_back(ms);
+          } else if (ra.hinted) {
+            hint_ms.push_back(static_cast<double>(ra.ms));
+            hints_ok = hints_ok && ra.ms >= kFloorMs;
+            shed_jobs.push_back(req);
+          } else {
+            failures.fetch_add(1);
+          }
+        }
+      });
+    for (auto& t : threads) t.join();
+  }
+
+  const std::size_t offered = kThreads * kPerThread;
+  const double shed_rate =
+      static_cast<double>(shed_jobs.size()) / static_cast<double>(offered);
+  double hint_mean = 0;
+  for (const double h : hint_ms) hint_mean += h;
+  if (!hint_ms.empty()) hint_mean /= static_cast<double>(hint_ms.size());
+
+  // --- phase 2: the shed jobs retry with the server's hints --------------
+  std::atomic<std::uint64_t> retried_ok{0};
+  double retry_makespan_ms = 0;
+  {
+    const auto t0 = Clock::now();
+    std::vector<std::thread> threads;
+    for (const JobRequest& req : shed_jobs)
+      threads.emplace_back([&, req] {
+        auto client = service::Client::connect(server.socket_path());
+        if (!client.ok()) return;
+        service::Client::SubmitOptions sopt;
+        sopt.max_attempts = 50;
+        auto out = client.value().submit_resilient(req, sopt);
+        if (out.ok() && out.value().status == "ok")
+          retried_ok.fetch_add(1);
+      });
+    for (auto& t : threads) t.join();
+    retry_makespan_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  }
+
+  const auto stats = server.stats();
+  shutdown.cancel();
+  daemon.join();
+
+  // --- phase 3: journal replay time at restart scale ---------------------
+  // 2000 accepted+completed pairs plus a tail of pending jobs: the shape of
+  // a busy daemon's log right before a crash.
+  constexpr std::uint64_t kChurn = 2000;
+  constexpr std::uint64_t kPendingTail = 32;
+  double recovery_ms = 0;
+  std::uint64_t replayed = 0;
+  {
+    const std::string dir = journal_dir + "/replay";
+    service::JobJournal wal;
+    service::JournalOptions jo;
+    jo.dir = dir;
+    jo.rotate_bytes = 0;  // no compaction: measure a worst-case long log
+    jo.fsync = false;
+    if (!wal.open(jo).ok()) return 1;
+    for (std::uint64_t id = 1; id <= kChurn; ++id) {
+      wal.accepted(id, request_for(id % 64));
+      wal.completed(id, id);
+    }
+    for (std::uint64_t id = kChurn + 1; id <= kChurn + kPendingTail; ++id)
+      wal.accepted(id, request_for(id % 64));
+    wal.close();
+
+    service::JobJournal reborn;
+    const auto t0 = Clock::now();
+    auto rec = reborn.open(jo);
+    recovery_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    if (!rec.ok() || rec.value().pending.size() != kPendingTail) {
+      std::cerr << "FAIL: journal replay lost jobs\n";
+      return 1;
+    }
+    replayed = rec.value().replayed_records;
+  }
+
+  util::Table table({"Metric", "Value"});
+  table.add_row({"offered jobs", std::to_string(offered)});
+  table.add_row({"accepted", std::to_string(accepted_ms.size())});
+  table.add_row({"shed (typed retry-after)", std::to_string(shed_jobs.size())});
+  table.add_row({"shed rate", util::fixed(shed_rate * 100.0, 1) + "%"});
+  table.add_row({"retry-after hint mean (ms)", util::fixed(hint_mean, 1)});
+  table.add_row(
+      {"accepted latency p50 (ms)", util::fixed(percentile(accepted_ms, 50), 2)});
+  table.add_row(
+      {"accepted latency p99 (ms)", util::fixed(percentile(accepted_ms, 99), 2)});
+  table.add_row({"hinted retries landed",
+                 std::to_string(retried_ok.load()) + "/" +
+                     std::to_string(shed_jobs.size())});
+  table.add_row({"retry makespan (ms)", util::fixed(retry_makespan_ms, 1)});
+  table.add_row({"journal records replayed", std::to_string(replayed)});
+  table.add_row({"journal replay time (ms)", util::fixed(recovery_ms, 2)});
+  std::cout << table << '\n';
+  bench::note("shed submissions cost the client one round trip and carry a "
+              "depth-scaled hint; honoring it clears the whole backlog "
+              "without hammering the daemon");
+
+  util::Json out = util::Json::object();
+  out.set("offered", util::Json::number(std::uint64_t{offered}));
+  out.set("accepted", util::Json::number(std::uint64_t{accepted_ms.size()}));
+  out.set("shed", util::Json::number(std::uint64_t{shed_jobs.size()}));
+  out.set("shed_rate", util::Json::number(shed_rate));
+  out.set("retry_after_hint_mean_ms", util::Json::number(hint_mean));
+  out.set("queue_p50_ms", util::Json::number(percentile(accepted_ms, 50)));
+  out.set("queue_p99_ms", util::Json::number(percentile(accepted_ms, 99)));
+  out.set("hinted_retries_ok", util::Json::number(retried_ok.load()));
+  out.set("retry_makespan_ms", util::Json::number(retry_makespan_ms));
+  out.set("server_retry_after", util::Json::number(stats.retry_after));
+  out.set("journal_replayed_records", util::Json::number(replayed));
+  out.set("journal_replay_ms", util::Json::number(recovery_ms));
+  std::filesystem::remove_all(journal_dir);
+  if (!bench::write_json("BENCH_overload.json", std::move(out))) return 2;
+
+  if (failures.load() > 0) {
+    std::cerr << "FAIL: " << failures.load()
+              << " submission(s) failed without a typed retry-after\n";
+    return 1;
+  }
+  if (!hints_ok) {
+    std::cerr << "FAIL: a retry-after hint fell below the configured floor\n";
+    return 1;
+  }
+  if (retried_ok.load() != shed_jobs.size()) {
+    std::cerr << "FAIL: a hinted retry never landed\n";
+    return 1;
+  }
+  return 0;
+}

@@ -6,6 +6,16 @@
 // an optional callback for each lifecycle event (queued/started) and
 // forwarding a local CancelToken to the server as a cancel frame so Ctrl-C
 // on the client cancels the remote job cooperatively.
+//
+// Resilience (DESIGN.md §16): connect() takes a seeded-backoff retry
+// budget for daemons that are still starting (or restarting after a
+// crash), and submit_resilient() survives daemon restarts mid-job —
+// reconnecting with backoff and resubmitting idempotently. Idempotency is
+// the server's duplicate-attach + durable-result machinery: a resubmitted
+// job either attaches to its still-running twin or is served the stored
+// byte-identical report, so retrying is always safe. A typed retry-after
+// frame (admission-control shed) is honored by sleeping the server's hint
+// before resubmitting.
 
 #include <cstdint>
 #include <functional>
@@ -14,6 +24,7 @@
 
 #include "service/protocol.hpp"
 #include "tracesel/job_request.hpp"
+#include "util/backoff.hpp"
 #include "util/cancel.hpp"
 #include "util/framing.hpp"
 #include "util/result.hpp"
@@ -29,23 +40,71 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
+  /// Connect-retry knobs. timeout_ms == 0 keeps the historical behaviour:
+  /// one attempt, fail fast.
+  struct ConnectOptions {
+    /// Total wall-clock budget for connect attempts (seeded backoff
+    /// between them); 0 = a single attempt.
+    std::uint64_t timeout_ms = 0;
+    util::BackoffPolicy backoff{};
+    /// Interrupts the retry loop (Ctrl-C while waiting for a daemon).
+    util::CancelToken cancel{};
+  };
+
   /// Connects to a daemon's Unix socket. Typed error when the path is too
   /// long, the socket is absent, or nobody is listening.
   static util::Result<Client> connect(const std::string& socket_path);
+  /// As above, retrying within options.timeout_ms for a daemon that is
+  /// not (yet) accepting — the restart-tolerant entry point.
+  static util::Result<Client> connect(const std::string& socket_path,
+                                      const ConnectOptions& options);
 
   bool connected() const { return fd_ >= 0; }
   void close();
+  const std::string& socket_path() const { return socket_path_; }
 
-  /// Lifecycle callback: status ("queued"/"started") and queue position.
+  /// Lifecycle callback: status ("queued"/"started"/"attached") and queue
+  /// position.
   using EventFn =
       std::function<void(std::string_view status, std::uint64_t position)>;
+
+  /// A decoded retry-after shed, reported through submit()'s out-param.
+  struct RetryAfter {
+    bool hinted = false;     ///< a retry-after frame was received
+    std::uint64_t ms = 0;    ///< the server's backoff hint
+    std::string reason;      ///< why the submission was shed
+  };
 
   /// Submits a job and blocks until its result frame. When `cancel` fires
   /// a cancel frame is sent and the call keeps waiting for the server's
   /// (now cancelled/partial) result, so the outcome status is authoritative.
+  /// A retry-after shed surfaces as a kResourceExhausted error; when
+  /// `retry_after` is non-null it additionally receives the decoded hint.
   util::Result<JobOutcome> submit(const JobRequest& request,
                                   util::CancelToken cancel = {},
-                                  const EventFn& on_event = {});
+                                  const EventFn& on_event = {},
+                                  RetryAfter* retry_after = nullptr);
+
+  /// Retry policy for submit_resilient().
+  struct SubmitOptions {
+    std::size_t max_attempts = 5;
+    util::BackoffPolicy backoff{};
+    /// Sleep the server's retry-after hint (capped below) instead of the
+    /// local backoff schedule when a shed carries one.
+    bool honor_retry_after = true;
+    std::uint64_t retry_after_cap_ms = 10000;
+    /// Per-reconnect budget after a connection drop (0 = single attempt).
+    std::uint64_t connect_timeout_ms = 2000;
+  };
+
+  /// submit() hardened against daemon restarts and admission-control
+  /// sheds: reconnects with seeded backoff when the connection drops,
+  /// honors retry-after hints, and resubmits idempotently (see the file
+  /// comment). Job rejections (kError) and cancellation stay fatal.
+  util::Result<JobOutcome> submit_resilient(const JobRequest& request,
+                                            const SubmitOptions& options,
+                                            util::CancelToken cancel = {},
+                                            const EventFn& on_event = {});
 
   /// The daemon's flat stats JSON (jobs.* and store.* counters).
   util::Result<std::string> stats();
@@ -63,6 +122,8 @@ class Client {
 
   int fd_ = -1;
   util::FrameReader reader_;
+  /// Remembered from connect() so submit_resilient can reconnect.
+  std::string socket_path_;
 };
 
 }  // namespace tracesel::service

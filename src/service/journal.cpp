@@ -1,0 +1,406 @@
+#include "service/journal.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <charconv>
+#include <cstring>
+
+#include "util/atomic_file.hpp"
+#include "util/framing.hpp"
+#include "util/log.hpp"
+#include "util/obs.hpp"
+
+namespace tracesel::service {
+
+namespace {
+
+constexpr char kRecordTag[] = "tracesel-jrec";
+constexpr std::uint32_t kRecordVersion = 1;
+constexpr char kJournalName[] = "jobs.journal";
+constexpr char kResultTag[] = "tracesel-result";
+constexpr std::uint32_t kResultVersion = 1;
+/// A journal bigger than this is itself suspect; replay reads it whole.
+constexpr std::size_t kMaxJournalBytes = 256u << 20;
+constexpr std::size_t kMaxResultBytes = 64u << 20;
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v, 16);
+  return std::string(buf, static_cast<std::size_t>(end - buf));
+}
+
+bool to_u64(std::string_view tok, std::uint64_t& out, int base = 10) {
+  const char* first = tok.data();
+  const char* last = tok.data() + tok.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out, base);
+  return ec == std::errc{} && ptr == last;
+}
+
+util::Status make_dir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0777) == 0 || errno == EEXIST)
+    return util::Status::success();
+  return util::Error{util::ErrorCode::kInternal,
+                     "journal: cannot create " + path + ": " +
+                         std::strerror(errno)};
+}
+
+/// "tracesel-jrec <version> <event> <job_id>[ <aux>]\n[<body>]".
+std::string record_payload(std::string_view event, std::uint64_t job_id,
+                           std::string_view aux = {},
+                           std::string_view body = {}) {
+  std::string out = kRecordTag;
+  out += ' ';
+  out += std::to_string(kRecordVersion);
+  out += ' ';
+  out += event;
+  out += ' ';
+  out += std::to_string(job_id);
+  if (!aux.empty()) {
+    out += ' ';
+    out += aux;
+  }
+  out += '\n';
+  out += body;
+  return out;
+}
+
+struct ParsedRecord {
+  std::string event;
+  std::uint64_t job_id = 0;
+  std::uint64_t aux = 0;
+  std::string_view body;
+};
+
+/// Record-level parse; nullopt-style via bool return. A failure here drops
+/// only this record — the frame layer already validated its boundaries.
+bool parse_record(std::string_view payload, ParsedRecord& out) {
+  const std::size_t eol = payload.find('\n');
+  if (eol == std::string_view::npos) return false;
+  std::string_view head = payload.substr(0, eol);
+  out.body = payload.substr(eol + 1);
+
+  // Tokenize "<tag> <version> <event> <id>[ <aux>]".
+  std::vector<std::string_view> tok;
+  while (!head.empty()) {
+    const std::size_t sp = head.find(' ');
+    tok.push_back(head.substr(0, sp));
+    if (sp == std::string_view::npos) break;
+    head.remove_prefix(sp + 1);
+  }
+  if (tok.size() < 4 || tok[0] != kRecordTag) return false;
+  std::uint64_t version = 0;
+  if (!to_u64(tok[1], version) || version != kRecordVersion) return false;
+  out.event = std::string(tok[2]);
+  if (!to_u64(tok[3], out.job_id)) return false;
+  if (tok.size() >= 5 && !to_u64(tok[4], out.aux, 16)) return false;
+  return true;
+}
+
+}  // namespace
+
+JobJournal::~JobJournal() { close(); }
+
+void JobJournal::close() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::string JobJournal::path() const {
+  return options_.dir + "/" + kJournalName;
+}
+
+std::string JobJournal::checkpoint_path(std::uint64_t result_key) const {
+  return options_.dir + "/ckpt/" + hex64(result_key) + ".ck";
+}
+
+std::string JobJournal::result_path(std::uint64_t result_key) const {
+  return options_.dir + "/results/" + hex64(result_key) + ".result";
+}
+
+std::uint64_t JobJournal::bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return size_;
+}
+
+std::uint64_t JobJournal::rotations() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return rotations_;
+}
+
+std::uint64_t JobJournal::records_appended() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return records_;
+}
+
+util::Result<JournalRecovery> JobJournal::open(JournalOptions options) {
+  using R = util::Result<JournalRecovery>;
+  close();
+  if (options.dir.empty())
+    return R::err(util::ErrorCode::kInvalidArgument,
+                  "journal: no directory given");
+  options_ = std::move(options);
+  if (auto st = make_dir(options_.dir); !st.ok()) return st.error();
+  if (auto st = make_dir(options_.dir + "/ckpt"); !st.ok()) return st.error();
+  if (auto st = make_dir(options_.dir + "/results"); !st.ok())
+    return st.error();
+
+  JournalRecovery rec;
+  std::lock_guard<std::mutex> lk(mu_);
+  live_.clear();
+  size_ = 0;
+
+  // --- replay ---
+  std::string bytes;
+  {
+    auto read = util::read_file_capped(path(), kMaxJournalBytes);
+    if (read.ok()) bytes = std::move(read).value();
+    // Absent journal = fresh start; an unreadable one is recovered below
+    // as an empty log (the append path will recreate it).
+  }
+
+  // Every frame the reader yields before poisoning is a good record; the
+  // good prefix length is (bytes fed) - (bytes still buffered) at that
+  // point, which is exactly where a torn tail must be truncated.
+  util::FrameReader reader(util::kMaxFrameBytes);
+  reader.feed(bytes);
+  std::size_t good_offset = 0;
+  std::string payload;
+  std::vector<RecoveredJob> pending;  // admission order
+  for (;;) {
+    const auto st = reader.next(payload);
+    if (st != util::FrameReader::State::kFrame) break;
+    good_offset = bytes.size() - reader.buffered();
+    ParsedRecord r;
+    if (!parse_record(payload, r)) {
+      // Intact frame, malformed record (e.g. version skew): drop just it.
+      ++rec.dropped_records;
+      continue;
+    }
+    ++rec.replayed_records;
+    rec.next_job_id = std::max(rec.next_job_id, r.job_id + 1);
+    const auto it = std::find_if(
+        pending.begin(), pending.end(),
+        [&](const RecoveredJob& j) { return j.id == r.job_id; });
+    if (r.event == "accepted") {
+      auto req = parse_job_request(r.body);
+      if (!req.ok()) {
+        ++rec.dropped_records;  // a job we cannot rebuild cannot replay
+        continue;
+      }
+      if (it == pending.end()) {
+        RecoveredJob j;
+        j.id = r.job_id;
+        j.request = std::move(req).value();
+        pending.push_back(std::move(j));
+      }
+    } else if (r.event == "started") {
+      if (it != pending.end()) it->started = true;
+    } else if (r.event == "completed") {
+      ++rec.completed;  // duplicates are idempotent by construction
+      if (it != pending.end()) pending.erase(it);
+    } else if (r.event == "cancelled") {
+      ++rec.cancelled;
+      if (it != pending.end()) pending.erase(it);
+    } else {
+      ++rec.dropped_records;
+    }
+  }
+  if (good_offset < bytes.size()) {
+    // Torn or corrupt tail: truncate-and-continue. At least one record's
+    // worth of bytes is gone; framing cannot say how many.
+    rec.dropped_bytes = bytes.size() - good_offset;
+    ++rec.dropped_records;
+    if (::truncate(path().c_str(), static_cast<off_t>(good_offset)) != 0 &&
+        errno != ENOENT)
+      util::Log(util::LogLevel::kWarn)
+          << "journal: cannot truncate torn tail of " << path() << ": "
+          << std::strerror(errno);
+  }
+  rec.pending = pending;
+
+  // Seed the live set so the next compaction preserves the replayed jobs.
+  for (const RecoveredJob& j : pending) {
+    LiveJob lj;
+    lj.id = j.id;
+    lj.accepted_payload =
+        record_payload("accepted", j.id, {}, serialize_job_request(j.request));
+    lj.started = j.started;
+    live_.push_back(std::move(lj));
+  }
+
+  fd_ = ::open(path().c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+               0666);
+  if (fd_ < 0)
+    return R::err(util::ErrorCode::kInternal,
+                  "journal: cannot open " + path() + " for append: " +
+                      std::strerror(errno));
+  struct stat st;
+  if (::fstat(fd_, &st) == 0) size_ = static_cast<std::uint64_t>(st.st_size);
+
+  OBS_COUNT("svc.journal.dropped_records", rec.dropped_records);
+  OBS_COUNT("svc.journal.dropped_bytes", rec.dropped_bytes);
+  OBS_COUNT("svc.journal.recovered_jobs", rec.pending.size());
+  rec.note = "journal: replayed " + std::to_string(rec.replayed_records) +
+             " record(s), " + std::to_string(rec.pending.size()) +
+             " pending job(s), " + std::to_string(rec.completed) +
+             " completed, dropped " + std::to_string(rec.dropped_records) +
+             " record(s) / " + std::to_string(rec.dropped_bytes) + " byte(s)";
+  return rec;
+}
+
+void JobJournal::append(std::uint64_t job_id, const std::string& payload,
+                        bool live, bool terminal) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (fd_ < 0) return;
+  // The shared framing write loop (EINTR-retried, full write); the journal
+  // appender must never reimplement it.
+  const auto st = util::write_frame(fd_, payload);
+  if (!st.ok()) {
+    util::Log(util::LogLevel::kError)
+        << "journal: append failed: " << st.error().to_string();
+    return;
+  }
+  if (options_.fsync) ::fsync(fd_);
+  size_ += util::kFrameHeaderBytes + payload.size();
+  ++records_;
+  OBS_COUNT("svc.journal.records", 1);
+
+  if (live) {
+    LiveJob lj;
+    lj.id = job_id;
+    lj.accepted_payload = payload;
+    live_.push_back(std::move(lj));
+  } else if (terminal) {
+    live_.erase(std::remove_if(live_.begin(), live_.end(),
+                               [&](const LiveJob& j) { return j.id == job_id; }),
+                live_.end());
+  } else {
+    const auto it = std::find_if(live_.begin(), live_.end(),
+                                 [&](const LiveJob& j) { return j.id == job_id; });
+    if (it != live_.end()) it->started = true;
+  }
+
+  if (options_.rotate_bytes > 0 && size_ > options_.rotate_bytes)
+    rotate_locked();
+}
+
+void JobJournal::rotate_locked() {
+  // Compaction: the journal's truth is the live set, so rewrite only the
+  // records of still-unfinished jobs. atomic_write_file gives the full
+  // temp + fsync + rename + parent-fsync discipline; a crash mid-rotation
+  // leaves either the old log or the new one, never a hybrid.
+  std::string compacted;
+  for (const LiveJob& j : live_) {
+    compacted += util::encode_frame(j.accepted_payload);
+    if (j.started)
+      compacted += util::encode_frame(record_payload("started", j.id));
+  }
+  const auto st = util::atomic_write_file(path(), compacted);
+  if (!st.ok()) {
+    util::Log(util::LogLevel::kWarn)
+        << "journal: rotation failed (keeping the long log): "
+        << st.error().to_string();
+    return;
+  }
+  ::close(fd_);
+  fd_ = ::open(path().c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+               0666);
+  if (fd_ < 0) {
+    util::Log(util::LogLevel::kError)
+        << "journal: cannot reopen " << path() << " after rotation: "
+        << std::strerror(errno);
+    return;
+  }
+  size_ = compacted.size();
+  ++rotations_;
+  OBS_COUNT("svc.journal.rotations", 1);
+}
+
+void JobJournal::accepted(std::uint64_t job_id, const JobRequest& request) {
+  append(job_id,
+         record_payload("accepted", job_id, {}, serialize_job_request(request)),
+         /*live=*/true, /*terminal=*/false);
+}
+
+void JobJournal::started(std::uint64_t job_id) {
+  append(job_id, record_payload("started", job_id), /*live=*/false,
+         /*terminal=*/false);
+}
+
+void JobJournal::completed(std::uint64_t job_id, std::uint64_t result_hash) {
+  append(job_id, record_payload("completed", job_id, hex64(result_hash)),
+         /*live=*/false, /*terminal=*/true);
+}
+
+void JobJournal::cancelled(std::uint64_t job_id) {
+  append(job_id, record_payload("cancelled", job_id), /*live=*/false,
+         /*terminal=*/true);
+}
+
+util::Status JobJournal::store_result(std::uint64_t result_key,
+                                      const JobRequest& request,
+                                      std::string_view report_json) {
+  // "request <len>\n<req>\nreport <len>\n<report>\n" inside the shared
+  // envelope codec: checksum + version validation for free on load.
+  const std::string req = serialize_job_request(request);
+  std::string body;
+  body.reserve(req.size() + report_json.size() + 64);
+  body += "request " + std::to_string(req.size()) + '\n';
+  body += req;
+  body += '\n';
+  body += "report " + std::to_string(report_json.size()) + '\n';
+  body += report_json;
+  body += '\n';
+  return util::atomic_write_file(
+      result_path(result_key),
+      util::encode_envelope(kResultTag, kResultVersion, body));
+}
+
+util::Result<std::string> JobJournal::load_result(
+    std::uint64_t result_key, const JobRequest& request) const {
+  using R = util::Result<std::string>;
+  auto bytes = util::read_file_capped(result_path(result_key), kMaxResultBytes);
+  if (!bytes.ok()) return bytes.error();
+  auto payload = util::decode_envelope(bytes.value(), kResultTag,
+                                       kResultVersion, "stored result");
+  if (!payload.ok()) return payload.error();
+  std::string_view body = payload.value();
+
+  const auto take = [&](std::string_view name,
+                        std::string_view& out) -> bool {
+    const std::size_t eol = body.find('\n');
+    if (eol == std::string_view::npos) return false;
+    std::string_view line = body.substr(0, eol);
+    if (!line.starts_with(name) || line.size() <= name.size() ||
+        line[name.size()] != ' ')
+      return false;
+    std::uint64_t n = 0;
+    if (!to_u64(line.substr(name.size() + 1), n)) return false;
+    body.remove_prefix(eol + 1);
+    if (n > body.size()) return false;
+    out = body.substr(0, static_cast<std::size_t>(n));
+    body.remove_prefix(static_cast<std::size_t>(n));
+    if (!body.empty() && body.front() == '\n') body.remove_prefix(1);
+    return true;
+  };
+
+  std::string_view req_text, report;
+  if (!take("request", req_text) || !take("report", report))
+    return R::err(util::ErrorCode::kParse, "stored result: bad blocks");
+  auto stored_req = parse_job_request(req_text);
+  if (!stored_req.ok()) return stored_req.error();
+  if (!stored_req.value().same_computation(request))
+    return R::err(util::ErrorCode::kInternal,
+                  "stored result: result-key collision (different "
+                  "computation); recomputing");
+  return std::string(report);
+}
+
+}  // namespace tracesel::service

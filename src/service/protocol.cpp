@@ -77,6 +77,7 @@ std::string_view to_string(MessageType type) {
     case MessageType::kPong: return "pong";
     case MessageType::kOk: return "ok";
     case MessageType::kError: return "error";
+    case MessageType::kRetryAfter: return "retry-after";
   }
   return "ping";
 }
@@ -130,6 +131,14 @@ std::string encode_telemetry_result(std::string_view telemetry_json) {
 std::string encode_error(std::string_view message) {
   std::string out = header(MessageType::kError);
   append_block(out, "message", message);
+  return out;
+}
+
+std::string encode_retry_after(std::uint64_t retry_after_ms,
+                               std::string_view reason) {
+  std::string out = header(MessageType::kRetryAfter);
+  out += "retry_after_ms " + std::to_string(retry_after_ms) + '\n';
+  append_block(out, "reason", reason);
   return out;
 }
 
@@ -245,6 +254,20 @@ util::Result<Message> parse_message(std::string_view payload) {
     m.type = MessageType::kError;
     if (!take_block(body, "message", m.text))
       return malformed("bad error block");
+    return m;
+  }
+
+  if (verb == "retry-after") {
+    m.type = MessageType::kRetryAfter;
+    if (!body.starts_with("retry_after_ms "))
+      return malformed("retry-after without a hint");
+    const std::size_t le = body.find('\n');
+    if (le == std::string_view::npos) return malformed("truncated retry-after");
+    if (!to_u64(body.substr(15, le - 15), m.retry_after_ms))
+      return malformed("bad retry_after_ms");
+    body.remove_prefix(le + 1);
+    if (!take_block(body, "reason", m.text))
+      return malformed("bad retry-after reason block");
     return m;
   }
 

@@ -51,6 +51,11 @@ enum class MessageType {
   kPong,
   kOk,
   kError,
+  /// Typed backpressure: the submission was shed (queue full, tenant cap,
+  /// unmeetable deadline) and the server suggests retrying after a hint
+  /// derived from current queue depth and utilization. Unlike kError, the
+  /// client is expected to resubmit — idempotently, by canonical job hash.
+  kRetryAfter,
 };
 
 std::string_view to_string(MessageType type);
@@ -84,6 +89,8 @@ struct Message {
   JobOutcome outcome;
   std::string text;
   std::uint64_t position = 0;
+  /// kRetryAfter only: the server-computed backoff hint in milliseconds.
+  std::uint64_t retry_after_ms = 0;
 };
 
 // --- encoders (frame payloads; wrap with util::encode_frame to send) ---
@@ -95,6 +102,9 @@ std::string encode_result(const JobOutcome& outcome);
 std::string encode_stats_result(std::string_view stats_json);
 std::string encode_telemetry_result(std::string_view telemetry_json);
 std::string encode_error(std::string_view message);
+/// Admission-control shed: "come back in about `retry_after_ms` ms".
+std::string encode_retry_after(std::uint64_t retry_after_ms,
+                               std::string_view reason);
 
 /// Decodes one frame payload. Typed errors on unknown verbs, version
 /// mismatches and malformed bodies — a daemon must reject, never crash.

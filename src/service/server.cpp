@@ -144,6 +144,29 @@ util::Status Server::start() {
                            std::strerror(err)};
   }
 
+  // Crash durability: replay the write-ahead journal before the first
+  // runner starts and before the socket is advertised, so recovered jobs
+  // re-enter the queue in their original admission order ahead of any new
+  // submissions.
+  if (!options_.journal_dir.empty()) {
+    JournalOptions jo;
+    jo.dir = options_.journal_dir;
+    jo.rotate_bytes = options_.journal_rotate_bytes;
+    auto rec = wal_.open(std::move(jo));
+    if (!rec.ok()) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      ::unlink(options_.socket_path.c_str());
+      return rec.error();
+    }
+    JournalRecovery r = std::move(rec).value();
+    if (r.next_job_id > next_job_id_.load(std::memory_order_relaxed))
+      next_job_id_.store(r.next_job_id, std::memory_order_relaxed);
+    for (RecoveredJob& j : r.pending) enqueue_recovered(std::move(j));
+    if (!r.note.empty())
+      util::Log(util::LogLevel::kInfo) << "traceseld: " << r.note;
+  }
+
   started_at_ = std::chrono::steady_clock::now();
   runners_.reserve(options_.runners);
   for (std::size_t i = 0; i < options_.runners; ++i)
@@ -198,21 +221,165 @@ void Server::begin_drain() {
   queue_cv_.notify_all();
 }
 
-std::shared_ptr<Server::Job> Server::enqueue(JobRequest request,
-                                             std::string& why) {
-  std::lock_guard<std::mutex> lk(queue_mu_);
+std::uint64_t Server::mean_job_ms() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  return finished_jobs_ > 0 ? finished_ms_ / finished_jobs_ : 0;
+}
+
+std::uint64_t Server::retry_hint_ms(std::size_t queue_depth) const {
+  // Floor + the estimated time for the backlog to clear: depth+1 jobs at
+  // the observed mean wall time, spread over the runner pool. With no
+  // history yet, assume a small per-job cost so the hint still scales
+  // with depth. Capped so a pathological backlog cannot tell clients to
+  // sleep forever.
+  const std::uint64_t mean = mean_job_ms();
+  const std::uint64_t per_job = mean > 0 ? mean : 25;
+  const std::uint64_t hint =
+      options_.retry_after_floor_ms +
+      per_job * (static_cast<std::uint64_t>(queue_depth) + 1) /
+          std::max<std::uint64_t>(1, options_.runners);
+  return std::min<std::uint64_t>(hint, 10000);
+}
+
+Server::Admission Server::admit(JobRequest request) {
+  Admission a;
+  // Resolve the content hash before taking queue_mu_ — it may read the
+  // spec file. rkey == 0 means unresolvable here; run_job will surface
+  // the real error, and the job simply skips attach/durable-cache paths.
+  std::uint64_t rkey = 0;
+  if (auto sh = QueryCore::source_hash(request); sh.ok())
+    rkey = request.canonical_hash(sh.value());
+
+  // Per-tenant shed accounting happens outside queue_mu_ (telemetry_mu_
+  // stays innermost); stats_mu_ nests under queue_mu_ as elsewhere.
+  const auto note_shed = [this](const std::string& tenant) {
+    std::lock_guard<std::mutex> lk(telemetry_mu_);
+    auto it = std::find_if(tenants_.begin(), tenants_.end(),
+                           [&](const auto& t) { return t.first == tenant; });
+    if (it == tenants_.end()) {
+      tenants_.emplace_back(tenant, TenantStats{});
+      it = std::prev(tenants_.end());
+    }
+    ++it->second.shed;
+  };
+
+  std::unique_lock<std::mutex> lk(queue_mu_);
   if (draining()) {
-    why = "server is shutting down";
-    return nullptr;
+    a.why = "server is shutting down";
+    std::lock_guard<std::mutex> slk(stats_mu_);
+    ++stats_.rejected;
+    return a;
   }
+
+  // Idempotent resubmission: an in-flight job for the same canonical hash
+  // means this submission can just watch that job instead of queueing a
+  // duplicate computation (same_computation guards hash collisions).
+  // Attach only when the outcomes would agree: never to a job already
+  // cancelled, and never across differing deadlines — a twin's tighter
+  // deadline would hand this client a partial result it did not ask for.
+  // (Cancel/attach/release decisions all serialize under queue_mu_.)
+  if (rkey != 0) {
+    for (const auto& j : inflight_) {
+      if (j->rkey == rkey && !j->cancel.cancelled() &&
+          j->request.deadline_ms == request.deadline_ms &&
+          j->request.same_computation(request)) {
+        j->watchers.fetch_add(1, std::memory_order_relaxed);
+        a.job = j;
+        a.attached = true;
+        for (std::size_t i = 0; i < queue_.size(); ++i)
+          if (queue_[i] == j) a.position = i + 1;
+        OBS_COUNT("svc.jobs.attached", 1);
+        std::lock_guard<std::mutex> slk(stats_mu_);
+        ++stats_.attached;
+        return a;
+      }
+    }
+  }
+
+  // Per-tenant in-flight cap: one noisy tenant cannot occupy the whole
+  // queue. Shed with a typed retry-after rather than a hard error.
+  if (options_.per_tenant_inflight > 0) {
+    auto it = std::find_if(
+        tenant_inflight_.begin(), tenant_inflight_.end(),
+        [&](const auto& t) { return t.first == request.tenant; });
+    if (it != tenant_inflight_.end() &&
+        it->second >= options_.per_tenant_inflight) {
+      a.retry_after_ms = retry_hint_ms(queue_.size());
+      a.why = "tenant '" + (request.tenant.empty() ? "-" : request.tenant) +
+              "' is at its in-flight cap (" +
+              std::to_string(options_.per_tenant_inflight) + ")";
+      OBS_COUNT("svc.shed.tenant_cap", 1);
+      {
+        std::lock_guard<std::mutex> slk(stats_mu_);
+        ++stats_.rejected;
+        ++stats_.retry_after;
+        ++stats_.shed_tenant_cap;
+      }
+      lk.unlock();
+      note_shed(request.tenant);
+      return a;
+    }
+  }
+
   if (queue_.size() >= options_.max_queue) {
-    why = "job queue is full (" + std::to_string(options_.max_queue) + ")";
-    return nullptr;
+    a.retry_after_ms = retry_hint_ms(queue_.size());
+    a.why = "job queue is full (" + std::to_string(options_.max_queue) + ")";
+    OBS_COUNT("svc.shed.queue_full", 1);
+    {
+      std::lock_guard<std::mutex> slk(stats_mu_);
+      ++stats_.rejected;
+      ++stats_.retry_after;
+    }
+    lk.unlock();
+    note_shed(request.tenant);
+    return a;
   }
+
+  // Deadline-aware shedding: if the backlog alone is predicted to outlast
+  // the job's deadline, queueing it only wastes a runner on a job that
+  // will start already doomed — shed it now with an honest hint.
+  if (request.deadline_ms > 0) {
+    const std::uint64_t wait =
+        mean_job_ms() * static_cast<std::uint64_t>(queue_.size()) /
+        std::max<std::uint64_t>(1, options_.runners);
+    if (wait > 0 && wait >= request.deadline_ms) {
+      a.retry_after_ms = retry_hint_ms(queue_.size());
+      a.why = "predicted queue wait " + std::to_string(wait) +
+              "ms exceeds the job deadline " +
+              std::to_string(request.deadline_ms) + "ms";
+      OBS_COUNT("svc.shed.deadline", 1);
+      {
+        std::lock_guard<std::mutex> slk(stats_mu_);
+        ++stats_.rejected;
+        ++stats_.retry_after;
+        ++stats_.shed_deadline;
+      }
+      lk.unlock();
+      note_shed(request.tenant);
+      return a;
+    }
+  }
+
   auto job = std::make_shared<Job>();
   job->id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
   job->request = std::move(request);
+  job->rkey = rkey;
+  job->watchers.store(1, std::memory_order_relaxed);
+  // WAL discipline: the accepted record is on disk (fsync'd) before the
+  // job becomes visible to any runner.
+  wal_.accepted(job->id, job->request);
   queue_.push_back(job);
+  inflight_.push_back(job);
+  a.position = queue_.size();
+  {
+    auto it = std::find_if(
+        tenant_inflight_.begin(), tenant_inflight_.end(),
+        [&](const auto& t) { return t.first == job->request.tenant; });
+    if (it == tenant_inflight_.end())
+      tenant_inflight_.emplace_back(job->request.tenant, 1);
+    else
+      ++it->second;
+  }
   OBS_GAUGE_MAX("svc.queue.peak_depth", queue_.size());
   {
     std::lock_guard<std::mutex> slk(stats_mu_);
@@ -220,7 +387,40 @@ std::shared_ptr<Server::Job> Server::enqueue(JobRequest request,
   }
   journal_append(job->id, job->request.tenant, "queued");
   queue_cv_.notify_one();
-  return job;
+  a.job = std::move(job);
+  return a;
+}
+
+void Server::enqueue_recovered(RecoveredJob r) {
+  // start()-only (single-threaded, pre-listen): admission control is
+  // bypassed — these jobs were admitted and journalled in a previous life.
+  std::uint64_t rkey = 0;
+  if (auto sh = QueryCore::source_hash(r.request); sh.ok())
+    rkey = r.request.canonical_hash(sh.value());
+  std::lock_guard<std::mutex> lk(queue_mu_);
+  auto job = std::make_shared<Job>();
+  job->id = r.id;
+  job->request = std::move(r.request);
+  job->rkey = rkey;
+  job->replayed = true;
+  queue_.push_back(job);
+  inflight_.push_back(job);
+  {
+    auto it = std::find_if(
+        tenant_inflight_.begin(), tenant_inflight_.end(),
+        [&](const auto& t) { return t.first == job->request.tenant; });
+    if (it == tenant_inflight_.end())
+      tenant_inflight_.emplace_back(job->request.tenant, 1);
+    else
+      ++it->second;
+  }
+  {
+    std::lock_guard<std::mutex> slk(stats_mu_);
+    ++stats_.submitted;
+    ++stats_.recovered;
+  }
+  journal_append(job->id, job->request.tenant, "recovered");
+  queue_cv_.notify_one();
 }
 
 std::shared_ptr<Server::Job> Server::pop_job() {
@@ -247,6 +447,8 @@ void Server::run_job(Job& job) {
     ++stats_.running;
   }
   journal_append(job.id, job.request.tenant, "started");
+  wal_.started(job.id);
+  if (options_.on_job_start) options_.on_job_start(job.request);
   // The deadline starts when the job starts — queue time must not eat a
   // client's compute budget.
   if (job.request.deadline_ms > 0)
@@ -270,8 +472,29 @@ void Server::run_job(Job& job) {
     // process-global context cannot carry it).
     obs::Span job_span("svc.job", job.request.parent_span_id);
     OBS_COUNT("svc.jobs", 1);
-    try {
-      auto run = QueryCore::run(job.request, &store_, job.cancel);
+    // Durable result cache: a completed twin from a previous daemon life
+    // is served byte-identically from disk, no recompute. The collision
+    // guard inside load_result re-checks same_computation.
+    bool disk_hit = false;
+    if (wal_.enabled() && job.rkey != 0) {
+      if (auto cached = wal_.load_result(job.rkey, job.request); cached.ok()) {
+        out.report_json = std::move(cached).value();
+        out.cache_hit = true;
+        out.status = "ok";
+        disk_hit = true;
+        OBS_COUNT("svc.result.disk_hits", 1);
+      }
+    }
+    if (!disk_hit) try {
+      QueryCore::RunOptions ro;
+      if (wal_.enabled() && job.rkey != 0) {
+        // Long jobs snapshot at wave boundaries under <journal>/ckpt/ and
+        // resume from there when replayed after a crash.
+        ro.checkpoint_path = wal_.checkpoint_path(job.rkey);
+        ro.checkpoint_interval = options_.checkpoint_interval;
+        ro.try_resume = true;
+      }
+      auto run = QueryCore::run(job.request, &store_, job.cancel, ro);
       if (!run.ok()) {
         out.status = "error";
         out.error = run.error().to_string();
@@ -288,6 +511,12 @@ void Server::run_job(Job& job) {
                          : (job.client_cancelled.load(std::memory_order_relaxed)
                                 ? "cancelled"
                                 : "partial");
+        if (out.status == "ok" && wal_.enabled() && job.rkey != 0) {
+          // Persist the exact report bytes, then drop the now-redundant
+          // checkpoint — the result supersedes it.
+          (void)wal_.store_result(job.rkey, job.request, out.report_json);
+          ::unlink(wal_.checkpoint_path(job.rkey).c_str());
+        }
       }
     } catch (const util::CancelledError& e) {
       // A stage with no partial form (parse, interleave build) unwound.
@@ -333,6 +562,14 @@ void Server::run_job(Job& job) {
     out.telemetry = obs::serialize_telemetry(t);
   }
 
+  // WAL terminal record before the outcome becomes visible: cancelled
+  // jobs replay as cancelled, everything else (ok, partial, error) is
+  // finished business a restart must not re-run.
+  if (out.status == "cancelled")
+    wal_.cancelled(job.id);
+  else
+    wal_.completed(job.id, job.rkey);
+
   {
     std::lock_guard<std::mutex> lk(stats_mu_);
     --stats_.running;
@@ -340,6 +577,20 @@ void Server::run_job(Job& job) {
     else if (out.status == "partial") ++stats_.partial;
     else if (out.status == "cancelled") ++stats_.cancelled;
     else ++stats_.errors;
+    ++finished_jobs_;
+    finished_ms_ += out.elapsed_ms;
+  }
+  {
+    // Release the admission-control slots (attach lookup + tenant cap).
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    inflight_.erase(
+        std::remove_if(inflight_.begin(), inflight_.end(),
+                       [&](const auto& j) { return j.get() == &job; }),
+        inflight_.end());
+    auto it = std::find_if(
+        tenant_inflight_.begin(), tenant_inflight_.end(),
+        [&](const auto& t) { return t.first == job.request.tenant; });
+    if (it != tenant_inflight_.end() && it->second > 0) --it->second;
   }
   journal_append(job.id, job.request.tenant, out.status, out.elapsed_ms,
                  out.status == "error" ? out.error : std::string());
@@ -411,11 +662,24 @@ void Server::connection_main(int fd) {
     if (peer_gone) return;
     if (!util::write_frame(fd, payload).ok()) peer_gone = true;
   };
-  const auto cancel_active = [&] {
-    if (active) {
-      active->client_cancelled.store(true, std::memory_order_relaxed);
-      active->cancel.cancel();
+  // Detach from the watched job; when this was its last watcher and
+  // `cancel` is set, cancel it cooperatively. Replayed jobs are never
+  // disconnect-cancelled: nobody held a connection to them to begin with,
+  // and recovery must run them to completion.
+  const auto release_active = [&](bool cancel) {
+    if (!active) return;
+    {
+      // queue_mu_ serializes this against admit()'s attach check, so a
+      // submission cannot attach to a job in the act of being cancelled.
+      std::lock_guard<std::mutex> lk(queue_mu_);
+      const int left =
+          active->watchers.fetch_sub(1, std::memory_order_acq_rel) - 1;
+      if (cancel && left <= 0 && !active->replayed) {
+        active->client_cancelled.store(true, std::memory_order_relaxed);
+        active->cancel.cancel();
+      }
     }
+    active.reset();
   };
 
   while (!peer_gone) {
@@ -434,7 +698,7 @@ void Server::connection_main(int fd) {
       }
       if (state == Job::State::kDone) {
         send(encode_result(outcome));
-        active.reset();
+        release_active(/*cancel=*/false);
         started_sent = false;
         continue;
       }
@@ -465,9 +729,10 @@ void Server::connection_main(int fd) {
       break;
     }
     if (n == 0) {
-      // Disconnect cancels the client's in-flight job: nobody is waiting
-      // for the answer, so stop burning the machine on it.
-      cancel_active();
+      // Disconnect cancels the client's in-flight job — when this was its
+      // last watcher: nobody is waiting for the answer, so stop burning
+      // the machine on it. Attached twins keep it alive.
+      release_active(/*cancel=*/true);
       break;
     }
     reader.feed(buf, static_cast<std::size_t>(n));
@@ -510,7 +775,17 @@ void Server::connection_main(int fd) {
           send(encode_simple(MessageType::kOk));
           break;
         case MessageType::kCancel:
-          cancel_active();
+          // A cancel frame kills the job only when this connection is its
+          // sole watcher — attached twins still want the answer. Either
+          // way the canceller keeps streaming and takes the shared result
+          // as authoritative.
+          if (active) {
+            std::lock_guard<std::mutex> lk(queue_mu_);
+            if (active->watchers.load(std::memory_order_relaxed) <= 1) {
+              active->client_cancelled.store(true, std::memory_order_relaxed);
+              active->cancel.cancel();
+            }
+          }
           send(encode_simple(MessageType::kOk));
           break;
         case MessageType::kSubmit: {
@@ -519,22 +794,19 @@ void Server::connection_main(int fd) {
                 "a job is already in flight on this connection"));
             break;
           }
-          std::string why;
-          auto job = enqueue(std::move(m.request), why);
-          if (!job) {
-            std::lock_guard<std::mutex> lk(stats_mu_);
-            ++stats_.rejected;
-            send(encode_error(why));
+          Admission adm = admit(std::move(m.request));
+          if (!adm.job) {
+            // admit() already counted the rejection; sheds carry a typed
+            // retry-after hint, hard refusals (draining) a plain error.
+            send(adm.retry_after_ms > 0
+                     ? encode_retry_after(adm.retry_after_ms, adm.why)
+                     : encode_error(adm.why));
             break;
           }
-          std::uint64_t position = 0;
-          {
-            std::lock_guard<std::mutex> lk(queue_mu_);
-            position = queue_.size();  // 0 = already claimed by a runner
-          }
-          active = std::move(job);
+          active = std::move(adm.job);
           started_sent = false;
-          send(encode_event("queued", position));
+          send(encode_event(adm.attached ? "attached" : "queued",
+                            adm.position));
           break;
         }
         default:
@@ -543,7 +815,7 @@ void Server::connection_main(int fd) {
       }
     }
   }
-  cancel_active();  // send failure path: the client is gone
+  release_active(/*cancel=*/true);  // send failure path: the client is gone
   ::close(fd);
 }
 
@@ -574,9 +846,19 @@ util::Json Server::stats_json() const {
   j.set("jobs.cancelled", util::Json::number(s.cancelled));
   j.set("jobs.errors", util::Json::number(s.errors));
   j.set("jobs.rejected", util::Json::number(s.rejected));
+  j.set("jobs.retry_after", util::Json::number(s.retry_after));
+  j.set("jobs.shed.tenant_cap", util::Json::number(s.shed_tenant_cap));
+  j.set("jobs.shed.deadline", util::Json::number(s.shed_deadline));
+  j.set("jobs.attached", util::Json::number(s.attached));
+  j.set("jobs.recovered", util::Json::number(s.recovered));
   j.set("jobs.protocol_errors", util::Json::number(s.protocol_errors));
   j.set("jobs.queued", util::Json::number(s.queued));
   j.set("jobs.running", util::Json::number(s.running));
+  if (wal_.enabled()) {
+    j.set("journal.bytes", util::Json::number(wal_.bytes()));
+    j.set("journal.records", util::Json::number(wal_.records_appended()));
+    j.set("journal.rotations", util::Json::number(wal_.rotations()));
+  }
   j.set("store.workload.hits", util::Json::number(ss.workload_hits));
   j.set("store.workload.misses", util::Json::number(ss.workload_misses));
   j.set("store.result.hits", util::Json::number(ss.result_hits));
@@ -611,10 +893,25 @@ util::Json Server::telemetry_json() const {
   j.set("runners", util::Json::number(std::uint64_t{options_.runners}));
   j.set("slow_job_threshold_ms", util::Json::number(options_.slow_job_ms));
   j.set("queue.depth", util::Json::number(s.queued));
+  j.set("queue.max", util::Json::number(std::uint64_t{options_.max_queue}));
   j.set("jobs.running", util::Json::number(s.running));
   j.set("jobs.submitted", util::Json::number(s.submitted));
   j.set("jobs.completed", util::Json::number(s.completed));
   j.set("jobs.errors", util::Json::number(s.errors));
+  j.set("jobs.retry_after", util::Json::number(s.retry_after));
+  j.set("jobs.attached", util::Json::number(s.attached));
+  j.set("jobs.recovered", util::Json::number(s.recovered));
+  if (options_.per_tenant_inflight > 0)
+    j.set("tenant_inflight_cap",
+          util::Json::number(std::uint64_t{options_.per_tenant_inflight}));
+  if (wal_.enabled()) {
+    util::Json wj = util::Json::object();
+    wj.set("dir", util::Json::string(wal_.dir()));
+    wj.set("bytes", util::Json::number(wal_.bytes()));
+    wj.set("records", util::Json::number(wal_.records_appended()));
+    wj.set("rotations", util::Json::number(wal_.rotations()));
+    j.set("wal", std::move(wj));
+  }
 
   std::lock_guard<std::mutex> lk(telemetry_mu_);
   j.set("busy_ms", util::Json::number(busy_ms_));
@@ -634,6 +931,7 @@ util::Json Server::telemetry_json() const {
     tj.set("jobs", util::Json::number(t.jobs));
     tj.set("errors", util::Json::number(t.errors));
     tj.set("busy_ms", util::Json::number(t.busy_ms));
+    if (t.shed != 0) tj.set("shed", util::Json::number(t.shed));
     tenants.set(name.empty() ? "-" : name, std::move(tj));
   }
   j.set("tenants", std::move(tenants));

@@ -33,12 +33,14 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "service/journal.hpp"
 #include "service/protocol.hpp"
 #include "tracesel/artifact_store.hpp"
 #include "tracesel/job_request.hpp"
@@ -64,9 +66,29 @@ struct ServerOptions {
   std::uint64_t slow_job_ms = 1000;
   /// Ring-buffer capacity of the telemetry event journal.
   std::size_t journal_capacity = 256;
+  /// Crash durability (DESIGN.md §16): when non-empty, every job lifecycle
+  /// transition is write-ahead journalled here, long jobs checkpoint under
+  /// <dir>/ckpt/, completed reports persist under <dir>/results/, and
+  /// start() replays unfinished jobs from a previous life. Empty = the
+  /// pre-PR-10 purely in-memory daemon.
+  std::string journal_dir;
+  /// Journal compaction threshold (JournalOptions::rotate_bytes).
+  std::uint64_t journal_rotate_bytes = 4u << 20;
+  /// Wave shards per search checkpoint for journalled jobs.
+  std::size_t checkpoint_interval = 64;
+  /// Per-tenant in-flight (queued + running) cap; 0 = unlimited. Breaches
+  /// are shed with a typed retry-after frame, counted per tenant.
+  std::size_t per_tenant_inflight = 0;
+  /// Minimum retry-after hint for shed submissions (the hint grows with
+  /// queue depth and the observed mean job time).
+  std::uint64_t retry_after_floor_ms = 50;
   /// Drain-and-exit trigger; the CLI points this at its signal token so
   /// SIGTERM/SIGINT drain the daemon. Defaults to a live token.
   util::CancelToken shutdown = util::CancelToken::make();
+  /// Test seam: called on the runner thread right after a job enters
+  /// kRunning and before its compute starts. Lets the chaos/overload
+  /// tests hold a runner busy deterministically. Null in production.
+  std::function<void(const JobRequest&)> on_job_start;
 };
 
 class Server {
@@ -91,7 +113,12 @@ class Server {
     std::uint64_t partial = 0;     ///< deadline/budget-stopped jobs
     std::uint64_t cancelled = 0;   ///< client-cancelled jobs
     std::uint64_t errors = 0;      ///< failed jobs
-    std::uint64_t rejected = 0;    ///< queue-full / draining rejections
+    std::uint64_t rejected = 0;    ///< all shed/refused submissions
+    std::uint64_t retry_after = 0; ///< rejections sent as typed retry-after
+    std::uint64_t shed_tenant_cap = 0;  ///< per-tenant in-flight breaches
+    std::uint64_t shed_deadline = 0;    ///< unmeetable-deadline sheds
+    std::uint64_t attached = 0;    ///< submits attached to an in-flight twin
+    std::uint64_t recovered = 0;   ///< jobs replayed from the WAL on start
     std::uint64_t protocol_errors = 0;  ///< malformed/oversized frames
     std::uint64_t queued = 0;      ///< current depth
     std::uint64_t running = 0;     ///< currently executing
@@ -109,7 +136,7 @@ class Server {
     std::uint64_t at_ms = 0;  ///< server uptime at the event
     std::uint64_t job_id = 0;
     std::string tenant;
-    std::string event;  ///< queued|started|ok|partial|cancelled|error|slow
+    std::string event;  ///< queued|recovered|started|ok|partial|cancelled|error|slow
     std::uint64_t elapsed_ms = 0;  ///< job wall time (terminal events)
     std::string detail;            ///< span summary / error text
   };
@@ -128,11 +155,31 @@ class Server {
     JobRequest request;
     util::CancelToken cancel = util::CancelToken::make();
     std::atomic<bool> client_cancelled{false};
+    /// Canonical result key (canonical_hash over the resolved source);
+    /// 0 when the source could not be resolved at admission time.
+    std::uint64_t rkey = 0;
+    /// Replayed from the WAL on restart: no originating connection, so a
+    /// watcher disconnect must not cancel it.
+    bool replayed = false;
+    /// Connections currently streaming this job's lifecycle (the
+    /// submitter plus attached idempotent resubmitters).
+    std::atomic<int> watchers{0};
 
     std::mutex mu;
     std::condition_variable cv;
     enum class State { kQueued, kRunning, kDone } state = State::kQueued;
     JobOutcome outcome;  // filled by the runner before kDone
+  };
+
+  /// The admission-control verdict for one submission.
+  struct Admission {
+    std::shared_ptr<Job> job;  ///< non-null on accept (or attach)
+    bool attached = false;     ///< an in-flight twin is serving this hash
+    std::string why;           ///< rejection reason when job == nullptr
+    /// >0: shed with a typed retry-after hint; 0: hard error (draining).
+    std::uint64_t retry_after_ms = 0;
+    /// Queue position at admission (0 = already claimed by a runner).
+    std::uint64_t position = 0;
   };
 
   void runner_main();
@@ -141,8 +188,16 @@ class Server {
   void journal_append(std::uint64_t job_id, const std::string& tenant,
                       std::string event, std::uint64_t elapsed_ms = 0,
                       std::string detail = {});
-  /// nullptr (with a reason in `why`) when the queue is full or draining.
-  std::shared_ptr<Job> enqueue(JobRequest request, std::string& why);
+  /// Admission control: draining / duplicate-attach / per-tenant cap /
+  /// queue depth / deadline shed, in that order (DESIGN.md §16).
+  Admission admit(JobRequest request);
+  /// Re-enqueues one WAL-recovered job, bypassing admission control (it
+  /// was already admitted in a previous life).
+  void enqueue_recovered(RecoveredJob job);
+  /// The server-computed backoff hint: floor + estimated queue latency.
+  std::uint64_t retry_hint_ms(std::size_t queue_depth) const;
+  /// Mean wall time of completed jobs (0 when no history).
+  std::uint64_t mean_job_ms() const;
   std::shared_ptr<Job> pop_job();
   void run_job(Job& job);
   bool draining() const { return draining_.load(std::memory_order_relaxed); }
@@ -154,12 +209,24 @@ class Server {
   std::atomic<bool> draining_{false};
   std::atomic<std::uint64_t> next_job_id_{1};
 
+  /// The write-ahead job journal (disabled when journal_dir is empty).
+  /// Appends happen under queue_mu_ so WAL order == admission order.
+  JobJournal wal_;
+
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<std::shared_ptr<Job>> queue_;
+  /// Every queued-or-running job, for duplicate-attach lookup; entries
+  /// are erased when the job reaches kDone. Guarded by queue_mu_.
+  std::vector<std::shared_ptr<Job>> inflight_;
+  /// Per-tenant queued-or-running counts (admission cap). queue_mu_.
+  std::vector<std::pair<std::string, std::size_t>> tenant_inflight_;
 
   mutable std::mutex stats_mu_;
   Stats stats_;
+  /// Completed-job wall-time integral for the retry-after estimator.
+  std::uint64_t finished_jobs_ = 0;
+  std::uint64_t finished_ms_ = 0;
 
   /// Telemetry surface state (journal ring, slow-job log, per-tenant
   /// accounting, busy-time integral for the utilization gauge).
@@ -167,6 +234,7 @@ class Server {
     std::uint64_t jobs = 0;
     std::uint64_t errors = 0;
     std::uint64_t busy_ms = 0;
+    std::uint64_t shed = 0;  ///< admissions refused with retry-after
   };
   mutable std::mutex telemetry_mu_;
   std::deque<JournalEntry> journal_;

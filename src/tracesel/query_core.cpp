@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "flow/indexed_flow.hpp"
+#include "selection/checkpoint.hpp"
 #include "soc/scenario.hpp"
 #include "util/atomic_file.hpp"
 #include "util/obs.hpp"
@@ -193,17 +194,70 @@ selection::SelectionResult QueryCore::select(const Workload& w,
                                              const JobRequest& req,
                                              util::CancelToken cancel,
                                              util::ThreadPool* pool) {
+  return select(w, req, std::move(cancel), RunOptions{}, pool);
+}
+
+selection::SelectionResult QueryCore::select(const Workload& w,
+                                             const JobRequest& req,
+                                             util::CancelToken cancel,
+                                             const RunOptions& opts,
+                                             util::ThreadPool* pool) {
   selection::SelectorConfig cfg = req.selector_config();
   cfg.cancel = std::move(cancel);
   cfg.checkpoint_spec_path = w.spec_ref;
   cfg.checkpoint_instances = w.instances;
-  return select(w, cfg, req.kind == JobRequest::Kind::kSelectFlowConstraint,
-                pool);
+  const bool flow_constraint =
+      req.kind == JobRequest::Kind::kSelectFlowConstraint;
+  // Checkpointing covers the plain Step 1-3 pipeline; the flow-constraint
+  // repair loop re-runs select() with mutated candidate sets, for which a
+  // wave snapshot of the primary search would be misleading.
+  if (!flow_constraint && !opts.checkpoint_path.empty()) {
+    cfg.checkpoint_path = opts.checkpoint_path;
+    if (opts.checkpoint_interval > 0)
+      cfg.checkpoint_interval = opts.checkpoint_interval;
+    if (opts.try_resume && w.selector) {
+      auto ck = selection::load_checkpoint(opts.checkpoint_path);
+      if (ck.ok()) {
+        // Pre-validate the search identity so a stale snapshot (edited
+        // spec, different structural knobs under a colliding path) falls
+        // back to a fresh run instead of throwing out of the engine.
+        const std::uint64_t want = selection::search_fingerprint(
+            *w.selector, cfg, cfg.mode == selection::SearchMode::kMaximal);
+        if (ck.value().fingerprint == want) {
+          cfg.resume_from = std::make_shared<const selection::SearchCheckpoint>(
+              std::move(ck).value());
+          OBS_COUNT("svc.ckpt.resumed", 1);
+        } else {
+          OBS_COUNT("svc.ckpt.stale", 1);
+        }
+      }
+    }
+  }
+  if (cfg.resume_from) {
+    // Belt and braces: the wave engine still validates seeds_total; treat
+    // any residual mismatch as "checkpoint unusable", not a failed job.
+    try {
+      return select(w, cfg, flow_constraint, pool);
+    } catch (const util::CancelledError&) {
+      throw;
+    } catch (const std::runtime_error&) {
+      OBS_COUNT("svc.ckpt.stale", 1);
+      cfg.resume_from.reset();
+    }
+  }
+  return select(w, cfg, flow_constraint, pool);
 }
 
 util::Result<QueryCore::Outcome> QueryCore::run(const JobRequest& req,
                                                 ArtifactStore* store,
                                                 util::CancelToken cancel) {
+  return run(req, store, std::move(cancel), RunOptions{});
+}
+
+util::Result<QueryCore::Outcome> QueryCore::run(const JobRequest& req,
+                                                ArtifactStore* store,
+                                                util::CancelToken cancel,
+                                                const RunOptions& opts) {
   auto src = source_hash(req);
   if (!src.ok()) return src.error();
 
@@ -215,7 +269,7 @@ util::Result<QueryCore::Outcome> QueryCore::run(const JobRequest& req,
   if (store == nullptr) {
     out.workload = build_shared();
     out.result = std::make_shared<selection::SelectionResult>(
-        select(*out.workload, req, cancel));
+        select(*out.workload, req, cancel, opts));
     return out;
   }
 
@@ -250,7 +304,7 @@ util::Result<QueryCore::Outcome> QueryCore::run(const JobRequest& req,
       rkey, req,
       [&]() -> std::shared_ptr<const selection::SelectionResult> {
         auto res = std::make_shared<selection::SelectionResult>(
-            select(*out.workload, req, cancel));
+            select(*out.workload, req, cancel, opts));
         if (res->partial) {
           // Interrupted searches are champions of the *explored* region —
           // caching one would hand later jobs a truncated answer.
@@ -266,7 +320,7 @@ util::Result<QueryCore::Outcome> QueryCore::run(const JobRequest& req,
     } else {
       // Waiter on a builder that failed or went partial: run privately.
       out.result = std::make_shared<selection::SelectionResult>(
-          select(*out.workload, req, cancel));
+          select(*out.workload, req, cancel, opts));
       out.result_cache_hit = false;
     }
   }

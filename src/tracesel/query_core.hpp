@@ -123,11 +123,34 @@ class QueryCore {
       const Workload& w, const selection::SelectorConfig& config,
       bool flow_constraint, util::ThreadPool* pool = nullptr);
 
+  /// Crash-durability knobs for a run (the traceseld journal wires these;
+  /// DESIGN.md §16). All default-off: the 3-argument run()/select() below
+  /// behave exactly as before.
+  struct RunOptions {
+    /// When non-empty, the sharded search snapshots here at every wave
+    /// boundary (selection/checkpoint.hpp semantics).
+    std::string checkpoint_path;
+    /// Seed shards per snapshot wave.
+    std::size_t checkpoint_interval = 64;
+    /// When true and checkpoint_path holds a loadable checkpoint whose
+    /// fingerprint matches this search, resume from it instead of
+    /// recomputing — the Session::resume-equivalent path for daemon jobs.
+    /// A stale or mismatched checkpoint is ignored (fresh run), never an
+    /// error: recovery must degrade, not fail.
+    bool try_resume = false;
+  };
+
   /// The request-level wrapper: derives the SelectorConfig from `req`
   /// (structural knobs + provenance), arms `cancel`, and runs select().
   static selection::SelectionResult select(const Workload& w,
                                            const JobRequest& req,
                                            util::CancelToken cancel,
+                                           util::ThreadPool* pool = nullptr);
+  /// As above, plus checkpoint/resume wiring from `opts`.
+  static selection::SelectionResult select(const Workload& w,
+                                           const JobRequest& req,
+                                           util::CancelToken cancel,
+                                           const RunOptions& opts,
                                            util::ThreadPool* pool = nullptr);
 
   /// The full memoized pipeline: resolve -> workload (cached) -> select
@@ -138,6 +161,12 @@ class QueryCore {
   /// interleave build.
   static util::Result<Outcome> run(const JobRequest& req, ArtifactStore* store,
                                    util::CancelToken cancel);
+  /// As above with checkpoint/resume wiring (RunOptions{} == the plain
+  /// overload). Resumed runs are bit-identical to uninterrupted ones —
+  /// the PR-5 wave-protocol guarantee, now reachable per job.
+  static util::Result<Outcome> run(const JobRequest& req, ArtifactStore* store,
+                                   util::CancelToken cancel,
+                                   const RunOptions& opts);
 };
 
 }  // namespace tracesel

@@ -42,22 +42,40 @@
 //       protocol on stdin/stdout)
 //   tracesel serve --socket PATH [--runners N] [--max-queue N]
 //                  [--slow-job-ms N] [--journal-capacity N]
+//                  [--journal-dir DIR] [--journal-rotate-bytes N]
+//                  [--checkpoint-interval N] [--tenant-inflight N]
+//                  [--retry-after-floor-ms N]
 //       run traceseld: the long-lived selection/debug job daemon
 //       (docs/service.md). SIGTERM/SIGINT or a stop frame drains the
 //       queue, answers every waiting client, then exits 0. Jobs at or
 //       over --slow-job-ms land in the slow-job log with a span summary.
+//       --journal-dir enables crash durability: accepted jobs are
+//       write-ahead journalled (and long searches checkpointed) there,
+//       and a restart with the same directory replays unfinished jobs
+//       and serves completed ones byte-identically from the durable
+//       result cache. --tenant-inflight caps each tenant's queued+running
+//       jobs; breaches (and full-queue/unmeetable-deadline submissions)
+//       are shed with a typed retry-after hint.
 //   tracesel submit <t2|usb|spec.flow> --socket PATH [select flags]
 //       submit one job to a running daemon and wait for the result; with
 //       --json prints the daemon's report block, which is byte-identical
 //       to `tracesel select --json` for the same request
 //       --tenant NAME    tenant label for the daemon's telemetry surface
+//       --connect-timeout-ms N  retry the initial connect with seeded
+//                        backoff for up to N ms (default 0: fail fast)
+//       --retries N      survive daemon restarts/sheds: up to N extra
+//                        attempts — reconnect, honor retry-after hints,
+//                        resubmit idempotently (attach or durable-cache)
 //       with --trace-out, the submit span's trace context rides in the
 //       request and the daemon ships the job's spans back: the written
 //       trace has a lane for this process and one for traceseld
 //   tracesel stats --socket PATH                     daemon counters (JSON)
-//       --watch          refresh until interrupted
+//       --watch          refresh until interrupted; survives daemon
+//                        restarts (reconnects with seeded backoff)
 //       --interval-ms N  refresh period               (default 1000)
 //       --count N        stop after N samples (0 = until interrupted)
+//       --connect-timeout-ms N  initial-connect retry budget (also on
+//                        top/ping/stop)
 //   tracesel top --socket PATH [--json]              live telemetry view
 //       utilization/queue gauges, per-tenant accounting, the event
 //       journal tail and the slow-job log; --json prints the raw
@@ -116,6 +134,7 @@
 #include "flow/dot.hpp"
 #include "soc/fault_injector.hpp"
 #include "soc/vcd.hpp"
+#include "util/backoff.hpp"
 #include "util/log.hpp"
 #include "util/obs.hpp"
 #include "util/subprocess.hpp"
@@ -189,16 +208,20 @@ int usage() {
                " [--dist-corrupt-rate R] [--dist-fault-seed N]\n"
                "  tracesel serve --socket PATH [--runners N]"
                " [--max-queue N] [--slow-job-ms N] [--journal-capacity N]\n"
+               "                 [--journal-dir DIR] [--journal-rotate-bytes N]"
+               " [--checkpoint-interval N] [--tenant-inflight N]"
+               " [--retry-after-floor-ms N]\n"
                "  tracesel submit <t2|usb|spec.flow> --socket PATH"
                " [--buffer N] [--instances K] [--mode M] [--no-packing]\n"
                "                 [--no-symmetry-reduction] [--max-nodes N]"
                " [--mem-budget-mb N] [--deadline-ms N] [--jobs N]"
                " [--kernel M] [--json]\n"
-               "  tracesel submit ... [--tenant NAME]\n"
+               "  tracesel submit ... [--tenant NAME]"
+               " [--connect-timeout-ms N] [--retries N]\n"
                "  tracesel stats --socket PATH [--watch] [--interval-ms N]"
-               " [--count N]\n"
+               " [--count N] [--connect-timeout-ms N]\n"
                "  tracesel top --socket PATH [--json]\n"
-               "  tracesel ping|stop --socket PATH\n"
+               "  tracesel ping|stop --socket PATH [--connect-timeout-ms N]\n"
                "  tracesel dot <spec.flow> <flow-name>\n"
                "  tracesel lint <spec.flow> [--buffer N] [--lenient]\n"
                "  tracesel debug <case 1..5> [--no-packing] [--vcd FILE]"
@@ -438,6 +461,15 @@ int cmd_serve(int argc, char** argv) {
     else if (arg == "--slow-job-ms") opt.slow_job_ms = std::stoull(next());
     else if (arg == "--journal-capacity")
       opt.journal_capacity = std::stoul(next());
+    else if (arg == "--journal-dir") opt.journal_dir = next();
+    else if (arg == "--journal-rotate-bytes")
+      opt.journal_rotate_bytes = std::stoull(next());
+    else if (arg == "--checkpoint-interval")
+      opt.checkpoint_interval = std::stoul(next());
+    else if (arg == "--tenant-inflight")
+      opt.per_tenant_inflight = std::stoul(next());
+    else if (arg == "--retry-after-floor-ms")
+      opt.retry_after_floor_ms = std::stoull(next());
     else throw std::runtime_error("unknown option '" + arg + "'");
   }
   if (opt.socket_path.empty())
@@ -451,10 +483,18 @@ int cmd_serve(int argc, char** argv) {
   return server.serve();
 }
 
+/// Client-side resilience knobs of the submit/ctl verbs (never part of
+/// the JobRequest — they do not change the computation).
+struct ClientCliOptions {
+  std::uint64_t connect_timeout_ms = 0;  ///< 0 = single connect attempt
+  std::size_t retries = 0;               ///< extra submit attempts
+};
+
 /// Builds the JobRequest a submit-style argv describes. Shared by
 /// `tracesel submit` and the tests that need an identical request.
 JobRequest parse_submit_request(int argc, char** argv, std::string& socket,
-                                bool& json) {
+                                bool& json,
+                                ClientCliOptions* client_opt = nullptr) {
   JobRequest req;
   req.spec.clear();
   for (int i = 0; i < argc; ++i) {
@@ -477,6 +517,10 @@ JobRequest parse_submit_request(int argc, char** argv, std::string& socket,
     else if (arg == "--kernel") req.kernel = parse_kernel_mode(next());
     else if (arg == "--tenant") req.tenant = next();
     else if (arg == "--json") json = true;
+    else if (arg == "--connect-timeout-ms" && client_opt)
+      client_opt->connect_timeout_ms = std::stoull(next());
+    else if (arg == "--retries" && client_opt)
+      client_opt->retries = std::stoul(next());
     else if (arg == "--mode") {
       auto mode = parse_search_mode(next());
       if (!mode.ok()) throw std::runtime_error(mode.error().to_string());
@@ -497,13 +541,17 @@ JobRequest parse_submit_request(int argc, char** argv, std::string& socket,
 int cmd_submit(int argc, char** argv) {
   std::string socket;
   bool json = false;
-  JobRequest req = parse_submit_request(argc, argv, socket, json);
+  ClientCliOptions copt;
+  JobRequest req = parse_submit_request(argc, argv, socket, json, &copt);
   if (socket.empty())
     throw std::runtime_error("submit: --socket PATH is required");
 
-  auto client = service::Client::connect(socket);
-  if (!client.ok()) throw std::runtime_error(client.error().to_string());
   g_cooperative.store(true, std::memory_order_relaxed);
+  service::Client::ConnectOptions conn;
+  conn.timeout_ms = copt.connect_timeout_ms;
+  conn.cancel = g_cancel;
+  auto client = service::Client::connect(socket, conn);
+  if (!client.ok()) throw std::runtime_error(client.error().to_string());
 
   // With an observability sink active, stamp this process's trace context
   // into the request: the daemon opens its job span under our submit span
@@ -515,13 +563,22 @@ int cmd_submit(int argc, char** argv) {
     req.trace_id = obs::ensure_trace_context().trace_id;
     req.parent_span_id = submit_span->id();
   }
-  const auto outcome = client.value().submit(
-      req, g_cancel, [](std::string_view status, std::uint64_t position) {
-        std::cerr << "job " << status;
-        if (status == "queued" && position > 0)
-          std::cerr << " (position " << position << ")";
-        std::cerr << '\n';
-      });
+  const auto on_event = [](std::string_view status, std::uint64_t position) {
+    std::cerr << "job " << status;
+    if ((status == "queued" || status == "attached") && position > 0)
+      std::cerr << " (position " << position << ")";
+    std::cerr << '\n';
+  };
+  // --retries upgrades to the restart-tolerant path: reconnect with
+  // seeded backoff, honor retry-after hints, resubmit idempotently.
+  service::Client::SubmitOptions sopt;
+  sopt.max_attempts = copt.retries + 1;
+  sopt.connect_timeout_ms =
+      copt.connect_timeout_ms > 0 ? copt.connect_timeout_ms : 2000;
+  const auto outcome =
+      copt.retries > 0
+          ? client.value().submit_resilient(req, sopt, g_cancel, on_event)
+          : client.value().submit(req, g_cancel, on_event);
   submit_span.reset();  // close before the sinks are written
   if (!outcome.ok()) throw std::runtime_error(outcome.error().to_string());
   const service::JobOutcome& o = outcome.value();
@@ -624,6 +681,7 @@ int cmd_daemon_ctl(const std::string& verb, int argc, char** argv) {
   bool json = false;
   std::uint64_t interval_ms = 1000;
   std::uint64_t count = 0;  // 0 = until interrupted
+  std::uint64_t connect_timeout_ms = 0;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--socket" && i + 1 < argc) socket = argv[++i];
@@ -632,16 +690,51 @@ int cmd_daemon_ctl(const std::string& verb, int argc, char** argv) {
     else if (arg == "--interval-ms" && i + 1 < argc)
       interval_ms = std::stoull(argv[++i]);
     else if (arg == "--count" && i + 1 < argc) count = std::stoull(argv[++i]);
+    else if (arg == "--connect-timeout-ms" && i + 1 < argc)
+      connect_timeout_ms = std::stoull(argv[++i]);
     else throw std::runtime_error("unknown option '" + arg + "'");
   }
   if (socket.empty())
     throw std::runtime_error(verb + ": --socket PATH is required");
-  auto client = service::Client::connect(socket);
+  service::Client::ConnectOptions conn;
+  conn.timeout_ms = connect_timeout_ms;
+  conn.cancel = g_cancel;
+  auto client = service::Client::connect(socket, conn);
   if (!client.ok()) throw std::runtime_error(client.error().to_string());
 
   if (verb == "stats" || verb == "top") {
     if (count == 0 && !watch) count = 1;
     g_cooperative.store(true, std::memory_order_relaxed);
+
+    // A watch loop survives daemon restarts: a failed fetch drops the
+    // connection and reconnects with seeded backoff (one `reconnecting`
+    // notice per outage) instead of dying mid-dashboard. One-shot calls
+    // keep failing fast. Returns nullopt only on interrupt.
+    auto fetch = [&](bool want_stats) -> std::optional<std::string> {
+      bool notified = false;
+      util::Backoff backoff;
+      for (;;) {
+        if (g_cancel.cancelled()) return std::nullopt;
+        if (client.ok() && client.value().connected()) {
+          auto r = want_stats ? client.value().stats()
+                              : client.value().telemetry();
+          if (r.ok()) return std::move(r).value();
+          if (!watch) throw std::runtime_error(r.error().to_string());
+          client.value().close();
+        }
+        if (!notified) {
+          std::cerr << "reconnecting to " << socket << "...\n";
+          notified = true;
+        }
+        std::this_thread::sleep_for(
+            std::min<std::chrono::milliseconds>(backoff.next(),
+                                                std::chrono::milliseconds(
+                                                    interval_ms)));
+        auto re = service::Client::connect(socket);
+        if (re.ok()) client = std::move(re);
+      }
+    };
+
     for (std::uint64_t sample = 0; count == 0 || sample < count; ++sample) {
       if (sample != 0) {
         // One connection, one frame per tick: the watch loop is itself a
@@ -658,20 +751,14 @@ int cmd_daemon_ctl(const std::string& verb, int argc, char** argv) {
         // One-shot stats keeps the legacy job/store counter frame;
         // --watch upgrades to the live telemetry view (journal, tenants,
         // utilization) so a refresh loop actually has motion to show.
-        auto stats = client.value().stats();
-        if (!stats.ok()) throw std::runtime_error(stats.error().to_string());
-        std::cout << stats.value() << '\n';
-      } else if (verb == "stats") {
-        auto telemetry = client.value().telemetry();
-        if (!telemetry.ok())
-          throw std::runtime_error(telemetry.error().to_string());
-        std::cout << telemetry.value() << '\n';
+        auto stats = fetch(/*want_stats=*/true);
+        if (!stats) return 0;
+        std::cout << *stats << '\n';
       } else {
-        auto telemetry = client.value().telemetry();
-        if (!telemetry.ok())
-          throw std::runtime_error(telemetry.error().to_string());
-        if (json) std::cout << telemetry.value() << '\n';
-        else render_top(socket, telemetry.value());
+        auto telemetry = fetch(/*want_stats=*/false);
+        if (!telemetry) return 0;
+        if (verb == "stats" || json) std::cout << *telemetry << '\n';
+        else render_top(socket, *telemetry);
       }
       std::cout.flush();
     }
